@@ -1,0 +1,558 @@
+//! Expression grammars (Definition 2.6 of the paper): context-free syntactic
+//! restrictions on candidate programs.
+
+use crate::{Op, Sort, Symbol, Term, TermNode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a non-terminal within its [`Grammar`].
+pub type NonterminalId = usize;
+
+/// The right-hand side of a production rule: a term pattern whose leaves may
+/// reference non-terminals of the grammar.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GTerm {
+    /// A fixed integer literal.
+    Const(i64),
+    /// A fixed boolean literal.
+    BoolConst(bool),
+    /// A specific problem argument (bound variable of the synth-fun).
+    Var(Symbol, Sort),
+    /// Any integer/boolean constant (`(Constant Int)` in SyGuS-IF).
+    AnyConst(Sort),
+    /// Any declared variable of the sort (`(Variable Int)` in SyGuS-IF).
+    AnyVar(Sort),
+    /// A reference to a non-terminal of the grammar.
+    Nonterminal(NonterminalId),
+    /// An operator applied to sub-patterns.
+    App(Op, Vec<GTerm>),
+}
+
+impl GTerm {
+    /// The sort this pattern produces, given the owning grammar (needed to
+    /// resolve non-terminal references).
+    pub fn sort(&self, grammar: &Grammar) -> Sort {
+        match self {
+            GTerm::Const(_) => Sort::Int,
+            GTerm::BoolConst(_) => Sort::Bool,
+            GTerm::Var(_, s) | GTerm::AnyConst(s) | GTerm::AnyVar(s) => *s,
+            GTerm::Nonterminal(id) => grammar.nonterminal(*id).sort,
+            GTerm::App(op, args) => match op {
+                Op::Add | Op::Sub | Op::Neg | Op::Mul => Sort::Int,
+                Op::Ite => args[1].sort(grammar),
+                Op::Apply(_, ret) => *ret,
+                _ => Sort::Bool,
+            },
+        }
+    }
+}
+
+/// A non-terminal: a name, a sort, and its alternative productions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nonterminal {
+    /// The non-terminal's name (e.g. `Start`).
+    pub name: Symbol,
+    /// The sort of every expression it derives.
+    pub sort: Sort,
+    /// Alternative right-hand sides.
+    pub productions: Vec<GTerm>,
+}
+
+/// How a grammar was constructed; lets engines pick the specialized
+/// decision-tree encoding when the grammar is the full CLIA grammar.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GrammarFlavor {
+    /// The standard `GCLIA` grammar (all CLIA expressions over the
+    /// arguments): engines may use the dense decision-tree normal form.
+    Clia,
+    /// An arbitrary user-provided grammar: engines must respect it.
+    #[default]
+    Custom,
+}
+
+/// An expression grammar: non-terminals with productions and a start symbol.
+///
+/// # Examples
+///
+/// Building the paper's `Gqm` grammar (Figure 1a) and testing membership:
+///
+/// ```
+/// use sygus_ast::{Grammar, GTerm, Op, Sort, Symbol, Term};
+/// let qm = Op::Apply(Symbol::new("qm"), Sort::Int);
+/// let mut g = Grammar::new();
+/// let s = g.add_nonterminal("S", Sort::Int);
+/// for v in ["x", "y", "z"] {
+///     g.add_production(s, GTerm::Var(Symbol::new(v), Sort::Int));
+/// }
+/// g.add_production(s, GTerm::Const(0));
+/// g.add_production(s, GTerm::Const(1));
+/// g.add_production(s, GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]));
+/// g.add_production(s, GTerm::App(Op::Sub, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]));
+/// g.add_production(s, GTerm::App(qm, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]));
+/// let t = Term::apply("qm", Sort::Int, vec![Term::sub(Term::int_var("x"), Term::int_var("y")), Term::int(0)]);
+/// assert!(g.generates(&t));
+/// assert!(!g.generates(&Term::int(7))); // 7 is not derivable from 0|1|+|-|qm at size 1
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Grammar {
+    nonterminals: Vec<Nonterminal>,
+    start: NonterminalId,
+    flavor: GrammarFlavor,
+}
+
+impl Default for Grammar {
+    fn default() -> Grammar {
+        Grammar::new()
+    }
+}
+
+impl Grammar {
+    /// Creates an empty grammar. The first non-terminal added becomes the
+    /// start symbol.
+    pub fn new() -> Grammar {
+        Grammar {
+            nonterminals: Vec::new(),
+            start: 0,
+            flavor: GrammarFlavor::Custom,
+        }
+    }
+
+    /// Adds a non-terminal and returns its id.
+    pub fn add_nonterminal(&mut self, name: impl Into<Symbol>, sort: Sort) -> NonterminalId {
+        self.nonterminals.push(Nonterminal {
+            name: name.into(),
+            sort,
+            productions: Vec::new(),
+        });
+        self.nonterminals.len() - 1
+    }
+
+    /// Adds a production to a non-terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` is out of range.
+    pub fn add_production(&mut self, nt: NonterminalId, rhs: GTerm) {
+        self.nonterminals[nt].productions.push(rhs);
+    }
+
+    /// The start non-terminal id.
+    pub fn start(&self) -> NonterminalId {
+        self.start
+    }
+
+    /// Sets the start non-terminal.
+    pub fn set_start(&mut self, nt: NonterminalId) {
+        assert!(nt < self.nonterminals.len(), "start out of range");
+        self.start = nt;
+    }
+
+    /// Returns a non-terminal by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn nonterminal(&self, id: NonterminalId) -> &Nonterminal {
+        &self.nonterminals[id]
+    }
+
+    /// All non-terminals, in id order.
+    pub fn nonterminals(&self) -> &[Nonterminal] {
+        &self.nonterminals
+    }
+
+    /// Finds a non-terminal by name.
+    pub fn find(&self, name: Symbol) -> Option<NonterminalId> {
+        self.nonterminals.iter().position(|n| n.name == name)
+    }
+
+    /// The grammar flavor (see [`GrammarFlavor`]).
+    pub fn flavor(&self) -> GrammarFlavor {
+        self.flavor
+    }
+
+    /// Marks the grammar as the full CLIA grammar.
+    pub fn set_flavor(&mut self, flavor: GrammarFlavor) {
+        self.flavor = flavor;
+    }
+
+    /// Builds the standard `GCLIA` grammar over the given arguments
+    /// (Example 2.8): all CLIA expressions of the target sort.
+    pub fn clia(args: &[(Symbol, Sort)], ret: Sort) -> Grammar {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("Start", Sort::Int);
+        let b = g.add_nonterminal("StartBool", Sort::Bool);
+        if ret == Sort::Bool {
+            g.set_start(b);
+        }
+        for &(a, sort) in args {
+            match sort {
+                Sort::Int => g.add_production(s, GTerm::Var(a, Sort::Int)),
+                Sort::Bool => g.add_production(b, GTerm::Var(a, Sort::Bool)),
+            }
+        }
+        g.add_production(s, GTerm::AnyConst(Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            s,
+            GTerm::App(Op::Sub, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(s, GTerm::App(Op::Neg, vec![GTerm::Nonterminal(s)]));
+        g.add_production(
+            s,
+            GTerm::App(
+                Op::Ite,
+                vec![
+                    GTerm::Nonterminal(b),
+                    GTerm::Nonterminal(s),
+                    GTerm::Nonterminal(s),
+                ],
+            ),
+        );
+        for op in [Op::Ge, Op::Le, Op::Gt, Op::Lt, Op::Eq] {
+            g.add_production(
+                b,
+                GTerm::App(op, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+            );
+        }
+        g.add_production(
+            b,
+            GTerm::App(Op::And, vec![GTerm::Nonterminal(b), GTerm::Nonterminal(b)]),
+        );
+        g.add_production(
+            b,
+            GTerm::App(Op::Or, vec![GTerm::Nonterminal(b), GTerm::Nonterminal(b)]),
+        );
+        g.add_production(b, GTerm::App(Op::Not, vec![GTerm::Nonterminal(b)]));
+        g.add_production(
+            b,
+            GTerm::App(
+                Op::Ite,
+                vec![
+                    GTerm::Nonterminal(b),
+                    GTerm::Nonterminal(b),
+                    GTerm::Nonterminal(b),
+                ],
+            ),
+        );
+        g.flavor = GrammarFlavor::Clia;
+        g
+    }
+
+    /// Returns a copy of the grammar extended with an extra operator
+    /// `f(args…)` available from the start non-terminal of the matching
+    /// sort — the grammar extension of Subproblem B in subterm-based
+    /// division (Section 4.1).
+    pub fn with_operator(&self, f: Symbol, params: &[Sort], ret: Sort) -> Grammar {
+        let mut g = self.clone();
+        // Attach to the first non-terminal of the return sort (the start
+        // symbol if sorts agree).
+        let target = if g.nonterminal(g.start).sort == ret {
+            Some(g.start)
+        } else {
+            (0..g.nonterminals.len()).find(|&i| g.nonterminal(i).sort == ret)
+        };
+        if let Some(target) = target {
+            let args: Vec<GTerm> = params
+                .iter()
+                .map(|&s| {
+                    let nt = if g.nonterminal(g.start).sort == s {
+                        g.start
+                    } else {
+                        (0..g.nonterminals.len())
+                            .find(|&i| g.nonterminal(i).sort == s)
+                            .unwrap_or(g.start)
+                    };
+                    GTerm::Nonterminal(nt)
+                })
+                .collect();
+            g.add_production(target, GTerm::App(Op::Apply(f, ret), args));
+        }
+        g.flavor = GrammarFlavor::Custom;
+        g
+    }
+
+    /// Whether `term` is derivable from the start symbol.
+    pub fn generates(&self, term: &Term) -> bool {
+        let mut memo = HashMap::new();
+        self.derives(self.start, term, &mut memo)
+    }
+
+    /// Whether `term` is derivable from non-terminal `nt`.
+    pub fn derives_from(&self, nt: NonterminalId, term: &Term) -> bool {
+        let mut memo = HashMap::new();
+        self.derives(nt, term, &mut memo)
+    }
+
+    fn derives(
+        &self,
+        nt: NonterminalId,
+        term: &Term,
+        memo: &mut HashMap<(NonterminalId, Term), Option<bool>>,
+    ) -> bool {
+        let key = (nt, term.clone());
+        match memo.get(&key) {
+            Some(Some(r)) => return *r,
+            Some(None) => return false, // on the current derivation path: cut cycles
+            None => {}
+        }
+        memo.insert(key.clone(), None);
+        let mut result = false;
+        for prod in &self.nonterminals[nt].productions {
+            if self.matches(prod, term, memo) {
+                result = true;
+                break;
+            }
+        }
+        memo.insert(key, Some(result));
+        result
+    }
+
+    fn matches(
+        &self,
+        pat: &GTerm,
+        term: &Term,
+        memo: &mut HashMap<(NonterminalId, Term), Option<bool>>,
+    ) -> bool {
+        match pat {
+            GTerm::Const(n) => term.as_int_const() == Some(*n),
+            GTerm::BoolConst(b) => term.as_bool_const() == Some(*b),
+            GTerm::AnyConst(Sort::Int) => term.as_int_const().is_some(),
+            GTerm::AnyConst(Sort::Bool) => term.as_bool_const().is_some(),
+            GTerm::Var(v, s) => matches!(term.node(), TermNode::Var(w, t) if w == v && t == s),
+            GTerm::AnyVar(s) => matches!(term.node(), TermNode::Var(_, t) if t == s),
+            GTerm::Nonterminal(id) => self.derives(*id, term, memo),
+            GTerm::App(op, pats) => match term.node() {
+                TermNode::App(top, targs) => {
+                    top == op
+                        && targs.len() == pats.len()
+                        && pats
+                            .iter()
+                            .zip(targs)
+                            .all(|(p, t)| self.matches(p, t, memo))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Collects every operator reachable in the grammar (useful for
+    /// fixed-height encodings over custom grammars).
+    pub fn operators(&self) -> Vec<Op> {
+        fn go(g: &GTerm, out: &mut Vec<Op>) {
+            if let GTerm::App(op, args) = g {
+                if !out.contains(op) {
+                    out.push(*op);
+                }
+                for a in args {
+                    go(a, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for nt in &self.nonterminals {
+            for p in &nt.productions {
+                go(p, &mut out);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, nt) in self.nonterminals.iter().enumerate() {
+            let marker = if i == self.start { "*" } else { " " };
+            writeln!(f, "{marker}{} : {}", nt.name, nt.sort)?;
+            for p in &nt.productions {
+                writeln!(f, "    -> {}", DisplayGTerm(self, p))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct DisplayGTerm<'a>(&'a Grammar, &'a GTerm);
+
+impl fmt::Display for DisplayGTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.1 {
+            GTerm::Const(n) => write!(f, "{n}"),
+            GTerm::BoolConst(b) => write!(f, "{b}"),
+            GTerm::Var(v, _) => write!(f, "{v}"),
+            GTerm::AnyConst(s) => write!(f, "(Constant {s})"),
+            GTerm::AnyVar(s) => write!(f, "(Variable {s})"),
+            GTerm::Nonterminal(id) => write!(f, "{}", self.0.nonterminal(*id).name),
+            GTerm::App(op, args) => {
+                write!(f, "({}", op.name())?;
+                for a in args {
+                    write!(f, " {}", DisplayGTerm(self.0, a))?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gqm() -> Grammar {
+        let qm = Op::Apply(Symbol::new("qm"), Sort::Int);
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        for v in ["x", "y", "z"] {
+            g.add_production(s, GTerm::Var(Symbol::new(v), Sort::Int));
+        }
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(s, GTerm::Const(1));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            s,
+            GTerm::App(Op::Sub, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            s,
+            GTerm::App(qm, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g
+    }
+
+    #[test]
+    fn membership_positive() {
+        let g = gqm();
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        assert!(g.generates(&x));
+        assert!(g.generates(&Term::int(0)));
+        assert!(g.generates(&Term::app(Op::Add, vec![x.clone(), y.clone()])));
+        // The paper's aux solution: x1 + qm(x2 - x1, 0)
+        let t = Term::app(
+            Op::Add,
+            vec![
+                x.clone(),
+                Term::apply(
+                    "qm",
+                    Sort::Int,
+                    vec![Term::app(Op::Sub, vec![y, x]), Term::int(0)],
+                ),
+            ],
+        );
+        assert!(g.generates(&t));
+    }
+
+    #[test]
+    fn membership_negative() {
+        let g = gqm();
+        // ite is not in Gqm
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        let t = Term::app(
+            Op::Ite,
+            vec![Term::app(Op::Ge, vec![x.clone(), y.clone()]), x.clone(), y],
+        );
+        assert!(!g.generates(&t));
+        // 7 is not 0 or 1 (and sums like 1+1+... would be a different tree)
+        assert!(!g.generates(&Term::int(7)));
+        // w is not a declared variable
+        assert!(!g.generates(&Term::int_var("w")));
+    }
+
+    #[test]
+    fn clia_grammar_generates_everything_relevant() {
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let g = Grammar::clia(&[(x, Sort::Int), (y, Sort::Int)], Sort::Int);
+        assert_eq!(g.flavor(), GrammarFlavor::Clia);
+        let xv = Term::int_var("x");
+        let yv = Term::int_var("y");
+        let max2 = Term::app(
+            Op::Ite,
+            vec![
+                Term::app(Op::Ge, vec![xv.clone(), yv.clone()]),
+                xv.clone(),
+                yv.clone(),
+            ],
+        );
+        assert!(g.generates(&max2));
+        assert!(g.generates(&Term::int(42)));
+        assert!(g.generates(&Term::app(
+            Op::Add,
+            vec![xv.clone(), Term::app(Op::Neg, vec![yv.clone()])]
+        )));
+    }
+
+    #[test]
+    fn clia_bool_start_for_predicates() {
+        let x = Symbol::new("x");
+        let g = Grammar::clia(&[(x, Sort::Int)], Sort::Bool);
+        let xv = Term::int_var("x");
+        assert!(g.generates(&Term::app(Op::Ge, vec![xv.clone(), Term::int(0)])));
+        assert!(g.generates(&Term::app(
+            Op::And,
+            vec![
+                Term::app(Op::Ge, vec![xv.clone(), Term::int(0)]),
+                Term::app(Op::Le, vec![xv.clone(), Term::int(9)]),
+            ]
+        )));
+        // An integer term is not generated from the boolean start.
+        assert!(!g.generates(&xv));
+    }
+
+    #[test]
+    fn with_operator_extends() {
+        let g = gqm();
+        let aux = Symbol::new("auxg");
+        let g2 = g.with_operator(aux, &[Sort::Int, Sort::Int], Sort::Int);
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        let t = Term::apply(aux, Sort::Int, vec![x.clone(), y.clone()]);
+        assert!(!g.generates(&t));
+        assert!(g2.generates(&t));
+        // nested: aux(z, aux(x, y))
+        let t2 = Term::apply(aux, Sort::Int, vec![Term::int_var("z"), t.clone()]);
+        assert!(g2.generates(&t2));
+    }
+
+    #[test]
+    fn cyclic_grammar_terminates() {
+        // S -> S | x : unproductive self-loop must not hang membership.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Nonterminal(s));
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        assert!(g.generates(&Term::int_var("x")));
+        assert!(!g.generates(&Term::int(3)));
+    }
+
+    #[test]
+    fn operators_collected() {
+        let ops = gqm().operators();
+        assert!(ops.contains(&Op::Add));
+        assert!(ops.contains(&Op::Sub));
+        assert!(ops.contains(&Op::Apply(Symbol::new("qm"), Sort::Int)));
+        assert!(!ops.contains(&Op::Ite));
+    }
+
+    #[test]
+    fn display_renders_productions() {
+        let g = gqm();
+        let s = g.to_string();
+        assert!(s.contains("*S : Int"));
+        assert!(s.contains("-> (qm S S)"));
+    }
+
+    #[test]
+    fn find_by_name() {
+        let g = gqm();
+        assert_eq!(g.find(Symbol::new("S")), Some(0));
+        assert_eq!(g.find(Symbol::new("absent")), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Linear-form extraction: converting integer terms to the canonical
+//! `Σ cᵢ·xᵢ + d` representation used by the LIA encoder and the loop
+//! summarizer.
+
+use crate::{Op, Sort, Symbol, Term, TermNode};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear integer expression `Σ cᵢ·xᵢ + constant` with `i64` coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::{LinearExpr, Term};
+/// let t = Term::add(Term::scale(2, Term::int_var("x")), Term::int(3));
+/// let lin = LinearExpr::from_term(&t).expect("linear");
+/// assert_eq!(lin.coeff("x".into()), 2);
+/// assert_eq!(lin.constant(), 3);
+/// assert_eq!(lin.to_term().to_string(), "(+ (* 2 x) 3)");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearExpr {
+    coeffs: BTreeMap<Symbol, i64>,
+    constant: i64,
+}
+
+/// Error from [`LinearExpr::from_term`]: the term was not linear (or
+/// overflowed `i64` while normalizing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonlinearError;
+
+impl fmt::Display for NonlinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("term is not a linear integer expression")
+    }
+}
+
+impl std::error::Error for NonlinearError {}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn zero() -> LinearExpr {
+        LinearExpr::default()
+    }
+
+    /// The constant expression `d`.
+    pub fn konst(d: i64) -> LinearExpr {
+        LinearExpr {
+            coeffs: BTreeMap::new(),
+            constant: d,
+        }
+    }
+
+    /// The single-variable expression `x`.
+    pub fn variable(x: Symbol) -> LinearExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(x, 1);
+        LinearExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// The coefficient of `x` (0 if absent).
+    pub fn coeff(&self, x: Symbol) -> i64 {
+        self.coeffs.get(&x).copied().unwrap_or(0)
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with nonzero
+    /// coefficients, in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, i64)> + '_ {
+        self.coeffs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether the expression is a constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Adds another linear expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError`] on `i64` overflow.
+    pub fn checked_add(&self, other: &LinearExpr) -> Result<LinearExpr, NonlinearError> {
+        let mut out = self.clone();
+        out.constant = out
+            .constant
+            .checked_add(other.constant)
+            .ok_or(NonlinearError)?;
+        for (v, c) in other.iter() {
+            let e = out.coeffs.entry(v).or_insert(0);
+            *e = e.checked_add(c).ok_or(NonlinearError)?;
+            if *e == 0 {
+                out.coeffs.remove(&v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies by an integer constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError`] on `i64` overflow.
+    pub fn checked_scale(&self, k: i64) -> Result<LinearExpr, NonlinearError> {
+        if k == 0 {
+            return Ok(LinearExpr::zero());
+        }
+        let mut out = LinearExpr {
+            coeffs: BTreeMap::new(),
+            constant: self.constant.checked_mul(k).ok_or(NonlinearError)?,
+        };
+        for (v, c) in self.iter() {
+            out.coeffs
+                .insert(v, c.checked_mul(k).ok_or(NonlinearError)?);
+        }
+        Ok(out)
+    }
+
+    /// Subtracts another linear expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError`] on `i64` overflow.
+    pub fn checked_sub(&self, other: &LinearExpr) -> Result<LinearExpr, NonlinearError> {
+        self.checked_add(&other.checked_scale(-1)?)
+    }
+
+    /// Extracts the linear form of an integer term built from `+ - * neg`,
+    /// variables and constants (multiplication must have a constant side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError`] if the term contains `ite`, function
+    /// applications, a variable·variable product, or overflows.
+    pub fn from_term(t: &Term) -> Result<LinearExpr, NonlinearError> {
+        match t.node() {
+            TermNode::IntConst(n) => Ok(LinearExpr::konst(*n)),
+            TermNode::Var(s, Sort::Int) => Ok(LinearExpr::variable(*s)),
+            TermNode::Var(_, Sort::Bool) | TermNode::BoolConst(_) => Err(NonlinearError),
+            TermNode::App(op, args) => match op {
+                Op::Add => {
+                    let mut acc = LinearExpr::zero();
+                    for a in args {
+                        acc = acc.checked_add(&LinearExpr::from_term(a)?)?;
+                    }
+                    Ok(acc)
+                }
+                Op::Sub => {
+                    let mut acc = LinearExpr::from_term(&args[0])?;
+                    for a in &args[1..] {
+                        acc = acc.checked_sub(&LinearExpr::from_term(a)?)?;
+                    }
+                    Ok(acc)
+                }
+                Op::Neg => LinearExpr::from_term(&args[0])?.checked_scale(-1),
+                Op::Mul => {
+                    let mut acc = LinearExpr::konst(1);
+                    let mut seen_nonconst = false;
+                    for a in args {
+                        let lin = LinearExpr::from_term(a)?;
+                        if lin.is_constant() {
+                            acc = acc.checked_scale(lin.constant())?;
+                        } else if !seen_nonconst && acc.is_constant() {
+                            let k = acc.constant();
+                            acc = lin.checked_scale(k)?;
+                            seen_nonconst = true;
+                        } else {
+                            return Err(NonlinearError);
+                        }
+                    }
+                    Ok(acc)
+                }
+                _ => Err(NonlinearError),
+            },
+        }
+    }
+
+    /// Converts back to a term `Σ cᵢ·xᵢ + d` (coefficient 1 and -1 are
+    /// printed without multiplication).
+    pub fn to_term(&self) -> Term {
+        let mut parts: Vec<Term> = Vec::new();
+        for (v, c) in self.iter() {
+            let var = Term::var(v, Sort::Int);
+            let part = match c {
+                1 => var,
+                -1 => Term::neg(var),
+                _ => Term::scale(c, var),
+            };
+            parts.push(part);
+        }
+        if self.constant != 0 || parts.is_empty() {
+            parts.push(Term::int(self.constant));
+        }
+        Term::sum(parts)
+    }
+}
+
+/// A linear atom `expr ⋈ 0` where `⋈ ∈ {=, ≤, <, ≥, >}` normalized from a
+/// comparison term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearAtom {
+    /// The left-hand side, compared against zero.
+    pub expr: LinearExpr,
+    /// The comparison operator (one of `Eq Le Lt Ge Gt`).
+    pub rel: Op,
+}
+
+impl LinearAtom {
+    /// Normalizes a comparison `a ⋈ b` into `a - b ⋈ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError`] if either side is not linear or the
+    /// operator is not a comparison.
+    pub fn from_term(t: &Term) -> Result<LinearAtom, NonlinearError> {
+        let (op, args) = t.as_app().ok_or(NonlinearError)?;
+        if !op.is_comparison() {
+            return Err(NonlinearError);
+        }
+        let lhs = LinearExpr::from_term(&args[0])?;
+        let rhs = LinearExpr::from_term(&args[1])?;
+        Ok(LinearAtom {
+            expr: lhs.checked_sub(&rhs)?,
+            rel: *op,
+        })
+    }
+
+    /// Converts back into a comparison term against zero.
+    pub fn to_term(&self) -> Term {
+        let lhs = self.expr.to_term();
+        let zero = Term::int(0);
+        match self.rel {
+            Op::Eq => Term::eq(lhs, zero),
+            Op::Le => Term::le(lhs, zero),
+            Op::Lt => Term::lt(lhs, zero),
+            Op::Ge => Term::ge(lhs, zero),
+            Op::Gt => Term::gt(lhs, zero),
+            _ => unreachable!("constructor guarantees a comparison"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Definitions, Env, Value};
+
+    fn x() -> Term {
+        Term::int_var("x")
+    }
+    fn y() -> Term {
+        Term::int_var("y")
+    }
+
+    #[test]
+    fn extracts_simple_forms() {
+        let t = Term::add(Term::scale(2, x()), Term::sub(y(), Term::int(5)));
+        let lin = LinearExpr::from_term(&t).expect("linear");
+        assert_eq!(lin.coeff(Symbol::new("x")), 2);
+        assert_eq!(lin.coeff(Symbol::new("y")), 1);
+        assert_eq!(lin.constant(), -5);
+    }
+
+    #[test]
+    fn cancellation_removes_variables() {
+        let t = Term::app(Op::Sub, vec![Term::app(Op::Add, vec![x(), y()]), x()]);
+        let lin = LinearExpr::from_term(&t).expect("linear");
+        assert_eq!(lin.coeff(Symbol::new("x")), 0);
+        assert_eq!(lin.coeff(Symbol::new("y")), 1);
+    }
+
+    #[test]
+    fn rejects_nonlinear() {
+        assert!(LinearExpr::from_term(&Term::app(Op::Mul, vec![x(), y()])).is_err());
+        assert!(LinearExpr::from_term(&Term::ite(Term::ge(x(), y()), x(), y())).is_err());
+        assert!(LinearExpr::from_term(&Term::apply("f", Sort::Int, vec![x()])).is_err());
+    }
+
+    #[test]
+    fn mul_const_times_linear_both_orders() {
+        let a = LinearExpr::from_term(&Term::app(Op::Mul, vec![Term::int(3), x()])).expect("lin");
+        assert_eq!(a.coeff(Symbol::new("x")), 3);
+        let b = LinearExpr::from_term(&Term::app(Op::Mul, vec![x(), Term::int(3)])).expect("lin");
+        assert_eq!(b.coeff(Symbol::new("x")), 3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let defs = Definitions::new();
+        let t = Term::sub(
+            Term::add(Term::scale(3, x()), Term::int(7)),
+            Term::scale(2, y()),
+        );
+        let lin = LinearExpr::from_term(&t).expect("linear");
+        let back = lin.to_term();
+        for xv in -2..3 {
+            for yv in -2..3 {
+                let env = Env::from_pairs(
+                    &[Symbol::new("x"), Symbol::new("y")],
+                    &[Value::Int(xv), Value::Int(yv)],
+                );
+                assert_eq!(t.eval(&env, &defs), back.eval(&env, &defs));
+            }
+        }
+    }
+
+    #[test]
+    fn atom_normalization() {
+        let t = Term::ge(Term::add(x(), Term::int(1)), y());
+        let atom = LinearAtom::from_term(&t).expect("atom");
+        assert_eq!(atom.rel, Op::Ge);
+        assert_eq!(atom.expr.coeff(Symbol::new("x")), 1);
+        assert_eq!(atom.expr.coeff(Symbol::new("y")), -1);
+        assert_eq!(atom.expr.constant(), 1);
+        assert_eq!(atom.to_term().to_string(), "(>= (+ x (- y) 1) 0)");
+    }
+
+    #[test]
+    fn atom_rejects_connectives() {
+        let t = Term::and([Term::ge(x(), y()), Term::le(x(), y())]);
+        assert!(LinearAtom::from_term(&t).is_err());
+    }
+
+    #[test]
+    fn overflow_is_error_not_panic() {
+        let t = Term::app(
+            Op::Mul,
+            vec![
+                Term::int(i64::MAX),
+                Term::app(Op::Mul, vec![Term::int(2), x()]),
+            ],
+        );
+        assert!(LinearExpr::from_term(&t).is_err());
+    }
+
+    #[test]
+    fn to_term_of_zero() {
+        assert_eq!(LinearExpr::zero().to_term(), Term::int(0));
+        assert_eq!(LinearExpr::konst(-4).to_term(), Term::int(-4));
+    }
+}

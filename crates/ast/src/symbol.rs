@@ -1,0 +1,143 @@
+//! Interned identifiers.
+//!
+//! SyGuS problems mention the same variable and function names many times; we
+//! intern them into small copyable [`Symbol`] handles so that terms can be
+//! compared and hashed cheaply. The interner is a global, append-only table
+//! guarded by a mutex; symbols are never freed.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier (variable, function, or non-terminal name).
+///
+/// Two symbols are equal iff they were interned from the same string.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::Symbol;
+/// let x = Symbol::new("x");
+/// assert_eq!(x, Symbol::new("x"));
+/// assert_ne!(x, Symbol::new("y"));
+/// assert_eq!(x.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    pub fn new(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(int.names.len()).expect("too many symbols");
+        // Leak: the interner is global and lives for the whole process.
+        let stat: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        int.names.push(stat);
+        int.ids.insert(stat, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.names[self.0 as usize]
+    }
+
+    /// Returns a fresh symbol whose name starts with `prefix` and that has
+    /// never been interned before (useful for generated auxiliary functions).
+    pub fn fresh(prefix: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let candidate = format!("{prefix}!{n}");
+            let mut int = interner().lock().expect("symbol interner poisoned");
+            if !int.ids.contains_key(candidate.as_str()) {
+                let id = u32::try_from(int.names.len()).expect("too many symbols");
+                let stat: &'static str = Box::leak(candidate.into_boxed_str());
+                int.names.push(stat);
+                int.ids.insert(stat, id);
+                return Symbol(id);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("hello");
+        let b = Symbol::new("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("a0"), Symbol::new("a1"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = Symbol::fresh("aux");
+        let b = Symbol::fresh("aux");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("aux!"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let s = Symbol::new("max3");
+        assert_eq!(s.to_string(), "max3");
+        assert_eq!(format!("{s:?}"), "Symbol(\"max3\")");
+    }
+
+    #[test]
+    fn fresh_avoids_existing_names() {
+        // Pre-intern a name that collides with the fresh scheme; fresh must skip it.
+        let f = Symbol::fresh("clash");
+        let name = f.as_str().to_owned();
+        assert_eq!(Symbol::new(&name), f);
+        let g = Symbol::fresh("clash");
+        assert_ne!(f, g);
+    }
+}

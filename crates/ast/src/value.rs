@@ -1,0 +1,202 @@
+//! Concrete CLIA values and evaluation environments.
+
+use crate::{Sort, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A concrete CLIA value: an integer or a boolean.
+///
+/// Integers are `i64`; all arithmetic during evaluation is checked, and
+/// overflow surfaces as an [`EvalError`](crate::EvalError) rather than wrapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The sort of this value.
+    pub fn sort(self) -> Sort {
+        match self {
+            Value::Int(_) => Sort::Int,
+            Value::Bool(_) => Sort::Bool,
+        }
+    }
+
+    /// Extracts the integer, if this is an integer value.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Extracts the boolean, if this is a boolean value.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+/// An assignment of values to variables, used when evaluating terms.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_ast::{Env, Symbol, Value};
+/// let mut env = Env::new();
+/// env.bind(Symbol::new("x"), Value::Int(3));
+/// assert_eq!(env.lookup(Symbol::new("x")), Some(Value::Int(3)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    bindings: BTreeMap<Symbol, Value>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Builds an environment from parallel slices of variables and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_pairs(vars: &[Symbol], vals: &[Value]) -> Env {
+        assert_eq!(vars.len(), vals.len(), "vars/vals length mismatch");
+        let mut env = Env::new();
+        for (&v, &val) in vars.iter().zip(vals) {
+            env.bind(v, val);
+        }
+        env
+    }
+
+    /// Binds `var` to `value`, replacing any previous binding.
+    pub fn bind(&mut self, var: Symbol, value: Value) -> Option<Value> {
+        self.bindings.insert(var, value)
+    }
+
+    /// Looks up the value bound to `var`.
+    pub fn lookup(&self, var: Symbol) -> Option<Value> {
+        self.bindings.get(&var).copied()
+    }
+
+    /// Iterates over all bindings in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
+        self.bindings.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Env {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Value)>>(iter: I) -> Env {
+        Env {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Symbol, Value)> for Env {
+    fn extend<I: IntoIterator<Item = (Symbol, Value)>>(&mut self, iter: I) {
+        self.bindings.extend(iter);
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} -> {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_sorts() {
+        assert_eq!(Value::Int(5).sort(), Sort::Int);
+        assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+    }
+
+    #[test]
+    fn value_extractors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn env_bind_lookup() {
+        let mut env = Env::new();
+        let x = Symbol::new("env_x");
+        assert_eq!(env.lookup(x), None);
+        env.bind(x, Value::Int(1));
+        assert_eq!(env.lookup(x), Some(Value::Int(1)));
+        let old = env.bind(x, Value::Int(2));
+        assert_eq!(old, Some(Value::Int(1)));
+        assert_eq!(env.lookup(x), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn env_from_pairs_and_display() {
+        let x = Symbol::new("p0");
+        let y = Symbol::new("p1");
+        let env = Env::from_pairs(&[x, y], &[Value::Int(1), Value::Bool(false)]);
+        assert_eq!(env.len(), 2);
+        assert!(!env.is_empty());
+        let s = env.to_string();
+        assert!(s.contains("p0 -> 1"));
+        assert!(s.contains("p1 -> false"));
+    }
+
+    #[test]
+    fn env_collect() {
+        let x = Symbol::new("c0");
+        let env: Env = vec![(x, Value::Int(9))].into_iter().collect();
+        assert_eq!(env.lookup(x), Some(Value::Int(9)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 7) on the generated benchmark suite.
+//!
+//! Run with: `cargo bench -p bench-harness --bench figures`
+//! Optional: `BENCH_TIMEOUT_SECS=10` (per-problem timeout, default 5),
+//! `BENCH_TRACK=INV|CLIA|General` (restrict tracks),
+//! `BENCH_CSV=path.csv` (dump the raw matrix).
+
+use bench_harness::{
+    fig10_solved_by_track, fig11_fastest_by_track, fig12_cumulative, fig13_times_ascending,
+    fig15_deduction_share, problem_timeout, run_matrix, scatter_pairs, table1_solution_sizes,
+    to_csv, unique_solved,
+};
+use dryadsynth::{
+    Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
+    SygusSolver,
+};
+
+fn main() {
+    let timeout = problem_timeout();
+    let mut suite = sygus_benchmarks::suite();
+    if let Ok(filter) = std::env::var("BENCH_TRACK") {
+        suite.retain(|b| b.track.name().eq_ignore_ascii_case(&filter));
+    }
+    // The full lineup: the competition solvers plus the ablation variants.
+    let solvers: Vec<Box<dyn SygusSolver>> = vec![
+        Box::new(DryadSynth::default()),
+        Box::new(Cvc4Baseline),
+        Box::new(EuSolverBaseline),
+        Box::new(LoopInvGenBaseline),
+        Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::HeightEnumOnly,
+            ..DryadSynthConfig::default()
+        })),
+        Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::DeductionOnly,
+            ..DryadSynthConfig::default()
+        })),
+        Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::BottomUpBacked,
+            ..DryadSynthConfig::default()
+        })),
+    ];
+    eprintln!(
+        "running {} solvers × {} benchmarks (timeout {:?}/problem)…",
+        solvers.len(),
+        suite.len(),
+        timeout
+    );
+    let records = run_matrix(&solvers, &suite, timeout, |r| {
+        eprintln!(
+            "  {:<24} {:<28} {} ({:.2}s)",
+            r.benchmark,
+            r.solver,
+            if r.solved { "solved" } else { "-" },
+            r.seconds
+        );
+    });
+
+    println!("{}", fig10_solved_by_track(&records));
+    println!("{}", fig11_fastest_by_track(&records));
+    println!("{}", fig12_cumulative(&records));
+    println!("{}", fig13_times_ascending(&records));
+    println!("{}", table1_solution_sizes(&records));
+    println!(
+        "[fig14] cooperative vs plain height enumeration\n{}",
+        scatter_pairs(&records, "DryadSynth", "HeightEnum")
+    );
+    println!(
+        "{}",
+        fig15_deduction_share(&records, "Deduction", "DryadSynth")
+    );
+    println!(
+        "[fig16] vanilla vs EUSolver-backed DryadSynth\n{}",
+        scatter_pairs(&records, "DryadSynth", "DryadSynth-EUSolver-backed")
+    );
+    println!(
+        "{}",
+        unique_solved(&records, &["DryadSynth", "CVC4", "EUSolver", "LoopInvGen"])
+    );
+
+    if let Ok(path) = std::env::var("BENCH_CSV") {
+        std::fs::write(&path, to_csv(&records)).expect("write CSV");
+        eprintln!("raw matrix written to {path}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Smoke tests for the evaluation harness: records are produced, solutions
+//! are re-verified, and the figure builders consume real data.
+
+use bench_harness::{fig10_solved_by_track, run_one, to_csv, RunRecord};
+use dryadsynth::DryadSynth;
+use std::time::Duration;
+
+#[test]
+fn run_one_produces_verified_record() {
+    let bench = sygus_benchmarks::max_n(2);
+    let solver = DryadSynth::default();
+    let rec = run_one(&solver, &bench, Duration::from_secs(20));
+    assert_eq!(rec.benchmark, "max2");
+    assert_eq!(rec.solver, "DryadSynth");
+    assert!(rec.solved, "max2 must solve");
+    assert!(rec.size.unwrap_or(0) >= 4, "max2 solutions have ≥ 4 nodes");
+    assert!(rec.seconds < 20.0);
+}
+
+#[test]
+fn figures_consume_real_records() {
+    let solver = DryadSynth::default();
+    let records: Vec<RunRecord> = [
+        sygus_benchmarks::max_n(2),
+        sygus_benchmarks::counter_to(8, 1),
+    ]
+    .iter()
+    .map(|b| run_one(&solver, b, Duration::from_secs(20)))
+    .collect();
+    let fig10 = fig10_solved_by_track(&records);
+    assert!(fig10.contains("DryadSynth"), "{fig10}");
+    let csv = to_csv(&records);
+    assert_eq!(csv.lines().count(), 3);
+}

@@ -1,0 +1,339 @@
+//! CLIA-track benchmark families (analogues of the SyGuS competition's
+//! CLIA track): `max_N`, `array_search_N`, guarded arithmetic, and
+//! multi-invocation relational specs — an easy→hard gradient per family.
+
+use crate::{Benchmark, Track};
+use std::fmt::Write;
+
+/// All CLIA-track benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for n in 2..=8 {
+        out.push(max_n(n));
+    }
+    for n in 2..=7 {
+        out.push(array_search(n));
+    }
+    for (i, c) in [3, 10, 25, 60, 150].into_iter().enumerate() {
+        out.push(guarded_arith(i as u32 + 1, c));
+    }
+    for n in 2..=6 {
+        out.push(clamp(n));
+    }
+    out.push(abs_diff());
+    out.push(sign_fun());
+    for n in 2..=5 {
+        out.push(median_like(n));
+    }
+    out.push(multi_invocation_shift());
+    out.push(multi_invocation_symmetry());
+    for k in 1..=4 {
+        out.push(linear_combination(k));
+    }
+    for k in 2..=5 {
+        out.push(piecewise(k));
+    }
+    for n in 2..=5 {
+        out.push(min_n(n));
+    }
+    out.push(max_of_abs());
+    out.push(tie_breaker());
+    out
+}
+
+/// `min_N`: the dual of `max_N` (exercises LeMin merging).
+pub fn min_n(n: usize) -> Benchmark {
+    let vars: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+    let params: Vec<String> = vars.iter().map(|v| format!("({v} Int)")).collect();
+    let mut src = String::new();
+    let _ = writeln!(src, "(set-logic LIA)");
+    let _ = writeln!(src, "(synth-fun min{n} ({}) Int)", params.join(" "));
+    for v in &vars {
+        let _ = writeln!(src, "(declare-var {v} Int)");
+    }
+    let app = format!("(min{n} {})", vars.join(" "));
+    for v in &vars {
+        let _ = writeln!(src, "(constraint (<= {app} {v}))");
+    }
+    let eqs: Vec<String> = vars.iter().map(|v| format!("(= {app} {v})")).collect();
+    let mut member = eqs.last().expect("nonempty").clone();
+    for e in eqs.iter().rev().skip(1) {
+        member = format!("(or {e} {member})");
+    }
+    let _ = writeln!(src, "(constraint {member})");
+    let _ = writeln!(src, "(check-synth)");
+    Benchmark::new(format!("min{n}"), Track::Clia, src, n as u32)
+}
+
+/// Reference implementation `f = k·x − (k−1)·y` (pure linear synthesis with
+/// growing coefficients; exercises the coefficient-bound ladder).
+pub fn linear_combination(k: i64) -> Benchmark {
+    let src = format!(
+        "(set-logic LIA)
+         (synth-fun f ((x Int) (y Int)) Int)
+         (declare-var x Int)
+         (declare-var y Int)
+         (constraint (= (f x y) (- (* {k} x) (* {} y))))
+         (check-synth)
+",
+        k - 1
+    );
+    Benchmark::new(format!("linear_comb_{k}"), Track::Clia, src, k as u32)
+}
+
+/// A k-piece staircase: nested conditionals of increasing depth.
+pub fn piecewise(k: usize) -> Benchmark {
+    // f(x) = i for x in [10i, 10(i+1)), clamped to [0, k].
+    let mut body = format!("{k}");
+    for i in (0..k).rev() {
+        body = format!("(ite (< x {}) {} {})", (i as i64 + 1) * 10, i, body);
+    }
+    let src = format!(
+        "(set-logic LIA)
+         (synth-fun stair ((x Int)) Int)
+         (declare-var x Int)
+         (constraint (=> (>= x 0) (= (stair x) {body})))
+         (check-synth)
+"
+    );
+    Benchmark::new(format!("staircase_{k}"), Track::Clia, src, k as u32 + 1)
+}
+
+/// max(|x|, |y|) via constraints.
+pub fn max_of_abs() -> Benchmark {
+    let src = "(set-logic LIA)
+         (synth-fun ma ((x Int) (y Int)) Int)
+         (declare-var x Int)
+         (declare-var y Int)
+         (constraint (>= (ma x y) x))
+         (constraint (>= (ma x y) (- x)))
+         (constraint (>= (ma x y) y))
+         (constraint (>= (ma x y) (- y)))
+         (constraint (or (= (ma x y) x) (or (= (ma x y) (- x)) (or (= (ma x y) y) (= (ma x y) (- y))))))
+         (check-synth)
+"
+        .to_owned();
+    Benchmark::new("max_of_abs".to_owned(), Track::Clia, src, 4)
+}
+
+/// Ordered selection with a tie-break: pick x when x > y, else y + 1 when
+/// equal, else y (three regimes, reference form).
+pub fn tie_breaker() -> Benchmark {
+    let src = "(set-logic LIA)
+         (synth-fun tb ((x Int) (y Int)) Int)
+         (declare-var x Int)
+         (declare-var y Int)
+         (constraint (= (tb x y) (ite (> x y) x (ite (= x y) (+ y 1) y))))
+         (check-synth)
+"
+    .to_owned();
+    Benchmark::new("tie_breaker".to_owned(), Track::Clia, src, 3)
+}
+
+/// `max_N`: the classic N-ary maximum (single-invocation; deduction-
+/// friendly).
+pub fn max_n(n: usize) -> Benchmark {
+    let vars: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+    let params: Vec<String> = vars.iter().map(|v| format!("({v} Int)")).collect();
+    let mut src = String::new();
+    let _ = writeln!(src, "(set-logic LIA)");
+    let _ = writeln!(src, "(synth-fun max{n} ({}) Int)", params.join(" "));
+    for v in &vars {
+        let _ = writeln!(src, "(declare-var {v} Int)");
+    }
+    let app = format!("(max{n} {})", vars.join(" "));
+    for v in &vars {
+        let _ = writeln!(src, "(constraint (>= {app} {v}))");
+    }
+    let eqs: Vec<String> = vars.iter().map(|v| format!("(= {app} {v})")).collect();
+    let mut member = eqs.last().expect("nonempty").clone();
+    for e in eqs.iter().rev().skip(1) {
+        member = format!("(or {e} {member})");
+    }
+    let _ = writeln!(src, "(constraint {member})");
+    let _ = writeln!(src, "(check-synth)");
+    Benchmark::new(format!("max{n}"), Track::Clia, src, n as u32)
+}
+
+/// `array_search_N`: index of the key in a sorted N-array (the competition
+/// classic).
+pub fn array_search(n: usize) -> Benchmark {
+    let vars: Vec<String> = (1..=n).map(|i| format!("y{i}")).collect();
+    let mut params: Vec<String> = vars.iter().map(|v| format!("({v} Int)")).collect();
+    params.push("(k Int)".to_owned());
+    let mut src = String::new();
+    let _ = writeln!(src, "(set-logic LIA)");
+    let _ = writeln!(src, "(synth-fun findIdx ({}) Int)", params.join(" "));
+    for v in &vars {
+        let _ = writeln!(src, "(declare-var {v} Int)");
+    }
+    let _ = writeln!(src, "(declare-var k Int)");
+    let app = format!("(findIdx {} k)", vars.join(" "));
+    // Sortedness hypothesis guards every constraint.
+    let sorted: Vec<String> = vars
+        .windows(2)
+        .map(|w| format!("(< {} {})", w[0], w[1]))
+        .collect();
+    let sorted = if sorted.len() == 1 {
+        sorted[0].clone()
+    } else {
+        format!("(and {})", sorted.join(" "))
+    };
+    let _ = writeln!(
+        src,
+        "(constraint (=> {sorted} (=> (< k {}) (= {app} 0))))",
+        vars[0]
+    );
+    let _ = writeln!(
+        src,
+        "(constraint (=> {sorted} (=> (> k {}) (= {app} {n}))))",
+        vars[n - 1]
+    );
+    for i in 0..n - 1 {
+        let _ = writeln!(
+            src,
+            "(constraint (=> {sorted} (=> (and (> k {}) (< k {})) (= {app} {}))))",
+            vars[i],
+            vars[i + 1],
+            i + 1
+        );
+    }
+    let _ = writeln!(src, "(check-synth)");
+    Benchmark::new(format!("array_search_{n}"), Track::Clia, src, n as u32 + 1)
+}
+
+/// Guarded arithmetic with a reference implementation (subterm-divisible).
+pub fn guarded_arith(tier: u32, c: i64) -> Benchmark {
+    let src = format!(
+        "(set-logic LIA)\n\
+         (synth-fun f ((x Int) (y Int)) Int)\n\
+         (declare-var x Int)\n\
+         (declare-var y Int)\n\
+         (constraint (= (f x y) (ite (>= (+ x y) {c}) (- x y) (+ (+ x y) {c}))))\n\
+         (check-synth)\n"
+    );
+    Benchmark::new(format!("guarded_arith_{c}"), Track::Clia, src, tier + 1)
+}
+
+/// `clamp_N`: clamp x into `[0, N·10]` (nested conditionals).
+pub fn clamp(n: usize) -> Benchmark {
+    let hi = (n * 10) as i64;
+    let src = format!(
+        "(set-logic LIA)\n\
+         (synth-fun clamp ((x Int)) Int)\n\
+         (declare-var x Int)\n\
+         (constraint (= (clamp x) (ite (< x 0) 0 (ite (> x {hi}) {hi} x))))\n\
+         (check-synth)\n"
+    );
+    Benchmark::new(format!("clamp_{hi}"), Track::Clia, src, n as u32)
+}
+
+/// Absolute difference via constraints (not a reference implementation).
+pub fn abs_diff() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun ad ((x Int) (y Int)) Int)\n\
+         (declare-var x Int)\n\
+         (declare-var y Int)\n\
+         (constraint (>= (ad x y) (- x y)))\n\
+         (constraint (>= (ad x y) (- y x)))\n\
+         (constraint (or (= (ad x y) (- x y)) (= (ad x y) (- y x))))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("abs_diff".to_owned(), Track::Clia, src, 2)
+}
+
+/// Three-way sign function (needs a height-3 tree).
+pub fn sign_fun() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun sg ((x Int)) Int)\n\
+         (declare-var x Int)\n\
+         (constraint (= (sg x) (ite (> x 0) 1 (ite (< x 0) (- 1) 0))))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("sign".to_owned(), Track::Clia, src, 3)
+}
+
+/// A "median-like" selection: the middle of bounds constraints.
+pub fn median_like(n: usize) -> Benchmark {
+    // f(x, y) between min and max with membership — for n vars, pick the
+    // second-largest style spec on 2 vars scaled by tier.
+    let lo = -(n as i64);
+    let hi = n as i64 * 7;
+    let src = format!(
+        "(set-logic LIA)\n\
+         (synth-fun med ((x Int) (y Int)) Int)\n\
+         (declare-var x Int)\n\
+         (declare-var y Int)\n\
+         (constraint (= (med x y) (ite (>= x y) (ite (>= y {lo}) y {lo}) (ite (>= x {hi}) {hi} x))))\n\
+         (check-synth)\n"
+    );
+    Benchmark::new(format!("mid_select_{n}"), Track::Clia, src, n as u32 + 1)
+}
+
+/// A multi-invocation relational spec: `f(x+1) = f(x) + 1 ∧ f(0) = 0`
+/// over a window (defeats single-invocation deduction; enumeration or
+/// fixed-term division territory).
+pub fn multi_invocation_shift() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun f ((x Int)) Int)\n\
+         (declare-var x Int)\n\
+         (constraint (= (f (+ x 1)) (+ (f x) 1)))\n\
+         (constraint (= (f 0) 0))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("shift_equation".to_owned(), Track::Clia, src, 4)
+}
+
+/// Symmetric multi-invocation: `f(a) = f(b)` forces a constant.
+pub fn multi_invocation_symmetry() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun f ((x Int)) Int)\n\
+         (declare-var a Int)\n\
+         (declare-var b Int)\n\
+         (constraint (= (f a) (f b)))\n\
+         (constraint (>= (f a) 3))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("symmetric_constant".to_owned(), Track::Clia, src, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parse() {
+        for b in benchmarks() {
+            let p = b.problem();
+            assert!(!p.constraints.is_empty(), "{} has no constraints", b.name);
+        }
+    }
+
+    #[test]
+    fn family_counts() {
+        let all = benchmarks();
+        assert!(all.len() >= 18, "got {}", all.len());
+        assert!(all.iter().all(|b| b.track == Track::Clia));
+        // names unique
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn max3_structure() {
+        let b = max_n(3);
+        let p = b.problem();
+        assert_eq!(p.synth_fun.params.len(), 3);
+        assert_eq!(p.constraints.len(), 4);
+    }
+
+    #[test]
+    fn array_search_guards_sortedness() {
+        let b = array_search(3);
+        assert!(b.source.contains("(< y1 y2)"));
+        let p = b.problem();
+        assert_eq!(p.synth_fun.params.len(), 4);
+    }
+}

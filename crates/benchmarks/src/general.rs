@@ -1,0 +1,311 @@
+//! General-track benchmark families: arbitrary user grammars — the paper's
+//! `qm` normal form, macro-operator grammars (`double`/`half`-style),
+//! constant-restricted grammars, and no-`ite` grammars that force
+//! arithmetic encodings of conditionals.
+
+use crate::{Benchmark, Track};
+use std::fmt::Write;
+
+/// All General-track benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    out.push(qm_max(2));
+    out.push(qm_max(3));
+    out.push(qm_max(4));
+    out.push(qm_abs());
+    out.push(qm_relu());
+    out.push(qm_clip());
+    for n in 1..=5 {
+        out.push(double_chain(n));
+    }
+    out.push(no_constants_identity_shift());
+    out.push(small_constants_line());
+    for k in [3usize, 5, 7] {
+        out.push(plus_only_scaling(k));
+    }
+    out.push(ite_free_max2_spec());
+    out.push(restricted_condition_grammar());
+    out.push(qm_reference_large());
+    for c in [3i64, 12, 40] {
+        out.push(constant_hole_offset(c));
+    }
+    out.push(qm_min2());
+    out.push(half_grammar(2));
+    out.push(half_grammar(3));
+    out.push(sub_only_negation());
+    out.push(qm_second_max3());
+    out
+}
+
+/// Constant-hole grammar: the line `x + c` with `(Constant Int)` (exercises
+/// the symbolic selector encoding's constant unknowns).
+pub fn constant_hole_offset(c: i64) -> Benchmark {
+    let src = format!(
+        "(set-logic LIA)
+         (synth-fun f ((x Int)) Int ((S Int (x (Constant Int) (+ S S) (- S S)))))
+         (declare-var x Int)
+         (constraint (= (f x) (+ x {c})))
+         (check-synth)
+"
+    );
+    Benchmark::new(format!("constant_hole_{c}"), Track::General, src, 2)
+}
+
+/// min2 in the qm grammar: `y - qm(y - x, 0)`-style arithmetic.
+pub fn qm_min2() -> Benchmark {
+    let src = "(set-logic LIA)
+         (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+         (synth-fun f ((a Int) (b Int)) Int ((S Int (a b 0 1 (+ S S) (- S S) (qm S S)))))
+         (declare-var a Int)
+         (declare-var b Int)
+         (constraint (= (f a b) (ite (<= a b) a b)))
+         (check-synth)
+"
+    .to_owned();
+    Benchmark::new("qm_min2".to_owned(), Track::General, src, 3)
+}
+
+/// `half` macro grammar: reach `x` from `2^n·x` using halving.
+pub fn half_grammar(n: usize) -> Benchmark {
+    // f(x) = x via n halvings of (2^n)x — here the grammar offers addition
+    // and the macro; the target is (2^n − 1)·x expressed as repeated
+    // doubling sums.
+    let mut rhs = "x".to_owned();
+    for _ in 0..n {
+        rhs = format!("(+ {rhs} {rhs})");
+    }
+    let src = format!(
+        "(set-logic LIA)
+         (define-fun twice ((a Int)) Int (+ a a))
+         (synth-fun f ((x Int)) Int ((S Int (x (twice S) (+ S S)))))
+         (declare-var x Int)
+         (constraint (= (f x) {rhs}))
+         (check-synth)
+"
+    );
+    Benchmark::new(format!("twice_grammar_{n}"), Track::General, src, n as u32)
+}
+
+/// Subtraction-only grammar: negation must be built as `0 − x`… without a
+/// zero constant: `(- x x)` first.
+pub fn sub_only_negation() -> Benchmark {
+    let src = "(set-logic LIA)
+         (synth-fun f ((x Int)) Int ((S Int (x (- S S)))))
+         (declare-var x Int)
+         (constraint (= (f x) (- 0 x)))
+         (check-synth)
+"
+    .to_owned();
+    Benchmark::new("sub_only_negation".to_owned(), Track::General, src, 2)
+}
+
+/// Second-largest of three in the qm grammar (height-heavy target).
+pub fn qm_second_max3() -> Benchmark {
+    let src = "(set-logic LIA)
+         (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+         (synth-fun f ((a Int) (b Int) (c Int)) Int ((S Int (a b c 0 1 (+ S S) (- S S) (qm S S)))))
+         (declare-var a Int)
+         (declare-var b Int)
+         (declare-var c Int)
+         (constraint (= (f a b c)
+            (ite (>= a b)
+                 (ite (>= b c) b (ite (>= a c) c a))
+                 (ite (>= a c) a (ite (>= b c) c b)))))
+         (check-synth)
+"
+    .to_owned();
+    Benchmark::new("qm_second_max3".to_owned(), Track::General, src, 6)
+}
+
+fn qm_grammar_problem(name: &str, n_vars: usize, constraint: &str, tier: u32) -> Benchmark {
+    let vars: Vec<String> = (0..n_vars).map(|i| format!("v{i}")).collect();
+    let params: Vec<String> = vars.iter().map(|v| format!("({v} Int)")).collect();
+    let mut src = String::new();
+    let _ = writeln!(src, "(set-logic LIA)");
+    let _ = writeln!(
+        src,
+        "(define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))"
+    );
+    let _ = writeln!(
+        src,
+        "(synth-fun f ({}) Int\n    ((S Int ({} 0 1 (+ S S) (- S S) (qm S S)))))",
+        params.join(" "),
+        vars.join(" ")
+    );
+    for v in &vars {
+        let _ = writeln!(src, "(declare-var {v} Int)");
+    }
+    let _ = writeln!(src, "(constraint {constraint})");
+    let _ = writeln!(src, "(check-synth)");
+    Benchmark::new(name.to_owned(), Track::General, src, tier)
+}
+
+/// `max_N` over the paper's qm-normal-form grammar (Example 2.12 for N=3).
+pub fn qm_max(n: usize) -> Benchmark {
+    let vars: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let app = format!("(f {})", vars.join(" "));
+    // Reference implementation as a nested ite over the declared vars.
+    let mut reference = vars[n - 1].clone();
+    for v in vars.iter().rev().skip(1) {
+        reference = format!("(ite (>= {v} {reference}) {v} {reference})");
+    }
+    qm_grammar_problem(
+        &format!("qm_max{n}"),
+        n,
+        &format!("(= {app} {reference})"),
+        n as u32 + 1,
+    )
+}
+
+/// Absolute value in the qm grammar: `|v|` = qm arithmetic.
+pub fn qm_abs() -> Benchmark {
+    qm_grammar_problem("qm_abs", 1, "(= (f v0) (ite (>= v0 0) v0 (- 0 v0)))", 2)
+}
+
+/// ReLU (max with zero) in the qm grammar — qm(x, 0) directly.
+pub fn qm_relu() -> Benchmark {
+    qm_grammar_problem("qm_relu", 1, "(= (f v0) (ite (>= v0 0) v0 0))", 1)
+}
+
+/// Clip below at 1.
+pub fn qm_clip() -> Benchmark {
+    qm_grammar_problem("qm_clip_low", 1, "(= (f v0) (ite (>= v0 1) v0 1))", 2)
+}
+
+/// Chained doubling macros: `f(x) = 2^n·x` with only `double` available —
+/// the Match rule's home turf.
+pub fn double_chain(n: usize) -> Benchmark {
+    let mut rhs = "v0".to_owned();
+    for _ in 0..n {
+        rhs = format!("(+ {rhs} {rhs})");
+    }
+    let src = format!(
+        "(set-logic LIA)\n\
+         (define-fun double ((a Int)) Int (+ a a))\n\
+         (synth-fun f ((v0 Int)) Int ((S Int (v0 (double S)))))\n\
+         (declare-var v0 Int)\n\
+         (constraint (= (f v0) {rhs}))\n\
+         (check-synth)\n"
+    );
+    Benchmark::new(format!("double_chain_{n}"), Track::General, src, n as u32)
+}
+
+/// A grammar with no constants at all: only variable arithmetic.
+pub fn no_constants_identity_shift() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun f ((a Int) (b Int)) Int ((S Int (a b (+ S S) (- S S)))))\n\
+         (declare-var a Int)\n\
+         (declare-var b Int)\n\
+         (constraint (= (f a b) (- (+ a a) b)))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("no_constants_affine".to_owned(), Track::General, src, 2)
+}
+
+/// Constants restricted to `(Constant Int)` with a line target.
+pub fn small_constants_line() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun f ((x Int)) Int ((S Int (x (Constant Int) (+ S S) (- S S)))))\n\
+         (declare-var x Int)\n\
+         (constraint (= (f x) (+ x 7)))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("constant_line_7".to_owned(), Track::General, src, 1)
+}
+
+/// Plus-only grammar: `f(x) = k·x` requires a balanced addition tree.
+pub fn plus_only_scaling(k: usize) -> Benchmark {
+    let mut rhs = "x".to_owned();
+    for _ in 1..k {
+        rhs = format!("(+ x {rhs})");
+    }
+    let src = format!(
+        "(set-logic LIA)\n\
+         (synth-fun f ((x Int)) Int ((S Int (x (+ S S)))))\n\
+         (declare-var x Int)\n\
+         (constraint (= (f x) {rhs}))\n\
+         (check-synth)\n"
+    );
+    Benchmark::new(format!("plus_only_x{k}"), Track::General, src, k as u32)
+}
+
+/// max2 semantics demanded from a grammar with qm but no ite (Example 2.12
+/// spirit with constraint-style spec).
+pub fn ite_free_max2_spec() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))\n\
+         (synth-fun f ((a Int) (b Int)) Int ((S Int (a b 0 1 (+ S S) (- S S) (qm S S)))))\n\
+         (declare-var a Int)\n\
+         (declare-var b Int)\n\
+         (constraint (>= (f a b) a))\n\
+         (constraint (>= (f a b) b))\n\
+         (constraint (or (= (f a b) a) (= (f a b) b)))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("qm_max2_constraints".to_owned(), Track::General, src, 3)
+}
+
+/// Boolean grammar restricted to one comparison shape.
+pub fn restricted_condition_grammar() -> Benchmark {
+    let src = "(set-logic LIA)\n\
+         (synth-fun p ((x Int)) Bool ((B Bool ((>= x (Constant Int)) (not B)))))\n\
+         (declare-var x Int)\n\
+         (constraint (= (p x) (< x 5)))\n\
+         (check-synth)\n"
+        .to_owned();
+    Benchmark::new("restricted_condition".to_owned(), Track::General, src, 2)
+}
+
+/// A large qm reference implementation (height-6-style; the Example 2.2
+/// solution shape).
+pub fn qm_reference_large() -> Benchmark {
+    qm_grammar_problem(
+        "qm_nested_reference",
+        3,
+        "(= (f v0 v1 v2) (+ v2 (qm (+ (- v0 v2) (qm (- v1 v0) 0)) 0)))",
+        5,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_ast::GrammarFlavor;
+
+    #[test]
+    fn all_parse_with_custom_grammars() {
+        for b in benchmarks() {
+            let p = b.problem();
+            assert_eq!(
+                p.synth_fun.grammar.flavor(),
+                GrammarFlavor::Custom,
+                "{} should have a custom grammar",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let all = benchmarks();
+        assert!(all.len() >= 14, "got {}", all.len());
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn qm_max3_matches_paper_example() {
+        let b = qm_max(3);
+        let p = b.problem();
+        assert!(p.definitions.contains(sygus_ast::Symbol::new("qm")));
+        assert_eq!(p.synth_fun.grammar.nonterminal(0).productions.len(), 8);
+    }
+
+    #[test]
+    fn double_chain_grammar_minimal() {
+        let p = double_chain(2).problem();
+        assert_eq!(p.synth_fun.grammar.nonterminal(0).productions.len(), 2);
+    }
+}

@@ -1,0 +1,374 @@
+//! INV-track benchmark families: loop-invariant synthesis problems over
+//! linear transition systems — counters, races, sums, conditional updates,
+//! and multi-variable translations (the last exercising the loop
+//! summarizer).
+
+use crate::{Benchmark, Track};
+
+fn inv_problem(
+    name: &str,
+    vars: &[&str],
+    pre: &str,
+    trans: &str,
+    post: &str,
+    tier: u32,
+) -> Benchmark {
+    let params: Vec<String> = vars.iter().map(|v| format!("({v} Int)")).collect();
+    let primed: Vec<String> = vars.iter().map(|v| format!("({v}! Int)")).collect();
+    let src = format!(
+        "(set-logic LIA)\n\
+         (synth-inv inv ({params}))\n\
+         (define-fun pre ({params}) Bool {pre})\n\
+         (define-fun trans ({params} {primed}) Bool {trans})\n\
+         (define-fun post ({params}) Bool {post})\n\
+         (inv-constraint inv pre trans post)\n\
+         (check-synth)\n",
+        params = params.join(" "),
+        primed = primed.join(" "),
+    );
+    Benchmark::new(name.to_owned(), Track::Inv, src, tier)
+}
+
+/// All INV-track benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for (tier, bound) in [8i64, 16, 64, 100, 256, 1000].into_iter().enumerate() {
+        out.push(counter_to(bound, tier as u32 + 1));
+    }
+    for (tier, bound) in [10i64, 50, 200].into_iter().enumerate() {
+        out.push(countdown(bound, tier as u32 + 1));
+    }
+    out.push(two_counters());
+    out.push(chase());
+    out.push(sum_accumulator());
+    out.push(even_keeper());
+    out.push(cond_update());
+    out.push(two_phase());
+    out.push(translation_pair());
+    out.push(bounded_difference());
+    out.push(nonneg_product_proxy());
+    out.push(stay_in_box());
+    for (tier, step) in [1i64, 3, 7].into_iter().enumerate() {
+        out.push(strided_walk(step, tier as u32 + 1));
+    }
+    out.push(three_vars_conserved());
+    out.push(guarded_pair_walk());
+    out.push(widening_gap());
+    out.push(drifting_bounds());
+    out.push(reset_loop());
+    out.push(mirrored_counters());
+    out.push(disjunctive_islands());
+    out.push(phase_split());
+    out.push(jump_or_walk());
+    out
+}
+
+/// Two disconnected islands: x stays at 0 or at 10 (no conjunctive
+/// octagonal invariant separates the gap).
+pub fn disjunctive_islands() -> Benchmark {
+    inv_problem(
+        "disjunctive_islands",
+        &["x"],
+        "(or (= x 0) (= x 10))",
+        "(= x! x)",
+        "(not (= x 5))",
+        4,
+    )
+}
+
+/// A mode flag selects the sign regime: needs `(p ≤ 0 ∧ x ≥ 0) ∨ (p ≥ 1 ∧
+/// x ≤ 0)`-style disjunction.
+pub fn phase_split() -> Benchmark {
+    inv_problem(
+        "phase_split",
+        &["p", "x"],
+        "(or (and (= p 0) (= x 0)) (and (= p 1) (= x 0)))",
+        "(and (= p! p) (= x! (ite (= p 0) (+ x 1) (- x 1))))",
+        "(or (and (= p 0) (>= x 0)) (and (= p 1) (<= x 0)))",
+        4,
+    )
+}
+
+/// Start low and walk, or start at the target: the invariant is a band plus
+/// an isolated point.
+pub fn jump_or_walk() -> Benchmark {
+    inv_problem(
+        "jump_or_walk",
+        &["x"],
+        "(or (= x 0) (= x 100))",
+        "(= x! (ite (< x 50) (+ x 1) x))",
+        "(or (<= x 50) (= x 100))",
+        4,
+    )
+}
+
+/// Walk with stride `step` alongside a unit pivot (summarizable).
+pub fn strided_walk(step: i64, tier: u32) -> Benchmark {
+    inv_problem(
+        &format!("strided_walk_{step}"),
+        &["i", "s"],
+        "(and (= i 0) (= s 0))",
+        &format!("(and (= i! (+ i 1)) (= s! (+ s {step})))"),
+        &format!("(= s (* {step} i))"),
+        tier,
+    )
+}
+
+/// A conserved quantity over three variables: x + y + z is invariant.
+pub fn three_vars_conserved() -> Benchmark {
+    inv_problem(
+        "three_vars_conserved",
+        &["x", "y", "z"],
+        "(and (= x 3) (and (= y 4) (= z 5)))",
+        "(and (= x! (+ x 1)) (and (= y! (- y 1)) (= z! z)))",
+        "(= (+ (+ x y) z) 12)",
+        3,
+    )
+}
+
+/// Guarded simultaneous walk of two variables.
+pub fn guarded_pair_walk() -> Benchmark {
+    inv_problem(
+        "guarded_pair_walk",
+        &["a", "b"],
+        "(and (= a 0) (= b 0))",
+        "(and (= a! (ite (< a 20) (+ a 1) a)) (= b! (ite (< a 20) (+ b 1) b)))",
+        "(= a b)",
+        3,
+    )
+}
+
+/// The gap between two counters widens monotonically.
+pub fn widening_gap() -> Benchmark {
+    inv_problem(
+        "widening_gap",
+        &["x", "y"],
+        "(and (= x 0) (= y 0))",
+        "(and (= x! (+ x 2)) (= y! (+ y 1)))",
+        "(>= x y)",
+        2,
+    )
+}
+
+/// Bounds that drift together: x stays within [low, low + 5].
+pub fn drifting_bounds() -> Benchmark {
+    inv_problem(
+        "drifting_bounds",
+        &["x", "low"],
+        "(and (= x 2) (= low 0))",
+        "(and (= x! (+ x 1)) (= low! (+ low 1)))",
+        "(and (>= x low) (<= x (+ low 5)))",
+        3,
+    )
+}
+
+/// A loop that saturates rather than resets (kept linear; disjunctive
+/// invariant territory, hard for conjunctive engines).
+pub fn reset_loop() -> Benchmark {
+    inv_problem(
+        "saturating_loop",
+        &["x"],
+        "(= x 0)",
+        "(= x! (ite (< x 5) (+ x 1) 5))",
+        "(and (>= x 0) (<= x 5))",
+        4,
+    )
+}
+
+/// Mirrored counters: y runs opposite to x around 100.
+pub fn mirrored_counters() -> Benchmark {
+    inv_problem(
+        "mirrored_counters",
+        &["x", "y"],
+        "(and (= x 0) (= y 100))",
+        "(and (= x! (ite (< x 100) (+ x 1) x)) (= y! (ite (< x 100) (- y 1) y)))",
+        "(= (+ x y) 100)",
+        3,
+    )
+}
+
+/// `x := 0; while (x < B) x++;  assert x == B` at exit.
+pub fn counter_to(bound: i64, tier: u32) -> Benchmark {
+    inv_problem(
+        &format!("counter_to_{bound}"),
+        &["x"],
+        "(= x 0)",
+        &format!("(= x! (ite (< x {bound}) (+ x 1) x))"),
+        &format!("(=> (not (< x {bound})) (= x {bound}))"),
+        tier,
+    )
+}
+
+/// Counting down to zero stays non-negative.
+pub fn countdown(start: i64, tier: u32) -> Benchmark {
+    inv_problem(
+        &format!("countdown_{start}"),
+        &["x"],
+        &format!("(= x {start})"),
+        "(= x! (ite (> x 0) (- x 1) x))",
+        "(>= x 0)",
+        tier,
+    )
+}
+
+/// Two counters in lockstep: `y` stays the double of `x`.
+pub fn two_counters() -> Benchmark {
+    inv_problem(
+        "two_counters_double",
+        &["x", "y"],
+        "(and (= x 0) (= y 0))",
+        "(and (= x! (+ x 1)) (= y! (+ y 2)))",
+        "(= y (+ x x))",
+        2,
+    )
+}
+
+/// A chase: `x` approaches `y` from below and never overtakes.
+pub fn chase() -> Benchmark {
+    inv_problem(
+        "chase_no_overtake",
+        &["x", "y"],
+        "(and (= x 0) (= y 100))",
+        "(and (= x! (ite (< x y) (+ x 1) x)) (= y! y))",
+        "(<= x y)",
+        2,
+    )
+}
+
+/// Accumulating non-negative steps keeps the sum non-negative.
+pub fn sum_accumulator() -> Benchmark {
+    inv_problem(
+        "sum_nonneg",
+        &["s", "i"],
+        "(and (= s 0) (= i 0))",
+        "(and (= s! (+ s i)) (= i! (+ i 1)))",
+        "(>= s 0)",
+        3,
+    )
+}
+
+/// Parity-style: x increases by 2, stays even-representable via bounds
+/// (kept linear: x ≥ 0 suffices for the post).
+pub fn even_keeper() -> Benchmark {
+    inv_problem(
+        "even_keeper",
+        &["x"],
+        "(= x 0)",
+        "(= x! (+ x 2))",
+        "(>= x 0)",
+        1,
+    )
+}
+
+/// A conditional update with two regimes.
+pub fn cond_update() -> Benchmark {
+    inv_problem(
+        "cond_update",
+        &["x", "y"],
+        "(and (= x 0) (= y 50))",
+        "(and (= x! (ite (< x 50) (+ x 1) x)) (= y! (ite (< x 50) (- y 1) y)))",
+        "(>= (+ x y) 50)",
+        3,
+    )
+}
+
+/// A two-phase loop (classic disjunctive-invariant trap for conjunctive
+/// engines; DryadSynth's weaker-spec division shines here).
+pub fn two_phase() -> Benchmark {
+    inv_problem(
+        "two_phase",
+        &["x", "p"],
+        "(and (= x 0) (= p 0))",
+        "(and (= x! (ite (= p 0) (+ x 1) (- x 1))) (= p! p))",
+        "(=> (= p 0) (>= x 0))",
+        4,
+    )
+}
+
+/// An unguarded multi-variable translation (loop summarization applies).
+pub fn translation_pair() -> Benchmark {
+    inv_problem(
+        "translation_pair",
+        &["a", "b"],
+        "(and (= a 0) (= b 5))",
+        "(and (= a! (+ a 1)) (= b! (+ b 3)))",
+        "(>= b (+ a 5))",
+        2,
+    )
+}
+
+/// Difference of two counters stays bounded.
+pub fn bounded_difference() -> Benchmark {
+    inv_problem(
+        "bounded_difference",
+        &["x", "y"],
+        "(and (= x 0) (= y 3))",
+        "(and (= x! (+ x 1)) (= y! (+ y 1)))",
+        "(= (- y x) 3)",
+        2,
+    )
+}
+
+/// Sign-tracking proxy (products stay linear by construction).
+pub fn nonneg_product_proxy() -> Benchmark {
+    inv_problem(
+        "nonneg_proxy",
+        &["x", "s"],
+        "(and (>= x 1) (= s x))",
+        "(and (= x! x) (= s! (+ s x)))",
+        "(>= s 1)",
+        3,
+    )
+}
+
+/// Stay inside a box with a guarded walk.
+pub fn stay_in_box() -> Benchmark {
+    inv_problem(
+        "stay_in_box",
+        &["x"],
+        "(and (>= x 2) (<= x 4))",
+        "(= x! (ite (< x 10) (+ x 1) x))",
+        "(<= x 10)",
+        2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_parse_as_inv() {
+        for b in benchmarks() {
+            let p = b.problem();
+            assert!(p.inv.is_some(), "{} lost its INV structure", b.name);
+            assert_eq!(p.constraints.len(), 3, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn names_unique_and_track_tagged() {
+        let all = benchmarks();
+        assert!(all.len() >= 14, "got {}", all.len());
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(all.iter().all(|b| b.track == Track::Inv));
+    }
+
+    #[test]
+    fn counter_structure() {
+        let b = counter_to(100, 1);
+        let p = b.problem();
+        assert_eq!(p.synth_fun.ret, sygus_ast::Sort::Bool);
+        assert_eq!(p.declared_vars.len(), 2); // x, x!
+    }
+
+    #[test]
+    fn translational_benchmarks_are_recognized() {
+        // At least the translation_pair family must be summarizable.
+        let p = translation_pair().problem();
+        assert!(dryadsynth::recognize_translation(&p).is_some());
+    }
+}

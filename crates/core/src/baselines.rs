@@ -1,0 +1,491 @@
+//! Reimplemented baseline analogues for the paper's comparison:
+//!
+//! * [`CegqiSolver`] — the CVC4 comparison point: counterexample-guided
+//!   quantifier instantiation for *single-invocation* specifications
+//!   (Reynolds et al., CAV 2015). Output terms are drawn from the
+//!   specification itself and stitched together with an ite decision tree;
+//!   invariant problems are delegated to the data-driven conjunctive
+//!   engine, mirroring CVC4's specialized INV strategy.
+//! * [`HoudiniInvSolver`] — the LoopInvGen comparison point: data-driven
+//!   conjunctive invariant inference over an octagonal candidate domain
+//!   with counterexample-guided weakening (Houdini-style).
+
+use crate::SynthOutcome;
+use enum_synth::{counterexample_env, is_pointwise, learn_decision_tree, CoveredTerm};
+use smtkit::{SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
+use std::collections::BTreeSet;
+use std::time::Instant;
+use sygus_ast::{
+    conjuncts, simplify, Definitions, Env, FuncDef, Op, Problem, Sort, Symbol, Term, Value,
+};
+
+/// Configuration shared by the baselines.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineConfig {
+    /// Absolute deadline.
+    pub deadline: Option<Instant>,
+}
+
+/// The CVC4-analogue solver (single-invocation CEGQI).
+#[derive(Clone, Debug, Default)]
+pub struct CegqiSolver {
+    config: BaselineConfig,
+}
+
+impl CegqiSolver {
+    /// Creates the solver.
+    pub fn new(config: BaselineConfig) -> CegqiSolver {
+        CegqiSolver { config }
+    }
+
+    fn smt(&self) -> SmtSolver {
+        SmtSolver::with_config(SmtConfig {
+            deadline: self.config.deadline,
+            ..SmtConfig::default()
+        })
+    }
+
+    fn timed_out(&self) -> bool {
+        self.config.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Solves `problem` if it is single-invocation (or an INV problem).
+    pub fn solve(&self, problem: &Problem) -> SynthOutcome {
+        if problem.inv.is_some() {
+            // CVC4's INV strategy is specialized; our analogue delegates to
+            // the conjunctive data-driven engine.
+            return HoudiniInvSolver::new(self.config.clone()).solve(problem);
+        }
+        if !is_pointwise(problem) {
+            return SynthOutcome::GaveUp("not single-invocation".into());
+        }
+        let sf = &problem.synth_fun;
+        let spec = problem.spec().inline_defs(&problem.definitions);
+        // Rename declared argument variables to the parameters so harvested
+        // terms are usable as solution fragments.
+        let sites = spec.application_sites(sf.name);
+        let Some(site) = sites.first() else {
+            return SynthOutcome::GaveUp("target not applied".into());
+        };
+        let mut rename = std::collections::BTreeMap::new();
+        for (arg, &(p, s)) in site.iter().zip(&sf.params) {
+            match arg.as_var() {
+                Some(v) => {
+                    rename.insert(v, Term::var(p, s));
+                }
+                None => return SynthOutcome::GaveUp("non-variable argument".into()),
+            }
+        }
+        // Instantiation terms: f-free subterms of the spec of the return
+        // sort (the CEGQI term pool), plus simple constants.
+        let mut pool: Vec<Term> = Vec::new();
+        let push = |t: Term, pool: &mut Vec<Term>| {
+            if !pool.contains(&t) {
+                pool.push(t);
+            }
+        };
+        for sub in spec.subterms() {
+            if sub.sort() == sf.ret && !sub.applies(sf.name) {
+                push(simplify(&sub.subst_vars(&rename)), &mut pool);
+            }
+        }
+        if sf.ret == Sort::Int {
+            push(Term::int(0), &mut pool);
+            push(Term::int(1), &mut pool);
+        } else {
+            push(Term::tt(), &mut pool);
+            push(Term::ff(), &mut pool);
+        }
+        // Condition pool: comparisons between integer pool terms.
+        let int_pool: Vec<Term> = pool
+            .iter()
+            .filter(|t| t.sort() == Sort::Int)
+            .cloned()
+            .collect();
+        let mut conditions: Vec<Term> = Vec::new();
+        for (i, a) in int_pool.iter().enumerate() {
+            for b in int_pool.iter().skip(i + 1) {
+                conditions.push(Term::app(Op::Ge, vec![a.clone(), b.clone()]));
+            }
+        }
+        for sub in spec.subterms() {
+            if sub.sort() == Sort::Bool
+                && !sub.applies(sf.name)
+                && sub.as_app().is_some_and(|(o, _)| o.is_comparison())
+            {
+                let c = simplify(&sub.subst_vars(&rename));
+                if !conditions.contains(&c) {
+                    conditions.push(c);
+                }
+            }
+        }
+
+        // CEGIS over the instantiation pool with decision-tree stitching.
+        let mut examples: Vec<Env> = crate::default_examples(problem);
+        let smt = self.smt();
+        for _round in 0..96 {
+            if self.timed_out() {
+                return SynthOutcome::Timeout;
+            }
+            let covered: Vec<CoveredTerm> = pool
+                .iter()
+                .map(|t| {
+                    CoveredTerm::new(t.clone(), &examples, |tt, env| {
+                        let mut defs = problem.definitions.clone();
+                        defs.define(sf.name, FuncDef::new(sf.params.clone(), sf.ret, tt.clone()));
+                        problem.spec().eval(env, &defs) == Ok(Value::Bool(true))
+                    })
+                })
+                .collect();
+            let candidate = match covered.iter().find(|c| c.total()) {
+                Some(c) => c.term.clone(),
+                None => {
+                    match learn_decision_tree(
+                        &examples,
+                        &covered,
+                        &conditions,
+                        &problem.definitions,
+                    ) {
+                        Some(tree) => tree,
+                        None => return SynthOutcome::GaveUp("instantiation pool exhausted".into()),
+                    }
+                }
+            };
+            let formula = problem.verification_formula(&candidate);
+            match smt.check_valid(&formula) {
+                Ok(Validity::Valid) => return SynthOutcome::Solved(simplify(&candidate)),
+                Ok(Validity::Invalid(model)) => match counterexample_env(problem, &model) {
+                    Some(env) => {
+                        if examples.contains(&env) {
+                            return SynthOutcome::GaveUp("stuck counterexample".into());
+                        }
+                        examples.push(env);
+                    }
+                    None => return SynthOutcome::GaveUp("counterexample outside i64".into()),
+                },
+                Err(SmtError::Timeout) => return SynthOutcome::Timeout,
+                Err(e) => return SynthOutcome::GaveUp(e.to_string()),
+            }
+        }
+        SynthOutcome::GaveUp("CEGQI round limit".into())
+    }
+}
+
+/// The LoopInvGen-analogue solver: Houdini-style data-driven conjunctive
+/// invariant inference.
+#[derive(Clone, Debug, Default)]
+pub struct HoudiniInvSolver {
+    config: BaselineConfig,
+}
+
+impl HoudiniInvSolver {
+    /// Creates the solver.
+    pub fn new(config: BaselineConfig) -> HoudiniInvSolver {
+        HoudiniInvSolver { config }
+    }
+
+    fn smt(&self) -> SmtSolver {
+        SmtSolver::with_config(SmtConfig {
+            deadline: self.config.deadline,
+            ..SmtConfig::default()
+        })
+    }
+
+    fn timed_out(&self) -> bool {
+        self.config.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Solves an INV-track problem by conjunctive weakening.
+    pub fn solve(&self, problem: &Problem) -> SynthOutcome {
+        let Some(info) = problem.inv.as_ref() else {
+            return SynthOutcome::GaveUp("not an invariant problem".into());
+        };
+        let defs = &problem.definitions;
+        let (Some(pre), Some(trans), Some(post)) = (
+            defs.get(info.pre).cloned(),
+            defs.get(info.trans).cloned(),
+            defs.get(info.post).cloned(),
+        ) else {
+            return SynthOutcome::GaveUp("missing inv definitions".into());
+        };
+        let x: Vec<Term> = info.vars.iter().map(|&(v, s)| Term::var(v, s)).collect();
+        let y: Vec<Term> = info
+            .primed_vars
+            .iter()
+            .map(|&(v, s)| Term::var(v, s))
+            .collect();
+        let pre_x = pre.instantiate(&x).inline_defs(defs);
+        let post_x = post.instantiate(&x).inline_defs(defs);
+        let mut both = x.clone();
+        both.extend(y.iter().cloned());
+        let trans_xy = trans.instantiate(&both).inline_defs(defs);
+
+        // Candidate pool: octagonal atoms over the program variables with
+        // constants harvested from the problem, plus spec atoms.
+        let mut consts: BTreeSet<i64> = [0, 1, -1].into_iter().collect();
+        for c in &problem.constraints {
+            for sub in c.inline_defs(defs).subterms() {
+                if let Some(n) = sub.as_int_const() {
+                    consts.insert(n);
+                    consts.insert(n.saturating_add(1));
+                    consts.insert(n.saturating_sub(1));
+                    consts.insert(n.saturating_neg());
+                }
+            }
+        }
+        let mut candidates: Vec<Term> = Vec::new();
+        let int_vars: Vec<&Term> = x.iter().filter(|v| v.sort() == Sort::Int).collect();
+        for (i, &xi) in int_vars.iter().enumerate() {
+            for &c in &consts {
+                candidates.push(Term::app(Op::Ge, vec![xi.clone(), Term::int(c)]));
+                candidates.push(Term::app(Op::Le, vec![xi.clone(), Term::int(c)]));
+            }
+            for &xj in int_vars.iter().skip(i + 1) {
+                for (a, b) in [(xi.clone(), xj.clone()), (xj.clone(), xi.clone())] {
+                    candidates.push(Term::app(Op::Ge, vec![a.clone(), b.clone()]));
+                    for &c in &consts {
+                        candidates.push(Term::app(
+                            Op::Ge,
+                            vec![Term::sub(a.clone(), b.clone()), Term::int(c)],
+                        ));
+                    }
+                }
+            }
+        }
+        // Spec atoms over the unprimed variables.
+        for atom in conjuncts(&sygus_ast::nnf(&post_x))
+            .iter()
+            .chain(conjuncts(&sygus_ast::nnf(&pre_x)).iter())
+        {
+            if atom.as_app().is_some_and(|(o, _)| o.is_comparison()) && !candidates.contains(atom) {
+                candidates.push(atom.clone());
+            }
+        }
+        candidates.dedup();
+        // Cap the pool for tractability (LoopInvGen also bounds features).
+        candidates.truncate(400);
+
+        let smt = self.smt();
+        let eval_env = |env: &Env, t: &Term| -> bool {
+            t.eval(env, &Definitions::new()) == Ok(Value::Bool(true))
+        };
+        let x_syms: Vec<Symbol> = info.vars.iter().map(|&(v, _)| v).collect();
+        let unprime = |env: &Env| -> Env {
+            // Project the primed values onto the unprimed variables.
+            info.primed_vars
+                .iter()
+                .zip(&x_syms)
+                .map(|(&(pv, _), &xv)| (xv, env.lookup(pv).unwrap_or(Value::Int(0))))
+                .collect()
+        };
+
+        let mut alive: Vec<Term> = candidates;
+        for _round in 0..400 {
+            if self.timed_out() {
+                return SynthOutcome::Timeout;
+            }
+            let inv_x = Term::and(alive.iter().cloned());
+            // 1. pre(x) must imply the conjunction.
+            let q1 = Term::and([pre_x.clone(), Term::not(inv_x.clone())]);
+            match smt.check(&q1) {
+                Ok(SmtResult::Sat(m)) => {
+                    let Some(env) = m.to_env() else {
+                        return SynthOutcome::GaveUp("model outside i64".into());
+                    };
+                    let full = fill_env(&env, &info.vars);
+                    alive.retain(|c| eval_env(&full, c));
+                    continue;
+                }
+                Ok(SmtResult::Unsat) => {}
+                Err(SmtError::Timeout) => return SynthOutcome::Timeout,
+                Err(e) => return SynthOutcome::GaveUp(e.to_string()),
+            }
+            // 2. Inductiveness: conjunction ∧ trans must imply primed
+            //    conjunction.
+            let inv_y = {
+                let map: std::collections::BTreeMap<Symbol, Term> = info
+                    .vars
+                    .iter()
+                    .zip(&info.primed_vars)
+                    .map(|(&(xv, _), &(yv, ys))| (xv, Term::var(yv, ys)))
+                    .collect();
+                inv_x.subst_vars(&map)
+            };
+            let q2 = Term::and([inv_x.clone(), trans_xy.clone(), Term::not(inv_y)]);
+            match smt.check(&q2) {
+                Ok(SmtResult::Sat(m)) => {
+                    let Some(env) = m.to_env() else {
+                        return SynthOutcome::GaveUp("model outside i64".into());
+                    };
+                    let full = fill_env(&env, &info.primed_vars);
+                    let projected = unprime(&full);
+                    alive.retain(|c| eval_env(&projected, c));
+                    continue;
+                }
+                Ok(SmtResult::Unsat) => {}
+                Err(SmtError::Timeout) => return SynthOutcome::Timeout,
+                Err(e) => return SynthOutcome::GaveUp(e.to_string()),
+            }
+            // 3. Fixpoint reached: the conjunction is inductive from pre.
+            //    Check the postcondition.
+            let inv_final = simplify(&Term::and(alive.iter().cloned()));
+            let q3 = Term::implies(inv_final.clone(), post_x.clone());
+            match smt.check_valid(&q3) {
+                Ok(Validity::Valid) => {
+                    // Verify end-to-end before claiming success.
+                    let formula = problem.verification_formula(&inv_final);
+                    return match smt.check_valid(&formula) {
+                        Ok(Validity::Valid) => SynthOutcome::Solved(inv_final),
+                        _ => SynthOutcome::GaveUp("final verification failed".into()),
+                    };
+                }
+                Ok(Validity::Invalid(_)) => {
+                    return SynthOutcome::GaveUp(
+                        "strongest conjunctive invariant misses the postcondition".into(),
+                    )
+                }
+                Err(SmtError::Timeout) => return SynthOutcome::Timeout,
+                Err(e) => return SynthOutcome::GaveUp(e.to_string()),
+            }
+        }
+        SynthOutcome::GaveUp("Houdini round limit".into())
+    }
+}
+
+/// Completes an environment with zeros/falses for missing variables.
+fn fill_env(env: &Env, vars: &[(Symbol, Sort)]) -> Env {
+    let mut out = env.clone();
+    for &(v, s) in vars {
+        if out.lookup(v).is_none() {
+            out.bind(
+                v,
+                match s {
+                    Sort::Int => Value::Int(0),
+                    Sort::Bool => Value::Bool(false),
+                },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_solution;
+    use sygus_parser::parse_problem;
+
+    #[test]
+    fn cegqi_solves_max2() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+             (declare-var x Int)(declare-var y Int)\
+             (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+             (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)",
+        )
+        .unwrap();
+        match CegqiSolver::default().solve(&p) {
+            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cegqi_rejects_multi_invocation() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)\
+             (declare-var a Int)(declare-var b Int)\
+             (constraint (= (f a) (f b)))(check-synth)",
+        )
+        .unwrap();
+        assert!(matches!(
+            CegqiSolver::default().solve(&p),
+            SynthOutcome::GaveUp(_)
+        ));
+    }
+
+    #[test]
+    fn cegqi_solves_conditional_identity() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+             (constraint (= (f x) (ite (>= x 0) x (- 0 x))))(check-synth)",
+        )
+        .unwrap();
+        match CegqiSolver::default().solve(&p) {
+            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    const COUNTER: &str = r#"
+        (set-logic LIA)
+        (synth-inv inv ((x Int)))
+        (define-fun pre ((x Int)) Bool (= x 0))
+        (define-fun trans ((x Int) (x! Int)) Bool (= x! (ite (< x 100) (+ x 1) x)))
+        (define-fun post ((x Int)) Bool (=> (not (< x 100)) (= x 100)))
+        (inv-constraint inv pre trans post)
+        (check-synth)
+    "#;
+
+    #[test]
+    fn houdini_solves_counter_invariant() {
+        let p = parse_problem(COUNTER).unwrap();
+        match HoudiniInvSolver::default().solve(&p) {
+            SynthOutcome::Solved(t) => {
+                assert!(verify_solution(&p, &t, None), "bad invariant {t}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn houdini_rejects_non_inv() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+             (constraint (= (f x) x))(check-synth)",
+        )
+        .unwrap();
+        assert!(matches!(
+            HoudiniInvSolver::default().solve(&p),
+            SynthOutcome::GaveUp(_)
+        ));
+    }
+
+    #[test]
+    fn houdini_gives_up_on_disjunctive_invariants() {
+        // Invariant requires x = 0 ∨ x = 5: not conjunctive-octagonal from
+        // this pre (pre allows both 0 and 5).
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (or (= x 0) (= x 5)))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! x))
+            (define-fun post ((x Int)) Bool (not (= x 3)))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        // The octagonal pool can actually express 0 ≤ x ≤ 5 ∧ x ≠ 3? No —
+        // there is no disequality candidate, so x=3 stays inside any
+        // conjunction containing both points… unless a clever octagon pair
+        // excludes it, which none does. Expect either a correct solution or
+        // a give-up — never a wrong answer.
+        match HoudiniInvSolver::default().solve(&p) {
+            SynthOutcome::Solved(t) => {
+                assert!(verify_solution(&p, &t, None), "unsound solution {t}");
+            }
+            SynthOutcome::GaveUp(_) | SynthOutcome::Timeout => {}
+        }
+    }
+
+    #[test]
+    fn cegqi_delegates_inv_problems() {
+        let p = parse_problem(COUNTER).unwrap();
+        match CegqiSolver::default().solve(&p) {
+            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The `dryadsynth` command-line SyGuS solver.
+//!
+//! Usage:
+//!
+//! ```text
+//! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
+//!            [--timeout SECONDS] [--threads N] [--stats] FILE.sl
+//! ```
+//!
+//! Reads a SyGuS-IF problem, solves it, and prints the solution in the
+//! competition's `define-fun` answer format (or `(fail)` / `(timeout)`).
+
+use dryadsynth::{
+    Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
+    SygusSolver, SynthOutcome,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    engine: String,
+    timeout: Duration,
+    threads: usize,
+    stats: bool,
+    file: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        engine: "coop".to_owned(),
+        timeout: Duration::from_secs(30),
+        threads: 2,
+        stats: false,
+        file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => {
+                opts.engine = args.next().ok_or("--engine needs a value")?;
+            }
+            "--timeout" => {
+                let v = args.next().ok_or("--timeout needs seconds")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                opts.timeout = Duration::from_secs(secs);
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(
+                "usage: dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
+                            [--timeout SECONDS] [--threads N] [--stats] FILE.sl"
+                    .to_owned(),
+            ),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => {
+                if opts.file.is_some() {
+                    return Err("multiple input files".to_owned());
+                }
+                opts.file = Some(file.to_owned());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(file) = &opts.file else {
+        eprintln!("no input file; see --help");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problem = match sygus_parser::parse_problem(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let solver: Box<dyn SygusSolver> = match opts.engine.as_str() {
+        "coop" => Box::new(DryadSynth::new(DryadSynthConfig {
+            threads: opts.threads,
+            ..DryadSynthConfig::default()
+        })),
+        "enum" => Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::HeightEnumOnly,
+            threads: opts.threads,
+            ..DryadSynthConfig::default()
+        })),
+        "deduct" => Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::DeductionOnly,
+            ..DryadSynthConfig::default()
+        })),
+        "euback" => Box::new(DryadSynth::new(DryadSynthConfig {
+            engine: Engine::BottomUpBacked,
+            ..DryadSynthConfig::default()
+        })),
+        "eusolver" => Box::new(EuSolverBaseline),
+        "cvc4" => Box::new(Cvc4Baseline),
+        "loopinvgen" => Box::new(LoopInvGenBaseline),
+        other => {
+            eprintln!("unknown engine `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+
+    let start = Instant::now();
+    let outcome = solver.solve_problem(&problem, opts.timeout);
+    let elapsed = start.elapsed();
+    match outcome {
+        SynthOutcome::Solved(body) => {
+            println!("{}", sygus_parser::solution_to_sygus(&problem, &body));
+            if opts.stats {
+                eprintln!(
+                    "; solver={} time={:.3}s size={} height={}",
+                    solver.name(),
+                    elapsed.as_secs_f64(),
+                    body.size(),
+                    body.height()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        SynthOutcome::Timeout => {
+            println!("(timeout)");
+            ExitCode::from(1)
+        }
+        SynthOutcome::GaveUp(reason) => {
+            println!("(fail)");
+            if opts.stats {
+                eprintln!("; reason: {reason}");
+            }
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,774 @@
+//! The three divide-and-conquer strategies of Section 4 (Figure 4):
+//! subterm-based, fixed-term-based, and weaker-spec-based division.
+//!
+//! Each strategy proposes Type-A subproblems; once a Type-A subproblem is
+//! solved, [`Division::type_b`] turns the solution into the corresponding
+//! Type-B subproblem (or directly into a full solution when the Type-B part
+//! is deterministic, as for `FixedTerm`).
+
+use crate::deduction::match_into_grammar;
+use smtkit::{SmtConfig, SmtSolver, Validity};
+use std::sync::Arc;
+use std::time::Instant;
+use sygus_ast::{
+    conjuncts, simplify, FuncDef, Grammar, GrammarFlavor, Op, Problem, Sort, Symbol, SynthFun,
+    Term, TermNode,
+};
+
+/// One proposed division: the Type-A subproblem plus the recipe for the
+/// Type-B step.
+#[derive(Clone)]
+pub struct Division {
+    /// Human-readable strategy tag (for tracing and the experiment
+    /// harness).
+    pub strategy: &'static str,
+    /// The Type-A subproblem to solve first.
+    pub type_a: Problem,
+    /// The Type-B recipe, applied to the Type-A solution.
+    pub recipe: TypeBRecipe,
+}
+
+/// What to do with a Type-A solution.
+#[derive(Clone)]
+pub enum TypeBRecipe {
+    /// Subterm division: extend the parent grammar with the auxiliary
+    /// operator (defined by the Type-A solution) and re-solve the parent
+    /// spec; the final solution inlines the auxiliary function.
+    Subterm {
+        /// The auxiliary function name.
+        aux: Symbol,
+        /// Auxiliary parameters.
+        params: Vec<(Symbol, Sort)>,
+        /// Auxiliary return sort.
+        ret: Sort,
+    },
+    /// Fixed-term division: the Type-B solution is deterministic —
+    /// `ite(Φ[t/f], t, P(y))` where `t` is the fixed term and `P` the
+    /// Type-A solution.
+    FixedTerm {
+        /// The fixed candidate term (over the parent parameters).
+        fixed: Term,
+        /// `Φ[t/f]` as a condition over the parent parameters.
+        guard: Term,
+    },
+    /// Weaker-spec division: the parent solution is `P ⊕ Q` where `P` is
+    /// the Type-A solution and `Q` solves the Type-B problem.
+    WeakerSpec {
+        /// The combinator: `true` for ∧, `false` for ∨.
+        conjunction: bool,
+    },
+}
+
+/// Result of applying a Type-B recipe.
+pub enum TypeBOutcome {
+    /// The parent problem is already solved by this body.
+    Solved(Term),
+    /// A Type-B subproblem remains; `wrap` maps its solution to the parent
+    /// solution.
+    Subproblem {
+        /// The Type-B problem.
+        problem: Problem,
+        /// Recombination into the parent's solution space.
+        wrap: Arc<dyn Fn(Term) -> Term + Send + Sync>,
+    },
+}
+
+impl Division {
+    /// Applies the Type-B recipe to a Type-A solution.
+    pub fn type_b(&self, parent: &Problem, a_solution: &Term) -> TypeBOutcome {
+        match &self.recipe {
+            TypeBRecipe::Subterm { aux, params, ret } => {
+                let mut b = parent.clone();
+                b.synth_fun.grammar = parent.synth_fun.grammar.with_operator(
+                    *aux,
+                    &params.iter().map(|&(_, s)| s).collect::<Vec<_>>(),
+                    *ret,
+                );
+                let def = FuncDef::new(params.clone(), *ret, a_solution.clone());
+                b.definitions.define(*aux, def.clone());
+                let aux = *aux;
+                let parent_grammar = parent.synth_fun.grammar.clone();
+                let parent_defs = parent.definitions.clone();
+                TypeBOutcome::Subproblem {
+                    problem: b,
+                    wrap: Arc::new(move |q: Term| {
+                        // Inline the auxiliary operator; prefer the inlined
+                        // form when it stays in the original grammar.
+                        let inlined = simplify(&q.instantiate_func(aux, &def));
+                        if parent_grammar.generates(&inlined) {
+                            inlined
+                        } else {
+                            // Try rewriting back into the grammar with the
+                            // parent's interpreted functions.
+                            let mut probe = Problem::new(SynthFun {
+                                name: Symbol::fresh("probe"),
+                                params: Vec::new(),
+                                ret: Sort::Int,
+                                grammar: parent_grammar.clone(),
+                            });
+                            probe.definitions = parent_defs.clone();
+                            match_into_grammar(&probe, &inlined).unwrap_or(inlined)
+                        }
+                    }),
+                }
+            }
+            TypeBRecipe::FixedTerm { fixed, guard } => {
+                let body = Term::ite(guard.clone(), fixed.clone(), a_solution.clone());
+                TypeBOutcome::Solved(simplify(&body))
+            }
+            TypeBRecipe::WeakerSpec { conjunction } => {
+                let p_sol = a_solution.clone();
+                let conj = *conjunction;
+                // Type-B spec: Φ[λy.(P ⊕ g)/f] — synthesize g under the
+                // original spec with f replaced by the combination.
+                let g = Symbol::fresh(&format!("{}_ws", parent.synth_fun.name));
+                let sf = &parent.synth_fun;
+                let g_app = Term::apply(g, sf.ret, sf.param_terms());
+                let combined_body = if conj {
+                    Term::and([p_sol.clone(), g_app])
+                } else {
+                    Term::or([p_sol.clone(), g_app])
+                };
+                let replacement = FuncDef::new(sf.params.clone(), sf.ret, combined_body);
+                let mut b = parent.clone();
+                b.synth_fun = SynthFun {
+                    name: g,
+                    params: sf.params.clone(),
+                    ret: sf.ret,
+                    grammar: sf.grammar.clone(),
+                };
+                b.constraints = parent
+                    .constraints
+                    .iter()
+                    .map(|c| simplify(&c.instantiate_func(parent.synth_fun.name, &replacement)))
+                    .collect();
+                TypeBOutcome::Subproblem {
+                    problem: b,
+                    wrap: Arc::new(move |q: Term| {
+                        if conj {
+                            Term::and([p_sol.clone(), q])
+                        } else {
+                            Term::or([p_sol.clone(), q])
+                        }
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for the divider.
+#[derive(Clone, Debug)]
+pub struct DivideConfig {
+    /// Maximum number of subterm-based divisions proposed per problem.
+    pub max_subterm_divisions: usize,
+    /// Whether fixed-term division is enabled (needs the CLIA grammar so
+    /// the `ite` combination stays inside the grammar).
+    pub fixed_term: bool,
+    /// Absolute deadline for side-condition checks.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for DivideConfig {
+    fn default() -> DivideConfig {
+        DivideConfig {
+            max_subterm_divisions: 4,
+            fixed_term: true,
+            deadline: None,
+        }
+    }
+}
+
+/// The divide-and-conquer splitter of the cooperative framework.
+#[derive(Clone, Debug, Default)]
+pub struct Divider {
+    config: DivideConfig,
+}
+
+impl Divider {
+    /// Creates a divider.
+    pub fn new(config: DivideConfig) -> Divider {
+        Divider { config }
+    }
+
+    /// Proposes all Type-A subproblems of `problem`
+    /// (`TypeASubproblems` in Algorithm 1).
+    pub fn divide(&self, problem: &Problem) -> Vec<Division> {
+        let mut out = Vec::new();
+        out.extend(self.subterm_divisions(problem));
+        out.extend(self.weaker_spec_divisions(problem));
+        if self.config.fixed_term {
+            out.extend(self.fixed_term_division(problem));
+        }
+        out
+    }
+
+    /// Subterm-based division (Section 4.1): when the spec is a reference
+    /// implementation `f(y) = e`, propose auxiliary functions for
+    /// interesting subterms of `e`.
+    fn subterm_divisions(&self, problem: &Problem) -> Vec<Division> {
+        let f = problem.synth_fun.name;
+        let spec = problem.spec().inline_defs(&problem.definitions);
+        let cs = conjuncts(&spec);
+        // Reference-implementation shape: a single conjunct f(y) = e.
+        let mut reference: Option<(Vec<Term>, Term)> = None;
+        if cs.len() == 1 {
+            if let Some((Op::Eq, args)) = cs[0].as_app().map(|(o, a)| (*o, a)) {
+                for (lhs, rhs) in [(&args[0], &args[1]), (&args[1], &args[0])] {
+                    if let TermNode::App(Op::Apply(g, _), fargs) = lhs.node() {
+                        if *g == f && !rhs.applies(f) {
+                            reference = Some((fargs.clone(), rhs.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((fargs, e)) = reference else {
+            return Vec::new();
+        };
+        // Arguments must be distinct variables for the inversion.
+        let mut argvars = Vec::new();
+        for a in &fargs {
+            match a.node() {
+                TermNode::Var(v, s) if !argvars.contains(&(*v, *s)) => argvars.push((*v, *s)),
+                _ => return Vec::new(),
+            }
+        }
+        // Candidate subterms: proper, f-free, nontrivial; prefer ite-headed
+        // (conditionals are what make syntax trees tall).
+        let mut candidates: Vec<Term> = e
+            .subterms()
+            .into_iter()
+            .filter(|s| s != &e && s.size() >= 3 && !s.applies(f))
+            .collect();
+        candidates.sort_by_key(|s| {
+            let ite_bonus = if matches!(s.node(), TermNode::App(Op::Ite, _)) {
+                0
+            } else {
+                1
+            };
+            (ite_bonus, std::cmp::Reverse(s.size()))
+        });
+        candidates.truncate(self.config.max_subterm_divisions);
+
+        let mut out = Vec::new();
+        for sub in candidates {
+            if sub.sort() != Sort::Int && sub.sort() != Sort::Bool {
+                continue;
+            }
+            let fv = sub.free_vars();
+            let aux_params: Vec<(Symbol, Sort)> = argvars
+                .iter()
+                .copied()
+                .filter(|(v, _)| fv.contains_key(v))
+                .collect();
+            if aux_params.is_empty() {
+                continue;
+            }
+            let aux = Symbol::fresh("aux");
+            let ret = sub.sort();
+            // Type-A problem: aux(vars) = sub, same grammar restricted to
+            // the auxiliary parameters.
+            let grammar = restrict_grammar(&problem.synth_fun.grammar, &aux_params);
+            let mut a = Problem::new(SynthFun {
+                name: aux,
+                params: aux_params.clone(),
+                ret,
+                grammar,
+            });
+            a.definitions = problem.definitions.clone();
+            for &(v, s) in &aux_params {
+                a.declare_var(v.as_str(), s);
+            }
+            let app = Term::apply(
+                aux,
+                ret,
+                aux_params.iter().map(|&(v, s)| Term::var(v, s)).collect(),
+            );
+            a.add_constraint(Term::eq(app, sub.clone()));
+            out.push(Division {
+                strategy: "subterm",
+                type_a: a,
+                recipe: TypeBRecipe::Subterm {
+                    aux,
+                    params: aux_params,
+                    ret,
+                },
+            });
+        }
+        out
+    }
+
+    /// Weaker-spec-based division (Section 4.3), instantiated for Horn-shaped
+    /// predicate specifications (in particular INV problems): drop one
+    /// conjunct group and recombine with ∧ or ∨ (Definition 4.1 with
+    /// `⊕ ∈ {∧, ∨}`).
+    fn weaker_spec_divisions(&self, problem: &Problem) -> Vec<Division> {
+        if problem.synth_fun.ret != Sort::Bool {
+            return Vec::new();
+        }
+        let f = problem.synth_fun.name;
+        let cs: Vec<Term> = problem
+            .constraints
+            .iter()
+            .filter(|c| c.applies(f))
+            .cloned()
+            .collect();
+        if cs.len() < 3 {
+            return Vec::new();
+        }
+        // Classify conjuncts by the polarity of f occurrences after NNF:
+        // positive-only (pre → inv), negative-only (inv → post), or mixed
+        // (inductiveness). The two classic INV splits:
+        //   drop the negative-only group, recombine with ∧;
+        //   drop the positive-only group, recombine with ∨.
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        let mut mixed = Vec::new();
+        for c in &cs {
+            match polarity(f, &sygus_ast::nnf(c)) {
+                Some(Polarity::Positive) => positive.push(c.clone()),
+                Some(Polarity::Negative) => negative.push(c.clone()),
+                _ => mixed.push(c.clone()),
+            }
+        }
+        if positive.is_empty() || negative.is_empty() {
+            return Vec::new();
+        }
+        let others: Vec<Term> = problem
+            .constraints
+            .iter()
+            .filter(|c| !c.applies(f))
+            .cloned()
+            .collect();
+        let make = |kept: Vec<Term>, conjunction: bool| -> Division {
+            let mut a = problem.clone();
+            a.constraints = others.iter().cloned().chain(kept).collect();
+            Division {
+                strategy: if conjunction {
+                    "weaker-spec-and"
+                } else {
+                    "weaker-spec-or"
+                },
+                type_a: a,
+                recipe: TypeBRecipe::WeakerSpec { conjunction },
+            }
+        };
+        let mut out = Vec::new();
+        // Φ∧Δ (pre + inductive), recombine with ∧.
+        let mut keep_and = positive.clone();
+        keep_and.extend(mixed.iter().cloned());
+        if keep_and.len() < cs.len() {
+            out.push(make(keep_and, true));
+        }
+        // Δ∧Ψ (inductive + post), recombine with ∨.
+        let mut keep_or = mixed.clone();
+        keep_or.extend(negative.iter().cloned());
+        if keep_or.len() < cs.len() {
+            out.push(make(keep_or, false));
+        }
+        out
+    }
+
+    /// Fixed-term-based division (Section 4.2): generate a quick candidate
+    /// with a shallow fixed-height search; if it is good on part of the
+    /// input space, Subproblem A only needs to cover the rest.
+    fn fixed_term_division(&self, problem: &Problem) -> Vec<Division> {
+        if problem.synth_fun.grammar.flavor() != GrammarFlavor::Clia {
+            return Vec::new();
+        }
+        let f = problem.synth_fun.name;
+        // The rule needs `f(e) ∼ e ≼ Φ`: a comparison between f and a term.
+        let spec = problem.spec();
+        let has_comparison = conjuncts(&spec).iter().any(|c| {
+            c.as_app().is_some_and(|(op, args)| {
+                op.is_comparison() && (args[0].applies(f) || args[1].applies(f))
+            })
+        });
+        if !has_comparison {
+            return Vec::new();
+        }
+        // A quick unverified candidate from a shallow symbolic query plays
+        // the role of the "failed CEGIS candidate" of Section 4.2.
+        let fh = crate::FixedHeightSolver::new(crate::FixedHeightConfig {
+            max_cegis_rounds: 10,
+            deadline: self.config.deadline,
+            ..crate::FixedHeightConfig::default()
+        });
+        let Some(candidate) = fh.propose_candidate(problem, 2) else {
+            return Vec::new();
+        };
+        let guard = simplify(&problem.verification_formula(&candidate));
+        // Degenerate guards make useless divisions.
+        if guard.as_bool_const().is_some() {
+            return Vec::new();
+        }
+        // Type-A: synthesize g with spec Φ[t/f] ∨ Φ[g/f].
+        let mut a = problem.clone();
+        let g = Symbol::fresh(&format!("{f}_rest"));
+        a.synth_fun = SynthFun {
+            name: g,
+            params: problem.synth_fun.params.clone(),
+            ret: problem.synth_fun.ret,
+            grammar: problem.synth_fun.grammar.clone(),
+        };
+        let spec_g = spec.replace_apps(f, &|args| {
+            Term::apply(g, problem.synth_fun.ret, args.to_vec())
+        });
+        // Rebind Φ[t/f] over the declared variables (guard is already over
+        // declared variables since verification_formula instantiates f).
+        a.constraints = vec![Term::or([guard.clone(), spec_g])];
+        // The final combination guard must be over the parameters: rename
+        // declared vars to params positionally via the application sites.
+        let param_guard = guard_over_params(problem, &candidate);
+        let Some(param_guard) = param_guard else {
+            return Vec::new();
+        };
+        vec![Division {
+            strategy: "fixed-term",
+            type_a: a,
+            recipe: TypeBRecipe::FixedTerm {
+                fixed: candidate,
+                guard: param_guard,
+            },
+        }]
+    }
+}
+
+/// Restricts variable productions of a grammar to the given parameters
+/// (used when an auxiliary function has fewer arguments than its parent).
+fn restrict_grammar(grammar: &Grammar, params: &[(Symbol, Sort)]) -> Grammar {
+    use sygus_ast::GTerm;
+    fn allowed(pat: &GTerm, params: &[(Symbol, Sort)]) -> bool {
+        match pat {
+            GTerm::Var(v, s) => params.iter().any(|&(p, ps)| p == *v && ps == *s),
+            GTerm::App(_, args) => args.iter().all(|a| allowed(a, params)),
+            _ => true,
+        }
+    }
+    let mut g = Grammar::new();
+    for nt in grammar.nonterminals() {
+        g.add_nonterminal(nt.name, nt.sort);
+    }
+    g.set_start(grammar.start());
+    for (i, nt) in grammar.nonterminals().iter().enumerate() {
+        for p in &nt.productions {
+            if allowed(p, params) {
+                g.add_production(i, p.clone());
+            }
+        }
+    }
+    g.set_flavor(grammar.flavor());
+    g
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Polarity {
+    Positive,
+    Negative,
+}
+
+/// Polarity of every occurrence of `f` in an NNF term, if uniform.
+fn polarity(f: Symbol, t: &Term) -> Option<Polarity> {
+    fn go(f: Symbol, t: &Term, negated: bool, acc: &mut Option<Option<Polarity>>) {
+        match t.node() {
+            TermNode::App(Op::Not, args) => go(f, &args[0], !negated, acc),
+            TermNode::App(Op::Apply(g, _), args) => {
+                if *g == f {
+                    let p = if negated {
+                        Polarity::Negative
+                    } else {
+                        Polarity::Positive
+                    };
+                    match acc {
+                        None => *acc = Some(Some(p)),
+                        Some(Some(q)) if *q == p => {}
+                        _ => *acc = Some(None),
+                    }
+                }
+                for a in args {
+                    go(f, a, negated, acc);
+                }
+            }
+            TermNode::App(Op::Implies, args) => {
+                go(f, &args[0], !negated, acc);
+                go(f, &args[1], negated, acc);
+            }
+            TermNode::App(_, args) => {
+                for a in args {
+                    go(f, a, negated, acc);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc: Option<Option<Polarity>> = None;
+    go(f, t, false, &mut acc);
+    acc.flatten()
+}
+
+/// `Φ[t/f]` expressed over the synth-fun parameters, derivable when the
+/// spec applies `f` to one tuple of distinct variables.
+fn guard_over_params(problem: &Problem, candidate: &Term) -> Option<Term> {
+    let f = problem.synth_fun.name;
+    let spec = problem.spec().inline_defs(&problem.definitions);
+    let sites = spec.application_sites(f);
+    let first = sites.first()?;
+    if sites.iter().any(|s| s != first) {
+        return None;
+    }
+    let mut rename = std::collections::BTreeMap::new();
+    for (arg, &(p, s)) in first.iter().zip(&problem.synth_fun.params) {
+        match arg.node() {
+            TermNode::Var(v, _) => {
+                rename.insert(*v, Term::var(p, s));
+            }
+            _ => return None,
+        }
+    }
+    if rename.len() != first.len() {
+        return None;
+    }
+    let def = FuncDef::new(
+        problem.synth_fun.params.clone(),
+        problem.synth_fun.ret,
+        candidate.clone(),
+    );
+    let inst = spec.instantiate_func(f, &def);
+    Some(simplify(&inst.subst_vars(&rename)))
+}
+
+/// Verifies a recombined solution against the parent spec (used by the
+/// cooperative loop before accepting a Type-B result).
+pub fn verify_solution(problem: &Problem, body: &Term, deadline: Option<Instant>) -> bool {
+    let smt = SmtSolver::with_config(SmtConfig {
+        deadline,
+        ..SmtConfig::default()
+    });
+    let formula = problem.verification_formula(body);
+    matches!(smt.check_valid(&formula), Ok(Validity::Valid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_parser::parse_problem;
+
+    fn divider() -> Divider {
+        Divider::new(DivideConfig::default())
+    }
+
+    const MAX3_QM: &str = r#"
+        (set-logic LIA)
+        (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+        (synth-fun max3 ((x Int) (y Int) (z Int)) Int
+            ((S Int (x y z 0 1 (+ S S) (- S S) (qm S S)))))
+        (declare-var x Int)
+        (declare-var y Int)
+        (declare-var z Int)
+        (constraint (= (max3 x y z)
+            (ite (and (>= x y) (>= x z)) x (ite (>= y z) y z))))
+        (check-synth)
+    "#;
+
+    #[test]
+    fn subterm_division_proposed_for_reference_specs() {
+        let p = parse_problem(MAX3_QM).unwrap();
+        let divisions = divider().divide(&p);
+        let subterms: Vec<&Division> = divisions
+            .iter()
+            .filter(|d| d.strategy == "subterm")
+            .collect();
+        assert!(!subterms.is_empty());
+        // The inner ite(y >= z, y, z) must be among the proposals (it is the
+        // paper's aux target in Example 3.2).
+        let found = subterms.iter().any(|d| {
+            d.type_a.constraints[0]
+                .to_string()
+                .contains("(ite (>= y z) y z)")
+        });
+        assert!(found, "expected the inner ite as an aux target");
+    }
+
+    #[test]
+    fn subterm_type_a_has_restricted_params() {
+        let p = parse_problem(MAX3_QM).unwrap();
+        let divisions = divider().divide(&p);
+        let d = divisions
+            .iter()
+            .find(|d| {
+                d.strategy == "subterm"
+                    && d.type_a.constraints[0]
+                        .to_string()
+                        .contains("(ite (>= y z) y z)")
+            })
+            .expect("inner ite proposal");
+        // aux(y, z): two parameters.
+        assert_eq!(d.type_a.synth_fun.params.len(), 2);
+        // Grammar's variable productions restricted to y, z.
+        let g = &d.type_a.synth_fun.grammar;
+        let vars: Vec<String> = g
+            .nonterminal(0)
+            .productions
+            .iter()
+            .filter_map(|pr| match pr {
+                sygus_ast::GTerm::Var(v, _) => Some(v.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vars, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn subterm_type_b_extends_grammar_and_wraps() {
+        let p = parse_problem(MAX3_QM).unwrap();
+        let divisions = divider().divide(&p);
+        let d = divisions
+            .iter()
+            .find(|d| {
+                d.strategy == "subterm"
+                    && d.type_a.constraints[0]
+                        .to_string()
+                        .contains("(ite (>= y z) y z)")
+            })
+            .expect("inner ite proposal");
+        // Pretend Type-A was solved with the paper's aux: p1 + qm(p2-p1, 0).
+        let (p1, s1) = d.type_a.synth_fun.params[0];
+        let (p2, s2) = d.type_a.synth_fun.params[1];
+        let a_sol = Term::app(
+            Op::Add,
+            vec![
+                Term::var(p1, s1),
+                Term::apply(
+                    "qm",
+                    Sort::Int,
+                    vec![
+                        Term::app(Op::Sub, vec![Term::var(p2, s2), Term::var(p1, s1)]),
+                        Term::int(0),
+                    ],
+                ),
+            ],
+        );
+        match d.type_b(&p, &a_sol) {
+            TypeBOutcome::Subproblem { problem, wrap } => {
+                // The extended grammar admits aux applications.
+                let TypeBRecipe::Subterm { aux, .. } = &d.recipe else {
+                    panic!("wrong recipe");
+                };
+                let aux_app = Term::apply(
+                    *aux,
+                    Sort::Int,
+                    vec![Term::int_var("x"), Term::int_var("y")],
+                );
+                assert!(problem.synth_fun.grammar.generates(&aux_app));
+                // Wrapping inlines aux back into the base grammar.
+                let wrapped = wrap(aux_app);
+                assert!(!wrapped.applies(*aux));
+            }
+            TypeBOutcome::Solved(_) => panic!("subterm type-B is a subproblem"),
+        }
+    }
+
+    #[test]
+    fn weaker_spec_divisions_for_invariants() {
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (= x 0))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! (+ x 1)))
+            (define-fun post ((x Int)) Bool (>= x 0))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        let divisions = divider().divide(&p);
+        let tags: Vec<&str> = divisions.iter().map(|d| d.strategy).collect();
+        assert!(tags.contains(&"weaker-spec-and"), "{tags:?}");
+        assert!(tags.contains(&"weaker-spec-or"), "{tags:?}");
+        // Each Type-A drops exactly one constraint.
+        for d in divisions
+            .iter()
+            .filter(|d| d.strategy.starts_with("weaker"))
+        {
+            assert_eq!(d.type_a.constraints.len(), 2);
+        }
+    }
+
+    #[test]
+    fn weaker_spec_type_b_combines() {
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (= x 0))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! (+ x 1)))
+            (define-fun post ((x Int)) Bool (>= x 0))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        let divisions = divider().divide(&p);
+        let d = divisions
+            .iter()
+            .find(|d| d.strategy == "weaker-spec-and")
+            .expect("and-split exists");
+        let a_sol = Term::ge(Term::int_var("x"), Term::int(0));
+        match d.type_b(&p, &a_sol) {
+            TypeBOutcome::Subproblem { problem, wrap } => {
+                assert_ne!(problem.synth_fun.name, p.synth_fun.name);
+                let q = Term::tt();
+                let combined = wrap(q);
+                // P ∧ true = P.
+                assert_eq!(combined, a_sol);
+                // And it is a genuine solution of the original problem.
+                assert!(verify_solution(&p, &combined, None));
+            }
+            TypeBOutcome::Solved(_) => panic!("weaker-spec type-B is a subproblem"),
+        }
+    }
+
+    #[test]
+    fn polarity_classification() {
+        let f = Symbol::new("pol_f");
+        let app = Term::apply(f, Sort::Bool, vec![Term::int_var("x")]);
+        let pre = Term::or([Term::lt(Term::int_var("x"), Term::int(0)), app.clone()]);
+        assert!(matches!(polarity(f, &pre), Some(Polarity::Positive)));
+        let post = Term::or([
+            Term::not(app.clone()),
+            Term::ge(Term::int_var("x"), Term::int(0)),
+        ]);
+        assert!(matches!(polarity(f, &post), Some(Polarity::Negative)));
+        let mixed = Term::or([Term::not(app.clone()), app.clone()]);
+        assert!(polarity(f, &mixed).is_none());
+    }
+
+    #[test]
+    fn no_subterm_division_for_constraint_specs() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+             (declare-var x Int)(declare-var y Int)\
+             (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+             (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)",
+        )
+        .unwrap();
+        let divisions = divider().divide(&p);
+        assert!(divisions.iter().all(|d| d.strategy != "subterm"));
+    }
+
+    #[test]
+    fn restrict_grammar_keeps_structure() {
+        let p = parse_problem(MAX3_QM).unwrap();
+        let y = Symbol::new("y");
+        let g = restrict_grammar(&p.synth_fun.grammar, &[(y, Sort::Int)]);
+        assert!(g.generates(&Term::int_var("y")));
+        assert!(!g.generates(&Term::int_var("x")));
+        assert!(g.generates(&Term::apply(
+            "qm",
+            Sort::Int,
+            vec![Term::int_var("y"), Term::int(0)]
+        )));
+    }
+}

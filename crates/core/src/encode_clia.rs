@@ -1,0 +1,303 @@
+//! The decision-tree normal form encoding for the full CLIA grammar
+//! (Section 5.2, Figure 5 of the paper).
+//!
+//! A height-`h` candidate is a full binary tree with `2^h − 1` nodes in heap
+//! layout. Every node `i` carries an unknown integer coefficient vector
+//! `c_i` over the function's arguments plus a constant. Internal nodes test
+//! `c_i·(x ⊕ 1) ≥ 0`; leaves produce the value `c_i·(x ⊕ 1)` (integer
+//! functions) or the atom `c_i·(x ⊕ 1) ≥ 0` (predicates).
+//!
+//! Because the inductive-synthesis query instantiates the arguments with
+//! *concrete* counterexample values, the unknowns occur linearly and the
+//! query stays inside QF_LIA (`interpret_h` of the paper).
+
+use smtkit::Model;
+use std::fmt;
+use sygus_ast::{Sort, Symbol, Term};
+
+/// The symbolic skeleton of one fixed-height decision tree: the coefficient
+/// unknowns for every node.
+#[derive(Clone, Debug)]
+pub struct CliaTreeEncoding {
+    /// Tree height (≥ 1); height 1 is a single leaf.
+    pub height: usize,
+    /// Function parameters, in order.
+    pub params: Vec<Symbol>,
+    /// Return sort of the function.
+    pub ret: Sort,
+    /// `coeffs[node][j]`: unknown for parameter `j`; `coeffs[node][n]` is
+    /// the constant term. Nodes are in heap order (children of `i` are
+    /// `2i+1` and `2i+2`).
+    pub coeffs: Vec<Vec<Symbol>>,
+}
+
+/// Number of nodes in a full binary tree of the given height.
+pub fn tree_nodes(height: usize) -> usize {
+    (1usize << height) - 1
+}
+
+impl CliaTreeEncoding {
+    /// Allocates fresh unknowns for a height-`height` tree over `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or absurdly large (> 24).
+    pub fn new(height: usize, params: &[Symbol], ret: Sort) -> CliaTreeEncoding {
+        assert!(height >= 1 && height <= 24, "unreasonable tree height");
+        let nodes = tree_nodes(height);
+        let coeffs = (0..nodes)
+            .map(|i| {
+                (0..=params.len())
+                    .map(|j| Symbol::fresh(&format!("c{i}_{j}")))
+                    .collect()
+            })
+            .collect();
+        CliaTreeEncoding {
+            height,
+            params: params.to_vec(),
+            ret,
+            coeffs,
+        }
+    }
+
+    /// All unknown symbols, flattened.
+    pub fn unknowns(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.coeffs.iter().flatten().copied()
+    }
+
+    /// Side constraints bounding every coefficient unknown: parameters by
+    /// `coeff_bound`, constants by `const_bound` (the coefficient-bound
+    /// widening of the paper's implementation).
+    pub fn bound_constraints(&self, coeff_bound: i64, const_bound: i64) -> Term {
+        let n = self.params.len();
+        Term::and(self.coeffs.iter().flat_map(|node| {
+            node.iter().enumerate().map(move |(j, &c)| {
+                let b = if j == n { const_bound } else { coeff_bound };
+                let v = Term::var(c, Sort::Int);
+                Term::and([
+                    Term::ge(v.clone(), Term::int(-b)),
+                    Term::le(v, Term::int(b)),
+                ])
+            })
+        }))
+    }
+
+    /// The linear form of node `i` on concrete argument values:
+    /// `Σ_j d_j·c_{i,j} + c_{i,n}` — a term over the unknowns only.
+    fn lin_at(&self, node: usize, point: &[i64]) -> Term {
+        let n = self.params.len();
+        let parts = (0..n)
+            .map(|j| {
+                Term::mul(
+                    Term::int(point[j]),
+                    Term::var(self.coeffs[node][j], Sort::Int),
+                )
+            })
+            .chain(std::iter::once(Term::var(self.coeffs[node][n], Sort::Int)));
+        Term::sum(parts)
+    }
+
+    /// `interpret_h(c, point)`: the symbolic value of the tree on the
+    /// concrete input `point` — a term over the coefficient unknowns.
+    pub fn interpret(&self, point: &[i64]) -> Term {
+        assert_eq!(point.len(), self.params.len(), "arity mismatch");
+        self.interpret_node(0, 1, point)
+    }
+
+    fn interpret_node(&self, node: usize, depth: usize, point: &[i64]) -> Term {
+        let lin = self.lin_at(node, point);
+        if depth == self.height {
+            return match self.ret {
+                Sort::Int => lin,
+                Sort::Bool => Term::ge(lin, Term::int(0)),
+            };
+        }
+        let cond = Term::ge(lin, Term::int(0));
+        Term::ite(
+            cond,
+            self.interpret_node(2 * node + 1, depth + 1, point),
+            self.interpret_node(2 * node + 2, depth + 1, point),
+        )
+    }
+
+    /// The linear form of node `i` over the parameter *variables* with
+    /// concrete coefficients from a model.
+    fn lin_decoded(&self, node: usize, model: &Model) -> Term {
+        let n = self.params.len();
+        let parts = (0..n)
+            .filter_map(|j| {
+                let c = model.int(self.coeffs[node][j]).to_i64().unwrap_or(0);
+                if c == 0 {
+                    None
+                } else {
+                    Some(Term::scale(c, Term::var(self.params[j], Sort::Int)))
+                }
+            })
+            .chain({
+                let d = model.int(self.coeffs[node][n]).to_i64().unwrap_or(0);
+                if d == 0 { None } else { Some(Term::int(d)) }.into_iter()
+            });
+        Term::sum(parts)
+    }
+
+    /// Decodes a model of the unknowns into the concrete candidate term
+    /// over the parameters (constant-folded and pruned).
+    pub fn decode(&self, model: &Model) -> Term {
+        self.decode_node(0, 1, model)
+    }
+
+    fn decode_node(&self, node: usize, depth: usize, model: &Model) -> Term {
+        let lin = self.lin_decoded(node, model);
+        if depth == self.height {
+            return match self.ret {
+                Sort::Int => lin,
+                Sort::Bool => Term::ge(lin, Term::int(0)),
+            };
+        }
+        Term::ite(
+            Term::ge(lin, Term::int(0)),
+            self.decode_node(2 * node + 1, depth + 1, model),
+            self.decode_node(2 * node + 2, depth + 1, model),
+        )
+    }
+}
+
+impl fmt::Display for CliaTreeEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decision tree of height {} over {} parameters",
+            self.height,
+            self.params.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtkit::{SmtResult, SmtSolver};
+    use sygus_ast::{Definitions, Env, Value};
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(tree_nodes(1), 1);
+        assert_eq!(tree_nodes(2), 3);
+        assert_eq!(tree_nodes(3), 7);
+    }
+
+    #[test]
+    fn height_one_is_linear_function() {
+        let x = Symbol::new("fx");
+        let enc = CliaTreeEncoding::new(1, &[x], Sort::Int);
+        let t = enc.interpret(&[5]);
+        // Σ 5·c + d : two unknowns, no ite.
+        assert!(!t.to_string().contains("ite"));
+        assert_eq!(t.free_vars().len(), 2);
+    }
+
+    #[test]
+    fn height_two_has_condition() {
+        let x = Symbol::new("fx");
+        let enc = CliaTreeEncoding::new(2, &[x], Sort::Int);
+        let t = enc.interpret(&[1]);
+        assert!(t.to_string().contains("ite"));
+        assert_eq!(t.free_vars().len(), 6); // 3 nodes × 2 unknowns
+    }
+
+    #[test]
+    fn synthesizes_max2_shape_via_smt() {
+        // Find coefficients making the height-2 tree compute max(x, y) on
+        // three counterexample points.
+        let x = Symbol::new("mx");
+        let y = Symbol::new("my");
+        let enc = CliaTreeEncoding::new(2, &[x, y], Sort::Int);
+        let points: [([i64; 2], i64); 4] = [([3, 1], 3), ([1, 3], 3), ([-2, -7], -2), ([0, 0], 0)];
+        let query = Term::and(
+            points
+                .iter()
+                .map(|(p, want)| Term::eq(enc.interpret(p), Term::int(*want)))
+                .chain(std::iter::once(enc.bound_constraints(1, 1))),
+        );
+        match SmtSolver::new().check(&query).expect("solver ok") {
+            SmtResult::Sat(model) => {
+                let cand = enc.decode(&model);
+                // Decoded candidate agrees with max on the points.
+                let defs = Definitions::new();
+                for (p, want) in points {
+                    let env = Env::from_pairs(&[x, y], &[Value::Int(p[0]), Value::Int(p[1])]);
+                    assert_eq!(
+                        cand.eval(&env, &defs),
+                        Ok(Value::Int(want)),
+                        "candidate {cand} at {p:?}"
+                    );
+                }
+            }
+            SmtResult::Unsat => panic!("max2 must be expressible at height 2"),
+        }
+    }
+
+    #[test]
+    fn unsat_when_height_insufficient() {
+        // A height-1 (purely linear) tree cannot match max on these points.
+        let x = Symbol::new("ux");
+        let y = Symbol::new("uy");
+        let enc = CliaTreeEncoding::new(1, &[x, y], Sort::Int);
+        let points: [([i64; 2], i64); 4] = [([3, 0], 3), ([0, 3], 3), ([0, 0], 0), ([3, 3], 3)];
+        let query = Term::and(
+            points
+                .iter()
+                .map(|(p, want)| Term::eq(enc.interpret(p), Term::int(*want)))
+                .chain(std::iter::once(enc.bound_constraints(2, 2))),
+        );
+        assert_eq!(
+            SmtSolver::new().check(&query).expect("solver ok"),
+            SmtResult::Unsat
+        );
+    }
+
+    #[test]
+    fn predicate_leaves_are_atoms() {
+        let x = Symbol::new("px");
+        let enc = CliaTreeEncoding::new(1, &[x], Sort::Bool);
+        let t = enc.interpret(&[7]);
+        assert_eq!(t.sort(), Sort::Bool);
+        // Solve for "true at x=7": trivially sat.
+        assert!(matches!(
+            SmtSolver::new()
+                .check(&Term::and([t, enc.bound_constraints(1, 1)]))
+                .unwrap(),
+            SmtResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn decode_drops_zero_coefficients() {
+        let x = Symbol::new("dx");
+        let enc = CliaTreeEncoding::new(1, &[x], Sort::Int);
+        // Model with all-zero coefficients decodes to the constant 0.
+        let model = Model::default();
+        assert_eq!(enc.decode(&model), Term::int(0));
+    }
+
+    #[test]
+    fn bound_constraints_limit_magnitude() {
+        let x = Symbol::new("bx");
+        let enc = CliaTreeEncoding::new(1, &[x], Sort::Int);
+        // Force the function to return 100 at x=0 with const bound 1: unsat.
+        let q = Term::and([
+            Term::eq(enc.interpret(&[0]), Term::int(100)),
+            enc.bound_constraints(1, 1),
+        ]);
+        assert_eq!(SmtSolver::new().check(&q).unwrap(), SmtResult::Unsat);
+        // With a generous constant bound it becomes sat.
+        let q2 = Term::and([
+            Term::eq(enc.interpret(&[0]), Term::int(100)),
+            enc.bound_constraints(1, 128),
+        ]);
+        assert!(matches!(
+            SmtSolver::new().check(&q2).unwrap(),
+            SmtResult::Sat(_)
+        ));
+    }
+}

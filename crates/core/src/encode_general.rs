@@ -1,0 +1,589 @@
+//! Fixed-height symbolic encoding for *arbitrary* grammars (the "extension
+//! to general grammar" of Section 5.2).
+//!
+//! Every tree position carries, per grammar non-terminal, an integer
+//! *selector* unknown choosing among the productions feasible at that depth;
+//! `(Constant Int)` productions contribute shared constant unknowns.
+//! Interpreting the tree on a concrete counterexample yields a term over
+//! selectors and constants only, so the inductive query stays in QF_LIA.
+//! Interpreted grammar operators (e.g. the paper's `qm`) are inlined with
+//! their definitions during interpretation, exactly like the adapted
+//! `interpret` functions in the paper.
+
+use smtkit::Model;
+use sygus_ast::{Definitions, GTerm, Grammar, NonterminalId, Op, Sort, Symbol, Term, Value};
+/// Per-(position, non-terminal) encoding state.
+#[derive(Clone, Debug)]
+struct NtSlot {
+    /// Selector unknown (integer, range `0..feasible.len()`).
+    selector: Symbol,
+    /// Feasible production indices at this depth.
+    feasible: Vec<usize>,
+    /// Constant unknowns per feasible production (one per `AnyConst`
+    /// occurrence, traversal order).
+    consts: Vec<Vec<Symbol>>,
+}
+
+#[derive(Clone, Debug)]
+struct PosNode {
+    depth: usize,
+    children: Vec<usize>,
+    /// Indexed by non-terminal id; `None` when nothing is derivable there.
+    slots: Vec<Option<NtSlot>>,
+}
+
+/// Symbolic fixed-height encoding of an arbitrary expression grammar.
+#[derive(Clone, Debug)]
+pub struct GeneralEncoding {
+    grammar: Grammar,
+    defs: Definitions,
+    params: Vec<(Symbol, Sort)>,
+    max_arity: usize,
+    positions: Vec<PosNode>,
+}
+
+/// Number of non-terminal references in a production pattern (the child
+/// slots it consumes).
+fn nt_children(pat: &GTerm, out: &mut Vec<NonterminalId>) {
+    match pat {
+        GTerm::Nonterminal(id) => out.push(*id),
+        GTerm::App(_, args) => {
+            for a in args {
+                nt_children(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn count_any_consts(pat: &GTerm) -> usize {
+    match pat {
+        GTerm::AnyConst(_) => 1,
+        GTerm::App(_, args) => args.iter().map(count_any_consts).sum(),
+        _ => 0,
+    }
+}
+
+/// Expands `AnyVar` productions into explicit `Var` productions over the
+/// parameters, so the encoder only deals with deterministic leaves.
+fn expand_any_vars(grammar: &Grammar, params: &[(Symbol, Sort)]) -> Grammar {
+    fn expand(pat: &GTerm, params: &[(Symbol, Sort)]) -> Vec<GTerm> {
+        match pat {
+            GTerm::AnyVar(s) => params
+                .iter()
+                .filter(|&&(_, ps)| ps == *s)
+                .map(|&(p, ps)| GTerm::Var(p, ps))
+                .collect(),
+            GTerm::App(op, args) => {
+                let mut acc: Vec<Vec<GTerm>> = vec![Vec::new()];
+                for a in args {
+                    let opts = expand(a, params);
+                    let mut next = Vec::new();
+                    for prefix in &acc {
+                        for o in &opts {
+                            let mut p = prefix.clone();
+                            p.push(o.clone());
+                            next.push(p);
+                        }
+                    }
+                    acc = next;
+                }
+                acc.into_iter().map(|args| GTerm::App(*op, args)).collect()
+            }
+            other => vec![other.clone()],
+        }
+    }
+    let mut g = Grammar::new();
+    for nt in grammar.nonterminals() {
+        g.add_nonterminal(nt.name, nt.sort);
+    }
+    g.set_start(grammar.start());
+    for (i, nt) in grammar.nonterminals().iter().enumerate() {
+        for p in &nt.productions {
+            for expanded in expand(p, params) {
+                g.add_production(i, expanded);
+            }
+        }
+    }
+    g
+}
+
+impl GeneralEncoding {
+    /// Builds the encoding, or `None` when the grammar derives nothing
+    /// within `height` levels from the start symbol.
+    pub fn new(
+        grammar: &Grammar,
+        defs: &Definitions,
+        params: &[(Symbol, Sort)],
+        height: usize,
+    ) -> Option<GeneralEncoding> {
+        assert!((1..=12).contains(&height), "unreasonable height");
+        let grammar = expand_any_vars(grammar, params);
+        let n_nts = grammar.nonterminals().len();
+        // feasible_at[d][nt] for d in 1..=height (computed bottom-up).
+        let mut feasible_at: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n_nts]; height + 1];
+        for depth in (1..=height).rev() {
+            for nt in 0..n_nts {
+                let mut feas = Vec::new();
+                for (pi, prod) in grammar.nonterminal(nt).productions.iter().enumerate() {
+                    let mut kids = Vec::new();
+                    nt_children(prod, &mut kids);
+                    let ok = if depth == height {
+                        kids.is_empty()
+                    } else {
+                        kids.iter().all(|&k| !feasible_at[depth + 1][k].is_empty())
+                    };
+                    if ok {
+                        feas.push(pi);
+                    }
+                }
+                feasible_at[depth][nt] = feas;
+            }
+        }
+        if feasible_at[1][grammar.start()].is_empty() {
+            return None;
+        }
+        let max_arity = grammar
+            .nonterminals()
+            .iter()
+            .flat_map(|nt| &nt.productions)
+            .map(|p| {
+                let mut kids = Vec::new();
+                nt_children(p, &mut kids);
+                kids.len()
+            })
+            .max()
+            .unwrap_or(0);
+
+        // Build the position tree breadth-first.
+        let mut positions: Vec<PosNode> = Vec::new();
+        let mut queue: Vec<(usize, usize)> = Vec::new(); // (pos index, depth)
+        positions.push(PosNode {
+            depth: 1,
+            children: Vec::new(),
+            slots: Vec::new(),
+        });
+        queue.push((0, 1));
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (pos, depth) = queue[qi];
+            qi += 1;
+            if depth < height && max_arity > 0 {
+                for _ in 0..max_arity {
+                    let child = positions.len();
+                    positions.push(PosNode {
+                        depth: depth + 1,
+                        children: Vec::new(),
+                        slots: Vec::new(),
+                    });
+                    positions[pos].children.push(child);
+                    queue.push((child, depth + 1));
+                }
+            }
+        }
+        // Allocate slots.
+        for pos in 0..positions.len() {
+            let depth = positions[pos].depth;
+            let mut slots = Vec::with_capacity(n_nts);
+            for nt in 0..n_nts {
+                let feas = feasible_at[depth][nt].clone();
+                if feas.is_empty() {
+                    slots.push(None);
+                    continue;
+                }
+                let consts = feas
+                    .iter()
+                    .map(|&pi| {
+                        let k = count_any_consts(&grammar.nonterminal(nt).productions[pi]);
+                        (0..k).map(|_| Symbol::fresh("gk")).collect()
+                    })
+                    .collect();
+                slots.push(Some(NtSlot {
+                    selector: Symbol::fresh("sel"),
+                    feasible: feas,
+                    consts,
+                }));
+            }
+            positions[pos].slots = slots;
+        }
+        Some(GeneralEncoding {
+            grammar,
+            defs: defs.clone(),
+            params: params.to_vec(),
+            max_arity,
+            positions,
+        })
+    }
+
+    /// Selector-range and constant-bound side constraints.
+    pub fn bound_constraints(&self, const_bound: i64) -> Term {
+        let mut parts = Vec::new();
+        for pos in &self.positions {
+            for slot in pos.slots.iter().flatten() {
+                let sel = Term::var(slot.selector, Sort::Int);
+                parts.push(Term::ge(sel.clone(), Term::int(0)));
+                parts.push(Term::le(sel, Term::int(slot.feasible.len() as i64 - 1)));
+                for ks in &slot.consts {
+                    for &k in ks {
+                        let v = Term::var(k, Sort::Int);
+                        parts.push(Term::ge(v.clone(), Term::int(-const_bound)));
+                        parts.push(Term::le(v, Term::int(const_bound)));
+                    }
+                }
+            }
+        }
+        Term::and(parts)
+    }
+
+    /// The symbolic value of the program on concrete inputs `point`
+    /// (aligned with the parameters): a term over selectors and constant
+    /// unknowns only.
+    pub fn interpret(&self, point: &[Value]) -> Term {
+        assert_eq!(point.len(), self.params.len(), "arity mismatch");
+        self.value(0, self.grammar.start(), point)
+    }
+
+    fn value(&self, pos: usize, nt: NonterminalId, point: &[Value]) -> Term {
+        let slot = self.positions[pos].slots[nt]
+            .as_ref()
+            .expect("feasibility guarantees a slot");
+        let sel = Term::var(slot.selector, Sort::Int);
+        // Right-fold the feasible productions into a selector ite chain.
+        // Conditions use `sel ≤ i` rather than `sel = i` so the theory
+        // solver never sees disequalities from negated selector atoms.
+        let mut iter = slot.feasible.iter().enumerate().rev();
+        let (last_idx, &last_pi) = iter.next().expect("nonempty feasible set");
+        let mut consts = slot.consts[last_idx].iter();
+        let mut acc = self.prod_value(pos, nt, last_pi, &mut consts, point);
+        for (i, &pi) in iter {
+            let mut consts = slot.consts[i].iter();
+            let sem = self.prod_value(pos, nt, pi, &mut consts, point);
+            acc = Term::ite(Term::le(sel.clone(), Term::int(i as i64)), sem, acc);
+        }
+        acc
+    }
+
+    fn prod_value<'a>(
+        &self,
+        pos: usize,
+        nt: NonterminalId,
+        pi: usize,
+        consts: &mut impl Iterator<Item = &'a Symbol>,
+        point: &[Value],
+    ) -> Term {
+        let prod = self.grammar.nonterminal(nt).productions[pi].clone();
+        let mut child_iter = self.positions[pos].children.iter().copied();
+        self.pat_value(&prod, &mut child_iter, consts, point)
+    }
+
+    fn pat_value<'a>(
+        &self,
+        pat: &GTerm,
+        children: &mut impl Iterator<Item = usize>,
+        consts: &mut impl Iterator<Item = &'a Symbol>,
+        point: &[Value],
+    ) -> Term {
+        match pat {
+            GTerm::Const(n) => Term::int(*n),
+            GTerm::BoolConst(b) => Term::bool(*b),
+            GTerm::Var(v, _) => {
+                let idx = self
+                    .params
+                    .iter()
+                    .position(|&(p, _)| p == *v)
+                    .expect("grammar variable is a parameter");
+                match point[idx] {
+                    Value::Int(n) => Term::int(n),
+                    Value::Bool(b) => Term::bool(b),
+                }
+            }
+            GTerm::AnyConst(Sort::Int) => Term::var(
+                *consts.next().expect("constant unknown allocated"),
+                Sort::Int,
+            ),
+            GTerm::AnyConst(Sort::Bool) => Term::var(
+                *consts.next().expect("constant unknown allocated"),
+                Sort::Bool,
+            ),
+            GTerm::AnyVar(_) => unreachable!("AnyVar expanded during construction"),
+            GTerm::Nonterminal(id) => {
+                let child = children.next().expect("child position available");
+                self.value(child, *id, point)
+            }
+            GTerm::App(op, args) => {
+                let arg_terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.pat_value(a, children, consts, point))
+                    .collect();
+                match op {
+                    Op::Apply(f, _) => {
+                        // Inline interpreted grammar operators so the query
+                        // stays in QF_LIA.
+                        let def = self
+                            .defs
+                            .get(*f)
+                            .unwrap_or_else(|| panic!("grammar operator `{f}` has no definition"));
+                        def.instantiate(&arg_terms)
+                    }
+                    _ => Term::app(*op, arg_terms),
+                }
+            }
+        }
+    }
+
+    /// Decodes a model into a concrete grammar term over the parameters.
+    /// The result is a member of the (AnyVar-expanded) grammar by
+    /// construction.
+    pub fn decode(&self, model: &Model) -> Term {
+        self.decode_at(0, self.grammar.start(), model)
+    }
+
+    fn decode_at(&self, pos: usize, nt: NonterminalId, model: &Model) -> Term {
+        let slot = self.positions[pos].slots[nt]
+            .as_ref()
+            .expect("feasibility guarantees a slot");
+        let sel = model.int(slot.selector).to_i64().unwrap_or(0);
+        let idx = (sel.max(0) as usize).min(slot.feasible.len() - 1);
+        let pi = slot.feasible[idx];
+        let prod = self.grammar.nonterminal(nt).productions[pi].clone();
+        let mut children = self.positions[pos].children.iter().copied();
+        let mut consts = slot.consts[idx].iter();
+        self.decode_pat(&prod, &mut children, &mut consts, model)
+    }
+
+    fn decode_pat<'a>(
+        &self,
+        pat: &GTerm,
+        children: &mut impl Iterator<Item = usize>,
+        consts: &mut impl Iterator<Item = &'a Symbol>,
+        model: &Model,
+    ) -> Term {
+        match pat {
+            GTerm::Const(n) => Term::int(*n),
+            GTerm::BoolConst(b) => Term::bool(*b),
+            GTerm::Var(v, s) => Term::var(*v, *s),
+            GTerm::AnyConst(Sort::Int) => {
+                let k = consts.next().expect("constant unknown allocated");
+                Term::int(model.int(*k).to_i64().unwrap_or(0))
+            }
+            GTerm::AnyConst(Sort::Bool) => {
+                let k = consts.next().expect("constant unknown allocated");
+                Term::bool(model.boolean(*k))
+            }
+            GTerm::AnyVar(_) => unreachable!("AnyVar expanded during construction"),
+            GTerm::Nonterminal(id) => {
+                let child = children.next().expect("child position available");
+                self.decode_at(child, *id, model)
+            }
+            GTerm::App(op, args) => {
+                let arg_terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.decode_pat(a, children, consts, model))
+                    .collect();
+                Term::app(*op, arg_terms)
+            }
+        }
+    }
+
+    /// The total number of unknowns (a query-size proxy).
+    pub fn num_unknowns(&self) -> usize {
+        self.positions
+            .iter()
+            .flat_map(|p| p.slots.iter().flatten())
+            .map(|s| 1 + s.consts.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The maximum production arity (number of child slots per node).
+    pub fn max_arity(&self) -> usize {
+        self.max_arity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtkit::{SmtResult, SmtSolver};
+    use sygus_ast::{Env, FuncDef};
+
+    fn qm_defs() -> Definitions {
+        let mut defs = Definitions::new();
+        let a = Symbol::new("ga");
+        let b = Symbol::new("gb");
+        defs.define(
+            Symbol::new("qm"),
+            FuncDef::new(
+                vec![(a, Sort::Int), (b, Sort::Int)],
+                Sort::Int,
+                Term::ite(
+                    Term::lt(Term::var(a, Sort::Int), Term::int(0)),
+                    Term::var(b, Sort::Int),
+                    Term::var(a, Sort::Int),
+                ),
+            ),
+        );
+        defs
+    }
+
+    fn gqm(params: &[(Symbol, Sort)]) -> Grammar {
+        let qm = Op::Apply(Symbol::new("qm"), Sort::Int);
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        for &(p, sort) in params {
+            g.add_production(s, GTerm::Var(p, sort));
+        }
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(s, GTerm::Const(1));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            s,
+            GTerm::App(Op::Sub, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            s,
+            GTerm::App(qm, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g
+    }
+
+    #[test]
+    fn height_one_only_leaves() {
+        let x = Symbol::new("hx");
+        let params = [(x, Sort::Int)];
+        let enc = GeneralEncoding::new(&gqm(&params), &qm_defs(), &params, 1).expect("encodes");
+        // Leaf productions: x, 0, 1 → selector range 0..=2 and no consts.
+        assert_eq!(enc.num_unknowns(), 1);
+        let t = enc.interpret(&[Value::Int(9)]);
+        // Selector ite chain over {9, 0, 1}.
+        assert!(t.to_string().contains("ite"));
+    }
+
+    #[test]
+    fn infeasible_when_no_leaf_production() {
+        // S -> (+ S S) only: nothing derivable at any finite height.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let x = Symbol::new("ix");
+        assert!(GeneralEncoding::new(&g, &Definitions::new(), &[(x, Sort::Int)], 3).is_none());
+    }
+
+    #[test]
+    fn synthesizes_qm_based_abs_difference() {
+        // Target on points: f(x, y) = qm(x - y, y - x)… keep it simpler:
+        // find a height-2 Gqm term computing max(x, 0) = qm? qm(x, 0) is
+        // ite(x<0, 0, x) = max(x, 0). Points: (−3 → 0), (5 → 5).
+        let x = Symbol::new("qx");
+        let params = [(x, Sort::Int)];
+        let enc = GeneralEncoding::new(&gqm(&params), &qm_defs(), &params, 2).expect("encodes");
+        let cases = [(-3i64, 0i64), (5, 5), (-1, 0), (2, 2)];
+        let query = Term::and(
+            cases
+                .iter()
+                .map(|&(input, want)| {
+                    Term::eq(enc.interpret(&[Value::Int(input)]), Term::int(want))
+                })
+                .chain(std::iter::once(enc.bound_constraints(4))),
+        );
+        match SmtSolver::new().check(&query).expect("solver ok") {
+            SmtResult::Sat(model) => {
+                let cand = enc.decode(&model);
+                let defs = qm_defs();
+                for &(input, want) in &cases {
+                    let env = Env::from_pairs(&[x], &[Value::Int(input)]);
+                    assert_eq!(
+                        cand.eval(&env, &defs),
+                        Ok(Value::Int(want)),
+                        "candidate {cand} at {input}"
+                    );
+                }
+                // Membership in the original grammar.
+                assert!(gqm(&params).generates(&cand), "not in grammar: {cand}");
+            }
+            SmtResult::Unsat => panic!("qm(x,0) exists at height 2"),
+        }
+    }
+
+    #[test]
+    fn decode_respects_grammar_membership() {
+        let x = Symbol::new("dgx");
+        let params = [(x, Sort::Int)];
+        let g = gqm(&params);
+        let enc = GeneralEncoding::new(&g, &qm_defs(), &params, 3).expect("encodes");
+        // Arbitrary model (all defaults): decode must be a grammar member.
+        let t = enc.decode(&Model::default());
+        assert!(g.generates(&t), "decoded {t} not in grammar");
+    }
+
+    #[test]
+    fn any_const_production_becomes_unknown() {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::AnyConst(Sort::Int));
+        let x = Symbol::new("kx");
+        let params = [(x, Sort::Int)];
+        let enc = GeneralEncoding::new(&g, &Definitions::new(), &params, 1).expect("encodes");
+        assert_eq!(enc.num_unknowns(), 2); // selector + one constant
+                                           // Force f() = 7 on any input: sat with constant 7 decoded.
+        let q = Term::and([
+            Term::eq(enc.interpret(&[Value::Int(0)]), Term::int(7)),
+            enc.bound_constraints(10),
+        ]);
+        match SmtSolver::new().check(&q).unwrap() {
+            SmtResult::Sat(m) => assert_eq!(enc.decode(&m), Term::int(7)),
+            SmtResult::Unsat => panic!("constant grammar must fit"),
+        }
+    }
+
+    #[test]
+    fn any_var_expansion() {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::AnyVar(Sort::Int));
+        let x = Symbol::new("avx");
+        let y = Symbol::new("avy");
+        let params = [(x, Sort::Int), (y, Sort::Int)];
+        let enc = GeneralEncoding::new(&g, &Definitions::new(), &params, 1).expect("encodes");
+        // f(x,y) = y on point (1, 2): selector must pick y.
+        let q = Term::eq(enc.interpret(&[Value::Int(1), Value::Int(2)]), Term::int(2));
+        match SmtSolver::new()
+            .check(&Term::and([q, enc.bound_constraints(1)]))
+            .unwrap()
+        {
+            SmtResult::Sat(m) => {
+                assert_eq!(enc.decode(&m), Term::var(y, Sort::Int));
+            }
+            SmtResult::Unsat => panic!("variable grammar must fit"),
+        }
+    }
+
+    #[test]
+    fn boolean_nonterminal_grammar() {
+        // B -> (>= x 0) | (not B)
+        let x = Symbol::new("bgx");
+        let mut g = Grammar::new();
+        let b = g.add_nonterminal("B", Sort::Bool);
+        g.add_production(
+            b,
+            GTerm::App(Op::Ge, vec![GTerm::Var(x, Sort::Int), GTerm::Const(0)]),
+        );
+        g.add_production(b, GTerm::App(Op::Not, vec![GTerm::Nonterminal(b)]));
+        let params = [(x, Sort::Int)];
+        let enc = GeneralEncoding::new(&g, &Definitions::new(), &params, 2).expect("encodes");
+        // Want f(-5) = true → must pick (not (>= x 0)).
+        let q = Term::and([enc.interpret(&[Value::Int(-5)]), enc.bound_constraints(1)]);
+        match SmtSolver::new().check(&q).unwrap() {
+            SmtResult::Sat(m) => {
+                let t = enc.decode(&m);
+                assert_eq!(t.to_string(), "(not (>= bgx 0))");
+            }
+            SmtResult::Unsat => panic!("negation must be selectable"),
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Loop summarization for invariant synthesis (Section 6, "Loop Summary
+//! for Invariant Synthesis" / Appendix A): for *acyclic translational*
+//! loops — guarded simultaneous translations `x := x + c` — the k-step
+//! transition relation `fast-trans(x, y) ⇔ ∃k ≥ 0. transᵏ(x) = y` has a
+//! linear closed form.
+//!
+//! The resulting constraint `pre(x) ∧ fast-trans(x, y) → inv(y)` is implied
+//! by the original spec (any inductive invariant contains every reachable
+//! state), so adding it preserves the solution set while pruning the search
+//! dramatically.
+
+use sygus_ast::{conjuncts, simplify, InvInfo, Op, Problem, Sort, Symbol, Term, TermNode};
+
+/// A recognized guarded translation: `xᵢ' = ite(guard, xᵢ + stepᵢ, xᵢ)`
+/// (or unguarded `xᵢ' = xᵢ + stepᵢ`, represented with guard `true`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Per-variable step constants, aligned with [`InvInfo::vars`].
+    pub steps: Vec<i64>,
+    /// The shared loop guard over the unprimed variables (a conjunction of
+    /// linear comparisons; `true` for unguarded loops).
+    pub guard: Term,
+}
+
+/// Attempts to recognize the transition relation of an INV problem as a
+/// guarded translation.
+///
+/// The transition definition must be a conjunction of equalities
+/// `xᵢ' = eᵢ` where every `eᵢ` is `xᵢ + cᵢ`, `ite(G, xᵢ + cᵢ, xᵢ)` with a
+/// shared `G`, or `xᵢ` (step 0). The guard must be a conjunction of linear
+/// comparisons so that convexity makes endpoint checks sufficient.
+pub fn recognize_translation(problem: &Problem) -> Option<Translation> {
+    let info = problem.inv.as_ref()?;
+    let trans_def = problem.definitions.get(info.trans)?;
+    // The trans definition's own parameter names (first n unprimed, next n
+    // primed).
+    let n = info.vars.len();
+    if trans_def.params.len() != 2 * n {
+        return None;
+    }
+    let unprimed: Vec<Symbol> = trans_def.params[..n].iter().map(|&(v, _)| v).collect();
+    let primed: Vec<Symbol> = trans_def.params[n..].iter().map(|&(v, _)| v).collect();
+    let body = simplify(&trans_def.body);
+    let eqs = conjuncts(&body);
+    if eqs.len() != n {
+        return None;
+    }
+    let mut steps: Vec<Option<i64>> = vec![None; n];
+    let mut guard: Option<Term> = None;
+    for eq in &eqs {
+        let (op, args) = eq.as_app()?;
+        if *op != Op::Eq {
+            return None;
+        }
+        // One side is a primed variable.
+        let (pv, rhs) = match (args[0].as_var(), args[1].as_var()) {
+            (Some(v), _) if primed.contains(&v) => (v, &args[1]),
+            (_, Some(v)) if primed.contains(&v) => (v, &args[0]),
+            _ => return None,
+        };
+        let i = primed.iter().position(|&p| p == pv)?;
+        let (step, this_guard) = recognize_update(rhs, unprimed[i])?;
+        if steps[i].is_some() {
+            return None; // duplicate update
+        }
+        steps[i] = Some(step);
+        if let Some(g) = this_guard {
+            match &guard {
+                None => guard = Some(g),
+                Some(existing) if *existing == g => {}
+                _ => return None, // differing guards
+            }
+        }
+    }
+    let steps: Option<Vec<i64>> = steps.into_iter().collect();
+    let steps = steps?;
+    if steps.iter().all(|&s| s == 0) {
+        return None; // stationary loop: nothing to summarize
+    }
+    // Need a unit-step pivot to express k linearly.
+    if !steps.iter().any(|&s| s.abs() == 1) {
+        return None;
+    }
+    let guard = guard.unwrap_or_else(Term::tt);
+    if !is_linear_conjunction(&guard) {
+        return None;
+    }
+    // Rename the trans-definition parameter names to the problem's variable
+    // names (they usually coincide, but do not have to).
+    let rename: std::collections::BTreeMap<Symbol, Term> = unprimed
+        .iter()
+        .zip(&info.vars)
+        .map(|(&p, &(v, s))| (p, Term::var(v, s)))
+        .collect();
+    Some(Translation {
+        steps,
+        guard: guard.subst_vars(&rename),
+    })
+}
+
+/// Recognizes `x + c`, `ite(G, x + c, x)`, or `x` for a specific unprimed
+/// variable; returns the step and the optional guard.
+fn recognize_update(rhs: &Term, x: Symbol) -> Option<(i64, Option<Term>)> {
+    if rhs.as_var() == Some(x) {
+        return Some((0, None));
+    }
+    if let Some(c) = offset_of(rhs, x) {
+        return Some((c, None));
+    }
+    if let TermNode::App(Op::Ite, args) = rhs.node() {
+        let g = args[0].clone();
+        // ite(G, x + c, x)
+        if args[2].as_var() == Some(x) {
+            if let Some(c) = offset_of(&args[1], x) {
+                return Some((c, Some(g)));
+            }
+        }
+        // ite(G, x, x + c) — guard negated
+        if args[1].as_var() == Some(x) {
+            if let Some(c) = offset_of(&args[2], x) {
+                return Some((c, Some(Term::not(g))));
+            }
+        }
+    }
+    None
+}
+
+/// `rhs = x + c` (any association) returns `c`.
+fn offset_of(rhs: &Term, x: Symbol) -> Option<i64> {
+    let lin = sygus_ast::LinearExpr::from_term(rhs).ok()?;
+    if lin.coeff(x) != 1 {
+        return None;
+    }
+    if lin.iter().any(|(v, c)| v != x && c != 0) {
+        return None;
+    }
+    Some(lin.constant())
+}
+
+fn is_linear_conjunction(guard: &Term) -> bool {
+    conjuncts(guard).iter().all(|c| {
+        c.as_bool_const().is_some()
+            || c.as_app().is_some_and(|(op, args)| {
+                op.is_comparison()
+                    && sygus_ast::LinearExpr::from_term(&args[0]).is_ok()
+                    && sygus_ast::LinearExpr::from_term(&args[1]).is_ok()
+            })
+    })
+}
+
+/// Builds the closed form `fast-trans(x, y)` for a recognized translation:
+///
+/// `y = x  ∨  (k ≥ 1 ∧ same-k ∧ guard(x) ∧ guard(y − c))`
+///
+/// where `k` is read off a unit-step pivot variable and convexity of the
+/// linear guard makes the two endpoint checks cover all intermediate steps.
+pub fn fast_trans(info: &InvInfo, t: &Translation) -> Term {
+    let x: Vec<Term> = info.vars.iter().map(|&(v, s)| Term::var(v, s)).collect();
+    let y: Vec<Term> = info
+        .primed_vars
+        .iter()
+        .map(|&(v, s)| Term::var(v, s))
+        .collect();
+    let n = x.len();
+    // y = x
+    let stay = Term::and((0..n).map(|i| Term::eq(y[i].clone(), x[i].clone())));
+    // Pivot with |step| = 1.
+    let pivot = (0..n)
+        .find(|&i| t.steps[i].abs() == 1)
+        .expect("recognizer guarantees a unit pivot");
+    let sign = t.steps[pivot];
+    // k = sign · (y_p − x_p) ≥ 1
+    let k = Term::scale(sign, Term::sub(y[pivot].clone(), x[pivot].clone()));
+    let k_ge_1 = Term::ge(k, Term::int(1));
+    // Same k for every variable: step_p · (y_i − x_i) = step_i · (y_p − x_p).
+    let same_k = Term::and((0..n).filter(|&i| i != pivot).map(|i| {
+        Term::eq(
+            Term::scale(t.steps[pivot], Term::sub(y[i].clone(), x[i].clone())),
+            Term::scale(t.steps[i], Term::sub(y[pivot].clone(), x[pivot].clone())),
+        )
+    }));
+    // guard(x) and guard(y − c).
+    let guard_at_x = t.guard.clone();
+    let back_one: std::collections::BTreeMap<Symbol, Term> = info
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, _))| (v, Term::sub(y[i].clone(), Term::int(t.steps[i]))))
+        .collect();
+    let guard_at_last = t.guard.subst_vars(&back_one);
+    let moved = Term::and([k_ge_1, same_k, guard_at_x, guard_at_last]);
+    simplify(&Term::or([stay, moved]))
+}
+
+/// If the INV problem's loop is summarizable, returns the reachability
+/// constraint `pre(x) ∧ fast-trans(x, y) → inv(y)` to *add* to the spec.
+///
+/// Adding it is sound and complete: every inductive invariant contains all
+/// reachable states, so no solution is lost; the constraint guides the
+/// inductive synthesizer straight to reachability-respecting candidates.
+pub fn summarize(problem: &Problem) -> Option<Term> {
+    let info = problem.inv.as_ref()?;
+    let t = recognize_translation(problem)?;
+    let ft = fast_trans(info, &t);
+    let pre_def = problem.definitions.get(info.pre)?;
+    let x_terms: Vec<Term> = info.vars.iter().map(|&(v, s)| Term::var(v, s)).collect();
+    let y_terms: Vec<Term> = info
+        .primed_vars
+        .iter()
+        .map(|&(v, s)| Term::var(v, s))
+        .collect();
+    let pre_x = pre_def.instantiate(&x_terms);
+    let inv_y = Term::apply(problem.synth_fun.name, Sort::Bool, y_terms);
+    Some(Term::implies(Term::and([pre_x, ft]), inv_y))
+}
+
+/// Applies [`summarize`] in place; returns whether the spec was extended.
+pub fn strengthen_with_summary(problem: &mut Problem) -> bool {
+    match summarize(problem) {
+        Some(c) => {
+            problem.constraints.push(c);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtkit::{SmtSolver, Validity};
+    use sygus_parser::parse_problem;
+
+    const COUNTER: &str = r#"
+        (set-logic LIA)
+        (synth-inv inv ((x Int)))
+        (define-fun pre ((x Int)) Bool (= x 0))
+        (define-fun trans ((x Int) (x! Int)) Bool (= x! (ite (< x 100) (+ x 1) x)))
+        (define-fun post ((x Int)) Bool (=> (not (< x 100)) (= x 100)))
+        (inv-constraint inv pre trans post)
+        (check-synth)
+    "#;
+
+    #[test]
+    fn recognizes_guarded_counter() {
+        let p = parse_problem(COUNTER).unwrap();
+        let t = recognize_translation(&p).expect("translational");
+        assert_eq!(t.steps, vec![1]);
+        assert_eq!(t.guard.to_string(), "(< x 100)");
+    }
+
+    #[test]
+    fn recognizes_unguarded_translation() {
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int) (y Int)))
+            (define-fun pre ((x Int) (y Int)) Bool (and (= x 0) (= y 0)))
+            (define-fun trans ((x Int) (y Int) (x! Int) (y! Int)) Bool
+                (and (= x! (+ x 1)) (= y! (+ y 2))))
+            (define-fun post ((x Int) (y Int)) Bool (>= y x))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        let t = recognize_translation(&p).expect("translational");
+        assert_eq!(t.steps, vec![1, 2]);
+        assert_eq!(t.guard, Term::tt());
+    }
+
+    #[test]
+    fn rejects_non_translational() {
+        // x' = 2x is not a translation.
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (= x 1))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! (* 2 x)))
+            (define-fun post ((x Int)) Bool (>= x 1))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        assert!(recognize_translation(&p).is_none());
+    }
+
+    #[test]
+    fn rejects_without_unit_pivot() {
+        // All steps have magnitude 2: k is not linearly expressible.
+        let p = parse_problem(
+            r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (= x 0))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! (+ x 2)))
+            (define-fun post ((x Int)) Bool (>= x 0))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#,
+        )
+        .unwrap();
+        assert!(recognize_translation(&p).is_none());
+    }
+
+    #[test]
+    fn fast_trans_semantics_on_counter() {
+        let p = parse_problem(COUNTER).unwrap();
+        let info = p.inv.as_ref().unwrap();
+        let t = recognize_translation(&p).unwrap();
+        let ft = fast_trans(info, &t);
+        let defs = sygus_ast::Definitions::new();
+        let x = Symbol::new("x");
+        let xp = Symbol::new("x!");
+        // Simulate the loop from x=0: states 0..=100 are exactly the y with
+        // fast_trans(0, y).
+        for y in -3i64..=103 {
+            let env = sygus_ast::Env::from_pairs(
+                &[x, xp],
+                &[sygus_ast::Value::Int(0), sygus_ast::Value::Int(y)],
+            );
+            let got = ft.eval(&env, &defs).expect("eval");
+            let expected = (0..=100).contains(&y);
+            assert_eq!(got, sygus_ast::Value::Bool(expected), "fast_trans(0, {y})");
+        }
+        // From x=42 only 42..=100 are reachable.
+        for y in [41, 42, 55, 100, 101] {
+            let env = sygus_ast::Env::from_pairs(
+                &[x, xp],
+                &[sygus_ast::Value::Int(42), sygus_ast::Value::Int(y)],
+            );
+            let got = ft.eval(&env, &defs).expect("eval");
+            assert_eq!(
+                got,
+                sygus_ast::Value::Bool((42..=100).contains(&y)),
+                "fast_trans(42, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_constraint_is_implied_by_true_invariant() {
+        // The summary constraint must accept the actual invariant
+        // 0 ≤ x ≤ 100 (soundness of strengthening).
+        let p = parse_problem(COUNTER).unwrap();
+        let summary = summarize(&p).expect("summarizable");
+        let xv = Term::int_var("x");
+        let inv_body = Term::and([
+            Term::ge(xv.clone(), Term::int(0)),
+            Term::le(xv, Term::int(100)),
+        ]);
+        let def = sygus_ast::FuncDef::new(p.synth_fun.params.clone(), Sort::Bool, inv_body);
+        let instantiated = summary.instantiate_func(p.synth_fun.name, &def);
+        assert_eq!(
+            SmtSolver::new().check_valid(&instantiated),
+            Ok(Validity::Valid)
+        );
+    }
+
+    #[test]
+    fn strengthen_adds_one_constraint() {
+        let mut p = parse_problem(COUNTER).unwrap();
+        let before = p.constraints.len();
+        assert!(strengthen_with_summary(&mut p));
+        assert_eq!(p.constraints.len(), before + 1);
+    }
+
+    #[test]
+    fn non_inv_problem_not_summarized() {
+        let mut p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+             (constraint (= (f x) x))(check-synth)",
+        )
+        .unwrap();
+        assert!(!strengthen_with_summary(&mut p));
+    }
+}

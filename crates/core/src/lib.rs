@@ -1,0 +1,36 @@
+//! `dryadsynth`: the cooperative SyGuS solver of *Reconciling Enumerative
+//! and Deductive Program Synthesis* (PLDI 2020), reimplemented in Rust.
+
+#![warn(missing_docs)]
+
+mod baselines;
+mod cooperative;
+mod deduction;
+mod divide;
+mod encode_clia;
+mod encode_general;
+mod fixed_height;
+mod invariant;
+mod parallel;
+mod simplify_solution;
+mod solver;
+
+pub use baselines::{BaselineConfig, CegqiSolver, HoudiniInvSolver};
+pub use cooperative::{CoopStats, CooperativeSolver, SynthOutcome};
+pub use deduction::{match_into_grammar, Deduced, DeductOutcome, DeductionConfig, DeductiveEngine};
+pub use divide::{verify_solution, DivideConfig, Divider, Division, TypeBOutcome, TypeBRecipe};
+pub use encode_clia::{tree_nodes, CliaTreeEncoding};
+pub use encode_general::GeneralEncoding;
+pub use fixed_height::{
+    default_examples, CancelFlag, ExamplePool, FixedHeightConfig, FixedHeightResult,
+    FixedHeightSolver,
+};
+pub use invariant::{
+    fast_trans, recognize_translation, strengthen_with_summary, summarize, Translation,
+};
+pub use parallel::{BottomUpBackend, EnumBackend, FixedHeightBackend, ParallelHeightBackend};
+pub use simplify_solution::{simplify_solution, SimplifyConfig};
+pub use solver::{
+    competition_solvers, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
+    LoopInvGenBaseline, SygusSolver,
+};

@@ -1,0 +1,231 @@
+//! Semantic post-simplification of synthesized solutions: dead `ite`
+//! branches are pruned with SMT queries under accumulated path conditions,
+//! and identical branches collapse. The deductive rules produce correct but
+//! bulky nested-`ite` terms (Figure 9's output); this pass shrinks them
+//! without changing semantics, which is what Table 1 measures.
+
+use smtkit::{SmtConfig, SmtSolver, Validity};
+use std::time::Instant;
+use sygus_ast::{simplify, Op, Term, TermNode};
+
+/// Configuration for the solution simplifier.
+#[derive(Clone, Debug, Default)]
+pub struct SimplifyConfig {
+    /// Deadline for the embedded SMT queries; on timeout the term is
+    /// returned as-is (simplification is best-effort).
+    pub deadline: Option<Instant>,
+}
+
+/// Simplifies a solution body semantically. The result is equivalent to the
+/// input on all integer inputs (each rewrite is justified by a validity
+/// query); on any solver error the corresponding rewrite is skipped.
+///
+/// # Examples
+///
+/// ```
+/// use dryadsynth::simplify_solution;
+/// use sygus_ast::Term;
+/// let x = Term::int_var("x");
+/// // ite(x >= 0, x, x) collapses structurally; ite(x >= x, a, b) → a
+/// // because the condition is valid.
+/// let t = Term::app(
+///     sygus_ast::Op::Ite,
+///     vec![
+///         Term::app(sygus_ast::Op::Ge, vec![x.clone(), x.clone()]),
+///         x.clone(),
+///         Term::int(0),
+///     ],
+/// );
+/// assert_eq!(simplify_solution(&t, &Default::default()), x);
+/// ```
+pub fn simplify_solution(body: &Term, config: &SimplifyConfig) -> Term {
+    let smt = SmtSolver::with_config(SmtConfig {
+        deadline: config.deadline,
+        ..SmtConfig::default()
+    });
+    let folded = simplify(body);
+    let pruned = prune(&folded, &Vec::new(), &smt);
+    // Keep the smaller of the two (pruning cannot grow, but be safe).
+    if pruned.size() <= folded.size() {
+        pruned
+    } else {
+        folded
+    }
+}
+
+/// Recursively prunes `t` under the path condition `path` (a conjunction of
+/// literals known to hold here).
+fn prune(t: &Term, path: &Vec<Term>, smt: &SmtSolver) -> Term {
+    match t.node() {
+        TermNode::App(Op::Ite, args) => {
+            let cond = prune(&args[0], path, smt);
+            // Is the condition decided under the path?
+            let ctx = Term::and(path.iter().cloned());
+            let implies_true = Term::implies(ctx.clone(), cond.clone());
+            if matches!(smt.check_valid(&implies_true), Ok(Validity::Valid)) {
+                return prune(&args[1], path, smt);
+            }
+            let implies_false = Term::implies(ctx, Term::not(cond.clone()));
+            if matches!(smt.check_valid(&implies_false), Ok(Validity::Valid)) {
+                return prune(&args[2], path, smt);
+            }
+            let mut then_path = path.clone();
+            then_path.push(cond.clone());
+            let then_branch = prune(&args[1], &then_path, smt);
+            let mut else_path = path.clone();
+            else_path.push(Term::not(cond.clone()));
+            let else_branch = prune(&args[2], &else_path, smt);
+            if then_branch == else_branch {
+                return then_branch;
+            }
+            // Branches equivalent under their paths? Try the cheap global
+            // equivalence query (sound; may miss path-relative equality).
+            if then_branch.sort() == else_branch.sort()
+                && matches!(
+                    smt.check_valid(&Term::eq(then_branch.clone(), else_branch.clone())),
+                    Ok(Validity::Valid)
+                )
+            {
+                return then_branch;
+            }
+            Term::ite(cond, then_branch, else_branch)
+        }
+        TermNode::App(op, args) => {
+            let new_args: Vec<Term> = args.iter().map(|a| prune(a, path, smt)).collect();
+            Term::rebuild(op, new_args)
+        }
+        _ => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_ast::{Definitions, Env, Symbol, Value};
+
+    fn x() -> Term {
+        Term::int_var("spx")
+    }
+    fn y() -> Term {
+        Term::int_var("spy")
+    }
+
+    fn cfg() -> SimplifyConfig {
+        SimplifyConfig::default()
+    }
+
+    #[test]
+    fn valid_condition_prunes_to_then() {
+        let t = Term::app(
+            Op::Ite,
+            vec![
+                Term::app(Op::Ge, vec![Term::add(x(), Term::int(1)), x()]),
+                x(),
+                y(),
+            ],
+        );
+        assert_eq!(simplify_solution(&t, &cfg()), x());
+    }
+
+    #[test]
+    fn unsat_condition_prunes_to_else() {
+        let t = Term::app(Op::Ite, vec![Term::app(Op::Lt, vec![x(), x()]), x(), y()]);
+        assert_eq!(simplify_solution(&t, &cfg()), y());
+    }
+
+    #[test]
+    fn nested_redundant_test_collapses() {
+        // ite(x ≥ y, ite(x ≥ y, x, 0), y): the inner test is implied.
+        let c = Term::app(Op::Ge, vec![x(), y()]);
+        let t = Term::app(
+            Op::Ite,
+            vec![
+                c.clone(),
+                Term::app(Op::Ite, vec![c.clone(), x(), Term::int(0)]),
+                y(),
+            ],
+        );
+        let s = simplify_solution(&t, &cfg());
+        assert_eq!(s, Term::ite(c, x(), y()));
+    }
+
+    #[test]
+    fn contradicted_inner_test_collapses() {
+        // ite(x ≥ y, x, ite(x ≥ y, 0, y)) — the inner test is false there.
+        let c = Term::app(Op::Ge, vec![x(), y()]);
+        let t = Term::app(
+            Op::Ite,
+            vec![
+                c.clone(),
+                x(),
+                Term::app(Op::Ite, vec![c.clone(), Term::int(0), y()]),
+            ],
+        );
+        assert_eq!(simplify_solution(&t, &cfg()), Term::ite(c, x(), y()));
+    }
+
+    #[test]
+    fn equivalent_branches_merge() {
+        // ite(x ≥ 0, x + x, 2x) → 2x (or x+x, equal semantics).
+        let t = Term::app(
+            Op::Ite,
+            vec![
+                Term::app(Op::Ge, vec![x(), Term::int(0)]),
+                Term::app(Op::Add, vec![x(), x()]),
+                Term::scale(2, x()),
+            ],
+        );
+        let s = simplify_solution(&t, &cfg());
+        assert!(!s.to_string().contains("ite"), "{s}");
+    }
+
+    #[test]
+    fn live_ite_is_kept_and_semantics_preserved() {
+        let t = Term::ite(Term::ge(x(), y()), x(), y());
+        let s = simplify_solution(&t, &cfg());
+        assert_eq!(s, t);
+        let defs = Definitions::new();
+        for a in -3..3 {
+            for b in -3..3 {
+                let env = Env::from_pairs(
+                    &[Symbol::new("spx"), Symbol::new("spy")],
+                    &[Value::Int(a), Value::Int(b)],
+                );
+                assert_eq!(t.eval(&env, &defs), s.eval(&env, &defs));
+            }
+        }
+    }
+
+    #[test]
+    fn figure_9_style_output_shrinks() {
+        // The deduced max3 has a duplicated max2 subtree in condition and
+        // branch; pruning must not grow it and must preserve semantics.
+        let m2 = Term::ite(Term::ge(x(), y()), x(), y());
+        let z = Term::int_var("spz");
+        let t = Term::ite(
+            Term::ge(m2.clone(), z.clone()),
+            Term::ite(Term::ge(x(), y()), x(), y()),
+            z.clone(),
+        );
+        let s = simplify_solution(&t, &cfg());
+        assert!(s.size() <= t.size());
+        let defs = Definitions::new();
+        for a in [-2i64, 0, 3] {
+            for b in [-1i64, 2] {
+                for c in [-3i64, 1, 4] {
+                    let env = Env::from_pairs(
+                        &[Symbol::new("spx"), Symbol::new("spy"), Symbol::new("spz")],
+                        &[Value::Int(a), Value::Int(b), Value::Int(c)],
+                    );
+                    assert_eq!(t.eval(&env, &defs), s.eval(&env, &defs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_ite_terms_untouched() {
+        let t = Term::add(x(), Term::scale(3, y()));
+        assert_eq!(simplify_solution(&t, &cfg()), t);
+    }
+}

@@ -1,0 +1,319 @@
+//! The public solver façade: named engine configurations matching every
+//! system compared in the paper's evaluation, behind one [`SygusSolver`]
+//! trait the experiment harness drives uniformly.
+
+use crate::{
+    strengthen_with_summary, BaselineConfig, BottomUpBackend, CegqiSolver, CoopStats,
+    CooperativeSolver, DeductionConfig, DivideConfig, Divider, FixedHeightBackend,
+    FixedHeightConfig, HoudiniInvSolver, ParallelHeightBackend, SynthOutcome,
+};
+use enum_synth::{BottomUpConfig, BottomUpSolver, SynthStatus};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sygus_ast::Problem;
+
+/// A uniform interface over every solver in the evaluation.
+pub trait SygusSolver: Send + Sync {
+    /// The solver's display name (used in the figures).
+    fn name(&self) -> &'static str;
+
+    /// Attempts `problem` within the wall-clock budget.
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome;
+}
+
+/// Which engine configuration to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Full cooperative synthesis (the paper's DryadSynth).
+    Cooperative,
+    /// Plain height-based enumeration (Algorithm 2 alone; Figure 14).
+    HeightEnumOnly,
+    /// Plain deduction (Algorithm 3 alone; Figure 15).
+    DeductionOnly,
+    /// Cooperative with the bottom-up enumerator as backend (Figure 16).
+    BottomUpBacked,
+}
+
+/// Top-level DryadSynth configuration.
+#[derive(Clone, Debug)]
+pub struct DryadSynthConfig {
+    /// The engine variant.
+    pub engine: Engine,
+    /// Maximum decision-tree height explored by the enumeration backend.
+    pub max_height: usize,
+    /// Worker threads for the parallel height search (1 = sequential).
+    pub threads: usize,
+    /// Maximum subproblem-graph nodes.
+    pub max_nodes: usize,
+    /// Whether invariant problems are strengthened with the loop summary
+    /// (Section 6's `fast-trans` reduction) when recognizable.
+    pub loop_summarization: bool,
+}
+
+impl Default for DryadSynthConfig {
+    fn default() -> DryadSynthConfig {
+        // Parallel height search only helps with real cores; on a
+        // single-CPU host the extra worker doubles the work instead.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(2))
+            .unwrap_or(1);
+        DryadSynthConfig {
+            engine: Engine::Cooperative,
+            max_height: 5,
+            threads,
+            max_nodes: 48,
+            loop_summarization: true,
+        }
+    }
+}
+
+/// The DryadSynth solver façade.
+///
+/// # Examples
+///
+/// ```
+/// use dryadsynth::{DryadSynth, SygusSolver, SynthOutcome};
+/// use std::time::Duration;
+/// use sygus_parser::parse_problem;
+/// let p = parse_problem(
+///     "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+///      (constraint (= (f x) (+ x 1)))(check-synth)",
+/// ).unwrap();
+/// let solver = DryadSynth::default();
+/// match solver.solve_problem(&p, Duration::from_secs(20)) {
+///     SynthOutcome::Solved(t) => assert_eq!(t.to_string(), "(+ x 1)"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DryadSynth {
+    config: DryadSynthConfig,
+}
+
+impl DryadSynth {
+    /// Creates the solver with a configuration.
+    pub fn new(config: DryadSynthConfig) -> DryadSynth {
+        DryadSynth { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DryadSynthConfig {
+        &self.config
+    }
+
+    /// Solves and also reports cooperative-run statistics (for the
+    /// ablation figures).
+    pub fn solve_with_stats(
+        &self,
+        problem: &Problem,
+        timeout: Duration,
+    ) -> (SynthOutcome, CoopStats) {
+        let deadline = Instant::now() + timeout;
+        let mut problem = problem.clone();
+        if self.config.loop_summarization && self.config.engine != Engine::HeightEnumOnly {
+            strengthen_with_summary(&mut problem);
+        }
+        let fh = FixedHeightConfig {
+            deadline: Some(deadline),
+            ..FixedHeightConfig::default()
+        };
+        let backend: Arc<dyn crate::EnumBackend> = match self.config.engine {
+            Engine::BottomUpBacked => Arc::new(
+                BottomUpBackend::new(BottomUpConfig::default()).with_deadline(Some(deadline)),
+            ),
+            _ if self.config.threads > 1 => Arc::new(ParallelHeightBackend::new(
+                fh,
+                self.config.max_height,
+                self.config.threads,
+            )),
+            _ => Arc::new(FixedHeightBackend::new(fh, self.config.max_height)),
+        };
+        let solver = CooperativeSolver::new(
+            DeductionConfig {
+                deadline: Some(deadline),
+            },
+            Divider::new(DivideConfig {
+                deadline: Some(deadline),
+                ..DivideConfig::default()
+            }),
+            backend,
+            Some(deadline),
+        )
+        .with_max_nodes(self.config.max_nodes);
+        let solver = match self.config.engine {
+            Engine::HeightEnumOnly => solver.enumeration_only(),
+            Engine::DeductionOnly => solver.deduction_only(),
+            _ => solver,
+        };
+        let (outcome, stats) = solver.solve_with_stats(&problem);
+        // Semantic post-simplification (best-effort, deadline-bounded);
+        // keep the result only when it still verifies and stays in grammar.
+        let outcome = match outcome {
+            SynthOutcome::Solved(body) => {
+                let slim = crate::simplify_solution(
+                    &body,
+                    &crate::SimplifyConfig {
+                        deadline: Some(deadline),
+                    },
+                );
+                if slim.size() < body.size()
+                    && problem.grammar_admits(&slim)
+                    && crate::verify_solution(&problem, &slim, Some(deadline))
+                {
+                    SynthOutcome::Solved(slim)
+                } else {
+                    SynthOutcome::Solved(body)
+                }
+            }
+            other => other,
+        };
+        (outcome, stats)
+    }
+}
+
+impl SygusSolver for DryadSynth {
+    fn name(&self) -> &'static str {
+        match self.config.engine {
+            Engine::Cooperative => "DryadSynth",
+            Engine::HeightEnumOnly => "HeightEnum",
+            Engine::DeductionOnly => "Deduction",
+            Engine::BottomUpBacked => "DryadSynth-EUSolver-backed",
+        }
+    }
+
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        self.solve_with_stats(problem, timeout).0
+    }
+}
+
+/// The EUSolver comparison point as a [`SygusSolver`].
+#[derive(Clone, Debug, Default)]
+pub struct EuSolverBaseline;
+
+impl SygusSolver for EuSolverBaseline {
+    fn name(&self) -> &'static str {
+        "EUSolver"
+    }
+
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        let cfg = BottomUpConfig {
+            deadline: Some(Instant::now() + timeout),
+            ..BottomUpConfig::default()
+        };
+        match BottomUpSolver::new(cfg).solve(problem) {
+            SynthStatus::Solved(t) => SynthOutcome::Solved(t),
+            SynthStatus::Timeout => SynthOutcome::Timeout,
+            SynthStatus::Exhausted => SynthOutcome::GaveUp("exhausted".into()),
+            SynthStatus::Failed(m) => SynthOutcome::GaveUp(m),
+        }
+    }
+}
+
+/// The CVC4 comparison point as a [`SygusSolver`].
+#[derive(Clone, Debug, Default)]
+pub struct Cvc4Baseline;
+
+impl SygusSolver for Cvc4Baseline {
+    fn name(&self) -> &'static str {
+        "CVC4"
+    }
+
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        CegqiSolver::new(BaselineConfig {
+            deadline: Some(Instant::now() + timeout),
+        })
+        .solve(problem)
+    }
+}
+
+/// The LoopInvGen comparison point as a [`SygusSolver`].
+#[derive(Clone, Debug, Default)]
+pub struct LoopInvGenBaseline;
+
+impl SygusSolver for LoopInvGenBaseline {
+    fn name(&self) -> &'static str {
+        "LoopInvGen"
+    }
+
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        HoudiniInvSolver::new(BaselineConfig {
+            deadline: Some(Instant::now() + timeout),
+        })
+        .solve(problem)
+    }
+}
+
+/// All solvers of the paper's main comparison (Figures 10–13), in display
+/// order.
+pub fn competition_solvers() -> Vec<Box<dyn SygusSolver>> {
+    vec![
+        Box::new(DryadSynth::default()),
+        Box::new(Cvc4Baseline),
+        Box::new(EuSolverBaseline),
+        Box::new(LoopInvGenBaseline),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_solution;
+    use sygus_parser::parse_problem;
+
+    const MAX2: &str = "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+        (declare-var x Int)(declare-var y Int)\
+        (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+        (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
+
+    #[test]
+    fn all_engines_solve_max2() {
+        let p = parse_problem(MAX2).unwrap();
+        for engine in [
+            Engine::Cooperative,
+            Engine::HeightEnumOnly,
+            Engine::DeductionOnly,
+            Engine::BottomUpBacked,
+        ] {
+            let solver = DryadSynth::new(DryadSynthConfig {
+                engine,
+                threads: 1,
+                ..DryadSynthConfig::default()
+            });
+            match solver.solve_problem(&p, Duration::from_secs(30)) {
+                SynthOutcome::Solved(t) => {
+                    assert!(verify_solution(&p, &t, None), "{engine:?}: bad {t}");
+                }
+                other => panic!("{engine:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn competition_lineup() {
+        let solvers = competition_solvers();
+        let names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["DryadSynth", "CVC4", "EUSolver", "LoopInvGen"]);
+    }
+
+    #[test]
+    fn loopinvgen_only_does_inv() {
+        let p = parse_problem(MAX2).unwrap();
+        assert!(matches!(
+            LoopInvGenBaseline.solve_problem(&p, Duration::from_secs(5)),
+            SynthOutcome::GaveUp(_)
+        ));
+    }
+
+    #[test]
+    fn parallel_engine_solves() {
+        let p = parse_problem(MAX2).unwrap();
+        let solver = DryadSynth::new(DryadSynthConfig {
+            threads: 3,
+            ..DryadSynthConfig::default()
+        });
+        match solver.solve_problem(&p, Duration::from_secs(30)) {
+            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

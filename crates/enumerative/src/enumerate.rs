@@ -1,0 +1,413 @@
+//! Bottom-up term enumeration from an expression grammar, by term size,
+//! with observational-equivalence pruning — the enumeration core of the
+//! EUSolver-style baseline.
+
+use std::collections::HashMap;
+use sygus_ast::{Definitions, Env, GTerm, Grammar, NonterminalId, Sort, Term, Value};
+
+/// Configuration for a [`TermEnumerator`].
+#[derive(Clone, Debug)]
+pub struct EnumConfig {
+    /// Largest term size (node count) to enumerate.
+    pub max_size: usize,
+    /// Integer constants substituted for `(Constant Int)` productions.
+    pub constant_pool: Vec<i64>,
+    /// Hard cap on terms kept per (non-terminal, size) layer.
+    pub max_terms_per_layer: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> EnumConfig {
+        EnumConfig {
+            max_size: 20,
+            constant_pool: vec![0, 1, -1, 2],
+            max_terms_per_layer: 50_000,
+        }
+    }
+}
+
+/// The observational signature of a term: its value on each example
+/// environment (`None` when evaluation fails, e.g. on overflow).
+type Signature = Vec<Option<Value>>;
+
+/// Bottom-up enumerator producing grammar terms in non-decreasing size
+/// order, deduplicated by behaviour on a set of example environments.
+///
+/// With no examples, deduplication is purely syntactic (every term has the
+/// empty signature — so pruning is disabled and terms are kept distinct).
+///
+/// # Examples
+///
+/// ```
+/// use enum_synth::{EnumConfig, TermEnumerator};
+/// use sygus_ast::{Definitions, Env, Grammar, Sort, Symbol, Value};
+/// let g = Grammar::clia(&[(Symbol::new("x"), Sort::Int)], Sort::Int);
+/// let defs = Definitions::new();
+/// let examples = vec![Env::from_pairs(&[Symbol::new("x")], &[Value::Int(3)])];
+/// let mut e = TermEnumerator::new(&g, &defs, examples, EnumConfig::default());
+/// let layer1 = e.terms_of_size(1).to_vec();
+/// assert!(!layer1.is_empty()); // x and the constant pool
+/// ```
+pub struct TermEnumerator<'a> {
+    grammar: &'a Grammar,
+    defs: &'a Definitions,
+    examples: Vec<Env>,
+    config: EnumConfig,
+    /// `layers[nt][size]` = distinct-behaviour terms of that exact size.
+    layers: Vec<Vec<Vec<Term>>>,
+    /// Seen signatures per non-terminal (disabled when `examples` is empty).
+    seen: Vec<HashMap<Signature, Term>>,
+    built_size: usize,
+}
+
+impl<'a> TermEnumerator<'a> {
+    /// Creates an enumerator. `examples` drive observational-equivalence
+    /// pruning; `defs` interpret applied functions during evaluation.
+    pub fn new(
+        grammar: &'a Grammar,
+        defs: &'a Definitions,
+        examples: Vec<Env>,
+        config: EnumConfig,
+    ) -> TermEnumerator<'a> {
+        let n = grammar.nonterminals().len();
+        TermEnumerator {
+            grammar,
+            defs,
+            examples,
+            config,
+            layers: vec![vec![Vec::new()]; n], // index 0 unused
+            seen: vec![HashMap::new(); n],
+            built_size: 0,
+        }
+    }
+
+    /// The example environments driving pruning.
+    pub fn examples(&self) -> &[Env] {
+        &self.examples
+    }
+
+    /// Terms of the start non-terminal with exactly the given size,
+    /// building layers on demand.
+    pub fn terms_of_size(&mut self, size: usize) -> &[Term] {
+        self.build_to(size);
+        &self.layers[self.grammar.start()][size]
+    }
+
+    /// Terms of a specific non-terminal with exactly the given size.
+    pub fn terms_of_nt_size(&mut self, nt: NonterminalId, size: usize) -> &[Term] {
+        self.build_to(size);
+        &self.layers[nt][size]
+    }
+
+    /// The observational signature of a term on the current examples.
+    pub fn signature(&self, t: &Term) -> Signature {
+        self.examples
+            .iter()
+            .map(|env| t.eval(env, self.defs).ok())
+            .collect()
+    }
+
+    fn build_to(&mut self, requested: usize) {
+        let size = requested.min(self.config.max_size);
+        while self.built_size < size {
+            let next = self.built_size + 1;
+            for nt in 0..self.grammar.nonterminals().len() {
+                let mut layer: Vec<Term> = Vec::new();
+                let prods = self.grammar.nonterminal(nt).productions.clone();
+                for prod in &prods {
+                    self.expand(prod, next, &mut |t, me| {
+                        if layer.len() >= me.config.max_terms_per_layer {
+                            return;
+                        }
+                        if me.examples.is_empty() {
+                            if !layer.contains(&t) {
+                                layer.push(t);
+                            }
+                            return;
+                        }
+                        let sig = me.signature(&t);
+                        if !me.seen[nt].contains_key(&sig) {
+                            me.seen[nt].insert(sig, t.clone());
+                            layer.push(t);
+                        }
+                    });
+                }
+                self.layers[nt].push(layer);
+            }
+            self.built_size = next;
+        }
+        // Pad layers when the request exceeds max_size so indexing stays in
+        // range (those layers are empty by construction).
+        for nt in 0..self.layers.len() {
+            while self.layers[nt].len() <= requested {
+                self.layers[nt].push(Vec::new());
+            }
+        }
+    }
+
+    /// Calls `emit` for every instantiation of `prod` with exactly `size`
+    /// nodes.
+    fn expand(&mut self, prod: &GTerm, size: usize, emit: &mut dyn FnMut(Term, &mut Self)) {
+        match prod {
+            GTerm::Const(n) => {
+                if size == 1 {
+                    emit(Term::int(*n), self);
+                }
+            }
+            GTerm::BoolConst(b) => {
+                if size == 1 {
+                    emit(Term::bool(*b), self);
+                }
+            }
+            GTerm::Var(v, s) => {
+                if size == 1 {
+                    emit(Term::var(*v, *s), self);
+                }
+            }
+            GTerm::AnyConst(Sort::Int) => {
+                if size == 1 {
+                    for &c in &self.config.constant_pool.clone() {
+                        emit(Term::int(c), self);
+                    }
+                }
+            }
+            GTerm::AnyConst(Sort::Bool) => {
+                if size == 1 {
+                    emit(Term::tt(), self);
+                    emit(Term::ff(), self);
+                }
+            }
+            GTerm::AnyVar(s) => {
+                if size == 1 {
+                    // All example-scope variables of the sort.
+                    let mut vars: Vec<(sygus_ast::Symbol, Sort)> = Vec::new();
+                    for env in &self.examples {
+                        for (sym, val) in env.iter() {
+                            if val.sort() == *s && !vars.iter().any(|&(w, _)| w == sym) {
+                                vars.push((sym, *s));
+                            }
+                        }
+                    }
+                    for (sym, sort) in vars {
+                        emit(Term::var(sym, sort), self);
+                    }
+                }
+            }
+            GTerm::Nonterminal(id) => {
+                // Terms of this exact size from the table (must already be
+                // built: productions only reference sizes < current).
+                let terms = self.layers[*id].get(size).cloned().unwrap_or_default();
+                for t in terms {
+                    emit(t, self);
+                }
+            }
+            GTerm::App(op, children) => {
+                if size < 1 + children.len() {
+                    return;
+                }
+                // Distribute size-1 among children.
+                let op = *op;
+                let children = children.clone();
+                self.expand_children(&children, size - 1, Vec::new(), &mut |args, me| {
+                    emit(Term::app(op, args.to_vec()), me);
+                });
+            }
+        }
+    }
+
+    fn expand_children(
+        &mut self,
+        children: &[GTerm],
+        remaining: usize,
+        acc: Vec<Term>,
+        emit: &mut dyn FnMut(&[Term], &mut Self),
+    ) {
+        match children.split_first() {
+            None => {
+                if remaining == 0 {
+                    emit(&acc, self);
+                }
+            }
+            Some((first, rest)) => {
+                // Minimum size of the remaining children is 1 each.
+                let max_here = remaining.saturating_sub(rest.len());
+                for sz in 1..=max_here {
+                    let mut collected: Vec<Term> = Vec::new();
+                    self.expand(first, sz, &mut |t, _| collected.push(t));
+                    for t in collected {
+                        let mut acc2 = acc.clone();
+                        acc2.push(t);
+                        self.expand_children(rest, remaining - sz, acc2, emit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_ast::{Op, Symbol};
+
+    fn x_sym() -> Symbol {
+        Symbol::new("x")
+    }
+
+    fn simple_grammar() -> Grammar {
+        // S -> x | 0 | 1 | (+ S S)
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(x_sym(), Sort::Int));
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(s, GTerm::Const(1));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g
+    }
+
+    #[test]
+    fn size_one_terms() {
+        let g = simple_grammar();
+        let defs = Definitions::new();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), EnumConfig::default());
+        let t1: Vec<String> = e.terms_of_size(1).iter().map(|t| t.to_string()).collect();
+        assert_eq!(t1, vec!["x", "0", "1"]);
+    }
+
+    #[test]
+    fn size_three_sums() {
+        let g = simple_grammar();
+        let defs = Definitions::new();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), EnumConfig::default());
+        let t3 = e.terms_of_size(3).to_vec();
+        // Pairs of size-1 terms under +: 3 × 3 = 9 raw applications.
+        assert_eq!(t3.len(), 9);
+        assert!(t3.iter().any(|t| t.to_string() == "(+ x x)"));
+    }
+
+    #[test]
+    fn observational_pruning_collapses_equivalents() {
+        let g = simple_grammar();
+        let defs = Definitions::new();
+        let examples = vec![
+            Env::from_pairs(&[x_sym()], &[Value::Int(2)]),
+            Env::from_pairs(&[x_sym()], &[Value::Int(-5)]),
+        ];
+        let mut e = TermEnumerator::new(&g, &defs, examples, EnumConfig::default());
+        let _ = e.terms_of_size(1);
+        let t3 = e.terms_of_size(3).to_vec();
+        // (+ 0 0) ≡ 0, (+ x 0) ≡ x, (+ 0 1) ≡ 1 … only genuinely new
+        // behaviours survive: x+x, x+1, 1+1.
+        let strs: Vec<String> = t3.iter().map(|t| t.to_string()).collect();
+        assert_eq!(strs.len(), 3, "{strs:?}");
+    }
+
+    #[test]
+    fn no_size_two_terms_in_binary_grammar() {
+        let g = simple_grammar();
+        let defs = Definitions::new();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), EnumConfig::default());
+        assert!(e.terms_of_size(2).is_empty());
+    }
+
+    #[test]
+    fn clia_grammar_enumerates_conditions() {
+        let g = Grammar::clia(&[(x_sym(), Sort::Int)], Sort::Int);
+        let defs = Definitions::new();
+        let examples = vec![Env::from_pairs(&[x_sym()], &[Value::Int(1)])];
+        let mut e = TermEnumerator::new(&g, &defs, examples, EnumConfig::default());
+        // StartBool is non-terminal 1; size-3 conditions include (>= x 0).
+        let _ = e.terms_of_size(3);
+        let bools = e.terms_of_nt_size(1, 3).to_vec();
+        assert!(
+            bools.iter().any(|t| t.sort() == Sort::Bool),
+            "expected boolean layer, got {bools:?}"
+        );
+    }
+
+    #[test]
+    fn interpreted_functions_evaluated_in_signatures() {
+        // S -> x | 0 | qm(S, S); qm(a,b) = ite(a<0, b, a)
+        let mut defs = Definitions::new();
+        let a = Symbol::new("ea");
+        let b = Symbol::new("eb");
+        defs.define(
+            Symbol::new("qm"),
+            sygus_ast::FuncDef::new(
+                vec![(a, Sort::Int), (b, Sort::Int)],
+                Sort::Int,
+                Term::ite(
+                    Term::lt(Term::var(a, Sort::Int), Term::int(0)),
+                    Term::var(b, Sort::Int),
+                    Term::var(a, Sort::Int),
+                ),
+            ),
+        );
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(x_sym(), Sort::Int));
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(
+            s,
+            GTerm::App(
+                Op::Apply(Symbol::new("qm"), Sort::Int),
+                vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)],
+            ),
+        );
+        let examples = vec![Env::from_pairs(&[x_sym()], &[Value::Int(-3)])];
+        let mut e = TermEnumerator::new(&g, &defs, examples, EnumConfig::default());
+        let _ = e.terms_of_size(1);
+        let t3 = e.terms_of_size(3).to_vec();
+        // qm(x, 0) on x = -3 gives 0 ≡ constant 0 → pruned; qm(0, x) gives 0
+        // → pruned; qm(x, x) gives -3 ≡ x → pruned. Everything collapses.
+        assert!(t3.is_empty(), "{t3:?}");
+    }
+
+    #[test]
+    fn constant_pool_honored() {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::AnyConst(Sort::Int));
+        let defs = Definitions::new();
+        let cfg = EnumConfig {
+            constant_pool: vec![7, 9],
+            ..EnumConfig::default()
+        };
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), cfg);
+        let t1: Vec<String> = e.terms_of_size(1).iter().map(|t| t.to_string()).collect();
+        assert_eq!(t1, vec!["7", "9"]);
+    }
+
+    #[test]
+    fn max_size_respected() {
+        let g = simple_grammar();
+        let defs = Definitions::new();
+        let cfg = EnumConfig {
+            max_size: 3,
+            ..EnumConfig::default()
+        };
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), cfg);
+        assert!(e.terms_of_size(5).is_empty());
+    }
+
+    #[test]
+    fn nested_pattern_production() {
+        // S -> (+ S 1) | x : production with an embedded constant child.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(x_sym(), Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Const(1)]),
+        );
+        let defs = Definitions::new();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), EnumConfig::default());
+        let t3: Vec<String> = e.terms_of_size(3).iter().map(|t| t.to_string()).collect();
+        assert_eq!(t3, vec!["(+ x 1)"]);
+        let t5: Vec<String> = e.terms_of_size(5).iter().map(|t| t.to_string()).collect();
+        assert_eq!(t5, vec!["(+ (+ x 1) 1)"]);
+    }
+}

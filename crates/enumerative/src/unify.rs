@@ -1,0 +1,250 @@
+//! Decision-tree unification: EUSolver's divide-and-conquer. Enumerated
+//! terms each solve a subset of the counterexamples; a decision tree over
+//! enumerated conditions combines them into a single solution.
+
+use std::collections::HashMap;
+use sygus_ast::{Definitions, Env, Term, Value};
+
+/// A candidate leaf term together with the set of examples it solves
+/// (bitset over the example list).
+#[derive(Clone, Debug)]
+pub struct CoveredTerm {
+    /// The term.
+    pub term: Term,
+    /// `covers[i]` iff the term satisfies the spec on example `i`.
+    pub covers: Vec<bool>,
+}
+
+impl CoveredTerm {
+    /// Builds the cover vector by evaluating `satisfies` on each example.
+    pub fn new(
+        term: Term,
+        examples: &[Env],
+        satisfies: impl Fn(&Term, &Env) -> bool,
+    ) -> CoveredTerm {
+        let covers = examples.iter().map(|e| satisfies(&term, e)).collect();
+        CoveredTerm { term, covers }
+    }
+
+    /// Whether every example is covered.
+    pub fn total(&self) -> bool {
+        self.covers.iter().all(|&b| b)
+    }
+}
+
+/// Learns a decision tree `ite(c, …, …)` whose leaves are `terms` and whose
+/// internal conditions come from `conditions`, covering all `examples`.
+///
+/// Returns `None` when the examples cannot be covered (some example solved
+/// by no term, or no condition separates a mixed node).
+///
+/// This is the unification step of EUSolver (Alur et al., TACAS 2017),
+/// greedy ID3-style: at each node, if some term covers all remaining
+/// examples it becomes a leaf; otherwise the condition with the best
+/// information gain splits them.
+pub fn learn_decision_tree(
+    examples: &[Env],
+    terms: &[CoveredTerm],
+    conditions: &[Term],
+    defs: &Definitions,
+) -> Option<Term> {
+    if examples.is_empty() {
+        return terms.first().map(|t| t.term.clone());
+    }
+    // Every example must be covered by some term.
+    for i in 0..examples.len() {
+        if !terms.iter().any(|t| t.covers[i]) {
+            return None;
+        }
+    }
+    // Pre-evaluate conditions on examples.
+    let cond_vals: Vec<Vec<Option<bool>>> = conditions
+        .iter()
+        .map(|c| {
+            examples
+                .iter()
+                .map(|e| match c.eval(e, defs) {
+                    Ok(Value::Bool(b)) => Some(b),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let all: Vec<usize> = (0..examples.len()).collect();
+    let mut memo: HashMap<Vec<usize>, Option<Term>> = HashMap::new();
+    build(&all, terms, conditions, &cond_vals, &mut memo, 0)
+}
+
+fn build(
+    pts: &[usize],
+    terms: &[CoveredTerm],
+    conditions: &[Term],
+    cond_vals: &[Vec<Option<bool>>],
+    memo: &mut HashMap<Vec<usize>, Option<Term>>,
+    depth: usize,
+) -> Option<Term> {
+    if let Some(hit) = memo.get(pts) {
+        return hit.clone();
+    }
+    // Leaf: a term covering every remaining point.
+    if let Some(t) = terms.iter().find(|t| pts.iter().all(|&i| t.covers[i])) {
+        return Some(t.term.clone());
+    }
+    if depth > 24 {
+        return None;
+    }
+    // Pick the condition with the best split (maximal reduction of the
+    // largest uncovered side, breaking ties by balance).
+    let mut best: Option<(usize, Vec<usize>, Vec<usize>, usize)> = None;
+    for (ci, vals) in cond_vals.iter().enumerate() {
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        let mut undef = false;
+        for &p in pts {
+            match vals[p] {
+                Some(true) => yes.push(p),
+                Some(false) => no.push(p),
+                None => {
+                    undef = true;
+                    break;
+                }
+            }
+        }
+        if undef || yes.is_empty() || no.is_empty() {
+            continue; // non-separating or partial condition
+        }
+        let score = yes.len().max(no.len());
+        match &best {
+            Some((_, _, _, s)) if *s <= score => {}
+            _ => best = Some((ci, yes, no, score)),
+        }
+    }
+    let (ci, yes, no, _) = best?;
+    let result = (|| {
+        let then_branch = build(&yes, terms, conditions, cond_vals, memo, depth + 1)?;
+        let else_branch = build(&no, terms, conditions, cond_vals, memo, depth + 1)?;
+        Some(Term::ite(conditions[ci].clone(), then_branch, else_branch))
+    })();
+    memo.insert(pts.to_vec(), result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_ast::{Symbol, Value};
+
+    fn envs(points: &[(i64, i64)]) -> Vec<Env> {
+        points
+            .iter()
+            .map(|&(x, y)| {
+                Env::from_pairs(
+                    &[Symbol::new("x"), Symbol::new("y")],
+                    &[Value::Int(x), Value::Int(y)],
+                )
+            })
+            .collect()
+    }
+
+    fn max2_satisfies(t: &Term, e: &Env) -> bool {
+        let defs = Definitions::new();
+        let v = t.eval(e, &defs).ok().and_then(Value::as_int);
+        let x = e.lookup(Symbol::new("x")).unwrap().as_int().unwrap();
+        let y = e.lookup(Symbol::new("y")).unwrap().as_int().unwrap();
+        v == Some(x.max(y))
+    }
+
+    #[test]
+    fn learns_max2_tree() {
+        let defs = Definitions::new();
+        let examples = envs(&[(3, 1), (1, 3), (5, 5), (0, -2)]);
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        let terms = vec![
+            CoveredTerm::new(x.clone(), &examples, max2_satisfies),
+            CoveredTerm::new(y.clone(), &examples, max2_satisfies),
+        ];
+        assert!(!terms[0].total());
+        assert!(!terms[1].total());
+        let conditions = vec![Term::app(sygus_ast::Op::Ge, vec![x.clone(), y.clone()])];
+        let tree = learn_decision_tree(&examples, &terms, &conditions, &defs).expect("tree");
+        // Tree must solve all examples.
+        for e in &examples {
+            assert!(max2_satisfies(&tree, e), "tree {tree} fails on {e}");
+        }
+    }
+
+    #[test]
+    fn total_term_needs_no_tree() {
+        let defs = Definitions::new();
+        let examples = envs(&[(1, 1), (2, 2)]);
+        let x = Term::int_var("x");
+        let terms = vec![CoveredTerm::new(x.clone(), &examples, max2_satisfies)];
+        let tree = learn_decision_tree(&examples, &terms, &[], &defs).expect("leaf");
+        assert_eq!(tree, x);
+    }
+
+    #[test]
+    fn uncoverable_example_fails() {
+        let defs = Definitions::new();
+        let examples = envs(&[(3, 1), (1, 3)]);
+        // Only x is available: the (1,3) example needs y.
+        let terms = vec![CoveredTerm::new(
+            Term::int_var("x"),
+            &examples,
+            max2_satisfies,
+        )];
+        let conditions = vec![Term::app(
+            sygus_ast::Op::Ge,
+            vec![Term::int_var("x"), Term::int_var("y")],
+        )];
+        assert!(learn_decision_tree(&examples, &terms, &conditions, &defs).is_none());
+    }
+
+    #[test]
+    fn no_separating_condition_fails() {
+        let defs = Definitions::new();
+        let examples = envs(&[(3, 1), (1, 3)]);
+        let terms = vec![
+            CoveredTerm::new(Term::int_var("x"), &examples, max2_satisfies),
+            CoveredTerm::new(Term::int_var("y"), &examples, max2_satisfies),
+        ];
+        // Constant-true condition cannot separate.
+        let conditions = vec![Term::app(
+            sygus_ast::Op::Ge,
+            vec![Term::int_var("x"), Term::int_var("x")],
+        )];
+        assert!(learn_decision_tree(&examples, &terms, &conditions, &defs).is_none());
+    }
+
+    #[test]
+    fn nested_tree_for_three_regions() {
+        // target: sign(x): -1, 0, 1 — needs two conditions.
+        let defs = Definitions::new();
+        let examples: Vec<Env> = [-5i64, -1, 0, 2, 7]
+            .iter()
+            .map(|&x| Env::from_pairs(&[Symbol::new("x")], &[Value::Int(x)]))
+            .collect();
+        let satisfies = |t: &Term, e: &Env| {
+            let defs = Definitions::new();
+            let x = e.lookup(Symbol::new("x")).unwrap().as_int().unwrap();
+            t.eval(e, &defs).ok().and_then(Value::as_int) == Some(x.signum())
+        };
+        let terms = vec![
+            CoveredTerm::new(Term::int(-1), &examples, satisfies),
+            CoveredTerm::new(Term::int(0), &examples, satisfies),
+            CoveredTerm::new(Term::int(1), &examples, satisfies),
+        ];
+        let x = Term::int_var("x");
+        let conditions = vec![
+            Term::app(sygus_ast::Op::Lt, vec![x.clone(), Term::int(0)]),
+            Term::app(sygus_ast::Op::Gt, vec![x.clone(), Term::int(0)]),
+            Term::app(sygus_ast::Op::Eq, vec![x.clone(), Term::int(0)]),
+        ];
+        let tree = learn_decision_tree(&examples, &terms, &conditions, &defs).expect("tree");
+        for e in &examples {
+            assert!(satisfies(&tree, e), "{tree} fails on {e}");
+        }
+        assert!(tree.height() >= 3, "expected a nested tree, got {tree}");
+    }
+}

@@ -1,0 +1,29 @@
+//! SyGuS-IF concrete syntax: an S-expression reader ([`parse_sexprs`]), the
+//! SyGuS problem reader ([`parse_problem`]), and the printer ([`to_sygus`]).
+//!
+//! The supported language is the CLIA fragment used by the paper's
+//! benchmarks: `set-logic`, `synth-fun` (with optional grammar),
+//! `synth-inv`, `declare-var`, `declare-primed-var`, `define-fun`,
+//! `constraint`, `inv-constraint`, and `check-synth`; `let` terms are
+//! inlined during parsing.
+//!
+//! # Example
+//!
+//! ```
+//! use sygus_parser::parse_problem;
+//! let p = parse_problem(
+//!     "(set-logic LIA)(synth-fun id ((x Int)) Int)(declare-var x Int)\
+//!      (constraint (= (id x) x))(check-synth)",
+//! ).unwrap();
+//! assert_eq!(p.synth_fun.name.as_str(), "id");
+//! ```
+
+#![warn(missing_docs)]
+
+mod print;
+mod sexpr;
+mod sygus;
+
+pub use print::{solution_to_sygus, to_sygus};
+pub use sexpr::{parse_sexprs, Pos, SExpr, SExprError};
+pub use sygus::{parse_problem, ParseError};

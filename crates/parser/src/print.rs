@@ -1,0 +1,163 @@
+//! Printing [`Problem`]s back to SyGuS-IF concrete syntax (round-trip tested
+//! against the reader).
+
+use sygus_ast::{GTerm, Grammar, GrammarFlavor, Problem, Term};
+
+fn gterm_to_string(g: &GTerm, grammar: &Grammar) -> String {
+    match g {
+        GTerm::Const(n) => {
+            if *n < 0 {
+                format!("(- {})", n.unsigned_abs())
+            } else {
+                n.to_string()
+            }
+        }
+        GTerm::BoolConst(b) => b.to_string(),
+        GTerm::Var(v, _) => v.to_string(),
+        GTerm::AnyConst(s) => format!("(Constant {s})"),
+        GTerm::AnyVar(s) => format!("(Variable {s})"),
+        GTerm::Nonterminal(id) => grammar.nonterminal(*id).name.to_string(),
+        GTerm::App(op, args) => {
+            let mut out = format!("({}", op.name());
+            for a in args {
+                out.push(' ');
+                out.push_str(&gterm_to_string(a, grammar));
+            }
+            out.push(')');
+            out
+        }
+    }
+}
+
+/// Renders a problem as SyGuS-IF source text that [`crate::parse_problem`]
+/// accepts back.
+///
+/// Invariant problems are printed in the expanded form (plain `constraint`
+/// commands), which is semantically identical.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_parser::{parse_problem, to_sygus};
+/// let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)(constraint (= (f x) x))(check-synth)";
+/// let p = parse_problem(src).unwrap();
+/// let printed = to_sygus(&p);
+/// let p2 = parse_problem(&printed).unwrap();
+/// assert_eq!(p.constraints, p2.constraints);
+/// ```
+pub fn to_sygus(p: &Problem) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("(set-logic {})\n", p.logic));
+    // Definitions first (grammar and constraints may reference them).
+    for (name, def) in p.definitions.iter() {
+        let params: Vec<String> = def
+            .params
+            .iter()
+            .map(|(v, s)| format!("({v} {s})"))
+            .collect();
+        out.push_str(&format!(
+            "(define-fun {name} ({}) {} {})\n",
+            params.join(" "),
+            def.ret,
+            def.body
+        ));
+    }
+    // synth-fun with grammar (omitted for the built-in CLIA grammar).
+    let sf = &p.synth_fun;
+    let params: Vec<String> = sf
+        .params
+        .iter()
+        .map(|(v, s)| format!("({v} {s})"))
+        .collect();
+    out.push_str(&format!(
+        "(synth-fun {} ({}) {}",
+        sf.name,
+        params.join(" "),
+        sf.ret
+    ));
+    if sf.grammar.flavor() == GrammarFlavor::Custom {
+        out.push_str("\n    (");
+        for (i, nt) in sf.grammar.nonterminals().iter().enumerate() {
+            if i > 0 {
+                out.push_str("\n     ");
+            }
+            let prods: Vec<String> = nt
+                .productions
+                .iter()
+                .map(|pr| gterm_to_string(pr, &sf.grammar))
+                .collect();
+            out.push_str(&format!("({} {} ({}))", nt.name, nt.sort, prods.join(" ")));
+        }
+        out.push(')');
+    }
+    out.push_str(")\n");
+    for (v, s) in &p.declared_vars {
+        out.push_str(&format!("(declare-var {v} {s})\n"));
+    }
+    for c in &p.constraints {
+        out.push_str(&format!("(constraint {c})\n"));
+    }
+    out.push_str("(check-synth)\n");
+    out
+}
+
+/// Renders a solution as the `define-fun` answer format used by SyGuS
+/// solvers.
+pub fn solution_to_sygus(p: &Problem, body: &Term) -> String {
+    sygus_ast::display_define_fun(p.synth_fun.name, &p.synth_fun.params, p.synth_fun.ret, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_problem;
+
+    #[test]
+    fn roundtrip_clia_problem() {
+        let src = r#"
+            (set-logic LIA)
+            (synth-fun max2 ((x Int) (y Int)) Int)
+            (declare-var x Int)
+            (declare-var y Int)
+            (constraint (>= (max2 x y) x))
+            (constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let printed = to_sygus(&p);
+        let p2 = parse_problem(&printed).unwrap();
+        assert_eq!(p.synth_fun.name, p2.synth_fun.name);
+        assert_eq!(p.constraints, p2.constraints);
+        assert_eq!(p.declared_vars, p2.declared_vars);
+    }
+
+    #[test]
+    fn roundtrip_custom_grammar() {
+        let src = r#"
+            (set-logic LIA)
+            (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+            (synth-fun f ((x Int) (y Int)) Int
+                ((S Int (x y 0 1 (+ S S) (qm S S)))))
+            (declare-var x Int)
+            (declare-var y Int)
+            (constraint (>= (f x y) 0))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let printed = to_sygus(&p);
+        let p2 = parse_problem(&printed).unwrap();
+        assert_eq!(
+            p.synth_fun.grammar.nonterminal(0).productions,
+            p2.synth_fun.grammar.nonterminal(0).productions
+        );
+        assert_eq!(p.constraints, p2.constraints);
+    }
+
+    #[test]
+    fn solution_format() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)(constraint (= (f x) x))(check-synth)";
+        let p = parse_problem(src).unwrap();
+        let sol = solution_to_sygus(&p, &Term::int_var("x"));
+        assert_eq!(sol, "(define-fun f ((x Int)) Int x)");
+    }
+}

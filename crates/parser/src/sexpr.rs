@@ -1,0 +1,306 @@
+//! S-expression reader with source positions, the concrete-syntax layer
+//! beneath the SyGuS-IF reader.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An S-expression: an atom or a parenthesized list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SExpr {
+    /// A bare token (symbol, keyword, or numeral).
+    Atom(String, Pos),
+    /// A parenthesized list.
+    List(Vec<SExpr>, Pos),
+}
+
+impl SExpr {
+    /// The position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            SExpr::Atom(_, p) | SExpr::List(_, p) => *p,
+        }
+    }
+
+    /// The atom text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            SExpr::Atom(s, _) => Some(s),
+            SExpr::List(..) => None,
+        }
+    }
+
+    /// The elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[SExpr]> {
+        match self {
+            SExpr::List(items, _) => Some(items),
+            SExpr::Atom(..) => None,
+        }
+    }
+
+    /// Parses the atom as an `i64` numeral, if possible.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_atom()?.parse().ok()
+    }
+}
+
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SExpr::Atom(s, _) => f.write_str(s),
+            SExpr::List(items, _) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An S-expression syntax error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SExprError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SExprError {}
+
+/// Parses a whole input into a sequence of top-level S-expressions.
+/// Line comments start with `;`.
+///
+/// # Errors
+///
+/// Returns an [`SExprError`] on unbalanced parentheses or stray characters.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_parser::parse_sexprs;
+/// let es = parse_sexprs("(check-synth) ; done").unwrap();
+/// assert_eq!(es.len(), 1);
+/// assert_eq!(es[0].to_string(), "(check-synth)");
+/// ```
+pub fn parse_sexprs(input: &str) -> Result<Vec<SExpr>, SExprError> {
+    let mut lexer = Lexer::new(input);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.peek()? {
+        let _ = tok;
+        out.push(parse_one(&mut lexer)?);
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    LParen(Pos),
+    RParen(Pos),
+    Atom(String, Pos),
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            col: 1,
+            lookahead: None,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Result<Option<&Token>, SExprError> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.lex()?;
+        }
+        Ok(self.lookahead.as_ref())
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, SExprError> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.lex()?;
+        }
+        Ok(self.lookahead.take())
+    }
+
+    fn lex(&mut self) -> Result<Option<Token>, SExprError> {
+        loop {
+            match self.chars.peek() {
+                None => return Ok(None),
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some(';') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('(') => {
+                    let p = self.pos();
+                    self.bump();
+                    return Ok(Some(Token::LParen(p)));
+                }
+                Some(')') => {
+                    let p = self.pos();
+                    self.bump();
+                    return Ok(Some(Token::RParen(p)));
+                }
+                Some(_) => {
+                    let p = self.pos();
+                    let mut s = String::new();
+                    while let Some(&c) = self.chars.peek() {
+                        if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                            break;
+                        }
+                        s.push(c);
+                        self.bump();
+                    }
+                    return Ok(Some(Token::Atom(s, p)));
+                }
+            }
+        }
+    }
+}
+
+fn parse_one(lexer: &mut Lexer<'_>) -> Result<SExpr, SExprError> {
+    match lexer.next()? {
+        None => Err(SExprError {
+            pos: lexer.pos(),
+            message: "unexpected end of input".to_owned(),
+        }),
+        Some(Token::Atom(s, p)) => Ok(SExpr::Atom(s, p)),
+        Some(Token::RParen(p)) => Err(SExprError {
+            pos: p,
+            message: "unexpected `)`".to_owned(),
+        }),
+        Some(Token::LParen(p)) => {
+            let mut items = Vec::new();
+            loop {
+                match lexer.peek()? {
+                    None => {
+                        return Err(SExprError {
+                            pos: p,
+                            message: "unclosed `(`".to_owned(),
+                        })
+                    }
+                    Some(Token::RParen(_)) => {
+                        lexer.next()?;
+                        return Ok(SExpr::List(items, p));
+                    }
+                    Some(_) => items.push(parse_one(lexer)?),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_lists() {
+        let es = parse_sexprs("foo (bar 42 (baz)) -7").unwrap();
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].as_atom(), Some("foo"));
+        let items = es[1].as_list().unwrap();
+        assert_eq!(items[0].as_atom(), Some("bar"));
+        assert_eq!(items[1].as_int(), Some(42));
+        assert_eq!(es[2].as_int(), Some(-7));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let es = parse_sexprs("; header\n(a) ; trailing\n(b)").unwrap();
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let es = parse_sexprs("(a\n  (b))").unwrap();
+        let items = es[0].as_list().unwrap();
+        assert_eq!(items[0].pos(), Pos { line: 1, col: 2 });
+        assert_eq!(items[1].pos(), Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unbalanced_errors() {
+        assert!(parse_sexprs("(a (b)").is_err());
+        assert!(parse_sexprs(")").is_err());
+        let err = parse_sexprs("(a (b)").unwrap_err();
+        assert!(err.to_string().contains("unclosed"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let src = "(synth-fun f ((x Int)) Int ((S Int (x 0 1 (+ S S)))))";
+        let es = parse_sexprs(src).unwrap();
+        assert_eq!(es[0].to_string(), src);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(parse_sexprs("").unwrap().len(), 0);
+        assert_eq!(parse_sexprs("  ; only a comment").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn special_tokens_in_symbols() {
+        let es = parse_sexprs("(<= >= = + - * x! |x|)").unwrap();
+        let items = es[0].as_list().unwrap();
+        assert_eq!(items[0].as_atom(), Some("<="));
+        assert_eq!(items[6].as_atom(), Some("x!"));
+    }
+}

@@ -1,0 +1,836 @@
+//! The SyGuS-IF reader: turns S-expressions into [`Problem`] values.
+//!
+//! Supported commands: `set-logic`, `synth-fun` (with optional grammar),
+//! `synth-inv`, `declare-var`, `declare-primed-var`, `define-fun`,
+//! `constraint`, `inv-constraint`, `check-synth`. `let` terms are inlined.
+
+use crate::sexpr::{parse_sexprs, Pos, SExpr};
+use std::collections::HashMap;
+use std::fmt;
+use sygus_ast::{
+    Definitions, FuncDef, GTerm, Grammar, GrammarFlavor, InvInfo, Op, Problem, Sort, Symbol,
+    SynthFun, Term,
+};
+
+/// A SyGuS parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::sexpr::SExprError> for ParseError {
+    fn from(e: crate::sexpr::SExprError) -> ParseError {
+        ParseError::new(e.pos, e.message)
+    }
+}
+
+/// Parses a complete SyGuS-IF problem from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, unknown commands, unbound
+/// identifiers, or a missing `synth-fun`/`synth-inv`.
+///
+/// # Examples
+///
+/// ```
+/// use sygus_parser::parse_problem;
+/// let src = r#"
+///   (set-logic LIA)
+///   (synth-fun max2 ((x Int) (y Int)) Int)
+///   (declare-var x Int)
+///   (declare-var y Int)
+///   (constraint (>= (max2 x y) x))
+///   (constraint (>= (max2 x y) y))
+///   (constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+///   (check-synth)
+/// "#;
+/// let p = parse_problem(src).unwrap();
+/// assert_eq!(p.synth_fun.name.as_str(), "max2");
+/// assert_eq!(p.constraints.len(), 3);
+/// ```
+pub fn parse_problem(input: &str) -> Result<Problem, ParseError> {
+    let exprs = parse_sexprs(input)?;
+    let mut reader = Reader::default();
+    for e in &exprs {
+        reader.command(e)?;
+    }
+    reader.finish()
+}
+
+#[derive(Default)]
+struct Reader {
+    logic: Option<String>,
+    synth_fun: Option<SynthFun>,
+    is_inv: bool,
+    declared: Vec<(Symbol, Sort)>,
+    defs: Definitions,
+    def_order: Vec<Symbol>,
+    constraints: Vec<Term>,
+    inv_info: Option<InvInfo>,
+    saw_check: bool,
+}
+
+fn parse_sort(e: &SExpr) -> Result<Sort, ParseError> {
+    match e.as_atom() {
+        Some("Int") => Ok(Sort::Int),
+        Some("Bool") => Ok(Sort::Bool),
+        _ => Err(ParseError::new(
+            e.pos(),
+            format!("expected sort, got `{e}`"),
+        )),
+    }
+}
+
+fn parse_params(e: &SExpr) -> Result<Vec<(Symbol, Sort)>, ParseError> {
+    let list = e
+        .as_list()
+        .ok_or_else(|| ParseError::new(e.pos(), "expected parameter list"))?;
+    let mut out = Vec::new();
+    for p in list {
+        let pair = p
+            .as_list()
+            .filter(|l| l.len() == 2)
+            .ok_or_else(|| ParseError::new(p.pos(), "expected `(name Sort)`"))?;
+        let name = pair[0]
+            .as_atom()
+            .ok_or_else(|| ParseError::new(pair[0].pos(), "expected parameter name"))?;
+        out.push((Symbol::new(name), parse_sort(&pair[1])?));
+    }
+    Ok(out)
+}
+
+impl Reader {
+    fn command(&mut self, e: &SExpr) -> Result<(), ParseError> {
+        let items = e
+            .as_list()
+            .ok_or_else(|| ParseError::new(e.pos(), "expected a command"))?;
+        let head = items
+            .first()
+            .and_then(SExpr::as_atom)
+            .ok_or_else(|| ParseError::new(e.pos(), "expected a command head"))?;
+        match head {
+            "set-logic" => {
+                let logic = items
+                    .get(1)
+                    .and_then(SExpr::as_atom)
+                    .ok_or_else(|| ParseError::new(e.pos(), "set-logic needs a logic name"))?;
+                self.logic = Some(logic.to_owned());
+                Ok(())
+            }
+            "synth-fun" => self.synth_fun_cmd(e, items, false),
+            "synth-inv" => self.synth_fun_cmd(e, items, true),
+            "declare-var" => {
+                if items.len() != 3 {
+                    return Err(ParseError::new(e.pos(), "declare-var needs name and sort"));
+                }
+                let name = items[1]
+                    .as_atom()
+                    .ok_or_else(|| ParseError::new(items[1].pos(), "expected variable name"))?;
+                let sort = parse_sort(&items[2])?;
+                self.declared.push((Symbol::new(name), sort));
+                Ok(())
+            }
+            "declare-primed-var" => {
+                if items.len() != 3 {
+                    return Err(ParseError::new(
+                        e.pos(),
+                        "declare-primed-var needs name and sort",
+                    ));
+                }
+                let name = items[1]
+                    .as_atom()
+                    .ok_or_else(|| ParseError::new(items[1].pos(), "expected variable name"))?;
+                let sort = parse_sort(&items[2])?;
+                self.declared.push((Symbol::new(name), sort));
+                self.declared.push((Symbol::new(&format!("{name}!")), sort));
+                Ok(())
+            }
+            "define-fun" => {
+                if items.len() != 5 {
+                    return Err(ParseError::new(
+                        e.pos(),
+                        "define-fun needs name, params, sort, body",
+                    ));
+                }
+                let name = items[1]
+                    .as_atom()
+                    .ok_or_else(|| ParseError::new(items[1].pos(), "expected function name"))?;
+                let params = parse_params(&items[2])?;
+                let ret = parse_sort(&items[3])?;
+                let scope: HashMap<Symbol, Sort> = params.iter().copied().collect();
+                let body = self.term(&items[4], &scope)?;
+                let sym = Symbol::new(name);
+                self.defs.define(sym, FuncDef::new(params, ret, body));
+                self.def_order.push(sym);
+                Ok(())
+            }
+            "constraint" => {
+                if items.len() != 2 {
+                    return Err(ParseError::new(e.pos(), "constraint needs one term"));
+                }
+                let scope: HashMap<Symbol, Sort> = self.declared.iter().copied().collect();
+                let c = self.term(&items[1], &scope)?;
+                self.constraints.push(c);
+                Ok(())
+            }
+            "inv-constraint" => self.inv_constraint(e, items),
+            "check-synth" => {
+                self.saw_check = true;
+                Ok(())
+            }
+            other => Err(ParseError::new(
+                e.pos(),
+                format!("unknown command `{other}`"),
+            )),
+        }
+    }
+
+    fn synth_fun_cmd(
+        &mut self,
+        e: &SExpr,
+        items: &[SExpr],
+        is_inv: bool,
+    ) -> Result<(), ParseError> {
+        if self.synth_fun.is_some() {
+            return Err(ParseError::new(
+                e.pos(),
+                "multiple synth-fun commands are not supported",
+            ));
+        }
+        let min_len = if is_inv { 3 } else { 4 };
+        if items.len() < min_len {
+            return Err(ParseError::new(e.pos(), "malformed synth-fun"));
+        }
+        let name = items[1]
+            .as_atom()
+            .ok_or_else(|| ParseError::new(items[1].pos(), "expected function name"))?;
+        let params = parse_params(&items[2])?;
+        let (ret, grammar_expr) = if is_inv {
+            (Sort::Bool, items.get(3))
+        } else {
+            (parse_sort(&items[3])?, items.get(4))
+        };
+        let grammar = match grammar_expr {
+            None => Grammar::clia(&params, ret),
+            Some(g) => self.grammar(g, &params)?,
+        };
+        self.is_inv = is_inv;
+        self.synth_fun = Some(SynthFun {
+            name: Symbol::new(name),
+            params,
+            ret,
+            grammar,
+        });
+        Ok(())
+    }
+
+    fn inv_constraint(&mut self, e: &SExpr, items: &[SExpr]) -> Result<(), ParseError> {
+        if items.len() != 5 {
+            return Err(ParseError::new(
+                e.pos(),
+                "inv-constraint needs inv, pre, trans, post",
+            ));
+        }
+        let names: Vec<Symbol> = items[1..]
+            .iter()
+            .map(|i| {
+                i.as_atom()
+                    .map(Symbol::new)
+                    .ok_or_else(|| ParseError::new(i.pos(), "expected a function name"))
+            })
+            .collect::<Result<_, _>>()?;
+        let (inv, pre, trans, post) = (names[0], names[1], names[2], names[3]);
+        let sf = self
+            .synth_fun
+            .as_ref()
+            .ok_or_else(|| ParseError::new(e.pos(), "inv-constraint before synth-inv"))?;
+        if sf.name != inv {
+            return Err(ParseError::new(
+                e.pos(),
+                format!(
+                    "inv-constraint names `{inv}`, but synth function is `{}`",
+                    sf.name
+                ),
+            ));
+        }
+        let pre_def = self
+            .defs
+            .get(pre)
+            .ok_or_else(|| ParseError::new(e.pos(), format!("undefined `{pre}`")))?
+            .clone();
+        let trans_def = self
+            .defs
+            .get(trans)
+            .ok_or_else(|| ParseError::new(e.pos(), format!("undefined `{trans}`")))?
+            .clone();
+        let post_def = self
+            .defs
+            .get(post)
+            .ok_or_else(|| ParseError::new(e.pos(), format!("undefined `{post}`")))?
+            .clone();
+        let vars: Vec<(Symbol, Sort)> = pre_def.params.clone();
+        if trans_def.params.len() != 2 * vars.len() {
+            return Err(ParseError::new(
+                e.pos(),
+                "trans must take unprimed and primed copies of the variables",
+            ));
+        }
+        let primed: Vec<(Symbol, Sort)> = vars
+            .iter()
+            .map(|&(v, s)| (Symbol::new(&format!("{v}!")), s))
+            .collect();
+        for &(v, s) in vars.iter().chain(&primed) {
+            if !self.declared.iter().any(|&(w, _)| w == v) {
+                self.declared.push((v, s));
+            }
+        }
+        let terms_of = |vs: &[(Symbol, Sort)]| -> Vec<Term> {
+            vs.iter().map(|&(v, s)| Term::var(v, s)).collect()
+        };
+        let inv_x = Term::apply(inv, Sort::Bool, terms_of(&vars));
+        let inv_xp = Term::apply(inv, Sort::Bool, terms_of(&primed));
+        let pre_x = pre_def.instantiate(&terms_of(&vars));
+        let post_x = post_def.instantiate(&terms_of(&vars));
+        let mut both = terms_of(&vars);
+        both.extend(terms_of(&primed));
+        let trans_rel = trans_def.instantiate(&both);
+        self.constraints.push(Term::implies(pre_x, inv_x.clone()));
+        self.constraints
+            .push(Term::implies(Term::and([inv_x.clone(), trans_rel]), inv_xp));
+        self.constraints.push(Term::implies(inv_x, post_x));
+        self.inv_info = Some(InvInfo {
+            pre,
+            trans,
+            post,
+            vars,
+            primed_vars: primed,
+        });
+        Ok(())
+    }
+
+    /// Parses a term; `scope` gives the sorts of bound variables.
+    fn term(&self, e: &SExpr, scope: &HashMap<Symbol, Sort>) -> Result<Term, ParseError> {
+        match e {
+            SExpr::Atom(s, pos) => {
+                if let Ok(n) = s.parse::<i64>() {
+                    return Ok(Term::int(n));
+                }
+                match s.as_str() {
+                    "true" => return Ok(Term::tt()),
+                    "false" => return Ok(Term::ff()),
+                    _ => {}
+                }
+                let sym = Symbol::new(s);
+                if let Some(&sort) = scope.get(&sym) {
+                    return Ok(Term::var(sym, sort));
+                }
+                Err(ParseError::new(*pos, format!("unbound identifier `{s}`")))
+            }
+            SExpr::List(items, pos) => {
+                let head = items
+                    .first()
+                    .and_then(SExpr::as_atom)
+                    .ok_or_else(|| ParseError::new(*pos, "expected operator"))?;
+                if head == "let" {
+                    return self.let_term(items, *pos, scope);
+                }
+                let args: Vec<Term> = items[1..]
+                    .iter()
+                    .map(|a| self.term(a, scope))
+                    .collect::<Result<_, _>>()?;
+                self.apply_op(head, args, *pos)
+            }
+        }
+    }
+
+    fn let_term(
+        &self,
+        items: &[SExpr],
+        pos: Pos,
+        scope: &HashMap<Symbol, Sort>,
+    ) -> Result<Term, ParseError> {
+        if items.len() != 3 {
+            return Err(ParseError::new(pos, "let needs bindings and a body"));
+        }
+        let bindings = items[1]
+            .as_list()
+            .ok_or_else(|| ParseError::new(items[1].pos(), "expected binding list"))?;
+        let mut inner_scope = scope.clone();
+        let mut subst: Vec<(Symbol, Term)> = Vec::new();
+        for b in bindings {
+            let parts = b
+                .as_list()
+                .filter(|l| l.len() == 2 || l.len() == 3)
+                .ok_or_else(|| ParseError::new(b.pos(), "expected `(name [Sort] term)`"))?;
+            let name = parts[0]
+                .as_atom()
+                .ok_or_else(|| ParseError::new(parts[0].pos(), "expected binding name"))?;
+            // Bindings are evaluated in the *outer* scope (parallel let).
+            let value = self.term(parts.last().expect("len checked"), scope)?;
+            let sym = Symbol::new(name);
+            inner_scope.insert(sym, value.sort());
+            subst.push((sym, value));
+        }
+        let body = self.term(&items[2], &inner_scope)?;
+        let map: std::collections::BTreeMap<Symbol, Term> = subst.into_iter().collect();
+        Ok(body.subst_vars(&map))
+    }
+
+    fn apply_op(&self, head: &str, mut args: Vec<Term>, pos: Pos) -> Result<Term, ParseError> {
+        let bin = |args: &mut Vec<Term>| -> Result<(Term, Term), ParseError> {
+            if args.len() != 2 {
+                return Err(ParseError::new(pos, "expected 2 arguments"));
+            }
+            let b = args.pop().expect("len checked");
+            let a = args.pop().expect("len checked");
+            Ok((a, b))
+        };
+        match head {
+            "+" => {
+                if args.len() < 2 {
+                    return Err(ParseError::new(pos, "`+` needs at least 2 arguments"));
+                }
+                Ok(Term::sum(args))
+            }
+            "-" => match args.len() {
+                1 => Ok(Term::neg(args.pop().expect("len checked"))),
+                2 => {
+                    let (a, b) = bin(&mut args)?;
+                    Ok(Term::sub(a, b))
+                }
+                _ => Err(ParseError::new(pos, "`-` needs 1 or 2 arguments")),
+            },
+            "*" => {
+                if args.len() != 2 {
+                    return Err(ParseError::new(pos, "`*` needs 2 arguments"));
+                }
+                let (a, b) = bin(&mut args)?;
+                if a.as_int_const().is_none() && b.as_int_const().is_none() {
+                    return Err(ParseError::new(pos, "nonlinear multiplication"));
+                }
+                Ok(Term::mul(a, b))
+            }
+            "ite" => {
+                if args.len() != 3 {
+                    return Err(ParseError::new(pos, "`ite` needs 3 arguments"));
+                }
+                let e = args.pop().expect("3");
+                let t = args.pop().expect("2");
+                let c = args.pop().expect("1");
+                Ok(Term::ite(c, t, e))
+            }
+            "=" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::eq(a, b))
+            }
+            "<=" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::le(a, b))
+            }
+            "<" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::lt(a, b))
+            }
+            ">=" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::ge(a, b))
+            }
+            ">" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::gt(a, b))
+            }
+            "and" => Ok(Term::and(args)),
+            "or" => Ok(Term::or(args)),
+            "not" => {
+                if args.len() != 1 {
+                    return Err(ParseError::new(pos, "`not` needs 1 argument"));
+                }
+                Ok(Term::not(args.pop().expect("len checked")))
+            }
+            "=>" => {
+                let (a, b) = bin(&mut args)?;
+                Ok(Term::implies(a, b))
+            }
+            name => {
+                let sym = Symbol::new(name);
+                if let Some(def) = self.defs.get(sym) {
+                    if def.params.len() != args.len() {
+                        return Err(ParseError::new(
+                            pos,
+                            format!("`{name}` expects {} arguments", def.params.len()),
+                        ));
+                    }
+                    return Ok(Term::apply(sym, def.ret, args));
+                }
+                if let Some(sf) = &self.synth_fun {
+                    if sf.name == sym {
+                        if sf.params.len() != args.len() {
+                            return Err(ParseError::new(
+                                pos,
+                                format!("`{name}` expects {} arguments", sf.params.len()),
+                            ));
+                        }
+                        return Ok(Term::apply(sym, sf.ret, args));
+                    }
+                }
+                Err(ParseError::new(pos, format!("unknown function `{name}`")))
+            }
+        }
+    }
+
+    /// Parses a grammar block: `((NT Sort (prod…)) …)`, optionally preceded
+    /// by a predeclaration list `((NT Sort) …)` as in SyGuS-IF v2.
+    fn grammar(&self, e: &SExpr, params: &[(Symbol, Sort)]) -> Result<Grammar, ParseError> {
+        let groups = e
+            .as_list()
+            .ok_or_else(|| ParseError::new(e.pos(), "expected grammar"))?;
+        // Drop a predeclaration list if present (every entry of length 2).
+        let rule_groups: &[SExpr] = if !groups.is_empty()
+            && groups
+                .iter()
+                .all(|g| g.as_list().map(|l| l.len() == 2).unwrap_or(false))
+        {
+            // This *whole* block is a predeclaration — the rules follow in a
+            // sibling; but SyGuS v2 puts both inside synth-fun as two
+            // separate arguments. We are given one expression here, so this
+            // case means "declaration only" which we cannot use.
+            return Err(ParseError::new(
+                e.pos(),
+                "grammar has declarations but no rules",
+            ));
+        } else {
+            groups
+        };
+        let mut grammar = Grammar::new();
+        // First pass: declare non-terminals.
+        let mut decls: Vec<(&[SExpr], usize)> = Vec::new();
+        for g in rule_groups {
+            let parts = g
+                .as_list()
+                .filter(|l| l.len() == 3)
+                .ok_or_else(|| ParseError::new(g.pos(), "expected `(NT Sort (prods…))`"))?;
+            let name = parts[0]
+                .as_atom()
+                .ok_or_else(|| ParseError::new(parts[0].pos(), "expected non-terminal name"))?;
+            let sort = parse_sort(&parts[1])?;
+            let id = grammar.add_nonterminal(name, sort);
+            decls.push((parts, id));
+        }
+        // Second pass: productions.
+        for (parts, id) in decls {
+            let prods = parts[2]
+                .as_list()
+                .ok_or_else(|| ParseError::new(parts[2].pos(), "expected production list"))?;
+            for p in prods {
+                let gt = self.gterm(p, params, &grammar)?;
+                grammar.add_production(id, gt);
+            }
+        }
+        if grammar.nonterminals().is_empty() {
+            return Err(ParseError::new(e.pos(), "empty grammar"));
+        }
+        grammar.set_flavor(GrammarFlavor::Custom);
+        Ok(grammar)
+    }
+
+    fn gterm(
+        &self,
+        e: &SExpr,
+        params: &[(Symbol, Sort)],
+        grammar: &Grammar,
+    ) -> Result<GTerm, ParseError> {
+        match e {
+            SExpr::Atom(s, pos) => {
+                if let Ok(n) = s.parse::<i64>() {
+                    return Ok(GTerm::Const(n));
+                }
+                match s.as_str() {
+                    "true" => return Ok(GTerm::BoolConst(true)),
+                    "false" => return Ok(GTerm::BoolConst(false)),
+                    _ => {}
+                }
+                let sym = Symbol::new(s);
+                if let Some(id) = grammar.find(sym) {
+                    return Ok(GTerm::Nonterminal(id));
+                }
+                if let Some(&(_, sort)) = params.iter().find(|&&(p, _)| p == sym) {
+                    return Ok(GTerm::Var(sym, sort));
+                }
+                Err(ParseError::new(
+                    *pos,
+                    format!("unknown grammar symbol `{s}`"),
+                ))
+            }
+            SExpr::List(items, pos) => {
+                let head = items
+                    .first()
+                    .and_then(SExpr::as_atom)
+                    .ok_or_else(|| ParseError::new(*pos, "expected production operator"))?;
+                match head {
+                    "Constant" => {
+                        let sort =
+                            parse_sort(items.get(1).ok_or_else(|| {
+                                ParseError::new(*pos, "`Constant` needs a sort")
+                            })?)?;
+                        return Ok(GTerm::AnyConst(sort));
+                    }
+                    "Variable" => {
+                        let sort =
+                            parse_sort(items.get(1).ok_or_else(|| {
+                                ParseError::new(*pos, "`Variable` needs a sort")
+                            })?)?;
+                        return Ok(GTerm::AnyVar(sort));
+                    }
+                    _ => {}
+                }
+                let args: Vec<GTerm> = items[1..]
+                    .iter()
+                    .map(|a| self.gterm(a, params, grammar))
+                    .collect::<Result<_, _>>()?;
+                let op = match head {
+                    "+" => Op::Add,
+                    "-" => {
+                        if args.len() == 1 {
+                            Op::Neg
+                        } else {
+                            Op::Sub
+                        }
+                    }
+                    "*" => Op::Mul,
+                    "ite" => Op::Ite,
+                    "=" => Op::Eq,
+                    "<=" => Op::Le,
+                    "<" => Op::Lt,
+                    ">=" => Op::Ge,
+                    ">" => Op::Gt,
+                    "and" => Op::And,
+                    "or" => Op::Or,
+                    "not" => Op::Not,
+                    "=>" => Op::Implies,
+                    name => {
+                        let sym = Symbol::new(name);
+                        let ret = self.defs.get(sym).map(|d| d.ret).ok_or_else(|| {
+                            ParseError::new(*pos, format!("unknown grammar operator `{name}`"))
+                        })?;
+                        Op::Apply(sym, ret)
+                    }
+                };
+                Ok(GTerm::App(op, args))
+            }
+        }
+    }
+
+    fn finish(self) -> Result<Problem, ParseError> {
+        let synth_fun = self.synth_fun.ok_or_else(|| {
+            ParseError::new(
+                Pos { line: 1, col: 1 },
+                "missing synth-fun or synth-inv command",
+            )
+        })?;
+        Ok(Problem {
+            logic: self.logic.unwrap_or_else(|| "LIA".to_owned()),
+            synth_fun,
+            declared_vars: self.declared,
+            constraints: self.constraints,
+            definitions: self.defs,
+            inv: self.inv_info,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX2: &str = r#"
+        (set-logic LIA)
+        (synth-fun max2 ((x Int) (y Int)) Int)
+        (declare-var x Int)
+        (declare-var y Int)
+        (constraint (>= (max2 x y) x))
+        (constraint (>= (max2 x y) y))
+        (constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+        (check-synth)
+    "#;
+
+    #[test]
+    fn parses_max2() {
+        let p = parse_problem(MAX2).unwrap();
+        assert_eq!(p.logic, "LIA");
+        assert_eq!(p.synth_fun.name, Symbol::new("max2"));
+        assert_eq!(p.synth_fun.params.len(), 2);
+        assert_eq!(p.synth_fun.ret, Sort::Int);
+        assert_eq!(p.declared_vars.len(), 2);
+        assert_eq!(p.constraints.len(), 3);
+        // Default grammar is full CLIA.
+        assert_eq!(p.synth_fun.grammar.flavor(), GrammarFlavor::Clia);
+    }
+
+    #[test]
+    fn parses_custom_grammar() {
+        let src = r#"
+            (set-logic LIA)
+            (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+            (synth-fun f ((x Int) (y Int)) Int
+                ((S Int (x y 0 1 (+ S S) (- S S) (qm S S)))))
+            (declare-var x Int)
+            (declare-var y Int)
+            (constraint (>= (f x y) x))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let g = &p.synth_fun.grammar;
+        assert_eq!(g.nonterminals().len(), 1);
+        assert_eq!(g.nonterminal(0).productions.len(), 7);
+        assert_eq!(g.flavor(), GrammarFlavor::Custom);
+        // qm production resolved against the definition.
+        let ops = g.operators();
+        assert!(ops.contains(&Op::Apply(Symbol::new("qm"), Sort::Int)));
+        assert!(p.definitions.contains(Symbol::new("qm")));
+    }
+
+    #[test]
+    fn parses_two_nonterminal_grammar() {
+        let src = r#"
+            (set-logic LIA)
+            (synth-fun f ((x Int)) Int
+                ((S Int (x 0 1 (ite B S S)))
+                 (B Bool ((>= S S) (and B B) (not B)))))
+            (constraint (= (f 0) 0))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let g = &p.synth_fun.grammar;
+        assert_eq!(g.nonterminals().len(), 2);
+        assert_eq!(g.nonterminal(1).sort, Sort::Bool);
+        assert_eq!(g.start(), 0);
+    }
+
+    #[test]
+    fn parses_invariant_problem() {
+        let src = r#"
+            (set-logic LIA)
+            (synth-inv inv ((x Int)))
+            (define-fun pre ((x Int)) Bool (= x 0))
+            (define-fun trans ((x Int) (x! Int)) Bool (= x! (+ x 1)))
+            (define-fun post ((x Int)) Bool (>= x 0))
+            (inv-constraint inv pre trans post)
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        assert!(p.inv.is_some());
+        assert_eq!(p.constraints.len(), 3);
+        assert_eq!(p.synth_fun.ret, Sort::Bool);
+        let info = p.inv.as_ref().unwrap();
+        assert_eq!(info.vars.len(), 1);
+        assert_eq!(info.primed_vars[0].0.as_str(), "x!");
+        // The three expanded constraints mention inv applications.
+        for c in &p.constraints {
+            assert!(c.applies(Symbol::new("inv")));
+        }
+    }
+
+    #[test]
+    fn let_terms_are_inlined() {
+        let src = r#"
+            (set-logic LIA)
+            (synth-fun f ((x Int)) Int)
+            (declare-var x Int)
+            (constraint (= (f x) (let ((y (+ x 1))) (+ y y))))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let c = &p.constraints[0];
+        // let is gone; body references x directly
+        assert!(!c.to_string().contains("let"));
+        assert!(c.free_vars().contains_key(&Symbol::new("x")));
+    }
+
+    #[test]
+    fn error_unbound_identifier() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(constraint (= (f zzz_undeclared) 0))(check-synth)";
+        let err = parse_problem(src).unwrap_err();
+        assert!(err.message.contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn error_unknown_command() {
+        let err = parse_problem("(frobnicate)").unwrap_err();
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn error_missing_synth_fun() {
+        let err = parse_problem("(set-logic LIA)(check-synth)").unwrap_err();
+        assert!(err.message.contains("missing synth-fun"));
+    }
+
+    #[test]
+    fn error_arity_mismatch() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var a Int)(constraint (= (f a a) 0))(check-synth)";
+        let err = parse_problem(src).unwrap_err();
+        assert!(err.message.contains("expects 1 arguments"), "{err}");
+    }
+
+    #[test]
+    fn error_nonlinear_multiplication() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var a Int)(declare-var b Int)(constraint (= (f a) (* a b)))(check-synth)";
+        let err = parse_problem(src).unwrap_err();
+        assert!(err.message.contains("nonlinear"), "{err}");
+    }
+
+    #[test]
+    fn constant_and_variable_productions() {
+        let src = r#"
+            (set-logic LIA)
+            (synth-fun f ((x Int)) Int
+                ((S Int ((Constant Int) (Variable Int) (+ S S)))))
+            (constraint (= (f 1) 2))
+            (check-synth)
+        "#;
+        let p = parse_problem(src).unwrap();
+        let prods = &p.synth_fun.grammar.nonterminal(0).productions;
+        assert!(prods.contains(&GTerm::AnyConst(Sort::Int)));
+        assert!(prods.contains(&GTerm::AnyVar(Sort::Int)));
+    }
+
+    #[test]
+    fn primed_var_declaration() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-primed-var x Int)(constraint (= (f x) x))(check-synth)";
+        let p = parse_problem(src).unwrap();
+        assert_eq!(p.declared_vars.len(), 2);
+        assert_eq!(p.declared_vars[1].0.as_str(), "x!");
+    }
+
+    #[test]
+    fn negative_numerals() {
+        let src = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)(constraint (= (f x) (- x -3)))(check-synth)";
+        let p = parse_problem(src).unwrap();
+        let s = p.constraints[0].to_string();
+        assert!(
+            s.contains("(- 3)") || s.contains("+ x 3") || s.contains("(+ 3 x)"),
+            "{s}"
+        );
+    }
+}

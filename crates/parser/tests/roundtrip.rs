@@ -1,0 +1,91 @@
+//! Property tests: printed terms and problems re-parse to themselves.
+
+use proptest::prelude::*;
+use sygus_ast::{Op, Term};
+use sygus_parser::{parse_problem, to_sygus};
+
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-9i64..=9).prop_map(Term::int),
+        Just(Term::int_var("x")),
+        Just(Term::int_var("y")),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app(Op::Add, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app(Op::Sub, vec![a, b])),
+            inner.clone().prop_map(|a| Term::app(Op::Neg, vec![a])),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c1, a, b)| {
+                Term::app(
+                    Op::Ite,
+                    vec![Term::app(Op::Ge, vec![c1, Term::int(0)]), a, b],
+                )
+            }),
+        ]
+    })
+}
+
+fn bool_term() -> impl Strategy<Value = Term> {
+    let atom = (int_term(), int_term(), 0usize..5).prop_map(|(a, b, r)| {
+        let op = [Op::Le, Op::Lt, Op::Ge, Op::Gt, Op::Eq][r];
+        Term::app(op, vec![a, b])
+    });
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| Term::app(Op::And, v)),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| Term::app(Op::Or, v)),
+            inner.clone().prop_map(|a| Term::app(Op::Not, vec![a])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app(Op::Implies, vec![a, b])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Printing and re-parsing is idempotent: the reader's smart
+    /// constructors may fold a raw random term once, but after the first
+    /// parse the form is stable under print→parse cycles, and semantics
+    /// are preserved throughout.
+    #[test]
+    fn constraint_round_trip(t in bool_term()) {
+        let src = format!(
+            "(set-logic LIA)(synth-fun f ((p Int)) Int)\
+             (declare-var x Int)(declare-var y Int)\
+             (constraint {t})(check-synth)"
+        );
+        let p = parse_problem(&src).expect("printed constraint parses");
+        let printed = to_sygus(&p);
+        let p2 = parse_problem(&printed).expect("reprint parses");
+        prop_assert_eq!(&p.constraints[0], &p2.constraints[0]);
+        // Semantics of raw vs parsed agree on sample points.
+        let defs = sygus_ast::Definitions::new();
+        for xv in [-3i64, 0, 4] {
+            for yv in [-2i64, 1] {
+                let env = sygus_ast::Env::from_pairs(
+                    &[sygus_ast::Symbol::new("x"), sygus_ast::Symbol::new("y")],
+                    &[sygus_ast::Value::Int(xv), sygus_ast::Value::Int(yv)],
+                );
+                prop_assert_eq!(
+                    t.eval(&env, &defs),
+                    p.constraints[0].eval(&env, &defs),
+                    "x={} y={}", xv, yv
+                );
+            }
+        }
+    }
+
+    /// Random integer terms survive printing inside an equality.
+    #[test]
+    fn int_term_round_trip(t in int_term()) {
+        let src = format!(
+            "(set-logic LIA)(synth-fun f ((p Int)) Int)\
+             (declare-var x Int)(declare-var y Int)\
+             (constraint (= (f x) {t}))(check-synth)"
+        );
+        let p = parse_problem(&src).expect("parses");
+        let printed = to_sygus(&p);
+        let p2 = parse_problem(&printed).expect("reprint parses");
+        prop_assert_eq!(&p.constraints[0], &p2.constraints[0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Incremental linear *rational* arithmetic for DPLL(T) partial checks.
+//!
+//! One simplex tableau is built per query with a slack variable per
+//! distinct linear form; asserting an atom literal just (un)tightens a
+//! bound on its slack, and feasibility repair is a handful of pivots.
+//! Infeasibility comes back with a Farkas explanation mapped to the
+//! asserted atom literals — the learned clause.
+//!
+//! Rational reasoning under-approximates integer infeasibility (rational-
+//! unsat implies integer-unsat, never the converse), so every conflict
+//! reported here is sound; complete integer checks still happen on full
+//! models. Disequalities (negated equalities) are ignored at this level.
+
+use crate::simplex::BoundSide;
+use crate::{Rat, Simplex};
+use std::collections::{BTreeMap, HashMap};
+
+/// An atom in slack form: `linear form ⋈ rhs`, referencing a registered
+/// slack variable.
+#[derive(Clone, Debug)]
+struct SlackAtom {
+    slack: usize,
+    is_eq: bool,
+    rhs: i64,
+}
+
+/// Per-variable bookkeeping of the active asserted bounds: values with
+/// multiplicity, plus the atom that currently justifies the effective
+/// (tightest) bound.
+#[derive(Clone, Debug, Default)]
+struct ActiveBounds {
+    /// value → asserting atom ids (multiplicity = length)
+    lowers: BTreeMap<i64, Vec<usize>>,
+    uppers: BTreeMap<i64, Vec<usize>>,
+}
+
+/// The incremental rational theory state for one SMT query.
+#[derive(Clone, Debug)]
+pub struct IncrementalLra {
+    sx: Simplex,
+    atoms: Vec<SlackAtom>,
+    active: HashMap<usize, ActiveBounds>,
+    /// Atom literals currently asserted: `asserted[atom] = Some(polarity)`.
+    asserted: Vec<Option<bool>>,
+}
+
+impl IncrementalLra {
+    /// Builds the state for `atoms`, each a `(coeffs, is_eq, rhs)` triple
+    /// over variables indexed `0..num_vars`. Linear forms are shared.
+    pub fn new(num_vars: usize, atoms: &[(Vec<(usize, i64)>, bool, i64)]) -> IncrementalLra {
+        let mut sx = Simplex::new(num_vars);
+        let mut slack_of: HashMap<Vec<(usize, i64)>, usize> = HashMap::new();
+        let mut out_atoms = Vec::with_capacity(atoms.len());
+        for (coeffs, is_eq, rhs) in atoms {
+            let mut canon = coeffs.clone();
+            canon.sort();
+            let slack = match slack_of.get(&canon) {
+                Some(&s) => s,
+                None => {
+                    let parts: Vec<(usize, Rat)> =
+                        canon.iter().map(|&(v, c)| (v, Rat::from(c))).collect();
+                    let s = sx.add_row(&parts);
+                    slack_of.insert(canon, s);
+                    s
+                }
+            };
+            out_atoms.push(SlackAtom {
+                slack,
+                is_eq: *is_eq,
+                rhs: *rhs,
+            });
+        }
+        IncrementalLra {
+            sx,
+            atoms: out_atoms,
+            active: HashMap::new(),
+            asserted: vec![None; atoms.len()],
+        }
+    }
+
+    /// Asserts atom `idx` with the given polarity. Positive `e ≤ r` adds an
+    /// upper bound, negative adds the lower bound `e ≥ r+1`; equalities add
+    /// both bounds positively and are ignored when negated (disequality).
+    pub fn assert_atom(&mut self, idx: usize, polarity: bool) {
+        if self.asserted[idx] == Some(polarity) {
+            return;
+        }
+        if self.asserted[idx].is_some() {
+            self.retract_atom(idx);
+        }
+        self.asserted[idx] = Some(polarity);
+        let atom = self.atoms[idx].clone();
+        match (atom.is_eq, polarity) {
+            (false, true) => self.add_bound(atom.slack, BoundSide::Upper, atom.rhs, idx),
+            (false, false) => self.add_bound(
+                atom.slack,
+                BoundSide::Lower,
+                atom.rhs.saturating_add(1),
+                idx,
+            ),
+            (true, true) => {
+                self.add_bound(atom.slack, BoundSide::Upper, atom.rhs, idx);
+                self.add_bound(atom.slack, BoundSide::Lower, atom.rhs, idx);
+            }
+            (true, false) => {} // disequality: not representable as a bound
+        }
+    }
+
+    /// Retracts atom `idx` (no-op if not asserted).
+    pub fn retract_atom(&mut self, idx: usize) {
+        let Some(polarity) = self.asserted[idx].take() else {
+            return;
+        };
+        let atom = self.atoms[idx].clone();
+        match (atom.is_eq, polarity) {
+            (false, true) => self.remove_bound(atom.slack, BoundSide::Upper, atom.rhs, idx),
+            (false, false) => self.remove_bound(
+                atom.slack,
+                BoundSide::Lower,
+                atom.rhs.saturating_add(1),
+                idx,
+            ),
+            (true, true) => {
+                self.remove_bound(atom.slack, BoundSide::Upper, atom.rhs, idx);
+                self.remove_bound(atom.slack, BoundSide::Lower, atom.rhs, idx);
+            }
+            (true, false) => {}
+        }
+    }
+
+    fn add_bound(&mut self, var: usize, side: BoundSide, value: i64, atom: usize) {
+        let entry = self.active.entry(var).or_default();
+        let map = match side {
+            BoundSide::Lower => &mut entry.lowers,
+            BoundSide::Upper => &mut entry.uppers,
+        };
+        map.entry(value).or_default().push(atom);
+        self.sync_bound(var, side);
+    }
+
+    fn remove_bound(&mut self, var: usize, side: BoundSide, value: i64, atom: usize) {
+        if let Some(entry) = self.active.get_mut(&var) {
+            let map = match side {
+                BoundSide::Lower => &mut entry.lowers,
+                BoundSide::Upper => &mut entry.uppers,
+            };
+            if let Some(cell) = map.get_mut(&value) {
+                // Remove exactly this atom's assertion so the remaining ids
+                // always point at still-asserted atoms (justifications stay
+                // sound).
+                if let Some(pos) = cell.iter().position(|&a| a == atom) {
+                    cell.remove(pos);
+                }
+                if cell.is_empty() {
+                    map.remove(&value);
+                }
+            }
+        }
+        self.sync_bound(var, side);
+    }
+
+    /// Rewrites the simplex bound of `var` on `side` to the effective
+    /// (tightest) active value: clear the side first (pure loosening keeps
+    /// the assignment feasible), then re-tighten through the checked API so
+    /// nonbasic values are repaired.
+    fn sync_bound(&mut self, var: usize, side: BoundSide) {
+        let entry = self.active.entry(var).or_default();
+        match side {
+            BoundSide::Lower => {
+                let eff = entry.lowers.keys().next_back().copied().map(Rat::from);
+                let upper = self.sx.bounds(var).1.cloned();
+                self.sx.set_bounds_raw(var, None, upper);
+                if let Some(b) = eff {
+                    self.sx.set_lower(var, b);
+                }
+            }
+            BoundSide::Upper => {
+                let eff = entry.uppers.keys().next().copied().map(Rat::from);
+                let lower = self.sx.bounds(var).0.cloned();
+                self.sx.set_bounds_raw(var, lower, None);
+                if let Some(b) = eff {
+                    self.sx.set_upper(var, b);
+                }
+            }
+        }
+    }
+
+    /// Checks rational feasibility of the asserted bounds. On conflict,
+    /// returns the asserted atom indices of a Farkas explanation.
+    ///
+    /// Disequalities participate when the bounds *pin* their form to the
+    /// forbidden value: `e ≠ r` with `r ≤ e ≤ r` is an immediate conflict
+    /// whose core is the disequality plus the two pinning bounds.
+    pub fn check(&mut self) -> Result<(), Vec<usize>> {
+        match self.sx.check_explained() {
+            Ok(()) => {
+                for idx in 0..self.atoms.len() {
+                    if self.asserted[idx] != Some(false) || !self.atoms[idx].is_eq {
+                        continue;
+                    }
+                    let slack = self.atoms[idx].slack;
+                    let r = Rat::from(self.atoms[idx].rhs);
+                    let (l, u) = self.sx.bounds(slack);
+                    if l == Some(&r) && u == Some(&r) {
+                        let mut core = vec![idx];
+                        if let Some(entry) = self.active.get(&slack) {
+                            if let Some(a) = entry
+                                .lowers
+                                .iter()
+                                .next_back()
+                                .and_then(|(_, v)| v.last().copied())
+                            {
+                                if !core.contains(&a) {
+                                    core.push(a);
+                                }
+                            }
+                            if let Some(a) = entry
+                                .uppers
+                                .iter()
+                                .next()
+                                .and_then(|(_, v)| v.last().copied())
+                            {
+                                if !core.contains(&a) {
+                                    core.push(a);
+                                }
+                            }
+                        }
+                        return Err(core);
+                    }
+                }
+                Ok(())
+            }
+            Err(expl) => {
+                let mut atoms: Vec<usize> = Vec::new();
+                for (var, side) in expl {
+                    let Some(entry) = self.active.get(&var) else {
+                        continue; // structural bound (none here)
+                    };
+                    let justifying = match side {
+                        BoundSide::Lower => entry
+                            .lowers
+                            .iter()
+                            .next_back()
+                            .and_then(|(_, v)| v.last().copied()),
+                        BoundSide::Upper => entry
+                            .uppers
+                            .iter()
+                            .next()
+                            .and_then(|(_, v)| v.last().copied()),
+                    };
+                    if let Some(a) = justifying {
+                        if !atoms.contains(&a) {
+                            atoms.push(a);
+                        }
+                    }
+                }
+                Err(atoms)
+            }
+        }
+    }
+
+    /// The currently asserted polarity of an atom.
+    pub fn polarity(&self, idx: usize) -> Option<bool> {
+        self.asserted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// atoms over x (var 0): a0: x ≤ 5, a1: x ≤ 2, a2: x = 7 (as eq)
+    fn state() -> IncrementalLra {
+        IncrementalLra::new(
+            1,
+            &[
+                (vec![(0, 1)], false, 5),
+                (vec![(0, 1)], false, 2),
+                (vec![(0, 1)], true, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn assert_and_check_sat() {
+        let mut st = state();
+        st.assert_atom(0, true); // x <= 5
+        assert!(st.check().is_ok());
+        st.assert_atom(1, false); // x >= 3
+        assert!(st.check().is_ok());
+    }
+
+    #[test]
+    fn conflict_has_explanation() {
+        let mut st = state();
+        st.assert_atom(1, true); // x <= 2
+        st.assert_atom(2, true); // x = 7
+        let core = st.check().expect_err("conflict");
+        assert!(core.contains(&1) && core.contains(&2), "{core:?}");
+    }
+
+    #[test]
+    fn retract_restores_feasibility() {
+        let mut st = state();
+        st.assert_atom(1, true); // x <= 2
+        st.assert_atom(2, true); // x = 7
+        assert!(st.check().is_err());
+        st.retract_atom(1);
+        assert!(st.check().is_ok());
+        // Re-assert: conflict returns.
+        st.assert_atom(1, true);
+        assert!(st.check().is_err());
+    }
+
+    #[test]
+    fn nested_bounds_keep_effective() {
+        let mut st = state();
+        st.assert_atom(0, true); // x <= 5
+        st.assert_atom(1, true); // x <= 2 (tighter)
+        st.retract_atom(1); // back to x <= 5
+        st.assert_atom(2, true); // x = 7 conflicts with x <= 5
+        let core = st.check().expect_err("conflict");
+        assert!(core.contains(&0), "core {core:?} must cite x <= 5");
+        st.retract_atom(0);
+        assert!(st.check().is_ok());
+    }
+
+    #[test]
+    fn disequalities_ignored() {
+        let mut st = state();
+        st.assert_atom(2, false); // x ≠ 7: no rational content
+        assert!(st.check().is_ok());
+        assert_eq!(st.polarity(2), Some(false));
+    }
+
+    #[test]
+    fn shared_linear_forms_one_slack() {
+        // Two atoms on the same form x+y and one on 2x.
+        let mut st = IncrementalLra::new(
+            2,
+            &[
+                (vec![(0, 1), (1, 1)], false, 4),
+                (vec![(1, 1), (0, 1)], false, 9),
+                (vec![(0, 2)], false, 0),
+            ],
+        );
+        st.assert_atom(0, false); // x+y >= 5
+        st.assert_atom(1, true); // x+y <= 9
+        st.assert_atom(2, true); // 2x <= 0
+        assert!(st.check().is_ok());
+        st.assert_atom(1, false); // flip: x+y >= 10 — still sat (y free)
+        assert!(st.check().is_ok());
+    }
+
+    #[test]
+    fn multi_var_conflict() {
+        // x - y >= 1 and y - x >= 1 is rationally unsat.
+        let mut st = IncrementalLra::new(
+            2,
+            &[
+                (vec![(0, 1), (1, -1)], false, 0),
+                (vec![(0, -1), (1, 1)], false, 0),
+            ],
+        );
+        st.assert_atom(0, false); // x - y >= 1
+        st.assert_atom(1, false); // y - x >= 1
+        let core = st.check().expect_err("conflict");
+        assert_eq!(core.len(), 2, "{core:?}");
+    }
+}

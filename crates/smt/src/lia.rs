@@ -1,0 +1,735 @@
+//! Linear *integer* arithmetic feasibility: branch-and-bound on top of the
+//! rational simplex.
+
+use crate::{BigInt, Rat, Simplex, SimplexResult};
+use std::fmt;
+
+/// Relation of a linear constraint `Σ cᵢ·xᵢ ⋈ rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// A linear integer constraint `Σ coeffs ⋈ rhs` over variables `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinCon {
+    /// `(variable, coefficient)` pairs; variables may repeat (summed).
+    pub coeffs: Vec<(usize, BigInt)>,
+    /// The relation.
+    pub rel: Rel,
+    /// The right-hand side.
+    pub rhs: BigInt,
+}
+
+impl LinCon {
+    /// Builds a constraint from `i64` parts (convenience for tests and
+    /// encoders).
+    pub fn new(coeffs: &[(usize, i64)], rel: Rel, rhs: i64) -> LinCon {
+        LinCon {
+            coeffs: coeffs.iter().map(|&(v, c)| (v, BigInt::from(c))).collect(),
+            rel,
+            rhs: BigInt::from(rhs),
+        }
+    }
+
+    /// Evaluates the constraint on an integer point.
+    pub fn holds_on(&self, point: &[BigInt]) -> bool {
+        let mut sum = BigInt::zero();
+        for (v, c) in &self.coeffs {
+            sum += &(c * &point[*v]);
+        }
+        match self.rel {
+            Rel::Le => sum <= self.rhs,
+            Rel::Ge => sum >= self.rhs,
+            Rel::Eq => sum == self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for LinCon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (v, c)) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}·x{v}")?;
+        }
+        let rel = match self.rel {
+            Rel::Le => "<=",
+            Rel::Ge => ">=",
+            Rel::Eq => "=",
+        };
+        write!(f, " {rel} {}", self.rhs)
+    }
+}
+
+/// Result of an integer feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Satisfiable with the given integer point (indexed by variable).
+    Sat(Vec<BigInt>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The node budget ran out before a decision was reached.
+    Unknown,
+}
+
+/// Checks integer feasibility of `constraints` over variables `0..num_vars`
+/// by branch-and-bound, exploring at most `node_budget` subproblems.
+///
+/// Returns [`LiaResult::Unknown`] only when the budget is exhausted; `Sat`
+/// and `Unsat` answers are exact.
+///
+/// # Examples
+///
+/// ```
+/// use smtkit::{check_lia, LiaResult, LinCon, Rel};
+/// // 2x = 2y + 1 has no integer solution.
+/// let cons = vec![LinCon::new(&[(0, 2), (1, -2)], Rel::Eq, 1)];
+/// assert_eq!(check_lia(2, &cons, 1000), LiaResult::Unsat);
+/// ```
+pub fn check_lia(num_vars: usize, constraints: &[LinCon], node_budget: u64) -> LiaResult {
+    // GCD tightening: merge repeated variables, divide by the coefficient
+    // gcd, and round the right-hand side toward feasibility. This both cuts
+    // off rational-only solutions (e.g. `2x - 2y = 1` becomes unsat
+    // immediately) and keeps branch-and-bound from chasing them forever.
+    let mut tightened: Vec<LinCon> = Vec::with_capacity(constraints.len());
+    for con in constraints {
+        let mut merged: std::collections::BTreeMap<usize, BigInt> = Default::default();
+        for (v, c) in &con.coeffs {
+            let e = merged.entry(*v).or_default();
+            *e += c;
+        }
+        merged.retain(|_, c| !c.is_zero());
+        if merged.is_empty() {
+            // Ground constraint: 0 ⋈ rhs.
+            let holds = match con.rel {
+                Rel::Le => BigInt::zero() <= con.rhs,
+                Rel::Ge => BigInt::zero() >= con.rhs,
+                Rel::Eq => con.rhs.is_zero(),
+            };
+            if holds {
+                continue;
+            }
+            return LiaResult::Unsat;
+        }
+        let mut g = BigInt::zero();
+        for c in merged.values() {
+            g = g.gcd(c);
+        }
+        let rhs = if g == BigInt::one() {
+            con.rhs.clone()
+        } else {
+            match con.rel {
+                Rel::Le => con.rhs.div_floor(&g),
+                Rel::Ge => con.rhs.div_ceil(&g),
+                Rel::Eq => {
+                    let (q, r) = con.rhs.div_rem(&g);
+                    if !r.is_zero() {
+                        return LiaResult::Unsat;
+                    }
+                    q
+                }
+            }
+        };
+        tightened.push(LinCon {
+            coeffs: merged.into_iter().map(|(v, c)| (v, &c / &g)).collect(),
+            rel: con.rel,
+            rhs,
+        });
+    }
+    // Fuse complementary bounds into equalities: `e ≥ r` and `e ≤ r` on
+    // the same linear form become `e = r`, which unlocks the equality
+    // reduction below (and detects empty windows early).
+    let tightened = fuse_bounds(tightened);
+
+    // Gaussian elimination of equalities with a ±1 coefficient: every
+    // purification variable (v = e) disappears here, which shrinks the
+    // branch-and-bound search space dramatically and removes the usual
+    // sources of fractional wandering.
+    let (tightened, subs, num_vars) = reduce_equalities(tightened, num_vars);
+    // Re-run ground/gcd checks on the substituted system.
+    let mut cleaned: Vec<LinCon> = Vec::with_capacity(tightened.len());
+    for con in &tightened {
+        let mut merged: std::collections::BTreeMap<usize, BigInt> = Default::default();
+        for (v, c) in &con.coeffs {
+            let e = merged.entry(*v).or_default();
+            *e += c;
+        }
+        merged.retain(|_, c| !c.is_zero());
+        if merged.is_empty() {
+            let holds = match con.rel {
+                Rel::Le => BigInt::zero() <= con.rhs,
+                Rel::Ge => BigInt::zero() >= con.rhs,
+                Rel::Eq => con.rhs.is_zero(),
+            };
+            if holds {
+                continue;
+            }
+            return LiaResult::Unsat;
+        }
+        cleaned.push(LinCon {
+            coeffs: merged.into_iter().collect(),
+            rel: con.rel,
+            rhs: con.rhs.clone(),
+        });
+    }
+    let tightened = cleaned;
+
+    // Build the base tableau once; branching clones it and adds a single
+    // bound, so each node is repaired with a few dual-simplex pivots
+    // instead of re-solved from scratch.
+    let mut sx = Simplex::new(num_vars);
+    for con in &tightened {
+        let coeffs: Vec<(usize, Rat)> = con
+            .coeffs
+            .iter()
+            .map(|(v, c)| (*v, Rat::from(c.clone())))
+            .collect();
+        let slack = sx.add_row(&coeffs);
+        let rhs = Rat::from(con.rhs.clone());
+        match con.rel {
+            Rel::Le => sx.set_upper(slack, rhs),
+            Rel::Ge => sx.set_lower(slack, rhs),
+            Rel::Eq => {
+                sx.set_lower(slack, rhs.clone());
+                sx.set_upper(slack, rhs);
+            }
+        }
+    }
+    let mut budget = node_budget;
+    match branch(num_vars, sx, &mut budget, 0) {
+        LiaResult::Sat(mut point) => {
+            // Reconstruct eliminated variables in reverse order.
+            for (v, coeffs, konst) in subs.iter().rev() {
+                let mut val = konst.clone();
+                for (w, c) in coeffs {
+                    val += &(c * &point[*w]);
+                }
+                point[*v] = val;
+            }
+            LiaResult::Sat(point)
+        }
+        other => other,
+    }
+}
+
+/// Canonicalizes each constraint to a sign-normalized linear form and fuses
+/// per-form bounds: the tightest lower and upper bound survive; a closed
+/// window of width zero becomes an equality.
+fn fuse_bounds(cons: Vec<LinCon>) -> Vec<LinCon> {
+    use std::collections::BTreeMap;
+    type Form = Vec<(usize, BigInt)>;
+    // form → (best lower, best upper, equalities' rhs list)
+    let mut forms: BTreeMap<Form, (Option<BigInt>, Option<BigInt>, Vec<BigInt>)> = BTreeMap::new();
+    for con in cons {
+        let mut merged: BTreeMap<usize, BigInt> = BTreeMap::new();
+        for (v, c) in &con.coeffs {
+            let e = merged.entry(*v).or_default();
+            *e += c;
+        }
+        merged.retain(|_, c| !c.is_zero());
+        let mut form: Form = merged.into_iter().collect();
+        let mut rel = con.rel;
+        let mut rhs = con.rhs.clone();
+        // Sign-normalize: first coefficient positive.
+        if form.first().is_some_and(|(_, c)| c.is_negative()) {
+            for (_, c) in form.iter_mut() {
+                *c = -&*c;
+            }
+            rhs = -&rhs;
+            rel = match rel {
+                Rel::Le => Rel::Ge,
+                Rel::Ge => Rel::Le,
+                Rel::Eq => Rel::Eq,
+            };
+        }
+        let entry = forms.entry(form).or_insert((None, None, Vec::new()));
+        match rel {
+            Rel::Ge => {
+                if entry.0.as_ref().is_none_or(|b| rhs > *b) {
+                    entry.0 = Some(rhs);
+                }
+            }
+            Rel::Le => {
+                if entry.1.as_ref().is_none_or(|b| rhs < *b) {
+                    entry.1 = Some(rhs);
+                }
+            }
+            Rel::Eq => entry.2.push(rhs),
+        }
+    }
+    let mut out = Vec::new();
+    for (form, (lower, upper, eqs)) in forms {
+        for r in &eqs {
+            out.push(LinCon {
+                coeffs: form.clone(),
+                rel: Rel::Eq,
+                rhs: r.clone(),
+            });
+        }
+        match (&lower, &upper) {
+            (Some(l), Some(u)) if l == u => {
+                out.push(LinCon {
+                    coeffs: form.clone(),
+                    rel: Rel::Eq,
+                    rhs: l.clone(),
+                });
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(l) = lower {
+            out.push(LinCon {
+                coeffs: form.clone(),
+                rel: Rel::Ge,
+                rhs: l,
+            });
+        }
+        if let Some(u) = upper {
+            out.push(LinCon {
+                coeffs: form.clone(),
+                rel: Rel::Le,
+                rhs: u,
+            });
+        }
+    }
+    out
+}
+
+/// Integer equality reduction (omega-test style). Two moves, applied to
+/// fixpoint:
+///
+/// 1. an equality with a ±1 coefficient defines that variable — substitute
+///    it away;
+/// 2. an equality whose first two variables have coefficients `a, b`
+///    (neither ±1) is reparametrized through the extended gcd: with
+///    `a·s + b·t = g`, substituting `x := s·w + (b/g)·u` and
+///    `y := t·w − (a/g)·u` (fresh `w, u`) turns `a·x + b·y` into `g·w`,
+///    shrinking the equality by one variable per step.
+///
+/// Returns the reduced system, the substitutions `(var, coeffs, const)` in
+/// elimination order (later entries may reference fresh variables), and the
+/// new variable count.
+#[allow(clippy::type_complexity)]
+fn reduce_equalities(
+    mut cons: Vec<LinCon>,
+    mut num_vars: usize,
+) -> (
+    Vec<LinCon>,
+    Vec<(usize, Vec<(usize, BigInt)>, BigInt)>,
+    usize,
+) {
+    let mut subs: Vec<(usize, Vec<(usize, BigInt)>, BigInt)> = Vec::new();
+    // Keep every constraint's coefficient list merged (no duplicate
+    // variables) so the ±1 test below sees true coefficients.
+    fn merge_coeffs(con: &mut LinCon) {
+        let mut m: std::collections::BTreeMap<usize, BigInt> = Default::default();
+        for (v, c) in &con.coeffs {
+            let e = m.entry(*v).or_default();
+            *e += c;
+        }
+        m.retain(|_, c| !c.is_zero());
+        con.coeffs = m.into_iter().collect();
+    }
+    for con in cons.iter_mut() {
+        merge_coeffs(con);
+    }
+    loop {
+        // Find an equality with a ±1 coefficient.
+        let Some((ci, var, positive)) = cons.iter().enumerate().find_map(|(ci, c)| {
+            if c.rel != Rel::Eq {
+                return None;
+            }
+            c.coeffs.iter().find_map(|(v, k)| {
+                if *k == BigInt::one() {
+                    Some((ci, *v, true))
+                } else if *k == -&BigInt::one() {
+                    Some((ci, *v, false))
+                } else {
+                    None
+                }
+            })
+        }) else {
+            // No unit coefficient anywhere: try the extended-gcd pair
+            // reparametrization on some multi-variable equality.
+            if !reduce_one_pair(&mut cons, &mut subs, &mut num_vars) {
+                break;
+            }
+            for con in cons.iter_mut() {
+                merge_coeffs(con);
+            }
+            continue;
+        };
+        let eq = cons.remove(ci);
+        // var = rhs' − Σ other coeffs  (sign-adjusted when coeff was −1):
+        //   +v + Σ a·x = r  ⇒  v = r − Σ a·x
+        //   −v + Σ a·x = r  ⇒  v = Σ a·x − r
+        let mut expr: Vec<(usize, BigInt)> = Vec::new();
+        for (w, c) in &eq.coeffs {
+            if *w == var {
+                continue;
+            }
+            let coef = if positive { -c } else { c.clone() };
+            expr.push((*w, coef));
+        }
+        let konst = if positive { eq.rhs.clone() } else { -&eq.rhs };
+        // Substitute into the remaining constraints.
+        for con in cons.iter_mut() {
+            let k: BigInt = con
+                .coeffs
+                .iter()
+                .filter(|(w, _)| *w == var)
+                .map(|(_, c)| c.clone())
+                .fold(BigInt::zero(), |a, b| &a + &b);
+            if k.is_zero() {
+                continue;
+            }
+            con.coeffs.retain(|(w, _)| *w != var);
+            for (w, c) in &expr {
+                con.coeffs.push((*w, &k * c));
+            }
+            con.rhs = &con.rhs - &(&k * &konst);
+            merge_coeffs(con);
+        }
+        subs.push((var, expr, konst));
+    }
+    (cons, subs, num_vars)
+}
+
+/// One extended-gcd step (move 2 of [`reduce_equalities`]). Returns whether
+/// a reparametrization was performed.
+#[allow(clippy::type_complexity)]
+fn reduce_one_pair(
+    cons: &mut [LinCon],
+    subs: &mut Vec<(usize, Vec<(usize, BigInt)>, BigInt)>,
+    num_vars: &mut usize,
+) -> bool {
+    let target = cons
+        .iter()
+        .position(|c| c.rel == Rel::Eq && c.coeffs.len() >= 2);
+    let Some(ti) = target else {
+        return false;
+    };
+    let (x, a) = cons[ti].coeffs[0].clone();
+    let (y, b) = cons[ti].coeffs[1].clone();
+    let (g, sc, tc) = BigInt::extended_gcd(&a, &b);
+    if g.is_zero() {
+        return false;
+    }
+    let w = *num_vars;
+    let u = *num_vars + 1;
+    *num_vars += 2;
+    let b_g = &b / &g;
+    let a_g = &a / &g;
+    // x := s·w + (b/g)·u ;  y := t·w − (a/g)·u
+    let x_expr = vec![(w, sc.clone()), (u, b_g.clone())];
+    let y_expr = vec![(w, tc.clone()), (u, -&a_g)];
+    for con in cons.iter_mut() {
+        let kx: BigInt = con
+            .coeffs
+            .iter()
+            .filter(|(v, _)| *v == x)
+            .map(|(_, c)| c.clone())
+            .fold(BigInt::zero(), |acc, c| &acc + &c);
+        let ky: BigInt = con
+            .coeffs
+            .iter()
+            .filter(|(v, _)| *v == y)
+            .map(|(_, c)| c.clone())
+            .fold(BigInt::zero(), |acc, c| &acc + &c);
+        if kx.is_zero() && ky.is_zero() {
+            continue;
+        }
+        con.coeffs.retain(|(v, _)| *v != x && *v != y);
+        for (v, c) in &x_expr {
+            con.coeffs.push((*v, &kx * c));
+        }
+        for (v, c) in &y_expr {
+            con.coeffs.push((*v, &ky * c));
+        }
+    }
+    subs.push((x, x_expr, BigInt::zero()));
+    subs.push((y, y_expr, BigInt::zero()));
+    true
+}
+
+/// Recursion cap for branch-and-bound: beyond this the search degrades to
+/// `Unknown` instead of risking stack exhaustion.
+const MAX_BRANCH_DEPTH: usize = 220;
+
+fn branch(num_vars: usize, mut sx: Simplex, budget: &mut u64, depth: usize) -> LiaResult {
+    if *budget == 0 || depth > MAX_BRANCH_DEPTH {
+        return LiaResult::Unknown;
+    }
+    *budget -= 1;
+    if sx.check() == SimplexResult::Unsat {
+        return LiaResult::Unsat;
+    }
+    let relax: Vec<Rat> = (0..num_vars).map(|v| sx.value(v).clone()).collect();
+    // Find a fractional variable.
+    let frac = relax.iter().position(|q| !q.is_integer());
+    match frac {
+        None => LiaResult::Sat(relax.into_iter().map(|q| q.floor()).collect()),
+        Some(v) => {
+            let fl = relax[v].floor();
+            let ce = relax[v].ceil();
+            // Left branch: v <= floor (clone keeps the repaired tableau).
+            let mut left_sx = sx.clone();
+            left_sx.set_upper(v, Rat::from(fl));
+            match branch(num_vars, left_sx, budget, depth + 1) {
+                LiaResult::Sat(m) => return LiaResult::Sat(m),
+                LiaResult::Unknown => return LiaResult::Unknown,
+                LiaResult::Unsat => {}
+            }
+            // Right branch: v >= ceil (reuse the current tableau).
+            sx.set_lower(v, Rat::from(ce));
+            branch(num_vars, sx, budget, depth + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_i64(m: &[BigInt]) -> Vec<i64> {
+        m.iter().map(|b| b.to_i64().expect("fits i64")).collect()
+    }
+
+    #[test]
+    fn trivially_sat() {
+        assert!(matches!(check_lia(2, &[], 100), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn simple_bounds_sat() {
+        let cons = vec![
+            LinCon::new(&[(0, 1)], Rel::Ge, 3),
+            LinCon::new(&[(0, 1)], Rel::Le, 5),
+        ];
+        match check_lia(1, &cons, 100) {
+            LiaResult::Sat(m) => {
+                let v = as_i64(&m)[0];
+                assert!((3..=5).contains(&v));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_unsat() {
+        // 2x - 2y = 1 is rationally sat but integrally unsat.
+        let cons = vec![LinCon::new(&[(0, 2), (1, -2)], Rel::Eq, 1)];
+        assert_eq!(check_lia(2, &cons, 1000), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn fractional_forced_to_integer() {
+        // 2x = 6 → x = 3
+        let cons = vec![LinCon::new(&[(0, 2)], Rel::Eq, 6)];
+        match check_lia(1, &cons, 100) {
+            LiaResult::Sat(m) => assert_eq!(as_i64(&m), vec![3]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_needed() {
+        // 3 <= 2x <= 5 → x = 2
+        let cons = vec![
+            LinCon::new(&[(0, 2)], Rel::Ge, 3),
+            LinCon::new(&[(0, 2)], Rel::Le, 5),
+        ];
+        match check_lia(1, &cons, 100) {
+            LiaResult::Sat(m) => assert_eq!(as_i64(&m), vec![2]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_window_unsat() {
+        // 5 < 3x < 6 has no integer solution: 3x >= 6 and 3x <= 5 branches.
+        let cons = vec![
+            LinCon::new(&[(0, 3)], Rel::Ge, 6), // 3x >= 6 → x >= 2
+            LinCon::new(&[(0, 3)], Rel::Le, 5), // 3x <= 5 → x <= 1
+        ];
+        assert_eq!(check_lia(1, &cons, 100), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn two_var_system() {
+        // x + y = 7, x - y = 3 → x = 5, y = 2
+        let cons = vec![
+            LinCon::new(&[(0, 1), (1, 1)], Rel::Eq, 7),
+            LinCon::new(&[(0, 1), (1, -1)], Rel::Eq, 3),
+        ];
+        match check_lia(2, &cons, 100) {
+            LiaResult::Sat(m) => assert_eq!(as_i64(&m), vec![5, 2]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn knapsack_like() {
+        // 3x + 5y = 14, x,y >= 0 → (3, 1)
+        let cons = vec![
+            LinCon::new(&[(0, 3), (1, 5)], Rel::Eq, 14),
+            LinCon::new(&[(0, 1)], Rel::Ge, 0),
+            LinCon::new(&[(1, 1)], Rel::Ge, 0),
+        ];
+        match check_lia(2, &cons, 10_000) {
+            LiaResult::Sat(m) => {
+                let m = as_i64(&m);
+                assert_eq!(3 * m[0] + 5 * m[1], 14);
+                assert!(m[0] >= 0 && m[1] >= 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        let cons = vec![
+            LinCon::new(&[(0, 7), (1, -3), (2, 1)], Rel::Le, 11),
+            LinCon::new(&[(0, 1), (1, 1), (2, 1)], Rel::Ge, 5),
+            LinCon::new(&[(0, 2), (1, 1)], Rel::Eq, 4),
+            LinCon::new(&[(2, 1)], Rel::Le, 10),
+            LinCon::new(&[(2, 1)], Rel::Ge, -10),
+        ];
+        match check_lia(3, &cons, 10_000) {
+            LiaResult::Sat(m) => {
+                for c in &cons {
+                    assert!(c.holds_on(&m), "violated: {c}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_variable_coefficients_merge() {
+        // x + x <= 3 → x <= 1 (integers)
+        let cons = vec![
+            LinCon::new(&[(0, 1), (0, 1)], Rel::Le, 3),
+            LinCon::new(&[(0, 1)], Rel::Ge, 1),
+        ];
+        match check_lia(1, &cons, 100) {
+            LiaResult::Sat(m) => assert_eq!(as_i64(&m), vec![1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown() {
+        let cons = vec![
+            LinCon::new(&[(0, 1)], Rel::Ge, 3),
+            LinCon::new(&[(0, 1)], Rel::Le, 5),
+        ];
+        assert_eq!(check_lia(1, &cons, 0), LiaResult::Unknown);
+    }
+
+    #[test]
+    fn gcd_tightening_decides_parity_without_branching() {
+        // 2x - 2y = 1 is cut off by gcd reasoning even with zero budget.
+        let cons = vec![LinCon::new(&[(0, 2), (1, -2)], Rel::Eq, 1)];
+        assert_eq!(check_lia(2, &cons, 0), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn gcd_tightening_inequalities() {
+        // 3x >= 4 ∧ 3x <= 5 → x >= 2 ∧ x <= 1 → unsat, no branching needed.
+        let cons = vec![
+            LinCon::new(&[(0, 3)], Rel::Ge, 4),
+            LinCon::new(&[(0, 3)], Rel::Le, 5),
+        ];
+        assert_eq!(check_lia(1, &cons, 1), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn ground_constraints() {
+        // 0 <= -1 after merging x - x.
+        let cons = vec![LinCon::new(&[(0, 1), (0, -1)], Rel::Le, -1)];
+        assert_eq!(check_lia(1, &cons, 10), LiaResult::Unsat);
+        let ok = vec![LinCon::new(&[(0, 1), (0, -1)], Rel::Le, 0)];
+        assert!(matches!(check_lia(1, &ok, 10), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn holds_on_eval() {
+        let c = LinCon::new(&[(0, 2), (1, -1)], Rel::Le, 3);
+        assert!(c.holds_on(&[BigInt::from(1), BigInt::from(0)]));
+        assert!(!c.holds_on(&[BigInt::from(5), BigInt::from(0)]));
+    }
+}
+
+#[cfg(test)]
+mod pair_reduction_tests {
+    use super::*;
+
+    #[test]
+    fn non_unit_equality_pair_reduced() {
+        // 3x = 2y with 1 ≤ x ≤ 4 forces x ∈ {2, 4} (x must be even).
+        let cons = vec![
+            LinCon::new(&[(0, 3), (1, -2)], Rel::Eq, 0),
+            LinCon::new(&[(0, 1)], Rel::Ge, 1),
+            LinCon::new(&[(0, 1)], Rel::Le, 4),
+        ];
+        match check_lia(2, &cons, 5_000) {
+            LiaResult::Sat(m) => {
+                for c in &cons {
+                    assert!(c.holds_on(&m), "violated {c}");
+                }
+                let x = m[0].to_i64().unwrap();
+                assert!(x == 2 || x == 4, "x = {x}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_unit_equality_infeasible_window() {
+        // 3x = 2y, 1 ≤ x ≤ 1: x = 1 is odd ⇒ unsat.
+        let cons = vec![
+            LinCon::new(&[(0, 3), (1, -2)], Rel::Eq, 0),
+            LinCon::new(&[(0, 1)], Rel::Ge, 1),
+            LinCon::new(&[(0, 1)], Rel::Le, 1),
+        ];
+        assert_eq!(check_lia(2, &cons, 5_000), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn bound_pair_becomes_equality() {
+        // 3x − 2y ≥ 1 and 3x − 2y ≤ 1 fuse to an equality with no integer
+        // solution parity issue: 3x − 2y = 1 has x=1,y=1.
+        let cons = vec![
+            LinCon::new(&[(0, 3), (1, -2)], Rel::Ge, 1),
+            LinCon::new(&[(0, 3), (1, -2)], Rel::Le, 1),
+        ];
+        match check_lia(2, &cons, 5_000) {
+            LiaResult::Sat(m) => {
+                for c in &cons {
+                    assert!(c.holds_on(&m), "violated {c}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_var_equality_chain() {
+        // 6a + 10b + 15c = 1 has integer solutions (gcd(6,10,15) = 1).
+        let cons = vec![LinCon::new(&[(0, 6), (1, 10), (2, 15)], Rel::Eq, 1)];
+        match check_lia(3, &cons, 20_000) {
+            LiaResult::Sat(m) => {
+                assert!(cons[0].holds_on(&m), "violated");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `smtkit`: a from-scratch SMT solver for quantifier-free conditional
+//! linear integer arithmetic (QF_LIA), serving as the "background decision
+//! procedure" (Definition 2.2) of the DryadSynth reproduction.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`BigInt`] / [`Rat`]: exact arbitrary-precision arithmetic;
+//! * [`SatSolver`]: a CDCL SAT core;
+//! * [`Simplex`]: general simplex over the rationals;
+//! * [`check_lia`]: branch-and-bound integer feasibility;
+//! * [`SmtSolver`]: the lazy DPLL(T) loop tying it together, with a
+//!   [`Term`](sygus_ast::Term)-level API: satisfiability checking with model
+//!   extraction and validity checking with counterexamples.
+
+#![warn(missing_docs)]
+
+mod bigint;
+mod inc_lra;
+mod lia;
+mod rat;
+mod sat;
+mod simplex;
+mod solver;
+
+pub use bigint::BigInt;
+pub use inc_lra::IncrementalLra;
+pub use lia::{check_lia, LiaResult, LinCon, Rel};
+pub use rat::Rat;
+pub use sat::{Lit, SatResult, SatSolver, Var};
+pub use simplex::{BoundSide, Simplex, SimplexResult};
+pub use solver::{Model, SmtConfig, SmtError, SmtResult, SmtSolver, Validity};

@@ -1,0 +1,776 @@
+//! A CDCL SAT solver: two-watched-literal propagation, 1UIP conflict
+//! analysis, VSIDS-style activities, phase saving, and Luby restarts.
+//!
+//! The solver is incremental in the simple sense the lazy DPLL(T) loop
+//! needs: clauses (e.g. theory blocking clauses) may be added between
+//! `solve` calls.
+
+use std::fmt;
+
+/// A propositional variable (0-based index).
+pub type Var = u32;
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit((v << 1) | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// Result of a [`SatSolver::solve`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the witness assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+const INVALID: usize = usize::MAX;
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use smtkit::{Lit, SatResult, SatSolver};
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(vec![Lit::neg(a)]);
+/// match s.solve(None) {
+///     SatResult::Sat(model) => {
+///         assert!(!model[a as usize]);
+///         assert!(model[b as usize]);
+///     }
+///     SatResult::Unsat => unreachable!(),
+/// }
+/// ```
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    /// `watches[lit]`: indices of clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<Option<bool>>,
+    /// Saved phases for polarity selection.
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    /// Index of the antecedent clause of each assigned var, or `INVALID`.
+    reason: Vec<usize>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    prop_head: usize,
+    unsat_at_root: bool,
+    conflicts_total: u64,
+}
+
+impl Default for SatSolver {
+    fn default() -> SatSolver {
+        SatSolver::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            prop_head: 0,
+            unsat_at_root: false,
+            conflicts_total: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(None);
+        self.phase.push(false);
+        self.reason.push(INVALID);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Total conflicts encountered so far (a work measure).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts_total
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|b| b != l.is_neg())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Duplicate literals are removed and tautologies are
+    /// ignored. Adding the empty clause (or a clause falsified at the root
+    /// level) makes the instance unsatisfiable.
+    ///
+    /// May be called between `solve` invocations; the solver backtracks to
+    /// the root level first.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        self.cancel_until(0);
+        lits.sort();
+        lits.dedup();
+        // Tautology check (sorted: l and ¬l are adjacent).
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // contains both polarities
+            }
+        }
+        // Remove literals already false at root; stop if any is true at root.
+        lits.retain(|&l| !(self.level[l.var() as usize] == 0 && self.value(l) == Some(false)));
+        if lits
+            .iter()
+            .any(|&l| self.level[l.var() as usize] == 0 && self.value(l) == Some(true))
+        {
+            return; // satisfied at root
+        }
+        match lits.len() {
+            0 => self.unsat_at_root = true,
+            1 => {
+                if !self.enqueue(lits[0], INVALID) {
+                    self.unsat_at_root = true;
+                } else if self.propagate().is_some() {
+                    self.unsat_at_root = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[lits[0].index()].push(idx);
+                self.watches[lits[1].index()].push(idx);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    /// Enqueues an assignment; returns `false` on immediate conflict.
+    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+        match self.value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var() as usize;
+                self.assign[v] = Some(!l.is_neg());
+                self.phase[v] = !l.is_neg();
+                self.reason[v] = reason;
+                self.level[v] = self.decision_level();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let false_lit = p.negate();
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                // Normalize: watched literals are clause[0] and clause[1].
+                {
+                    let clause = &mut self.clauses[ci];
+                    if clause[0] == false_lit {
+                        clause.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    let lk = self.clauses[ci][k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[lk.index()].push(ci);
+                        watchers.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, ci) {
+                    // Conflict: restore remaining watchers.
+                    self.watches[false_lit.index()].extend_from_slice(&watchers);
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[false_lit.index()].extend_from_slice(&watchers);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns (learned clause, backjump level).
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        loop {
+            // The reason side of the current conflict/antecedent.
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[conflict].len() {
+                let q = self.clauses[conflict][k];
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand: last trail literal seen.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var() as usize;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.expect("found").negate();
+                break;
+            }
+            conflict = self.reason[pv];
+            debug_assert_ne!(conflict, INVALID);
+            seen[pv] = false;
+        }
+        // Backjump level: second-highest level in the learned clause.
+        let bj = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in position 1 for watching.
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == bj)
+                .expect("bj literal exists")
+                + 1;
+            learned.swap(1, pos);
+        }
+        (learned, bj)
+    }
+
+    /// Integrates a theory-conflict clause: backjumps just far enough for
+    /// the clause to become unit (or free) and attaches it. Returns `false`
+    /// when the clause is conflicting at the root level (unsat).
+    fn learn_theory_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        lits.sort();
+        lits.dedup();
+        if lits.is_empty() {
+            self.unsat_at_root = true;
+            return false;
+        }
+        // Sort by assignment level, highest first (unassigned counts as
+        // current level — should not happen for conflict clauses).
+        let lvl = |me: &SatSolver, l: Lit| -> u32 {
+            if me.assign[l.var() as usize].is_some() {
+                me.level[l.var() as usize]
+            } else {
+                me.decision_level()
+            }
+        };
+        lits.sort_by_key(|&l| std::cmp::Reverse(lvl(self, l)));
+        let top = lvl(self, lits[0]);
+        if lits.len() == 1 || top == 0 {
+            self.cancel_until(0);
+            self.prop_head = 0;
+            self.add_clause(lits);
+            return !self.unsat_at_root;
+        }
+        let second = lvl(self, lits[1]);
+        let target = if second == top {
+            top.saturating_sub(1)
+        } else {
+            second
+        };
+        self.cancel_until(target);
+        self.prop_head = self.trail.len();
+        let idx = self.clauses.len();
+        self.watches[lits[0].index()].push(idx);
+        self.watches[lits[1].index()].push(idx);
+        let first = lits[0];
+        let now_unit =
+            lits[1..].iter().all(|&l| self.value(l) == Some(false)) && self.value(first).is_none();
+        self.clauses.push(lits);
+        if now_unit && !self.enqueue(first, idx) {
+            // Cannot happen (first was unassigned), but stay safe.
+            self.unsat_at_root = self.decision_level() == 0;
+            return !self.unsat_at_root;
+        }
+        true
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().expect("level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail");
+                self.assign[l.var() as usize] = None;
+                self.reason[l.var() as usize] = INVALID;
+            }
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+        if lvl == 0 {
+            self.prop_head = self.prop_head.min(self.trail.len());
+        }
+    }
+
+    fn pick_branch(&self) -> Option<Var> {
+        let mut best: Option<(Var, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v].is_none() {
+                let a = self.activity[v];
+                match best {
+                    Some((_, ba)) if ba >= a => {}
+                    _ => best = Some((v as Var, a)),
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Solves the current clause set.
+    ///
+    /// `max_conflicts` bounds the search effort; `None` means unbounded.
+    /// Returns [`SatResult::Sat`] with a full model, [`SatResult::Unsat`],
+    /// or — only when the conflict budget runs out — `Unsat` is *not*
+    /// returned; instead the caller gets `None` via [`SatSolver::solve_budgeted`].
+    pub fn solve(&mut self, max_conflicts: Option<u64>) -> SatResult {
+        self.solve_budgeted(max_conflicts)
+            .expect("conflict budget exhausted; use solve_budgeted for budgeted solving")
+    }
+
+    /// Like [`SatSolver::solve`] but returns `None` when the conflict budget
+    /// is exhausted instead of panicking.
+    pub fn solve_budgeted(&mut self, max_conflicts: Option<u64>) -> Option<SatResult> {
+        self.solve_with_theory(max_conflicts, |_| None)
+    }
+
+    /// DPLL(T)-style solving: `theory` is consulted with the current
+    /// assignment after propagation settles (and always on a full model).
+    /// Returning `Some(clause)` reports a theory conflict; the clause is
+    /// added and the search restarts from the root level.
+    ///
+    /// The callback sees `assign[var] = Some(value)` for the current
+    /// partial assignment.
+    pub fn solve_with_theory(
+        &mut self,
+        max_conflicts: Option<u64>,
+        mut theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
+    ) -> Option<SatResult> {
+        if self.unsat_at_root {
+            return Some(SatResult::Unsat);
+        }
+        self.cancel_until(0);
+        self.prop_head = 0;
+        if self.propagate().is_some() {
+            self.unsat_at_root = true;
+            return Some(SatResult::Unsat);
+        }
+        let mut conflicts_this_call: u64 = 0;
+        let mut restart_unit = 0u32;
+        let mut restart_budget = luby(restart_unit) * 128;
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts_total += 1;
+                    conflicts_this_call += 1;
+                    if let Some(max) = max_conflicts {
+                        if conflicts_this_call > max {
+                            self.cancel_until(0);
+                            return None;
+                        }
+                    }
+                    if self.decision_level() == 0 {
+                        self.unsat_at_root = true;
+                        return Some(SatResult::Unsat);
+                    }
+                    let (learned, bj) = self.analyze(conflict);
+                    self.cancel_until(bj);
+                    self.prop_head = self.trail.len();
+                    if learned.len() == 1 {
+                        if !self.enqueue(learned[0], INVALID) {
+                            self.unsat_at_root = true;
+                            return Some(SatResult::Unsat);
+                        }
+                    } else {
+                        let idx = self.clauses.len();
+                        self.watches[learned[0].index()].push(idx);
+                        self.watches[learned[1].index()].push(idx);
+                        let asserting = learned[0];
+                        self.clauses.push(learned);
+                        let ok = self.enqueue(asserting, idx);
+                        debug_assert!(ok);
+                    }
+                    self.var_inc *= 1.05;
+                    restart_budget = restart_budget.saturating_sub(1);
+                    if restart_budget == 0 {
+                        restart_unit += 1;
+                        restart_budget = luby(restart_unit) * 128;
+                        self.cancel_until(0);
+                        self.prop_head = 0;
+                    }
+                }
+                None => {
+                    // Propagation settled: consult the theory before
+                    // extending the assignment.
+                    if let Some(clause) = theory(&self.assign) {
+                        if !self.learn_theory_clause(clause) {
+                            return Some(SatResult::Unsat);
+                        }
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        None => {
+                            let model: Vec<bool> =
+                                self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                            return Some(SatResult::Sat(model));
+                        }
+                        Some(v) => {
+                            self.trail_lim.push(self.trail.len());
+                            let lit = Lit::new(v, !self.phase[v as usize]);
+                            let ok = self.enqueue(lit, INVALID);
+                            debug_assert!(ok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…).
+fn luby(i: u32) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < u64::from(i) + 1 {
+        k += 1;
+    }
+    let mut i = u64::from(i) + 1;
+    let mut kk = k;
+    while i != (1u64 << kk) - 1 {
+        i -= (1u64 << (kk - 1)) - 1;
+        kk = 1;
+        while (1u64 << kk) - 1 < i {
+            kk += 1;
+        }
+    }
+    1u64 << (kk - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(clauses: &[Vec<Lit>], model: &[bool]) {
+        for c in clauses {
+            assert!(
+                c.iter().any(|l| model[l.var() as usize] != l.is_neg()),
+                "clause {c:?} falsified by model"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::pos(a)]);
+        match s.solve(None) {
+            SatResult::Sat(m) => assert!(m[a as usize]),
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::pos(a)]);
+        s.add_clause(vec![Lit::neg(a)]);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn no_clauses_sat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        assert!(matches!(s.solve(None), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::neg(a)]);
+        assert!(matches!(s.solve(None), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn chain_implication() {
+        // a, a->b, b->c, c->d ⟹ d
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(vec![Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause(vec![Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        match s.solve(None) {
+            SatResult::Sat(m) => assert!(vars.iter().all(|&v| m[v as usize])),
+            SatResult::Unsat => panic!("sat expected"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p_{i,h}
+        let mut s = SatSolver::new();
+        let mut p = [[0; 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        // each pigeon in some hole
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        // no two pigeons share a hole
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(vec![Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_blocking() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        let mut models = 0;
+        loop {
+            match s.solve(None) {
+                SatResult::Sat(m) => {
+                    models += 1;
+                    // block this model
+                    let block: Vec<Lit> = (0..2).map(|v| Lit::new(v as Var, m[v])).collect();
+                    s.add_clause(block);
+                }
+                SatResult::Unsat => break,
+            }
+            assert!(models <= 4, "too many models");
+        }
+        assert_eq!(models, 3); // (T,T), (T,F), (F,T)
+    }
+
+    #[test]
+    fn random_3sat_vs_bruteforce() {
+        // Deterministic LCG; compare with brute force for n ≤ 10.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..60 {
+            let n = 4 + (next() % 6) as usize; // 4..9 vars
+            let m = n * 4;
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..m {
+                let mut c: Vec<Lit> = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % n as u64) as Var;
+                    let negated = next() % 2 == 0;
+                    c.push(Lit::new(v, negated));
+                }
+                clauses.push(c);
+            }
+            // brute force
+            let mut brute_sat = false;
+            'outer: for bits in 0u32..(1 << n) {
+                let model: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                for c in &clauses {
+                    if !c.iter().any(|l| model[l.var() as usize] != l.is_neg()) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut s = SatSolver::new();
+            for _ in 0..n {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c.clone());
+            }
+            match s.solve(None) {
+                SatResult::Sat(model) => {
+                    assert!(brute_sat, "trial {trial}: solver sat, brute unsat");
+                    check_model(&clauses, &model);
+                }
+                SatResult::Unsat => {
+                    assert!(!brute_sat, "trial {trial}: solver unsat, brute sat");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none_or_result() {
+        let mut s = SatSolver::new();
+        let mut p = vec![[0; 4]; 5];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        for h in 0..4 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    s.add_clause(vec![Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+                }
+            }
+        }
+        // Tiny budget: must either finish (Unsat) or politely give up.
+        match s.solve_budgeted(Some(3)) {
+            None | Some(SatResult::Unsat) => {}
+            Some(SatResult::Sat(_)) => panic!("pigeonhole cannot be sat"),
+        }
+        // Full solve still works afterwards.
+        assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let l = Lit::pos(5);
+        assert_eq!(l.var(), 5);
+        assert!(!l.is_neg());
+        assert_eq!(l.negate().var(), 5);
+        assert!(l.negate().is_neg());
+        assert_eq!(l.negate().negate(), l);
+        assert_eq!(Lit::new(3, true), Lit::neg(3));
+    }
+}

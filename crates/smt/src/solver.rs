@@ -1,0 +1,1363 @@
+//! The term-level SMT solver: lazy DPLL(T) over the CDCL SAT core and the
+//! branch-and-bound LIA theory solver.
+//!
+//! Pipeline: integer `ite`s are purified out of atoms with fresh variables,
+//! the boolean skeleton is Tseitin-encoded with comparison atoms mapped to
+//! SAT variables, and each propositional model's asserted theory literals
+//! are checked by [`check_lia`]; theory conflicts come back as (greedily
+//! minimized) blocking clauses.
+
+use crate::{check_lia, BigInt, LiaResult, LinCon, Lit, Rel, SatResult, SatSolver};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Instant;
+use sygus_ast::{Env, LinearExpr, Op, Sort, Symbol, Term, TermNode, Value};
+
+/// Configuration for [`SmtSolver`].
+#[derive(Clone, Debug)]
+pub struct SmtConfig {
+    /// Absolute deadline; queries past it fail with [`SmtError::Timeout`].
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation: when the flag is raised the query fails
+    /// with [`SmtError::Timeout`] at its next checkpoint.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Branch-and-bound node budget per theory check.
+    pub lia_budget: u64,
+    /// Maximum lazy-loop iterations (theory conflict rounds).
+    pub max_theory_rounds: u64,
+    /// Whether to greedily minimize theory conflicts before blocking.
+    pub minimize_cores: bool,
+    /// Maximum depth of lazy disequality splitting per theory check.
+    pub max_diseq_split: usize,
+}
+
+impl Default for SmtConfig {
+    fn default() -> SmtConfig {
+        SmtConfig {
+            deadline: None,
+            cancel: None,
+            lia_budget: 12_000,
+            max_theory_rounds: 100_000,
+            minimize_cores: true,
+            max_diseq_split: 24,
+        }
+    }
+}
+
+/// An error from the SMT solver. `Sat`/`Unsat`/`Valid` answers are exact;
+/// errors mean "no answer", never a wrong one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtError {
+    /// The formula uses features outside QF_LIA (e.g. uninstantiated
+    /// function applications or nonlinear multiplication).
+    Unsupported(String),
+    /// A budget (LIA nodes, theory rounds, disequality splits) ran out.
+    ResourceLimit(&'static str),
+    /// The configured deadline passed.
+    Timeout,
+}
+
+impl fmt::Display for SmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtError::Unsupported(what) => write!(f, "unsupported formula: {what}"),
+            SmtError::ResourceLimit(which) => write!(f, "resource limit reached: {which}"),
+            SmtError::Timeout => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SmtError {}
+
+/// A first-order model: integer values for integer variables and booleans
+/// for boolean variables. Variables absent from the maps are unconstrained
+/// (read them as 0 / false).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    /// Integer variable assignments.
+    pub ints: BTreeMap<Symbol, BigInt>,
+    /// Boolean variable assignments.
+    pub bools: BTreeMap<Symbol, bool>,
+}
+
+impl Model {
+    /// The integer value of `v` (0 when unconstrained).
+    pub fn int(&self, v: Symbol) -> BigInt {
+        self.ints.get(&v).cloned().unwrap_or_default()
+    }
+
+    /// The boolean value of `v` (false when unconstrained).
+    pub fn boolean(&self, v: Symbol) -> bool {
+        self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Converts to an evaluation [`Env`]; `None` if an integer does not fit
+    /// in `i64`.
+    pub fn to_env(&self) -> Option<Env> {
+        let mut env = Env::new();
+        for (&s, b) in &self.ints {
+            env.bind(s, Value::Int(b.to_i64()?));
+        }
+        for (&s, &b) in &self.bools {
+            env.bind(s, Value::Bool(b));
+        }
+        Some(env)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (s, v) in &self.ints {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{s} = {v}")?;
+        }
+        for (s, v) in &self.bools {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{s} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+/// Result of a validity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Validity {
+    /// The formula holds for all assignments.
+    Valid,
+    /// A counterexample assignment falsifying the formula.
+    Invalid(Model),
+}
+
+/// The QF_LIA SMT solver (the paper's background decision procedure).
+///
+/// # Examples
+///
+/// ```
+/// use smtkit::{SmtSolver, SmtResult, Validity};
+/// use sygus_ast::Term;
+/// let x = Term::int_var("x");
+/// let solver = SmtSolver::new();
+/// // x > 3 ∧ x < 5 has the single solution x = 4.
+/// let f = Term::and([Term::gt(x.clone(), Term::int(3)), Term::lt(x.clone(), Term::int(5))]);
+/// match solver.check(&f).unwrap() {
+///     SmtResult::Sat(m) => assert_eq!(m.int("x".into()).to_i64(), Some(4)),
+///     SmtResult::Unsat => unreachable!(),
+/// }
+/// // x >= x is valid.
+/// assert_eq!(solver.check_valid(&Term::ge(x.clone(), x.clone())).unwrap(), Validity::Valid);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SmtSolver {
+    cfg: SmtConfig,
+}
+
+// ---------------------------------------------------------------------------
+// Atom canonicalization
+// ---------------------------------------------------------------------------
+
+/// Canonical integer atom: `Σ coeffs·vars ⋈ rhs` with `⋈ ∈ {≤, =}`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Atom {
+    coeffs: Vec<(Symbol, i64)>,
+    is_eq: bool,
+    rhs: i64,
+}
+
+impl Atom {
+    /// Positive occurrence as a [`LinCon`] over the given variable indexing.
+    fn to_lincon(&self, index: &BTreeMap<Symbol, usize>) -> LinCon {
+        LinCon {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&(s, c)| (index[&s], BigInt::from(c)))
+                .collect(),
+            rel: if self.is_eq { Rel::Eq } else { Rel::Le },
+            rhs: BigInt::from(self.rhs),
+        }
+    }
+
+    /// Negated occurrence: `¬(e ≤ r)` is `e ≥ r+1`; `¬(e = r)` has no single
+    /// constraint (handled by disequality splitting), signalled by `None`.
+    fn negated_lincon(&self, index: &BTreeMap<Symbol, usize>) -> Option<LinCon> {
+        if self.is_eq {
+            return None;
+        }
+        Some(LinCon {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&(s, c)| (index[&s], BigInt::from(c)))
+                .collect(),
+            rel: Rel::Ge,
+            rhs: &BigInt::from(self.rhs) + &BigInt::one(),
+        })
+    }
+}
+
+/// Converts a comparison term into a canonical [`Atom`].
+fn canonical_atom(op: Op, lhs: &Term, rhs: &Term) -> Result<Atom, SmtError> {
+    let unsupported = |t: &Term| SmtError::Unsupported(format!("non-linear atom side: {t}"));
+    let l = LinearExpr::from_term(lhs).map_err(|_| unsupported(lhs))?;
+    let r = LinearExpr::from_term(rhs).map_err(|_| unsupported(rhs))?;
+    let diff = l
+        .checked_sub(&r)
+        .map_err(|_| SmtError::Unsupported("coefficient overflow in atom".into()))?;
+    let konst = diff.constant();
+    // `Σ c·x + konst ⋈ 0`  ⇒  `Σ c·x ⋈ -konst` (rel and sign fixed below)
+    let coeffs: Vec<(Symbol, i64)> = diff.iter().collect();
+    let negate = |cs: &[(Symbol, i64)]| -> Result<Vec<(Symbol, i64)>, SmtError> {
+        cs.iter()
+            .map(|&(s, c)| {
+                c.checked_neg()
+                    .map(|n| (s, n))
+                    .ok_or_else(|| SmtError::Unsupported("coefficient overflow".into()))
+            })
+            .collect()
+    };
+    let ovf = || SmtError::Unsupported("constant overflow in atom".into());
+    // GCD tightening: dividing by the coefficient gcd (with floor on the
+    // bound) is integer-equivalent but rationally stronger, which lets the
+    // incremental rational engine catch integer conflicts early.
+    fn tighten(mut atom: Atom) -> Atom {
+        let mut g: i64 = 0;
+        for &(_, c) in &atom.coeffs {
+            g = gcd_i64(g, c);
+        }
+        if g > 1 {
+            if atom.is_eq {
+                if atom.rhs % g != 0 {
+                    // Unsatisfiable equality: canonical ground-false atom.
+                    return Atom {
+                        coeffs: Vec::new(),
+                        is_eq: true,
+                        rhs: 1,
+                    };
+                }
+                atom.rhs /= g;
+            } else {
+                atom.rhs = atom.rhs.div_euclid(g);
+            }
+            for c in &mut atom.coeffs {
+                c.1 /= g;
+            }
+        }
+        atom
+    }
+    fn gcd_i64(a: i64, b: i64) -> i64 {
+        let (mut a, mut b) = (a.abs(), b.abs());
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    let atom = match op {
+        // e + konst <= 0  ⇔  e <= -konst
+        Op::Le => Atom {
+            coeffs,
+            is_eq: false,
+            rhs: konst.checked_neg().ok_or_else(ovf)?,
+        },
+        // e + konst < 0 over Z ⇔ e <= -konst - 1
+        Op::Lt => Atom {
+            coeffs,
+            is_eq: false,
+            rhs: konst
+                .checked_neg()
+                .and_then(|k| k.checked_sub(1))
+                .ok_or_else(ovf)?,
+        },
+        // e + konst >= 0 ⇔ -e <= konst
+        Op::Ge => Atom {
+            coeffs: negate(&coeffs)?,
+            is_eq: false,
+            rhs: konst,
+        },
+        // e + konst > 0 ⇔ -e <= konst - 1
+        Op::Gt => Atom {
+            coeffs: negate(&coeffs)?,
+            is_eq: false,
+            rhs: konst.checked_sub(1).ok_or_else(ovf)?,
+        },
+        Op::Eq => Atom {
+            coeffs,
+            is_eq: true,
+            rhs: konst.checked_neg().ok_or_else(ovf)?,
+        },
+        _ => unreachable!("caller checked comparison"),
+    };
+    Ok(tighten(atom))
+}
+
+// ---------------------------------------------------------------------------
+// Purification: lift integer `ite` out of atoms
+// ---------------------------------------------------------------------------
+
+struct Purifier {
+    side: Vec<Term>,
+    cache: HashMap<Term, Term>,
+}
+
+impl Purifier {
+    fn new() -> Purifier {
+        Purifier {
+            side: Vec::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Rewrites an *integer* term so it contains no `ite`; encountered `ite`s
+    /// become fresh variables constrained in `self.side`.
+    fn purify_int(&mut self, t: &Term) -> Result<Term, SmtError> {
+        if let Some(hit) = self.cache.get(t) {
+            return Ok(hit.clone());
+        }
+        let result = match t.node() {
+            TermNode::IntConst(_) | TermNode::Var(_, _) => t.clone(),
+            TermNode::BoolConst(_) => {
+                return Err(SmtError::Unsupported("boolean in integer position".into()))
+            }
+            TermNode::App(op, args) => match op {
+                Op::Ite => {
+                    let c = self.purify_bool(&args[0])?;
+                    let a = self.purify_int(&args[1])?;
+                    let b = self.purify_int(&args[2])?;
+                    let fresh = Symbol::fresh("ite");
+                    let v = Term::var(fresh, Sort::Int);
+                    self.side
+                        .push(Term::implies(c.clone(), Term::eq(v.clone(), a)));
+                    self.side
+                        .push(Term::implies(Term::not(c), Term::eq(v.clone(), b)));
+                    v
+                }
+                Op::Add | Op::Sub | Op::Neg | Op::Mul => {
+                    let new_args: Result<Vec<Term>, SmtError> =
+                        args.iter().map(|a| self.purify_int(a)).collect();
+                    Term::app(*op, new_args?)
+                }
+                Op::Apply(f, _) => {
+                    return Err(SmtError::Unsupported(format!(
+                        "uninterpreted function application `{f}`"
+                    )))
+                }
+                _ => {
+                    return Err(SmtError::Unsupported(format!(
+                        "boolean operator `{op}` in integer position"
+                    )))
+                }
+            },
+        };
+        self.cache.insert(t.clone(), result.clone());
+        Ok(result)
+    }
+
+    /// Rewrites a boolean term, purifying the integer sides of its atoms.
+    fn purify_bool(&mut self, t: &Term) -> Result<Term, SmtError> {
+        match t.node() {
+            TermNode::BoolConst(_) | TermNode::Var(_, Sort::Bool) => Ok(t.clone()),
+            TermNode::Var(_, Sort::Int) | TermNode::IntConst(_) => {
+                Err(SmtError::Unsupported("integer in boolean position".into()))
+            }
+            TermNode::App(op, args) => match op {
+                Op::And | Op::Or | Op::Not | Op::Implies => {
+                    let new_args: Result<Vec<Term>, SmtError> =
+                        args.iter().map(|a| self.purify_bool(a)).collect();
+                    Ok(Term::app(*op, new_args?))
+                }
+                Op::Ite => {
+                    // Boolean-valued ite (condition + boolean branches).
+                    let c = self.purify_bool(&args[0])?;
+                    let a = self.purify_bool(&args[1])?;
+                    let b = self.purify_bool(&args[2])?;
+                    Ok(Term::app(Op::Ite, vec![c, a, b]))
+                }
+                Op::Eq if args[0].sort() == Sort::Bool => {
+                    let a = self.purify_bool(&args[0])?;
+                    let b = self.purify_bool(&args[1])?;
+                    Ok(Term::app(Op::Eq, vec![a, b]))
+                }
+                Op::Eq | Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                    let a = self.purify_int(&args[0])?;
+                    let b = self.purify_int(&args[1])?;
+                    Ok(Term::app(*op, vec![a, b]))
+                }
+                Op::Apply(f, _) => Err(SmtError::Unsupported(format!(
+                    "uninterpreted predicate application `{f}`"
+                ))),
+                _ => Err(SmtError::Unsupported(format!(
+                    "integer operator `{op}` in boolean position"
+                ))),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tseitin encoding
+// ---------------------------------------------------------------------------
+
+struct Encoder {
+    sat: SatSolver,
+    /// Canonical atom → SAT var.
+    atoms: HashMap<Atom, u32>,
+    atom_list: Vec<Atom>,
+    bool_vars: HashMap<Symbol, u32>,
+    cache: HashMap<Term, Lit>,
+    true_lit: Lit,
+}
+
+impl Encoder {
+    fn new() -> Encoder {
+        let mut sat = SatSolver::new();
+        let t = sat.new_var();
+        sat.add_clause(vec![Lit::pos(t)]);
+        Encoder {
+            sat,
+            atoms: HashMap::new(),
+            atom_list: Vec::new(),
+            bool_vars: HashMap::new(),
+            cache: HashMap::new(),
+            true_lit: Lit::pos(t),
+        }
+    }
+
+    fn atom_lit(&mut self, atom: Atom) -> Lit {
+        if atom.coeffs.is_empty() {
+            // Ground atom decided immediately.
+            let holds = if atom.is_eq {
+                atom.rhs == 0
+            } else {
+                0 <= atom.rhs
+            };
+            return if holds {
+                self.true_lit
+            } else {
+                self.true_lit.negate()
+            };
+        }
+        if let Some(&v) = self.atoms.get(&atom) {
+            return Lit::pos(v);
+        }
+        let v = self.sat.new_var();
+        self.atoms.insert(atom.clone(), v);
+        self.atom_list.push(atom);
+        debug_assert_eq!(self.atom_list.len(), self.atoms.len());
+        Lit::pos(v)
+    }
+
+    fn encode(&mut self, t: &Term) -> Result<Lit, SmtError> {
+        if let Some(&l) = self.cache.get(t) {
+            return Ok(l);
+        }
+        let lit = match t.node() {
+            TermNode::BoolConst(true) => self.true_lit,
+            TermNode::BoolConst(false) => self.true_lit.negate(),
+            TermNode::Var(s, Sort::Bool) => {
+                let v = match self.bool_vars.get(s) {
+                    Some(&v) => v,
+                    None => {
+                        let v = self.sat.new_var();
+                        self.bool_vars.insert(*s, v);
+                        v
+                    }
+                };
+                Lit::pos(v)
+            }
+            TermNode::Var(_, Sort::Int) | TermNode::IntConst(_) => {
+                return Err(SmtError::Unsupported(
+                    "integer term in boolean position".into(),
+                ))
+            }
+            TermNode::App(op, args) => match op {
+                Op::Not => self.encode(&args[0])?.negate(),
+                Op::And => {
+                    let lits: Result<Vec<Lit>, SmtError> =
+                        args.iter().map(|a| self.encode(a)).collect();
+                    let lits = lits?;
+                    let v = self.sat.new_var();
+                    let vp = Lit::pos(v);
+                    let mut big: Vec<Lit> = vec![vp];
+                    for &l in &lits {
+                        self.sat.add_clause(vec![vp.negate(), l]);
+                        big.push(l.negate());
+                    }
+                    self.sat.add_clause(big);
+                    vp
+                }
+                Op::Or => {
+                    let lits: Result<Vec<Lit>, SmtError> =
+                        args.iter().map(|a| self.encode(a)).collect();
+                    let lits = lits?;
+                    let v = self.sat.new_var();
+                    let vp = Lit::pos(v);
+                    let mut big: Vec<Lit> = vec![vp.negate()];
+                    for &l in &lits {
+                        self.sat.add_clause(vec![vp, l.negate()]);
+                        big.push(l);
+                    }
+                    self.sat.add_clause(big);
+                    vp
+                }
+                Op::Implies => {
+                    let a = self.encode(&args[0])?;
+                    let b = self.encode(&args[1])?;
+                    let v = self.sat.new_var();
+                    let vp = Lit::pos(v);
+                    // v ↔ (¬a ∨ b)
+                    self.sat.add_clause(vec![vp.negate(), a.negate(), b]);
+                    self.sat.add_clause(vec![vp, a]);
+                    self.sat.add_clause(vec![vp, b.negate()]);
+                    vp
+                }
+                Op::Eq if args[0].sort() == Sort::Bool => {
+                    let a = self.encode(&args[0])?;
+                    let b = self.encode(&args[1])?;
+                    let v = self.sat.new_var();
+                    let vp = Lit::pos(v);
+                    self.sat.add_clause(vec![vp.negate(), a.negate(), b]);
+                    self.sat.add_clause(vec![vp.negate(), a, b.negate()]);
+                    self.sat.add_clause(vec![vp, a, b]);
+                    self.sat.add_clause(vec![vp, a.negate(), b.negate()]);
+                    vp
+                }
+                Op::Ite => {
+                    let c = self.encode(&args[0])?;
+                    let a = self.encode(&args[1])?;
+                    let b = self.encode(&args[2])?;
+                    let v = self.sat.new_var();
+                    let vp = Lit::pos(v);
+                    self.sat.add_clause(vec![vp.negate(), c.negate(), a]);
+                    self.sat.add_clause(vec![vp.negate(), c, b]);
+                    self.sat.add_clause(vec![vp, c.negate(), a.negate()]);
+                    self.sat.add_clause(vec![vp, c, b.negate()]);
+                    vp
+                }
+                Op::Eq | Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                    let atom = canonical_atom(*op, &args[0], &args[1])?;
+                    self.atom_lit(atom)
+                }
+                other => {
+                    return Err(SmtError::Unsupported(format!(
+                        "operator `{other}` in boolean position"
+                    )))
+                }
+            },
+        };
+        self.cache.insert(t.clone(), lit);
+        Ok(lit)
+    }
+}
+
+/// Static theory lemmas ("eager propagation"): relations among atoms over
+/// the same (or negated) linear form are encoded as clauses up front, so
+/// the SAT core never proposes the bulk of theory-inconsistent assignments
+/// and the lazy loop converges in few rounds.
+fn add_static_lemmas(enc: &mut Encoder) {
+    use std::collections::HashMap as Map;
+    // Group atoms by coefficient vector.
+    let mut groups: Map<Vec<(Symbol, i64)>, Vec<usize>> = Map::new();
+    for (i, atom) in enc.atom_list.iter().enumerate() {
+        groups.entry(atom.coeffs.clone()).or_default().push(i);
+    }
+    let var_of = |enc: &Encoder, i: usize| enc.atoms[&enc.atom_list[i]];
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for (coeffs, members) in &groups {
+        // Within a group: `e ≤ r1 → e ≤ r2` for r1 ≤ r2; equality links.
+        let mut les: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| !enc.atom_list[i].is_eq)
+            .collect();
+        les.sort_by_key(|&i| enc.atom_list[i].rhs);
+        for w in les.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            clauses.push(vec![Lit::neg(var_of(enc, a)), Lit::pos(var_of(enc, b))]);
+        }
+        let eqs: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| enc.atom_list[i].is_eq)
+            .collect();
+        for &e in &eqs {
+            let er = enc.atom_list[e].rhs;
+            // e = r implies the tightest e ≤ r' with r' ≥ r …
+            if let Some(&above) = les.iter().find(|&&l| enc.atom_list[l].rhs >= er) {
+                clauses.push(vec![Lit::neg(var_of(enc, e)), Lit::pos(var_of(enc, above))]);
+            }
+            // … and refutes the tightest e ≤ r' with r' < r.
+            if let Some(&below) = les.iter().rev().find(|&&l| enc.atom_list[l].rhs < er) {
+                clauses.push(vec![Lit::neg(var_of(enc, e)), Lit::neg(var_of(enc, below))]);
+            }
+            // Distinct equalities on the same form are mutually exclusive.
+            for &e2 in &eqs {
+                if e2 > e && enc.atom_list[e2].rhs != er {
+                    clauses.push(vec![Lit::neg(var_of(enc, e)), Lit::neg(var_of(enc, e2))]);
+                }
+            }
+        }
+        // Across the negated form: `e ≤ r ∧ −e ≤ r'` needs `r + r' ≥ 0`;
+        // `e = r` clashes with `−e ≤ r'` when `r < −r'`, and with
+        // `−e = r'` when `r ≠ −r'`.
+        let neg_coeffs: Vec<(Symbol, i64)> =
+            coeffs.iter().map(|&(v, c)| (v, c.wrapping_neg())).collect();
+        if neg_coeffs <= *coeffs {
+            continue; // handle each pair once
+        }
+        let Some(opp) = groups.get(&neg_coeffs) else {
+            continue;
+        };
+        if members.len() * opp.len() > 4096 {
+            continue; // cap eager work on pathological inputs
+        }
+        for &i in members {
+            for &j in opp {
+                let (ai, aj) = (&enc.atom_list[i], &enc.atom_list[j]);
+                let clash = match (ai.is_eq, aj.is_eq) {
+                    (false, false) => ai.rhs.checked_add(aj.rhs).map(|s| s < 0).unwrap_or(false),
+                    (true, false) => ai.rhs.checked_add(aj.rhs).map(|s| s < 0).unwrap_or(false),
+                    (false, true) => aj.rhs.checked_add(ai.rhs).map(|s| s < 0).unwrap_or(false),
+                    (true, true) => ai.rhs.checked_neg().map(|n| n != aj.rhs).unwrap_or(true),
+                };
+                if clash {
+                    clauses.push(vec![Lit::neg(var_of(enc, i)), Lit::neg(var_of(enc, j))]);
+                }
+            }
+        }
+    }
+    for c in clauses {
+        enc.sat.add_clause(c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theory checking
+// ---------------------------------------------------------------------------
+
+/// Outcome of checking a conjunction of theory literals.
+enum TheoryOutcome {
+    Sat(Vec<BigInt>),
+    Unsat,
+}
+
+struct TheoryChecker<'a> {
+    index: BTreeMap<Symbol, usize>,
+    cfg: &'a SmtConfig,
+    /// Branch-and-bound node budget (smaller during core minimization:
+    /// dropping a constraint can make the integer problem vastly harder,
+    /// and an Unknown there just means "keep the literal").
+    lia_budget: u64,
+}
+
+impl TheoryChecker<'_> {
+    /// Checks the conjunction of `(atom, polarity)` literals.
+    fn check(&self, lits: &[(&Atom, bool)]) -> Result<TheoryOutcome, SmtError> {
+        let mut base: Vec<LinCon> = Vec::new();
+        let mut diseqs: Vec<&Atom> = Vec::new();
+        for &(atom, polarity) in lits {
+            if polarity {
+                base.push(atom.to_lincon(&self.index));
+            } else {
+                match atom.negated_lincon(&self.index) {
+                    Some(c) => base.push(c),
+                    None => diseqs.push(atom),
+                }
+            }
+        }
+        self.split(&mut base, &diseqs)
+    }
+
+    /// Lazy disequality handling: solve the base system and branch only on
+    /// disequalities the model actually violates, so a large set of mostly
+    /// slack disequalities costs nothing.
+    fn split(&self, base: &mut Vec<LinCon>, diseqs: &[&Atom]) -> Result<TheoryOutcome, SmtError> {
+        self.split_depth(base, diseqs, 0)
+    }
+
+    fn split_depth(
+        &self,
+        base: &mut Vec<LinCon>,
+        diseqs: &[&Atom],
+        depth: usize,
+    ) -> Result<TheoryOutcome, SmtError> {
+        if depth > self.cfg.max_diseq_split.max(32) {
+            return Err(SmtError::ResourceLimit("disequality splits"));
+        }
+        let m = match check_lia(self.index.len(), base, self.lia_budget) {
+            LiaResult::Sat(m) => m,
+            LiaResult::Unsat => return Ok(TheoryOutcome::Unsat),
+            LiaResult::Unknown => {
+                // Branch-and-bound can wander on unbounded systems whose
+                // integer solutions are nevertheless small. Retry inside a
+                // generous box: a Sat answer there is still exact; only the
+                // boxed-Unsat case stays inconclusive.
+                let mut boxed = base.clone();
+                for v in 0..self.index.len() {
+                    boxed.push(LinCon {
+                        coeffs: vec![(v, BigInt::from(1))],
+                        rel: Rel::Le,
+                        rhs: BigInt::from(1_000_000_000i64),
+                    });
+                    boxed.push(LinCon {
+                        coeffs: vec![(v, BigInt::from(1))],
+                        rel: Rel::Ge,
+                        rhs: BigInt::from(-1_000_000_000i64),
+                    });
+                }
+                match check_lia(self.index.len(), &boxed, self.lia_budget) {
+                    LiaResult::Sat(m) => m,
+                    other => {
+                        if std::env::var_os("SMTKIT_DEBUG").is_some() {
+                            eprintln!(
+                                "[smtkit] boxed retry failed ({other:?} of {} cons, {} vars)",
+                                base.len(),
+                                self.index.len()
+                            );
+                            for c in base.iter() {
+                                eprintln!("[smtkit]   {c}");
+                            }
+                        }
+                        return Err(SmtError::ResourceLimit("lia nodes"));
+                    }
+                }
+            }
+        };
+        // Find a disequality violated by this model (its linear form equals
+        // the forbidden value).
+        let violated = diseqs.iter().find(|d| {
+            let mut sum = BigInt::zero();
+            for &(s, c) in &d.coeffs {
+                sum += &(&BigInt::from(c) * &m[self.index[&s]]);
+            }
+            sum == BigInt::from(d.rhs)
+        });
+        let Some(d) = violated else {
+            return Ok(TheoryOutcome::Sat(m));
+        };
+        // e ≠ rhs  ⇒  e ≤ rhs-1  ∨  e ≥ rhs+1
+        let coeffs: Vec<(usize, BigInt)> = d
+            .coeffs
+            .iter()
+            .map(|&(s, c)| (self.index[&s], BigInt::from(c)))
+            .collect();
+        let lo = LinCon {
+            coeffs: coeffs.clone(),
+            rel: Rel::Le,
+            rhs: &BigInt::from(d.rhs) - &BigInt::one(),
+        };
+        let hi = LinCon {
+            coeffs,
+            rel: Rel::Ge,
+            rhs: &BigInt::from(d.rhs) + &BigInt::one(),
+        };
+        base.push(lo);
+        if let TheoryOutcome::Sat(m) = self.split_depth(base, diseqs, depth + 1)? {
+            base.pop();
+            return Ok(TheoryOutcome::Sat(m));
+        }
+        base.pop();
+        base.push(hi);
+        let r = self.split_depth(base, diseqs, depth + 1);
+        base.pop();
+        r
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The solver proper
+// ---------------------------------------------------------------------------
+
+impl SmtSolver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> SmtSolver {
+        SmtSolver::default()
+    }
+
+    /// Creates a solver with a custom configuration.
+    pub fn with_config(cfg: SmtConfig) -> SmtSolver {
+        SmtSolver { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SmtConfig {
+        &self.cfg
+    }
+
+    fn check_deadline(&self) -> Result<(), SmtError> {
+        if let Some(d) = self.cfg.deadline {
+            if Instant::now() >= d {
+                return Err(SmtError::Timeout);
+            }
+        }
+        if let Some(c) = &self.cfg.cancel {
+            if c.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(SmtError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks satisfiability of a quantifier-free CLIA formula.
+    ///
+    /// # Errors
+    ///
+    /// [`SmtError::Unsupported`] for non-QF_LIA input (remaining function
+    /// applications, nonlinear arithmetic), [`SmtError::Timeout`] /
+    /// [`SmtError::ResourceLimit`] when budgets run out.
+    pub fn check(&self, formula: &Term) -> Result<SmtResult, SmtError> {
+        if formula.sort() != Sort::Bool {
+            return Err(SmtError::Unsupported("formula must be boolean".into()));
+        }
+        self.check_deadline()?;
+        // Fast path for constants.
+        match formula.as_bool_const() {
+            Some(true) => return Ok(SmtResult::Sat(Model::default())),
+            Some(false) => return Ok(SmtResult::Unsat),
+            None => {}
+        }
+        // Purify integer ites, then conjoin the side constraints.
+        let mut pur = Purifier::new();
+        let main = pur.purify_bool(formula)?;
+        let full = Term::and(std::iter::once(main).chain(pur.side.drain(..)));
+        match full.as_bool_const() {
+            Some(true) => return Ok(SmtResult::Sat(Model::default())),
+            Some(false) => return Ok(SmtResult::Unsat),
+            None => {}
+        }
+
+        let mut enc = Encoder::new();
+        let root = enc.encode(&full)?;
+        enc.sat.add_clause(vec![root]);
+        add_static_lemmas(&mut enc);
+
+        // Index every integer variable mentioned in atoms.
+        let mut index: BTreeMap<Symbol, usize> = BTreeMap::new();
+        for atom in &enc.atom_list {
+            for &(s, _) in &atom.coeffs {
+                let next = index.len();
+                index.entry(s).or_insert(next);
+            }
+        }
+        let checker = TheoryChecker {
+            index: index.clone(),
+            cfg: &self.cfg,
+            lia_budget: self.cfg.lia_budget,
+        };
+        let min_checker = TheoryChecker {
+            index: index.clone(),
+            cfg: &self.cfg,
+            lia_budget: (self.cfg.lia_budget / 64).max(200),
+        };
+
+        // Partial-assignment theory propagation (DPLL(T)): whenever SAT
+        // propagation settles, the newly (un)assigned atoms are pushed into
+        // an incremental rational simplex; conflicts come back as Farkas
+        // cores and become learned clauses immediately. Rational reasoning
+        // under-approximates integer infeasibility, so every clause is
+        // sound; the complete integer check still runs on full models.
+        let atom_vars: Vec<(u32, Atom)> = enc
+            .atom_list
+            .iter()
+            .map(|a| (enc.atoms[a], a.clone()))
+            .collect();
+        let inc_atoms: Vec<(Vec<(usize, i64)>, bool, i64)> = enc
+            .atom_list
+            .iter()
+            .map(|a| {
+                (
+                    a.coeffs.iter().map(|&(s, c)| (index[&s], c)).collect(),
+                    a.is_eq,
+                    a.rhs,
+                )
+            })
+            .collect();
+        let mut inc = crate::IncrementalLra::new(index.len(), &inc_atoms);
+        let deadline_hit = std::cell::Cell::new(false);
+        let mut theory_cb = |assign: &[Option<bool>]| -> Option<Vec<Lit>> {
+            if deadline_hit.get() {
+                return None;
+            }
+            if self.check_deadline().is_err() {
+                deadline_hit.set(true);
+                return None;
+            }
+            // Sync the incremental state with the current assignment.
+            for (i, &(v, _)) in atom_vars.iter().enumerate() {
+                match assign[v as usize] {
+                    Some(b) => inc.assert_atom(i, b),
+                    None => inc.retract_atom(i),
+                }
+            }
+            match inc.check() {
+                Ok(()) => None,
+                Err(core) => Some(
+                    core.iter()
+                        .map(|&i| {
+                            let pol = inc.polarity(i).expect("core atoms are asserted");
+                            Lit::new(atom_vars[i].0, pol)
+                        })
+                        .collect(),
+                ),
+            }
+        };
+
+        let mut rounds: u64 = 0;
+        loop {
+            self.check_deadline()?;
+            rounds += 1;
+            if rounds > self.cfg.max_theory_rounds {
+                return Err(SmtError::ResourceLimit("theory rounds"));
+            }
+            // Solve the propositional abstraction in conflict chunks so the
+            // deadline is honored.
+            let t_sat = Instant::now();
+            let bool_model = loop {
+                match enc.sat.solve_with_theory(Some(20_000), &mut theory_cb) {
+                    Some(SatResult::Unsat) => return Ok(SmtResult::Unsat),
+                    Some(SatResult::Sat(m)) => break m,
+                    None => self.check_deadline()?,
+                }
+            };
+            if std::env::var_os("SMTKIT_DEBUG").is_some() && t_sat.elapsed().as_millis() > 50 {
+                eprintln!("[smtkit]   sat solve took {:?}", t_sat.elapsed());
+            }
+            // Collect asserted theory literals.
+            let asserted: Vec<(usize, bool)> = enc
+                .atom_list
+                .iter()
+                .enumerate()
+                .map(|(i, atom)| {
+                    let v = enc.atoms[atom];
+                    (i, bool_model[v as usize])
+                })
+                .collect();
+            let lits: Vec<(&Atom, bool)> = asserted
+                .iter()
+                .map(|&(i, pol)| (&enc.atom_list[i], pol))
+                .collect();
+            let dbg = std::env::var_os("SMTKIT_DEBUG").is_some();
+            let t_check = Instant::now();
+            let outcome = checker.check(&lits)?;
+            if dbg {
+                eprintln!(
+                    "[smtkit] round {rounds}: {} atoms, theory check {:?} -> {}",
+                    enc.atom_list.len(),
+                    t_check.elapsed(),
+                    matches!(outcome, TheoryOutcome::Sat(_))
+                );
+            }
+            match outcome {
+                TheoryOutcome::Sat(point) => {
+                    let mut model = Model::default();
+                    for (&s, &vi) in &index {
+                        model.ints.insert(s, point[vi].clone());
+                    }
+                    for (&s, &v) in &enc.bool_vars {
+                        model.bools.insert(s, bool_model[v as usize]);
+                    }
+                    // Drop purification-internal variables from the model.
+                    model.ints.retain(|s, _| !s.as_str().starts_with("ite!"));
+                    return Ok(SmtResult::Sat(model));
+                }
+                TheoryOutcome::Unsat => {
+                    // Core minimization: binary-search the minimal failing
+                    // prefix ("prefix is unsat" is monotone, so O(log n)
+                    // checks locate it), then greedy deletion on the
+                    // survivor when it is small enough.
+                    let t_min = Instant::now();
+                    let mut core: Vec<(usize, bool)> = asserted.clone();
+                    if self.cfg.minimize_cores && core.len() > 1 {
+                        let unsat_prefix = |k: usize| -> Result<bool, SmtError> {
+                            self.check_deadline()?;
+                            let lits: Vec<(&Atom, bool)> = asserted[..k]
+                                .iter()
+                                .map(|&(i, pol)| (&enc.atom_list[i], pol))
+                                .collect();
+                            Ok(matches!(min_checker.check(&lits), Ok(TheoryOutcome::Unsat)))
+                        };
+                        // Find the smallest k with prefix[..k] unsat.
+                        let (mut lo, mut hi) = (1usize, asserted.len());
+                        if unsat_prefix(hi)? {
+                            while lo < hi {
+                                let mid = lo + (hi - lo) / 2;
+                                if unsat_prefix(mid)? {
+                                    hi = mid;
+                                } else {
+                                    lo = mid + 1;
+                                }
+                            }
+                            core = asserted[..lo].to_vec();
+                        }
+                        // Deletion pass, back to front, only when affordable.
+                        if core.len() <= 40 {
+                            let mut i = core.len();
+                            while i > 0 {
+                                i -= 1;
+                                self.check_deadline()?;
+                                if core.len() <= 1 {
+                                    break;
+                                }
+                                let mut trial = core.clone();
+                                trial.remove(i);
+                                let trial_lits: Vec<(&Atom, bool)> = trial
+                                    .iter()
+                                    .map(|&(k, pol)| (&enc.atom_list[k], pol))
+                                    .collect();
+                                if matches!(
+                                    min_checker.check(&trial_lits),
+                                    Ok(TheoryOutcome::Unsat)
+                                ) {
+                                    core = trial; // literal was redundant
+                                }
+                            }
+                        }
+                    }
+                    if dbg {
+                        eprintln!(
+                            "[smtkit]   minimized to {} literals in {:?}",
+                            core.len(),
+                            t_min.elapsed()
+                        );
+                    }
+                    let clause: Vec<Lit> = core
+                        .iter()
+                        .map(|&(i, pol)| {
+                            let v = enc.atoms[&enc.atom_list[i]];
+                            Lit::new(v, pol) // negation of the asserted literal
+                        })
+                        .collect();
+                    enc.sat.add_clause(clause);
+                }
+            }
+        }
+    }
+
+    /// Checks validity: `Valid` iff `¬formula` is unsatisfiable; otherwise
+    /// returns the falsifying model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmtSolver::check`].
+    pub fn check_valid(&self, formula: &Term) -> Result<Validity, SmtError> {
+        match self.check(&Term::not(formula.clone()))? {
+            SmtResult::Unsat => Ok(Validity::Valid),
+            SmtResult::Sat(m) => Ok(Validity::Invalid(m)),
+        }
+    }
+
+    /// Convenience: `true` iff `formula` is valid.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmtSolver::check`].
+    pub fn is_valid(&self, formula: &Term) -> Result<bool, SmtError> {
+        Ok(matches!(self.check_valid(formula)?, Validity::Valid))
+    }
+
+    /// Convenience: `true` iff `a` and `b` are equivalent CLIA terms of the
+    /// same sort.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmtSolver::check`].
+    pub fn equivalent(&self, a: &Term, b: &Term) -> Result<bool, SmtError> {
+        if a.sort() != b.sort() {
+            return Ok(false);
+        }
+        self.is_valid(&Term::eq(a.clone(), b.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::int_var("sx")
+    }
+    fn y() -> Term {
+        Term::int_var("sy")
+    }
+
+    fn solver() -> SmtSolver {
+        SmtSolver::new()
+    }
+
+    fn expect_sat(f: &Term) -> Model {
+        match solver().check(f).expect("no error") {
+            SmtResult::Sat(m) => m,
+            SmtResult::Unsat => panic!("expected sat: {f}"),
+        }
+    }
+
+    fn expect_unsat(f: &Term) {
+        assert_eq!(
+            solver().check(f).expect("no error"),
+            SmtResult::Unsat,
+            "expected unsat: {f}"
+        );
+    }
+
+    #[test]
+    fn constants() {
+        assert!(matches!(
+            solver().check(&Term::tt()).unwrap(),
+            SmtResult::Sat(_)
+        ));
+        expect_unsat(&Term::ff());
+    }
+
+    #[test]
+    fn single_interval() {
+        let f = Term::and([Term::gt(x(), Term::int(3)), Term::lt(x(), Term::int(5))]);
+        let m = expect_sat(&f);
+        assert_eq!(m.int(Symbol::new("sx")).to_i64(), Some(4));
+    }
+
+    #[test]
+    fn empty_int_interval() {
+        let f = Term::and([Term::gt(x(), Term::int(3)), Term::lt(x(), Term::int(4))]);
+        expect_unsat(&f);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let f = Term::or([
+            Term::and([Term::ge(x(), Term::int(10)), Term::le(y(), Term::int(-3))]),
+            Term::eq(Term::add(x(), y()), Term::int(7)),
+        ]);
+        let m = expect_sat(&f);
+        let mut env = m.to_env().expect("small model");
+        let defs = sygus_ast::Definitions::new();
+        for s in ["sx", "sy"] {
+            if env.lookup(Symbol::new(s)).is_none() {
+                env.bind(Symbol::new(s), Value::Int(0));
+            }
+        }
+        assert_eq!(f.eval(&env, &defs), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn disequality_splitting() {
+        // x ≠ 0 ∧ 0 ≤ x ≤ 1 → x = 1
+        let f = Term::and([
+            Term::not(Term::eq(x(), Term::int(0))),
+            Term::ge(x(), Term::int(0)),
+            Term::le(x(), Term::int(1)),
+        ]);
+        let m = expect_sat(&f);
+        assert_eq!(m.int(Symbol::new("sx")).to_i64(), Some(1));
+        // x ≠ 0 ∧ x ≠ 1 ∧ 0 ≤ x ≤ 1 → unsat
+        let g = Term::and([
+            Term::not(Term::eq(x(), Term::int(0))),
+            Term::not(Term::eq(x(), Term::int(1))),
+            Term::ge(x(), Term::int(0)),
+            Term::le(x(), Term::int(1)),
+        ]);
+        expect_unsat(&g);
+    }
+
+    #[test]
+    fn parity_reasoning() {
+        // 2x = 2y + 1 unsat over integers.
+        let f = Term::eq(
+            Term::scale(2, x()),
+            Term::add(Term::scale(2, y()), Term::int(1)),
+        );
+        expect_unsat(&f);
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let p = Term::var("sp", Sort::Bool);
+        let q = Term::var("sq", Sort::Bool);
+        let f = Term::and([Term::or([p.clone(), q.clone()]), Term::not(p.clone())]);
+        let m = expect_sat(&f);
+        assert!(!m.boolean(Symbol::new("sp")));
+        assert!(m.boolean(Symbol::new("sq")));
+    }
+
+    #[test]
+    fn mixed_bool_int() {
+        let p = Term::var("smb", Sort::Bool);
+        // (p → x ≥ 5) ∧ (¬p → x ≤ -5) ∧ x = 3: unsat
+        let f = Term::and([
+            Term::implies(p.clone(), Term::ge(x(), Term::int(5))),
+            Term::implies(Term::not(p.clone()), Term::le(x(), Term::int(-5))),
+            Term::eq(x(), Term::int(3)),
+        ]);
+        expect_unsat(&f);
+    }
+
+    #[test]
+    fn ite_purification() {
+        let max = Term::ite(Term::ge(x(), y()), x(), y());
+        let f = Term::and([
+            Term::eq(x(), Term::int(3)),
+            Term::eq(y(), Term::int(8)),
+            Term::eq(max.clone(), Term::int(8)),
+        ]);
+        let m = expect_sat(&f);
+        assert_eq!(m.int(Symbol::new("sx")).to_i64(), Some(3));
+        assert!(
+            !m.ints.keys().any(|s| s.as_str().starts_with("ite!")),
+            "purification variables must not leak into models"
+        );
+        let g = Term::and([
+            Term::eq(x(), Term::int(3)),
+            Term::eq(y(), Term::int(8)),
+            Term::eq(max, Term::int(3)),
+        ]);
+        expect_unsat(&g);
+    }
+
+    #[test]
+    fn nested_ite() {
+        let z = Term::int_var("sz");
+        let max3 = Term::ite(
+            Term::and([Term::ge(x(), y()), Term::ge(x(), z.clone())]),
+            x(),
+            Term::ite(Term::ge(y(), z.clone()), y(), z.clone()),
+        );
+        let f = Term::and([
+            Term::eq(x(), Term::int(9)),
+            Term::eq(y(), Term::int(1)),
+            Term::eq(z.clone(), Term::int(5)),
+            Term::eq(max3, Term::int(9)),
+        ]);
+        expect_sat(&f);
+    }
+
+    #[test]
+    fn validity_of_max_spec() {
+        let max = Term::ite(Term::ge(x(), y()), x(), y());
+        assert_eq!(
+            solver().check_valid(&Term::ge(max, x())).unwrap(),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn invalidity_gives_counterexample() {
+        let f = Term::ge(x(), y());
+        match solver().check_valid(&f).unwrap() {
+            Validity::Invalid(m) => {
+                assert!(m.int(Symbol::new("sx")) < m.int(Symbol::new("sy")));
+            }
+            Validity::Valid => panic!("x >= y is not valid"),
+        }
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = Term::add(x(), x());
+        let b = Term::scale(2, x());
+        assert!(solver().equivalent(&a, &b).unwrap());
+        assert!(!solver().equivalent(&a, &Term::scale(3, x())).unwrap());
+        assert!(!solver()
+            .equivalent(&a, &Term::ge(x(), Term::int(0)))
+            .unwrap());
+    }
+
+    #[test]
+    fn unsupported_function_application() {
+        let f = Term::ge(Term::apply("unk_f", Sort::Int, vec![x()]), Term::int(0));
+        assert!(matches!(solver().check(&f), Err(SmtError::Unsupported(_))));
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let f = Term::ge(Term::app(Op::Mul, vec![x(), y()]), Term::int(0));
+        assert!(matches!(solver().check(&f), Err(SmtError::Unsupported(_))));
+    }
+
+    #[test]
+    fn timeout_honored() {
+        let cfg = SmtConfig {
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            ..SmtConfig::default()
+        };
+        let s = SmtSolver::with_config(cfg);
+        let f = Term::ge(x(), Term::int(0));
+        assert_eq!(s.check(&f), Err(SmtError::Timeout));
+    }
+
+    #[test]
+    fn bool_equality_encoding() {
+        let p = Term::var("xp", Sort::Bool);
+        let q = Term::var("xq", Sort::Bool);
+        let f = Term::and([Term::app(Op::Eq, vec![p.clone(), q.clone()]), p.clone()]);
+        let m = expect_sat(&f);
+        assert!(m.boolean(Symbol::new("xq")));
+    }
+
+    #[test]
+    fn big_conjunction_of_bounds() {
+        // c0 < c1 < ... < c7, c0 >= 0, c7 <= 7 → unique chain 0..7
+        let vars: Vec<Term> = (0..8)
+            .map(|i| Term::int_var(format!("c{i}").as_str()))
+            .collect();
+        let mut cs: Vec<Term> = vars
+            .windows(2)
+            .map(|w| Term::lt(w[0].clone(), w[1].clone()))
+            .collect();
+        cs.push(Term::ge(vars[0].clone(), Term::int(0)));
+        cs.push(Term::le(vars[7].clone(), Term::int(7)));
+        let m = expect_sat(&Term::and(cs));
+        for (i, v) in vars.iter().enumerate() {
+            let s = v.as_var().expect("var");
+            assert_eq!(m.int(s).to_i64(), Some(i as i64), "chain position {i}");
+        }
+    }
+
+    #[test]
+    fn structured_formulas_model_eval() {
+        let defs = sygus_ast::Definitions::new();
+        let formulas = vec![
+            Term::and([
+                Term::ge(Term::add(x(), Term::scale(3, y())), Term::int(10)),
+                Term::le(Term::sub(x(), y()), Term::int(2)),
+            ]),
+            Term::or([
+                Term::eq(x(), Term::int(-7)),
+                Term::and([Term::lt(x(), y()), Term::lt(y(), Term::int(0))]),
+            ]),
+            Term::implies(
+                Term::ge(x(), Term::int(0)),
+                Term::gt(Term::add(x(), y()), Term::sub(y(), Term::int(1))),
+            ),
+        ];
+        for f in formulas {
+            match solver().check(&f).unwrap() {
+                SmtResult::Sat(m) => {
+                    let mut env = m.to_env().expect("fits");
+                    for s in ["sx", "sy"] {
+                        if env.lookup(Symbol::new(s)).is_none() {
+                            env.bind(Symbol::new(s), Value::Int(0));
+                        }
+                    }
+                    assert_eq!(f.eval(&env, &defs), Ok(Value::Bool(true)), "formula {f}");
+                }
+                SmtResult::Unsat => panic!("expected sat: {f}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Property-based tests: arithmetic laws against `i128` references,
+//! SAT-solver agreement with brute force, LIA agreement with box
+//! enumeration, and model soundness of the full SMT pipeline.
+
+use proptest::prelude::*;
+use smtkit::{
+    check_lia, BigInt, LiaResult, LinCon, Lit, Rat, Rel, SatResult, SatSolver, SmtResult, SmtSolver,
+};
+use sygus_ast::{Definitions, Env, Symbol, Term, Value};
+
+// ---------------------------------------------------------------------------
+// BigInt vs i128
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let expect = i128::from(a) + i128::from(b);
+        prop_assert_eq!(&BigInt::from(a) + &BigInt::from(b), BigInt::from(expect));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let expect = i128::from(a) * i128::from(b);
+        prop_assert_eq!(&BigInt::from(a) * &BigInt::from(b), BigInt::from(expect));
+    }
+
+    #[test]
+    fn bigint_divrem_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+        prop_assert_eq!(q, BigInt::from(i128::from(a) / i128::from(b)));
+        prop_assert_eq!(r, BigInt::from(i128::from(a) % i128::from(b)));
+    }
+
+    #[test]
+    fn bigint_floor_div_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |b| *b != 0)) {
+        let expect = i128::from(a).div_euclid(i128::from(b))
+            + if i128::from(b) < 0 && i128::from(a).rem_euclid(i128::from(b)) != 0 { -1 } else { 0 };
+        // div_euclid rounds toward -inf only for positive divisors; compute
+        // floor directly instead:
+        let fa = i128::from(a);
+        let fb = i128::from(b);
+        let mut fl = fa / fb;
+        if fa % fb != 0 && ((fa < 0) != (fb < 0)) {
+            fl -= 1;
+        }
+        let _ = expect;
+        prop_assert_eq!(BigInt::from(a).div_floor(&BigInt::from(b)), BigInt::from(fl));
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn bigint_display_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let big = &BigInt::from(a) * &BigInt::from(b);
+        prop_assert_eq!(big.to_string(), (i128::from(a) * i128::from(b)).to_string());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let g = BigInt::from(i64::from(a)).gcd(&BigInt::from(i64::from(b)));
+        if !g.is_zero() {
+            prop_assert!((&BigInt::from(i64::from(a)) % &g).is_zero());
+            prop_assert!((&BigInt::from(i64::from(b)) % &g).is_zero());
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rat laws
+// ---------------------------------------------------------------------------
+
+fn rat_strategy() -> impl Strategy<Value = Rat> {
+    (any::<i32>(), 1i32..1000).prop_map(|(n, d)| Rat::new(i64::from(n).into(), i64::from(d).into()))
+}
+
+proptest! {
+    #[test]
+    fn rat_add_commutes(a in rat_strategy(), b in rat_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn rat_mul_distributes(a in rat_strategy(), b in rat_strategy(), c in rat_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn rat_sub_then_add_roundtrips(a in rat_strategy(), b in rat_strategy()) {
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in rat_strategy()) {
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rat::one());
+    }
+
+    #[test]
+    fn rat_recip_of_nonzero(a in rat_strategy().prop_filter("nonzero", |a| !a.is_zero())) {
+        prop_assert_eq!(&a * &a.recip(), Rat::one());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAT vs brute force
+// ---------------------------------------------------------------------------
+
+fn clause_strategy(nvars: u32) -> impl Strategy<Value = Vec<Lit>> {
+    proptest::collection::vec((0..nvars, any::<bool>()), 1..=3)
+        .prop_map(|lits| lits.into_iter().map(|(v, n)| Lit::new(v, n)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sat_matches_bruteforce(
+        nvars in 2u32..8,
+        clauses in proptest::collection::vec(clause_strategy(8), 1..24),
+    ) {
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|l| Lit::new(l.var() % nvars, l.is_neg())).collect())
+            .collect();
+        let mut brute_sat = false;
+        'outer: for bits in 0u32..(1 << nvars) {
+            for c in &clauses {
+                if !c.iter().any(|l| ((bits >> l.var()) & 1 == 1) != l.is_neg()) {
+                    continue 'outer;
+                }
+            }
+            brute_sat = true;
+            break;
+        }
+        let mut s = SatSolver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.clone());
+        }
+        match s.solve(None) {
+            SatResult::Sat(m) => {
+                prop_assert!(brute_sat);
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|l| m[l.var() as usize] != l.is_neg()));
+                }
+            }
+            SatResult::Unsat => prop_assert!(!brute_sat),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LIA vs box enumeration
+// ---------------------------------------------------------------------------
+
+fn lincon_strategy(nvars: usize) -> impl Strategy<Value = LinCon> {
+    (
+        proptest::collection::vec((-3i64..=3).prop_map(|c| c), nvars),
+        prop_oneof![Just(Rel::Le), Just(Rel::Ge), Just(Rel::Eq)],
+        -6i64..=6,
+    )
+        .prop_map(move |(coeffs, rel, rhs)| {
+            LinCon::new(
+                &coeffs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(v, c)| (v, c))
+                    .collect::<Vec<_>>(),
+                rel,
+                rhs,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn lia_matches_box_enumeration(
+        cons in proptest::collection::vec(lincon_strategy(2), 1..6),
+    ) {
+        // Brute force over the box [-8, 8]^2; restrict the solver to the
+        // same box so the answers are comparable.
+        let mut boxed = cons.clone();
+        for v in 0..2 {
+            boxed.push(LinCon::new(&[(v, 1)], Rel::Ge, -8));
+            boxed.push(LinCon::new(&[(v, 1)], Rel::Le, 8));
+        }
+        let mut brute_sat = false;
+        'outer: for x in -8i64..=8 {
+            for y in -8i64..=8 {
+                let point = [BigInt::from(x), BigInt::from(y)];
+                if cons.iter().all(|c| c.holds_on(&point)) {
+                    brute_sat = true;
+                    break 'outer;
+                }
+            }
+        }
+        match check_lia(2, &boxed, 200_000) {
+            LiaResult::Sat(m) => {
+                prop_assert!(brute_sat, "solver sat but box has no solution");
+                for c in &boxed {
+                    prop_assert!(c.holds_on(&m), "model violates {c}");
+                }
+            }
+            LiaResult::Unsat => prop_assert!(!brute_sat, "solver unsat but box has a solution"),
+            LiaResult::Unknown => prop_assert!(false, "budget must suffice for this size"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full SMT pipeline: random small formulas, model soundness + agreement with
+// exhaustive evaluation over a box.
+// ---------------------------------------------------------------------------
+
+fn var_x() -> Term {
+    Term::int_var("px")
+}
+fn var_y() -> Term {
+    Term::int_var("py")
+}
+
+fn atom_strategy() -> impl Strategy<Value = Term> {
+    (-3i64..=3, -3i64..=3, -5i64..=5, 0usize..5).prop_map(|(a, b, c, rel)| {
+        let lhs = Term::add(
+            Term::scale(a, var_x()),
+            Term::add(Term::scale(b, var_y()), Term::int(c)),
+        );
+        let rhs = Term::int(0);
+        match rel {
+            0 => Term::le(lhs, rhs),
+            1 => Term::lt(lhs, rhs),
+            2 => Term::ge(lhs, rhs),
+            3 => Term::gt(lhs, rhs),
+            _ => Term::eq(lhs, rhs),
+        }
+    })
+}
+
+fn formula_strategy() -> impl Strategy<Value = Term> {
+    let leaf = atom_strategy();
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::or),
+            inner.clone().prop_map(Term::not),
+            (inner.clone(), inner).prop_map(|(a, b)| Term::implies(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn smt_agrees_with_box_enumeration(f in formula_strategy()) {
+        // Constrain to a box so brute force is exact.
+        let bounded = Term::and([
+            f.clone(),
+            Term::ge(var_x(), Term::int(-6)),
+            Term::le(var_x(), Term::int(6)),
+            Term::ge(var_y(), Term::int(-6)),
+            Term::le(var_y(), Term::int(6)),
+        ]);
+        let defs = Definitions::new();
+        let mut brute_sat = false;
+        'outer: for x in -6i64..=6 {
+            for y in -6i64..=6 {
+                let env = Env::from_pairs(
+                    &[Symbol::new("px"), Symbol::new("py")],
+                    &[Value::Int(x), Value::Int(y)],
+                );
+                if f.eval(&env, &defs) == Ok(Value::Bool(true)) {
+                    brute_sat = true;
+                    break 'outer;
+                }
+            }
+        }
+        match SmtSolver::new().check(&bounded) {
+            Ok(SmtResult::Sat(m)) => {
+                prop_assert!(brute_sat, "solver sat, brute unsat: {}", f);
+                let mut env = m.to_env().expect("boxed model fits i64");
+                for s in ["px", "py"] {
+                    if env.lookup(Symbol::new(s)).is_none() {
+                        env.bind(Symbol::new(s), Value::Int(0));
+                    }
+                }
+                prop_assert_eq!(bounded.eval(&env, &defs), Ok(Value::Bool(true)));
+            }
+            Ok(SmtResult::Unsat) => prop_assert!(!brute_sat, "solver unsat, brute sat: {}", f),
+            Err(e) => prop_assert!(false, "solver error {e} on {}", f),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: parse a SyGuS problem and solve it with the cooperative
+//! DryadSynth engine.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dryadsynth::{DryadSynth, SygusSolver, SynthOutcome};
+use std::time::Duration;
+
+fn main() {
+    let source = r#"
+        (set-logic LIA)
+        (synth-fun max2 ((x Int) (y Int)) Int)
+        (declare-var x Int)
+        (declare-var y Int)
+        (constraint (>= (max2 x y) x))
+        (constraint (>= (max2 x y) y))
+        (constraint (or (= (max2 x y) x) (= (max2 x y) y)))
+        (check-synth)
+    "#;
+    let problem = sygus_parser::parse_problem(source).expect("well-formed SyGuS");
+    println!("problem:\n{}", sygus_parser::to_sygus(&problem));
+
+    let solver = DryadSynth::default();
+    match solver.solve_problem(&problem, Duration::from_secs(30)) {
+        SynthOutcome::Solved(body) => {
+            println!(
+                "solution: {}",
+                sygus_parser::solution_to_sygus(&problem, &body)
+            );
+            println!("size: {}, height: {}", body.size(), body.height());
+            assert!(dryadsynth::verify_solution(&problem, &body, None));
+            println!("independently re-verified ✓");
+        }
+        other => println!("no solution: {other:?}"),
+    }
+}

@@ -1,0 +1,57 @@
+//! A miniature version of the paper's evaluation: run every solver of the
+//! comparison lineup on a handful of benchmarks from the generated suite
+//! and print a Figure-10-style summary.
+//!
+//! Run with: `cargo run --release --example solver_shootout`
+
+use dryadsynth::{competition_solvers, SynthOutcome};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let picks = [
+        "max3",
+        "abs_diff",
+        "counter_to_100",
+        "qm_relu",
+        "double_chain_2",
+    ];
+    let suite: Vec<_> = sygus_benchmarks::suite()
+        .into_iter()
+        .filter(|b| picks.contains(&b.name.as_str()))
+        .collect();
+    let solvers = competition_solvers();
+    let timeout = Duration::from_secs(8);
+
+    println!(
+        "{:<18}{:<14}{:>12}{:>9}{:>7}",
+        "benchmark", "solver", "outcome", "time", "size"
+    );
+    for bench in &suite {
+        let problem = bench.problem();
+        for solver in &solvers {
+            let start = Instant::now();
+            let outcome = solver.solve_problem(&problem, timeout);
+            let secs = start.elapsed().as_secs_f64();
+            let (status, size) = match &outcome {
+                SynthOutcome::Solved(body) => {
+                    assert!(
+                        dryadsynth::verify_solution(&problem, body, None),
+                        "unverified solution from {}",
+                        solver.name()
+                    );
+                    ("solved", format!("{}", body.size()))
+                }
+                SynthOutcome::Timeout => ("timeout", "-".to_owned()),
+                SynthOutcome::GaveUp(_) => ("gave up", "-".to_owned()),
+            };
+            println!(
+                "{:<18}{:<14}{:>12}{:>8.2}s{:>7}",
+                bench.name,
+                solver.name(),
+                status,
+                secs,
+                size
+            );
+        }
+    }
+}

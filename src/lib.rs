@@ -1,0 +1,18 @@
+//! Workspace façade for the DryadSynth (PLDI 2020) reproduction.
+//!
+//! This crate re-exports the member crates so examples and downstream users
+//! can depend on a single package:
+//!
+//! * [`ast`](sygus_ast) — terms, grammars, problems;
+//! * [`parser`](sygus_parser) — SyGuS-IF reader/printer;
+//! * [`smt`](smtkit) — the QF_LIA SMT substrate;
+//! * [`enumerative`](enum_synth) — the EUSolver-style baseline;
+//! * [`solver`](dryadsynth) — the cooperative DryadSynth engine;
+//! * [`benchmarks`](sygus_benchmarks) — the generated evaluation suite.
+
+pub use dryadsynth as solver;
+pub use enum_synth as enumerative;
+pub use smtkit as smt;
+pub use sygus_ast as ast;
+pub use sygus_benchmarks as benchmarks;
+pub use sygus_parser as parser;

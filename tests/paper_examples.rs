@@ -1,0 +1,145 @@
+//! End-to-end reproductions of the paper's worked examples.
+
+use dryadsynth::{
+    verify_solution, DeductOutcome, DeductionConfig, DeductiveEngine, DryadSynth, DryadSynthConfig,
+    Engine, SygusSolver, SynthOutcome,
+};
+use std::time::Duration;
+use sygus_parser::parse_problem;
+
+const MAX3_QM: &str = r#"
+    (set-logic LIA)
+    (define-fun qm ((a Int) (b Int)) Int (ite (< a 0) b a))
+    (synth-fun max3 ((x Int) (y Int) (z Int)) Int
+        ((S Int (x y z 0 1 (+ S S) (- S S) (qm S S)))))
+    (declare-var x Int)
+    (declare-var y Int)
+    (declare-var z Int)
+    (constraint (= (max3 x y z)
+        (ite (and (>= x y) (>= x z)) x (ite (>= y z) y z))))
+    (check-synth)
+"#;
+
+/// Example 2.12 / 3.2: max3 in the qm grammar, solved cooperatively via
+/// subterm division — neither plain deduction nor the general rules handle
+/// the ad-hoc `qm` operator directly.
+#[test]
+fn example_3_2_max3_in_qm_grammar() {
+    let p = parse_problem(MAX3_QM).expect("parses");
+    let solver = DryadSynth::default();
+    match solver.solve_problem(&p, Duration::from_secs(120)) {
+        SynthOutcome::Solved(body) => {
+            assert!(verify_solution(&p, &body, None), "solution {body} invalid");
+            assert!(p.grammar_admits(&body), "solution {body} escapes Gqm");
+            assert!(!body.to_string().contains("ite"));
+        }
+        other => panic!("cooperative synthesis failed: {other:?}"),
+    }
+}
+
+/// Example 3.2's contrast: plain deduction alone cannot solve the qm
+/// problem (no rule knows the ad-hoc operator).
+#[test]
+fn example_3_2_deduction_alone_fails() {
+    let p = parse_problem(MAX3_QM).expect("parses");
+    let engine = DeductiveEngine::new(DeductionConfig::default());
+    match engine.deduct(&p) {
+        DeductOutcome::Solved(t) => panic!("deduction should not solve this, got {t}"),
+        DeductOutcome::Unsolvable => panic!("the problem is solvable"),
+        DeductOutcome::Simplified(_) | DeductOutcome::Unchanged => {}
+    }
+}
+
+/// Example 6.1 / Figure 9: ternary max is solved *purely deductively* from
+/// bound constraints via the GCLIA merging rules.
+#[test]
+fn example_6_1_max3_by_pure_deduction() {
+    let p = parse_problem(
+        "(set-logic LIA)(synth-fun max3 ((x Int) (y Int) (z Int)) Int)\
+         (declare-var x Int)(declare-var y Int)(declare-var z Int)\
+         (constraint (>= (max3 x y z) x))\
+         (constraint (>= (max3 x y z) y))\
+         (constraint (>= (max3 x y z) z))\
+         (constraint (or (= (max3 x y z) x) (or (= (max3 x y z) y) (= (max3 x y z) z))))\
+         (check-synth)",
+    )
+    .expect("parses");
+    let solver = DryadSynth::new(DryadSynthConfig {
+        engine: Engine::DeductionOnly,
+        ..DryadSynthConfig::default()
+    });
+    match solver.solve_problem(&p, Duration::from_secs(60)) {
+        SynthOutcome::Solved(body) => {
+            assert!(verify_solution(&p, &body, None));
+        }
+        other => panic!("pure deduction should solve Example 6.1: {other:?}"),
+    }
+}
+
+/// Example 2.14: the counter loop invariant.
+#[test]
+fn example_2_14_counter_invariant() {
+    let p = parse_problem(
+        r#"
+        (set-logic LIA)
+        (synth-inv inv ((x Int)))
+        (define-fun pre ((x Int)) Bool (= x 0))
+        (define-fun trans ((x Int) (x! Int)) Bool (= x! (ite (< x 100) (+ x 1) x)))
+        (define-fun post ((x Int)) Bool (=> (not (< x 100)) (= x 100)))
+        (inv-constraint inv pre trans post)
+        (check-synth)
+    "#,
+    )
+    .expect("parses");
+    let solver = DryadSynth::default();
+    match solver.solve_problem(&p, Duration::from_secs(120)) {
+        SynthOutcome::Solved(body) => {
+            assert!(verify_solution(&p, &body, None), "invariant {body} invalid");
+        }
+        other => panic!("invariant synthesis failed: {other:?}"),
+    }
+}
+
+/// Section 6's Match example: `x+x+x+x` must be rewritten into
+/// `double(double(x))` to fit the grammar.
+#[test]
+fn section_6_match_rule_double() {
+    let p = parse_problem(
+        "(set-logic LIA)\
+         (define-fun double ((a Int)) Int (+ a a))\
+         (synth-fun f ((x Int)) Int ((S Int (x (double S)))))\
+         (declare-var x Int)\
+         (constraint (= (f x) (+ (+ x x) (+ x x))))(check-synth)",
+    )
+    .expect("parses");
+    let solver = DryadSynth::default();
+    match solver.solve_problem(&p, Duration::from_secs(60)) {
+        SynthOutcome::Solved(body) => {
+            assert_eq!(body.to_string(), "(double (double x))");
+        }
+        other => panic!("Match-rule synthesis failed: {other:?}"),
+    }
+}
+
+/// Height-based enumeration returns smallest-height solutions: identity
+/// must come back as `x`, not as an ite tree (Section 5's minimality
+/// argument).
+#[test]
+fn height_minimality() {
+    let p = parse_problem(
+        "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+         (constraint (= (f x) x))(check-synth)",
+    )
+    .expect("parses");
+    let solver = DryadSynth::new(DryadSynthConfig {
+        engine: Engine::HeightEnumOnly,
+        threads: 1,
+        ..DryadSynthConfig::default()
+    });
+    match solver.solve_problem(&p, Duration::from_secs(60)) {
+        SynthOutcome::Solved(body) => {
+            assert_eq!(body.height(), 1, "expected a height-1 solution, got {body}");
+        }
+        other => panic!("{other:?}"),
+    }
+}

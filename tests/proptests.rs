@@ -1,0 +1,190 @@
+//! Cross-crate property tests: semantic preservation of the AST rewrites,
+//! decision-tree encode/decode round trips, and Theorem 4.2 (solutions are
+//! preserved by divide-and-conquer).
+
+use proptest::prelude::*;
+use smtkit::{SmtResult, SmtSolver};
+use sygus_ast::{nnf, simplify, Definitions, Env, Symbol, Term, Value};
+
+fn var_x() -> Term {
+    Term::int_var("ptx")
+}
+fn var_y() -> Term {
+    Term::int_var("pty")
+}
+
+fn int_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-4i64..=4).prop_map(Term::int),
+        Just(var_x()),
+        Just(var_y()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(sygus_ast::Op::Add, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(sygus_ast::Op::Sub, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|a| Term::app(sygus_ast::Op::Neg, vec![a])),
+        ]
+    })
+}
+
+fn bool_term() -> impl Strategy<Value = Term> {
+    let atom = (int_term(), int_term(), 0usize..5).prop_map(|(a, b, rel)| match rel {
+        0 => Term::app(sygus_ast::Op::Le, vec![a, b]),
+        1 => Term::app(sygus_ast::Op::Lt, vec![a, b]),
+        2 => Term::app(sygus_ast::Op::Ge, vec![a, b]),
+        3 => Term::app(sygus_ast::Op::Gt, vec![a, b]),
+        _ => Term::app(sygus_ast::Op::Eq, vec![a, b]),
+    });
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|v| Term::app(sygus_ast::Op::And, v)),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|v| Term::app(sygus_ast::Op::Or, v)),
+            inner
+                .clone()
+                .prop_map(|a| Term::app(sygus_ast::Op::Not, vec![a])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::app(sygus_ast::Op::Implies, vec![a, b])),
+        ]
+    })
+}
+
+fn envs() -> Vec<Env> {
+    let mut out = Vec::new();
+    for x in [-3i64, 0, 2, 7] {
+        for y in [-2i64, 0, 5] {
+            out.push(Env::from_pairs(
+                &[Symbol::new("ptx"), Symbol::new("pty")],
+                &[Value::Int(x), Value::Int(y)],
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `simplify` preserves semantics on every sampled environment.
+    #[test]
+    fn simplify_preserves_semantics(t in bool_term()) {
+        let defs = Definitions::new();
+        let s = simplify(&t);
+        for env in envs() {
+            prop_assert_eq!(t.eval(&env, &defs), s.eval(&env, &defs), "env {}", env);
+        }
+    }
+
+    /// `nnf` preserves semantics.
+    #[test]
+    fn nnf_preserves_semantics(t in bool_term()) {
+        let defs = Definitions::new();
+        let n = nnf(&t);
+        for env in envs() {
+            prop_assert_eq!(t.eval(&env, &defs), n.eval(&env, &defs), "env {}", env);
+        }
+    }
+
+    /// Integer smart constructors agree with raw application semantics.
+    #[test]
+    fn smart_constructors_preserve_semantics(t in int_term()) {
+        let defs = Definitions::new();
+        let s = simplify(&t);
+        for env in envs() {
+            prop_assert_eq!(t.eval(&env, &defs), s.eval(&env, &defs));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decision-tree round trip: for random concrete coefficient values,
+    /// the symbolic `interpret` on a point equals evaluating the decoded
+    /// tree on that point.
+    #[test]
+    fn clia_tree_encode_decode_roundtrip(
+        coeff_vals in proptest::collection::vec(-2i64..=2, 18),
+        px in -5i64..=5,
+        py in -5i64..=5,
+    ) {
+        use dryadsynth::CliaTreeEncoding;
+        let a = Symbol::new("rta");
+        let b = Symbol::new("rtb");
+        let enc = CliaTreeEncoding::new(2, &[a, b], sygus_ast::Sort::Int);
+        // Pin every unknown with an equality; solve; decode; compare.
+        let unknowns: Vec<Symbol> = enc.unknowns().collect();
+        prop_assume!(unknowns.len() <= coeff_vals.len());
+        let pin = Term::and(
+            unknowns
+                .iter()
+                .zip(&coeff_vals)
+                .map(|(&u, &v)| Term::eq(Term::var(u, sygus_ast::Sort::Int), Term::int(v))),
+        );
+        let sym = enc.interpret(&[px, py]);
+        match SmtSolver::new().check(&pin).expect("pin is sat") {
+            SmtResult::Sat(model) => {
+                let tree = enc.decode(&model);
+                let env = Env::from_pairs(&[a, b], &[Value::Int(px), Value::Int(py)]);
+                let direct = tree.eval(&env, &Definitions::new()).expect("eval");
+                // Evaluate the symbolic interpretation under the model.
+                let coeff_env: Env = unknowns
+                    .iter()
+                    .zip(&coeff_vals)
+                    .map(|(&u, &v)| (u, Value::Int(v)))
+                    .collect();
+                let symbolic = sym.eval(&coeff_env, &Definitions::new()).expect("eval");
+                prop_assert_eq!(direct, symbolic);
+            }
+            SmtResult::Unsat => prop_assert!(false, "pinning must be satisfiable"),
+        }
+    }
+}
+
+/// Theorem 4.2 for weaker-spec division: a solution of the original
+/// problem solves both subproblems (here: the ∧-split Type-A, on the
+/// counter-invariant family).
+#[test]
+fn theorem_4_2_weaker_spec_preserves_solutions() {
+    use dryadsynth::{DivideConfig, Divider};
+    for bound in [8i64, 50] {
+        let src = format!(
+            "(set-logic LIA)\
+             (synth-inv inv ((x Int)))\
+             (define-fun pre ((x Int)) Bool (= x 0))\
+             (define-fun trans ((x Int) (x! Int)) Bool (= x! (ite (< x {bound}) (+ x 1) x)))\
+             (define-fun post ((x Int)) Bool (=> (not (< x {bound})) (= x {bound})))\
+             (inv-constraint inv pre trans post)\
+             (check-synth)"
+        );
+        let p = sygus_parser::parse_problem(&src).expect("parses");
+        // The known solution of the original problem.
+        let x = Term::int_var("x");
+        let solution = Term::and([
+            Term::ge(x.clone(), Term::int(0)),
+            Term::le(x.clone(), Term::int(bound)),
+        ]);
+        assert!(dryadsynth::verify_solution(&p, &solution, None));
+        // Every weaker-spec Type-A subproblem must also accept it.
+        let divider = Divider::new(DivideConfig::default());
+        let mut seen_ws = false;
+        for d in divider.divide(&p) {
+            if !d.strategy.starts_with("weaker-spec") {
+                continue;
+            }
+            seen_ws = true;
+            assert!(
+                dryadsynth::verify_solution(&d.type_a, &solution, None),
+                "Theorem 4.2 violated by {} on bound {bound}",
+                d.strategy
+            );
+        }
+        assert!(seen_ws, "weaker-spec division must apply to INV problems");
+    }
+}
