@@ -39,6 +39,7 @@ mod metrics;
 mod op;
 mod print;
 mod problem;
+pub mod runtime;
 mod simplify;
 mod sort;
 mod symbol;
@@ -54,6 +55,7 @@ pub use metrics::{
 pub use op::Op;
 pub use print::{display_define_fun, is_sexpr_op};
 pub use problem::{InvInfo, Problem, SynthFun};
+pub use runtime::{Budget, BudgetError};
 pub use simplify::{conjuncts, disjuncts, nnf, simplify};
 pub use sort::Sort;
 pub use symbol::Symbol;

@@ -61,7 +61,7 @@ pub fn median(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in medians"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let n = values.len();
     Some(if n % 2 == 1 {
         values[n / 2]

@@ -1,0 +1,367 @@
+//! The resource-governance primitive shared by every layer of the solver.
+//!
+//! A [`Budget`] is a cheap, cloneable handle (one `Arc` clone) bundling the
+//! wall-clock deadline, a cooperative cancellation flag, and fuel/memory
+//! accounting that used to be threaded through ad-hoc `Option<Instant>`
+//! fields. Every engine hot loop polls the same handle, so cancelling or
+//! exhausting it stops deduction, enumeration, and the SMT substrate alike.
+//!
+//! The handle also carries the run's telemetry counters (SMT queries and
+//! retry-ladder escalations) so statistics surface without extra plumbing:
+//! whoever holds any clone of the budget can read them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a [`Budget`] refused further work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The wall-clock deadline passed.
+    Timeout,
+    /// [`Budget::cancel`] was called on some clone of the handle.
+    Cancelled,
+    /// The fuel (node) allowance is spent.
+    FuelExhausted,
+    /// The advisory memory allowance is spent.
+    MemoryExhausted,
+}
+
+impl BudgetError {
+    /// Whether this exhaustion is a deliberate stop (deadline/cancel) rather
+    /// than a resource cap (fuel/memory).
+    pub fn is_stop(self) -> bool {
+        matches!(self, BudgetError::Timeout | BudgetError::Cancelled)
+    }
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Timeout => write!(f, "deadline exceeded"),
+            BudgetError::Cancelled => write!(f, "cancelled"),
+            BudgetError::FuelExhausted => write!(f, "fuel exhausted"),
+            BudgetError::MemoryExhausted => write!(f, "memory allowance exhausted"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// Budget this one is scoped under: the parent's limits apply in
+    /// addition to the local ones, and fuel/memory/telemetry charges
+    /// propagate upward. Cancelling the child does NOT cancel the parent.
+    parent: Option<Budget>,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+    /// Node allowance; `u64::MAX` means unlimited.
+    fuel_limit: u64,
+    fuel_spent: AtomicU64,
+    /// Advisory byte allowance; `u64::MAX` means unlimited.
+    memory_limit: u64,
+    memory_charged: AtomicU64,
+    smt_queries: AtomicU64,
+    smt_retries: AtomicU64,
+}
+
+/// A cloneable resource-governance handle: deadline + cancellation flag +
+/// fuel/memory counters. Clones share state; see the module docs.
+#[derive(Clone, Debug)]
+pub struct Budget(Arc<BudgetInner>);
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    fn with_limits(deadline: Option<Instant>, fuel: u64, memory: u64) -> Budget {
+        Budget(Arc::new(BudgetInner {
+            parent: None,
+            deadline,
+            cancelled: AtomicBool::new(false),
+            fuel_limit: fuel,
+            fuel_spent: AtomicU64::new(0),
+            memory_limit: memory,
+            memory_charged: AtomicU64::new(0),
+            smt_queries: AtomicU64::new(0),
+            smt_retries: AtomicU64::new(0),
+        }))
+    }
+
+    /// A budget with no deadline and no fuel/memory caps. It can still be
+    /// stopped through [`Budget::cancel`].
+    pub fn unlimited() -> Budget {
+        Budget::with_limits(None, u64::MAX, u64::MAX)
+    }
+
+    /// A budget expiring at the absolute instant `deadline`. A deadline of
+    /// `Instant::now()` (e.g. `--timeout 0`) expires immediately.
+    pub fn with_deadline(deadline: Instant) -> Budget {
+        Budget::with_limits(Some(deadline), u64::MAX, u64::MAX)
+    }
+
+    /// A budget expiring `timeout` from now. `Duration::ZERO` expires
+    /// immediately.
+    pub fn from_timeout(timeout: Duration) -> Budget {
+        Budget::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Returns a fresh budget with the same deadline and the given fuel
+    /// (node) allowance. Counters restart at zero; the cancellation flag is
+    /// *not* shared with `self`.
+    pub fn with_fuel(&self, fuel: u64) -> Budget {
+        Budget::with_limits(self.deadline(), fuel, self.0.memory_limit)
+    }
+
+    /// Returns a fresh budget with the same deadline/fuel and the given
+    /// advisory memory allowance in bytes.
+    pub fn with_memory_limit(&self, bytes: u64) -> Budget {
+        Budget::with_limits(self.deadline(), self.0.fuel_limit, bytes)
+    }
+
+    /// Returns a child budget scoped under `self`: the parent's deadline,
+    /// cancellation, and allowances still apply (and fuel/memory/telemetry
+    /// charges propagate upward), but cancelling the child stops only work
+    /// polling the child. Used for sibling cancellation inside parallel
+    /// bands.
+    pub fn child(&self) -> Budget {
+        Budget(Arc::new(BudgetInner {
+            parent: Some(self.clone()),
+            deadline: None,
+            cancelled: AtomicBool::new(false),
+            fuel_limit: u64::MAX,
+            fuel_spent: AtomicU64::new(0),
+            memory_limit: u64::MAX,
+            memory_charged: AtomicU64::new(0),
+            smt_queries: AtomicU64::new(0),
+            smt_retries: AtomicU64::new(0),
+        }))
+    }
+
+    /// The absolute deadline, if any (inherited from the parent for child
+    /// budgets).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.0
+            .deadline
+            .or_else(|| self.0.parent.as_ref().and_then(|p| p.deadline()))
+    }
+
+    /// Time left until the deadline (`None` = no deadline). Zero when
+    /// already expired.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Raises the cancellation flag; every clone observes it at its next
+    /// checkpoint. Idempotent.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether some clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Polls every governed resource. `Ok(())` means work may continue.
+    pub fn check(&self) -> Result<(), BudgetError> {
+        match self.exceeded() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Like [`Budget::check`], shaped for `if let` call sites.
+    pub fn exceeded(&self) -> Option<BudgetError> {
+        if let Some(e) = self.0.parent.as_ref().and_then(|p| p.exceeded()) {
+            return Some(e);
+        }
+        if self.is_cancelled() {
+            return Some(BudgetError::Cancelled);
+        }
+        if self.0.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(BudgetError::Timeout);
+        }
+        if self.0.fuel_spent.load(Ordering::Relaxed) >= self.0.fuel_limit {
+            return Some(BudgetError::FuelExhausted);
+        }
+        if self.0.memory_charged.load(Ordering::Relaxed) >= self.0.memory_limit {
+            return Some(BudgetError::MemoryExhausted);
+        }
+        None
+    }
+
+    /// Convenience: whether any resource is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.exceeded().is_some()
+    }
+
+    /// Spends `n` fuel units (nodes, candidates, rounds — the caller picks
+    /// the granularity) and then polls the budget.
+    pub fn charge_fuel(&self, n: u64) -> Result<(), BudgetError> {
+        self.add_fuel(n);
+        self.check()
+    }
+
+    fn add_fuel(&self, n: u64) {
+        self.0.fuel_spent.fetch_add(n, Ordering::Relaxed);
+        if let Some(p) = &self.0.parent {
+            p.add_fuel(n);
+        }
+    }
+
+    /// Records `bytes` of advisory allocation and then polls the budget.
+    pub fn charge_memory(&self, bytes: u64) -> Result<(), BudgetError> {
+        self.add_memory(bytes);
+        self.check()
+    }
+
+    fn add_memory(&self, bytes: u64) {
+        self.0.memory_charged.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(p) = &self.0.parent {
+            p.add_memory(bytes);
+        }
+    }
+
+    /// Fuel spent so far across all clones.
+    pub fn fuel_spent(&self) -> u64 {
+        self.0.fuel_spent.load(Ordering::Relaxed)
+    }
+
+    /// The fuel allowance (`None` = unlimited).
+    pub fn fuel_limit(&self) -> Option<u64> {
+        (self.0.fuel_limit != u64::MAX).then_some(self.0.fuel_limit)
+    }
+
+    /// Advisory bytes charged so far.
+    pub fn memory_charged(&self) -> u64 {
+        self.0.memory_charged.load(Ordering::Relaxed)
+    }
+
+    /// Records one SMT query issued under this budget.
+    pub fn note_smt_query(&self) {
+        self.0.smt_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.0.parent {
+            p.note_smt_query();
+        }
+    }
+
+    /// SMT queries issued under this budget.
+    pub fn smt_queries(&self) -> u64 {
+        self.0.smt_queries.load(Ordering::Relaxed)
+    }
+
+    /// Records one retry-ladder escalation taken by the SMT layer.
+    pub fn note_smt_retry(&self) {
+        self.0.smt_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.0.parent {
+            p.note_smt_retry();
+        }
+    }
+
+    /// Retry-ladder escalations taken under this budget.
+    pub fn smt_retries(&self) -> u64 {
+        self.0.smt_retries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert_eq!(b.check(), Ok(()));
+        assert!(b.charge_fuel(1_000_000).is_ok());
+        assert_eq!(b.exceeded(), None);
+    }
+
+    #[test]
+    fn zero_timeout_expires_immediately() {
+        let b = Budget::from_timeout(Duration::ZERO);
+        assert_eq!(b.exceeded(), Some(BudgetError::Timeout));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let c = b.clone();
+        assert_eq!(c.check(), Ok(()));
+        b.cancel();
+        assert_eq!(c.exceeded(), Some(BudgetError::Cancelled));
+        // Cancellation outranks any other state.
+        assert!(c.exceeded().unwrap().is_stop());
+    }
+
+    #[test]
+    fn fuel_runs_out_and_is_shared() {
+        let b = Budget::unlimited().with_fuel(10);
+        let c = b.clone();
+        assert!(b.charge_fuel(6).is_ok());
+        assert_eq!(c.charge_fuel(6), Err(BudgetError::FuelExhausted));
+        assert_eq!(b.exceeded(), Some(BudgetError::FuelExhausted));
+        assert_eq!(b.fuel_spent(), 12);
+        assert_eq!(b.fuel_limit(), Some(10));
+    }
+
+    #[test]
+    fn with_fuel_resets_counters_but_keeps_deadline() {
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let b = Budget::with_deadline(deadline);
+        b.charge_fuel(99).unwrap();
+        let fresh = b.with_fuel(50);
+        assert_eq!(fresh.fuel_spent(), 0);
+        assert_eq!(fresh.deadline(), Some(deadline));
+    }
+
+    #[test]
+    fn memory_allowance_trips() {
+        let b = Budget::unlimited().with_memory_limit(1024);
+        assert!(b.charge_memory(512).is_ok());
+        assert_eq!(b.charge_memory(512), Err(BudgetError::MemoryExhausted));
+    }
+
+    #[test]
+    fn child_budget_scopes_cancellation() {
+        let parent = Budget::unlimited().with_fuel(100);
+        let band = parent.child();
+        // Cancelling the band stops band pollers but not the parent.
+        band.cancel();
+        assert_eq!(band.exceeded(), Some(BudgetError::Cancelled));
+        assert_eq!(parent.exceeded(), None);
+        // Cancelling the parent stops the band too.
+        let band2 = parent.child();
+        parent.cancel();
+        assert_eq!(band2.exceeded(), Some(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn child_budget_charges_propagate_upward() {
+        let parent = Budget::unlimited().with_fuel(10);
+        let band = parent.child();
+        assert!(band.charge_fuel(4).is_ok());
+        assert_eq!(parent.fuel_spent(), 4);
+        band.note_smt_query();
+        band.note_smt_retry();
+        assert_eq!(parent.smt_queries(), 1);
+        assert_eq!(parent.smt_retries(), 1);
+        // Parent's fuel cap applies to the child.
+        assert_eq!(band.charge_fuel(6), Err(BudgetError::FuelExhausted));
+    }
+
+    #[test]
+    fn telemetry_counters_accumulate() {
+        let b = Budget::unlimited();
+        let c = b.clone();
+        b.note_smt_query();
+        c.note_smt_query();
+        c.note_smt_retry();
+        assert_eq!(b.smt_queries(), 2);
+        assert_eq!(b.smt_retries(), 1);
+    }
+}

@@ -145,7 +145,7 @@ pub fn disjuncts(t: &Term) -> Vec<Term> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Definitions, Env, Op, Sort, Symbol, Value};
+    use crate::{Definitions, Env, Op, Symbol, Value};
 
     fn x() -> Term {
         Term::int_var("x")

@@ -43,7 +43,10 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `name` and returns its symbol.
     pub fn new(name: &str) -> Symbol {
-        let mut int = interner().lock().expect("symbol interner poisoned");
+        // Poison tolerance: the interner is append-only, so its state stays
+        // consistent even if a thread panicked while holding the lock; a
+        // contained engine fault must not cascade into every later intern.
+        let mut int = interner().lock().unwrap_or_else(|p| p.into_inner());
         if let Some(&id) = int.ids.get(name) {
             return Symbol(id);
         }
@@ -57,7 +60,7 @@ impl Symbol {
 
     /// Returns the interned string.
     pub fn as_str(self) -> &'static str {
-        let int = interner().lock().expect("symbol interner poisoned");
+        let int = interner().lock().unwrap_or_else(|p| p.into_inner());
         int.names[self.0 as usize]
     }
 
@@ -69,7 +72,7 @@ impl Symbol {
         loop {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let candidate = format!("{prefix}!{n}");
-            let mut int = interner().lock().expect("symbol interner poisoned");
+            let mut int = interner().lock().unwrap_or_else(|p| p.into_inner());
             if !int.ids.contains_key(candidate.as_str()) {
                 let id = u32::try_from(int.names.len()).expect("too many symbols");
                 let stat: &'static str = Box::leak(candidate.into_boxed_str());

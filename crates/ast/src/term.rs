@@ -206,6 +206,7 @@ impl Term {
     // ----- Arithmetic constructors -------------------------------------------
 
     /// `a + b`, folding constants and dropping zero.
+    #[allow(clippy::should_implement_trait)] // smart constructor named after the SMT-LIB op
     pub fn add(a: Term, b: Term) -> Term {
         match (a.as_int_const(), b.as_int_const()) {
             (Some(x), Some(y)) => {
@@ -257,6 +258,7 @@ impl Term {
     }
 
     /// `a - b`, folding constants and `a - 0`.
+    #[allow(clippy::should_implement_trait)] // smart constructor named after the SMT-LIB op
     pub fn sub(a: Term, b: Term) -> Term {
         match (a.as_int_const(), b.as_int_const()) {
             (Some(x), Some(y)) => {
@@ -274,6 +276,7 @@ impl Term {
     }
 
     /// `-a`, folding constants and double negation.
+    #[allow(clippy::should_implement_trait)] // smart constructor named after the SMT-LIB op
     pub fn neg(a: Term) -> Term {
         if let Some(x) = a.as_int_const() {
             if let Some(n) = x.checked_neg() {
@@ -287,6 +290,7 @@ impl Term {
     }
 
     /// `a * b`, folding constants, zero, and one.
+    #[allow(clippy::should_implement_trait)] // smart constructor named after the SMT-LIB op
     pub fn mul(a: Term, b: Term) -> Term {
         match (a.as_int_const(), b.as_int_const()) {
             (Some(x), Some(y)) => {
@@ -443,6 +447,7 @@ impl Term {
     }
 
     /// `not a`, folding constants and double negation.
+    #[allow(clippy::should_implement_trait)] // smart constructor named after the SMT-LIB op
     pub fn not(a: Term) -> Term {
         match a.node() {
             TermNode::BoolConst(b) => Term::bool(!b),

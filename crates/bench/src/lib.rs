@@ -21,6 +21,10 @@ use dryadsynth::{verify_solution, SygusSolver, SynthOutcome};
 use std::time::{Duration, Instant};
 use sygus_benchmarks::{Benchmark, Track};
 
+// The shared resource-governance handle, re-exported so harness extensions
+// can budget their own verification passes.
+pub use dryadsynth::{Budget, BudgetError};
+
 /// One (solver, benchmark) measurement.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
@@ -56,7 +60,8 @@ pub fn run_one(solver: &dyn SygusSolver, bench: &Benchmark, timeout: Duration) -
     let (solved, size) = match outcome {
         SynthOutcome::Solved(body) => {
             // Never trust a solver in the evaluation: re-verify.
-            if verify_solution(&problem, &body, Some(Instant::now() + timeout)) {
+            let verify_budget = Budget::from_timeout(timeout);
+            if verify_solution(&problem, &body, Some(&verify_budget)) {
                 (true, Some(body.size()))
             } else {
                 (false, None)
@@ -190,7 +195,7 @@ pub fn fig12_cumulative(records: &[RunRecord]) -> String {
                 .filter(|r| r.solver == s && r.track == t && r.solved)
                 .map(|r| r.seconds)
                 .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            times.sort_by(|a, b| a.total_cmp(b));
             let mut cum = 0.0;
             let series: Vec<String> = times
                 .iter()
@@ -226,7 +231,7 @@ pub fn fig13_times_ascending(records: &[RunRecord]) -> String {
                 .filter(|r| r.solver == s && r.track == t && r.solved)
                 .map(|r| r.seconds)
                 .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            times.sort_by(|a, b| a.total_cmp(b));
             let series: Vec<String> = times.iter().map(|x| format!("{x:.3}")).collect();
             out.push_str(&format!("    {s}: [{}]\n", series.join(", ")));
         }

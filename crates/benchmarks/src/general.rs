@@ -8,13 +8,14 @@ use std::fmt::Write;
 
 /// All General-track benchmarks.
 pub fn benchmarks() -> Vec<Benchmark> {
-    let mut out = Vec::new();
-    out.push(qm_max(2));
-    out.push(qm_max(3));
-    out.push(qm_max(4));
-    out.push(qm_abs());
-    out.push(qm_relu());
-    out.push(qm_clip());
+    let mut out = vec![
+        qm_max(2),
+        qm_max(3),
+        qm_max(4),
+        qm_abs(),
+        qm_relu(),
+        qm_clip(),
+    ];
     for n in 1..=5 {
         out.push(double_chain(n));
     }

@@ -14,7 +14,7 @@ use crate::SynthOutcome;
 use enum_synth::{counterexample_env, is_pointwise, learn_decision_tree, CoveredTerm};
 use smtkit::{SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
 use std::collections::BTreeSet;
-use std::time::Instant;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{
     conjuncts, simplify, Definitions, Env, FuncDef, Op, Problem, Sort, Symbol, Term, Value,
 };
@@ -22,8 +22,8 @@ use sygus_ast::{
 /// Configuration shared by the baselines.
 #[derive(Clone, Debug, Default)]
 pub struct BaselineConfig {
-    /// Absolute deadline.
-    pub deadline: Option<Instant>,
+    /// Shared resource governor (deadline, cancellation, fuel).
+    pub budget: Budget,
 }
 
 /// The CVC4-analogue solver (single-invocation CEGQI).
@@ -40,13 +40,13 @@ impl CegqiSolver {
 
     fn smt(&self) -> SmtSolver {
         SmtSolver::with_config(SmtConfig {
-            deadline: self.config.deadline,
+            budget: self.config.budget.clone(),
             ..SmtConfig::default()
         })
     }
 
     fn timed_out(&self) -> bool {
-        self.config.deadline.is_some_and(|d| Instant::now() >= d)
+        self.config.budget.is_exhausted()
     }
 
     /// Solves `problem` if it is single-invocation (or an INV problem).
@@ -186,13 +186,13 @@ impl HoudiniInvSolver {
 
     fn smt(&self) -> SmtSolver {
         SmtSolver::with_config(SmtConfig {
-            deadline: self.config.deadline,
+            budget: self.config.budget.clone(),
             ..SmtConfig::default()
         })
     }
 
     fn timed_out(&self) -> bool {
-        self.config.deadline.is_some_and(|d| Instant::now() >= d)
+        self.config.budget.is_exhausted()
     }
 
     /// Solves an INV-track problem by conjunctive weakening.
@@ -476,7 +476,9 @@ mod tests {
             SynthOutcome::Solved(t) => {
                 assert!(verify_solution(&p, &t, None), "unsound solution {t}");
             }
-            SynthOutcome::GaveUp(_) | SynthOutcome::Timeout => {}
+            SynthOutcome::GaveUp(_)
+            | SynthOutcome::Timeout
+            | SynthOutcome::ResourceExhausted(_) => {}
         }
     }
 

@@ -4,22 +4,41 @@
 //!
 //! ```text
 //! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
-//!            [--timeout SECONDS] [--threads N] [--stats] FILE.sl
+//!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] FILE.sl
 //! ```
 //!
 //! Reads a SyGuS-IF problem, solves it, and prints the solution in the
-//! competition's `define-fun` answer format (or `(fail)` / `(timeout)`).
+//! competition's `define-fun` answer format (or `(fail)` / `(timeout)` /
+//! `(resource-exhausted)`).
+//!
+//! Exit codes distinguish the failure modes:
+//!
+//! | code | meaning                                            |
+//! |------|----------------------------------------------------|
+//! | 0    | solved                                             |
+//! | 1    | gave up (search exhausted / unsupported problem)   |
+//! | 2    | usage, I/O, or parse error                         |
+//! | 4    | wall-clock timeout (or cancellation)               |
+//! | 5    | resource exhaustion (fuel / memory budget)         |
+//! | 6    | engine fault (a contained panic) and no solution   |
 
 use dryadsynth::{
-    Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
-    SygusSolver, SynthOutcome,
+    CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
+    LoopInvGenBaseline, SygusSolver, SynthOutcome,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+const USAGE: &str = "usage: dryadsynth \
+[--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
+[--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] FILE.sl\n\
+  --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
+  --fuel caps governed engine steps independently of wall-clock time.";
+
 struct Options {
     engine: String,
     timeout: Duration,
+    fuel: Option<u64>,
     threads: usize,
     stats: bool,
     file: Option<String>,
@@ -29,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         engine: "coop".to_owned(),
         timeout: Duration::from_secs(30),
+        fuel: None,
         threads: 2,
         stats: false,
         file: None,
@@ -42,18 +62,24 @@ fn parse_args() -> Result<Options, String> {
             "--timeout" => {
                 let v = args.next().ok_or("--timeout needs seconds")?;
                 let secs: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                // 0 is deliberate: a zero-duration budget is born expired.
                 opts.timeout = Duration::from_secs(secs);
+            }
+            "--fuel" => {
+                let v = args.next().ok_or("--fuel needs a step count")?;
+                let fuel: u64 = v.parse().map_err(|_| format!("bad fuel `{v}`"))?;
+                opts.fuel = Some(fuel);
             }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a count")?;
-                opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                opts.threads = n;
             }
             "--stats" => opts.stats = true,
-            "--help" | "-h" => return Err(
-                "usage: dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
-                            [--timeout SECONDS] [--threads N] [--stats] FILE.sl"
-                    .to_owned(),
-            ),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             file => {
                 if opts.file.is_some() {
@@ -64,6 +90,19 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Maps an outcome (plus faults recorded along the way) to the CLI's exit
+/// code contract. A solved run exits 0 even if faults were contained; an
+/// unsolved run with faults exits 6 so harnesses can flag flaky engines.
+fn exit_code(outcome: &SynthOutcome, stats: &CoopStats) -> ExitCode {
+    match outcome {
+        SynthOutcome::Solved(_) => ExitCode::SUCCESS,
+        _ if !stats.faults.is_empty() => ExitCode::from(6),
+        SynthOutcome::ResourceExhausted(_) => ExitCode::from(5),
+        SynthOutcome::Timeout => ExitCode::from(4),
+        SynthOutcome::GaveUp(_) => ExitCode::from(1),
+    }
 }
 
 fn main() -> ExitCode {
@@ -93,60 +132,82 @@ fn main() -> ExitCode {
         }
     };
 
-    let solver: Box<dyn SygusSolver> = match opts.engine.as_str() {
-        "coop" => Box::new(DryadSynth::new(DryadSynthConfig {
-            threads: opts.threads,
-            ..DryadSynthConfig::default()
-        })),
-        "enum" => Box::new(DryadSynth::new(DryadSynthConfig {
-            engine: Engine::HeightEnumOnly,
-            threads: opts.threads,
-            ..DryadSynthConfig::default()
-        })),
-        "deduct" => Box::new(DryadSynth::new(DryadSynthConfig {
-            engine: Engine::DeductionOnly,
-            ..DryadSynthConfig::default()
-        })),
-        "euback" => Box::new(DryadSynth::new(DryadSynthConfig {
-            engine: Engine::BottomUpBacked,
-            ..DryadSynthConfig::default()
-        })),
-        "eusolver" => Box::new(EuSolverBaseline),
-        "cvc4" => Box::new(Cvc4Baseline),
-        "loopinvgen" => Box::new(LoopInvGenBaseline),
-        other => {
-            eprintln!("unknown engine `{other}`");
-            return ExitCode::from(2);
-        }
+    let dryad_config = |engine: Engine| DryadSynthConfig {
+        engine,
+        threads: opts.threads,
+        fuel: opts.fuel,
+        ..DryadSynthConfig::default()
     };
+    // DryadSynth variants report full governed-run statistics; the
+    // baselines only produce an outcome.
+    let dryad: Option<DryadSynth> = match opts.engine.as_str() {
+        "coop" => Some(DryadSynth::new(dryad_config(Engine::Cooperative))),
+        "enum" => Some(DryadSynth::new(dryad_config(Engine::HeightEnumOnly))),
+        "deduct" => Some(DryadSynth::new(dryad_config(Engine::DeductionOnly))),
+        "euback" => Some(DryadSynth::new(dryad_config(Engine::BottomUpBacked))),
+        _ => None,
+    };
+    let baseline: Option<Box<dyn SygusSolver>> = match opts.engine.as_str() {
+        "eusolver" => Some(Box::new(EuSolverBaseline)),
+        "cvc4" => Some(Box::new(Cvc4Baseline)),
+        "loopinvgen" => Some(Box::new(LoopInvGenBaseline)),
+        _ => None,
+    };
+    if dryad.is_none() && baseline.is_none() {
+        eprintln!("unknown engine `{}`", opts.engine);
+        return ExitCode::from(2);
+    }
 
     let start = Instant::now();
-    let outcome = solver.solve_problem(&problem, opts.timeout);
+    let (name, outcome, stats) = match (&dryad, &baseline) {
+        (Some(solver), _) => {
+            let (outcome, stats) = solver.solve_with_stats(&problem, opts.timeout);
+            (solver.name(), outcome, stats)
+        }
+        (None, Some(solver)) => {
+            let outcome = solver.solve_problem(&problem, opts.timeout);
+            (solver.name(), outcome, CoopStats::default())
+        }
+        (None, None) => unreachable!("engine validated above"),
+    };
     let elapsed = start.elapsed();
+
+    if opts.stats {
+        eprintln!(
+            "; solver={} time={:.3}s faults={} smt_queries={} smt_retries={} fuel_spent={}",
+            name,
+            elapsed.as_secs_f64(),
+            stats.faults.len(),
+            stats.smt_queries,
+            stats.smt_retries,
+            stats.fuel_spent,
+        );
+        for fault in &stats.faults {
+            eprintln!("; {fault}");
+        }
+    }
+
+    let code = exit_code(&outcome, &stats);
     match outcome {
         SynthOutcome::Solved(body) => {
             println!("{}", sygus_parser::solution_to_sygus(&problem, &body));
             if opts.stats {
-                eprintln!(
-                    "; solver={} time={:.3}s size={} height={}",
-                    solver.name(),
-                    elapsed.as_secs_f64(),
-                    body.size(),
-                    body.height()
-                );
+                eprintln!("; size={} height={}", body.size(), body.height());
             }
-            ExitCode::SUCCESS
         }
-        SynthOutcome::Timeout => {
-            println!("(timeout)");
-            ExitCode::from(1)
+        SynthOutcome::Timeout => println!("(timeout)"),
+        SynthOutcome::ResourceExhausted(reason) => {
+            println!("(resource-exhausted)");
+            if opts.stats {
+                eprintln!("; reason: {reason}");
+            }
         }
         SynthOutcome::GaveUp(reason) => {
             println!("(fail)");
             if opts.stats {
                 eprintln!("; reason: {reason}");
             }
-            ExitCode::from(1)
         }
     }
+    code
 }

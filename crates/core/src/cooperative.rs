@@ -2,14 +2,15 @@
 //! subproblem graph, a deduction-first queue discipline, divide-and-conquer
 //! expansion, and height-based enumeration as the last resort.
 
+use crate::runtime::{panic_message, Budget, EngineFault};
 use crate::{
     verify_solution, DeductOutcome, DeductionConfig, DeductiveEngine, Divider, Division,
     EnumBackend, ExamplePool, FixedHeightResult, TypeBOutcome,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
 use sygus_ast::{Problem, Term};
 
 /// Outcome of a cooperative synthesis run.
@@ -17,8 +18,10 @@ use sygus_ast::{Problem, Term};
 pub enum SynthOutcome {
     /// A verified solution body over the synth-fun parameters.
     Solved(Term),
-    /// The deadline passed.
+    /// The deadline passed (or the run was cancelled).
     Timeout,
+    /// A fuel or memory allowance ran out before the search finished.
+    ResourceExhausted(String),
     /// All queues drained without a solution (or the spec is
     /// unsatisfiable).
     GaveUp(String),
@@ -50,6 +53,15 @@ pub struct CoopStats {
     pub divisions_proposed: Vec<(&'static str, usize)>,
     /// Type-B steps fired (a child's solution consumed at a parent).
     pub type_b_fired: usize,
+    /// Engine panics caught and isolated by the cooperative driver. The run
+    /// continues past each one; the faulting step counts as a failure.
+    pub faults: Vec<EngineFault>,
+    /// SMT queries issued under the run's budget.
+    pub smt_queries: u64,
+    /// SMT retry-ladder escalations taken under the run's budget.
+    pub smt_retries: u64,
+    /// Fuel units charged under the run's budget.
+    pub fuel_spent: u64,
 }
 
 impl CoopStats {
@@ -62,6 +74,19 @@ impl CoopStats {
             Some((_, n)) => *n += 1,
             None => self.divisions_proposed.push((strategy, 1)),
         }
+    }
+
+    fn record_fault(
+        &mut self,
+        stage: &'static str,
+        node: usize,
+        payload: &(dyn std::any::Any + Send),
+    ) {
+        self.faults.push(EngineFault {
+            stage,
+            node,
+            message: panic_message(payload),
+        });
     }
 }
 
@@ -96,7 +121,7 @@ pub struct CooperativeSolver {
     deduction: DeductiveEngine,
     divider: Divider,
     backend: Arc<dyn EnumBackend>,
-    deadline: Option<Instant>,
+    budget: Budget,
     max_nodes: usize,
     /// Skip the deductive engine entirely (the plain-enumeration ablation).
     enumeration_only: bool,
@@ -110,17 +135,22 @@ impl CooperativeSolver {
         deduction_config: DeductionConfig,
         divider: Divider,
         backend: Arc<dyn EnumBackend>,
-        deadline: Option<Instant>,
+        budget: Budget,
     ) -> CooperativeSolver {
         CooperativeSolver {
             deduction: DeductiveEngine::new(deduction_config),
             divider,
             backend,
-            deadline,
+            budget,
             max_nodes: 48,
             enumeration_only: false,
             deduction_only: false,
         }
+    }
+
+    /// The run's resource governor (cancel it to stop the solver).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Disables deduction and divide-and-conquer (plain height-based
@@ -142,8 +172,15 @@ impl CooperativeSolver {
         self
     }
 
-    fn timed_out(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+    /// Maps budget exhaustion to the outcome that should end the run.
+    fn interrupted(&self) -> Option<SynthOutcome> {
+        self.budget.exceeded().map(|e| {
+            if e.is_stop() {
+                SynthOutcome::Timeout
+            } else {
+                SynthOutcome::ResourceExhausted(e.to_string())
+            }
+        })
     }
 
     /// Runs Algorithm 1 on `problem`.
@@ -154,6 +191,14 @@ impl CooperativeSolver {
     /// Runs Algorithm 1 and reports the run statistics.
     pub fn solve_with_stats(&self, problem: &Problem) -> (SynthOutcome, CoopStats) {
         let mut stats = CoopStats::default();
+        let outcome = self.run(problem, &mut stats);
+        stats.smt_queries = self.budget.smt_queries();
+        stats.smt_retries = self.budget.smt_retries();
+        stats.fuel_spent = self.budget.fuel_spent();
+        (outcome, stats)
+    }
+
+    fn run(&self, problem: &Problem, stats: &mut CoopStats) -> SynthOutcome {
         let mut nodes: Vec<Node> = vec![Node {
             problem: problem.clone(),
             original: problem.clone(),
@@ -179,20 +224,26 @@ impl CooperativeSolver {
         ded_queue.push_back(0);
 
         loop {
-            if nodes[0].solution.is_some() {
-                let sol = nodes[0].solution.clone().expect("checked");
-                return (SynthOutcome::Solved(sol), stats);
+            if let Some(sol) = nodes[0].solution.clone() {
+                return SynthOutcome::Solved(sol);
             }
-            if self.timed_out() {
-                return (SynthOutcome::Timeout, stats);
+            if let Some(stop) = self.interrupted() {
+                return stop;
             }
             if let Some(i) = ded_queue.pop_front() {
                 if nodes[i].solution.is_some() || nodes[i].dead {
                     continue;
                 }
-                // Deduction first (lines 7–13).
+                // Deduction first (lines 7–13). A panicking rule is caught,
+                // recorded as a fault, and treated as "no rule applied".
                 if !self.enumeration_only {
-                    match self.deduction.deduct(&nodes[i].problem) {
+                    let deduced =
+                        catch_unwind(AssertUnwindSafe(|| self.deduction.deduct(&nodes[i].problem)))
+                            .unwrap_or_else(|payload| {
+                                stats.record_fault("deduct", i, &*payload);
+                                DeductOutcome::Unchanged
+                            });
+                    match deduced {
                         DeductOutcome::Solved(body) => {
                             let accepted = self.on_solved(
                                 i,
@@ -200,7 +251,7 @@ impl CooperativeSolver {
                                 &mut nodes,
                                 &mut ded_queue,
                                 &mut enum_queue,
-                                &mut stats,
+                                stats,
                             );
                             if accepted {
                                 stats.solved_by_deduction += 1;
@@ -221,19 +272,24 @@ impl CooperativeSolver {
                         DeductOutcome::Unsolvable => {
                             nodes[i].dead = true;
                             if i == 0 {
-                                return (
-                                    SynthOutcome::GaveUp("specification is unsatisfiable".into()),
-                                    stats,
+                                return SynthOutcome::GaveUp(
+                                    "specification is unsatisfiable".into(),
                                 );
                             }
                             continue;
                         }
                         DeductOutcome::Unchanged => {}
                     }
-                    // Divide (lines 10–13).
+                    // Divide (lines 10–13); a panicking strategy proposes
+                    // nothing.
                     if !nodes[i].divided && nodes.len() < self.max_nodes {
                         nodes[i].divided = true;
-                        let divisions = self.divider.divide(&nodes[i].problem);
+                        let divisions =
+                            catch_unwind(AssertUnwindSafe(|| self.divider.divide(&nodes[i].problem)))
+                                .unwrap_or_else(|payload| {
+                                    stats.record_fault("divide", i, &*payload);
+                                    Vec::new()
+                                });
                         for division in divisions {
                             if nodes.len() >= self.max_nodes {
                                 break;
@@ -281,7 +337,7 @@ impl CooperativeSolver {
                                     &mut nodes,
                                     &mut ded_queue,
                                     &mut enum_queue,
-                                    &mut stats,
+                                    stats,
                                 );
                             }
                         }
@@ -297,9 +353,14 @@ impl CooperativeSolver {
                 if nodes[i].solution.is_some() || nodes[i].dead || nodes[i].version != version {
                     continue;
                 }
-                let result = self
-                    .backend
-                    .solve_step(&nodes[i].problem, h, &nodes[i].examples);
+                // Enumeration step, panic-isolated: a crashing backend is
+                // recorded as a fault and the step counts as failed, so the
+                // queue (and the sibling subproblems) keep running.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    self.backend
+                        .solve_step(&nodes[i].problem, h, &nodes[i].examples)
+                }))
+                .unwrap_or_else(|payload| FixedHeightResult::Fault(panic_message(&*payload)));
                 match result {
                     FixedHeightResult::Solved(body) => {
                         let accepted = self.on_solved(
@@ -308,7 +369,7 @@ impl CooperativeSolver {
                             &mut nodes,
                             &mut ded_queue,
                             &mut enum_queue,
-                            &mut stats,
+                            stats,
                         );
                         if accepted {
                             stats.solved_by_enumeration += 1;
@@ -321,7 +382,26 @@ impl CooperativeSolver {
                             }
                         }
                     }
-                    FixedHeightResult::Timeout => return (SynthOutcome::Timeout, stats),
+                    FixedHeightResult::Timeout => {
+                        // The backend saw the shared budget trip; let the
+                        // loop head translate it (timeout vs exhaustion).
+                        if let Some(stop) = self.interrupted() {
+                            return stop;
+                        }
+                        return SynthOutcome::Timeout;
+                    }
+                    FixedHeightResult::Fault(message) => {
+                        stats.faults.push(EngineFault {
+                            stage: "enumerate",
+                            node: i,
+                            message,
+                        });
+                        // The step counts as failed; the queue continues.
+                        let next = h + self.backend.stride();
+                        if next <= self.backend.max_steps() {
+                            enum_queue.push(Reverse((next, usize::MAX - i, i, version)));
+                        }
+                    }
                     FixedHeightResult::NoSolution | FixedHeightResult::Failed(_) => {
                         let next = h + self.backend.stride();
                         if next <= self.backend.max_steps() {
@@ -331,7 +411,7 @@ impl CooperativeSolver {
                 }
                 continue;
             }
-            return (SynthOutcome::GaveUp("search space exhausted".into()), stats);
+            return SynthOutcome::GaveUp("search space exhausted".into());
         }
     }
 
@@ -352,7 +432,7 @@ impl CooperativeSolver {
         for w in nodes[i].wrappers.iter().rev() {
             body = w(body);
         }
-        if !verify_solution(&nodes[i].original, &body, self.deadline) {
+        if !verify_solution(&nodes[i].original, &body, Some(&self.budget)) {
             // A wrapper or rule produced an unverifiable candidate: treat
             // the node as unsolved and let enumeration continue.
             return false;
@@ -395,7 +475,18 @@ impl CooperativeSolver {
             return;
         }
         stats.type_b_fired += 1;
-        match division.type_b(&nodes[parent].problem, child_solution) {
+        // Type-B recombination is panic-isolated like every other step.
+        let recombined = catch_unwind(AssertUnwindSafe(|| {
+            division.type_b(&nodes[parent].problem, child_solution)
+        }));
+        let recombined = match recombined {
+            Ok(o) => o,
+            Err(payload) => {
+                stats.record_fault("type-b", parent, &*payload);
+                return;
+            }
+        };
+        match recombined {
             TypeBOutcome::Solved(body) => {
                 self.on_solved(parent, body, nodes, ded_queue, enum_queue, stats);
             }
@@ -443,27 +534,30 @@ mod tests {
     use crate::{DivideConfig, FixedHeightBackend, FixedHeightConfig};
     use sygus_parser::parse_problem;
 
-    fn coop() -> CooperativeSolver {
-        // Tests run with a generous safety deadline so a regression can
-        // never hang the suite.
-        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    fn coop_with_budget(budget: Budget) -> CooperativeSolver {
         CooperativeSolver::new(
             DeductionConfig {
-                deadline: Some(deadline),
+                budget: budget.clone(),
             },
             Divider::new(DivideConfig {
-                deadline: Some(deadline),
+                budget: budget.clone(),
                 ..DivideConfig::default()
             }),
             Arc::new(FixedHeightBackend::new(
                 FixedHeightConfig {
-                    deadline: Some(deadline),
+                    budget: budget.clone(),
                     ..FixedHeightConfig::default()
                 },
                 5,
             )),
-            Some(deadline),
+            budget,
         )
+    }
+
+    fn coop() -> CooperativeSolver {
+        // Tests run with a generous safety deadline so a regression can
+        // never hang the suite.
+        coop_with_budget(Budget::from_timeout(std::time::Duration::from_secs(120)))
     }
 
     fn assert_solves(src: &str) -> Term {
@@ -589,24 +683,40 @@ mod tests {
              (constraint (= (f x) x))(check-synth)",
         )
         .unwrap();
-        let solver = CooperativeSolver::new(
-            DeductionConfig {
-                deadline: Some(Instant::now()),
-            },
-            Divider::new(DivideConfig {
-                deadline: Some(Instant::now()),
-                ..DivideConfig::default()
-            }),
-            Arc::new(FixedHeightBackend::new(
-                FixedHeightConfig {
-                    deadline: Some(Instant::now()),
-                    ..FixedHeightConfig::default()
-                },
-                5,
-            )),
-            Some(Instant::now()),
-        );
+        let solver = coop_with_budget(Budget::from_timeout(std::time::Duration::ZERO));
         assert_eq!(solver.solve(&p), SynthOutcome::Timeout);
+    }
+
+    #[test]
+    fn cancellation_maps_to_timeout() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+             (constraint (= (f x) x))(check-synth)",
+        )
+        .unwrap();
+        let solver = coop();
+        solver.budget().cancel();
+        assert_eq!(solver.solve(&p), SynthOutcome::Timeout);
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports_resource_outcome() {
+        // Multi-invocation spec forces enumeration; one fuel unit cannot
+        // finish it, so the run must end in ResourceExhausted (not hang,
+        // not claim a timeout).
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)\
+             (declare-var a Int)(declare-var b Int)\
+             (constraint (= (f a) (f b)))(check-synth)",
+        )
+        .unwrap();
+        let budget = Budget::unlimited().with_fuel(1);
+        let (outcome, stats) = coop_with_budget(budget).solve_with_stats(&p);
+        assert!(
+            matches!(outcome, SynthOutcome::ResourceExhausted(_)),
+            "{outcome:?}"
+        );
+        assert!(stats.fuel_spent >= 1, "{stats:?}");
     }
 
     #[test]

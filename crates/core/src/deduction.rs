@@ -13,13 +13,16 @@
 
 use smtkit::{SmtConfig, SmtSolver, Validity};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::time::Instant;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{
     conjuncts, disjuncts, nnf, simplify, FuncDef, Op, Problem, Sort, Symbol, Term, TermNode,
 };
 
 /// Outcome of a deduction pass.
 #[derive(Clone)]
+// Short-lived return value, never stored in bulk; boxing the large variant
+// would churn every match site for no measurable win.
+#[allow(clippy::large_enum_variant)]
 pub enum DeductOutcome {
     /// The problem is completely solved: a verified body over the
     /// parameters.
@@ -57,8 +60,9 @@ impl std::fmt::Debug for DeductOutcome {
 /// Configuration for the deductive engine.
 #[derive(Clone, Debug, Default)]
 pub struct DeductionConfig {
-    /// Absolute deadline for the embedded SMT side-condition checks.
-    pub deadline: Option<Instant>,
+    /// Shared resource governor for the rewrite loop and the embedded SMT
+    /// side-condition checks.
+    pub budget: Budget,
 }
 
 /// The deductive synthesis engine (`deduct` in Algorithm 1).
@@ -84,7 +88,7 @@ impl DeductiveEngine {
 
     fn smt(&self) -> SmtSolver {
         SmtSolver::with_config(SmtConfig {
-            deadline: self.config.deadline,
+            budget: self.config.budget.clone(),
             ..SmtConfig::default()
         })
     }
@@ -104,10 +108,8 @@ impl DeductiveEngine {
         }
         let mut changed_any = false;
         for _round in 0..32 {
-            if let Some(d) = self.config.deadline {
-                if Instant::now() >= d {
-                    break;
-                }
+            if self.config.budget.charge_fuel(1).is_err() {
+                break;
             }
             let mut changed = false;
             changed |= cnf_factor(f, &mut cs);
@@ -211,7 +213,7 @@ impl DeductiveEngine {
 
     /// GeMin / LeMax: a disjunction whose disjuncts all bound the same
     /// application in the same direction collapses.
-    fn merge_disjunction_bounds(&self, f: Symbol, cs: &mut Vec<Term>) -> bool {
+    fn merge_disjunction_bounds(&self, f: Symbol, cs: &mut [Term]) -> bool {
         let mut changed = false;
         for c in cs.iter_mut() {
             let ds = disjuncts(c);
@@ -276,7 +278,7 @@ impl DeductiveEngine {
 
     /// IntEq: a defining conjunct `f(y) = e` (with `y` distinct variables
     /// covering `e`) substitutes into every other conjunct.
-    fn substitute_definitions(&self, f: Symbol, cs: &mut Vec<Term>) -> bool {
+    fn substitute_definitions(&self, f: Symbol, cs: &mut [Term]) -> bool {
         let mut changed = false;
         for i in 0..cs.len() {
             let Some(b) = as_f_bound(f, &cs[i]) else {
@@ -288,11 +290,11 @@ impl DeductiveEngine {
             let Some(def) = invertible_definition(f, &b.app, &b.rhs) else {
                 continue;
             };
-            for j in 0..cs.len() {
-                if i == j || !cs[j].applies(f) {
+            for (j, cj) in cs.iter_mut().enumerate() {
+                if i == j || !cj.applies(f) {
                     continue;
                 }
-                cs[j] = simplify(&cs[j].instantiate_func(f, &def));
+                *cj = simplify(&cj.instantiate_func(f, &def));
                 changed = true;
             }
         }
@@ -301,7 +303,7 @@ impl DeductiveEngine {
 
     /// NotEq: a disjunction `f ≥ e1 ∨ f ≤ e2` with `T ⊨ e1 = e2 + 2`
     /// collapses to the single literal `f ≠ e1 − 1` (Figure 8).
-    fn noteq_rule(&self, f: Symbol, cs: &mut Vec<Term>) -> bool {
+    fn noteq_rule(&self, f: Symbol, cs: &mut [Term]) -> bool {
         for c in cs.iter_mut() {
             let ds = disjuncts(c);
             if ds.len() != 2 {
@@ -331,7 +333,7 @@ impl DeductiveEngine {
 
     /// IntNeq: inside a disjunctive conjunct `f(y) ≠ e ∨ Ψ`, the remaining
     /// disjuncts may assume `f = λy.e` (Figure 7).
-    fn intneq_rule(&self, f: Symbol, cs: &mut Vec<Term>) -> bool {
+    fn intneq_rule(&self, f: Symbol, cs: &mut [Term]) -> bool {
         let mut changed = false;
         for c in cs.iter_mut() {
             let ds = disjuncts(c);
@@ -626,7 +628,7 @@ fn as_f_bound(f: Symbol, c: &Term) -> Option<FBound> {
 }
 
 /// The application term itself, if `t` is exactly `f(…)`.
-fn as_f_application<'a>(f: Symbol, t: &'a Term) -> Option<&'a Term> {
+fn as_f_application(f: Symbol, t: &Term) -> Option<&Term> {
     match t.node() {
         TermNode::App(Op::Apply(g, _), _) if *g == f => Some(t),
         _ => None,

@@ -9,7 +9,7 @@
 use crate::deduction::match_into_grammar;
 use smtkit::{SmtConfig, SmtSolver, Validity};
 use std::sync::Arc;
-use std::time::Instant;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{
     conjuncts, simplify, FuncDef, Grammar, GrammarFlavor, Op, Problem, Sort, Symbol, SynthFun,
     Term, TermNode,
@@ -60,6 +60,9 @@ pub enum TypeBRecipe {
 }
 
 /// Result of applying a Type-B recipe.
+// Short-lived return value, never stored in bulk; boxing the large variant
+// would churn every match site for no measurable win.
+#[allow(clippy::large_enum_variant)]
 pub enum TypeBOutcome {
     /// The parent problem is already solved by this body.
     Solved(Term),
@@ -165,8 +168,8 @@ pub struct DivideConfig {
     /// Whether fixed-term division is enabled (needs the CLIA grammar so
     /// the `ite` combination stays inside the grammar).
     pub fixed_term: bool,
-    /// Absolute deadline for side-condition checks.
-    pub deadline: Option<Instant>,
+    /// Shared resource governor for side-condition checks.
+    pub budget: Budget,
 }
 
 impl Default for DivideConfig {
@@ -174,7 +177,7 @@ impl Default for DivideConfig {
         DivideConfig {
             max_subterm_divisions: 4,
             fixed_term: true,
-            deadline: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -392,7 +395,7 @@ impl Divider {
         // the role of the "failed CEGIS candidate" of Section 4.2.
         let fh = crate::FixedHeightSolver::new(crate::FixedHeightConfig {
             max_cegis_rounds: 10,
-            deadline: self.config.deadline,
+            budget: self.config.budget.clone(),
             ..crate::FixedHeightConfig::default()
         });
         let Some(candidate) = fh.propose_candidate(problem, 2) else {
@@ -539,10 +542,11 @@ fn guard_over_params(problem: &Problem, candidate: &Term) -> Option<Term> {
 }
 
 /// Verifies a recombined solution against the parent spec (used by the
-/// cooperative loop before accepting a Type-B result).
-pub fn verify_solution(problem: &Problem, body: &Term, deadline: Option<Instant>) -> bool {
+/// cooperative loop before accepting a Type-B result). `None` runs
+/// unbounded.
+pub fn verify_solution(problem: &Problem, body: &Term, budget: Option<&Budget>) -> bool {
     let smt = SmtSolver::with_config(SmtConfig {
-        deadline,
+        budget: budget.cloned().unwrap_or_default(),
         ..SmtConfig::default()
     });
     let formula = problem.verification_formula(body);

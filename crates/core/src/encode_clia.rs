@@ -43,7 +43,7 @@ impl CliaTreeEncoding {
     ///
     /// Panics if `height` is 0 or absurdly large (> 24).
     pub fn new(height: usize, params: &[Symbol], ret: Sort) -> CliaTreeEncoding {
-        assert!(height >= 1 && height <= 24, "unreasonable tree height");
+        assert!((1..=24).contains(&height), "unreasonable tree height");
         let nodes = tree_nodes(height);
         let coeffs = (0..nodes)
             .map(|i| {

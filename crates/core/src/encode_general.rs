@@ -182,11 +182,11 @@ impl GeneralEncoding {
             }
         }
         // Allocate slots.
-        for pos in 0..positions.len() {
-            let depth = positions[pos].depth;
+        for position in positions.iter_mut() {
+            let depth = position.depth;
             let mut slots = Vec::with_capacity(n_nts);
-            for nt in 0..n_nts {
-                let feas = feasible_at[depth][nt].clone();
+            for (nt, feasible) in feasible_at[depth].iter().enumerate().take(n_nts) {
+                let feas = feasible.clone();
                 if feas.is_empty() {
                     slots.push(None);
                     continue;
@@ -204,7 +204,7 @@ impl GeneralEncoding {
                     consts,
                 }));
             }
-            positions[pos].slots = slots;
+            position.slots = slots;
         }
         Some(GeneralEncoding {
             grammar,

@@ -4,19 +4,25 @@
 
 use crate::{CliaTreeEncoding, GeneralEncoding};
 use enum_synth::counterexample_env;
-use parking_lot::Mutex;
 use smtkit::{SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard};
+use sygus_ast::runtime::{Budget, BudgetError};
 use sygus_ast::{simplify, Env, GrammarFlavor, Op, Problem, Sort, Symbol, Term, TermNode, Value};
 
 /// A thread-shared counterexample pool (Section 5.1: parallel heights share
-/// counterexamples).
-pub type ExamplePool = Mutex<Vec<Env>>;
+/// counterexamples). Locking is poison-tolerant: a panicking worker (caught
+/// and recorded as an engine fault upstream) must not wedge its siblings or
+/// a later reuse of the pool, and the pool's contents — a set of observed
+/// counterexamples — stay meaningful across an interrupted push.
+#[derive(Debug, Default)]
+pub struct ExamplePool(Mutex<Vec<Env>>);
 
-/// A cooperative cancellation flag shared between parallel height workers:
-/// the first solver to finish raises it and its siblings stop at their next
-/// checkpoint.
-pub type CancelFlag = std::sync::Arc<std::sync::atomic::AtomicBool>;
+impl ExamplePool {
+    /// Locks the pool, recovering from a poisoned lock.
+    pub fn lock(&self) -> MutexGuard<'_, Vec<Env>> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
 
 /// Configuration for the fixed-height engine.
 #[derive(Clone, Debug)]
@@ -28,10 +34,8 @@ pub struct FixedHeightConfig {
     pub const_bound: i64,
     /// Maximum CEGIS rounds per `(height, bound)` pair.
     pub max_cegis_rounds: usize,
-    /// Absolute deadline.
-    pub deadline: Option<Instant>,
-    /// Cross-thread cancellation (treated like a deadline when raised).
-    pub cancel: Option<CancelFlag>,
+    /// Shared resource governor (deadline, cancellation, fuel).
+    pub budget: Budget,
 }
 
 impl Default for FixedHeightConfig {
@@ -40,8 +44,7 @@ impl Default for FixedHeightConfig {
             coeff_bounds: vec![1, 2],
             const_bound: 16,
             max_cegis_rounds: 160,
-            deadline: None,
-            cancel: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -94,6 +97,9 @@ pub enum FixedHeightResult {
     /// target function, non-integer parameters for the CLIA tree, solver
     /// resource limits).
     Failed(String),
+    /// A backend or worker panicked; the payload was contained and is
+    /// reported upstream as an [`EngineFault`](crate::EngineFault).
+    Fault(String),
 }
 
 /// The fixed-height synthesizer: decision-tree normal form for the full
@@ -146,13 +152,16 @@ impl FixedHeightSolver {
         &self.config
     }
 
-    fn timed_out(&self) -> bool {
-        self.config.deadline.is_some_and(|d| Instant::now() >= d)
-            || self
-                .config
-                .cancel
-                .as_ref()
-                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    /// Polls the budget; `Some(result)` means the engine must stop now.
+    fn interrupted(&self) -> Option<FixedHeightResult> {
+        match self.config.budget.exceeded() {
+            None => None,
+            Some(e) if e.is_stop() => Some(FixedHeightResult::Timeout),
+            Some(e @ (BudgetError::FuelExhausted | BudgetError::MemoryExhausted)) => {
+                Some(FixedHeightResult::Failed(format!("budget: {e}")))
+            }
+            Some(_) => Some(FixedHeightResult::Timeout),
+        }
     }
 
     /// Algorithm 2: searches for a solution whose syntax tree has height
@@ -207,17 +216,17 @@ impl FixedHeightSolver {
             }
         }
         let smt = SmtSolver::with_config(SmtConfig {
-            deadline: cfg.deadline,
-            cancel: cfg.cancel.clone(),
+            budget: cfg.budget.clone(),
             ..SmtConfig::default()
         });
 
         for &coeff_bound in &cfg.coeff_bounds {
             let mut rounds = 0;
             loop {
-                if self.timed_out() {
-                    return FixedHeightResult::Timeout;
+                if let Some(stop) = self.interrupted() {
+                    return stop;
                 }
+                let _ = cfg.budget.charge_fuel(1);
                 rounds += 1;
                 if rounds > cfg.max_cegis_rounds {
                     return FixedHeightResult::Failed("CEGIS round limit".into());
@@ -292,17 +301,17 @@ impl FixedHeightSolver {
             }
         }
         let smt = SmtSolver::with_config(SmtConfig {
-            deadline: cfg.deadline,
-            cancel: cfg.cancel.clone(),
+            budget: cfg.budget.clone(),
             ..SmtConfig::default()
         });
         // Full tree of height h has 2^h − 1 nodes; cap the size budget there.
         let max_size = ((1usize << height.min(6)) - 1).min(31);
         let mut rounds = 0;
         loop {
-            if self.timed_out() {
-                return FixedHeightResult::Timeout;
+            if let Some(stop) = self.interrupted() {
+                return stop;
             }
+            let _ = cfg.budget.charge_fuel(1);
             rounds += 1;
             if rounds > cfg.max_cegis_rounds {
                 return FixedHeightResult::Failed("CEGIS round limit".into());
@@ -318,8 +327,8 @@ impl FixedHeightSolver {
             let mut work_defs = problem.definitions.clone();
             let mut candidate: Option<Term> = None;
             'search: for size in 1..=max_size {
-                if self.timed_out() {
-                    return FixedHeightResult::Timeout;
+                if let Some(stop) = self.interrupted() {
+                    return stop;
                 }
                 for t in en.terms_of_size(size).to_vec() {
                     if t.height() > height {
@@ -392,7 +401,7 @@ impl FixedHeightSolver {
         }
         conjuncts.push(encoder.bounds(*cfg.coeff_bounds.last()?, cfg.const_bound));
         let smt = SmtSolver::with_config(SmtConfig {
-            deadline: cfg.deadline,
+            budget: cfg.budget.clone(),
             ..SmtConfig::default()
         });
         match smt.check(&Term::and(conjuncts)) {
@@ -661,7 +670,7 @@ mod tests {
     #[test]
     fn timeout_respected() {
         let cfg = FixedHeightConfig {
-            deadline: Some(Instant::now()),
+            budget: Budget::with_deadline(std::time::Instant::now()),
             ..FixedHeightConfig::default()
         };
         let p = parse_problem(

@@ -12,6 +12,7 @@ mod encode_general;
 mod fixed_height;
 mod invariant;
 mod parallel;
+pub mod runtime;
 mod simplify_solution;
 mod solver;
 
@@ -22,13 +23,13 @@ pub use divide::{verify_solution, DivideConfig, Divider, Division, TypeBOutcome,
 pub use encode_clia::{tree_nodes, CliaTreeEncoding};
 pub use encode_general::GeneralEncoding;
 pub use fixed_height::{
-    default_examples, CancelFlag, ExamplePool, FixedHeightConfig, FixedHeightResult,
-    FixedHeightSolver,
+    default_examples, ExamplePool, FixedHeightConfig, FixedHeightResult, FixedHeightSolver,
 };
 pub use invariant::{
     fast_trans, recognize_translation, strengthen_with_summary, summarize, Translation,
 };
 pub use parallel::{BottomUpBackend, EnumBackend, FixedHeightBackend, ParallelHeightBackend};
+pub use runtime::{Budget, BudgetError, EngineFault};
 pub use simplify_solution::{simplify_solution, SimplifyConfig};
 pub use solver::{
     competition_solvers, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,

@@ -2,9 +2,10 @@
 //! parallelized height search of Section 5.1 and the EUSolver-backed
 //! variant used by the Figure 16 ablation.
 
+use crate::runtime::{panic_message, Budget};
 use crate::{ExamplePool, FixedHeightConfig, FixedHeightResult, FixedHeightSolver};
 use enum_synth::{BottomUpConfig, BottomUpSolver, SynthStatus};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use sygus_ast::{Problem, Term};
 
 /// An enumeration backend pluggable into the cooperative loop: called with
@@ -107,21 +108,34 @@ impl EnumBackend for ParallelHeightBackend {
             let solver = FixedHeightSolver::new(self.config.clone());
             return solver.solve_at_height(problem, height, examples);
         }
-        let cancel: crate::CancelFlag =
-            std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Sibling cancellation uses a child budget: cancelling the band
+        // stops only the band's workers, not the surrounding run; the run's
+        // own deadline/fuel/cancellation still apply through the parent
+        // link.
+        let band: Budget = self.config.budget.child();
         let results: Vec<(usize, FixedHeightResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = heights
                 .iter()
                 .map(|&h| {
                     let mut cfg = self.config.clone();
-                    cfg.cancel = Some(cancel.clone());
-                    let cancel = cancel.clone();
+                    cfg.budget = band.clone();
+                    let band = band.clone();
                     scope.spawn(move || {
-                        let solver = FixedHeightSolver::new(cfg);
-                        let r = solver.solve_at_height(problem, h, examples);
+                        // A panicking worker is contained here: siblings keep
+                        // running and the payload is reported as a fault.
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            let solver = FixedHeightSolver::new(cfg);
+                            solver.solve_at_height(problem, h, examples)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            FixedHeightResult::Fault(format!(
+                                "height-{h} worker panicked: {}",
+                                panic_message(&*payload)
+                            ))
+                        });
                         if matches!(r, FixedHeightResult::Solved(_)) {
                             // First solution cancels the sibling heights.
-                            cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+                            band.cancel();
                         }
                         (h, r)
                     })
@@ -129,14 +143,27 @@ impl EnumBackend for ParallelHeightBackend {
                 .collect();
             handles
                 .into_iter()
-                .map(|j| j.join().expect("height worker panicked"))
+                .map(|j| {
+                    // The closure catches its own panics, so join can only
+                    // fail on catastrophic unwinds; contain those too.
+                    j.join().unwrap_or_else(|payload| {
+                        (
+                            usize::MAX,
+                            FixedHeightResult::Fault(format!(
+                                "worker join failed: {}",
+                                panic_message(&*payload)
+                            )),
+                        )
+                    })
+                })
                 .collect()
         });
-        // Prefer the smallest solved height; then propagate timeouts; then
-        // failures; else no solution in this band.
+        // Prefer the smallest solved height; then surface faults; then
+        // propagate timeouts; then failures; else no solution in this band.
         let mut best: Option<(usize, Term)> = None;
         let mut timeout = false;
         let mut failure: Option<String> = None;
+        let mut fault: Option<String> = None;
         for (h, r) in results {
             match r {
                 FixedHeightResult::Solved(t) => match &best {
@@ -145,13 +172,15 @@ impl EnumBackend for ParallelHeightBackend {
                 },
                 FixedHeightResult::Timeout => timeout = true,
                 FixedHeightResult::Failed(m) => failure = Some(m),
+                FixedHeightResult::Fault(m) => fault = Some(m),
                 FixedHeightResult::NoSolution => {}
             }
         }
-        match best {
-            Some((_, t)) => FixedHeightResult::Solved(t),
-            None if timeout => FixedHeightResult::Timeout,
-            None => match failure {
+        match (best, fault) {
+            (Some((_, t)), _) => FixedHeightResult::Solved(t),
+            (None, Some(m)) => FixedHeightResult::Fault(m),
+            (None, None) if timeout => FixedHeightResult::Timeout,
+            (None, None) => match failure {
                 Some(m) => FixedHeightResult::Failed(m),
                 None => FixedHeightResult::NoSolution,
             },
@@ -186,9 +215,9 @@ impl BottomUpBackend {
         BottomUpBackend { config }
     }
 
-    /// Sets the deadline on the embedded solver.
-    pub fn with_deadline(mut self, deadline: Option<Instant>) -> BottomUpBackend {
-        self.config.deadline = deadline;
+    /// Sets the resource budget on the embedded solver.
+    pub fn with_budget(mut self, budget: Budget) -> BottomUpBackend {
+        self.config.budget = budget;
         self
     }
 }
@@ -233,7 +262,7 @@ mod tests {
 
     fn deadline_cfg(secs: u64) -> FixedHeightConfig {
         FixedHeightConfig {
-            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(secs)),
+            budget: Budget::from_timeout(std::time::Duration::from_secs(secs)),
             ..FixedHeightConfig::default()
         }
     }

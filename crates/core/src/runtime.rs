@@ -1,0 +1,75 @@
+//! Engine-level resource governance and fault isolation.
+//!
+//! The shared [`Budget`] handle (defined in `sygus-ast` so every crate can
+//! use it without dependency cycles) is re-exported here; [`EngineFault`]
+//! records a panic that the cooperative driver caught and contained.
+
+pub use sygus_ast::runtime::{Budget, BudgetError};
+
+use std::any::Any;
+use std::fmt;
+
+/// A panic caught and contained by the cooperative driver. The run
+/// continues; the fault is reported in
+/// [`CoopStats::faults`](crate::CoopStats::faults) and reflected in the CLI
+/// exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineFault {
+    /// The engine stage that panicked: `"deduct"`, `"divide"`,
+    /// `"enumerate"`, `"type-b"`, or `"worker"`.
+    pub stage: &'static str,
+    /// Subproblem-graph node index (or worker index for `"worker"`) the
+    /// stage was operating on.
+    pub node: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault in {} (node {}): {}",
+            self.stage, self.node, self.message
+        )
+    }
+}
+
+/// Renders a `catch_unwind` payload as text. Panics raised via `panic!`
+/// carry a `&str` or `String`; anything else gets a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let p = catch_unwind(AssertUnwindSafe(|| panic!("static str"))).unwrap_err();
+        assert_eq!(panic_message(&*p), "static str");
+        let n = 7;
+        let p = catch_unwind(AssertUnwindSafe(|| panic!("formatted {n}"))).unwrap_err();
+        assert_eq!(panic_message(&*p), "formatted 7");
+        let p = catch_unwind(AssertUnwindSafe(|| std::panic::panic_any(42u32))).unwrap_err();
+        assert_eq!(panic_message(&*p), "non-string panic payload");
+    }
+
+    #[test]
+    fn fault_display_is_readable() {
+        let f = EngineFault {
+            stage: "enumerate",
+            node: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(f.to_string(), "fault in enumerate (node 3): boom");
+    }
+}

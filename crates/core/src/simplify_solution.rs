@@ -5,15 +5,15 @@
 //! without changing semantics, which is what Table 1 measures.
 
 use smtkit::{SmtConfig, SmtSolver, Validity};
-use std::time::Instant;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{simplify, Op, Term, TermNode};
 
 /// Configuration for the solution simplifier.
 #[derive(Clone, Debug, Default)]
 pub struct SimplifyConfig {
-    /// Deadline for the embedded SMT queries; on timeout the term is
+    /// Budget for the embedded SMT queries; on exhaustion the term is
     /// returned as-is (simplification is best-effort).
-    pub deadline: Option<Instant>,
+    pub budget: Budget,
 }
 
 /// Simplifies a solution body semantically. The result is equivalent to the
@@ -40,7 +40,7 @@ pub struct SimplifyConfig {
 /// ```
 pub fn simplify_solution(body: &Term, config: &SimplifyConfig) -> Term {
     let smt = SmtSolver::with_config(SmtConfig {
-        deadline: config.deadline,
+        budget: config.budget.clone(),
         ..SmtConfig::default()
     });
     let folded = simplify(body);

@@ -2,6 +2,7 @@
 //! system compared in the paper's evaluation, behind one [`SygusSolver`]
 //! trait the experiment harness drives uniformly.
 
+use crate::runtime::Budget;
 use crate::{
     strengthen_with_summary, BaselineConfig, BottomUpBackend, CegqiSolver, CoopStats,
     CooperativeSolver, DeductionConfig, DivideConfig, Divider, FixedHeightBackend,
@@ -9,7 +10,7 @@ use crate::{
 };
 use enum_synth::{BottomUpConfig, BottomUpSolver, SynthStatus};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use sygus_ast::Problem;
 
 /// A uniform interface over every solver in the evaluation.
@@ -48,6 +49,11 @@ pub struct DryadSynthConfig {
     /// Whether invariant problems are strengthened with the loop summary
     /// (Section 6's `fast-trans` reduction) when recognizable.
     pub loop_summarization: bool,
+    /// Optional fuel cap: the run stops with
+    /// [`SynthOutcome::ResourceExhausted`] after this many governed engine
+    /// steps (CEGIS rounds, enumeration layers, deduction passes), even if
+    /// wall-clock time remains.
+    pub fuel: Option<u64>,
 }
 
 impl Default for DryadSynthConfig {
@@ -63,6 +69,7 @@ impl Default for DryadSynthConfig {
             threads,
             max_nodes: 48,
             loop_summarization: true,
+            fuel: None,
         }
     }
 }
@@ -101,6 +108,16 @@ impl DryadSynth {
         &self.config
     }
 
+    /// Builds the run budget for a wall-clock timeout, applying the
+    /// configured fuel cap when present.
+    fn run_budget(&self, timeout: Duration) -> Budget {
+        let budget = Budget::from_timeout(timeout);
+        match self.config.fuel {
+            Some(fuel) => budget.with_fuel(fuel),
+            None => budget,
+        }
+    }
+
     /// Solves and also reports cooperative-run statistics (for the
     /// ablation figures).
     pub fn solve_with_stats(
@@ -108,19 +125,24 @@ impl DryadSynth {
         problem: &Problem,
         timeout: Duration,
     ) -> (SynthOutcome, CoopStats) {
-        let deadline = Instant::now() + timeout;
+        self.solve_governed(problem, self.run_budget(timeout))
+    }
+
+    /// Solves under an explicit [`Budget`], the single governor shared by
+    /// every engine layer (deduction, division, enumeration, SMT).
+    pub fn solve_governed(&self, problem: &Problem, budget: Budget) -> (SynthOutcome, CoopStats) {
         let mut problem = problem.clone();
         if self.config.loop_summarization && self.config.engine != Engine::HeightEnumOnly {
             strengthen_with_summary(&mut problem);
         }
         let fh = FixedHeightConfig {
-            deadline: Some(deadline),
+            budget: budget.clone(),
             ..FixedHeightConfig::default()
         };
         let backend: Arc<dyn crate::EnumBackend> = match self.config.engine {
-            Engine::BottomUpBacked => Arc::new(
-                BottomUpBackend::new(BottomUpConfig::default()).with_deadline(Some(deadline)),
-            ),
+            Engine::BottomUpBacked => {
+                Arc::new(BottomUpBackend::new(BottomUpConfig::default()).with_budget(budget.clone()))
+            }
             _ if self.config.threads > 1 => Arc::new(ParallelHeightBackend::new(
                 fh,
                 self.config.max_height,
@@ -130,14 +152,14 @@ impl DryadSynth {
         };
         let solver = CooperativeSolver::new(
             DeductionConfig {
-                deadline: Some(deadline),
+                budget: budget.clone(),
             },
             Divider::new(DivideConfig {
-                deadline: Some(deadline),
+                budget: budget.clone(),
                 ..DivideConfig::default()
             }),
             backend,
-            Some(deadline),
+            budget.clone(),
         )
         .with_max_nodes(self.config.max_nodes);
         let solver = match self.config.engine {
@@ -146,19 +168,19 @@ impl DryadSynth {
             _ => solver,
         };
         let (outcome, stats) = solver.solve_with_stats(&problem);
-        // Semantic post-simplification (best-effort, deadline-bounded);
+        // Semantic post-simplification (best-effort, budget-bounded);
         // keep the result only when it still verifies and stays in grammar.
         let outcome = match outcome {
             SynthOutcome::Solved(body) => {
                 let slim = crate::simplify_solution(
                     &body,
                     &crate::SimplifyConfig {
-                        deadline: Some(deadline),
+                        budget: budget.clone(),
                     },
                 );
                 if slim.size() < body.size()
                     && problem.grammar_admits(&slim)
-                    && crate::verify_solution(&problem, &slim, Some(deadline))
+                    && crate::verify_solution(&problem, &slim, Some(&budget))
                 {
                     SynthOutcome::Solved(slim)
                 } else {
@@ -197,7 +219,7 @@ impl SygusSolver for EuSolverBaseline {
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
         let cfg = BottomUpConfig {
-            deadline: Some(Instant::now() + timeout),
+            budget: Budget::from_timeout(timeout),
             ..BottomUpConfig::default()
         };
         match BottomUpSolver::new(cfg).solve(problem) {
@@ -220,7 +242,7 @@ impl SygusSolver for Cvc4Baseline {
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
         CegqiSolver::new(BaselineConfig {
-            deadline: Some(Instant::now() + timeout),
+            budget: Budget::from_timeout(timeout),
         })
         .solve(problem)
     }
@@ -237,7 +259,7 @@ impl SygusSolver for LoopInvGenBaseline {
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
         HoudiniInvSolver::new(BaselineConfig {
-            deadline: Some(Instant::now() + timeout),
+            budget: Budget::from_timeout(timeout),
         })
         .solve(problem)
     }
@@ -302,6 +324,20 @@ mod tests {
             LoopInvGenBaseline.solve_problem(&p, Duration::from_secs(5)),
             SynthOutcome::GaveUp(_)
         ));
+    }
+
+    #[test]
+    fn fuel_cap_reports_resource_exhaustion() {
+        let p = parse_problem(MAX2).unwrap();
+        let solver = DryadSynth::new(DryadSynthConfig {
+            threads: 1,
+            fuel: Some(1),
+            ..DryadSynthConfig::default()
+        });
+        match solver.solve_problem(&p, Duration::from_secs(30)) {
+            SynthOutcome::ResourceExhausted(_) => {}
+            other => panic!("expected fuel exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

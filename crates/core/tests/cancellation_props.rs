@@ -1,0 +1,117 @@
+//! Property tests for the resource-governed runtime: on randomized CLIA
+//! benchmarks, cancelling the run budget stops the solver promptly, and a
+//! cancelled or exhausted run leaves no poisoned state behind — the same
+//! solver instance must still solve on the next, healthy budget.
+
+use dryadsynth::{Budget, DryadSynth, DryadSynthConfig, SynthOutcome};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use sygus_parser::parse_problem;
+
+/// A random linear CLIA spec `f(x, y) = a·x + b·y + c`, optionally stated
+/// through a redundant pair of inequalities instead of one equality.
+fn linear_spec(a: i64, b: i64, c: i64, as_bounds: bool) -> String {
+    let rhs = format!("(+ (+ (* {a} x) (* {b} y)) {c})");
+    let body = if as_bounds {
+        format!("(constraint (>= (f x y) {rhs}))(constraint (<= (f x y) {rhs}))")
+    } else {
+        format!("(constraint (= (f x y) {rhs}))")
+    };
+    format!(
+        "(set-logic LIA)(synth-fun f ((x Int) (y Int)) Int)\
+         (declare-var x Int)(declare-var y Int)\
+         {body}\
+         (check-synth)"
+    )
+}
+
+fn solver() -> DryadSynth {
+    DryadSynth::new(DryadSynthConfig {
+        threads: 1,
+        ..DryadSynthConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cancelling mid-run returns promptly: well under the run's nominal
+    /// deadline, even though every engine layer is still working.
+    #[test]
+    fn cancellation_is_prompt(
+        a in -3i64..=3,
+        b in -3i64..=3,
+        c in -5i64..=5,
+        as_bounds in any::<bool>(),
+        delay_ms in 1u64..=40,
+    ) {
+        let p = parse_problem(&linear_spec(a, b, c, as_bounds)).unwrap();
+        let budget = Budget::from_timeout(Duration::from_secs(120));
+        let canceller = {
+            let budget = budget.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                budget.cancel();
+            })
+        };
+        let started = Instant::now();
+        let (outcome, _) = solver().solve_governed(&p, budget);
+        canceller.join().unwrap();
+        let elapsed = started.elapsed();
+        // Either the solver beat the cancel, or it observed it; a
+        // cancelled run must never report anything else.
+        prop_assert!(
+            matches!(outcome, SynthOutcome::Solved(_) | SynthOutcome::Timeout),
+            "unexpected outcome {:?}", outcome
+        );
+        // Promptness: nowhere near the 120 s nominal deadline.
+        prop_assert!(
+            elapsed < Duration::from_secs(30),
+            "cancellation not prompt: {:?}", elapsed
+        );
+    }
+
+    /// A cancelled (or fuel-starved) run leaves no poisoned state: the same
+    /// solver instance solves the same problem on the next healthy budget.
+    #[test]
+    fn no_poisoned_state_on_reuse(
+        a in -3i64..=3,
+        b in -3i64..=3,
+        c in -5i64..=5,
+        starve_fuel in any::<bool>(),
+    ) {
+        let p = parse_problem(&linear_spec(a, b, c, false)).unwrap();
+        let s = solver();
+
+        // First run: doomed budget (pre-cancelled, or a single fuel unit).
+        let doomed = if starve_fuel {
+            Budget::from_timeout(Duration::from_secs(120)).with_fuel(1)
+        } else {
+            let b = Budget::from_timeout(Duration::from_secs(120));
+            b.cancel();
+            b
+        };
+        let (first, _) = s.solve_governed(&p, doomed);
+        prop_assert!(
+            matches!(
+                first,
+                SynthOutcome::Timeout | SynthOutcome::ResourceExhausted(_)
+            ),
+            "doomed run must not solve: {:?}", first
+        );
+
+        // Second run, same instance, healthy budget: must solve.
+        let (second, stats) =
+            s.solve_governed(&p, Budget::from_timeout(Duration::from_secs(60)));
+        match second {
+            SynthOutcome::Solved(t) => {
+                prop_assert!(
+                    dryadsynth::verify_solution(&p, &t, None),
+                    "unsound solution {t} after reuse"
+                );
+            }
+            other => prop_assert!(false, "reuse failed: {:?}", other),
+        }
+        prop_assert!(stats.faults.is_empty(), "healthy run recorded faults");
+    }
+}

@@ -103,8 +103,8 @@ fn deduction_solves_min_specs() {
     }
 }
 
-/// Deduction is *sound by construction*: on arbitrary (possibly
-/// unsolvable-by-rules) specs it never returns a wrong solution.
+// Deduction is *sound by construction*: on arbitrary (possibly
+// unsolvable-by-rules) specs it never returns a wrong solution.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

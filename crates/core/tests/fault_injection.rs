@@ -1,0 +1,206 @@
+//! Fault-injection tests for the resource-governed runtime: misbehaving
+//! enumeration backends (panicking, budget-hogging, or non-terminating but
+//! budget-polling) must never crash or hang the cooperative driver.
+
+use dryadsynth::{
+    Budget, CooperativeSolver, DeductionConfig, DivideConfig, Divider, EnumBackend, ExamplePool,
+    FixedHeightResult, SynthOutcome,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use sygus_ast::Problem;
+use sygus_parser::parse_problem;
+
+const MAX2: &str = "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+    (declare-var x Int)(declare-var y Int)\
+    (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+    (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
+
+fn coop(backend: Arc<dyn EnumBackend>, budget: Budget) -> CooperativeSolver {
+    CooperativeSolver::new(
+        DeductionConfig {
+            budget: budget.clone(),
+        },
+        Divider::new(DivideConfig {
+            budget: budget.clone(),
+            ..DivideConfig::default()
+        }),
+        backend,
+        budget,
+    )
+}
+
+/// A backend that panics on every invocation.
+struct PanicBackend {
+    calls: AtomicUsize,
+}
+
+impl EnumBackend for PanicBackend {
+    fn solve_step(&self, _: &Problem, height: usize, _: &ExamplePool) -> FixedHeightResult {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        panic!("injected fault at height {height}");
+    }
+
+    fn max_steps(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "panic-backend"
+    }
+}
+
+/// A backend that burns the run's fuel budget without producing anything.
+struct BudgetHogBackend {
+    budget: Budget,
+}
+
+impl EnumBackend for BudgetHogBackend {
+    fn solve_step(&self, _: &Problem, _: usize, _: &ExamplePool) -> FixedHeightResult {
+        loop {
+            if self.budget.charge_fuel(1_000).is_err() {
+                return FixedHeightResult::Timeout;
+            }
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "budget-hog"
+    }
+}
+
+/// A backend that never terminates on its own but polls the budget — the
+/// cooperative contract every long-running engine step must honour.
+struct PollingSpinBackend {
+    budget: Budget,
+}
+
+impl EnumBackend for PollingSpinBackend {
+    fn solve_step(&self, _: &Problem, _: usize, _: &ExamplePool) -> FixedHeightResult {
+        loop {
+            if self.budget.exceeded().is_some() {
+                return FixedHeightResult::Timeout;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "polling-spin"
+    }
+}
+
+#[test]
+fn panicking_backend_does_not_abort_the_run() {
+    let p = parse_problem(MAX2).unwrap();
+    let backend = Arc::new(PanicBackend {
+        calls: AtomicUsize::new(0),
+    });
+    let budget = Budget::from_timeout(Duration::from_secs(30));
+    // enumeration_only guarantees every step goes through the backend.
+    let solver = coop(backend.clone(), budget).enumeration_only();
+    let (outcome, stats) = solver.solve_with_stats(&p);
+    // The run must terminate normally (no propagated panic) and record
+    // every contained payload as an EngineFault.
+    assert!(
+        !matches!(outcome, SynthOutcome::Solved(_)),
+        "panicking backend cannot solve: {outcome:?}"
+    );
+    assert!(!stats.faults.is_empty(), "faults must be recorded");
+    assert!(backend.calls.load(Ordering::SeqCst) >= 1);
+    for fault in &stats.faults {
+        assert_eq!(fault.stage, "enumerate");
+        assert!(
+            fault.message.contains("injected fault"),
+            "payload preserved: {}",
+            fault.message
+        );
+    }
+}
+
+#[test]
+fn faults_do_not_stop_the_deductive_engine() {
+    // With deduction enabled, the cooperative loop must still solve an
+    // identity spec deductively even though enumeration always panics.
+    let p = parse_problem(
+        "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+         (constraint (= (f x) (+ x 1)))(check-synth)",
+    )
+    .unwrap();
+    let backend = Arc::new(PanicBackend {
+        calls: AtomicUsize::new(0),
+    });
+    let budget = Budget::from_timeout(Duration::from_secs(30));
+    let (outcome, _) = coop(backend, budget).solve_with_stats(&p);
+    match outcome {
+        SynthOutcome::Solved(t) => assert_eq!(t.to_string(), "(+ x 1)"),
+        other => panic!("expected deductive solve, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_hog_reports_resource_exhaustion() {
+    let p = parse_problem(MAX2).unwrap();
+    let budget = Budget::from_timeout(Duration::from_secs(30)).with_fuel(10_000);
+    let backend = Arc::new(BudgetHogBackend {
+        budget: budget.clone(),
+    });
+    let solver = coop(backend, budget.clone()).enumeration_only();
+    let (outcome, stats) = solver.solve_with_stats(&p);
+    assert!(
+        matches!(outcome, SynthOutcome::ResourceExhausted(_)),
+        "expected fuel exhaustion, got {outcome:?}"
+    );
+    assert!(stats.fuel_spent >= 10_000);
+}
+
+#[test]
+fn cancellation_stops_a_polling_backend_promptly() {
+    let p = parse_problem(MAX2).unwrap();
+    let budget = Budget::from_timeout(Duration::from_secs(120));
+    let backend = Arc::new(PollingSpinBackend {
+        budget: budget.clone(),
+    });
+    let canceller = {
+        let budget = budget.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            budget.cancel();
+        })
+    };
+    let started = std::time::Instant::now();
+    let solver = coop(backend, budget).enumeration_only();
+    let (outcome, _) = solver.solve_with_stats(&p);
+    canceller.join().unwrap();
+    assert!(
+        matches!(outcome, SynthOutcome::Timeout),
+        "cancellation maps to Timeout, got {outcome:?}"
+    );
+    // Far below the 120 s deadline: the backend saw the cancel flag.
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "cancellation was not prompt: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn deadline_stops_a_polling_backend() {
+    let p = parse_problem(MAX2).unwrap();
+    let budget = Budget::from_timeout(Duration::from_millis(100));
+    let backend = Arc::new(PollingSpinBackend {
+        budget: budget.clone(),
+    });
+    let solver = coop(backend, budget).enumeration_only();
+    let (outcome, _) = solver.solve_with_stats(&p);
+    assert!(matches!(outcome, SynthOutcome::Timeout), "{outcome:?}");
+}

@@ -3,6 +3,7 @@
 //! EUSolver-style baseline.
 
 use std::collections::HashMap;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{Definitions, Env, GTerm, Grammar, NonterminalId, Sort, Term, Value};
 
 /// Configuration for a [`TermEnumerator`].
@@ -14,6 +15,10 @@ pub struct EnumConfig {
     pub constant_pool: Vec<i64>,
     /// Hard cap on terms kept per (non-terminal, size) layer.
     pub max_terms_per_layer: usize,
+    /// Shared resource governor; when it trips, layer construction stops
+    /// (already-built layers stay queryable) and each kept term charges one
+    /// fuel unit.
+    pub budget: Budget,
 }
 
 impl Default for EnumConfig {
@@ -22,6 +27,7 @@ impl Default for EnumConfig {
             max_size: 20,
             constant_pool: vec![0, 1, -1, 2],
             max_terms_per_layer: 50_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -110,6 +116,11 @@ impl<'a> TermEnumerator<'a> {
     fn build_to(&mut self, requested: usize) {
         let size = requested.min(self.config.max_size);
         while self.built_size < size {
+            // Budget checkpoint in the hot loop: stop growing the table the
+            // moment the governor trips (deadline, cancellation, or fuel).
+            if self.config.budget.is_exhausted() {
+                break;
+            }
             let next = self.built_size + 1;
             for nt in 0..self.grammar.nonterminals().len() {
                 let mut layer: Vec<Term> = Vec::new();
@@ -126,12 +137,16 @@ impl<'a> TermEnumerator<'a> {
                             return;
                         }
                         let sig = me.signature(&t);
-                        if !me.seen[nt].contains_key(&sig) {
-                            me.seen[nt].insert(sig, t.clone());
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            me.seen[nt].entry(sig)
+                        {
+                            e.insert(t.clone());
                             layer.push(t);
                         }
                     });
                 }
+                // One fuel unit per kept (behaviourally distinct) term.
+                let _ = self.config.budget.charge_fuel(layer.len() as u64);
                 self.layers[nt].push(layer);
             }
             self.built_size = next;

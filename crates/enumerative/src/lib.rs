@@ -17,4 +17,6 @@ pub use enumerate::{EnumConfig, TermEnumerator};
 pub use solver::{
     constant_pool, counterexample_env, is_pointwise, BottomUpConfig, BottomUpSolver, SynthStatus,
 };
+// The shared resource-governance handle, re-exported for backend authors.
+pub use sygus_ast::runtime::{Budget, BudgetError};
 pub use unify::{learn_decision_tree, CoveredTerm};

@@ -4,7 +4,7 @@
 
 use crate::{learn_decision_tree, CoveredTerm, EnumConfig, TermEnumerator};
 use smtkit::{SmtConfig, SmtError, SmtSolver, Validity};
-use std::time::Instant;
+use sygus_ast::runtime::Budget;
 use sygus_ast::{
     Definitions, Env, FuncDef, GrammarFlavor, Problem, Sort, Symbol, Term, TermNode, Value,
 };
@@ -14,8 +14,8 @@ use sygus_ast::{
 pub struct BottomUpConfig {
     /// Enumeration limits.
     pub enum_config: EnumConfig,
-    /// Absolute deadline.
-    pub deadline: Option<Instant>,
+    /// Shared resource governor (deadline, cancellation, fuel).
+    pub budget: Budget,
     /// Maximum CEGIS iterations (counterexample rounds).
     pub max_cegis_rounds: usize,
     /// Whether decision-tree unification is attempted (requires the full
@@ -27,7 +27,7 @@ impl Default for BottomUpConfig {
     fn default() -> BottomUpConfig {
         BottomUpConfig {
             enum_config: EnumConfig::default(),
-            deadline: None,
+            budget: Budget::unlimited(),
             max_cegis_rounds: 64,
             unification: true,
         }
@@ -87,7 +87,7 @@ impl BottomUpSolver {
     }
 
     fn timed_out(&self) -> bool {
-        self.config.deadline.is_some_and(|d| Instant::now() >= d)
+        self.config.budget.is_exhausted()
     }
 
     /// Runs CEGIS with bottom-up enumeration on `problem`.
@@ -101,7 +101,7 @@ impl BottomUpSolver {
             && problem.synth_fun.grammar.flavor() == GrammarFlavor::Clia
             && is_pointwise(problem);
         let smt = SmtSolver::with_config(SmtConfig {
-            deadline: self.config.deadline,
+            budget: self.config.budget.clone(),
             ..SmtConfig::default()
         });
         let constant_pool = constant_pool(problem, &self.config.enum_config);
@@ -110,6 +110,7 @@ impl BottomUpSolver {
             if self.timed_out() {
                 return SynthStatus::Timeout;
             }
+            let _ = self.config.budget.charge_fuel(1);
             let Some(candidate) =
                 self.find_candidate(problem, &spec, &examples, pointwise, &constant_pool)
             else {
@@ -165,6 +166,7 @@ impl BottomUpSolver {
         };
         let cfg = EnumConfig {
             constant_pool: constant_pool.to_vec(),
+            budget: self.config.budget.clone(),
             ..self.config.enum_config.clone()
         };
         let mut en = TermEnumerator::new(&sf.grammar, &problem.definitions, examples.to_vec(), cfg);
@@ -178,6 +180,7 @@ impl BottomUpSolver {
             if self.timed_out() {
                 return None;
             }
+            let _ = self.config.budget.charge_fuel(1);
             let layer = en.terms_of_nt_size(target_nt, size).to_vec();
             for t in &layer {
                 if satisfies_all(t, &mut work_defs) {
@@ -460,10 +463,26 @@ mod tests {
         )
         .unwrap();
         let cfg = BottomUpConfig {
-            deadline: Some(Instant::now()),
+            budget: Budget::from_timeout(std::time::Duration::ZERO),
             ..BottomUpConfig::default()
         };
         let status = BottomUpSolver::new(cfg).solve(&p);
         assert_eq!(status, SynthStatus::Timeout);
+    }
+
+    #[test]
+    fn cancellation_respected() {
+        let p = parse_problem(
+            "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+             (constraint (= (f x) x))(check-synth)",
+        )
+        .unwrap();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let cfg = BottomUpConfig {
+            budget,
+            ..BottomUpConfig::default()
+        };
+        assert_eq!(BottomUpSolver::new(cfg).solve(&p), SynthStatus::Timeout);
     }
 }

@@ -100,9 +100,9 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &digit) in long.iter().enumerate() {
             let s = short.get(i).copied().unwrap_or(0);
-            let (x, c1) = long[i].overflowing_add(s);
+            let (x, c1) = digit.overflowing_add(s);
             let (y, c2) = x.overflowing_add(carry);
             out.push(y);
             carry = u64::from(c1) + u64::from(c2);
@@ -118,9 +118,9 @@ impl BigInt {
         debug_assert!(BigInt::mag_cmp(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..a.len() {
+        for (i, &digit) in a.iter().enumerate() {
             let s = b.get(i).copied().unwrap_or(0);
-            let (x, b1) = a[i].overflowing_sub(s);
+            let (x, b1) = digit.overflowing_sub(s);
             let (y, b2) = x.overflowing_sub(borrow);
             out.push(y);
             borrow = u64::from(b1) + u64::from(b2);

@@ -15,6 +15,11 @@ use crate::simplex::BoundSide;
 use crate::{Rat, Simplex};
 use std::collections::{BTreeMap, HashMap};
 
+/// A theory atom as a `(coeffs, is_eq, rhs)` triple: the sparse linear
+/// form `Σ coeff·var`, whether the relation is `=` (else `≤`), and the
+/// right-hand side.
+pub type LinearAtom = (Vec<(usize, i64)>, bool, i64);
+
 /// An atom in slack form: `linear form ⋈ rhs`, referencing a registered
 /// slack variable.
 #[derive(Clone, Debug)]
@@ -47,7 +52,7 @@ pub struct IncrementalLra {
 impl IncrementalLra {
     /// Builds the state for `atoms`, each a `(coeffs, is_eq, rhs)` triple
     /// over variables indexed `0..num_vars`. Linear forms are shared.
-    pub fn new(num_vars: usize, atoms: &[(Vec<(usize, i64)>, bool, i64)]) -> IncrementalLra {
+    pub fn new(num_vars: usize, atoms: &[LinearAtom]) -> IncrementalLra {
         let mut sx = Simplex::new(num_vars);
         let mut slack_of: HashMap<Vec<(usize, i64)>, usize> = HashMap::new();
         let mut out_atoms = Vec::with_capacity(atoms.len());

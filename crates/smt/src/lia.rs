@@ -226,7 +226,8 @@ fn fuse_bounds(cons: Vec<LinCon>) -> Vec<LinCon> {
     use std::collections::BTreeMap;
     type Form = Vec<(usize, BigInt)>;
     // form → (best lower, best upper, equalities' rhs list)
-    let mut forms: BTreeMap<Form, (Option<BigInt>, Option<BigInt>, Vec<BigInt>)> = BTreeMap::new();
+    type Window = (Option<BigInt>, Option<BigInt>, Vec<BigInt>);
+    let mut forms: BTreeMap<Form, Window> = BTreeMap::new();
     for con in cons {
         let mut merged: BTreeMap<usize, BigInt> = BTreeMap::new();
         for (v, c) in &con.coeffs {

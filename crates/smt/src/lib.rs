@@ -29,3 +29,6 @@ pub use rat::Rat;
 pub use sat::{Lit, SatResult, SatSolver, Var};
 pub use simplex::{BoundSide, Simplex, SimplexResult};
 pub use solver::{Model, SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
+// The shared resource-governance handle (defined next to the AST so every
+// layer can use it without a dependency cycle).
+pub use sygus_ast::runtime::{Budget, BudgetError};

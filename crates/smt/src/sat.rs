@@ -196,9 +196,7 @@ impl SatSolver {
         match lits.len() {
             0 => self.unsat_at_root = true,
             1 => {
-                if !self.enqueue(lits[0], INVALID) {
-                    self.unsat_at_root = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(lits[0], INVALID) || self.propagate().is_some() {
                     self.unsat_at_root = true;
                 }
             }
@@ -627,6 +625,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs (i, j) with i < j
     fn pigeonhole_3_into_2_unsat() {
         // 3 pigeons, 2 holes: p_{i,h}
         let mut s = SatSolver::new();
@@ -658,16 +657,11 @@ mod tests {
         let b = s.new_var();
         s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
         let mut models = 0;
-        loop {
-            match s.solve(None) {
-                SatResult::Sat(m) => {
-                    models += 1;
-                    // block this model
-                    let block: Vec<Lit> = (0..2).map(|v| Lit::new(v as Var, m[v])).collect();
-                    s.add_clause(block);
-                }
-                SatResult::Unsat => break,
-            }
+        while let SatResult::Sat(m) = s.solve(None) {
+            models += 1;
+            // block this model
+            let block: Vec<Lit> = (0..2).map(|v| Lit::new(v as Var, m[v])).collect();
+            s.add_clause(block);
             assert!(models <= 4, "too many models");
         }
         assert_eq!(models, 3); // (T,T), (T,F), (F,T)
@@ -728,6 +722,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs (i, j) with i < j
     fn budget_exhaustion_returns_none_or_result() {
         let mut s = SatSolver::new();
         let mut p = vec![[0; 4]; 5];

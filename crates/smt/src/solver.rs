@@ -11,20 +11,29 @@ use crate::{check_lia, BigInt, LiaResult, LinCon, Lit, Rel, SatResult, SatSolver
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
+use sygus_ast::runtime::{Budget, BudgetError};
 use sygus_ast::{Env, LinearExpr, Op, Sort, Symbol, Term, TermNode, Value};
 
 /// Configuration for [`SmtSolver`].
 #[derive(Clone, Debug)]
 pub struct SmtConfig {
-    /// Absolute deadline; queries past it fail with [`SmtError::Timeout`].
-    pub deadline: Option<Instant>,
-    /// Cooperative cancellation: when the flag is raised the query fails
-    /// with [`SmtError::Timeout`] at its next checkpoint.
-    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
-    /// Branch-and-bound node budget per theory check.
+    /// Shared resource governor: deadline, cancellation, and fuel. Queries
+    /// past the deadline (or on a cancelled budget) fail with
+    /// [`SmtError::Timeout`]; an exhausted fuel/memory allowance fails with
+    /// [`SmtError::ResourceLimit`]. The budget also accumulates the query
+    /// and retry-ladder telemetry surfaced by `--stats`.
+    pub budget: Budget,
+    /// Branch-and-bound node budget per theory check — the base rung of the
+    /// retry ladder.
     pub lia_budget: u64,
-    /// Maximum lazy-loop iterations (theory conflict rounds).
+    /// Maximum lazy-loop iterations (theory conflict rounds) — the base
+    /// rung of the retry ladder.
     pub max_theory_rounds: u64,
+    /// How many geometric retry-ladder escalations to take on
+    /// [`SmtError::ResourceLimit`] before reporting it (each rung multiplies
+    /// `lia_budget` and `max_theory_rounds` by 4). Escalation stops early
+    /// when the budget itself is exhausted.
+    pub retry_escalations: u32,
     /// Whether to greedily minimize theory conflicts before blocking.
     pub minimize_cores: bool,
     /// Maximum depth of lazy disequality splitting per theory check.
@@ -34,10 +43,10 @@ pub struct SmtConfig {
 impl Default for SmtConfig {
     fn default() -> SmtConfig {
         SmtConfig {
-            deadline: None,
-            cancel: None,
+            budget: Budget::unlimited(),
             lia_budget: 12_000,
             max_theory_rounds: 100_000,
+            retry_escalations: 2,
             minimize_cores: true,
             max_diseq_split: 24,
         }
@@ -802,20 +811,21 @@ impl SmtSolver {
     }
 
     fn check_deadline(&self) -> Result<(), SmtError> {
-        if let Some(d) = self.cfg.deadline {
-            if Instant::now() >= d {
-                return Err(SmtError::Timeout);
-            }
+        match self.cfg.budget.exceeded() {
+            None => Ok(()),
+            Some(e) if e.is_stop() => Err(SmtError::Timeout),
+            Some(BudgetError::FuelExhausted) => Err(SmtError::ResourceLimit("fuel allowance")),
+            Some(_) => Err(SmtError::ResourceLimit("memory allowance")),
         }
-        if let Some(c) = &self.cfg.cancel {
-            if c.load(std::sync::atomic::Ordering::Relaxed) {
-                return Err(SmtError::Timeout);
-            }
-        }
-        Ok(())
     }
 
     /// Checks satisfiability of a quantifier-free CLIA formula.
+    ///
+    /// Internal resource exhaustion (LIA nodes, theory rounds, disequality
+    /// splits) is retried up to `retry_escalations` times with geometrically
+    /// escalated limits — bounded by the remaining [`Budget`] — before
+    /// [`SmtError::ResourceLimit`] is reported; escalations are recorded on
+    /// the budget's telemetry counters.
     ///
     /// # Errors
     ///
@@ -823,6 +833,38 @@ impl SmtSolver {
     /// applications, nonlinear arithmetic), [`SmtError::Timeout`] /
     /// [`SmtError::ResourceLimit`] when budgets run out.
     pub fn check(&self, formula: &Term) -> Result<SmtResult, SmtError> {
+        self.cfg.budget.note_smt_query();
+        let mut escalation: u32 = 0;
+        loop {
+            // Each rung multiplies both base limits by 4.
+            let factor = 1u64 << (2 * escalation.min(16));
+            let lia_budget = self.cfg.lia_budget.max(1).saturating_mul(factor);
+            let rounds = self.cfg.max_theory_rounds.max(1).saturating_mul(factor);
+            match self.check_once(formula, lia_budget, rounds) {
+                Err(SmtError::ResourceLimit(which)) => {
+                    // Climb the ladder only while the governing budget has
+                    // headroom; a fuel/deadline-exhausted budget reports
+                    // immediately (check_once already mapped that case).
+                    if escalation >= self.cfg.retry_escalations
+                        || self.cfg.budget.check().is_err()
+                    {
+                        return Err(SmtError::ResourceLimit(which));
+                    }
+                    escalation += 1;
+                    self.cfg.budget.note_smt_retry();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One attempt of the lazy DPLL(T) loop under explicit limits.
+    fn check_once(
+        &self,
+        formula: &Term,
+        lia_budget: u64,
+        max_theory_rounds: u64,
+    ) -> Result<SmtResult, SmtError> {
         if formula.sort() != Sort::Bool {
             return Err(SmtError::Unsupported("formula must be boolean".into()));
         }
@@ -859,12 +901,12 @@ impl SmtSolver {
         let checker = TheoryChecker {
             index: index.clone(),
             cfg: &self.cfg,
-            lia_budget: self.cfg.lia_budget,
+            lia_budget,
         };
         let min_checker = TheoryChecker {
             index: index.clone(),
             cfg: &self.cfg,
-            lia_budget: (self.cfg.lia_budget / 64).max(200),
+            lia_budget: (lia_budget / 64).max(200),
         };
 
         // Partial-assignment theory propagation (DPLL(T)): whenever SAT
@@ -878,7 +920,7 @@ impl SmtSolver {
             .iter()
             .map(|a| (enc.atoms[a], a.clone()))
             .collect();
-        let inc_atoms: Vec<(Vec<(usize, i64)>, bool, i64)> = enc
+        let inc_atoms: Vec<crate::inc_lra::LinearAtom> = enc
             .atom_list
             .iter()
             .map(|a| {
@@ -922,8 +964,11 @@ impl SmtSolver {
         let mut rounds: u64 = 0;
         loop {
             self.check_deadline()?;
+            // One fuel unit per lazy round keeps `--fuel` meaningful down to
+            // the decision-procedure layer.
+            let _ = self.cfg.budget.charge_fuel(1);
             rounds += 1;
-            if rounds > self.cfg.max_theory_rounds {
+            if rounds > max_theory_rounds {
                 return Err(SmtError::ResourceLimit("theory rounds"));
             }
             // Solve the propositional abstraction in conflict chunks so the
@@ -1292,12 +1337,76 @@ mod tests {
     #[test]
     fn timeout_honored() {
         let cfg = SmtConfig {
-            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            budget: Budget::with_deadline(Instant::now() - std::time::Duration::from_secs(1)),
             ..SmtConfig::default()
         };
         let s = SmtSolver::with_config(cfg);
         let f = Term::ge(x(), Term::int(0));
         assert_eq!(s.check(&f), Err(SmtError::Timeout));
+    }
+
+    #[test]
+    fn cancellation_honored() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let s = SmtSolver::with_config(SmtConfig {
+            budget,
+            ..SmtConfig::default()
+        });
+        assert_eq!(s.check(&Term::ge(x(), Term::int(0))), Err(SmtError::Timeout));
+    }
+
+    /// `x = y ∧ 2x + 3y ∈ [6, 7]`: rationally feasible (`x = y = 1.3`) so
+    /// the incremental LRA never objects, but integrally unsat — after
+    /// equality elimination `5y ∈ [6, 7]` needs a root plus two
+    /// branch-and-bound children (~3 nodes) to refute.
+    fn branching_unsat_formula() -> Term {
+        let lhs = Term::add(Term::scale(2, x()), Term::scale(3, y()));
+        Term::and([
+            Term::ge(Term::sub(x(), y()), Term::int(0)),
+            Term::le(Term::sub(x(), y()), Term::int(0)),
+            Term::ge(lhs.clone(), Term::int(6)),
+            Term::le(lhs, Term::int(7)),
+        ])
+    }
+
+    #[test]
+    fn retry_ladder_escalates_and_recovers() {
+        // A 1-node LIA budget cannot refute the branching formula; the
+        // ladder must escalate past it and record the escalations on the
+        // budget's telemetry.
+        let budget = Budget::unlimited();
+        let s = SmtSolver::with_config(SmtConfig {
+            budget: budget.clone(),
+            lia_budget: 1,
+            retry_escalations: 4,
+            ..SmtConfig::default()
+        });
+        assert_eq!(
+            s.check(&branching_unsat_formula())
+                .expect("ladder reaches a verdict"),
+            SmtResult::Unsat
+        );
+        assert!(
+            budget.smt_retries() >= 1,
+            "expected at least one recorded escalation, got {}",
+            budget.smt_retries()
+        );
+        assert_eq!(budget.smt_queries(), 1);
+    }
+
+    #[test]
+    fn retry_ladder_stops_when_out_of_escalations() {
+        // With zero allowed escalations the first ResourceLimit surfaces.
+        let s = SmtSolver::with_config(SmtConfig {
+            lia_budget: 1,
+            retry_escalations: 0,
+            ..SmtConfig::default()
+        });
+        assert!(matches!(
+            s.check(&branching_unsat_formula()),
+            Err(SmtError::ResourceLimit(_))
+        ));
     }
 
     #[test]

@@ -171,11 +171,7 @@ fn lincon_strategy(nvars: usize) -> impl Strategy<Value = LinCon> {
     )
         .prop_map(move |(coeffs, rel, rhs)| {
             LinCon::new(
-                &coeffs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(v, c)| (v, c))
-                    .collect::<Vec<_>>(),
+                &coeffs.into_iter().enumerate().collect::<Vec<_>>(),
                 rel,
                 rhs,
             )

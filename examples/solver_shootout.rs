@@ -42,6 +42,7 @@ fn main() {
                     ("solved", format!("{}", body.size()))
                 }
                 SynthOutcome::Timeout => ("timeout", "-".to_owned()),
+                SynthOutcome::ResourceExhausted(_) => ("exhausted", "-".to_owned()),
                 SynthOutcome::GaveUp(_) => ("gave up", "-".to_owned()),
             };
             println!(

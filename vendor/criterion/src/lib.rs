@@ -1,0 +1,106 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides just enough API for this workspace's benches to compile and
+//! produce rough wall-clock numbers: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], [`Bencher::iter`], and
+//! [`Bencher::iter_batched`]. There is no statistical analysis, warm-up
+//! tuning, or reporting beyond a mean-per-iteration line on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hint; accepted for API compatibility, ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const N: u64 = 20;
+        let start = Instant::now();
+        for _ in 0..N {
+            std_black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += N;
+    }
+
+    /// Times `routine` over freshly set-up inputs; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const N: u64 = 20;
+        for _ in 0..N {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += N;
+    }
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!("bench {name:<40} {mean:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

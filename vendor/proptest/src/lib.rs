@@ -1,0 +1,579 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API that this workspace's
+//! tests use, with deterministic seeding and **no shrinking**: a failing
+//! case reports the test name, case index, and seed, which is enough to
+//! reproduce it (the generator is a pure function of the seed).
+//!
+//! Covered surface: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]`), [`strategy::Strategy`] with `prop_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, [`prop_oneof!`],
+//! [`strategy::Just`], [`arbitrary::any`], tuple and integer-range
+//! strategies, [`collection::vec`], and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+
+pub mod test_runner {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Deterministic xorshift64* generator; cheap and dependency-free.
+    #[derive(Clone, Debug)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Rng {
+            // Avoid the all-zero fixed point.
+            Rng(seed | 0x9e37_79b9_7f4a_7c15)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "empty sampling range");
+            // Modulo bias is irrelevant for testing purposes.
+            self.next_u64() % n
+        }
+
+        /// Uniform value in the inclusive range `[lo, hi]`.
+        pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi, "empty sampling range");
+            let span = (hi - lo) as u128 + 1;
+            if span > u64::MAX as u128 {
+                // Full-width span: combine two draws.
+                let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+                lo + (wide % span) as i128
+            } else {
+                lo + self.below(span as u64) as i128
+            }
+        }
+    }
+
+    /// Error raised by a single test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case asked to be discarded (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    fn seed_for(name: &str, case: u32, attempt: u32) -> u64 {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        case.hash(&mut h);
+        attempt.hash(&mut h);
+        h.finish()
+    }
+
+    /// Runs `body` for `config.cases` cases with per-case deterministic
+    /// seeds. Panics (failing the enclosing `#[test]`) on the first
+    /// failing case, reporting enough to reproduce it.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let seed = seed_for(name, case, rejects);
+            let mut rng = Rng::new(seed);
+            match catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(why))) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!("[{name}] too many rejected cases (last: {why})");
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("[{name}] case {case} (seed {seed:#018x}) failed: {msg}");
+                }
+                Err(payload) => {
+                    eprintln!("[{name}] case {case} (seed {seed:#018x}) panicked");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A value generator. Unlike real proptest there is no value tree and
+    /// no shrinking: a strategy is just a seeded sampling function.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Bounded recursive strategy: `depth` levels of `recurse` are
+        /// unrolled over the base (leaf) strategy, choosing uniformly at
+        /// each level between the leaf and the recursive case. Termination
+        /// is guaranteed by construction; `_desired_size` and
+        /// `_expected_branch` are accepted for API compatibility only.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut Rng) -> S::Value {
+            // Local resampling; a filter that rejects this often is a bug
+            // in the test, so give up loudly rather than loop forever.
+            for _ in 0..256 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({:?}) rejected 256 samples in a row", self.whence);
+        }
+    }
+
+    /// Uniform choice among equally weighted alternatives.
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_i128(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    rng.range_i128(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Strategy for any value of an [`crate::arbitrary::Arbitrary`] type.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    // Bias 1-in-8 draws toward boundary values — uniform
+                    // sampling essentially never hits them.
+                    if rng.below(8) == 0 {
+                        const SPECIAL: [$t; 5] =
+                            [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX - 1];
+                        SPECIAL[rng.below(5) as usize]
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = rng.range_i128(self.size.min as i128, self.size.max as i128) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — a vector of `size` elements of `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn` item keeps its attributes (including
+/// the user-written `#[test]`) and becomes a runner over `cases`
+/// deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                        $crate::__proptest_body!($body)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Internal: wraps a test body block so it yields `Result<(), TestCaseError>`
+/// whether or not it uses `return Ok(())` / `prop_assert!` early exits.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($body:block) => {{
+        #[allow(unreachable_code, clippy::diverging_sub_expression)]
+        let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+            $body;
+            ::std::result::Result::Ok(())
+        };
+        __result
+    }};
+}
+
+/// Uniform choice among the given strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts within a property body; failure fails just this case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
