@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod grammar;
+pub mod json;
 mod linear;
 mod metrics;
 mod op;
@@ -44,9 +45,11 @@ mod simplify;
 mod sort;
 mod symbol;
 mod term;
+pub mod trace;
 mod value;
 
 pub use grammar::{GTerm, Grammar, GrammarFlavor, Nonterminal, NonterminalId};
+pub use json::Json;
 pub use linear::{LinearAtom, LinearExpr, NonlinearError};
 pub use metrics::{
     faster_bucketed, median, size_bucket, smaller_bucketed, solution_size, time_bucket,
@@ -60,4 +63,5 @@ pub use simplify::{conjuncts, disjuncts, nnf, simplify};
 pub use sort::Sort;
 pub use symbol::Symbol;
 pub use term::{Definitions, EvalError, FuncDef, Term, TermNode};
+pub use trace::{MetricsRegistry, MetricsSnapshot, Stage, StageSnapshot, TraceEvent, Tracer};
 pub use value::{Env, Value};

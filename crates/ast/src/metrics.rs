@@ -13,7 +13,14 @@ pub const TIME_BUCKETS: [f64; 8] = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 
 pub const SIZE_BUCKETS: [usize; 5] = [10, 30, 100, 300, 1000];
 
 /// The pseudo-log bucket index of a solving time in seconds (larger is
-/// slower; times past the last boundary share the final bucket).
+/// slower).
+///
+/// The result is **clamped** to the final bucket (index
+/// `TIME_BUCKETS.len() - 1`, i.e. 7): every time at or past the second-last
+/// boundary lands there, so `time_bucket(1000.0)`, `time_bucket(1800.0)`,
+/// and `time_bucket(1e9)` all return 7. The `[1000, 1800)` label on the
+/// final bucket describes the competition's timeout range, not a bound the
+/// function enforces — there is no "off the scale" index 8.
 ///
 /// # Examples
 ///
@@ -22,7 +29,10 @@ pub const SIZE_BUCKETS: [usize; 5] = [10, 30, 100, 300, 1000];
 /// assert_eq!(time_bucket(0.5), 0);
 /// assert_eq!(time_bucket(2.0), 1);
 /// assert_eq!(time_bucket(1799.0), 7);
+/// assert_eq!(time_bucket(1800.0), 7); // clamped, same as ...
+/// assert_eq!(time_bucket(1e9), 7); // ... any other over-scale time
 /// ```
+#[must_use]
 pub fn time_bucket(seconds: f64) -> usize {
     TIME_BUCKETS
         .iter()
@@ -31,6 +41,11 @@ pub fn time_bucket(seconds: f64) -> usize {
 }
 
 /// The pseudo-log bucket index of a solution size.
+///
+/// Unlike [`time_bucket`], the final bucket here is open-ended by design:
+/// sizes `>= 1000` return index `SIZE_BUCKETS.len()` (5), one past the
+/// boundary array.
+#[must_use]
 pub fn size_bucket(size: usize) -> usize {
     SIZE_BUCKETS
         .iter()

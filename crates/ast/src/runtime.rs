@@ -10,6 +10,7 @@
 //! retry-ladder escalations) so statistics surface without extra plumbing:
 //! whoever holds any clone of the budget can read them.
 
+use crate::trace::Tracer;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,6 +64,9 @@ struct BudgetInner {
     memory_charged: AtomicU64,
     smt_queries: AtomicU64,
     smt_retries: AtomicU64,
+    /// Observability handle; clones and children share the same tracer, so
+    /// metrics aggregate across parallel workers automatically.
+    tracer: Tracer,
 }
 
 /// A cloneable resource-governance handle: deadline + cancellation flag +
@@ -77,7 +81,7 @@ impl Default for Budget {
 }
 
 impl Budget {
-    fn with_limits(deadline: Option<Instant>, fuel: u64, memory: u64) -> Budget {
+    fn with_limits(deadline: Option<Instant>, fuel: u64, memory: u64, tracer: Tracer) -> Budget {
         Budget(Arc::new(BudgetInner {
             parent: None,
             deadline,
@@ -88,19 +92,20 @@ impl Budget {
             memory_charged: AtomicU64::new(0),
             smt_queries: AtomicU64::new(0),
             smt_retries: AtomicU64::new(0),
+            tracer,
         }))
     }
 
     /// A budget with no deadline and no fuel/memory caps. It can still be
     /// stopped through [`Budget::cancel`].
     pub fn unlimited() -> Budget {
-        Budget::with_limits(None, u64::MAX, u64::MAX)
+        Budget::with_limits(None, u64::MAX, u64::MAX, Tracer::default())
     }
 
     /// A budget expiring at the absolute instant `deadline`. A deadline of
     /// `Instant::now()` (e.g. `--timeout 0`) expires immediately.
     pub fn with_deadline(deadline: Instant) -> Budget {
-        Budget::with_limits(Some(deadline), u64::MAX, u64::MAX)
+        Budget::with_limits(Some(deadline), u64::MAX, u64::MAX, Tracer::default())
     }
 
     /// A budget expiring `timeout` from now. `Duration::ZERO` expires
@@ -113,13 +118,36 @@ impl Budget {
     /// (node) allowance. Counters restart at zero; the cancellation flag is
     /// *not* shared with `self`.
     pub fn with_fuel(&self, fuel: u64) -> Budget {
-        Budget::with_limits(self.deadline(), fuel, self.0.memory_limit)
+        Budget::with_limits(
+            self.deadline(),
+            fuel,
+            self.0.memory_limit,
+            self.0.tracer.clone(),
+        )
     }
 
     /// Returns a fresh budget with the same deadline/fuel and the given
     /// advisory memory allowance in bytes.
     pub fn with_memory_limit(&self, bytes: u64) -> Budget {
-        Budget::with_limits(self.deadline(), self.0.fuel_limit, bytes)
+        Budget::with_limits(
+            self.deadline(),
+            self.0.fuel_limit,
+            bytes,
+            self.0.tracer.clone(),
+        )
+    }
+
+    /// Returns a budget with the same deadline/fuel/memory limits carrying
+    /// `tracer`. Counters restart at zero, so attach the tracer right after
+    /// construction, before any work is charged.
+    pub fn with_tracer(&self, tracer: Tracer) -> Budget {
+        Budget::with_limits(self.deadline(), self.0.fuel_limit, self.0.memory_limit, tracer)
+    }
+
+    /// The observability handle carried by this budget. Clones and children
+    /// share it, so metrics recorded anywhere aggregate into one registry.
+    pub fn tracer(&self) -> &Tracer {
+        &self.0.tracer
     }
 
     /// Returns a child budget scoped under `self`: the parent's deadline,
@@ -138,6 +166,7 @@ impl Budget {
             memory_charged: AtomicU64::new(0),
             smt_queries: AtomicU64::new(0),
             smt_retries: AtomicU64::new(0),
+            tracer: self.0.tracer.clone(),
         }))
     }
 
@@ -352,6 +381,20 @@ mod tests {
         assert_eq!(parent.smt_retries(), 1);
         // Parent's fuel cap applies to the child.
         assert_eq!(band.charge_fuel(6), Err(BudgetError::FuelExhausted));
+    }
+
+    #[test]
+    fn tracer_is_shared_by_clones_and_children() {
+        use crate::trace::Stage;
+        let b = Budget::unlimited().with_tracer(Tracer::metrics_only());
+        let band = b.child();
+        let worker = band.clone();
+        worker.tracer().metrics().bump("test.worker");
+        drop(worker.tracer().span(Stage::Smt));
+        assert_eq!(b.tracer().metrics().counter("test.worker"), 1);
+        assert_eq!(b.tracer().metrics().stage(Stage::Smt).count(), 1);
+        // Derived budgets keep the tracer too.
+        assert_eq!(b.with_fuel(5).tracer().metrics().counter("test.worker"), 1);
     }
 
     #[test]

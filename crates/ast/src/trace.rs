@@ -1,0 +1,666 @@
+//! Dependency-free structured tracing and metrics for the solver runtime.
+//!
+//! A [`Tracer`] is a cheap, cloneable handle (one `Arc` clone) that rides on
+//! the [`Budget`](crate::runtime::Budget) through every engine layer. It has
+//! two tiers:
+//!
+//! * **Metrics (always on).** A [`MetricsRegistry`] of atomic per-stage
+//!   span statistics (count, total time, pseudo-log duration histogram on
+//!   the competition's [`TIME_BUCKETS`](crate::TIME_BUCKETS) scale) and
+//!   named counters. Recording a span costs a handful of relaxed atomic
+//!   operations — no allocation, no locking on the stage path — so leaving
+//!   the tracer threaded through a hot loop is free for practical purposes.
+//! * **Events (opt in).** When constructed with [`Tracer::recording`], every
+//!   span and point event is additionally appended to an in-memory buffer
+//!   with its monotonic start/stop offsets, thread ordinal, and subproblem
+//!   node id, ready to be drained as JSONL by an external sink. Subproblem
+//!   *graph* events (node creation, division edges, solver attribution) are
+//!   buffered separately so a DOT rendering of the run's subproblem graph
+//!   can be reconstructed after the fact.
+//!
+//! Clones share all state, so metrics recorded by parallel workers (which
+//! receive the tracer through [`Budget::child`](crate::runtime::Budget::child)
+//! scoping) aggregate into the same registry.
+
+use crate::json::Json;
+use crate::metrics::{size_bucket, time_bucket, SIZE_BUCKETS, TIME_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The instrumented solver stages. Each stage owns one slot of atomic span
+/// statistics in the [`MetricsRegistry`]; finer distinctions (divide
+/// strategy, enumeration height, SMT answer) go into named counters or the
+/// span's detail string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// One deductive rewrite pass over a subproblem (Algorithm 3).
+    Deduct,
+    /// One divide-and-conquer proposal pass (all strategies, Section 4).
+    Divide,
+    /// One Type-B recombination step at a parent node.
+    TypeB,
+    /// One fixed-height CEGIS attempt at a single height (Algorithm 2).
+    FixedHeight,
+    /// One driver-level enumeration step (backend invocation) at a node.
+    Enumerate,
+    /// One bottom-up enumeration CEGIS round (EUSolver-style backend).
+    BottomUp,
+    /// One SMT query (sat/unsat/validity check) in the substrate.
+    Smt,
+    /// One independent re-verification of a claimed solution.
+    Verify,
+    /// One parallel height-band worker (Section 5.1).
+    Worker,
+}
+
+impl Stage {
+    /// Every stage, in registry order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Deduct,
+        Stage::Divide,
+        Stage::TypeB,
+        Stage::FixedHeight,
+        Stage::Enumerate,
+        Stage::BottomUp,
+        Stage::Smt,
+        Stage::Verify,
+        Stage::Worker,
+    ];
+
+    /// The stage's stable snake-case name (used in events and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Deduct => "deduct",
+            Stage::Divide => "divide",
+            Stage::TypeB => "type-b",
+            Stage::FixedHeight => "fixed-height",
+            Stage::Enumerate => "enumerate",
+            Stage::BottomUp => "bottom-up",
+            Stage::Smt => "smt",
+            Stage::Verify => "verify",
+            Stage::Worker => "worker",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Atomic span statistics for one stage: invocation count, cumulative
+/// duration, and a pseudo-log histogram of durations on the competition
+/// time-bucket scale (see [`time_bucket`]).
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    hist: [AtomicU64; TIME_BUCKETS.len()],
+}
+
+impl StageMetrics {
+    /// Records one span of `micros` microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        let bucket = time_bucket(micros as f64 / 1e6);
+        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spans recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative span time in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, stage: Stage) -> StageSnapshot {
+        StageSnapshot {
+            stage: stage.name(),
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+            hist: std::array::from_fn(|i| self.hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one stage's statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// The stage name (see [`Stage::name`]).
+    pub stage: &'static str,
+    /// Spans recorded.
+    pub count: u64,
+    /// Cumulative duration in microseconds.
+    pub total_micros: u64,
+    /// Longest single span in microseconds.
+    pub max_micros: u64,
+    /// Duration histogram on the [`TIME_BUCKETS`] pseudo-log scale.
+    pub hist: [u64; TIME_BUCKETS.len()],
+}
+
+/// The registry of run metrics: per-stage span statistics, named counters,
+/// and the solution-size histogram on the [`SIZE_BUCKETS`] scale. All
+/// updates are lock-free on the stage path; named counters take a short
+/// mutex (they sit on cold paths: per SMT query, per division proposal).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    stages: [StageMetrics; Stage::ALL.len()],
+    counters: Mutex<BTreeMap<String, u64>>,
+    size_hist: [AtomicU64; SIZE_BUCKETS.len() + 1],
+}
+
+impl MetricsRegistry {
+    /// The atomic statistics slot for `stage`.
+    pub fn stage(&self, stage: Stage) -> &StageMetrics {
+        &self.stages[stage.index()]
+    }
+
+    /// Adds `n` to the named counter (creating it at zero first).
+    pub fn add(&self, name: &str, n: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        match counters.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                counters.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The current value of a named counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one solution size in the pseudo-log size histogram.
+    pub fn record_size(&self, size: usize) {
+        self.size_hist[size_bucket(size)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every metric, for reports. Stages with zero
+    /// recorded spans are included (callers may filter); counters come out
+    /// sorted by name, so serialised output is deterministic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| self.stage(s).snapshot(s))
+                .collect(),
+            counters: counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            size_hist: std::array::from_fn(|i| self.size_hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Per-stage span statistics, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSnapshot>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Solution-size histogram on the [`SIZE_BUCKETS`] scale (last bucket
+    /// is the overflow bucket).
+    pub size_hist: [u64; SIZE_BUCKETS.len() + 1],
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a JSON object (stages with zero spans omitted).
+    pub fn to_json(&self) -> Json {
+        let stages: Vec<Json> = self
+            .stages
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| {
+                Json::obj([
+                    ("stage", Json::str(s.stage)),
+                    ("count", Json::from(s.count)),
+                    ("total_micros", Json::from(s.total_micros)),
+                    ("max_micros", Json::from(s.max_micros)),
+                    (
+                        "time_hist",
+                        Json::Arr(s.hist.iter().map(|&n| Json::from(n)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect();
+        Json::obj([
+            ("stages", Json::Arr(stages)),
+            ("counters", Json::Obj(counters)),
+            (
+                "size_hist",
+                Json::Arr(self.size_hist.iter().map(|&n| Json::from(n)).collect()),
+            ),
+        ])
+    }
+}
+
+/// One recorded trace event (a completed span or an instantaneous point).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Monotonic per-tracer sequence number (records buffer-push order,
+    /// which for spans is *completion* order).
+    pub seq: u64,
+    /// The stage name.
+    pub name: &'static str,
+    /// Subproblem-graph node id, when the event is node-scoped.
+    pub node: Option<usize>,
+    /// Small per-process thread ordinal (0 = first thread to record).
+    pub thread: u64,
+    /// Start offset from the tracer's epoch, microseconds.
+    pub start_micros: u64,
+    /// Span duration in microseconds; `None` for point events.
+    pub duration_micros: Option<u64>,
+    /// Freeform detail (height, strategy, SMT answer, …); empty when none.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// The event as a JSON object (one JSONL line in the `--trace` sink).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq".to_owned(), Json::from(self.seq)),
+            ("name".to_owned(), Json::str(self.name)),
+            ("thread".to_owned(), Json::from(self.thread)),
+            ("start_micros".to_owned(), Json::from(self.start_micros)),
+        ];
+        if let Some(node) = self.node {
+            fields.push(("node".to_owned(), Json::from(node as u64)));
+        }
+        if let Some(d) = self.duration_micros {
+            fields.push(("duration_micros".to_owned(), Json::from(d)));
+        }
+        if !self.detail.is_empty() {
+            fields.push(("detail".to_owned(), Json::str(&self.detail)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A subproblem-graph event, buffered only on recording tracers; the DOT
+/// sink reconstructs the graph (with per-node solver attribution) from the
+/// sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphEvent {
+    /// A node joined the subproblem graph.
+    Node {
+        /// Node id (index in the driver's node table).
+        id: usize,
+        /// Short human-readable label (truncated spec).
+        label: String,
+    },
+    /// A division created (or re-used) a parent→child edge.
+    Edge {
+        /// Parent node id.
+        parent: usize,
+        /// Child (Type-A subproblem) node id.
+        child: usize,
+        /// The proposing strategy tag.
+        strategy: &'static str,
+    },
+    /// A node was solved, with the engine that produced the solution
+    /// (`"deduction"`, `"enumeration"`, or `"type-b"`).
+    Solved {
+        /// Node id.
+        id: usize,
+        /// Solver attribution tag.
+        engine: &'static str,
+    },
+    /// A node was proven unsolvable (dead).
+    Dead {
+        /// Node id.
+        id: usize,
+    },
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    recording: bool,
+    epoch: Instant,
+    seq: AtomicU64,
+    metrics: MetricsRegistry,
+    events: Mutex<Vec<TraceEvent>>,
+    graph: Mutex<Vec<GraphEvent>>,
+}
+
+/// The tracing handle; see the module docs. Cloning shares all state.
+#[derive(Clone, Debug)]
+pub struct Tracer(Arc<TracerInner>);
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::metrics_only()
+    }
+}
+
+impl Tracer {
+    fn with_recording(recording: bool) -> Tracer {
+        Tracer(Arc::new(TracerInner {
+            recording,
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
+            events: Mutex::new(Vec::new()),
+            graph: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// A tracer that keeps atomic metrics but records no events — the
+    /// default, suitable for leaving permanently enabled.
+    pub fn metrics_only() -> Tracer {
+        Tracer::with_recording(false)
+    }
+
+    /// A tracer that buffers every span, point, and graph event in memory
+    /// (for the `--trace` / `--dot` sinks).
+    pub fn recording() -> Tracer {
+        Tracer::with_recording(true)
+    }
+
+    /// Whether events are buffered (detail closures are only evaluated when
+    /// this is true).
+    pub fn is_recording(&self) -> bool {
+        self.0.recording
+    }
+
+    /// The always-on metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.0.metrics
+    }
+
+    /// Starts an RAII span for `stage`; metrics are recorded (and the event
+    /// buffered, on recording tracers) when the guard drops.
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            stage,
+            node: None,
+            detail: String::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an instantaneous point event (recording tracers only; the
+    /// detail closure is not evaluated otherwise).
+    pub fn point(&self, stage: Stage, node: Option<usize>, detail: impl FnOnce() -> String) {
+        if !self.0.recording {
+            return;
+        }
+        let start_micros = self.0.epoch.elapsed().as_micros() as u64;
+        self.push_event(TraceEvent {
+            seq: 0, // assigned by push_event
+            name: stage.name(),
+            node,
+            thread: thread_ordinal(),
+            start_micros,
+            duration_micros: None,
+            detail: detail(),
+        });
+    }
+
+    /// Buffers a subproblem-graph event (recording tracers only; the
+    /// closure is not evaluated otherwise).
+    pub fn graph_event(&self, event: impl FnOnce() -> GraphEvent) {
+        if !self.0.recording {
+            return;
+        }
+        let mut graph = self.0.graph.lock().unwrap_or_else(|e| e.into_inner());
+        graph.push(event());
+    }
+
+    /// A copy of the buffered graph events.
+    pub fn graph(&self) -> Vec<GraphEvent> {
+        self.0
+            .graph
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// A copy of the buffered trace events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn push_event(&self, mut event: TraceEvent) {
+        event.seq = self.0.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.0.events.lock().unwrap_or_else(|e| e.into_inner());
+        events.push(event);
+    }
+}
+
+/// RAII span guard returned by [`Tracer::span`]; records the stage metrics
+/// (and buffers a span event on recording tracers) when dropped.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    stage: Stage,
+    node: Option<usize>,
+    detail: String,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Tags the span with a subproblem-graph node id.
+    #[must_use]
+    pub fn with_node(mut self, node: usize) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attaches a detail string; the closure runs only on recording
+    /// tracers, so the disabled path never allocates.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl FnOnce() -> String) -> Self {
+        if self.tracer.0.recording {
+            self.detail = detail();
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_micros() as u64;
+        self.tracer.metrics().stage(self.stage).record_micros(micros);
+        if self.tracer.0.recording {
+            let start_micros = self
+                .start
+                .saturating_duration_since(self.tracer.0.epoch)
+                .as_micros() as u64;
+            self.tracer.push_event(TraceEvent {
+                seq: 0,
+                name: self.stage.name(),
+                node: self.node,
+                thread: thread_ordinal(),
+                start_micros,
+                duration_micros: Some(micros),
+                detail: std::mem::take(&mut self.detail),
+            });
+        }
+    }
+}
+
+/// Opens an RAII span on a tracer: `span!(tracer, Stage::Deduct)` or
+/// `span!(tracer, Stage::Deduct, node)`. Bind the result (`let _span = …`)
+/// so the guard lives to the end of the stage.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $stage:expr) => {
+        $tracer.span($stage)
+    };
+    ($tracer:expr, $stage:expr, $node:expr) => {
+        $tracer.span($stage).with_node($node)
+    };
+}
+
+/// A small dense per-process thread ordinal (the first thread to record an
+/// event gets 0), stable for the thread's lifetime — friendlier in traces
+/// than the opaque `std::thread::ThreadId`.
+pub fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|&id| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn metrics_record_without_recording() {
+        let t = Tracer::metrics_only();
+        {
+            let _s = t.span(Stage::Deduct).with_node(3);
+        }
+        {
+            let _s = span!(t, Stage::Deduct);
+        }
+        assert_eq!(t.metrics().stage(Stage::Deduct).count(), 2);
+        assert!(t.events().is_empty(), "disabled tracer buffers no events");
+        // Detail closures must not run when disabled.
+        let _s = t
+            .span(Stage::Smt)
+            .with_detail(|| panic!("detail evaluated on a disabled tracer"));
+    }
+
+    #[test]
+    fn histogram_buckets_match_known_timings() {
+        let m = StageMetrics::default();
+        m.record_micros(500);            // 0.0005 s -> bucket 0
+        m.record_micros(2_000_000);      // 2 s      -> bucket 1
+        m.record_micros(2_500_000);      // 2.5 s    -> bucket 1
+        m.record_micros(15_000_000);     // 15 s     -> bucket 3
+        let snap = m.snapshot(Stage::Smt);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.hist[0], 1);
+        assert_eq!(snap.hist[1], 2);
+        assert_eq!(snap.hist[3], 1);
+        assert_eq!(snap.total_micros, 500 + 2_000_000 + 2_500_000 + 15_000_000);
+        assert_eq!(snap.max_micros, 15_000_000);
+    }
+
+    #[test]
+    fn spans_nest_and_order_in_the_event_buffer() {
+        let t = Tracer::recording();
+        {
+            let _outer = t
+                .span(Stage::Enumerate)
+                .with_node(0)
+                .with_detail(|| "height=2".into());
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = t.span(Stage::Smt).with_node(0);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        // Spans complete inside-out: the inner span lands first.
+        assert_eq!(events[0].name, "smt");
+        assert_eq!(events[1].name, "enumerate");
+        assert!(events[0].seq < events[1].seq);
+        // The outer span started first and fully contains the inner one.
+        let (inner, outer) = (&events[0], &events[1]);
+        assert!(outer.start_micros <= inner.start_micros);
+        let outer_end = outer.start_micros + outer.duration_micros.unwrap();
+        let inner_end = inner.start_micros + inner.duration_micros.unwrap();
+        assert!(inner_end <= outer_end, "inner span must nest inside outer");
+        assert_eq!(outer.detail, "height=2");
+        assert_eq!(outer.node, Some(0));
+    }
+
+    #[test]
+    fn named_counters_and_size_hist() {
+        let t = Tracer::metrics_only();
+        t.metrics().bump("smt.sat");
+        t.metrics().add("smt.sat", 2);
+        t.metrics().bump("divide.subterm");
+        t.metrics().record_size(5); // bucket 0
+        t.metrics().record_size(50); // bucket 2
+        assert_eq!(t.metrics().counter("smt.sat"), 3);
+        assert_eq!(t.metrics().counter("never"), 0);
+        let snap = t.metrics().snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("divide.subterm".to_owned(), 1), ("smt.sat".to_owned(), 3)]
+        );
+        assert_eq!(snap.size_hist[0], 1);
+        assert_eq!(snap.size_hist[2], 1);
+    }
+
+    #[test]
+    fn graph_events_buffer_only_when_recording() {
+        let off = Tracer::metrics_only();
+        off.graph_event(|| panic!("graph closure evaluated on disabled tracer"));
+        assert!(off.graph().is_empty());
+        let on = Tracer::recording();
+        on.graph_event(|| GraphEvent::Node {
+            id: 0,
+            label: "source".into(),
+        });
+        on.graph_event(|| GraphEvent::Solved {
+            id: 0,
+            engine: "deduction",
+        });
+        assert_eq!(on.graph().len(), 2);
+    }
+
+    #[test]
+    fn event_json_has_the_schema_fields() {
+        let t = Tracer::recording();
+        t.point(Stage::Smt, Some(7), || "answer=sat".into());
+        let events = t.events();
+        let json = events[0].to_json().to_string();
+        for needle in ["\"name\":\"smt\"", "\"node\":7", "\"detail\":\"answer=sat\""] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        // Round-trips through the parser.
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("smt"));
+    }
+
+    #[test]
+    fn clones_share_metrics_across_threads() {
+        let t = Tracer::metrics_only();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.metrics().stage(Stage::Worker).record_micros(10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.metrics().stage(Stage::Worker).count(), 400);
+    }
+}

@@ -4,12 +4,14 @@
 //! Run with: `cargo bench -p bench-harness --bench figures`
 //! Optional: `BENCH_TIMEOUT_SECS=10` (per-problem timeout, default 5),
 //! `BENCH_TRACK=INV|CLIA|General` (restrict tracks),
-//! `BENCH_CSV=path.csv` (dump the raw matrix).
+//! `BENCH_CSV=path.csv` (dump the raw matrix),
+//! `BENCH_OBS_JSON=path.json` (where to write the observability report;
+//! default `BENCH_observability.json` in the working directory).
 
 use bench_harness::{
     fig10_solved_by_track, fig11_fastest_by_track, fig12_cumulative, fig13_times_ascending,
-    fig15_deduction_share, problem_timeout, run_matrix, scatter_pairs, table1_solution_sizes,
-    to_csv, unique_solved,
+    fig15_deduction_share, observability_json, problem_timeout, run_matrix, scatter_pairs,
+    table1_solution_sizes, to_csv, unique_solved,
 };
 use dryadsynth::{
     Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
@@ -83,4 +85,9 @@ fn main() {
         std::fs::write(&path, to_csv(&records)).expect("write CSV");
         eprintln!("raw matrix written to {path}");
     }
+
+    let obs_path =
+        std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "BENCH_observability.json".to_owned());
+    std::fs::write(&obs_path, observability_json(&records)).expect("write observability report");
+    eprintln!("observability report written to {obs_path}");
 }

@@ -17,8 +17,9 @@
 
 #![warn(missing_docs)]
 
-use dryadsynth::{verify_solution, SygusSolver, SynthOutcome};
+use dryadsynth::{outcome_label, verify_solution, SygusSolver, SynthOutcome};
 use std::time::{Duration, Instant};
+use sygus_ast::{Json, Tracer};
 use sygus_benchmarks::{Benchmark, Track};
 
 // The shared resource-governance handle, re-exported so harness extensions
@@ -36,10 +37,22 @@ pub struct RunRecord {
     pub solver: String,
     /// Whether a verified solution was produced within the timeout.
     pub solved: bool,
+    /// The stable outcome label (`solved` / `timeout` / `resource-exhausted`
+    /// / `gave-up`), or `unverified` when a claimed solution failed the
+    /// harness's independent re-verification.
+    pub outcome: String,
     /// Wall-clock seconds spent.
     pub seconds: f64,
+    /// `seconds` on the competition's pseudo-log scale
+    /// ([`sygus_ast::time_bucket`]).
+    pub time_bucket: usize,
     /// Solution size (node count) when solved.
     pub size: Option<usize>,
+    /// `size` on the pseudo-log scale ([`sygus_ast::size_bucket`]).
+    pub size_bucket: Option<usize>,
+    /// Per-stage cumulative span time in microseconds, from the run's
+    /// tracer ([`sygus_ast::Stage`] names, zero-count stages omitted).
+    pub stage_micros: Vec<(String, u64)>,
 }
 
 /// Per-problem timeout, configurable with `BENCH_TIMEOUT_SECS`.
@@ -52,30 +65,52 @@ pub fn problem_timeout() -> Duration {
 }
 
 /// Runs one solver on one benchmark, re-verifying any claimed solution.
+///
+/// Each run gets a fresh metrics-only [`Tracer`] on its [`Budget`], so the
+/// per-stage timing totals in the record cover exactly that (solver,
+/// benchmark) pair and the instrumentation adds no per-event allocation.
 pub fn run_one(solver: &dyn SygusSolver, bench: &Benchmark, timeout: Duration) -> RunRecord {
     let problem = bench.problem();
+    let tracer = Tracer::metrics_only();
+    let budget = Budget::from_timeout(timeout).with_tracer(tracer.clone());
     let start = Instant::now();
-    let outcome = solver.solve_problem(&problem, timeout);
+    let (outcome, _stats) = solver.solve_governed_problem(&problem, &budget);
     let seconds = start.elapsed().as_secs_f64();
-    let (solved, size) = match outcome {
+    let mut label = outcome_label(&outcome);
+    let (solved, size) = match &outcome {
         SynthOutcome::Solved(body) => {
-            // Never trust a solver in the evaluation: re-verify.
+            // Never trust a solver in the evaluation: re-verify. The
+            // verification pass runs on its own budget (and tracer) so it
+            // does not pollute the solver's stage timings.
             let verify_budget = Budget::from_timeout(timeout);
-            if verify_solution(&problem, &body, Some(&verify_budget)) {
+            if verify_solution(&problem, body, Some(&verify_budget)) {
                 (true, Some(body.size()))
             } else {
+                label = "unverified";
                 (false, None)
             }
         }
         _ => (false, None),
     };
+    let stage_micros = tracer
+        .metrics()
+        .snapshot()
+        .stages
+        .iter()
+        .filter(|s| s.count > 0)
+        .map(|s| (s.stage.to_owned(), s.total_micros))
+        .collect();
     RunRecord {
         benchmark: bench.name.clone(),
         track: bench.track,
         solver: solver.name().to_owned(),
         solved,
+        outcome: label.to_owned(),
         seconds,
+        time_bucket: sygus_ast::time_bucket(seconds),
         size,
+        size_bucket: size.map(sygus_ast::size_bucket),
+        stage_micros,
     }
 }
 
@@ -423,6 +458,48 @@ pub fn to_csv(records: &[RunRecord]) -> String {
     out
 }
 
+/// The `BENCH_observability.json` emitter: the whole run matrix as one
+/// versioned JSON document (schema version [`dryadsynth::REPORT_VERSION`]),
+/// with per-benchmark outcome, wall time, pseudo-log bucket indices, and
+/// per-stage timing totals.
+pub fn observability_json(records: &[RunRecord]) -> String {
+    let runs: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            let mut fields: Vec<(&str, Json)> = vec![
+                ("benchmark", Json::str(&r.benchmark)),
+                ("track", Json::str(r.track.name())),
+                ("solver", Json::str(&r.solver)),
+                ("outcome", Json::str(&r.outcome)),
+                ("solved", Json::from(r.solved)),
+                ("seconds", Json::from(r.seconds)),
+                ("time_bucket", Json::from(r.time_bucket)),
+            ];
+            if let Some(size) = r.size {
+                fields.push(("size", Json::from(size)));
+            }
+            if let Some(bucket) = r.size_bucket {
+                fields.push(("size_bucket", Json::from(bucket)));
+            }
+            fields.push((
+                "stage_micros",
+                Json::Obj(
+                    r.stage_micros
+                        .iter()
+                        .map(|(stage, micros)| (stage.clone(), Json::from(*micros)))
+                        .collect(),
+                ),
+            ));
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("version", Json::from(dryadsynth::REPORT_VERSION)),
+        ("runs", Json::Arr(runs)),
+    ])
+    .to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,8 +510,12 @@ mod tests {
             track: t,
             solver: s.to_owned(),
             solved,
+            outcome: if solved { "solved" } else { "timeout" }.to_owned(),
             seconds: secs,
+            time_bucket: sygus_ast::time_bucket(secs),
             size,
+            size_bucket: size.map(sygus_ast::size_bucket),
+            stage_micros: vec![("smt".to_owned(), 120)],
         }
     }
 
@@ -490,6 +571,30 @@ mod tests {
         let csv = to_csv(&sample());
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.lines().nth(1).unwrap().starts_with("b1,CLIA,A,true"));
+    }
+
+    #[test]
+    fn observability_json_is_versioned_and_parses() {
+        let text = observability_json(&sample());
+        let doc = Json::parse(&text).expect("emitter output must parse");
+        assert_eq!(doc.get("version").and_then(Json::as_i64), Some(1));
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 6);
+        let first = &runs[0];
+        assert_eq!(first.get("outcome").and_then(Json::as_str), Some("solved"));
+        assert_eq!(first.get("time_bucket").and_then(Json::as_i64), Some(0));
+        assert_eq!(first.get("size_bucket").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            first
+                .get("stage_micros")
+                .and_then(|m| m.get("smt"))
+                .and_then(Json::as_i64),
+            Some(120)
+        );
+        // Unsolved records omit the size fields but keep the time bucket.
+        let unsolved = runs.iter().find(|r| r.get("solved").and_then(Json::as_bool) == Some(false)).unwrap();
+        assert!(unsolved.get("size").is_none());
+        assert_eq!(unsolved.get("outcome").and_then(Json::as_str), Some("timeout"));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Smoke tests for the evaluation harness: records are produced, solutions
 //! are re-verified, and the figure builders consume real data.
 
-use bench_harness::{fig10_solved_by_track, run_one, to_csv, RunRecord};
+use bench_harness::{fig10_solved_by_track, observability_json, run_one, to_csv, RunRecord};
 use dryadsynth::DryadSynth;
 use std::time::Duration;
+use sygus_ast::Json;
 
 #[test]
 fn run_one_produces_verified_record() {
@@ -13,8 +14,29 @@ fn run_one_produces_verified_record() {
     assert_eq!(rec.benchmark, "max2");
     assert_eq!(rec.solver, "DryadSynth");
     assert!(rec.solved, "max2 must solve");
+    assert_eq!(rec.outcome, "solved");
     assert!(rec.size.unwrap_or(0) >= 4, "max2 solutions have ≥ 4 nodes");
     assert!(rec.seconds < 20.0);
+    assert_eq!(rec.size_bucket, Some(0));
+    // The governed run threads a tracer, so stage timings must be present.
+    assert!(
+        rec.stage_micros.iter().any(|(s, _)| s == "smt"),
+        "expected smt stage timings, got {:?}",
+        rec.stage_micros
+    );
+}
+
+#[test]
+fn observability_report_parses_from_real_run() {
+    let bench = sygus_benchmarks::max_n(2);
+    let solver = DryadSynth::default();
+    let rec = run_one(&solver, &bench, Duration::from_secs(20));
+    let doc = Json::parse(&observability_json(&[rec])).expect("report must parse");
+    assert_eq!(doc.get("version").and_then(Json::as_i64), Some(1));
+    let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+    assert_eq!(runs[0].get("benchmark").and_then(Json::as_str), Some("max2"));
+    assert_eq!(runs[0].get("outcome").and_then(Json::as_str), Some("solved"));
+    assert!(runs[0].get("stage_micros").is_some());
 }
 
 #[test]

@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
-//!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] FILE.sl
+//!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats]
+//!            [--json] [--trace FILE] [--dot FILE] FILE.sl
 //! ```
 //!
 //! Reads a SyGuS-IF problem, solves it, and prints the solution in the
 //! competition's `define-fun` answer format (or `(fail)` / `(timeout)` /
-//! `(resource-exhausted)`).
+//! `(resource-exhausted)`). With `--json` the answer is replaced by a
+//! versioned machine-readable run report; `--trace FILE` writes the run's
+//! span/event log as JSONL and `--dot FILE` writes the subproblem graph
+//! with per-node solver attribution as Graphviz DOT.
 //!
 //! Exit codes distinguish the failure modes:
 //!
@@ -23,17 +27,22 @@
 //! | 6    | engine fault (a contained panic) and no solution   |
 
 use dryadsynth::{
-    CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
-    LoopInvGenBaseline, SygusSolver, SynthOutcome,
+    dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine,
+    EuSolverBaseline, LoopInvGenBaseline, RunReport, SygusSolver, SynthOutcome,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+use sygus_ast::Tracer;
 
 const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
-[--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] FILE.sl\n\
+[--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
+[--json] [--trace FILE] [--dot FILE] FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
-  --fuel caps governed engine steps independently of wall-clock time.";
+  --fuel caps governed engine steps independently of wall-clock time;\n\
+  --json prints a versioned machine-readable run report instead of the\n\
+  s-expression answer; --trace writes span/event JSONL; --dot writes the\n\
+  subproblem graph (with solver attribution) as Graphviz DOT.";
 
 struct Options {
     engine: String,
@@ -41,6 +50,9 @@ struct Options {
     fuel: Option<u64>,
     threads: usize,
     stats: bool,
+    json: bool,
+    trace: Option<String>,
+    dot: Option<String>,
     file: Option<String>,
 }
 
@@ -51,6 +63,9 @@ fn parse_args() -> Result<Options, String> {
         fuel: None,
         threads: 2,
         stats: false,
+        json: false,
+        trace: None,
+        dot: None,
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -79,6 +94,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = n;
             }
             "--stats" => opts.stats = true,
+            "--json" => opts.json = true,
+            "--trace" => {
+                opts.trace = Some(args.next().ok_or("--trace needs a file path")?);
+            }
+            "--dot" => {
+                opts.dot = Some(args.next().ok_or("--dot needs a file path")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             file => {
@@ -138,39 +160,46 @@ fn main() -> ExitCode {
         fuel: opts.fuel,
         ..DryadSynthConfig::default()
     };
-    // DryadSynth variants report full governed-run statistics; the
-    // baselines only produce an outcome.
-    let dryad: Option<DryadSynth> = match opts.engine.as_str() {
-        "coop" => Some(DryadSynth::new(dryad_config(Engine::Cooperative))),
-        "enum" => Some(DryadSynth::new(dryad_config(Engine::HeightEnumOnly))),
-        "deduct" => Some(DryadSynth::new(dryad_config(Engine::DeductionOnly))),
-        "euback" => Some(DryadSynth::new(dryad_config(Engine::BottomUpBacked))),
-        _ => None,
+    let solver: Box<dyn SygusSolver> = match opts.engine.as_str() {
+        "coop" => Box::new(DryadSynth::new(dryad_config(Engine::Cooperative))),
+        "enum" => Box::new(DryadSynth::new(dryad_config(Engine::HeightEnumOnly))),
+        "deduct" => Box::new(DryadSynth::new(dryad_config(Engine::DeductionOnly))),
+        "euback" => Box::new(DryadSynth::new(dryad_config(Engine::BottomUpBacked))),
+        "eusolver" => Box::new(EuSolverBaseline),
+        "cvc4" => Box::new(Cvc4Baseline),
+        "loopinvgen" => Box::new(LoopInvGenBaseline),
+        other => {
+            eprintln!("unknown engine `{other}`");
+            return ExitCode::from(2);
+        }
     };
-    let baseline: Option<Box<dyn SygusSolver>> = match opts.engine.as_str() {
-        "eusolver" => Some(Box::new(EuSolverBaseline)),
-        "cvc4" => Some(Box::new(Cvc4Baseline)),
-        "loopinvgen" => Some(Box::new(LoopInvGenBaseline)),
-        _ => None,
+
+    // Event recording is opt-in (it buffers every span); metrics are always
+    // on — a metrics-only tracer costs a few atomic ops per span.
+    let tracer = if opts.trace.is_some() || opts.dot.is_some() {
+        Tracer::recording()
+    } else {
+        Tracer::metrics_only()
     };
-    if dryad.is_none() && baseline.is_none() {
-        eprintln!("unknown engine `{}`", opts.engine);
-        return ExitCode::from(2);
-    }
+    let budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
 
     let start = Instant::now();
-    let (name, outcome, stats) = match (&dryad, &baseline) {
-        (Some(solver), _) => {
-            let (outcome, stats) = solver.solve_with_stats(&problem, opts.timeout);
-            (solver.name(), outcome, stats)
-        }
-        (None, Some(solver)) => {
-            let outcome = solver.solve_problem(&problem, opts.timeout);
-            (solver.name(), outcome, CoopStats::default())
-        }
-        (None, None) => unreachable!("engine validated above"),
-    };
+    let (outcome, stats) = solver.solve_governed_problem(&problem, &budget);
+    let name = solver.name();
     let elapsed = start.elapsed();
+
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, trace_jsonl(&tracer)) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.dot {
+        if let Err(e) = std::fs::write(path, dot_graph(&tracer)) {
+            eprintln!("cannot write dot {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     if opts.stats {
         eprintln!(
@@ -188,6 +217,18 @@ fn main() -> ExitCode {
     }
 
     let code = exit_code(&outcome, &stats);
+    if opts.json {
+        let report = RunReport::new(
+            name,
+            file.clone(),
+            outcome,
+            elapsed.as_secs_f64(),
+            stats,
+            &tracer,
+        );
+        println!("{}", report.to_json());
+        return code;
+    }
     match outcome {
         SynthOutcome::Solved(body) => {
             println!("{}", sygus_parser::solution_to_sygus(&problem, &body));

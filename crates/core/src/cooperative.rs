@@ -11,7 +11,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use sygus_ast::{Problem, Term};
+use sygus_ast::trace::{GraphEvent, Stage};
+use sygus_ast::{span, Problem, Term};
 
 /// Outcome of a cooperative synthesis run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -195,10 +196,24 @@ impl CooperativeSolver {
         stats.smt_queries = self.budget.smt_queries();
         stats.smt_retries = self.budget.smt_retries();
         stats.fuel_spent = self.budget.fuel_spent();
+        // Deterministic order so `--stats`/`--json` diffs are stable across
+        // runs regardless of which strategy proposed first.
+        stats.divisions_proposed.sort_by_key(|&(s, _)| s);
+        if let SynthOutcome::Solved(body) = &outcome {
+            self.budget
+                .tracer()
+                .metrics()
+                .record_size(sygus_ast::solution_size(body));
+        }
         (outcome, stats)
     }
 
     fn run(&self, problem: &Problem, stats: &mut CoopStats) -> SynthOutcome {
+        let tracer = self.budget.tracer().clone();
+        tracer.graph_event(|| GraphEvent::Node {
+            id: 0,
+            label: node_label(problem),
+        });
         let mut nodes: Vec<Node> = vec![Node {
             problem: problem.clone(),
             original: problem.clone(),
@@ -237,12 +252,14 @@ impl CooperativeSolver {
                 // Deduction first (lines 7–13). A panicking rule is caught,
                 // recorded as a fault, and treated as "no rule applied".
                 if !self.enumeration_only {
-                    let deduced =
+                    let deduced = {
+                        let _span = span!(tracer, Stage::Deduct, i);
                         catch_unwind(AssertUnwindSafe(|| self.deduction.deduct(&nodes[i].problem)))
                             .unwrap_or_else(|payload| {
                                 stats.record_fault("deduct", i, &*payload);
                                 DeductOutcome::Unchanged
-                            });
+                            })
+                    };
                     match deduced {
                         DeductOutcome::Solved(body) => {
                             let accepted = self.on_solved(
@@ -255,6 +272,10 @@ impl CooperativeSolver {
                             );
                             if accepted {
                                 stats.solved_by_deduction += 1;
+                                tracer.graph_event(|| GraphEvent::Solved {
+                                    id: i,
+                                    engine: "deduction",
+                                });
                                 if i == 0 && ded_queue.is_empty() && enum_queue.is_empty() {
                                     stats.source_solved_deductively = true;
                                 }
@@ -271,6 +292,7 @@ impl CooperativeSolver {
                         }
                         DeductOutcome::Unsolvable => {
                             nodes[i].dead = true;
+                            tracer.graph_event(|| GraphEvent::Dead { id: i });
                             if i == 0 {
                                 return SynthOutcome::GaveUp(
                                     "specification is unsatisfiable".into(),
@@ -284,17 +306,20 @@ impl CooperativeSolver {
                     // nothing.
                     if !nodes[i].divided && nodes.len() < self.max_nodes {
                         nodes[i].divided = true;
-                        let divisions =
+                        let divisions = {
+                            let _span = span!(tracer, Stage::Divide, i);
                             catch_unwind(AssertUnwindSafe(|| self.divider.divide(&nodes[i].problem)))
                                 .unwrap_or_else(|payload| {
                                     stats.record_fault("divide", i, &*payload);
                                     Vec::new()
-                                });
+                                })
+                        };
                         for division in divisions {
                             if nodes.len() >= self.max_nodes {
                                 break;
                             }
                             stats.count_division(division.strategy);
+                            tracer.metrics().bump(division_counter(division.strategy));
                             let key = node_key(&division.type_a);
                             let child = match keys.get(&key) {
                                 Some(&c) => c,
@@ -314,9 +339,18 @@ impl CooperativeSolver {
                                     stats.nodes += 1;
                                     keys.insert(key, c);
                                     ded_queue.push_back(c);
+                                    tracer.graph_event(|| GraphEvent::Node {
+                                        id: c,
+                                        label: node_label(&division.type_a),
+                                    });
                                     c
                                 }
                             };
+                            tracer.graph_event(|| GraphEvent::Edge {
+                                parent: i,
+                                child,
+                                strategy: division.strategy,
+                            });
                             // A child solved before this edge existed fires
                             // immediately.
                             let already = nodes[child].solution.clone();
@@ -356,11 +390,15 @@ impl CooperativeSolver {
                 // Enumeration step, panic-isolated: a crashing backend is
                 // recorded as a fault and the step counts as failed, so the
                 // queue (and the sibling subproblems) keep running.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    self.backend
-                        .solve_step(&nodes[i].problem, h, &nodes[i].examples)
-                }))
-                .unwrap_or_else(|payload| FixedHeightResult::Fault(panic_message(&*payload)));
+                let result = {
+                    let _span = span!(tracer, Stage::Enumerate, i)
+                        .with_detail(|| format!("height={h}"));
+                    catch_unwind(AssertUnwindSafe(|| {
+                        self.backend
+                            .solve_step(&nodes[i].problem, h, &nodes[i].examples)
+                    }))
+                    .unwrap_or_else(|payload| FixedHeightResult::Fault(panic_message(&*payload)))
+                };
                 match result {
                     FixedHeightResult::Solved(body) => {
                         let accepted = self.on_solved(
@@ -373,6 +411,10 @@ impl CooperativeSolver {
                         );
                         if accepted {
                             stats.solved_by_enumeration += 1;
+                            tracer.graph_event(|| GraphEvent::Solved {
+                                id: i,
+                                engine: "enumeration",
+                            });
                         } else {
                             // A wrapper produced an unverifiable candidate:
                             // keep searching this node at the next height.
@@ -475,6 +517,8 @@ impl CooperativeSolver {
             return;
         }
         stats.type_b_fired += 1;
+        let tracer = self.budget.tracer();
+        let _span = span!(tracer, Stage::TypeB, parent);
         // Type-B recombination is panic-isolated like every other step.
         let recombined = catch_unwind(AssertUnwindSafe(|| {
             division.type_b(&nodes[parent].problem, child_solution)
@@ -488,7 +532,12 @@ impl CooperativeSolver {
         };
         match recombined {
             TypeBOutcome::Solved(body) => {
-                self.on_solved(parent, body, nodes, ded_queue, enum_queue, stats);
+                if self.on_solved(parent, body, nodes, ded_queue, enum_queue, stats) {
+                    tracer.graph_event(|| GraphEvent::Solved {
+                        id: parent,
+                        engine: "type-b",
+                    });
+                }
             }
             TypeBOutcome::Subproblem { problem, wrap } => {
                 // A vacuous Type-A solution (e.g. `false` under ∨) leaves
@@ -505,6 +554,28 @@ impl CooperativeSolver {
                 ded_queue.push_back(parent);
             }
         }
+    }
+}
+
+/// A short human-readable label for the DOT sink (the spec, truncated).
+fn node_label(p: &Problem) -> String {
+    let spec = p.spec().to_string();
+    let mut label: String = spec.chars().take(48).collect();
+    if label.len() < spec.len() {
+        label.push_str("...");
+    }
+    label
+}
+
+/// The static counter name for a division strategy (allocation-free on the
+/// hot path; strategies are a closed set).
+fn division_counter(strategy: &str) -> &'static str {
+    match strategy {
+        "subterm" => "divide.subterm",
+        "fixed-term" => "divide.fixed-term",
+        "weaker-spec-and" => "divide.weaker-spec-and",
+        "weaker-spec-or" => "divide.weaker-spec-or",
+        _ => "divide.other",
     }
 }
 

@@ -100,6 +100,7 @@ impl DeductiveEngine {
 
     /// Algorithm 3: simplify the spec to fixpoint, then report.
     pub fn deduct(&self, problem: &Problem) -> DeductOutcome {
+        self.config.budget.tracer().metrics().bump("deduct.passes");
         let f = problem.synth_fun.name;
         let mut cs: Vec<Term> = Vec::new();
         for c in &problem.constraints {

@@ -10,6 +10,7 @@ use crate::deduction::match_into_grammar;
 use smtkit::{SmtConfig, SmtSolver, Validity};
 use std::sync::Arc;
 use sygus_ast::runtime::Budget;
+use sygus_ast::trace::Stage;
 use sygus_ast::{
     conjuncts, simplify, FuncDef, Grammar, GrammarFlavor, Op, Problem, Sort, Symbol, SynthFun,
     Term, TermNode,
@@ -197,11 +198,24 @@ impl Divider {
     /// Proposes all Type-A subproblems of `problem`
     /// (`TypeASubproblems` in Algorithm 1).
     pub fn divide(&self, problem: &Problem) -> Vec<Division> {
+        let tracer = self.config.budget.tracer().clone();
         let mut out = Vec::new();
-        out.extend(self.subterm_divisions(problem));
-        out.extend(self.weaker_spec_divisions(problem));
+        let subterm = self.subterm_divisions(problem);
+        tracer.point(Stage::Divide, None, || {
+            format!("strategy=subterm proposals={}", subterm.len())
+        });
+        out.extend(subterm);
+        let weaker = self.weaker_spec_divisions(problem);
+        tracer.point(Stage::Divide, None, || {
+            format!("strategy=weaker-spec proposals={}", weaker.len())
+        });
+        out.extend(weaker);
         if self.config.fixed_term {
-            out.extend(self.fixed_term_division(problem));
+            let fixed = self.fixed_term_division(problem);
+            tracer.point(Stage::Divide, None, || {
+                format!("strategy=fixed-term proposals={}", fixed.len())
+            });
+            out.extend(fixed);
         }
         out
     }
@@ -545,8 +559,11 @@ fn guard_over_params(problem: &Problem, candidate: &Term) -> Option<Term> {
 /// cooperative loop before accepting a Type-B result). `None` runs
 /// unbounded.
 pub fn verify_solution(problem: &Problem, body: &Term, budget: Option<&Budget>) -> bool {
+    let budget = budget.cloned().unwrap_or_default();
+    let tracer = budget.tracer().clone();
+    let _span = tracer.span(Stage::Verify);
     let smt = SmtSolver::with_config(SmtConfig {
-        budget: budget.cloned().unwrap_or_default(),
+        budget,
         ..SmtConfig::default()
     });
     let formula = problem.verification_formula(body);

@@ -174,6 +174,10 @@ impl FixedHeightSolver {
         height: usize,
         examples: &ExamplePool,
     ) -> FixedHeightResult {
+        let tracer = self.config.budget.tracer().clone();
+        let _span = tracer
+            .span(sygus_ast::trace::Stage::FixedHeight)
+            .with_detail(|| format!("height={height}"));
         let cfg = self.config.adapted_to(problem);
         let sf = &problem.synth_fun;
         let encoder = match sf.grammar.flavor() {
@@ -228,6 +232,7 @@ impl FixedHeightSolver {
                 }
                 let _ = cfg.budget.charge_fuel(1);
                 rounds += 1;
+                cfg.budget.tracer().metrics().bump("cegis.rounds");
                 if rounds > cfg.max_cegis_rounds {
                     return FixedHeightResult::Failed("CEGIS round limit".into());
                 }
@@ -313,6 +318,7 @@ impl FixedHeightSolver {
             }
             let _ = cfg.budget.charge_fuel(1);
             rounds += 1;
+            cfg.budget.tracer().metrics().bump("cegis.rounds");
             if rounds > cfg.max_cegis_rounds {
                 return FixedHeightResult::Failed("CEGIS round limit".into());
             }

@@ -11,6 +11,7 @@ mod encode_clia;
 mod encode_general;
 mod fixed_height;
 mod invariant;
+pub mod observe;
 mod parallel;
 pub mod runtime;
 mod simplify_solution;
@@ -28,6 +29,7 @@ pub use fixed_height::{
 pub use invariant::{
     fast_trans, recognize_translation, strengthen_with_summary, summarize, Translation,
 };
+pub use observe::{dot_graph, outcome_label, trace_jsonl, RunReport, REPORT_VERSION};
 pub use parallel::{BottomUpBackend, EnumBackend, FixedHeightBackend, ParallelHeightBackend};
 pub use runtime::{Budget, BudgetError, EngineFault};
 pub use simplify_solution::{simplify_solution, SimplifyConfig};

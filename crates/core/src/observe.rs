@@ -1,0 +1,354 @@
+//! Observability sinks for the solver runtime: the versioned machine-readable
+//! run report (`--json`), the JSONL trace sink (`--trace`), and the
+//! subproblem-graph DOT sink (`--dot`).
+//!
+//! The data all comes from the [`Tracer`] riding on the run's
+//! [`Budget`](crate::Budget) — the sinks here only *format*; they never
+//! instrument. See `crates/ast/src/trace.rs` for the recording side and
+//! DESIGN.md ("Observability") for the event schema and versioning policy.
+
+use crate::{CoopStats, SynthOutcome};
+use std::collections::BTreeMap;
+use sygus_ast::trace::{GraphEvent, Tracer};
+use sygus_ast::{size_bucket, solution_size, time_bucket, Json};
+
+/// The `version` field of the run-report schema. Bump on any breaking change
+/// to the report's shape; consumers must check it before reading further.
+pub const REPORT_VERSION: u64 = 1;
+
+/// The stable one-word label of a [`SynthOutcome`] for reports and the bench
+/// trajectory (`solved` / `timeout` / `resource-exhausted` / `gave-up`).
+pub fn outcome_label(outcome: &SynthOutcome) -> &'static str {
+    match outcome {
+        SynthOutcome::Solved(_) => "solved",
+        SynthOutcome::Timeout => "timeout",
+        SynthOutcome::ResourceExhausted(_) => "resource-exhausted",
+        SynthOutcome::GaveUp(_) => "gave-up",
+    }
+}
+
+/// A machine-readable description of one solver run, serialisable as the
+/// versioned `--json` report.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The solver/engine display name.
+    pub solver: String,
+    /// The problem source (file path or benchmark name).
+    pub source: String,
+    /// The run outcome.
+    pub outcome: SynthOutcome,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+    /// The cooperative run statistics (empty-default for baselines).
+    pub stats: CoopStats,
+    /// The metrics snapshot taken from the run's tracer.
+    pub metrics: sygus_ast::MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Assembles a report from a finished run, snapshotting `tracer`'s
+    /// metrics at this moment.
+    pub fn new(
+        solver: impl Into<String>,
+        source: impl Into<String>,
+        outcome: SynthOutcome,
+        seconds: f64,
+        stats: CoopStats,
+        tracer: &Tracer,
+    ) -> RunReport {
+        RunReport {
+            solver: solver.into(),
+            source: source.into(),
+            outcome,
+            seconds,
+            stats,
+            metrics: tracer.metrics().snapshot(),
+        }
+    }
+
+    /// The report as a JSON object (schema `version` [`REPORT_VERSION`]).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("version", Json::from(REPORT_VERSION)),
+            ("solver", Json::str(&self.solver)),
+            ("source", Json::str(&self.source)),
+            ("outcome", Json::str(outcome_label(&self.outcome))),
+            ("seconds", Json::from(self.seconds)),
+            ("time_bucket", Json::from(time_bucket(self.seconds))),
+        ];
+        match &self.outcome {
+            SynthOutcome::Solved(body) => {
+                let size = solution_size(body);
+                fields.push(("solution", Json::str(body.to_string())));
+                fields.push(("solution_size", Json::from(size)));
+                fields.push(("size_bucket", Json::from(size_bucket(size))));
+            }
+            SynthOutcome::ResourceExhausted(reason) | SynthOutcome::GaveUp(reason) => {
+                fields.push(("reason", Json::str(reason)));
+            }
+            SynthOutcome::Timeout => {}
+        }
+        fields.push(("stats", stats_json(&self.stats)));
+        fields.push((
+            "faults",
+            Json::Arr(
+                self.stats
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("stage", Json::str(f.stage)),
+                            ("node", Json::from(f.node)),
+                            ("message", Json::str(&f.message)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push(("metrics", self.metrics.to_json()));
+        Json::obj(fields)
+    }
+}
+
+fn stats_json(stats: &CoopStats) -> Json {
+    Json::obj([
+        ("nodes", Json::from(stats.nodes)),
+        (
+            "solved_by_deduction",
+            Json::from(stats.solved_by_deduction),
+        ),
+        (
+            "solved_by_enumeration",
+            Json::from(stats.solved_by_enumeration),
+        ),
+        (
+            "source_solved_deductively",
+            Json::from(stats.source_solved_deductively),
+        ),
+        (
+            "divisions_proposed",
+            Json::Obj(
+                stats
+                    .divisions_proposed
+                    .iter()
+                    .map(|&(s, n)| (s.to_owned(), Json::from(n)))
+                    .collect(),
+            ),
+        ),
+        ("type_b_fired", Json::from(stats.type_b_fired)),
+        ("smt_queries", Json::from(stats.smt_queries)),
+        ("smt_retries", Json::from(stats.smt_retries)),
+        ("fuel_spent", Json::from(stats.fuel_spent)),
+    ])
+}
+
+/// Renders the tracer's buffered events as JSONL (one event object per
+/// line), the `--trace FILE` sink format. Empty for metrics-only tracers.
+pub fn trace_jsonl(tracer: &Tracer) -> String {
+    let mut out = String::new();
+    for event in tracer.events() {
+        out.push_str(&event.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[derive(Default)]
+struct DotNode {
+    label: String,
+    engine: Option<&'static str>,
+    dead: bool,
+}
+
+/// Reconstructs the subproblem graph from the tracer's buffered graph
+/// events and renders it as Graphviz DOT, with per-node solver attribution
+/// (the paper's Type-A/Type-B analysis). Empty graph for metrics-only
+/// tracers.
+pub fn dot_graph(tracer: &Tracer) -> String {
+    let mut nodes: BTreeMap<usize, DotNode> = BTreeMap::new();
+    let mut edges: Vec<(usize, usize, &'static str)> = Vec::new();
+    for event in tracer.graph() {
+        match event {
+            GraphEvent::Node { id, label } => {
+                nodes.entry(id).or_default().label = label;
+            }
+            GraphEvent::Edge {
+                parent,
+                child,
+                strategy,
+            } => edges.push((parent, child, strategy)),
+            GraphEvent::Solved { id, engine } => {
+                nodes.entry(id).or_default().engine = Some(engine);
+            }
+            GraphEvent::Dead { id } => {
+                nodes.entry(id).or_default().dead = true;
+            }
+        }
+    }
+    let mut out = String::from(
+        "digraph subproblems {\n  rankdir=TB;\n  node [shape=box fontname=\"monospace\"];\n",
+    );
+    for (id, node) in &nodes {
+        let mut label = format!("n{id}");
+        if !node.label.is_empty() {
+            label.push_str("\\n");
+            label.push_str(&dot_escape(&node.label));
+        }
+        let style = match (node.engine, node.dead) {
+            (Some(engine), _) => {
+                label.push_str("\\nsolved by ");
+                label.push_str(engine);
+                match engine {
+                    "deduction" => " style=filled fillcolor=palegreen",
+                    "enumeration" => " style=filled fillcolor=lightskyblue",
+                    _ => " style=filled fillcolor=khaki",
+                }
+            }
+            (None, true) => {
+                label.push_str("\\ndead");
+                " style=filled fillcolor=lightgray"
+            }
+            (None, false) => "",
+        };
+        out.push_str(&format!("  n{id} [label=\"{label}\"{style}];\n"));
+    }
+    for (parent, child, strategy) in &edges {
+        out.push_str(&format!(
+            "  n{parent} -> n{child} [label=\"{strategy}\"];\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineFault;
+
+    fn sample_stats() -> CoopStats {
+        CoopStats {
+            nodes: 3,
+            solved_by_deduction: 1,
+            solved_by_enumeration: 1,
+            divisions_proposed: vec![("subterm", 2), ("weaker-spec-or", 1)],
+            type_b_fired: 2,
+            faults: vec![EngineFault {
+                stage: "enumerate",
+                node: 1,
+                message: "injected".into(),
+            }],
+            smt_queries: 9,
+            ..CoopStats::default()
+        }
+    }
+
+    #[test]
+    fn report_round_trips_with_version_1() {
+        let tracer = Tracer::metrics_only();
+        tracer.metrics().bump("smt.sat");
+        let report = RunReport::new(
+            "DryadSynth",
+            "bench/max2.sl",
+            SynthOutcome::Solved(sygus_ast::Term::int_var("x")),
+            2.5,
+            sample_stats(),
+            &tracer,
+        );
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            parsed.get("outcome").and_then(Json::as_str),
+            Some("solved")
+        );
+        assert_eq!(parsed.get("time_bucket").and_then(Json::as_i64), Some(1));
+        assert_eq!(parsed.get("size_bucket").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("smt_queries"))
+                .and_then(Json::as_i64),
+            Some(9)
+        );
+        let faults = parsed.get("faults").and_then(Json::as_arr).unwrap();
+        assert_eq!(faults[0].get("stage").and_then(Json::as_str), Some("enumerate"));
+        // The metrics snapshot rode along.
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("smt.sat"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unsuccessful_outcomes_carry_reasons() {
+        let tracer = Tracer::metrics_only();
+        let report = RunReport::new(
+            "DryadSynth",
+            "p.sl",
+            SynthOutcome::GaveUp("search space exhausted".into()),
+            0.1,
+            CoopStats::default(),
+            &tracer,
+        );
+        let parsed = Json::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("outcome").and_then(Json::as_str), Some("gave-up"));
+        assert_eq!(
+            parsed.get("reason").and_then(Json::as_str),
+            Some("search space exhausted")
+        );
+        assert!(parsed.get("solution").is_none());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_parseable_line_per_event() {
+        let tracer = Tracer::recording();
+        drop(tracer.span(sygus_ast::Stage::Deduct).with_node(0));
+        drop(tracer.span(sygus_ast::Stage::Smt));
+        let jsonl = trace_jsonl(&tracer);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Json::parse(line).unwrap();
+        }
+        assert!(trace_jsonl(&Tracer::metrics_only()).is_empty());
+    }
+
+    #[test]
+    fn dot_graph_attributes_solvers_and_strategies() {
+        let tracer = Tracer::recording();
+        tracer.graph_event(|| GraphEvent::Node {
+            id: 0,
+            label: "(= (f x) \"q\")".into(),
+        });
+        tracer.graph_event(|| GraphEvent::Node {
+            id: 1,
+            label: "aux".into(),
+        });
+        tracer.graph_event(|| GraphEvent::Edge {
+            parent: 0,
+            child: 1,
+            strategy: "subterm",
+        });
+        tracer.graph_event(|| GraphEvent::Solved {
+            id: 1,
+            engine: "deduction",
+        });
+        tracer.graph_event(|| GraphEvent::Dead { id: 0 });
+        let dot = dot_graph(&tracer);
+        assert!(dot.starts_with("digraph subproblems {"));
+        assert!(dot.contains("n0 -> n1 [label=\"subterm\"]"));
+        assert!(dot.contains("solved by deduction"));
+        assert!(dot.contains("fillcolor=palegreen"));
+        assert!(dot.contains("\\\"q\\\""), "quotes must be escaped: {dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

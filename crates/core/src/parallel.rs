@@ -121,6 +121,10 @@ impl EnumBackend for ParallelHeightBackend {
                     cfg.budget = band.clone();
                     let band = band.clone();
                     scope.spawn(move || {
+                        let tracer = band.tracer().clone();
+                        let _span = tracer
+                            .span(sygus_ast::trace::Stage::Worker)
+                            .with_detail(|| format!("height={h}"));
                         // A panicking worker is contained here: siblings keep
                         // running and the payload is reported as a fault.
                         let r = catch_unwind(AssertUnwindSafe(|| {

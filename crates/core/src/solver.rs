@@ -20,6 +20,33 @@ pub trait SygusSolver: Send + Sync {
 
     /// Attempts `problem` within the wall-clock budget.
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome;
+
+    /// Attempts `problem` under an explicit [`Budget`] (deadline, fuel,
+    /// cancellation, and the observability [`Tracer`](sygus_ast::Tracer)
+    /// riding on it), reporting run statistics. Every engine here overrides
+    /// this to thread the budget end to end; the default derives a
+    /// wall-clock timeout for solvers with no richer governance (telemetry
+    /// recorded on *internal* budgets is then invisible to `budget`'s
+    /// tracer).
+    fn solve_governed_problem(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (SynthOutcome, CoopStats) {
+        let timeout = budget.remaining_time().unwrap_or(Duration::from_secs(3600));
+        (self.solve_problem(problem, timeout), CoopStats::default())
+    }
+}
+
+/// Statistics for a governed baseline run: only the budget's telemetry
+/// counters are populated.
+fn governed_stats(budget: &Budget) -> CoopStats {
+    CoopStats {
+        smt_queries: budget.smt_queries(),
+        smt_retries: budget.smt_retries(),
+        fuel_spent: budget.fuel_spent(),
+        ..CoopStats::default()
+    }
 }
 
 /// Which engine configuration to run.
@@ -206,6 +233,18 @@ impl SygusSolver for DryadSynth {
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
         self.solve_with_stats(problem, timeout).0
     }
+
+    fn solve_governed_problem(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (SynthOutcome, CoopStats) {
+        let budget = match self.config.fuel {
+            Some(fuel) => budget.with_fuel(fuel),
+            None => budget.clone(),
+        };
+        self.solve_governed(problem, budget)
+    }
 }
 
 /// The EUSolver comparison point as a [`SygusSolver`].
@@ -218,16 +257,26 @@ impl SygusSolver for EuSolverBaseline {
     }
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
+            .0
+    }
+
+    fn solve_governed_problem(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (SynthOutcome, CoopStats) {
         let cfg = BottomUpConfig {
-            budget: Budget::from_timeout(timeout),
+            budget: budget.clone(),
             ..BottomUpConfig::default()
         };
-        match BottomUpSolver::new(cfg).solve(problem) {
+        let outcome = match BottomUpSolver::new(cfg).solve(problem) {
             SynthStatus::Solved(t) => SynthOutcome::Solved(t),
             SynthStatus::Timeout => SynthOutcome::Timeout,
             SynthStatus::Exhausted => SynthOutcome::GaveUp("exhausted".into()),
             SynthStatus::Failed(m) => SynthOutcome::GaveUp(m),
-        }
+        };
+        (outcome, governed_stats(budget))
     }
 }
 
@@ -241,10 +290,20 @@ impl SygusSolver for Cvc4Baseline {
     }
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        CegqiSolver::new(BaselineConfig {
-            budget: Budget::from_timeout(timeout),
+        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
+            .0
+    }
+
+    fn solve_governed_problem(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (SynthOutcome, CoopStats) {
+        let outcome = CegqiSolver::new(BaselineConfig {
+            budget: budget.clone(),
         })
-        .solve(problem)
+        .solve(problem);
+        (outcome, governed_stats(budget))
     }
 }
 
@@ -258,10 +317,20 @@ impl SygusSolver for LoopInvGenBaseline {
     }
 
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        HoudiniInvSolver::new(BaselineConfig {
-            budget: Budget::from_timeout(timeout),
+        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
+            .0
+    }
+
+    fn solve_governed_problem(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (SynthOutcome, CoopStats) {
+        let outcome = HoudiniInvSolver::new(BaselineConfig {
+            budget: budget.clone(),
         })
-        .solve(problem)
+        .solve(problem);
+        (outcome, governed_stats(budget))
     }
 }
 

@@ -148,6 +148,37 @@ fn faults_do_not_stop_the_deductive_engine() {
 }
 
 #[test]
+fn faulted_run_report_carries_the_engine_fault() {
+    // The `--json` report of a faulted run must expose every contained
+    // panic as a fault record so harnesses can flag flaky engines.
+    let p = parse_problem(MAX2).unwrap();
+    let backend = Arc::new(PanicBackend {
+        calls: AtomicUsize::new(0),
+    });
+    let tracer = sygus_ast::Tracer::metrics_only();
+    let budget = Budget::from_timeout(Duration::from_secs(30)).with_tracer(tracer.clone());
+    let solver = coop(backend, budget).enumeration_only();
+    let (outcome, stats) = solver.solve_with_stats(&p);
+    assert!(!stats.faults.is_empty(), "faults must be recorded");
+    let report = dryadsynth::RunReport::new("coop", "max2", outcome, 0.2, stats, &tracer);
+    let parsed = sygus_ast::Json::parse(&report.to_json().to_string()).unwrap();
+    let faults = parsed
+        .get("faults")
+        .and_then(sygus_ast::Json::as_arr)
+        .expect("report has a faults array");
+    assert!(!faults.is_empty());
+    assert_eq!(
+        faults[0].get("stage").and_then(sygus_ast::Json::as_str),
+        Some("enumerate")
+    );
+    let message = faults[0]
+        .get("message")
+        .and_then(sygus_ast::Json::as_str)
+        .unwrap();
+    assert!(message.contains("injected fault"), "payload in report: {message}");
+}
+
+#[test]
 fn budget_hog_reports_resource_exhaustion() {
     let p = parse_problem(MAX2).unwrap();
     let budget = Budget::from_timeout(Duration::from_secs(30)).with_fuel(10_000);

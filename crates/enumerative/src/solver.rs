@@ -106,11 +106,16 @@ impl BottomUpSolver {
         });
         let constant_pool = constant_pool(problem, &self.config.enum_config);
 
-        for _round in 0..self.config.max_cegis_rounds {
+        let tracer = self.config.budget.tracer().clone();
+        for round in 0..self.config.max_cegis_rounds {
             if self.timed_out() {
                 return SynthStatus::Timeout;
             }
             let _ = self.config.budget.charge_fuel(1);
+            tracer.metrics().bump("cegis.rounds");
+            let _span = tracer
+                .span(sygus_ast::trace::Stage::BottomUp)
+                .with_detail(|| format!("round={round} examples={}", examples.len()));
             let Some(candidate) =
                 self.find_candidate(problem, &spec, &examples, pointwise, &constant_pool)
             else {
@@ -181,6 +186,12 @@ impl BottomUpSolver {
                 return None;
             }
             let _ = self.config.budget.charge_fuel(1);
+            self.config
+                .budget
+                .tracer()
+                .point(sygus_ast::trace::Stage::BottomUp, None, || {
+                    format!("layer size={size}")
+                });
             let layer = en.terms_of_nt_size(target_nt, size).to_vec();
             for t in &layer {
                 if satisfies_all(t, &mut work_defs) {

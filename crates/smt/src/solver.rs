@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
 use sygus_ast::runtime::{Budget, BudgetError};
+use sygus_ast::trace::Stage;
 use sygus_ast::{Env, LinearExpr, Op, Sort, Symbol, Term, TermNode, Value};
 
 /// Configuration for [`SmtSolver`].
@@ -794,6 +795,18 @@ impl TheoryChecker<'_> {
 // The solver proper
 // ---------------------------------------------------------------------------
 
+/// The static counter name for a retry-ladder rung (allocation-free; the
+/// ladder is short — the default config takes at most 2 escalations).
+fn retry_rung_counter(escalation: u32) -> &'static str {
+    match escalation {
+        1 => "smt.retry.rung1",
+        2 => "smt.retry.rung2",
+        3 => "smt.retry.rung3",
+        4 => "smt.retry.rung4",
+        _ => "smt.retry.rung5+",
+    }
+}
+
 impl SmtSolver {
     /// Creates a solver with default configuration.
     pub fn new() -> SmtSolver {
@@ -834,8 +847,10 @@ impl SmtSolver {
     /// [`SmtError::ResourceLimit`] when budgets run out.
     pub fn check(&self, formula: &Term) -> Result<SmtResult, SmtError> {
         self.cfg.budget.note_smt_query();
+        let tracer = self.cfg.budget.tracer().clone();
+        let span = tracer.span(Stage::Smt);
         let mut escalation: u32 = 0;
-        loop {
+        let result = loop {
             // Each rung multiplies both base limits by 4.
             let factor = 1u64 << (2 * escalation.min(16));
             let lia_budget = self.cfg.lia_budget.max(1).saturating_mul(factor);
@@ -848,14 +863,27 @@ impl SmtSolver {
                     if escalation >= self.cfg.retry_escalations
                         || self.cfg.budget.check().is_err()
                     {
-                        return Err(SmtError::ResourceLimit(which));
+                        break Err(SmtError::ResourceLimit(which));
                     }
                     escalation += 1;
                     self.cfg.budget.note_smt_retry();
+                    tracer.metrics().bump(retry_rung_counter(escalation));
                 }
-                other => return other,
+                other => break other,
             }
-        }
+        };
+        let answer = match &result {
+            Ok(SmtResult::Sat(_)) => "sat",
+            Ok(SmtResult::Unsat) => "unsat",
+            Err(_) => "unknown",
+        };
+        tracer.metrics().bump(match answer {
+            "sat" => "smt.sat",
+            "unsat" => "smt.unsat",
+            _ => "smt.unknown",
+        });
+        drop(span.with_detail(|| format!("answer={answer} rung={escalation}")));
+        result
     }
 
     /// One attempt of the lazy DPLL(T) loop under explicit limits.
@@ -967,6 +995,7 @@ impl SmtSolver {
             // One fuel unit per lazy round keeps `--fuel` meaningful down to
             // the decision-procedure layer.
             let _ = self.cfg.budget.charge_fuel(1);
+            self.cfg.budget.tracer().metrics().bump("smt.theory_rounds");
             rounds += 1;
             if rounds > max_theory_rounds {
                 return Err(SmtError::ResourceLimit("theory rounds"));
@@ -1023,6 +1052,7 @@ impl SmtSolver {
                     return Ok(SmtResult::Sat(model));
                 }
                 TheoryOutcome::Unsat => {
+                    self.cfg.budget.tracer().metrics().bump("smt.conflicts");
                     // Core minimization: binary-search the minimal failing
                     // prefix ("prefix is unsat" is monotone, so O(log n)
                     // checks locate it), then greedy deletion on the
