@@ -1,0 +1,644 @@
+//! Grammar dataflow analysis: nonterminal reachability, productivity, and
+//! minimum size/height fixpoints, plus the lint report built on top of them
+//! and the size-feasibility table the enumerator uses to skip provably-empty
+//! size slots.
+//!
+//! All analyses are least fixpoints over the production hypergraph, so they
+//! terminate on arbitrary (including cyclic) grammars and over-approximate
+//! derivability: when [`SizeFeasibility`] says a slot is empty, no term of
+//! that size exists — the safe direction for pruning.
+
+use crate::{GTerm, Grammar, NonterminalId};
+use std::fmt;
+
+/// Dataflow facts about a [`Grammar`], computed once by
+/// [`GrammarAnalysis::analyze`].
+#[derive(Clone, Debug)]
+pub struct GrammarAnalysis {
+    reachable: Vec<bool>,
+    min_size: Vec<Option<usize>>,
+    min_height: Vec<Option<usize>>,
+}
+
+/// Minimum node count of a term derivable from `pat`, given per-nonterminal
+/// minima (`None` = not yet known to derive anything).
+fn pat_min_size(pat: &GTerm, ms: &[Option<usize>]) -> Option<usize> {
+    match pat {
+        GTerm::Nonterminal(j) => ms[*j],
+        GTerm::App(_, args) => {
+            let mut total = 1usize;
+            for a in args {
+                total += pat_min_size(a, ms)?;
+            }
+            Some(total)
+        }
+        _ => Some(1),
+    }
+}
+
+/// Minimum height of a term derivable from `pat` (a leaf has height 1).
+fn pat_min_height(pat: &GTerm, mh: &[Option<usize>]) -> Option<usize> {
+    match pat {
+        GTerm::Nonterminal(j) => mh[*j],
+        GTerm::App(_, args) => {
+            let mut deepest = 0usize;
+            for a in args {
+                deepest = deepest.max(pat_min_height(a, mh)?);
+            }
+            Some(1 + deepest)
+        }
+        _ => Some(1),
+    }
+}
+
+/// Collects every nonterminal referenced by `pat` into `out`.
+fn collect_refs(pat: &GTerm, out: &mut Vec<NonterminalId>) {
+    match pat {
+        GTerm::Nonterminal(j) => out.push(*j),
+        GTerm::App(_, args) => {
+            for a in args {
+                collect_refs(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+impl GrammarAnalysis {
+    /// Runs all fixpoints over `g`.
+    pub fn analyze(g: &Grammar) -> GrammarAnalysis {
+        let n = g.nonterminals().len();
+
+        // Reachability: BFS over nonterminal references from the start.
+        let mut reachable = vec![false; n];
+        if n > 0 {
+            let mut queue = vec![g.start()];
+            reachable[g.start()] = true;
+            while let Some(nt) = queue.pop() {
+                let mut refs = Vec::new();
+                for p in &g.nonterminal(nt).productions {
+                    collect_refs(p, &mut refs);
+                }
+                for j in refs {
+                    if !reachable[j] {
+                        reachable[j] = true;
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+
+        // Productivity + minimum size/height: Kleene iteration from ⊥.
+        let mut min_size: Vec<Option<usize>> = vec![None; n];
+        let mut min_height: Vec<Option<usize>> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for nt in 0..n {
+                for p in &g.nonterminal(nt).productions {
+                    if let Some(s) = pat_min_size(p, &min_size) {
+                        if min_size[nt].is_none_or(|cur| s < cur) {
+                            min_size[nt] = Some(s);
+                            changed = true;
+                        }
+                    }
+                    if let Some(h) = pat_min_height(p, &min_height) {
+                        if min_height[nt].is_none_or(|cur| h < cur) {
+                            min_height[nt] = Some(h);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        GrammarAnalysis {
+            reachable,
+            min_size,
+            min_height,
+        }
+    }
+
+    /// Whether `nt` is reachable from the start symbol.
+    pub fn reachable(&self, nt: NonterminalId) -> bool {
+        self.reachable[nt]
+    }
+
+    /// Whether `nt` derives at least one finite term.
+    pub fn productive(&self, nt: NonterminalId) -> bool {
+        self.min_size[nt].is_some()
+    }
+
+    /// Minimum node count over all terms derivable from `nt` (`None` if
+    /// unproductive).
+    pub fn min_size(&self, nt: NonterminalId) -> Option<usize> {
+        self.min_size[nt]
+    }
+
+    /// Minimum height over all terms derivable from `nt` (`None` if
+    /// unproductive).
+    pub fn min_height(&self, nt: NonterminalId) -> Option<usize> {
+        self.min_height[nt]
+    }
+}
+
+/// Severity of a [`LintFinding`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintLevel {
+    /// The grammar is broken: synthesis over it cannot succeed as written.
+    Error,
+    /// The grammar works but contains dead or non-CLIA structure.
+    Warning,
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintLevel::Error => "error",
+            LintLevel::Warning => "warning",
+        })
+    }
+}
+
+/// One diagnostic produced by [`lint_grammar`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Severity.
+    pub level: LintLevel,
+    /// The nonterminal the finding is about.
+    pub nonterminal: NonterminalId,
+    /// The offending production's index within the nonterminal, when the
+    /// finding is about one production rather than the whole nonterminal.
+    pub production: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The result of linting a grammar: deterministic, sorted findings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, sorted by (nonterminal, production, level, message).
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Number of error-level findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == LintLevel::Error)
+            .count()
+    }
+
+    /// Number of warning-level findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == LintLevel::Warning)
+            .count()
+    }
+
+    /// Whether the report has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            match finding.production {
+                Some(p) => writeln!(
+                    f,
+                    "{}[nt {}, prod {}]: {}",
+                    finding.level, finding.nonterminal, p, finding.message
+                )?,
+                None => writeln!(
+                    f,
+                    "{}[nt {}]: {}",
+                    finding.level, finding.nonterminal, finding.message
+                )?,
+            }
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+/// Whether the pattern could multiply two non-constant factors anywhere
+/// (nonlinear arithmetic, outside CLIA).
+fn has_nonlinear_mul(pat: &GTerm) -> bool {
+    match pat {
+        GTerm::App(op, args) => {
+            if *op == crate::Op::Mul {
+                let nonconst = args
+                    .iter()
+                    .filter(|a| !matches!(a, GTerm::Const(_) | GTerm::AnyConst(_)))
+                    .count();
+                if nonconst >= 2 {
+                    return true;
+                }
+            }
+            args.iter().any(has_nonlinear_mul)
+        }
+        _ => false,
+    }
+}
+
+/// Lints `g`: unproductive nonterminals and productions, unreachable
+/// nonterminals, and non-CLIA constructs. Output is deterministic — findings
+/// are sorted by (nonterminal id, production index, level, message).
+pub fn lint_grammar(g: &Grammar) -> LintReport {
+    let a = GrammarAnalysis::analyze(g);
+    let mut findings = Vec::new();
+    for (i, nt) in g.nonterminals().iter().enumerate() {
+        if !a.productive(i) {
+            findings.push(LintFinding {
+                // An unproductive nonterminal nobody can reach is dead
+                // weight, not a soundness problem.
+                level: if a.reachable(i) {
+                    LintLevel::Error
+                } else {
+                    LintLevel::Warning
+                },
+                nonterminal: i,
+                production: None,
+                message: format!(
+                    "nonterminal `{}` is unproductive: it derives no finite term",
+                    nt.name
+                ),
+            });
+        } else {
+            for (pi, p) in nt.productions.iter().enumerate() {
+                if pat_min_size(p, &a.min_size).is_none() {
+                    findings.push(LintFinding {
+                        level: LintLevel::Warning,
+                        nonterminal: i,
+                        production: Some(pi),
+                        message: format!(
+                            "production `{}` of `{}` can never produce a term \
+                             (it references an unproductive nonterminal)",
+                            g.production_to_string(p),
+                            nt.name
+                        ),
+                    });
+                }
+            }
+        }
+        if a.productive(i) && !a.reachable(i) {
+            findings.push(LintFinding {
+                level: LintLevel::Warning,
+                nonterminal: i,
+                production: None,
+                message: format!(
+                    "nonterminal `{}` is unreachable from the start symbol",
+                    nt.name
+                ),
+            });
+        }
+        for (pi, p) in nt.productions.iter().enumerate() {
+            if has_nonlinear_mul(p) {
+                findings.push(LintFinding {
+                    level: LintLevel::Warning,
+                    nonterminal: i,
+                    production: Some(pi),
+                    message: format!(
+                        "production `{}` of `{}` multiplies two non-constant \
+                         factors (nonlinear, outside CLIA)",
+                        g.production_to_string(p),
+                        nt.name
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|x, y| {
+        (x.nonterminal, x.production, x.level, x.message.as_str()).cmp(&(
+            y.nonterminal,
+            y.production,
+            y.level,
+            y.message.as_str(),
+        ))
+    });
+    LintReport { findings }
+}
+
+/// A per-(nonterminal, exact size) derivability table, filled on demand.
+///
+/// `feasible(nt, s)` is a least fixpoint per size row, so cyclic renaming
+/// productions (`S -> T`, `T -> S`) contribute nothing and the table is an
+/// *upper bound* on what a bottom-up enumerator can build: a `false` entry is
+/// a proof that the slot is empty, while `true` entries may still turn out
+/// empty for enumerators with extra restrictions.
+#[derive(Clone, Debug)]
+pub struct SizeFeasibility {
+    grammar: Grammar,
+    /// `rows[s - 1][nt]`: some term of exactly `s` nodes derives from `nt`.
+    rows: Vec<Vec<bool>>,
+}
+
+impl SizeFeasibility {
+    /// Creates an empty table for `g` (rows are computed lazily).
+    pub fn new(g: &Grammar) -> SizeFeasibility {
+        SizeFeasibility {
+            grammar: g.clone(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Ensures rows `1..=size` are computed.
+    pub fn ensure(&mut self, size: usize) {
+        let n = self.grammar.nonterminals().len();
+        while self.rows.len() < size {
+            let s = self.rows.len() + 1;
+            let mut row = vec![false; n];
+            // Inner fixpoint: same-size renaming chains (`S -> T`) settle in
+            // at most `n` passes.
+            loop {
+                let mut changed = false;
+                for nt in 0..n {
+                    if row[nt] {
+                        continue;
+                    }
+                    let hit = self
+                        .grammar
+                        .nonterminal(nt)
+                        .productions
+                        .iter()
+                        .any(|p| self.pat_ok(p, s, &row));
+                    if hit {
+                        row[nt] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            self.rows.push(row);
+        }
+    }
+
+    /// Whether some term of exactly `size` nodes derives from `nt`.
+    pub fn nonterminal_feasible(&mut self, nt: NonterminalId, size: usize) -> bool {
+        if size == 0 {
+            return false;
+        }
+        self.ensure(size);
+        self.rows[size - 1][nt]
+    }
+
+    /// Whether the production pattern `pat` can produce a term of exactly
+    /// `size` nodes.
+    pub fn pattern_feasible(&mut self, pat: &GTerm, size: usize) -> bool {
+        if size == 0 {
+            return false;
+        }
+        self.ensure(size);
+        let row = self.rows[size - 1].clone();
+        self.pat_ok(pat, size, &row)
+    }
+
+    /// `pat` derives a term of exactly `s` nodes. A top-level nonterminal
+    /// reference is a same-size renaming, so it reads `current` (the row for
+    /// size `s`, possibly still growing during the inner fixpoint); every
+    /// strictly-smaller query goes through finalized rows in [`Self::child_ok`].
+    fn pat_ok(&self, pat: &GTerm, s: usize, current: &[bool]) -> bool {
+        match pat {
+            GTerm::Nonterminal(j) => current[*j],
+            GTerm::App(_, args) => s > args.len() && self.children_ok(args, s - 1),
+            _ => s == 1,
+        }
+    }
+
+    /// The child patterns can take sizes summing to exactly `total` (each
+    /// child strictly smaller than the enclosing application).
+    fn children_ok(&self, args: &[GTerm], total: usize) -> bool {
+        match args {
+            [] => total == 0,
+            [only] => self.child_ok(only, total),
+            [head, rest @ ..] => (1..=total.saturating_sub(rest.len()))
+                .any(|t| self.child_ok(head, t) && self.children_ok(rest, total - t)),
+        }
+    }
+
+    /// A child pattern at size `t`, strictly below the row being built: all
+    /// consulted rows are finalized.
+    fn child_ok(&self, pat: &GTerm, t: usize) -> bool {
+        if t == 0 {
+            return false;
+        }
+        match pat {
+            GTerm::Nonterminal(j) => t <= self.rows.len() && self.rows[t - 1][*j],
+            GTerm::App(_, args) => t > args.len() && self.children_ok(args, t - 1),
+            _ => t == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Sort, Symbol};
+
+    /// S -> x | 0 | (+ S S) ; B -> (<= S S) (unreachable) ; U -> U
+    fn fixture() -> Grammar {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        let b = g.add_nonterminal("B", Sort::Bool);
+        let u = g.add_nonterminal("U", Sort::Int);
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(
+            b,
+            GTerm::App(Op::Le, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        g.add_production(u, GTerm::Nonterminal(u));
+        g
+    }
+
+    #[test]
+    fn reachability_and_productivity() {
+        let g = fixture();
+        let a = GrammarAnalysis::analyze(&g);
+        assert!(a.reachable(0));
+        assert!(!a.reachable(1));
+        assert!(!a.reachable(2));
+        assert!(a.productive(0));
+        assert!(a.productive(1));
+        assert!(!a.productive(2));
+    }
+
+    #[test]
+    fn min_size_and_height_fixpoints() {
+        let g = fixture();
+        let a = GrammarAnalysis::analyze(&g);
+        assert_eq!(a.min_size(0), Some(1));
+        assert_eq!(a.min_height(0), Some(1));
+        // B's only production is (<= S S): 1 + 1 + 1 nodes, height 2.
+        assert_eq!(a.min_size(1), Some(3));
+        assert_eq!(a.min_height(1), Some(2));
+        assert_eq!(a.min_size(2), None);
+        assert_eq!(a.min_height(2), None);
+    }
+
+    #[test]
+    fn lint_flags_unproductive_and_unreachable() {
+        let g = fixture();
+        let report = lint_grammar(&g);
+        // U is unproductive but unreachable → warning, not error.
+        assert_eq!(report.errors(), 0);
+        assert!(report.warnings() >= 2);
+        let rendered = report.to_string();
+        assert!(rendered.contains("`U` is unproductive"));
+        assert!(rendered.contains("`B` is unreachable"));
+    }
+
+    #[test]
+    fn lint_errors_on_reachable_unproductive_start() {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let report = lint_grammar(&g);
+        assert_eq!(report.errors(), 1);
+        assert!(report.to_string().starts_with("error[nt 0]"));
+    }
+
+    #[test]
+    fn lint_warns_on_partially_unproductive_production() {
+        // S -> x | (+ S U); U -> U : the second S-production is dead.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        let u = g.add_nonterminal("U", Sort::Int);
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(u)]),
+        );
+        g.add_production(u, GTerm::Nonterminal(u));
+        let report = lint_grammar(&g);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.nonterminal == 0 && f.production == Some(1)));
+        // U is reachable (via the dead production) and unproductive: error.
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn lint_warns_on_nonlinear_mul() {
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Mul, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let report = lint_grammar(&g);
+        assert!(report.to_string().contains("nonlinear"));
+        // Scaling by a constant is fine.
+        let mut g2 = Grammar::new();
+        let s2 = g2.add_nonterminal("S", Sort::Int);
+        g2.add_production(s2, GTerm::Var(Symbol::new("x"), Sort::Int));
+        g2.add_production(
+            s2,
+            GTerm::App(
+                Op::Mul,
+                vec![GTerm::AnyConst(Sort::Int), GTerm::Nonterminal(s2)],
+            ),
+        );
+        assert!(lint_grammar(&g2).is_clean());
+    }
+
+    #[test]
+    fn lint_output_is_deterministic() {
+        let g = fixture();
+        assert_eq!(lint_grammar(&g).to_string(), lint_grammar(&g).to_string());
+    }
+
+    #[test]
+    fn clia_grammar_lints_clean() {
+        let g = Grammar::clia(&[(Symbol::new("x"), Sort::Int)], Sort::Int);
+        assert!(lint_grammar(&g).is_clean());
+    }
+
+    #[test]
+    fn size_feasibility_matches_counting() {
+        // S -> x | 0 | (+ S S): exactly the odd sizes are inhabited.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        g.add_production(s, GTerm::Const(0));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let mut sf = SizeFeasibility::new(&g);
+        for size in 1..=9 {
+            assert_eq!(
+                sf.nonterminal_feasible(s, size),
+                size % 2 == 1,
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_feasibility_handles_renaming_cycles() {
+        // S -> T ; T -> S | x : only size 1 is inhabited, and the cycle
+        // must not loop forever or claim extra sizes.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        let t = g.add_nonterminal("T", Sort::Int);
+        g.add_production(s, GTerm::Nonterminal(t));
+        g.add_production(t, GTerm::Nonterminal(s));
+        g.add_production(t, GTerm::Var(Symbol::new("x"), Sort::Int));
+        let mut sf = SizeFeasibility::new(&g);
+        assert!(sf.nonterminal_feasible(s, 1));
+        assert!(sf.nonterminal_feasible(t, 1));
+        for size in 2..=6 {
+            assert!(!sf.nonterminal_feasible(s, size), "size {size}");
+        }
+    }
+
+    #[test]
+    fn pattern_feasibility_prunes_empty_slots() {
+        // S -> x | (ite B S S) ; B -> (<= S S): the ite pattern needs at
+        // least 1 + 3 + 1 + 1 = 6 nodes.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        let b = g.add_nonterminal("B", Sort::Bool);
+        g.add_production(s, GTerm::Var(Symbol::new("x"), Sort::Int));
+        let ite = GTerm::App(
+            Op::Ite,
+            vec![
+                GTerm::Nonterminal(b),
+                GTerm::Nonterminal(s),
+                GTerm::Nonterminal(s),
+            ],
+        );
+        g.add_production(s, ite.clone());
+        g.add_production(
+            b,
+            GTerm::App(Op::Le, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let mut sf = SizeFeasibility::new(&g);
+        for size in 1..=5 {
+            assert!(!sf.pattern_feasible(&ite, size), "size {size}");
+        }
+        assert!(sf.pattern_feasible(&ite, 6));
+    }
+}

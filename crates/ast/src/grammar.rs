@@ -339,6 +339,12 @@ impl Grammar {
         }
     }
 
+    /// Renders a production right-hand side with non-terminal names resolved
+    /// (the same notation [`Grammar`]'s `Display` uses).
+    pub fn production_to_string(&self, p: &GTerm) -> String {
+        DisplayGTerm(self, p).to_string()
+    }
+
     /// Collects every operator reachable in the grammar (useful for
     /// fixed-height encodings over custom grammars).
     pub fn operators(&self) -> Vec<Op> {

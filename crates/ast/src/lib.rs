@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod analysis;
 mod grammar;
 pub mod json;
 mod linear;
@@ -48,6 +49,9 @@ mod term;
 pub mod trace;
 mod value;
 
+pub use analysis::{
+    lint_grammar, GrammarAnalysis, LintFinding, LintLevel, LintReport, SizeFeasibility,
+};
 pub use grammar::{GTerm, Grammar, GrammarFlavor, Nonterminal, NonterminalId};
 pub use json::Json;
 pub use linear::{LinearAtom, LinearExpr, NonlinearError};
@@ -60,7 +64,7 @@ pub use print::{display_define_fun, is_sexpr_op};
 pub use problem::{InvInfo, Problem, SynthFun};
 pub use runtime::{Budget, BudgetError};
 pub use simplify::{conjuncts, disjuncts, nnf, simplify};
-pub use sort::Sort;
+pub use sort::{Sort, SortError};
 pub use symbol::Symbol;
 pub use term::{Definitions, EvalError, FuncDef, Term, TermNode};
 pub use trace::{MetricsRegistry, MetricsSnapshot, Stage, StageSnapshot, TraceEvent, Tracer};

@@ -139,8 +139,45 @@ impl Problem {
     }
 
     /// Whether `body` conforms to the problem grammar.
+    ///
+    /// A [`GrammarFlavor::Clia`](crate::GrammarFlavor::Clia) grammar stands
+    /// for "no syntactic restriction" (SyGuS-IF leaves the grammar out), so
+    /// any CLIA term over the parameters is admitted — including linear
+    /// multiplications, which the finite production list cannot spell. A
+    /// custom grammar is checked by strict derivability.
     pub fn grammar_admits(&self, body: &Term) -> bool {
-        self.synth_fun.grammar.generates(body)
+        match self.synth_fun.grammar.flavor() {
+            crate::GrammarFlavor::Clia => self.clia_admits(body),
+            crate::GrammarFlavor::Custom => self.synth_fun.grammar.generates(body),
+        }
+    }
+
+    /// Membership in the unrestricted CLIA language over the synth-fun
+    /// parameters: every variable is a parameter (with its declared sort),
+    /// every multiplication is linear (at most one factor mentions a
+    /// variable), and every applied function is a problem definition.
+    fn clia_admits(&self, t: &Term) -> bool {
+        use crate::term::TermNode;
+        match t.node() {
+            TermNode::IntConst(_) | TermNode::BoolConst(_) => true,
+            TermNode::Var(sym, sort) => self
+                .synth_fun
+                .params
+                .iter()
+                .any(|&(p, s)| p == *sym && s == *sort),
+            TermNode::App(op, args) => {
+                if let crate::Op::Apply(name, _) = op {
+                    if !self.definitions.contains(*name) {
+                        return false;
+                    }
+                } else if *op == crate::Op::Mul
+                    && args.iter().filter(|a| !a.free_vars().is_empty()).count() > 1
+                {
+                    return false;
+                }
+                args.iter().all(|a| self.clia_admits(a))
+            }
+        }
     }
 
     /// Convenience: builds an invariant-synthesis problem from `pre`,
@@ -328,6 +365,22 @@ mod tests {
         );
         assert!(p.grammar_admits(&body));
         assert!(!p.grammar_admits(&Term::int_var("zzz")));
+    }
+
+    #[test]
+    fn clia_flavor_admits_linear_but_not_nonlinear_terms() {
+        let p = max2_problem(); // default (Clia-flavored) grammar
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        // Linear multiplication: constant × parameter.
+        let linear = Term::add(Term::mul(Term::int(-1), x.clone()), Term::int(8));
+        assert!(p.grammar_admits(&linear));
+        // Nonlinear multiplication leaves CLIA.
+        let nonlinear = Term::mul(x.clone(), y);
+        assert!(!p.grammar_admits(&nonlinear));
+        // Applications of undefined functions are rejected.
+        let foreign = Term::apply("mystery", Sort::Int, vec![x]);
+        assert!(!p.grammar_admits(&foreign));
     }
 
     #[test]

@@ -28,6 +28,73 @@ impl fmt::Display for Sort {
     }
 }
 
+/// An ill-sorted application found by
+/// [`Term::check_sorts`](crate::Term::check_sorts).
+///
+/// Unlike [`Term::sort`](crate::Term::sort) — which trusts the tree shape and
+/// picks a fallback sort for malformed nodes — the checker rejects the term
+/// with one of these diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortError {
+    /// An operator applied to the wrong number of arguments.
+    Arity {
+        /// SMT-LIB spelling of the operator.
+        op: String,
+        /// Human-readable arity expectation (e.g. `"exactly 3"`).
+        expected: &'static str,
+        /// Number of arguments actually supplied.
+        found: usize,
+    },
+    /// An argument of the wrong sort.
+    Expected {
+        /// SMT-LIB spelling of the operator.
+        op: String,
+        /// Zero-based index of the offending argument.
+        index: usize,
+        /// The sort the operator requires at that position.
+        expected: Sort,
+        /// The sort actually found there.
+        found: Sort,
+    },
+    /// Two arguments that must share a sort disagree (`=` operands, `ite`
+    /// branches).
+    Mismatch {
+        /// SMT-LIB spelling of the operator.
+        op: String,
+        /// Sort of the first disagreeing argument.
+        left: Sort,
+        /// Sort of the second disagreeing argument.
+        right: Sort,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Arity {
+                op,
+                expected,
+                found,
+            } => write!(f, "`{op}` expects {expected} argument(s), got {found}"),
+            SortError::Expected {
+                op,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "argument {index} of `{op}` must have sort {expected}, got {found}"
+            ),
+            SortError::Mismatch { op, left, right } => write!(
+                f,
+                "arguments of `{op}` must share a sort, got {left} and {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

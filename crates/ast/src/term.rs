@@ -5,6 +5,7 @@
 //! constructors perform light canonicalization (constant folding, trivial
 //! identities); the heavier rewriting lives in [`crate::simplify`].
 
+use crate::sort::SortError;
 use crate::{Env, Op, Sort, Symbol, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -544,6 +545,34 @@ impl Term {
         }
     }
 
+    /// Checks that every application in the term is well-sorted and returns
+    /// the term's sort.
+    ///
+    /// [`Term::sort`] trusts the tree shape (e.g. it reads an `ite`'s sort
+    /// off its second argument without looking at the condition); this walks
+    /// the whole term and rejects ill-sorted nodes — `ite` with a non-boolean
+    /// condition or disagreeing branches, comparisons over booleans,
+    /// connectives over integers, wrong arities — with a diagnostic instead
+    /// of a fallback sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SortError`] found (leftmost-innermost).
+    pub fn check_sorts(&self) -> Result<Sort, SortError> {
+        match self.node() {
+            TermNode::IntConst(_) => Ok(Sort::Int),
+            TermNode::BoolConst(_) => Ok(Sort::Bool),
+            TermNode::Var(_, s) => Ok(*s),
+            TermNode::App(op, args) => {
+                let sorts: Vec<Sort> = args
+                    .iter()
+                    .map(Term::check_sorts)
+                    .collect::<Result<_, _>>()?;
+                check_app_sorts(op, &sorts)
+            }
+        }
+    }
+
     /// Number of nodes in the syntax tree.
     pub fn size(&self) -> usize {
         match self.node() {
@@ -911,6 +940,103 @@ impl Term {
     }
 }
 
+/// Sort rules for a single application node, given the (already checked)
+/// argument sorts.
+fn check_app_sorts(op: &Op, sorts: &[Sort]) -> Result<Sort, SortError> {
+    let arity = |expected: &'static str| SortError::Arity {
+        op: op.name().to_string(),
+        expected,
+        found: sorts.len(),
+    };
+    let want = |index: usize, expected: Sort| -> Result<(), SortError> {
+        if sorts[index] == expected {
+            Ok(())
+        } else {
+            Err(SortError::Expected {
+                op: op.name().to_string(),
+                index,
+                expected,
+                found: sorts[index],
+            })
+        }
+    };
+    let all = |expected: Sort| -> Result<(), SortError> {
+        (0..sorts.len()).try_for_each(|i| want(i, expected))
+    };
+    let mismatch = |left: Sort, right: Sort| SortError::Mismatch {
+        op: op.name().to_string(),
+        left,
+        right,
+    };
+    match op {
+        Op::Add | Op::Sub | Op::Mul => {
+            if sorts.is_empty() {
+                return Err(arity("at least 1"));
+            }
+            all(Sort::Int)?;
+            Ok(Sort::Int)
+        }
+        Op::Neg => {
+            if sorts.len() != 1 {
+                return Err(arity("exactly 1"));
+            }
+            want(0, Sort::Int)?;
+            Ok(Sort::Int)
+        }
+        Op::Ite => {
+            if sorts.len() != 3 {
+                return Err(arity("exactly 3"));
+            }
+            want(0, Sort::Bool)?;
+            if sorts[1] != sorts[2] {
+                return Err(mismatch(sorts[1], sorts[2]));
+            }
+            Ok(sorts[1])
+        }
+        Op::Eq => {
+            if sorts.len() != 2 {
+                return Err(arity("exactly 2"));
+            }
+            if sorts[0] != sorts[1] {
+                return Err(mismatch(sorts[0], sorts[1]));
+            }
+            Ok(Sort::Bool)
+        }
+        Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+            if sorts.len() != 2 {
+                return Err(arity("exactly 2"));
+            }
+            all(Sort::Int)?;
+            Ok(Sort::Bool)
+        }
+        Op::And | Op::Or => {
+            if sorts.is_empty() {
+                return Err(arity("at least 1"));
+            }
+            all(Sort::Bool)?;
+            Ok(Sort::Bool)
+        }
+        Op::Not => {
+            if sorts.len() != 1 {
+                return Err(arity("exactly 1"));
+            }
+            want(0, Sort::Bool)?;
+            Ok(Sort::Bool)
+        }
+        Op::Implies => {
+            if sorts.len() != 2 {
+                return Err(arity("exactly 2"));
+            }
+            all(Sort::Bool)?;
+            Ok(Sort::Bool)
+        }
+        // The signature of a named function is not recorded on the node, so
+        // only the (already checked) arguments and the declared return sort
+        // constrain an application.
+        Op::Apply(_, ret) => Ok(*ret),
+    }
+}
+
 impl PartialOrd for Term {
     fn partial_cmp(&self, other: &Term) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
@@ -1203,6 +1329,84 @@ mod tests {
         let t1 = Term::add(x(), y());
         let t2 = Term::add(x(), x());
         assert_ne!(t1.cmp(&t2), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn check_sorts_accepts_well_sorted_terms() {
+        let t = Term::ite(Term::ge(x(), y()), x(), Term::neg(y()));
+        assert_eq!(t.check_sorts(), Ok(Sort::Int));
+        let b = Term::and([Term::ge(x(), Term::int(0)), Term::eq(x(), y())]);
+        assert_eq!(b.check_sorts(), Ok(Sort::Bool));
+        assert_eq!(
+            Term::apply("f", Sort::Bool, vec![x()]).check_sorts(),
+            Ok(Sort::Bool)
+        );
+    }
+
+    #[test]
+    fn check_sorts_rejects_bad_ite() {
+        // Integer condition.
+        let t = Term::app(Op::Ite, vec![x(), x(), y()]);
+        assert_eq!(
+            t.check_sorts(),
+            Err(SortError::Expected {
+                op: "ite".to_string(),
+                index: 0,
+                expected: Sort::Bool,
+                found: Sort::Int,
+            })
+        );
+        // Branches of different sorts.
+        let t = Term::app(Op::Ite, vec![Term::ge(x(), y()), x(), Term::tt()]);
+        assert_eq!(
+            t.check_sorts(),
+            Err(SortError::Mismatch {
+                op: "ite".to_string(),
+                left: Sort::Int,
+                right: Sort::Bool,
+            })
+        );
+        // Wrong arity.
+        let t = Term::app(Op::Ite, vec![Term::tt(), x()]);
+        assert!(matches!(t.check_sorts(), Err(SortError::Arity { .. })));
+    }
+
+    #[test]
+    fn check_sorts_rejects_bad_comparisons_and_connectives() {
+        // Comparison over booleans.
+        let t = Term::app(Op::Le, vec![Term::tt(), Term::ff()]);
+        assert!(matches!(
+            t.check_sorts(),
+            Err(SortError::Expected { index: 0, .. })
+        ));
+        // Equality across sorts.
+        let t = Term::app(Op::Eq, vec![x(), Term::tt()]);
+        assert!(matches!(t.check_sorts(), Err(SortError::Mismatch { .. })));
+        // Connective over integers.
+        let t = Term::app(Op::And, vec![x(), Term::tt()]);
+        assert!(matches!(
+            t.check_sorts(),
+            Err(SortError::Expected { index: 0, .. })
+        ));
+        // Arithmetic over booleans, nested: error surfaces from the inside.
+        let t = Term::ge(Term::app(Op::Add, vec![x(), Term::tt()]), Term::int(0));
+        assert!(matches!(
+            t.check_sorts(),
+            Err(SortError::Expected { index: 1, .. })
+        ));
+        // Neg arity.
+        let t = Term::app(Op::Neg, vec![x(), y()]);
+        assert!(matches!(t.check_sorts(), Err(SortError::Arity { .. })));
+    }
+
+    #[test]
+    fn sort_error_display_is_informative() {
+        let t = Term::app(Op::Ite, vec![x(), x(), y()]);
+        let e = t.check_sorts().unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "argument 0 of `ite` must have sort Bool, got Int"
+        );
     }
 
     #[test]

@@ -577,7 +577,10 @@ mod tests {
     fn observability_json_is_versioned_and_parses() {
         let text = observability_json(&sample());
         let doc = Json::parse(&text).expect("emitter output must parse");
-        assert_eq!(doc.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            doc.get("version").and_then(Json::as_i64),
+            Some(dryadsynth::REPORT_VERSION as i64)
+        );
         let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
         assert_eq!(runs.len(), 6);
         let first = &runs[0];

@@ -32,7 +32,10 @@ fn observability_report_parses_from_real_run() {
     let solver = DryadSynth::default();
     let rec = run_one(&solver, &bench, Duration::from_secs(20));
     let doc = Json::parse(&observability_json(&[rec])).expect("report must parse");
-    assert_eq!(doc.get("version").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        doc.get("version").and_then(Json::as_i64),
+        Some(dryadsynth::REPORT_VERSION as i64)
+    );
     let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
     assert_eq!(runs[0].get("benchmark").and_then(Json::as_str), Some("max2"));
     assert_eq!(runs[0].get("outcome").and_then(Json::as_str), Some("solved"));

@@ -1,0 +1,36 @@
+//! Writes every benchmark in the generated suite to `<dir>/<name>.sl` so
+//! external tooling (the CI lint pass, other SyGuS solvers) can consume the
+//! suite as ordinary SyGuS-IF files.
+//!
+//! Usage: `dump_suite <dir>`. The directory is created if missing; existing
+//! files are overwritten. Prints one line per file and a final count.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let dir = match (args.next(), args.next()) {
+        (Some(d), None) => d,
+        _ => {
+            eprintln!("usage: dump_suite <dir>");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("dump_suite: cannot create {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    let suite = sygus_benchmarks::suite();
+    for b in &suite {
+        let path = dir.join(format!("{}.sl", b.name));
+        if let Err(e) = std::fs::write(&path, &b.source) {
+            eprintln!("dump_suite: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("{}", path.display());
+    }
+    println!("; wrote {} benchmarks to {}", suite.len(), dir.display());
+    ExitCode::SUCCESS
+}

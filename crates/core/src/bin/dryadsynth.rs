@@ -5,7 +5,8 @@
 //! ```text
 //! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
 //!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats]
-//!            [--json] [--trace FILE] [--dot FILE] FILE.sl
+//!            [--json] [--trace FILE] [--dot FILE] [--certify] FILE.sl
+//! dryadsynth --lint FILE.sl
 //! ```
 //!
 //! Reads a SyGuS-IF problem, solves it, and prints the solution in the
@@ -15,34 +16,49 @@
 //! span/event log as JSONL and `--dot FILE` writes the subproblem graph
 //! with per-node solver attribution as Graphviz DOT.
 //!
+//! With `--certify`, every solved answer is re-validated end to end (grammar
+//! membership, sort check, independent SMT verification) before it is
+//! printed; a solution that flunks certification prints
+//! `(certification-failed)`, records a `certify` fault, and exits 7.
+//! `--lint FILE.sl` skips solving entirely: it parses the problem, runs the
+//! grammar dataflow analysis, prints the deterministic lint report, and
+//! exits 7 when the grammar has error-level findings (e.g. an unproductive
+//! reachable nonterminal).
+//!
 //! Exit codes distinguish the failure modes:
 //!
 //! | code | meaning                                            |
 //! |------|----------------------------------------------------|
-//! | 0    | solved                                             |
+//! | 0    | solved (and certified, when requested)             |
 //! | 1    | gave up (search exhausted / unsupported problem)   |
 //! | 2    | usage, I/O, or parse error                         |
 //! | 4    | wall-clock timeout (or cancellation)               |
 //! | 5    | resource exhaustion (fuel / memory budget)         |
 //! | 6    | engine fault (a contained panic) and no solution   |
+//! | 7    | certification failure or error-level lint findings |
 
 use dryadsynth::{
-    dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine,
-    EuSolverBaseline, LoopInvGenBaseline, RunReport, SygusSolver, SynthOutcome,
+    certify_solution, dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth,
+    DryadSynthConfig, Engine, EngineFault, EuSolverBaseline, LoopInvGenBaseline, RunReport,
+    SygusSolver, SynthOutcome,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use sygus_ast::Tracer;
+use sygus_ast::{lint_grammar, Tracer};
 
 const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
 [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
-[--json] [--trace FILE] [--dot FILE] FILE.sl\n\
+[--json] [--trace FILE] [--dot FILE] [--certify] FILE.sl\n\
+       dryadsynth --lint FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
   --fuel caps governed engine steps independently of wall-clock time;\n\
   --json prints a versioned machine-readable run report instead of the\n\
   s-expression answer; --trace writes span/event JSONL; --dot writes the\n\
-  subproblem graph (with solver attribution) as Graphviz DOT.";
+  subproblem graph (with solver attribution) as Graphviz DOT;\n\
+  --certify re-validates solved answers (grammar, sorts, independent SMT)\n\
+  and exits 7 on failure; --lint prints the grammar dataflow report for a\n\
+  problem without solving it (exit 7 on error-level findings).";
 
 struct Options {
     engine: String,
@@ -53,6 +69,8 @@ struct Options {
     json: bool,
     trace: Option<String>,
     dot: Option<String>,
+    certify: bool,
+    lint: Option<String>,
     file: Option<String>,
 }
 
@@ -66,6 +84,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         trace: None,
         dot: None,
+        certify: false,
+        lint: None,
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -101,6 +121,10 @@ fn parse_args() -> Result<Options, String> {
             "--dot" => {
                 opts.dot = Some(args.next().ok_or("--dot needs a file path")?);
             }
+            "--certify" => opts.certify = true,
+            "--lint" => {
+                opts.lint = Some(args.next().ok_or("--lint needs a file path")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             file => {
@@ -115,15 +139,44 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// Maps an outcome (plus faults recorded along the way) to the CLI's exit
-/// code contract. A solved run exits 0 even if faults were contained; an
-/// unsolved run with faults exits 6 so harnesses can flag flaky engines.
-fn exit_code(outcome: &SynthOutcome, stats: &CoopStats) -> ExitCode {
+/// code contract. A solved run exits 0 even if faults were contained — unless
+/// the solution flunked certification (exit 7); an unsolved run with faults
+/// exits 6 so harnesses can flag flaky engines.
+fn exit_code(outcome: &SynthOutcome, stats: &CoopStats, certified: Option<bool>) -> ExitCode {
     match outcome {
+        SynthOutcome::Solved(_) if certified == Some(false) => ExitCode::from(7),
         SynthOutcome::Solved(_) => ExitCode::SUCCESS,
         _ if !stats.faults.is_empty() => ExitCode::from(6),
         SynthOutcome::ResourceExhausted(_) => ExitCode::from(5),
         SynthOutcome::Timeout => ExitCode::from(4),
         SynthOutcome::GaveUp(_) => ExitCode::from(1),
+    }
+}
+
+/// The `--lint` mode: parse the problem, run the grammar dataflow lint,
+/// print the deterministic report, and exit by findings severity.
+fn lint_mode(file: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problem = match sygus_parser::parse_problem(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint_grammar(&problem.synth_fun.grammar);
+    println!("; lint report for {file}");
+    println!("{report}");
+    if report.errors() > 0 {
+        ExitCode::from(7)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -135,6 +188,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(file) = &opts.lint {
+        return lint_mode(file);
+    }
     let Some(file) = &opts.file else {
         eprintln!("no input file; see --help");
         return ExitCode::from(2);
@@ -184,9 +240,30 @@ fn main() -> ExitCode {
     let budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
 
     let start = Instant::now();
-    let (outcome, stats) = solver.solve_governed_problem(&problem, &budget);
+    let (outcome, mut stats) = solver.solve_governed_problem(&problem, &budget);
     let name = solver.name();
     let elapsed = start.elapsed();
+
+    // End-to-end certification of solved answers: grammar membership, sort
+    // check, and an independent SMT verification query. Runs on a fresh
+    // budget window so a run that solved near its deadline can still be
+    // checked; failures become a `certify` fault and exit code 7, never a
+    // panic.
+    let mut certified: Option<bool> = None;
+    if opts.certify {
+        if let SynthOutcome::Solved(body) = &outcome {
+            let cert_budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
+            let cert = certify_solution(&problem, body, Some(&cert_budget));
+            certified = Some(cert.certified());
+            if let Some(why) = cert.failure_reason() {
+                stats.faults.push(EngineFault {
+                    stage: "certify",
+                    node: 0,
+                    message: why,
+                });
+            }
+        }
+    }
 
     if let Some(path) = &opts.trace {
         if let Err(e) = std::fs::write(path, trace_jsonl(&tracer)) {
@@ -216,7 +293,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let code = exit_code(&outcome, &stats);
+    let code = exit_code(&outcome, &stats, certified);
     if opts.json {
         let report = RunReport::new(
             name,
@@ -225,15 +302,26 @@ fn main() -> ExitCode {
             elapsed.as_secs_f64(),
             stats,
             &tracer,
-        );
+        )
+        .with_certified(certified);
         println!("{}", report.to_json());
         return code;
     }
     match outcome {
         SynthOutcome::Solved(body) => {
-            println!("{}", sygus_parser::solution_to_sygus(&problem, &body));
-            if opts.stats {
-                eprintln!("; size={} height={}", body.size(), body.height());
+            if certified == Some(false) {
+                // Do not print an uncertified answer as a solution.
+                println!("(certification-failed)");
+                if opts.stats {
+                    for fault in stats.faults.iter().filter(|f| f.stage == "certify") {
+                        eprintln!("; reason: {}", fault.message);
+                    }
+                }
+            } else {
+                println!("{}", sygus_parser::solution_to_sygus(&problem, &body));
+                if opts.stats {
+                    eprintln!("; size={} height={}", body.size(), body.height());
+                }
             }
         }
         SynthOutcome::Timeout => println!("(timeout)"),

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod certify;
 mod cooperative;
 mod deduction;
 mod divide;
@@ -18,6 +19,7 @@ mod simplify_solution;
 mod solver;
 
 pub use baselines::{BaselineConfig, CegqiSolver, HoudiniInvSolver};
+pub use certify::{certify_solution, Certificate, SpecVerdict};
 pub use cooperative::{CoopStats, CooperativeSolver, SynthOutcome};
 pub use deduction::{match_into_grammar, Deduced, DeductOutcome, DeductionConfig, DeductiveEngine};
 pub use divide::{verify_solution, DivideConfig, Divider, Division, TypeBOutcome, TypeBRecipe};

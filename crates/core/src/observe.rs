@@ -14,7 +14,10 @@ use sygus_ast::{size_bucket, solution_size, time_bucket, Json};
 
 /// The `version` field of the run-report schema. Bump on any breaking change
 /// to the report's shape; consumers must check it before reading further.
-pub const REPORT_VERSION: u64 = 1;
+///
+/// Version history: 1 = initial schema; 2 = added the optional `certified`
+/// field on solved runs.
+pub const REPORT_VERSION: u64 = 2;
 
 /// The stable one-word label of a [`SynthOutcome`] for reports and the bench
 /// trajectory (`solved` / `timeout` / `resource-exhausted` / `gave-up`).
@@ -43,6 +46,9 @@ pub struct RunReport {
     pub stats: CoopStats,
     /// The metrics snapshot taken from the run's tracer.
     pub metrics: sygus_ast::MetricsSnapshot,
+    /// Whether the solution passed end-to-end certification (`None` when
+    /// certification was not run or the run produced no solution).
+    pub certified: Option<bool>,
 }
 
 impl RunReport {
@@ -63,7 +69,14 @@ impl RunReport {
             seconds,
             stats,
             metrics: tracer.metrics().snapshot(),
+            certified: None,
         }
+    }
+
+    /// Records the certification verdict on the report (builder style).
+    pub fn with_certified(mut self, certified: Option<bool>) -> RunReport {
+        self.certified = certified;
+        self
     }
 
     /// The report as a JSON object (schema `version` [`REPORT_VERSION`]).
@@ -82,6 +95,9 @@ impl RunReport {
                 fields.push(("solution", Json::str(body.to_string())));
                 fields.push(("solution_size", Json::from(size)));
                 fields.push(("size_bucket", Json::from(size_bucket(size))));
+                if let Some(certified) = self.certified {
+                    fields.push(("certified", Json::Bool(certified)));
+                }
             }
             SynthOutcome::ResourceExhausted(reason) | SynthOutcome::GaveUp(reason) => {
                 fields.push(("reason", Json::str(reason)));
@@ -248,7 +264,7 @@ mod tests {
     }
 
     #[test]
-    fn report_round_trips_with_version_1() {
+    fn report_round_trips_with_current_version() {
         let tracer = Tracer::metrics_only();
         tracer.metrics().bump("smt.sat");
         let report = RunReport::new(
@@ -261,7 +277,7 @@ mod tests {
         );
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).unwrap();
-        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(2));
         assert_eq!(
             parsed.get("outcome").and_then(Json::as_str),
             Some("solved")
@@ -286,6 +302,38 @@ mod tests {
                 .and_then(Json::as_i64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn certified_field_appears_only_when_recorded() {
+        let tracer = Tracer::metrics_only();
+        let report = RunReport::new(
+            "DryadSynth",
+            "bench/max2.sl",
+            SynthOutcome::Solved(sygus_ast::Term::int_var("x")),
+            0.2,
+            CoopStats::default(),
+            &tracer,
+        );
+        let absent = Json::parse(&report.to_json().to_string()).unwrap();
+        assert!(absent.get("certified").is_none());
+        let with = Json::parse(
+            &report
+                .clone()
+                .with_certified(Some(true))
+                .to_json()
+                .to_string(),
+        )
+        .unwrap();
+        assert_eq!(with.get("certified").and_then(Json::as_bool), Some(true));
+        let failed = Json::parse(
+            &report
+                .with_certified(Some(false))
+                .to_json()
+                .to_string(),
+        )
+        .unwrap();
+        assert_eq!(failed.get("certified").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

@@ -15,8 +15,9 @@ use std::fmt;
 /// exit code.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineFault {
-    /// The engine stage that panicked: `"deduct"`, `"divide"`,
-    /// `"enumerate"`, `"type-b"`, or `"worker"`.
+    /// The engine stage that failed: `"deduct"`, `"divide"`,
+    /// `"enumerate"`, `"type-b"`, `"worker"` (contained panics), or
+    /// `"certify"` (a solution that flunked certification).
     pub stage: &'static str,
     /// Subproblem-graph node index (or worker index for `"worker"`) the
     /// stage was operating on.

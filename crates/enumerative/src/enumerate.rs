@@ -4,7 +4,9 @@
 
 use std::collections::HashMap;
 use sygus_ast::runtime::Budget;
-use sygus_ast::{Definitions, Env, GTerm, Grammar, NonterminalId, Sort, Term, Value};
+use sygus_ast::{
+    Definitions, Env, GTerm, Grammar, NonterminalId, SizeFeasibility, Sort, Term, Value,
+};
 
 /// Configuration for a [`TermEnumerator`].
 #[derive(Clone, Debug)]
@@ -63,6 +65,9 @@ pub struct TermEnumerator<'a> {
     layers: Vec<Vec<Vec<Term>>>,
     /// Seen signatures per non-terminal (disabled when `examples` is empty).
     seen: Vec<HashMap<Signature, Term>>,
+    /// Grammar dataflow table: which (production, exact size) slots can be
+    /// non-empty at all. Provably-empty slots are skipped without expansion.
+    feasible: SizeFeasibility,
     built_size: usize,
 }
 
@@ -83,6 +88,7 @@ impl<'a> TermEnumerator<'a> {
             config,
             layers: vec![vec![Vec::new()]; n], // index 0 unused
             seen: vec![HashMap::new(); n],
+            feasible: SizeFeasibility::new(grammar),
             built_size: 0,
         }
     }
@@ -126,6 +132,13 @@ impl<'a> TermEnumerator<'a> {
                 let mut layer: Vec<Term> = Vec::new();
                 let prods = self.grammar.nonterminal(nt).productions.clone();
                 for prod in &prods {
+                    // Dataflow pre-check: when the fixpoint proves no term of
+                    // exactly `next` nodes can come from this production,
+                    // skip the whole expansion for the slot.
+                    if !self.feasible.pattern_feasible(prod, next) {
+                        self.config.budget.tracer().metrics().bump("enum.slots_pruned");
+                        continue;
+                    }
                     self.expand(prod, next, &mut |t, me| {
                         if layer.len() >= me.config.max_terms_per_layer {
                             return;
@@ -406,6 +419,51 @@ mod tests {
         };
         let mut e = TermEnumerator::new(&g, &defs, Vec::new(), cfg);
         assert!(e.terms_of_size(5).is_empty());
+    }
+
+    #[test]
+    fn infeasible_slots_are_pruned_without_changing_results() {
+        // S -> x | (+ S S): every even size slot is provably empty, so each
+        // production is skipped there; odd slots still enumerate fully.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        g.add_production(s, GTerm::Var(x_sym(), Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(s)]),
+        );
+        let defs = Definitions::new();
+        let cfg = EnumConfig::default();
+        let budget = cfg.budget.clone();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), cfg);
+        assert!(e.terms_of_size(2).is_empty());
+        assert!(e.terms_of_size(4).is_empty());
+        assert_eq!(e.terms_of_size(3).len(), 1); // (+ x x)
+        assert!(
+            budget.tracer().metrics().counter("enum.slots_pruned") > 0,
+            "expected the dataflow pre-check to skip empty slots"
+        );
+    }
+
+    #[test]
+    fn unproductive_nonterminal_is_always_pruned() {
+        // S -> x | (+ S U); U -> U : the dead production never expands.
+        let mut g = Grammar::new();
+        let s = g.add_nonterminal("S", Sort::Int);
+        let u = g.add_nonterminal("U", Sort::Int);
+        g.add_production(s, GTerm::Var(x_sym(), Sort::Int));
+        g.add_production(
+            s,
+            GTerm::App(Op::Add, vec![GTerm::Nonterminal(s), GTerm::Nonterminal(u)]),
+        );
+        g.add_production(u, GTerm::Nonterminal(u));
+        let defs = Definitions::new();
+        let mut e = TermEnumerator::new(&g, &defs, Vec::new(), EnumConfig::default());
+        let t1: Vec<String> = e.terms_of_size(1).iter().map(|t| t.to_string()).collect();
+        assert_eq!(t1, vec!["x"]);
+        for size in 2..=6 {
+            assert!(e.terms_of_size(size).is_empty(), "size {size}");
+        }
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! A self-contained DRAT-style proof checker for the CDCL SAT core.
+//!
+//! When proof logging is enabled (see [`SatSolver::enable_proof`]), the
+//! solver records every clause it receives (`Input`), every clause it
+//! derives by conflict analysis (`Learn`), and every clause it discards
+//! during preprocessing (`Delete`). An `unsat` answer is then *certified*
+//! by replaying the trace here: each learned clause must pass Reverse Unit
+//! Propagation (RUP) against the clause database as it existed when the
+//! clause was derived, and the replayed database must propagate to a
+//! root-level conflict — i.e. the empty clause must itself be RUP.
+//!
+//! The checker shares no propagation code with [`SatSolver`]; it keeps its
+//! own watched-literal scheme so that a bug in the solver's propagation
+//! cannot hide inside the check.
+//!
+//! [`SatSolver`]: crate::SatSolver
+//! [`SatSolver::enable_proof`]: crate::SatSolver::enable_proof
+
+use crate::sat::Lit;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One step of a DRAT-style clause trace, in derivation order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An axiom: an original clause or a theory lemma. Not RUP-checked —
+    /// inputs define the formula, and theory lemmas are justified by the
+    /// theory solver, not by propositional reasoning.
+    Input(Vec<Lit>),
+    /// A clause derived by conflict analysis; must pass RUP.
+    Learn(Vec<Lit>),
+    /// A clause removed from the active database (tautologies and clauses
+    /// already satisfied at the root level).
+    Delete(Vec<Lit>),
+}
+
+/// Why a proof trace was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DratError {
+    /// A learned clause is not implied by unit propagation: replaying the
+    /// database with the clause's negation asserted did not conflict.
+    NotRup {
+        /// Index of the offending step in the trace.
+        step: usize,
+        /// The clause that failed the check (literals sorted).
+        clause: Vec<Lit>,
+    },
+    /// The trace ends without the empty clause being derivable: the
+    /// replayed database does not propagate to a root conflict, so the
+    /// `unsat` answer is uncertified.
+    NoRefutation,
+}
+
+impl fmt::Display for DratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DratError::NotRup { step, clause } => {
+                write!(f, "step {step}: learned clause {clause:?} is not RUP")
+            }
+            DratError::NoRefutation => {
+                write!(f, "trace does not derive the empty clause")
+            }
+        }
+    }
+}
+
+/// Counters from a successful [`check_refutation`] replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DratStats {
+    /// Input clauses (original + theory lemmas) replayed.
+    pub inputs: usize,
+    /// Learned clauses RUP-checked.
+    pub learned: usize,
+    /// Deletion steps applied.
+    pub deleted: usize,
+    /// Total literals enqueued across all propagation passes (work measure).
+    pub propagations: usize,
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// The replay engine: an independent watched-literal propagator over the
+/// trace's clause database.
+struct Replay {
+    /// Active clauses (literal lists); `None` marks a deleted slot.
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// Sorted-clause → active slots, for deletion by value.
+    index: HashMap<Vec<Lit>, Vec<usize>>,
+    /// `watch[lit.code()]`: clause slots watching `lit`.
+    watch: Vec<Vec<usize>>,
+    /// Per-variable assignment: 0 unassigned, 1 true, -1 false.
+    assign: Vec<i8>,
+    trail: Vec<Lit>,
+    /// Length of the root-level (persistent) prefix of the trail.
+    root_len: usize,
+    /// Set once the root database propagates to a conflict.
+    root_conflict: bool,
+    stats: DratStats,
+}
+
+impl Replay {
+    fn new() -> Replay {
+        Replay {
+            clauses: Vec::new(),
+            index: HashMap::new(),
+            watch: Vec::new(),
+            assign: Vec::new(),
+            trail: Vec::new(),
+            root_len: 0,
+            root_conflict: false,
+            stats: DratStats::default(),
+        }
+    }
+
+    fn ensure_var(&mut self, v: u32) {
+        let need = (v as usize) + 1;
+        if self.assign.len() < need {
+            self.assign.resize(need, UNASSIGNED);
+            self.watch.resize(need * 2, Vec::new());
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if l.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    fn set(&mut self, l: Lit) {
+        self.assign[l.var() as usize] = if l.is_neg() { -1 } else { 1 };
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Unit propagation from `start` to fixpoint; `true` means conflict.
+    fn propagate(&mut self, mut head: usize) -> bool {
+        while head < self.trail.len() {
+            let p = self.trail[head];
+            head += 1;
+            let false_lit = p.negate();
+            let mut ws = std::mem::take(&mut self.watch[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let Some(clause) = self.clauses[ci].as_mut() else {
+                    ws.swap_remove(i); // lazily drop deleted clauses
+                    continue;
+                };
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                let first = clause[0];
+                if self.lit_value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let mut moved = false;
+                for k in 2..self.clauses[ci].as_ref().expect("live").len() {
+                    let lk = self.clauses[ci].as_ref().expect("live")[k];
+                    if self.lit_value(lk) != -1 {
+                        self.clauses[ci].as_mut().expect("live").swap(1, k);
+                        self.watch[lk.code()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                match self.lit_value(first) {
+                    -1 => {
+                        self.watch[false_lit.code()].extend_from_slice(&ws);
+                        return true; // conflict
+                    }
+                    0 => self.set(first),
+                    _ => {}
+                }
+                i += 1;
+            }
+            self.watch[false_lit.code()].extend_from_slice(&ws);
+        }
+        false
+    }
+
+    /// RUP check: asserting the negation of every literal of `clause` must
+    /// propagate to a conflict. Clauses already satisfied at the root are
+    /// trivially implied. Leaves the root trail untouched.
+    fn is_rup(&mut self, clause: &[Lit]) -> bool {
+        if self.root_conflict {
+            return true; // everything is implied once ⊥ is derived
+        }
+        debug_assert_eq!(self.trail.len(), self.root_len);
+        let mut ok = false;
+        for &l in clause {
+            match self.lit_value(l) {
+                1 => {
+                    ok = true; // satisfied at root
+                    break;
+                }
+                -1 => continue,
+                _ => self.set(l.negate()),
+            }
+        }
+        let head = if ok { self.trail.len() } else { self.root_len };
+        if !ok {
+            ok = self.propagate(head);
+        }
+        // Unwind the temporary assignments.
+        while self.trail.len() > self.root_len {
+            let l = self.trail.pop().expect("trail");
+            self.assign[l.var() as usize] = UNASSIGNED;
+        }
+        ok
+    }
+
+    /// Installs `clause` into the database and extends root propagation.
+    fn attach(&mut self, clause: &[Lit]) {
+        if self.root_conflict {
+            return;
+        }
+        for &l in clause {
+            self.ensure_var(l.var());
+        }
+        // Already satisfied at root: keep it, it can still watch safely —
+        // pick the true literal as a watch.
+        // Partition: find up to two non-false literals to watch.
+        let nonfalse: Vec<usize> = (0..clause.len())
+            .filter(|&k| self.lit_value(clause[k]) != -1)
+            .collect();
+        match nonfalse.len() {
+            0 => {
+                // Conflicting at root (covers the empty clause).
+                self.root_conflict = true;
+            }
+            1 => {
+                // Effectively unit under the root assignment.
+                let l = clause[nonfalse[0]];
+                if self.lit_value(l) == 0 {
+                    self.set(l);
+                    let head = self.trail.len() - 1;
+                    if self.propagate(head) {
+                        self.root_conflict = true;
+                    }
+                    self.root_len = self.trail.len();
+                }
+                // True at root: inert, nothing to do. Either way the clause
+                // itself need not enter the watch database.
+            }
+            _ => {
+                let mut lits = clause.to_vec();
+                lits.swap(0, nonfalse[0]);
+                let second = if nonfalse[1] == 0 { nonfalse[0] } else { nonfalse[1] };
+                lits.swap(1, second);
+                let ci = self.clauses.len();
+                self.watch[lits[0].code()].push(ci);
+                self.watch[lits[1].code()].push(ci);
+                let mut key = clause.to_vec();
+                key.sort();
+                self.index.entry(key).or_default().push(ci);
+                self.clauses.push(Some(lits));
+            }
+        }
+    }
+
+    fn delete(&mut self, clause: &[Lit]) {
+        let mut key = clause.to_vec();
+        key.sort();
+        if let Some(slots) = self.index.get_mut(&key) {
+            if let Some(ci) = slots.pop() {
+                self.clauses[ci] = None; // watches are dropped lazily
+            }
+            if slots.is_empty() {
+                self.index.remove(&key);
+            }
+        }
+        // Deleting a clause the database never attached (unit/root-inert
+        // ones) is a no-op; root assignments persist, as in DRAT.
+    }
+}
+
+/// Replays a proof trace and certifies that it derives the empty clause.
+///
+/// Every [`ProofStep::Learn`] clause is RUP-checked against the database at
+/// its point in the trace; [`ProofStep::Input`] clauses are axioms;
+/// [`ProofStep::Delete`] removes one matching clause. The replayed database
+/// must end in a root-level conflict.
+///
+/// # Errors
+///
+/// [`DratError::NotRup`] on the first learned clause that unit propagation
+/// cannot justify, [`DratError::NoRefutation`] when the trace never reaches
+/// the empty clause.
+pub fn check_refutation(steps: &[ProofStep]) -> Result<DratStats, DratError> {
+    let mut replay = Replay::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            ProofStep::Input(c) => {
+                replay.stats.inputs += 1;
+                replay.attach(c);
+            }
+            ProofStep::Learn(c) => {
+                replay.stats.learned += 1;
+                for &l in c {
+                    replay.ensure_var(l.var());
+                }
+                if !replay.is_rup(c) {
+                    let mut clause = c.clone();
+                    clause.sort();
+                    return Err(DratError::NotRup { step: i, clause });
+                }
+                replay.attach(c);
+            }
+            ProofStep::Delete(c) => {
+                replay.stats.deleted += 1;
+                replay.delete(c);
+            }
+        }
+    }
+    if replay.root_conflict {
+        Ok(replay.stats)
+    } else {
+        Err(DratError::NoRefutation)
+    }
+}
+
+/// Checks a SAT model against the trace's *active* clause database: every
+/// input or learned clause that was not subsequently deleted must contain a
+/// true literal. Variables beyond `model`'s length count as false.
+pub fn model_satisfies(steps: &[ProofStep], model: &[bool]) -> bool {
+    let value = |l: Lit| -> bool {
+        let v = l.var() as usize;
+        let b = model.get(v).copied().unwrap_or(false);
+        b != l.is_neg()
+    };
+    let mut live: HashMap<Vec<Lit>, usize> = HashMap::new();
+    for step in steps {
+        let (clause, delta) = match step {
+            ProofStep::Input(c) | ProofStep::Learn(c) => (c, 1i64),
+            ProofStep::Delete(c) => (c, -1i64),
+        };
+        let mut key = clause.clone();
+        key.sort();
+        key.dedup();
+        let e = live.entry(key).or_insert(0);
+        *e = (*e as i64 + delta).max(0) as usize;
+    }
+    live.iter()
+        .filter(|&(_, &n)| n > 0)
+        .all(|(clause, _)| clause.iter().any(|&l| value(l)))
+}
+
+/// Renders a trace in DRAT-style text form, deterministically: literals are
+/// sorted within each clause (variable order, positive first) and steps are
+/// emitted in derivation order. Learned clauses are plain lines, deletions
+/// are `d` lines, and inputs use an `i` prefix (standard DRAT keeps inputs
+/// in the CNF file; the trace here is self-contained instead). Literals use
+/// DIMACS numbering (`var + 1`, negative for negated) and each line ends
+/// with `0`.
+pub fn drat_text(steps: &[ProofStep]) -> String {
+    let mut out = String::new();
+    for step in steps {
+        let (prefix, clause) = match step {
+            ProofStep::Input(c) => ("i ", c),
+            ProofStep::Learn(c) => ("", c),
+            ProofStep::Delete(c) => ("d ", c),
+        };
+        let mut lits = clause.clone();
+        lits.sort();
+        out.push_str(prefix);
+        for l in &lits {
+            let dimacs = (l.var() as i64 + 1) * if l.is_neg() { -1 } else { 1 };
+            out.push_str(&dimacs.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(v: u32) -> Lit {
+        Lit::pos(v)
+    }
+
+    fn neg(v: u32) -> Lit {
+        Lit::neg(v)
+    }
+
+    #[test]
+    fn empty_input_clause_refutes() {
+        let steps = [ProofStep::Input(vec![])];
+        assert!(check_refutation(&steps).is_ok());
+    }
+
+    #[test]
+    fn contradictory_units_refute() {
+        let steps = [
+            ProofStep::Input(vec![pos(0)]),
+            ProofStep::Input(vec![neg(0)]),
+        ];
+        let stats = check_refutation(&steps).unwrap();
+        assert_eq!(stats.inputs, 2);
+    }
+
+    #[test]
+    fn no_refutation_reported() {
+        let steps = [ProofStep::Input(vec![pos(0), pos(1)])];
+        assert_eq!(check_refutation(&steps), Err(DratError::NoRefutation));
+    }
+
+    #[test]
+    fn rup_learning_chain() {
+        // (a ∨ b), (a ∨ ¬b) ⊢ (a) by RUP; with (¬a) the database refutes.
+        let steps = [
+            ProofStep::Input(vec![pos(0), pos(1)]),
+            ProofStep::Input(vec![pos(0), neg(1)]),
+            ProofStep::Input(vec![neg(0)]),
+            ProofStep::Learn(vec![pos(0)]),
+        ];
+        let stats = check_refutation(&steps).unwrap();
+        assert_eq!(stats.learned, 1);
+    }
+
+    #[test]
+    fn bogus_learn_rejected() {
+        // (a ∨ b) alone does not imply (a).
+        let steps = [
+            ProofStep::Input(vec![pos(0), pos(1)]),
+            ProofStep::Learn(vec![pos(0)]),
+        ];
+        match check_refutation(&steps) {
+            Err(DratError::NotRup { step, .. }) => assert_eq!(step, 1),
+            other => panic!("expected NotRup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deleting_a_needed_clause_breaks_rup() {
+        let steps = [
+            ProofStep::Input(vec![pos(0), pos(1)]),
+            ProofStep::Input(vec![pos(0), neg(1)]),
+            ProofStep::Delete(vec![pos(0), neg(1)]),
+            ProofStep::Learn(vec![pos(0)]),
+        ];
+        assert!(matches!(
+            check_refutation(&steps),
+            Err(DratError::NotRup { .. })
+        ));
+    }
+
+    #[test]
+    fn tautology_then_delete_is_harmless() {
+        let steps = [
+            ProofStep::Input(vec![pos(0), neg(0)]),
+            ProofStep::Delete(vec![pos(0), neg(0)]),
+            ProofStep::Input(vec![pos(1)]),
+            ProofStep::Input(vec![neg(1)]),
+        ];
+        assert!(check_refutation(&steps).is_ok());
+    }
+
+    #[test]
+    fn model_check_sees_active_clauses_only() {
+        let steps = [
+            ProofStep::Input(vec![pos(0)]),
+            ProofStep::Input(vec![neg(1)]),
+            ProofStep::Delete(vec![neg(1)]),
+        ];
+        assert!(model_satisfies(&steps, &[true, true]));
+        assert!(!model_satisfies(&steps, &[false, false]));
+    }
+
+    #[test]
+    fn drat_text_is_sorted_and_stable() {
+        let steps = [
+            ProofStep::Input(vec![pos(2), neg(0), pos(1)]),
+            ProofStep::Learn(vec![neg(2), pos(0)]),
+            ProofStep::Delete(vec![pos(1)]),
+        ];
+        let text = drat_text(&steps);
+        assert_eq!(text, "i -1 2 3 0\n1 -3 0\nd 2 0\n");
+        assert_eq!(text, drat_text(&steps)); // deterministic
+    }
+}

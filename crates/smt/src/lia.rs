@@ -213,6 +213,13 @@ pub fn check_lia(num_vars: usize, constraints: &[LinCon], node_budget: u64) -> L
                 }
                 point[*v] = val;
             }
+            // A `Sat` answer is a certificate: after reconstructing the
+            // eliminated variables, the point must satisfy every original
+            // (pre-tightening) constraint exactly.
+            debug_assert!(
+                constraints.iter().all(|c| c.holds_on(&point)),
+                "branch-and-bound returned a point violating an input constraint"
+            );
             LiaResult::Sat(point)
         }
         other => other,

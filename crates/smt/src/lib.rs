@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod bigint;
+pub mod drat;
 mod inc_lra;
 mod lia;
 mod rat;
@@ -23,6 +24,7 @@ mod simplex;
 mod solver;
 
 pub use bigint::BigInt;
+pub use drat::{check_refutation, drat_text, model_satisfies, DratError, DratStats, ProofStep};
 pub use inc_lra::IncrementalLra;
 pub use lia::{check_lia, LiaResult, LinCon, Rel};
 pub use rat::Rat;

@@ -4,7 +4,13 @@
 //! The solver is incremental in the simple sense the lazy DPLL(T) loop
 //! needs: clauses (e.g. theory blocking clauses) may be added between
 //! `solve` calls.
+//!
+//! With [`SatSolver::enable_proof`] the solver additionally records a
+//! DRAT-style clause trace (inputs, learned clauses, deletions) that the
+//! independent checker in [`crate::drat`] can replay to certify `unsat`
+//! answers.
 
+use crate::drat::ProofStep;
 use std::fmt;
 
 /// A propositional variable (0-based index).
@@ -47,6 +53,12 @@ impl Lit {
     }
 
     fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The dense code of the literal (`2·var + is_neg`), usable as an array
+    /// index by external tooling such as the DRAT checker.
+    pub fn code(self) -> usize {
         self.0 as usize
     }
 }
@@ -110,6 +122,10 @@ pub struct SatSolver {
     prop_head: usize,
     unsat_at_root: bool,
     conflicts_total: u64,
+    /// DRAT-style trace, recorded only when proof logging is enabled.
+    proof: Option<Vec<ProofStep>>,
+    /// Test hook: corrupt clause learning to exercise the proof checker.
+    sabotage_learning: bool,
 }
 
 impl Default for SatSolver {
@@ -135,6 +151,39 @@ impl SatSolver {
             prop_head: 0,
             unsat_at_root: false,
             conflicts_total: 0,
+            proof: None,
+            sabotage_learning: false,
+        }
+    }
+
+    /// Turns on DRAT-style proof logging. Every clause added from here on
+    /// is traced (inputs as axioms, conflict-analysis results as RUP-checkable
+    /// derivations, preprocessing drops as deletions); see [`crate::drat`].
+    /// Enable *before* adding clauses, or the trace will be incomplete.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Vec::new());
+        }
+    }
+
+    /// The recorded proof trace (empty unless [`SatSolver::enable_proof`]
+    /// was called).
+    pub fn proof_steps(&self) -> &[ProofStep] {
+        self.proof.as_deref().unwrap_or(&[])
+    }
+
+    /// Seeds a soundness bug into clause learning (the asserting literal of
+    /// every learned clause is flipped). Exists solely so tests can verify
+    /// that the DRAT checker catches a corrupted derivation; never call this
+    /// outside of tests.
+    #[doc(hidden)]
+    pub fn seed_clause_learning_bug(&mut self) {
+        self.sabotage_learning = true;
+    }
+
+    fn log(&mut self, step: impl FnOnce() -> ProofStep) {
+        if let Some(p) = self.proof.as_mut() {
+            p.push(step());
         }
     }
 
@@ -175,13 +224,34 @@ impl SatSolver {
     ///
     /// May be called between `solve` invocations; the solver backtracks to
     /// the root level first.
-    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.insert_clause(lits, true);
+    }
+
+    /// [`SatSolver::add_clause`] with control over proof logging: callers
+    /// that already traced the clause (theory-lemma integration) pass
+    /// `log_input = false` to avoid a duplicate axiom in the trace.
+    fn insert_clause(&mut self, mut lits: Vec<Lit>, log_input: bool) {
         self.cancel_until(0);
         lits.sort();
         lits.dedup();
+        // The canonical (sorted, deduplicated) form is what the trace
+        // records, and doubles as the deletion key when preprocessing drops
+        // the clause below. Root-falsified literals are *not* re-derived in
+        // the trace: the checker reaches the same shrunk clause through the
+        // root-level units it replays.
+        let canonical = self.proof.is_some().then(|| lits.clone());
+        if log_input {
+            if let Some(c) = canonical.clone() {
+                self.log(|| ProofStep::Input(c));
+            }
+        }
         // Tautology check (sorted: l and ¬l are adjacent).
         for w in lits.windows(2) {
             if w[0].var() == w[1].var() {
+                if let Some(c) = canonical {
+                    self.log(|| ProofStep::Delete(c));
+                }
                 return; // contains both polarities
             }
         }
@@ -191,6 +261,9 @@ impl SatSolver {
             .iter()
             .any(|&l| self.level[l.var() as usize] == 0 && self.value(l) == Some(true))
         {
+            if let Some(c) = canonical {
+                self.log(|| ProofStep::Delete(c));
+            }
             return; // satisfied at root
         }
         match lits.len() {
@@ -352,6 +425,13 @@ impl SatSolver {
     fn learn_theory_clause(&mut self, mut lits: Vec<Lit>) -> bool {
         lits.sort();
         lits.dedup();
+        // Theory lemmas are axioms of the propositional abstraction: the
+        // trace records them as inputs (their justification lives in the
+        // theory solver, not in resolution).
+        if self.proof.is_some() {
+            let logged = lits.clone();
+            self.log(|| ProofStep::Input(logged));
+        }
         if lits.is_empty() {
             self.unsat_at_root = true;
             return false;
@@ -370,7 +450,7 @@ impl SatSolver {
         if lits.len() == 1 || top == 0 {
             self.cancel_until(0);
             self.prop_head = 0;
-            self.add_clause(lits);
+            self.insert_clause(lits, false); // already traced above
             return !self.unsat_at_root;
         }
         let second = lvl(self, lits[1]);
@@ -481,7 +561,16 @@ impl SatSolver {
                         self.unsat_at_root = true;
                         return Some(SatResult::Unsat);
                     }
-                    let (learned, bj) = self.analyze(conflict);
+                    let (mut learned, bj) = self.analyze(conflict);
+                    if self.sabotage_learning {
+                        // Seeded soundness bug (tests only): assert the
+                        // wrong polarity of the 1UIP literal.
+                        learned[0] = learned[0].negate();
+                    }
+                    if self.proof.is_some() {
+                        let logged = learned.clone();
+                        self.log(|| ProofStep::Learn(logged));
+                    }
                     self.cancel_until(bj);
                     self.prop_head = self.trail.len();
                     if learned.len() == 1 {
@@ -496,7 +585,7 @@ impl SatSolver {
                         let asserting = learned[0];
                         self.clauses.push(learned);
                         let ok = self.enqueue(asserting, idx);
-                        debug_assert!(ok);
+                        debug_assert!(ok || self.sabotage_learning);
                     }
                     self.var_inc *= 1.05;
                     restart_budget = restart_budget.saturating_sub(1);
@@ -748,6 +837,93 @@ mod tests {
         }
         // Full solve still works afterwards.
         assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    fn pigeonhole(pigeons: usize, holes: usize, s: &mut SatSolver) {
+        let mut p = vec![vec![0; holes]; pigeons];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                for (&a, &b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause(vec![Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_proof_certifies() {
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        pigeonhole(4, 3, &mut s);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        let stats = crate::drat::check_refutation(s.proof_steps()).expect("valid refutation");
+        assert!(stats.learned > 0, "expected learned clauses: {stats:?}");
+    }
+
+    #[test]
+    fn sat_model_satisfies_traced_clauses() {
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(vec![Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause(vec![Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        match s.solve(None) {
+            SatResult::Sat(m) => assert!(crate::drat::model_satisfies(s.proof_steps(), &m)),
+            SatResult::Unsat => panic!("sat expected"),
+        }
+    }
+
+    #[test]
+    fn seeded_clause_learning_bug_is_caught() {
+        // Same instance as `unsat_proof_certifies`, but with the learning
+        // mutation seeded: the trace must be rejected. This is the
+        // end-to-end demonstration that a soundness bug in the CDCL loop
+        // cannot slip past the certifier.
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        s.seed_clause_learning_bug();
+        pigeonhole(4, 3, &mut s);
+        match s.solve_budgeted(Some(200_000)) {
+            Some(SatResult::Unsat) => {
+                assert!(
+                    crate::drat::check_refutation(s.proof_steps()).is_err(),
+                    "corrupted derivation must not certify"
+                );
+            }
+            // The mutation may instead surface as a bogus model or budget
+            // exhaustion; a bogus model is caught by the model check.
+            Some(SatResult::Sat(m)) => {
+                assert!(
+                    !crate::drat::model_satisfies(s.proof_steps(), &m),
+                    "pigeonhole has no model; a claimed one must fail the check"
+                );
+            }
+            None => {}
+        }
+    }
+
+    #[test]
+    fn proof_trace_is_deterministic() {
+        let run = || {
+            let mut s = SatSolver::new();
+            s.enable_proof();
+            pigeonhole(4, 3, &mut s);
+            let _ = s.solve(None);
+            crate::drat::drat_text(s.proof_steps())
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.lines().any(|l| l.starts_with("i ")));
     }
 
     #[test]

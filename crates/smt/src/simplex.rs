@@ -177,7 +177,17 @@ impl Simplex {
     /// variable nonbasic, then set the old basic variable to `target`.
     fn pivot_and_update(&mut self, ri: usize, xj: usize, target: Rat) {
         let xi = self.rows[ri].basic;
+        debug_assert_eq!(
+            self.vars[xi].row,
+            Some(ri),
+            "pivot row out of sync with its basic variable"
+        );
+        debug_assert!(
+            self.vars[xj].row.is_none(),
+            "entering variable must be nonbasic"
+        );
         let aij = self.rows[ri].coeffs[&xj].clone();
+        debug_assert!(!aij.is_zero(), "pivot coefficient must be nonzero");
         // θ = (target - β(xi)) / aij ; new β(xj) = β(xj) + θ
         let theta = &(&target - &self.vars[xi].value) / &aij;
         self.vars[xi].value = target;
@@ -275,6 +285,26 @@ impl Simplex {
                         // xi is stuck below its lower bound: every positive
                         // coefficient is at its upper bound, every negative
                         // one at its lower bound.
+                        #[cfg(debug_assertions)]
+                        {
+                            // Farkas certificate: the row's maximum value
+                            // under the blocking bounds still misses lb(xi).
+                            let mut max = Rat::zero();
+                            for (&j, c) in &self.rows[ri].coeffs {
+                                let b = if c.is_positive() {
+                                    self.vars[j].upper.clone()
+                                } else {
+                                    self.vars[j].lower.clone()
+                                };
+                                let b = b.expect("blocking bound must exist");
+                                max = &max + &(c * &b);
+                            }
+                            let lb = self.vars[xi].lower.clone().expect("violated lower");
+                            debug_assert!(
+                                max < lb,
+                                "lower-bound explanation is not a Farkas certificate"
+                            );
+                        }
                         let mut expl = vec![(xi, BoundSide::Lower)];
                         for (&j, c) in &self.rows[ri].coeffs {
                             expl.push((
@@ -303,6 +333,26 @@ impl Simplex {
                 match xj {
                     Some(xj) => self.pivot_and_update(ri, xj, target),
                     None => {
+                        #[cfg(debug_assertions)]
+                        {
+                            // Dual certificate: the row's minimum value under
+                            // the blocking bounds still exceeds ub(xi).
+                            let mut min = Rat::zero();
+                            for (&j, c) in &self.rows[ri].coeffs {
+                                let b = if c.is_positive() {
+                                    self.vars[j].lower.clone()
+                                } else {
+                                    self.vars[j].upper.clone()
+                                };
+                                let b = b.expect("blocking bound must exist");
+                                min = &min + &(c * &b);
+                            }
+                            let ub = self.vars[xi].upper.clone().expect("violated upper");
+                            debug_assert!(
+                                min > ub,
+                                "upper-bound explanation is not a Farkas certificate"
+                            );
+                        }
                         let mut expl = vec![(xi, BoundSide::Upper)];
                         for (&j, c) in &self.rows[ri].coeffs {
                             expl.push((

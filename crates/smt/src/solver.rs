@@ -39,6 +39,12 @@ pub struct SmtConfig {
     pub minimize_cores: bool,
     /// Maximum depth of lazy disequality splitting per theory check.
     pub max_diseq_split: usize,
+    /// Whether to certify answers before reporting them: `unsat` is
+    /// replayed through the independent DRAT/RUP checker ([`crate::drat`])
+    /// and `sat` models are re-evaluated on the asserted formula with exact
+    /// integer arithmetic. A failed certificate surfaces as
+    /// [`SmtError::Certification`] — never as a wrong answer.
+    pub certify: bool,
 }
 
 impl Default for SmtConfig {
@@ -50,6 +56,7 @@ impl Default for SmtConfig {
             retry_escalations: 2,
             minimize_cores: true,
             max_diseq_split: 24,
+            certify: true,
         }
     }
 }
@@ -65,6 +72,10 @@ pub enum SmtError {
     ResourceLimit(&'static str),
     /// The configured deadline passed.
     Timeout,
+    /// An answer was produced but failed its independent certificate check
+    /// (DRAT/RUP replay for `unsat`, exact model evaluation for `sat`).
+    /// This indicates a solver bug; the answer is withheld.
+    Certification(String),
 }
 
 impl fmt::Display for SmtError {
@@ -73,6 +84,7 @@ impl fmt::Display for SmtError {
             SmtError::Unsupported(what) => write!(f, "unsupported formula: {what}"),
             SmtError::ResourceLimit(which) => write!(f, "resource limit reached: {which}"),
             SmtError::Timeout => f.write_str("deadline exceeded"),
+            SmtError::Certification(why) => write!(f, "answer failed certification: {why}"),
         }
     }
 }
@@ -436,8 +448,13 @@ struct Encoder {
 }
 
 impl Encoder {
-    fn new() -> Encoder {
+    fn new(log_proof: bool) -> Encoder {
         let mut sat = SatSolver::new();
+        if log_proof {
+            // Must precede the very first clause (the true-literal unit) or
+            // the DRAT replay sees an incomplete database.
+            sat.enable_proof();
+        }
         let t = sat.new_var();
         sat.add_clause(vec![Lit::pos(t)]);
         Encoder {
@@ -913,7 +930,7 @@ impl SmtSolver {
             None => {}
         }
 
-        let mut enc = Encoder::new();
+        let mut enc = Encoder::new(self.cfg.certify);
         let root = enc.encode(&full)?;
         enc.sat.add_clause(vec![root]);
         add_static_lemmas(&mut enc);
@@ -1005,7 +1022,10 @@ impl SmtSolver {
             let t_sat = Instant::now();
             let bool_model = loop {
                 match enc.sat.solve_with_theory(Some(20_000), &mut theory_cb) {
-                    Some(SatResult::Unsat) => return Ok(SmtResult::Unsat),
+                    Some(SatResult::Unsat) => {
+                        self.certify_unsat(&enc.sat)?;
+                        return Ok(SmtResult::Unsat);
+                    }
                     Some(SatResult::Sat(m)) => break m,
                     None => self.check_deadline()?,
                 }
@@ -1047,6 +1067,10 @@ impl SmtSolver {
                     for (&s, &v) in &enc.bool_vars {
                         model.bools.insert(s, bool_model[v as usize]);
                     }
+                    // Certify on the *full* (purification vars included)
+                    // model: the asserted formula must evaluate to true
+                    // under exact integer arithmetic.
+                    self.certify_sat(&full, &model)?;
                     // Drop purification-internal variables from the model.
                     model.ints.retain(|s, _| !s.as_str().starts_with("ite!"));
                     return Ok(SmtResult::Sat(model));
@@ -1125,6 +1149,52 @@ impl SmtSolver {
         }
     }
 
+    /// Replays the SAT core's DRAT trace through the independent RUP
+    /// checker before an `unsat` answer is allowed out.
+    fn certify_unsat(&self, sat: &SatSolver) -> Result<(), SmtError> {
+        if !self.cfg.certify {
+            return Ok(());
+        }
+        let tracer = self.cfg.budget.tracer().clone();
+        match crate::drat::check_refutation(sat.proof_steps()) {
+            Ok(_) => {
+                tracer.metrics().bump("smt.certified_unsat");
+                Ok(())
+            }
+            Err(e) => {
+                tracer.metrics().bump("smt.certification_failures");
+                Err(SmtError::Certification(format!("unsat proof rejected: {e}")))
+            }
+        }
+    }
+
+    /// Re-evaluates the asserted formula under the model with exact integer
+    /// arithmetic before a `sat` answer is allowed out.
+    fn certify_sat(&self, formula: &Term, model: &Model) -> Result<(), SmtError> {
+        if !self.cfg.certify {
+            return Ok(());
+        }
+        let tracer = self.cfg.budget.tracer().clone();
+        match eval_exact(formula, model) {
+            Ok(BigVal::Bool(true)) => {
+                tracer.metrics().bump("smt.certified_sat");
+                Ok(())
+            }
+            Ok(_) => {
+                tracer.metrics().bump("smt.certification_failures");
+                Err(SmtError::Certification(
+                    "model does not satisfy the asserted formula".into(),
+                ))
+            }
+            Err(why) => {
+                tracer.metrics().bump("smt.certification_failures");
+                Err(SmtError::Certification(format!(
+                    "model evaluation failed: {why}"
+                )))
+            }
+        }
+    }
+
     /// Checks validity: `Valid` iff `¬formula` is unsatisfiable; otherwise
     /// returns the falsifying model.
     ///
@@ -1158,6 +1228,114 @@ impl SmtSolver {
             return Ok(false);
         }
         self.is_valid(&Term::eq(a.clone(), b.clone()))
+    }
+}
+
+/// An exact value during certification-time model evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BigVal {
+    Int(BigInt),
+    Bool(bool),
+}
+
+/// Evaluates a purified QF_LIA term under `model` with arbitrary-precision
+/// integers — deliberately independent of [`Term::eval`] (which computes in
+/// `i64` and can overflow). Unconstrained variables read as 0 / `false`;
+/// that cannot flip the verdict, because any variable whose value matters
+/// to the formula's truth is pinned by the model.
+fn eval_exact(t: &Term, model: &Model) -> Result<BigVal, String> {
+    use BigVal::{Bool, Int};
+    let ints = |args: &[Term]| -> Result<Vec<BigInt>, String> {
+        args.iter()
+            .map(|a| match eval_exact(a, model)? {
+                Int(n) => Ok(n),
+                Bool(_) => Err(format!("expected an integer operand in {t}")),
+            })
+            .collect()
+    };
+    let bools = |args: &[Term]| -> Result<Vec<bool>, String> {
+        args.iter()
+            .map(|a| match eval_exact(a, model)? {
+                Bool(b) => Ok(b),
+                Int(_) => Err(format!("expected a boolean operand in {t}")),
+            })
+            .collect()
+    };
+    match t.node() {
+        TermNode::IntConst(n) => Ok(Int(BigInt::from(*n))),
+        TermNode::BoolConst(b) => Ok(Bool(*b)),
+        TermNode::Var(s, Sort::Int) => Ok(Int(model.int(*s))),
+        TermNode::Var(s, Sort::Bool) => Ok(Bool(model.boolean(*s))),
+        TermNode::App(op, args) => match op {
+            Op::Add => Ok(Int(ints(args)?
+                .into_iter()
+                .fold(BigInt::zero(), |a, b| &a + &b))),
+            Op::Mul => Ok(Int(ints(args)?
+                .into_iter()
+                .fold(BigInt::one(), |a, b| &a * &b))),
+            Op::Sub => {
+                let vs = ints(args)?;
+                let (first, rest) = vs
+                    .split_first()
+                    .ok_or_else(|| "empty subtraction".to_owned())?;
+                Ok(Int(rest.iter().fold(first.clone(), |a, b| &a - b)))
+            }
+            Op::Neg => {
+                let vs = ints(args)?;
+                match vs.as_slice() {
+                    [n] => Ok(Int(-n)),
+                    _ => Err(format!("negation arity in {t}")),
+                }
+            }
+            Op::Ite => {
+                if args.len() != 3 {
+                    return Err(format!("ite arity in {t}"));
+                }
+                match eval_exact(&args[0], model)? {
+                    Bool(c) => eval_exact(&args[if c { 1 } else { 2 }], model),
+                    Int(_) => Err(format!("non-boolean ite condition in {t}")),
+                }
+            }
+            Op::Eq => {
+                if args.len() != 2 {
+                    return Err(format!("equality arity in {t}"));
+                }
+                match (eval_exact(&args[0], model)?, eval_exact(&args[1], model)?) {
+                    (Int(a), Int(b)) => Ok(Bool(a == b)),
+                    (Bool(a), Bool(b)) => Ok(Bool(a == b)),
+                    _ => Err(format!("mixed-sort equality in {t}")),
+                }
+            }
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let vs = ints(args)?;
+                match vs.as_slice() {
+                    [a, b] => Ok(Bool(match op {
+                        Op::Le => a <= b,
+                        Op::Lt => a < b,
+                        Op::Ge => a >= b,
+                        _ => a > b,
+                    })),
+                    _ => Err(format!("comparison arity in {t}")),
+                }
+            }
+            Op::And => Ok(Bool(bools(args)?.into_iter().all(|b| b))),
+            Op::Or => Ok(Bool(bools(args)?.into_iter().any(|b| b))),
+            Op::Not => {
+                let vs = bools(args)?;
+                match vs.as_slice() {
+                    [b] => Ok(Bool(!b)),
+                    _ => Err(format!("negation arity in {t}")),
+                }
+            }
+            Op::Implies => {
+                let vs = bools(args)?;
+                match vs.as_slice() {
+                    [a, b] => Ok(Bool(!a || *b)),
+                    _ => Err(format!("implication arity in {t}")),
+                }
+            }
+            Op::Apply(f, _) => Err(format!("unexpanded function application `{f}`")),
+        },
     }
 }
 

@@ -160,6 +160,46 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Proof-logged SAT: every unsat answer carries a checkable refutation, every
+// sat answer a model the trace's live clauses accept.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sat_answers_are_certified(
+        nvars in 2u32..8,
+        clauses in proptest::collection::vec(clause_strategy(8), 1..24),
+    ) {
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|l| Lit::new(l.var() % nvars, l.is_neg())).collect())
+            .collect();
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.clone());
+        }
+        match s.solve(None) {
+            SatResult::Unsat => {
+                let stats = smtkit::check_refutation(s.proof_steps())
+                    .expect("unsat trace must pass the DRAT checker");
+                prop_assert_eq!(stats.inputs, clauses.len());
+            }
+            SatResult::Sat(m) => {
+                prop_assert!(
+                    smtkit::model_satisfies(s.proof_steps(), &m),
+                    "model must satisfy every live traced clause"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // LIA vs box enumeration
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+//! Certifier regression: every benchmark the solver cracks must come back
+//! `certified` — grammar membership, sort checking, and an independent
+//! (itself proof-logged) SMT verification query all pass.
+
+use dryadsynth::{certify_solution, DryadSynth, SygusSolver, SynthOutcome};
+use std::time::Duration;
+use sygus_benchmarks::{suite, track_suite, Track};
+
+/// A fixed sample spanning all three tracks; each entry is known solvable
+/// well within the per-benchmark timeout.
+const SAMPLE: &[&str] = &[
+    // CLIA
+    "max2",
+    "max3",
+    "abs_diff",
+    // INV
+    "counter_to_8",
+    "even_keeper",
+    // General
+    "qm_relu",
+    "symmetric_constant",
+];
+
+#[test]
+fn solved_sample_benchmarks_all_certify() {
+    let solver = DryadSynth::default();
+    let mut seen = 0;
+    for b in suite() {
+        if !SAMPLE.contains(&b.name.as_str()) {
+            continue;
+        }
+        seen += 1;
+        let p = b.problem();
+        match solver.solve_problem(&p, Duration::from_secs(30)) {
+            SynthOutcome::Solved(body) => {
+                let cert = certify_solution(&p, &body, None);
+                assert!(
+                    cert.certified(),
+                    "{}: solution {body} not certified: {}",
+                    b.name,
+                    cert.failure_reason().unwrap_or_default()
+                );
+            }
+            other => panic!("{}: expected a solution, got {other:?}", b.name),
+        }
+    }
+    assert_eq!(seen, SAMPLE.len(), "sample names drifted from the suite");
+}
+
+#[test]
+fn every_solved_easy_benchmark_certifies_across_tracks() {
+    let solver = DryadSynth::default();
+    for t in Track::all() {
+        let mut certified = 0;
+        for b in track_suite(t).into_iter().filter(|b| b.tier <= 1) {
+            let p = b.problem();
+            if let SynthOutcome::Solved(body) = solver.solve_problem(&p, Duration::from_secs(15)) {
+                let cert = certify_solution(&p, &body, None);
+                assert!(
+                    cert.certified(),
+                    "{}: {}",
+                    b.name,
+                    cert.failure_reason().unwrap_or_default()
+                );
+                certified += 1;
+            }
+        }
+        assert!(certified > 0, "track {t}: nothing solved, nothing certified");
+    }
+}
