@@ -155,10 +155,16 @@ impl Budget {
     /// charges propagate upward), but cancelling the child stops only work
     /// polling the child. Used for sibling cancellation inside parallel
     /// bands.
+    ///
+    /// The parent's *resolved* deadline is snapshotted into the child at
+    /// creation. Deadlines are immutable once a budget exists, so this is
+    /// semantically equivalent to walking the parent chain on every poll —
+    /// but it keeps `deadline()`/`exceeded()` O(1) even for children minted
+    /// inside a CEGIS loop, instead of O(depth) per iteration.
     pub fn child(&self) -> Budget {
         Budget(Arc::new(BudgetInner {
             parent: Some(self.clone()),
-            deadline: None,
+            deadline: self.deadline(),
             cancelled: AtomicBool::new(false),
             fuel_limit: u64::MAX,
             fuel_spent: AtomicU64::new(0),
@@ -381,6 +387,28 @@ mod tests {
         assert_eq!(parent.smt_retries(), 1);
         // Parent's fuel cap applies to the child.
         assert_eq!(band.charge_fuel(6), Err(BudgetError::FuelExhausted));
+    }
+
+    #[test]
+    fn child_budget_snapshots_deadline_at_creation() {
+        // Regression: children used to store `deadline: None` and re-resolve
+        // the parent chain on every `deadline()`/`exceeded()` poll, so a
+        // CEGIS loop minting a child per iteration paid O(depth) per check.
+        // The resolved deadline must now be hoisted into the child once.
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let root = Budget::with_deadline(deadline);
+        let mut b = root.clone();
+        for _ in 0..64 {
+            b = b.child();
+            // The snapshot lives in the child itself, not behind the chain.
+            assert_eq!(b.0.deadline, Some(deadline));
+        }
+        assert_eq!(b.deadline(), Some(deadline));
+        assert_eq!(b.exceeded(), None);
+        // Children of deadline-free budgets stay deadline-free.
+        let free = Budget::unlimited().child();
+        assert_eq!(free.0.deadline, None);
+        assert_eq!(free.deadline(), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use bench_harness::{
 };
 use dryadsynth::{
     Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
-    SygusSolver,
+    Synthesizer,
 };
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         suite.retain(|b| b.track.name().eq_ignore_ascii_case(&filter));
     }
     // The full lineup: the competition solvers plus the ablation variants.
-    let solvers: Vec<Box<dyn SygusSolver>> = vec![
+    let solvers: Vec<Box<dyn Synthesizer>> = vec![
         Box::new(DryadSynth::default()),
         Box::new(Cvc4Baseline),
         Box::new(EuSolverBaseline),

@@ -17,8 +17,8 @@
 
 #![warn(missing_docs)]
 
-use dryadsynth::{outcome_label, verify_solution, SygusSolver, SynthOutcome};
-use std::time::{Duration, Instant};
+use dryadsynth::{outcome_label, verify_solution, SolveRequest, SynthOutcome, Synthesizer};
+use std::time::Duration;
 use sygus_ast::{Json, Tracer};
 use sygus_benchmarks::{Benchmark, Track};
 
@@ -69,13 +69,15 @@ pub fn problem_timeout() -> Duration {
 /// Each run gets a fresh metrics-only [`Tracer`] on its [`Budget`], so the
 /// per-stage timing totals in the record cover exactly that (solver,
 /// benchmark) pair and the instrumentation adds no per-event allocation.
-pub fn run_one(solver: &dyn SygusSolver, bench: &Benchmark, timeout: Duration) -> RunRecord {
+pub fn run_one(solver: &dyn Synthesizer, bench: &Benchmark, timeout: Duration) -> RunRecord {
     let problem = bench.problem();
     let tracer = Tracer::metrics_only();
     let budget = Budget::from_timeout(timeout).with_tracer(tracer.clone());
-    let start = Instant::now();
-    let (outcome, _stats) = solver.solve_governed_problem(&problem, &budget);
-    let seconds = start.elapsed().as_secs_f64();
+    let request = SolveRequest::new(&problem)
+        .with_budget(budget)
+        .with_source(bench.name.clone());
+    let report = solver.solve(&request);
+    let (outcome, seconds) = (report.outcome, report.seconds);
     let mut label = outcome_label(&outcome);
     let (solved, size) = match &outcome {
         SynthOutcome::Solved(body) => {
@@ -116,7 +118,7 @@ pub fn run_one(solver: &dyn SygusSolver, bench: &Benchmark, timeout: Duration) -
 
 /// Runs the full matrix: every solver on every benchmark.
 pub fn run_matrix(
-    solvers: &[Box<dyn SygusSolver>],
+    solvers: &[Box<dyn Synthesizer>],
     suite: &[Benchmark],
     timeout: Duration,
     mut progress: impl FnMut(&RunRecord),

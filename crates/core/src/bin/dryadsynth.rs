@@ -38,18 +38,17 @@
 //! | 7    | certification failure or error-level lint findings |
 
 use dryadsynth::{
-    certify_solution, dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth,
-    DryadSynthConfig, Engine, EngineFault, EuSolverBaseline, LoopInvGenBaseline, RunReport,
-    SygusSolver, SynthOutcome,
+    dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine,
+    EuSolverBaseline, LoopInvGenBaseline, SolveRequest, SynthOutcome, Synthesizer,
 };
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use sygus_ast::{lint_grammar, Tracer};
 
 const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
 [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
-[--json] [--trace FILE] [--dot FILE] [--certify] FILE.sl\n\
+[--json] [--trace FILE] [--dot FILE] [--certify] [--no-smt-sessions] FILE.sl\n\
        dryadsynth --lint FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
   --fuel caps governed engine steps independently of wall-clock time;\n\
@@ -57,8 +56,10 @@ const USAGE: &str = "usage: dryadsynth \
   s-expression answer; --trace writes span/event JSONL; --dot writes the\n\
   subproblem graph (with solver attribution) as Graphviz DOT;\n\
   --certify re-validates solved answers (grammar, sorts, independent SMT)\n\
-  and exits 7 on failure; --lint prints the grammar dataflow report for a\n\
-  problem without solving it (exit 7 on error-level findings).";
+  and exits 7 on failure; --no-smt-sessions disables the persistent\n\
+  incremental SMT sessions in the CEGIS loops (for A/B measurement);\n\
+  --lint prints the grammar dataflow report for a problem without solving\n\
+  it (exit 7 on error-level findings).";
 
 struct Options {
     engine: String,
@@ -70,6 +71,7 @@ struct Options {
     trace: Option<String>,
     dot: Option<String>,
     certify: bool,
+    smt_sessions: bool,
     lint: Option<String>,
     file: Option<String>,
 }
@@ -85,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         dot: None,
         certify: false,
+        smt_sessions: true,
         lint: None,
         file: None,
     };
@@ -122,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.dot = Some(args.next().ok_or("--dot needs a file path")?);
             }
             "--certify" => opts.certify = true,
+            "--no-smt-sessions" => opts.smt_sessions = false,
             "--lint" => {
                 opts.lint = Some(args.next().ok_or("--lint needs a file path")?);
             }
@@ -214,9 +218,10 @@ fn main() -> ExitCode {
         engine,
         threads: opts.threads,
         fuel: opts.fuel,
+        smt_sessions: opts.smt_sessions,
         ..DryadSynthConfig::default()
     };
-    let solver: Box<dyn SygusSolver> = match opts.engine.as_str() {
+    let solver: Box<dyn Synthesizer> = match opts.engine.as_str() {
         "coop" => Box::new(DryadSynth::new(dryad_config(Engine::Cooperative))),
         "enum" => Box::new(DryadSynth::new(dryad_config(Engine::HeightEnumOnly))),
         "deduct" => Box::new(DryadSynth::new(dryad_config(Engine::DeductionOnly))),
@@ -239,31 +244,22 @@ fn main() -> ExitCode {
     };
     let budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
 
-    let start = Instant::now();
-    let (outcome, mut stats) = solver.solve_governed_problem(&problem, &budget);
-    let name = solver.name();
-    let elapsed = start.elapsed();
-
-    // End-to-end certification of solved answers: grammar membership, sort
-    // check, and an independent SMT verification query. Runs on a fresh
-    // budget window so a run that solved near its deadline can still be
-    // checked; failures become a `certify` fault and exit code 7, never a
-    // panic.
-    let mut certified: Option<bool> = None;
+    // End-to-end certification of solved answers (grammar membership, sort
+    // check, independent SMT verification) is requested through the solve
+    // options; it runs on a fresh budget window so a run that solved near
+    // its deadline can still be checked, failures become a `certify` fault
+    // and exit code 7, never a panic.
+    let mut request = SolveRequest::new(&problem)
+        .with_budget(budget)
+        .with_source(file.clone());
     if opts.certify {
-        if let SynthOutcome::Solved(body) = &outcome {
-            let cert_budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
-            let cert = certify_solution(&problem, body, Some(&cert_budget));
-            certified = Some(cert.certified());
-            if let Some(why) = cert.failure_reason() {
-                stats.faults.push(EngineFault {
-                    stage: "certify",
-                    node: 0,
-                    message: why,
-                });
-            }
-        }
+        request = request.certified(Some(opts.timeout));
     }
+    let solved = solver.solve(&request);
+    let name = solver.name();
+    let outcome = solved.outcome;
+    let stats = solved.stats;
+    let certified = solved.certified;
 
     if let Some(path) = &opts.trace {
         if let Err(e) = std::fs::write(path, trace_jsonl(&tracer)) {
@@ -282,7 +278,7 @@ fn main() -> ExitCode {
         eprintln!(
             "; solver={} time={:.3}s faults={} smt_queries={} smt_retries={} fuel_spent={}",
             name,
-            elapsed.as_secs_f64(),
+            solved.seconds,
             stats.faults.len(),
             stats.smt_queries,
             stats.smt_retries,
@@ -295,16 +291,7 @@ fn main() -> ExitCode {
 
     let code = exit_code(&outcome, &stats, certified);
     if opts.json {
-        let report = RunReport::new(
-            name,
-            file.clone(),
-            outcome,
-            elapsed.as_secs_f64(),
-            stats,
-            &tracer,
-        )
-        .with_certified(certified);
-        println!("{}", report.to_json());
+        println!("{}", solved.report.to_json());
         return code;
     }
     match outcome {

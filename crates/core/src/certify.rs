@@ -7,9 +7,9 @@
 //! The certifier shares no state with the engine that produced the solution:
 //! grammar membership goes through [`Problem::grammar_admits`], sorts through
 //! [`Term::check_sorts`], and the spec through a brand-new
-//! [`SmtSolver`] on the inlined verification formula.
+//! [`SmtSession`] on the inlined verification formula.
 
-use smtkit::{SmtConfig, SmtSolver, Validity};
+use smtkit::{SmtConfig, SmtSession, Validity};
 use std::fmt;
 use sygus_ast::{Budget, Problem, SortError, Stage, Term};
 
@@ -98,12 +98,11 @@ pub fn certify_solution(problem: &Problem, body: &Term, budget: Option<&Budget>)
         Err(e) => (false, Some(e)),
     };
 
-    // Independent verification query on a fresh solver; `certify` defaults
-    // on, so an `unsat` here (validity) is itself DRAT-checked.
-    let smt = SmtSolver::with_config(SmtConfig {
-        budget,
-        ..SmtConfig::default()
-    });
+    // Independent verification query on a fresh session; `certify` defaults
+    // on, so an `unsat` here (validity) is itself DRAT-checked — with the
+    // scope selector of the `check_valid` push recorded as an assumption
+    // unit in the replayed trace.
+    let mut smt = SmtSession::new(SmtConfig::builder().budget(budget).build());
     let formula = problem.verification_formula(body);
     let spec = match smt.check_valid(&formula) {
         Ok(Validity::Valid) => SpecVerdict::Proved,

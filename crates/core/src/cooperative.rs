@@ -7,10 +7,11 @@ use crate::{
     verify_solution, DeductOutcome, DeductionConfig, DeductiveEngine, Divider, Division,
     EnumBackend, ExamplePool, FixedHeightResult, TypeBOutcome,
 };
+use smtkit::{SmtConfig, SmtSession, Validity};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sygus_ast::trace::{GraphEvent, Stage};
 use sygus_ast::{span, Problem, Term};
 
@@ -116,6 +117,44 @@ struct Node {
     dead: bool,
 }
 
+/// Verifies unwound candidate solutions. With sessions enabled one
+/// persistent [`SmtSession`] is reused across every check of the run: each
+/// `check_valid` is fully scoped (push, assert the negated formula, pop),
+/// so the root scope never accumulates assertions and the same session is
+/// sound across *different* subproblems — while learned clauses and the
+/// encoding cache survive from one candidate to the next.
+struct SessionVerifier {
+    session: Mutex<Option<SmtSession>>,
+    enabled: bool,
+}
+
+impl SessionVerifier {
+    fn new(enabled: bool) -> SessionVerifier {
+        SessionVerifier {
+            session: Mutex::new(None),
+            enabled,
+        }
+    }
+
+    /// Checks that `body` satisfies `problem`'s constraints on every input.
+    fn verify(&self, problem: &Problem, body: &Term, budget: &Budget) -> bool {
+        if !self.enabled {
+            return verify_solution(problem, body, Some(budget));
+        }
+        let tracer = budget.tracer().clone();
+        let _span = tracer.span(Stage::Verify);
+        // A contained panic elsewhere may have poisoned the lock; the
+        // session itself is left in a consistent state by `check_valid`
+        // (its pop runs even on error), so recover rather than propagate.
+        let mut guard = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        let session = guard.get_or_insert_with(|| {
+            SmtSession::new(SmtConfig::builder().budget(budget.clone()).build())
+        });
+        let formula = problem.verification_formula(body);
+        matches!(session.check_valid(&formula), Ok(Validity::Valid))
+    }
+}
+
 /// The cooperative solver (Algorithm 1), generic in its enumeration
 /// backend.
 pub struct CooperativeSolver {
@@ -128,6 +167,8 @@ pub struct CooperativeSolver {
     enumeration_only: bool,
     /// Skip enumeration entirely (the plain-deduction ablation).
     deduction_only: bool,
+    /// Solution verification, session-backed unless sessions are disabled.
+    verifier: SessionVerifier,
 }
 
 impl CooperativeSolver {
@@ -146,7 +187,16 @@ impl CooperativeSolver {
             max_nodes: 48,
             enumeration_only: false,
             deduction_only: false,
+            verifier: SessionVerifier::new(true),
         }
+    }
+
+    /// Enables or disables the persistent verification SMT session (enabled
+    /// by default); with sessions off, each candidate is verified by a
+    /// from-scratch [`verify_solution`] query.
+    pub fn with_smt_sessions(mut self, enabled: bool) -> CooperativeSolver {
+        self.verifier = SessionVerifier::new(enabled);
+        self
     }
 
     /// The run's resource governor (cancel it to stop the solver).
@@ -474,7 +524,7 @@ impl CooperativeSolver {
         for w in nodes[i].wrappers.iter().rev() {
             body = w(body);
         }
-        if !verify_solution(&nodes[i].original, &body, Some(&self.budget)) {
+        if !self.verifier.verify(&nodes[i].original, &body, &self.budget) {
             // A wrapper or rule produced an unverifiable candidate: treat
             // the node as unsolved and let enumeration continue.
             return false;

@@ -4,7 +4,7 @@
 
 use crate::{CliaTreeEncoding, GeneralEncoding};
 use enum_synth::counterexample_env;
-use smtkit::{SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
+use smtkit::{SmtConfig, SmtError, SmtResult, SmtSession, SmtSolver, Validity};
 use std::sync::{Mutex, MutexGuard};
 use sygus_ast::runtime::{Budget, BudgetError};
 use sygus_ast::{simplify, Env, GrammarFlavor, Op, Problem, Sort, Symbol, Term, TermNode, Value};
@@ -36,6 +36,10 @@ pub struct FixedHeightConfig {
     pub max_cegis_rounds: usize,
     /// Shared resource governor (deadline, cancellation, fuel).
     pub budget: Budget,
+    /// Keep persistent incremental SMT sessions across CEGIS iterations
+    /// (one synthesis and one verification session per height) instead of
+    /// re-solving every query from scratch.
+    pub smt_sessions: bool,
 }
 
 impl Default for FixedHeightConfig {
@@ -45,6 +49,7 @@ impl Default for FixedHeightConfig {
             const_bound: 16,
             max_cegis_rounds: 160,
             budget: Budget::unlimited(),
+            smt_sessions: true,
         }
     }
 }
@@ -141,6 +146,33 @@ impl Encoder {
     }
 }
 
+/// A reusable validity checker for candidate verification: a persistent
+/// [`SmtSession`] (learned clauses and encoding cache shared across the
+/// CEGIS rounds) when sessions are enabled, a fresh one-shot query
+/// otherwise.
+enum CandidateVerifier {
+    Session(Box<SmtSession>),
+    OneShot(SmtSolver),
+}
+
+impl CandidateVerifier {
+    fn new(cfg: &FixedHeightConfig) -> CandidateVerifier {
+        let smt_cfg = SmtConfig::builder().budget(cfg.budget.clone()).build();
+        if cfg.smt_sessions {
+            CandidateVerifier::Session(Box::new(SmtSession::new(smt_cfg)))
+        } else {
+            CandidateVerifier::OneShot(SmtSolver::with_config(smt_cfg))
+        }
+    }
+
+    fn check_valid(&mut self, formula: &Term) -> Result<Validity, SmtError> {
+        match self {
+            CandidateVerifier::Session(s) => s.check_valid(formula),
+            CandidateVerifier::OneShot(s) => s.check_valid(formula),
+        }
+    }
+}
+
 impl FixedHeightSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: FixedHeightConfig) -> FixedHeightSolver {
@@ -219,6 +251,9 @@ impl FixedHeightSolver {
                 pool.extend(default_examples(problem));
             }
         }
+        if cfg.smt_sessions {
+            return self.solve_at_height_incremental(problem, &cfg, &encoder, &spec, examples);
+        }
         let smt = SmtSolver::with_config(SmtConfig {
             budget: cfg.budget.clone(),
             ..SmtConfig::default()
@@ -286,6 +321,124 @@ impl FixedHeightSolver {
         FixedHeightResult::NoSolution
     }
 
+    /// The incremental twin of the symbolic CEGIS loop: one persistent
+    /// synthesis session and one persistent verification session per
+    /// height. Example constraints are asserted exactly once and live at
+    /// the session's root scope; each coefficient bound gets its own
+    /// assertion scope, so widening the bound pops only the bound
+    /// constraint while everything learned from the examples is retained.
+    fn solve_at_height_incremental(
+        &self,
+        problem: &Problem,
+        cfg: &FixedHeightConfig,
+        encoder: &Encoder,
+        spec: &Term,
+        examples: &ExamplePool,
+    ) -> FixedHeightResult {
+        let sf = &problem.synth_fun;
+        let smt_cfg = || SmtConfig::builder().budget(cfg.budget.clone()).build();
+        let mut synth = SmtSession::new(smt_cfg());
+        let mut verify = SmtSession::new(smt_cfg());
+        fn smt_fail(e: SmtError) -> FixedHeightResult {
+            match e {
+                SmtError::Timeout => FixedHeightResult::Timeout,
+                other => FixedHeightResult::Failed(other.to_string()),
+            }
+        }
+        // Number of pool examples asserted at the synthesis session's root.
+        let mut root_count = 0usize;
+        for &coeff_bound in &cfg.coeff_bounds {
+            // Hoist examples learned under the previous bound (their scoped
+            // assertions died with its pop) to the root: the encoding is
+            // already cached, only the clauses are re-attached.
+            {
+                let snapshot = examples.lock().clone();
+                for env in &snapshot[root_count.min(snapshot.len())..] {
+                    match instantiate_spec(spec, env, sf.name, &sf.params, encoder) {
+                        Ok(t) => {
+                            if let Err(e) = synth.assert_term(&t) {
+                                return smt_fail(e);
+                            }
+                        }
+                        Err(msg) => return FixedHeightResult::Failed(msg),
+                    }
+                    root_count += 1;
+                }
+            }
+            synth.push();
+            if let Err(e) = synth.assert_term(&encoder.bounds(coeff_bound, cfg.const_bound)) {
+                return smt_fail(e);
+            }
+            // Examples asserted so far (root plus the open bound scope).
+            let mut asserted = root_count;
+            let mut rounds = 0;
+            loop {
+                if let Some(stop) = self.interrupted() {
+                    return stop;
+                }
+                let _ = cfg.budget.charge_fuel(1);
+                rounds += 1;
+                cfg.budget.tracer().metrics().bump("cegis.rounds");
+                if rounds > cfg.max_cegis_rounds {
+                    return FixedHeightResult::Failed("CEGIS round limit".into());
+                }
+                // Inductive synthesis: push only the constraints of examples
+                // the session has not seen yet.
+                let snapshot = examples.lock().clone();
+                for env in &snapshot[asserted.min(snapshot.len())..] {
+                    match instantiate_spec(spec, env, sf.name, &sf.params, encoder) {
+                        Ok(t) => {
+                            if let Err(e) = synth.assert_term(&t) {
+                                return smt_fail(e);
+                            }
+                        }
+                        Err(msg) => return FixedHeightResult::Failed(msg),
+                    }
+                    asserted += 1;
+                }
+                let model = match synth.check_sat() {
+                    Ok(SmtResult::Sat(m)) => m,
+                    Ok(SmtResult::Unsat) => {
+                        // Widen the bound: drop only its scope.
+                        synth.pop();
+                        break;
+                    }
+                    Err(e) => return smt_fail(e),
+                };
+                let candidate = simplify(&encoder.decode(&model));
+                // Verification (condition 2.4 of the paper) in the reused
+                // verification session (scoped, so nothing leaks between
+                // candidates).
+                let formula = problem.verification_formula(&candidate);
+                match verify.check_valid(&formula) {
+                    Ok(Validity::Valid) => return FixedHeightResult::Solved(candidate),
+                    Ok(Validity::Invalid(cex)) => match counterexample_env(problem, &cex) {
+                        Some(env) => {
+                            if snapshot.contains(&env) {
+                                // The candidate passed this example yet the
+                                // verifier rejects at the same point:
+                                // evaluation and solving disagree.
+                                return FixedHeightResult::Failed(format!(
+                                    "duplicate counterexample {env} for {candidate}"
+                                ));
+                            }
+                            // Another height's thread may have raced it in.
+                            let mut pool = examples.lock();
+                            if !pool.contains(&env) {
+                                pool.push(env);
+                            }
+                        }
+                        None => {
+                            return FixedHeightResult::Failed("counterexample outside i64".into())
+                        }
+                    },
+                    Err(e) => return smt_fail(e),
+                }
+            }
+        }
+        FixedHeightResult::NoSolution
+    }
+
     /// Height-bounded concrete enumeration (CEGIS with the bottom-up
     /// enumerator): finds a term of height ≤ `height` consistent with the
     /// shared counterexample pool, verifying and growing the pool as usual.
@@ -305,10 +458,10 @@ impl FixedHeightSolver {
                 pool.extend(default_examples(problem));
             }
         }
-        let smt = SmtSolver::with_config(SmtConfig {
-            budget: cfg.budget.clone(),
-            ..SmtConfig::default()
-        });
+        // One verification engine for the whole CEGIS loop: with sessions
+        // enabled, counterexample queries share learned clauses and the
+        // encoding cache across rounds.
+        let mut smt = CandidateVerifier::new(cfg);
         // Full tree of height h has 2^h − 1 nodes; cap the size budget there.
         let max_size = ((1usize << height.min(6)) - 1).min(31);
         let mut rounds = 0;
@@ -612,6 +765,34 @@ mod tests {
             2,
         );
         assert!(t.to_string().contains("ite"), "{t}");
+    }
+
+    #[test]
+    fn session_and_one_shot_cegis_agree() {
+        // The incremental (session-backed) CEGIS loop and the from-scratch
+        // one must find a valid solution for the same problems.
+        let src = "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+             (declare-var x Int)(declare-var y Int)\
+             (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+             (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
+        let p = parse_problem(src).unwrap();
+        for smt_sessions in [true, false] {
+            let s = FixedHeightSolver::new(FixedHeightConfig {
+                smt_sessions,
+                ..FixedHeightConfig::default()
+            });
+            match s.solve(&p, 2) {
+                FixedHeightResult::Solved(t) => {
+                    let formula = p.verification_formula(&t);
+                    assert_eq!(
+                        SmtSolver::new().check_valid(&formula),
+                        Ok(Validity::Valid),
+                        "sessions={smt_sessions}: solution {t} fails re-verification"
+                    );
+                }
+                other => panic!("sessions={smt_sessions}: {other:?}"),
+            }
+        }
     }
 
     #[test]

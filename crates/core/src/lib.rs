@@ -37,5 +37,7 @@ pub use runtime::{Budget, BudgetError, EngineFault};
 pub use simplify_solution::{simplify_solution, SimplifyConfig};
 pub use solver::{
     competition_solvers, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
-    LoopInvGenBaseline, SygusSolver,
+    LoopInvGenBaseline, SolveOptions, SolveReport, SolveRequest, Synthesizer,
 };
+#[allow(deprecated)]
+pub use solver::SygusSolver;

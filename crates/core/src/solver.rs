@@ -1,40 +1,223 @@
 //! The public solver façade: named engine configurations matching every
-//! system compared in the paper's evaluation, behind one [`SygusSolver`]
+//! system compared in the paper's evaluation, behind one [`Synthesizer`]
 //! trait the experiment harness drives uniformly.
+//!
+//! The single non-deprecated entry point is [`Synthesizer::solve`], which
+//! takes a [`SolveRequest`] (problem + [`Budget`] + [`SolveOptions`]) and
+//! returns a [`SolveReport`] bundling the outcome, run statistics, the
+//! machine-readable [`RunReport`], and the certification verdict. The
+//! historical `solve_problem` / `solve_governed_problem` /
+//! `solve_with_stats` / `solve_governed` sprawl survives as thin deprecated
+//! shims over it.
 
-use crate::runtime::Budget;
+use crate::runtime::{Budget, EngineFault};
 use crate::{
-    strengthen_with_summary, BaselineConfig, BottomUpBackend, CegqiSolver, CoopStats,
-    CooperativeSolver, DeductionConfig, DivideConfig, Divider, FixedHeightBackend,
-    FixedHeightConfig, HoudiniInvSolver, ParallelHeightBackend, SynthOutcome,
+    certify_solution, strengthen_with_summary, BaselineConfig, BottomUpBackend, CegqiSolver,
+    CoopStats, CooperativeSolver, DeductionConfig, DivideConfig, Divider, FixedHeightBackend,
+    FixedHeightConfig, HoudiniInvSolver, ParallelHeightBackend, RunReport, SynthOutcome,
 };
 use enum_synth::{BottomUpConfig, BottomUpSolver, SynthStatus};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sygus_ast::Problem;
 
+/// Options modifying one solve run beyond its budget.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Re-validate a solved answer end to end (grammar membership, sort
+    /// check, independent SMT verification) before reporting it. The
+    /// verdict lands in [`SolveReport::certified`] and certification
+    /// failures are recorded as `certify` faults in the statistics.
+    pub certify: bool,
+    /// Wall-clock window for the certification pass, which runs on a fresh
+    /// budget so a run that solved near its deadline can still be checked.
+    /// `None` certifies without a deadline.
+    pub certify_timeout: Option<Duration>,
+    /// The problem source (file path or benchmark name) recorded in the
+    /// run report.
+    pub source: String,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            certify: false,
+            certify_timeout: None,
+            source: "<memory>".to_owned(),
+        }
+    }
+}
+
+/// A fully-specified solve request: the problem, the [`Budget`] governing
+/// the run (deadline, fuel, cancellation, and the observability
+/// [`Tracer`](sygus_ast::Tracer) riding on it), and the [`SolveOptions`].
+///
+/// # Examples
+///
+/// ```
+/// use dryadsynth::{DryadSynth, SolveRequest, Synthesizer, SynthOutcome};
+/// use std::time::Duration;
+/// use sygus_parser::parse_problem;
+/// let p = parse_problem(
+///     "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+///      (constraint (= (f x) (+ x 1)))(check-synth)",
+/// ).unwrap();
+/// let request = SolveRequest::new(&p).with_timeout(Duration::from_secs(20));
+/// match DryadSynth::default().solve(&request).outcome {
+///     SynthOutcome::Solved(t) => assert_eq!(t.to_string(), "(+ x 1)"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SolveRequest<'p> {
+    /// The SyGuS problem to solve.
+    pub problem: &'p Problem,
+    /// The resource governor for the run.
+    pub budget: Budget,
+    /// Per-run options.
+    pub options: SolveOptions,
+}
+
+impl<'p> SolveRequest<'p> {
+    /// A request with an unlimited budget and default options.
+    pub fn new(problem: &'p Problem) -> SolveRequest<'p> {
+        SolveRequest {
+            problem,
+            budget: Budget::unlimited(),
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Replaces the budget (builder style).
+    pub fn with_budget(mut self, budget: Budget) -> SolveRequest<'p> {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the budget with a plain wall-clock deadline.
+    pub fn with_timeout(self, timeout: Duration) -> SolveRequest<'p> {
+        self.with_budget(Budget::from_timeout(timeout))
+    }
+
+    /// Enables end-to-end certification of solved answers, optionally
+    /// bounded by a fresh wall-clock window.
+    pub fn certified(mut self, certify_timeout: Option<Duration>) -> SolveRequest<'p> {
+        self.options.certify = true;
+        self.options.certify_timeout = certify_timeout;
+        self
+    }
+
+    /// Records the problem source for the run report.
+    pub fn with_source(mut self, source: impl Into<String>) -> SolveRequest<'p> {
+        self.options.source = source.into();
+        self
+    }
+}
+
+/// Everything a finished solve run produced.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The run outcome.
+    pub outcome: SynthOutcome,
+    /// Cooperative run statistics (budget-telemetry-only for baselines),
+    /// including any `certify` fault appended by certification.
+    pub stats: CoopStats,
+    /// The versioned machine-readable run report (the `--json` payload).
+    pub report: RunReport,
+    /// The certification verdict: `None` when certification was not
+    /// requested or the run produced no solution.
+    pub certified: Option<bool>,
+    /// Wall-clock seconds spent solving (certification time excluded).
+    pub seconds: f64,
+}
+
 /// A uniform interface over every solver in the evaluation.
-pub trait SygusSolver: Send + Sync {
+///
+/// [`Synthesizer::solve`] is the one entry point; the deprecated
+/// convenience methods below delegate to it.
+pub trait Synthesizer: Send + Sync {
     /// The solver's display name (used in the figures).
     fn name(&self) -> &'static str;
 
-    /// Attempts `problem` within the wall-clock budget.
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome;
+    /// Attempts the request's problem under its budget and options.
+    fn solve(&self, request: &SolveRequest<'_>) -> SolveReport;
 
-    /// Attempts `problem` under an explicit [`Budget`] (deadline, fuel,
-    /// cancellation, and the observability [`Tracer`](sygus_ast::Tracer)
-    /// riding on it), reporting run statistics. Every engine here overrides
-    /// this to thread the budget end to end; the default derives a
-    /// wall-clock timeout for solvers with no richer governance (telemetry
-    /// recorded on *internal* budgets is then invisible to `budget`'s
-    /// tracer).
+    /// Attempts `problem` within the wall-clock budget.
+    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
+    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
+        self.solve(&SolveRequest::new(problem).with_timeout(timeout))
+            .outcome
+    }
+
+    /// Attempts `problem` under an explicit [`Budget`], reporting run
+    /// statistics.
+    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
     fn solve_governed_problem(
         &self,
         problem: &Problem,
         budget: &Budget,
     ) -> (SynthOutcome, CoopStats) {
-        let timeout = budget.remaining_time().unwrap_or(Duration::from_secs(3600));
-        (self.solve_problem(problem, timeout), CoopStats::default())
+        let report = self.solve(&SolveRequest::new(problem).with_budget(budget.clone()));
+        (report.outcome, report.stats)
+    }
+}
+
+/// The historical name of [`Synthesizer`]; every `Synthesizer` implements
+/// it automatically.
+#[deprecated(note = "use the `Synthesizer` trait")]
+pub trait SygusSolver: Synthesizer {}
+
+#[allow(deprecated)]
+impl<T: Synthesizer + ?Sized> SygusSolver for T {}
+
+/// Shared tail of every [`Synthesizer::solve`] implementation: runs the
+/// optional certification pass (on a fresh budget window, metrics recorded
+/// on the run's tracer) and assembles the [`SolveReport`] with its
+/// [`RunReport`]. `seconds` is measured before certification so solve and
+/// certification times stay separable.
+fn finish_solve(
+    name: &str,
+    request: &SolveRequest<'_>,
+    outcome: SynthOutcome,
+    mut stats: CoopStats,
+    started: Instant,
+) -> SolveReport {
+    let seconds = started.elapsed().as_secs_f64();
+    let tracer = request.budget.tracer().clone();
+    let mut certified: Option<bool> = None;
+    if request.options.certify {
+        if let SynthOutcome::Solved(body) = &outcome {
+            let cert_budget = match request.options.certify_timeout {
+                Some(window) => Budget::from_timeout(window),
+                None => Budget::unlimited(),
+            }
+            .with_tracer(tracer.clone());
+            let cert = certify_solution(request.problem, body, Some(&cert_budget));
+            certified = Some(cert.certified());
+            if let Some(why) = cert.failure_reason() {
+                stats.faults.push(EngineFault {
+                    stage: "certify",
+                    node: 0,
+                    message: why,
+                });
+            }
+        }
+    }
+    let report = RunReport::new(
+        name,
+        request.options.source.clone(),
+        outcome.clone(),
+        seconds,
+        stats.clone(),
+        &tracer,
+    )
+    .with_certified(certified);
+    SolveReport {
+        outcome,
+        stats,
+        report,
+        certified,
+        seconds,
     }
 }
 
@@ -81,6 +264,11 @@ pub struct DryadSynthConfig {
     /// steps (CEGIS rounds, enumeration layers, deduction passes), even if
     /// wall-clock time remains.
     pub fuel: Option<u64>,
+    /// Whether CEGIS loops keep persistent incremental SMT sessions
+    /// (learned clauses, encoding cache, warm simplex) across queries
+    /// instead of solving every query from scratch (`--no-smt-sessions`
+    /// disables this for A/B measurement).
+    pub smt_sessions: bool,
 }
 
 impl Default for DryadSynthConfig {
@@ -97,6 +285,7 @@ impl Default for DryadSynthConfig {
             max_nodes: 48,
             loop_summarization: true,
             fuel: None,
+            smt_sessions: true,
         }
     }
 }
@@ -106,7 +295,7 @@ impl Default for DryadSynthConfig {
 /// # Examples
 ///
 /// ```
-/// use dryadsynth::{DryadSynth, SygusSolver, SynthOutcome};
+/// use dryadsynth::{DryadSynth, SolveRequest, Synthesizer, SynthOutcome};
 /// use std::time::Duration;
 /// use sygus_parser::parse_problem;
 /// let p = parse_problem(
@@ -114,7 +303,8 @@ impl Default for DryadSynthConfig {
 ///      (constraint (= (f x) (+ x 1)))(check-synth)",
 /// ).unwrap();
 /// let solver = DryadSynth::default();
-/// match solver.solve_problem(&p, Duration::from_secs(20)) {
+/// let request = SolveRequest::new(&p).with_timeout(Duration::from_secs(20));
+/// match solver.solve(&request).outcome {
 ///     SynthOutcome::Solved(t) => assert_eq!(t.to_string(), "(+ x 1)"),
 ///     other => panic!("{other:?}"),
 /// }
@@ -135,35 +325,37 @@ impl DryadSynth {
         &self.config
     }
 
-    /// Builds the run budget for a wall-clock timeout, applying the
-    /// configured fuel cap when present.
-    fn run_budget(&self, timeout: Duration) -> Budget {
-        let budget = Budget::from_timeout(timeout);
-        match self.config.fuel {
-            Some(fuel) => budget.with_fuel(fuel),
-            None => budget,
-        }
-    }
-
-    /// Solves and also reports cooperative-run statistics (for the
-    /// ablation figures).
+    /// Solves and also reports cooperative-run statistics.
+    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
     pub fn solve_with_stats(
         &self,
         problem: &Problem,
         timeout: Duration,
     ) -> (SynthOutcome, CoopStats) {
-        self.solve_governed(problem, self.run_budget(timeout))
+        self.run_governed(problem, Budget::from_timeout(timeout))
     }
 
-    /// Solves under an explicit [`Budget`], the single governor shared by
-    /// every engine layer (deduction, division, enumeration, SMT).
+    /// Solves under an explicit [`Budget`].
+    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
     pub fn solve_governed(&self, problem: &Problem, budget: Budget) -> (SynthOutcome, CoopStats) {
+        self.run_governed(problem, budget)
+    }
+
+    /// The engine proper: solves under an explicit [`Budget`] (with the
+    /// configured fuel cap applied), the single governor shared by every
+    /// engine layer (deduction, division, enumeration, SMT).
+    fn run_governed(&self, problem: &Problem, budget: Budget) -> (SynthOutcome, CoopStats) {
+        let budget = match self.config.fuel {
+            Some(fuel) => budget.with_fuel(fuel),
+            None => budget,
+        };
         let mut problem = problem.clone();
         if self.config.loop_summarization && self.config.engine != Engine::HeightEnumOnly {
             strengthen_with_summary(&mut problem);
         }
         let fh = FixedHeightConfig {
             budget: budget.clone(),
+            smt_sessions: self.config.smt_sessions,
             ..FixedHeightConfig::default()
         };
         let backend: Arc<dyn crate::EnumBackend> = match self.config.engine {
@@ -188,7 +380,8 @@ impl DryadSynth {
             backend,
             budget.clone(),
         )
-        .with_max_nodes(self.config.max_nodes);
+        .with_max_nodes(self.config.max_nodes)
+        .with_smt_sessions(self.config.smt_sessions);
         let solver = match self.config.engine {
             Engine::HeightEnumOnly => solver.enumeration_only(),
             Engine::DeductionOnly => solver.deduction_only(),
@@ -220,7 +413,7 @@ impl DryadSynth {
     }
 }
 
-impl SygusSolver for DryadSynth {
+impl Synthesizer for DryadSynth {
     fn name(&self) -> &'static str {
         match self.config.engine {
             Engine::Cooperative => "DryadSynth",
@@ -230,113 +423,82 @@ impl SygusSolver for DryadSynth {
         }
     }
 
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        self.solve_with_stats(problem, timeout).0
-    }
-
-    fn solve_governed_problem(
-        &self,
-        problem: &Problem,
-        budget: &Budget,
-    ) -> (SynthOutcome, CoopStats) {
-        let budget = match self.config.fuel {
-            Some(fuel) => budget.with_fuel(fuel),
-            None => budget.clone(),
-        };
-        self.solve_governed(problem, budget)
+    fn solve(&self, request: &SolveRequest<'_>) -> SolveReport {
+        let started = Instant::now();
+        let (outcome, stats) = self.run_governed(request.problem, request.budget.clone());
+        finish_solve(self.name(), request, outcome, stats, started)
     }
 }
 
-/// The EUSolver comparison point as a [`SygusSolver`].
+/// The EUSolver comparison point as a [`Synthesizer`].
 #[derive(Clone, Debug, Default)]
 pub struct EuSolverBaseline;
 
-impl SygusSolver for EuSolverBaseline {
+impl Synthesizer for EuSolverBaseline {
     fn name(&self) -> &'static str {
         "EUSolver"
     }
 
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
-            .0
-    }
-
-    fn solve_governed_problem(
-        &self,
-        problem: &Problem,
-        budget: &Budget,
-    ) -> (SynthOutcome, CoopStats) {
+    fn solve(&self, request: &SolveRequest<'_>) -> SolveReport {
+        let started = Instant::now();
         let cfg = BottomUpConfig {
-            budget: budget.clone(),
+            budget: request.budget.clone(),
             ..BottomUpConfig::default()
         };
-        let outcome = match BottomUpSolver::new(cfg).solve(problem) {
+        let outcome = match BottomUpSolver::new(cfg).solve(request.problem) {
             SynthStatus::Solved(t) => SynthOutcome::Solved(t),
             SynthStatus::Timeout => SynthOutcome::Timeout,
             SynthStatus::Exhausted => SynthOutcome::GaveUp("exhausted".into()),
             SynthStatus::Failed(m) => SynthOutcome::GaveUp(m),
         };
-        (outcome, governed_stats(budget))
+        let stats = governed_stats(&request.budget);
+        finish_solve(self.name(), request, outcome, stats, started)
     }
 }
 
-/// The CVC4 comparison point as a [`SygusSolver`].
+/// The CVC4 comparison point as a [`Synthesizer`].
 #[derive(Clone, Debug, Default)]
 pub struct Cvc4Baseline;
 
-impl SygusSolver for Cvc4Baseline {
+impl Synthesizer for Cvc4Baseline {
     fn name(&self) -> &'static str {
         "CVC4"
     }
 
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
-            .0
-    }
-
-    fn solve_governed_problem(
-        &self,
-        problem: &Problem,
-        budget: &Budget,
-    ) -> (SynthOutcome, CoopStats) {
+    fn solve(&self, request: &SolveRequest<'_>) -> SolveReport {
+        let started = Instant::now();
         let outcome = CegqiSolver::new(BaselineConfig {
-            budget: budget.clone(),
+            budget: request.budget.clone(),
         })
-        .solve(problem);
-        (outcome, governed_stats(budget))
+        .solve(request.problem);
+        let stats = governed_stats(&request.budget);
+        finish_solve(self.name(), request, outcome, stats, started)
     }
 }
 
-/// The LoopInvGen comparison point as a [`SygusSolver`].
+/// The LoopInvGen comparison point as a [`Synthesizer`].
 #[derive(Clone, Debug, Default)]
 pub struct LoopInvGenBaseline;
 
-impl SygusSolver for LoopInvGenBaseline {
+impl Synthesizer for LoopInvGenBaseline {
     fn name(&self) -> &'static str {
         "LoopInvGen"
     }
 
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        self.solve_governed_problem(problem, &Budget::from_timeout(timeout))
-            .0
-    }
-
-    fn solve_governed_problem(
-        &self,
-        problem: &Problem,
-        budget: &Budget,
-    ) -> (SynthOutcome, CoopStats) {
+    fn solve(&self, request: &SolveRequest<'_>) -> SolveReport {
+        let started = Instant::now();
         let outcome = HoudiniInvSolver::new(BaselineConfig {
-            budget: budget.clone(),
+            budget: request.budget.clone(),
         })
-        .solve(problem);
-        (outcome, governed_stats(budget))
+        .solve(request.problem);
+        let stats = governed_stats(&request.budget);
+        finish_solve(self.name(), request, outcome, stats, started)
     }
 }
 
 /// All solvers of the paper's main comparison (Figures 10–13), in display
 /// order.
-pub fn competition_solvers() -> Vec<Box<dyn SygusSolver>> {
+pub fn competition_solvers() -> Vec<Box<dyn Synthesizer>> {
     vec![
         Box::new(DryadSynth::default()),
         Box::new(Cvc4Baseline),
@@ -356,6 +518,10 @@ mod tests {
         (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
         (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
 
+    fn timed<'p>(p: &'p Problem, secs: u64) -> SolveRequest<'p> {
+        SolveRequest::new(p).with_timeout(Duration::from_secs(secs))
+    }
+
     #[test]
     fn all_engines_solve_max2() {
         let p = parse_problem(MAX2).unwrap();
@@ -370,7 +536,7 @@ mod tests {
                 threads: 1,
                 ..DryadSynthConfig::default()
             });
-            match solver.solve_problem(&p, Duration::from_secs(30)) {
+            match solver.solve(&timed(&p, 30)).outcome {
                 SynthOutcome::Solved(t) => {
                     assert!(verify_solution(&p, &t, None), "{engine:?}: bad {t}");
                 }
@@ -390,7 +556,7 @@ mod tests {
     fn loopinvgen_only_does_inv() {
         let p = parse_problem(MAX2).unwrap();
         assert!(matches!(
-            LoopInvGenBaseline.solve_problem(&p, Duration::from_secs(5)),
+            LoopInvGenBaseline.solve(&timed(&p, 5)).outcome,
             SynthOutcome::GaveUp(_)
         ));
     }
@@ -403,7 +569,7 @@ mod tests {
             fuel: Some(1),
             ..DryadSynthConfig::default()
         });
-        match solver.solve_problem(&p, Duration::from_secs(30)) {
+        match solver.solve(&timed(&p, 30)).outcome {
             SynthOutcome::ResourceExhausted(_) => {}
             other => panic!("expected fuel exhaustion, got {other:?}"),
         }
@@ -416,9 +582,48 @@ mod tests {
             threads: 3,
             ..DryadSynthConfig::default()
         });
+        match solver.solve(&timed(&p, 30)).outcome {
+            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_report_carries_run_report_and_certification() {
+        let p = parse_problem(MAX2).unwrap();
+        let solver = DryadSynth::new(DryadSynthConfig {
+            threads: 1,
+            ..DryadSynthConfig::default()
+        });
+        let request = timed(&p, 30)
+            .certified(Some(Duration::from_secs(30)))
+            .with_source("max2.sl");
+        let report = solver.solve(&request);
+        assert!(matches!(report.outcome, SynthOutcome::Solved(_)));
+        assert_eq!(report.certified, Some(true));
+        assert_eq!(report.report.source, "max2.sl");
+        assert_eq!(report.report.solver, "DryadSynth");
+        assert_eq!(report.report.certified, Some(true));
+        assert!(report.seconds >= 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let p = parse_problem(MAX2).unwrap();
+        let solver = DryadSynth::new(DryadSynthConfig {
+            threads: 1,
+            ..DryadSynthConfig::default()
+        });
         match solver.solve_problem(&p, Duration::from_secs(30)) {
             SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None)),
             other => panic!("{other:?}"),
         }
+        let (outcome, _stats) =
+            solver.solve_governed_problem(&p, &Budget::from_timeout(Duration::from_secs(30)));
+        assert!(matches!(outcome, SynthOutcome::Solved(_)));
+        // The historical trait name still resolves.
+        fn takes_legacy(_: &dyn SygusSolver) {}
+        takes_legacy(&solver);
     }
 }

@@ -3,7 +3,7 @@
 //! cancelled or exhausted run leaves no poisoned state behind — the same
 //! solver instance must still solve on the next, healthy budget.
 
-use dryadsynth::{Budget, DryadSynth, DryadSynthConfig, SynthOutcome};
+use dryadsynth::{Budget, DryadSynth, DryadSynthConfig, SolveRequest, SynthOutcome, Synthesizer};
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 use sygus_parser::parse_problem;
@@ -55,7 +55,9 @@ proptest! {
             })
         };
         let started = Instant::now();
-        let (outcome, _) = solver().solve_governed(&p, budget);
+        let outcome = solver()
+            .solve(&SolveRequest::new(&p).with_budget(budget))
+            .outcome;
         canceller.join().unwrap();
         let elapsed = started.elapsed();
         // Either the solver beat the cancel, or it observed it; a
@@ -91,7 +93,7 @@ proptest! {
             b.cancel();
             b
         };
-        let (first, _) = s.solve_governed(&p, doomed);
+        let first = s.solve(&SolveRequest::new(&p).with_budget(doomed)).outcome;
         prop_assert!(
             matches!(
                 first,
@@ -101,8 +103,10 @@ proptest! {
         );
 
         // Second run, same instance, healthy budget: must solve.
-        let (second, stats) =
-            s.solve_governed(&p, Budget::from_timeout(Duration::from_secs(60)));
+        let report = s.solve(
+            &SolveRequest::new(&p).with_budget(Budget::from_timeout(Duration::from_secs(60))),
+        );
+        let (second, stats) = (report.outcome, report.stats);
         match second {
             SynthOutcome::Solved(t) => {
                 prop_assert!(

@@ -4,10 +4,22 @@
 
 use crate::{learn_decision_tree, CoveredTerm, EnumConfig, TermEnumerator};
 use smtkit::{SmtConfig, SmtError, SmtSolver, Validity};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use sygus_ast::runtime::Budget;
 use sygus_ast::{
-    Definitions, Env, FuncDef, GrammarFlavor, Problem, Sort, Symbol, Term, TermNode, Value,
+    Env, FuncDef, GrammarFlavor, Problem, Sort, Symbol, Term, TermNode, Value,
 };
+
+/// Memoized per-point spec checks, shared across CEGIS rounds.
+///
+/// Each round re-enumerates candidates from size 1, so the same (candidate,
+/// example) pairs are re-tested round after round; and the decision-tree
+/// unifier re-tests every accumulated term against every example each time
+/// it runs. The example pool is append-only, so an example's *index* names
+/// the same environment for the whole run and `(term, index)` is a sound
+/// cache key.
+type EvalCache = RefCell<HashMap<(Term, usize), bool>>;
 
 /// Configuration for [`BottomUpSolver`].
 #[derive(Clone, Debug)]
@@ -105,6 +117,7 @@ impl BottomUpSolver {
             ..SmtConfig::default()
         });
         let constant_pool = constant_pool(problem, &self.config.enum_config);
+        let eval_cache: EvalCache = RefCell::new(HashMap::new());
 
         let tracer = self.config.budget.tracer().clone();
         for round in 0..self.config.max_cegis_rounds {
@@ -116,9 +129,14 @@ impl BottomUpSolver {
             let _span = tracer
                 .span(sygus_ast::trace::Stage::BottomUp)
                 .with_detail(|| format!("round={round} examples={}", examples.len()));
-            let Some(candidate) =
-                self.find_candidate(problem, &spec, &examples, pointwise, &constant_pool)
-            else {
+            let Some(candidate) = self.find_candidate(
+                problem,
+                &spec,
+                &examples,
+                pointwise,
+                &constant_pool,
+                &eval_cache,
+            ) else {
                 return if self.timed_out() {
                     SynthStatus::Timeout
                 } else {
@@ -160,14 +178,30 @@ impl BottomUpSolver {
         examples: &[Env],
         pointwise: bool,
         constant_pool: &[i64],
+        cache: &EvalCache,
     ) -> Option<Term> {
         let sf = &problem.synth_fun;
-        let mut work_defs = problem.definitions.clone();
-        let satisfies_all = |t: &Term, defs: &mut Definitions| -> bool {
+        let tracer = self.config.budget.tracer().clone();
+        let work_defs = RefCell::new(problem.definitions.clone());
+        let eval_point = |t: &Term, env: &Env| -> bool {
+            let mut defs = work_defs.borrow_mut();
             defs.define(sf.name, FuncDef::new(sf.params.clone(), sf.ret, t.clone()));
+            spec.eval(env, &defs) == Ok(Value::Bool(true))
+        };
+        let point_ok = |t: &Term, idx: usize, env: &Env| -> bool {
+            if let Some(&ok) = cache.borrow().get(&(t.clone(), idx)) {
+                tracer.metrics().bump("enum.eval_cache_hits");
+                return ok;
+            }
+            let ok = eval_point(t, env);
+            cache.borrow_mut().insert((t.clone(), idx), ok);
+            ok
+        };
+        let satisfies_all = |t: &Term| -> bool {
             examples
                 .iter()
-                .all(|env| spec.eval(env, defs) == Ok(Value::Bool(true)))
+                .enumerate()
+                .all(|(i, env)| point_ok(t, i, env))
         };
         let cfg = EnumConfig {
             constant_pool: constant_pool.to_vec(),
@@ -194,7 +228,7 @@ impl BottomUpSolver {
                 });
             let layer = en.terms_of_nt_size(target_nt, size).to_vec();
             for t in &layer {
-                if satisfies_all(t, &mut work_defs) {
+                if satisfies_all(t) {
                     return Some(t.clone());
                 }
             }
@@ -209,19 +243,22 @@ impl BottomUpSolver {
                         .iter()
                         .map(|t| {
                             CoveredTerm::new(t.clone(), examples, |tt, env| {
-                                let mut defs = problem.definitions.clone();
-                                defs.define(
-                                    sf.name,
-                                    FuncDef::new(sf.params.clone(), sf.ret, tt.clone()),
-                                );
-                                spec.eval(env, &defs) == Ok(Value::Bool(true))
+                                // The unifier hands back a borrow from the
+                                // pool; recover its index so the check hits
+                                // the shared cache (the pool never holds
+                                // duplicate points, so the position is
+                                // unambiguous).
+                                match examples.iter().position(|e| e == env) {
+                                    Some(i) => point_ok(tt, i, env),
+                                    None => eval_point(tt, env),
+                                }
                             })
                         })
                         .collect();
                     if let Some(tree) =
                         learn_decision_tree(examples, &covered, &conditions, &problem.definitions)
                     {
-                        if satisfies_all(&tree, &mut work_defs) {
+                        if satisfies_all(&tree) {
                             return Some(tree);
                         }
                     }

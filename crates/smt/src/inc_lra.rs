@@ -39,10 +39,20 @@ struct ActiveBounds {
     uppers: BTreeMap<i64, Vec<usize>>,
 }
 
-/// The incremental rational theory state for one SMT query.
+/// The incremental rational theory state for one SMT query — or, via
+/// [`IncrementalLra::add_var`]/[`IncrementalLra::add_atom`], a warm tableau
+/// grown across the queries of a persistent session: new variables and
+/// linear forms are appended in place, keeping the current basis and pivot
+/// work from earlier checks.
 #[derive(Clone, Debug)]
 pub struct IncrementalLra {
     sx: Simplex,
+    /// Problem-variable index → simplex variable id. Identity for variables
+    /// present at construction; variables added later land *after* existing
+    /// slack variables, so the indirection keeps caller-facing indices dense.
+    var_ids: Vec<usize>,
+    /// Canonical (sorted, problem-indexed) linear form → shared slack id.
+    slack_of: HashMap<Vec<(usize, i64)>, usize>,
     atoms: Vec<SlackAtom>,
     active: HashMap<usize, ActiveBounds>,
     /// Atom literals currently asserted: `asserted[atom] = Some(polarity)`.
@@ -53,34 +63,64 @@ impl IncrementalLra {
     /// Builds the state for `atoms`, each a `(coeffs, is_eq, rhs)` triple
     /// over variables indexed `0..num_vars`. Linear forms are shared.
     pub fn new(num_vars: usize, atoms: &[LinearAtom]) -> IncrementalLra {
-        let mut sx = Simplex::new(num_vars);
-        let mut slack_of: HashMap<Vec<(usize, i64)>, usize> = HashMap::new();
-        let mut out_atoms = Vec::with_capacity(atoms.len());
-        for (coeffs, is_eq, rhs) in atoms {
-            let mut canon = coeffs.clone();
-            canon.sort();
-            let slack = match slack_of.get(&canon) {
-                Some(&s) => s,
-                None => {
-                    let parts: Vec<(usize, Rat)> =
-                        canon.iter().map(|&(v, c)| (v, Rat::from(c))).collect();
-                    let s = sx.add_row(&parts);
-                    slack_of.insert(canon, s);
-                    s
-                }
-            };
-            out_atoms.push(SlackAtom {
-                slack,
-                is_eq: *is_eq,
-                rhs: *rhs,
-            });
-        }
-        IncrementalLra {
-            sx,
-            atoms: out_atoms,
+        let mut st = IncrementalLra {
+            sx: Simplex::new(num_vars),
+            var_ids: (0..num_vars).collect(),
+            slack_of: HashMap::new(),
+            atoms: Vec::with_capacity(atoms.len()),
             active: HashMap::new(),
-            asserted: vec![None; atoms.len()],
+            asserted: Vec::with_capacity(atoms.len()),
+        };
+        for atom in atoms {
+            st.add_atom(atom);
         }
+        st
+    }
+
+    /// Appends a fresh problem variable and returns its (dense) index.
+    /// Safe mid-session: the warm simplex state is untouched.
+    pub fn add_var(&mut self) -> usize {
+        let id = self.sx.add_var();
+        self.var_ids.push(id);
+        self.var_ids.len() - 1
+    }
+
+    /// The number of problem variables (excluding internal slacks).
+    pub fn num_problem_vars(&self) -> usize {
+        self.var_ids.len()
+    }
+
+    /// The number of registered atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Registers a new atom over already-added variables and returns its
+    /// index. Linear forms are shared with all earlier atoms; a genuinely
+    /// new form grows the warm tableau by one slack row in place.
+    pub fn add_atom(&mut self, atom: &LinearAtom) -> usize {
+        let (coeffs, is_eq, rhs) = atom;
+        let mut canon = coeffs.clone();
+        canon.sort();
+        let slack = match self.slack_of.get(&canon) {
+            Some(&s) => s,
+            None => {
+                let parts: Vec<(usize, Rat)> = canon
+                    .iter()
+                    .map(|&(v, c)| (self.var_ids[v], Rat::from(c)))
+                    .collect();
+                let s = self.sx.add_row(&parts);
+                self.slack_of.insert(canon, s);
+                s
+            }
+        };
+        self.atoms.push(SlackAtom {
+            slack,
+            is_eq: *is_eq,
+            rhs: *rhs,
+        });
+        self.asserted.push(None);
+        self.atoms.len() - 1
     }
 
     /// Asserts atom `idx` with the given polarity. Positive `e ≤ r` adds an
@@ -354,6 +394,35 @@ mod tests {
         st.assert_atom(2, true); // 2x <= 0
         assert!(st.check().is_ok());
         st.assert_atom(1, false); // flip: x+y >= 10 — still sat (y free)
+        assert!(st.check().is_ok());
+    }
+
+    #[test]
+    fn warm_growth_adds_vars_and_atoms() {
+        let mut st = IncrementalLra::new(1, &[(vec![(0, 1)], false, 5)]);
+        st.assert_atom(0, true); // x <= 5
+        assert!(st.check().is_ok());
+        // Grow mid-session: y's simplex id lands after x's slack, but the
+        // caller-facing index stays dense.
+        let y = st.add_var();
+        assert_eq!(y, 1);
+        assert_eq!(st.num_problem_vars(), 2);
+        let a1 = st.add_atom(&(vec![(0, 1), (1, -1)], false, 0)); // x - y <= 0
+        let a2 = st.add_atom(&(vec![(1, 1)], false, 5)); // y <= 5
+        st.assert_atom(a1, false); // x - y >= 1
+        st.assert_atom(a2, false); // y >= 6
+        let core = st.check().expect_err("x<=5, x>=y+1, y>=6 is unsat");
+        assert!(
+            core.contains(&0) && core.contains(&a1) && core.contains(&a2),
+            "{core:?}"
+        );
+        st.retract_atom(a2);
+        assert!(st.check().is_ok());
+        // A repeated linear form shares its slack with the earlier atom.
+        let before = st.num_atoms();
+        let a3 = st.add_atom(&(vec![(0, 1)], false, 100)); // x <= 100
+        assert_eq!(st.num_atoms(), before + 1);
+        st.assert_atom(a3, true);
         assert!(st.check().is_ok());
     }
 

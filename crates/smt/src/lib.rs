@@ -10,7 +10,10 @@
 //! * [`check_lia`]: branch-and-bound integer feasibility;
 //! * [`SmtSolver`]: the lazy DPLL(T) loop tying it together, with a
 //!   [`Term`](sygus_ast::Term)-level API: satisfiability checking with model
-//!   extraction and validity checking with counterexamples.
+//!   extraction and validity checking with counterexamples;
+//! * [`SmtSession`]: a persistent solver with `push`/`pop` assertion scopes
+//!   that retains learned clauses, the encoding cache, and the warm simplex
+//!   tableau across queries — the incremental engine under the CEGIS loops.
 
 #![warn(missing_docs)]
 
@@ -20,6 +23,7 @@ mod inc_lra;
 mod lia;
 mod rat;
 mod sat;
+mod session;
 mod simplex;
 mod solver;
 
@@ -29,8 +33,11 @@ pub use inc_lra::IncrementalLra;
 pub use lia::{check_lia, LiaResult, LinCon, Rel};
 pub use rat::Rat;
 pub use sat::{Lit, SatResult, SatSolver, Var};
+pub use session::SmtSession;
 pub use simplex::{BoundSide, Simplex, SimplexResult};
-pub use solver::{Model, SmtConfig, SmtError, SmtResult, SmtSolver, Validity};
+pub use solver::{
+    ClauseGcPolicy, Model, SmtConfig, SmtConfigBuilder, SmtError, SmtResult, SmtSolver, Validity,
+};
 // The shared resource-governance handle (defined next to the AST so every
 // layer can use it without a dependency cycle).
 pub use sygus_ast::runtime::{Budget, BudgetError};

@@ -205,6 +205,13 @@ impl SatSolver {
         self.assign.len()
     }
 
+    /// The number of attached (≥ 2-literal) clauses, learned ones included.
+    /// Unit clauses become root assignments and are not counted. Sessions
+    /// use the delta across a query as the "clauses retained" measure.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
     /// Total conflicts encountered so far (a work measure).
     pub fn conflicts(&self) -> u64 {
         self.conflicts_total
@@ -280,6 +287,46 @@ impl SatSolver {
                 self.clauses.push(lits);
             }
         }
+    }
+
+    /// Removes every attached clause containing `lit` and rebuilds the
+    /// watch lists. Intended for scope-aware clause GC in incremental
+    /// sessions: once a scope's selector is fixed false at the root, every
+    /// clause guarded by it — and every lemma learned under it, which
+    /// carries the negated selector — is permanently satisfied and can be
+    /// dropped. Deletions are recorded in the proof trace so DRAT replay
+    /// stays aligned (a key the checker cannot match is a conservative
+    /// no-op there). Returns the number of clauses removed.
+    pub fn retire_clauses_with(&mut self, lit: Lit) -> usize {
+        self.cancel_until(0);
+        let old = std::mem::take(&mut self.clauses);
+        let before = old.len();
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for c in old {
+            if c.contains(&lit) {
+                if self.proof.is_some() {
+                    let mut key = c;
+                    key.sort();
+                    key.dedup();
+                    self.log(|| ProofStep::Delete(key));
+                }
+            } else {
+                let idx = self.clauses.len();
+                self.watches[c[0].index()].push(idx);
+                self.watches[c[1].index()].push(idx);
+                self.clauses.push(c);
+            }
+        }
+        // Clause indices moved, so no stored antecedent may survive. Root
+        // assignments keep their values; level-0 reasons are never
+        // traversed by conflict analysis.
+        for r in &mut self.reason {
+            *r = INVALID;
+        }
+        self.prop_head = 0;
+        before - self.clauses.len()
     }
 
     /// Enqueues an assignment; returns `false` on immediate conflict.
@@ -532,6 +579,28 @@ impl SatSolver {
     pub fn solve_with_theory(
         &mut self,
         max_conflicts: Option<u64>,
+        theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
+    ) -> Option<SatResult> {
+        self.solve_under(&[], max_conflicts, theory)
+    }
+
+    /// [`SatSolver::solve_with_theory`] under *assumptions*: the given
+    /// literals are installed as pseudo-decisions (one per decision level,
+    /// in order) before any real branching, MiniSat-style. `Unsat` then
+    /// means "unsatisfiable together with the assumptions" — the clause
+    /// database itself may still be satisfiable, and the solver stays
+    /// usable for later calls with different assumptions. This is the
+    /// engine under [`crate::SmtSession`] scopes: scope selectors are
+    /// assumed true while the scope is open.
+    ///
+    /// Learned clauses may mention negated assumption literals but are
+    /// derived by resolution from the clause database alone, so the DRAT
+    /// trace stays checkable; an unsat-under-assumptions answer certifies
+    /// by replaying the trace with one extra `Input` unit per assumption.
+    pub fn solve_under(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: Option<u64>,
         mut theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
     ) -> Option<SatResult> {
         if self.unsat_at_root {
@@ -597,6 +666,30 @@ impl SatSolver {
                     }
                 }
                 None => {
+                    // Install pending assumptions first, one per level (so a
+                    // restart or backjump re-installs them naturally). A
+                    // falsified assumption ends the search: unsat *under the
+                    // assumptions*, with the root database untouched.
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value(a) {
+                            Some(false) => {
+                                self.cancel_until(0);
+                                return Some(SatResult::Unsat);
+                            }
+                            Some(true) => {
+                                // Already implied: open an empty level to
+                                // keep level k ↔ assumption k aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            None => {
+                                self.trail_lim.push(self.trail.len());
+                                let ok = self.enqueue(a, INVALID);
+                                debug_assert!(ok);
+                            }
+                        }
+                        continue;
+                    }
                     // Propagation settled: consult the theory before
                     // extending the assignment.
                     if let Some(clause) = theory(&self.assign) {
@@ -924,6 +1017,100 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(a.lines().any(|l| l.starts_with("i ")));
+    }
+
+    #[test]
+    fn assumptions_scope_the_answer() {
+        // DB: a ∨ b. Under assumption ¬a the model must set b; under
+        // assumptions ¬a ∧ ¬b the query is unsat, but the DB itself stays
+        // satisfiable for later calls.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        match s.solve_under(&[Lit::neg(a)], None, |_| None) {
+            Some(SatResult::Sat(m)) => {
+                assert!(!m[a as usize] && m[b as usize]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(
+            s.solve_under(&[Lit::neg(a), Lit::neg(b)], None, |_| None),
+            Some(SatResult::Unsat)
+        );
+        // Not root-unsat: a plain solve still finds a model.
+        assert!(matches!(s.solve(None), SatResult::Sat(_)));
+        // And the same assumptions still answer unsat on the reused solver.
+        assert_eq!(
+            s.solve_under(&[Lit::neg(b), Lit::neg(a)], None, |_| None),
+            Some(SatResult::Unsat)
+        );
+    }
+
+    #[test]
+    fn assumption_unsat_certifies_with_assumption_units() {
+        // Pigeonhole guarded by a selector: unsat only under the selector.
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        let sel = s.new_var();
+        let mut p = [[0; 3]; 4];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            let mut c: Vec<Lit> = vec![Lit::neg(sel)];
+            c.extend(row.iter().map(|&v| Lit::pos(v)));
+            s.add_clause(c);
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                for (&x, &y) in p[i].iter().zip(&p[j]) {
+                    s.add_clause(vec![Lit::neg(sel), Lit::neg(x), Lit::neg(y)]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_under(&[Lit::pos(sel)], None, |_| None),
+            Some(SatResult::Unsat)
+        );
+        // The trace refutes once the assumption is added as an input unit.
+        let mut steps = s.proof_steps().to_vec();
+        steps.push(ProofStep::Input(vec![Lit::pos(sel)]));
+        crate::drat::check_refutation(&steps).expect("assumption-unsat trace certifies");
+        // Without the selector the instance is satisfiable.
+        assert!(matches!(s.solve(None), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn retire_clauses_drops_guarded_scope() {
+        let mut s = SatSolver::new();
+        s.enable_proof();
+        let sel = s.new_var();
+        let a = s.new_var();
+        let b = s.new_var();
+        // Guarded scope: sel → (a ∧ ¬b); global: a ∨ b.
+        s.add_clause(vec![Lit::neg(sel), Lit::pos(a)]);
+        s.add_clause(vec![Lit::neg(sel), Lit::neg(b)]);
+        s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        let before = s.num_clauses();
+        assert_eq!(before, 3);
+        // Pop the scope: fix the selector false, then retire its clauses.
+        s.add_clause(vec![Lit::neg(sel)]);
+        let removed = s.retire_clauses_with(Lit::neg(sel));
+        assert_eq!(removed, 2);
+        assert_eq!(s.num_clauses(), 1);
+        // The remaining database still solves and its model respects a ∨ b.
+        match s.solve(None) {
+            SatResult::Sat(m) => assert!(m[a as usize] || m[b as usize]),
+            SatResult::Unsat => panic!("sat expected"),
+        }
+        // The trace (with deletions) still replays for a model check.
+        match s.solve(None) {
+            SatResult::Sat(m) => assert!(crate::drat::model_satisfies(s.proof_steps(), &m)),
+            SatResult::Unsat => unreachable!(),
+        }
     }
 
     #[test]

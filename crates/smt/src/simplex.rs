@@ -77,6 +77,17 @@ impl Simplex {
         self.vars.len()
     }
 
+    /// Appends a fresh unconstrained variable to a (possibly warm) tableau
+    /// and returns its id. The variable starts nonbasic at value zero with
+    /// no bounds, so the current basis, assignment, and all existing rows
+    /// are untouched — incremental sessions use this to grow the problem
+    /// between checks without rebuilding the tableau.
+    pub fn add_var(&mut self) -> usize {
+        let v = self.vars.len();
+        self.vars.push(VarState::default());
+        v
+    }
+
     /// Introduces a slack variable `s = Σ coeffs` and returns its id. The
     /// coefficient list must mention only existing variables; mentions of
     /// basic variables are substituted by their row definitions.

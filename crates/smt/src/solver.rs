@@ -45,6 +45,27 @@ pub struct SmtConfig {
     /// integer arithmetic. A failed certificate surfaces as
     /// [`SmtError::Certification`] — never as a wrong answer.
     pub certify: bool,
+    /// Whether consumers that *can* keep a persistent [`crate::SmtSession`]
+    /// (the CEGIS loops) should do so. Off means every query is solved from
+    /// scratch — useful for A/B timing and as a bisection lever.
+    pub session_reuse: bool,
+    /// What a session does with clauses guarded by a popped scope.
+    pub clause_gc: ClauseGcPolicy,
+}
+
+/// What [`crate::SmtSession::pop`] does with the clauses of the popped
+/// scope (guarded inputs and lemmas learned under the scope's selector).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClauseGcPolicy {
+    /// Drop them: once the selector is fixed false the clauses are
+    /// permanently satisfied and only slow down propagation. Deletions are
+    /// recorded in the DRAT trace.
+    #[default]
+    DropPopped,
+    /// Keep them attached. Sound (they are satisfied, never unit) and
+    /// occasionally useful for debugging trace differences, at the cost of
+    /// watch-list bloat in long-running sessions.
+    RetainAll,
 }
 
 impl Default for SmtConfig {
@@ -57,7 +78,79 @@ impl Default for SmtConfig {
             minimize_cores: true,
             max_diseq_split: 24,
             certify: true,
+            session_reuse: true,
+            clause_gc: ClauseGcPolicy::DropPopped,
         }
+    }
+}
+
+impl SmtConfig {
+    /// Starts a builder over the default configuration, so new knobs can be
+    /// added without widening positional constructors:
+    /// `SmtConfig::builder().certify(true).retry_ladder(12_000, 100_000, 2).build()`.
+    pub fn builder() -> SmtConfigBuilder {
+        SmtConfigBuilder {
+            cfg: SmtConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`SmtConfig`]; obtained from [`SmtConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SmtConfigBuilder {
+    cfg: SmtConfig,
+}
+
+impl SmtConfigBuilder {
+    /// Sets the resource governor.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Configures the whole retry ladder in one call: the base
+    /// branch-and-bound node budget, the base theory-round cap, and how
+    /// many geometric escalations to take on resource exhaustion.
+    pub fn retry_ladder(mut self, lia_budget: u64, max_theory_rounds: u64, escalations: u32) -> Self {
+        self.cfg.lia_budget = lia_budget;
+        self.cfg.max_theory_rounds = max_theory_rounds;
+        self.cfg.retry_escalations = escalations;
+        self
+    }
+
+    /// Sets whether theory cores are greedily minimized before blocking.
+    pub fn minimize_cores(mut self, on: bool) -> Self {
+        self.cfg.minimize_cores = on;
+        self
+    }
+
+    /// Sets the maximum lazy disequality-splitting depth per theory check.
+    pub fn max_diseq_split(mut self, depth: usize) -> Self {
+        self.cfg.max_diseq_split = depth;
+        self
+    }
+
+    /// Sets whether answers are certified before being reported.
+    pub fn certify(mut self, on: bool) -> Self {
+        self.cfg.certify = on;
+        self
+    }
+
+    /// Sets whether CEGIS consumers keep persistent sessions.
+    pub fn session_reuse(mut self, on: bool) -> Self {
+        self.cfg.session_reuse = on;
+        self
+    }
+
+    /// Sets the popped-scope clause GC policy for sessions.
+    pub fn clause_gc(mut self, policy: ClauseGcPolicy) -> Self {
+        self.cfg.clause_gc = policy;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SmtConfig {
+        self.cfg
     }
 }
 
@@ -196,10 +289,10 @@ pub struct SmtSolver {
 
 /// Canonical integer atom: `Σ coeffs·vars ⋈ rhs` with `⋈ ∈ {≤, =}`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct Atom {
-    coeffs: Vec<(Symbol, i64)>,
-    is_eq: bool,
-    rhs: i64,
+pub(crate) struct Atom {
+    pub(crate) coeffs: Vec<(Symbol, i64)>,
+    pub(crate) is_eq: bool,
+    pub(crate) rhs: i64,
 }
 
 impl Atom {
@@ -235,7 +328,7 @@ impl Atom {
 }
 
 /// Converts a comparison term into a canonical [`Atom`].
-fn canonical_atom(op: Op, lhs: &Term, rhs: &Term) -> Result<Atom, SmtError> {
+pub(crate) fn canonical_atom(op: Op, lhs: &Term, rhs: &Term) -> Result<Atom, SmtError> {
     let unsupported = |t: &Term| SmtError::Unsupported(format!("non-linear atom side: {t}"));
     let l = LinearExpr::from_term(lhs).map_err(|_| unsupported(lhs))?;
     let r = LinearExpr::from_term(rhs).map_err(|_| unsupported(rhs))?;
@@ -334,13 +427,13 @@ fn canonical_atom(op: Op, lhs: &Term, rhs: &Term) -> Result<Atom, SmtError> {
 // Purification: lift integer `ite` out of atoms
 // ---------------------------------------------------------------------------
 
-struct Purifier {
-    side: Vec<Term>,
+pub(crate) struct Purifier {
+    pub(crate) side: Vec<Term>,
     cache: HashMap<Term, Term>,
 }
 
 impl Purifier {
-    fn new() -> Purifier {
+    pub(crate) fn new() -> Purifier {
         Purifier {
             side: Vec::new(),
             cache: HashMap::new(),
@@ -393,7 +486,7 @@ impl Purifier {
     }
 
     /// Rewrites a boolean term, purifying the integer sides of its atoms.
-    fn purify_bool(&mut self, t: &Term) -> Result<Term, SmtError> {
+    pub(crate) fn purify_bool(&mut self, t: &Term) -> Result<Term, SmtError> {
         match t.node() {
             TermNode::BoolConst(_) | TermNode::Var(_, Sort::Bool) => Ok(t.clone()),
             TermNode::Var(_, Sort::Int) | TermNode::IntConst(_) => {
@@ -437,18 +530,21 @@ impl Purifier {
 // Tseitin encoding
 // ---------------------------------------------------------------------------
 
-struct Encoder {
-    sat: SatSolver,
+pub(crate) struct Encoder {
+    pub(crate) sat: SatSolver,
     /// Canonical atom → SAT var.
-    atoms: HashMap<Atom, u32>,
-    atom_list: Vec<Atom>,
-    bool_vars: HashMap<Symbol, u32>,
+    pub(crate) atoms: HashMap<Atom, u32>,
+    pub(crate) atom_list: Vec<Atom>,
+    pub(crate) bool_vars: HashMap<Symbol, u32>,
     cache: HashMap<Term, Lit>,
     true_lit: Lit,
+    /// Term/atom encodings served from cache (the amortization a session
+    /// buys; surfaced as the `smt.encode_cache_hits` metric).
+    pub(crate) cache_hits: u64,
 }
 
 impl Encoder {
-    fn new(log_proof: bool) -> Encoder {
+    pub(crate) fn new(log_proof: bool) -> Encoder {
         let mut sat = SatSolver::new();
         if log_proof {
             // Must precede the very first clause (the true-literal unit) or
@@ -464,6 +560,7 @@ impl Encoder {
             bool_vars: HashMap::new(),
             cache: HashMap::new(),
             true_lit: Lit::pos(t),
+            cache_hits: 0,
         }
     }
 
@@ -482,6 +579,7 @@ impl Encoder {
             };
         }
         if let Some(&v) = self.atoms.get(&atom) {
+            self.cache_hits += 1;
             return Lit::pos(v);
         }
         let v = self.sat.new_var();
@@ -491,8 +589,9 @@ impl Encoder {
         Lit::pos(v)
     }
 
-    fn encode(&mut self, t: &Term) -> Result<Lit, SmtError> {
+    pub(crate) fn encode(&mut self, t: &Term) -> Result<Lit, SmtError> {
         if let Some(&l) = self.cache.get(t) {
+            self.cache_hits += 1;
             return Ok(l);
         }
         let lit = match t.node() {
@@ -598,7 +697,12 @@ impl Encoder {
 /// the same (or negated) linear form are encoded as clauses up front, so
 /// the SAT core never proposes the bulk of theory-inconsistent assignments
 /// and the lazy loop converges in few rounds.
-fn add_static_lemmas(enc: &mut Encoder) {
+///
+/// Every emitted lemma is *binary*, so `seen` (a set of sorted literal
+/// pairs) makes re-runs incremental: a session calls this after each
+/// assertion and only genuinely new lemmas reach the SAT core. One-shot
+/// callers pass a fresh set.
+pub(crate) fn add_static_lemmas(enc: &mut Encoder, seen: &mut std::collections::HashSet<(Lit, Lit)>) {
     use std::collections::HashMap as Map;
     // Group atoms by coefficient vector.
     let mut groups: Map<Vec<(Symbol, i64)>, Vec<usize>> = Map::new();
@@ -671,7 +775,11 @@ fn add_static_lemmas(enc: &mut Encoder) {
         }
     }
     for c in clauses {
-        enc.sat.add_clause(c);
+        debug_assert_eq!(c.len(), 2, "static lemmas are binary");
+        let key = (c[0].min(c[1]), c[0].max(c[1]));
+        if seen.insert(key) {
+            enc.sat.add_clause(c);
+        }
     }
 }
 
@@ -680,23 +788,23 @@ fn add_static_lemmas(enc: &mut Encoder) {
 // ---------------------------------------------------------------------------
 
 /// Outcome of checking a conjunction of theory literals.
-enum TheoryOutcome {
+pub(crate) enum TheoryOutcome {
     Sat(Vec<BigInt>),
     Unsat,
 }
 
-struct TheoryChecker<'a> {
-    index: BTreeMap<Symbol, usize>,
-    cfg: &'a SmtConfig,
+pub(crate) struct TheoryChecker<'a> {
+    pub(crate) index: BTreeMap<Symbol, usize>,
+    pub(crate) cfg: &'a SmtConfig,
     /// Branch-and-bound node budget (smaller during core minimization:
     /// dropping a constraint can make the integer problem vastly harder,
     /// and an Unknown there just means "keep the literal").
-    lia_budget: u64,
+    pub(crate) lia_budget: u64,
 }
 
 impl TheoryChecker<'_> {
     /// Checks the conjunction of `(atom, polarity)` literals.
-    fn check(&self, lits: &[(&Atom, bool)]) -> Result<TheoryOutcome, SmtError> {
+    pub(crate) fn check(&self, lits: &[(&Atom, bool)]) -> Result<TheoryOutcome, SmtError> {
         let mut base: Vec<LinCon> = Vec::new();
         let mut diseqs: Vec<&Atom> = Vec::new();
         for &(atom, polarity) in lits {
@@ -814,7 +922,7 @@ impl TheoryChecker<'_> {
 
 /// The static counter name for a retry-ladder rung (allocation-free; the
 /// ladder is short — the default config takes at most 2 escalations).
-fn retry_rung_counter(escalation: u32) -> &'static str {
+pub(crate) fn retry_rung_counter(escalation: u32) -> &'static str {
     match escalation {
         1 => "smt.retry.rung1",
         2 => "smt.retry.rung2",
@@ -841,12 +949,7 @@ impl SmtSolver {
     }
 
     fn check_deadline(&self) -> Result<(), SmtError> {
-        match self.cfg.budget.exceeded() {
-            None => Ok(()),
-            Some(e) if e.is_stop() => Err(SmtError::Timeout),
-            Some(BudgetError::FuelExhausted) => Err(SmtError::ResourceLimit("fuel allowance")),
-            Some(_) => Err(SmtError::ResourceLimit("memory allowance")),
-        }
+        poll_budget(&self.cfg.budget)
     }
 
     /// Checks satisfiability of a quantifier-free CLIA formula.
@@ -933,7 +1036,7 @@ impl SmtSolver {
         let mut enc = Encoder::new(self.cfg.certify);
         let root = enc.encode(&full)?;
         enc.sat.add_clause(vec![root]);
-        add_static_lemmas(&mut enc);
+        add_static_lemmas(&mut enc, &mut std::collections::HashSet::new());
 
         // Index every integer variable mentioned in atoms.
         let mut index: BTreeMap<Symbol, usize> = BTreeMap::new();
@@ -1152,47 +1255,13 @@ impl SmtSolver {
     /// Replays the SAT core's DRAT trace through the independent RUP
     /// checker before an `unsat` answer is allowed out.
     fn certify_unsat(&self, sat: &SatSolver) -> Result<(), SmtError> {
-        if !self.cfg.certify {
-            return Ok(());
-        }
-        let tracer = self.cfg.budget.tracer().clone();
-        match crate::drat::check_refutation(sat.proof_steps()) {
-            Ok(_) => {
-                tracer.metrics().bump("smt.certified_unsat");
-                Ok(())
-            }
-            Err(e) => {
-                tracer.metrics().bump("smt.certification_failures");
-                Err(SmtError::Certification(format!("unsat proof rejected: {e}")))
-            }
-        }
+        certify_unsat_steps(&self.cfg, sat.proof_steps())
     }
 
     /// Re-evaluates the asserted formula under the model with exact integer
     /// arithmetic before a `sat` answer is allowed out.
     fn certify_sat(&self, formula: &Term, model: &Model) -> Result<(), SmtError> {
-        if !self.cfg.certify {
-            return Ok(());
-        }
-        let tracer = self.cfg.budget.tracer().clone();
-        match eval_exact(formula, model) {
-            Ok(BigVal::Bool(true)) => {
-                tracer.metrics().bump("smt.certified_sat");
-                Ok(())
-            }
-            Ok(_) => {
-                tracer.metrics().bump("smt.certification_failures");
-                Err(SmtError::Certification(
-                    "model does not satisfy the asserted formula".into(),
-                ))
-            }
-            Err(why) => {
-                tracer.metrics().bump("smt.certification_failures");
-                Err(SmtError::Certification(format!(
-                    "model evaluation failed: {why}"
-                )))
-            }
-        }
+        certify_sat_model(&self.cfg, formula, model)
     }
 
     /// Checks validity: `Valid` iff `¬formula` is unsatisfiable; otherwise
@@ -1231,9 +1300,75 @@ impl SmtSolver {
     }
 }
 
+/// Maps a [`Budget`] poll onto [`SmtError`]: stop conditions (deadline,
+/// cancellation) become [`SmtError::Timeout`], exhausted allowances become
+/// [`SmtError::ResourceLimit`]. Shared by the one-shot solver and sessions.
+pub(crate) fn poll_budget(budget: &Budget) -> Result<(), SmtError> {
+    match budget.exceeded() {
+        None => Ok(()),
+        Some(e) if e.is_stop() => Err(SmtError::Timeout),
+        Some(BudgetError::FuelExhausted) => Err(SmtError::ResourceLimit("fuel allowance")),
+        Some(_) => Err(SmtError::ResourceLimit("memory allowance")),
+    }
+}
+
+/// Replays a DRAT trace through the independent RUP checker (when
+/// `cfg.certify` is on) before an `unsat` answer is allowed out.
+pub(crate) fn certify_unsat_steps(
+    cfg: &SmtConfig,
+    steps: &[crate::drat::ProofStep],
+) -> Result<(), SmtError> {
+    if !cfg.certify {
+        return Ok(());
+    }
+    let tracer = cfg.budget.tracer().clone();
+    match crate::drat::check_refutation(steps) {
+        Ok(_) => {
+            tracer.metrics().bump("smt.certified_unsat");
+            Ok(())
+        }
+        Err(e) => {
+            tracer.metrics().bump("smt.certification_failures");
+            Err(SmtError::Certification(format!("unsat proof rejected: {e}")))
+        }
+    }
+}
+
+/// Re-evaluates the asserted formula under the model with exact integer
+/// arithmetic (when `cfg.certify` is on) before a `sat` answer is allowed
+/// out.
+pub(crate) fn certify_sat_model(
+    cfg: &SmtConfig,
+    formula: &Term,
+    model: &Model,
+) -> Result<(), SmtError> {
+    if !cfg.certify {
+        return Ok(());
+    }
+    let tracer = cfg.budget.tracer().clone();
+    match eval_exact(formula, model) {
+        Ok(BigVal::Bool(true)) => {
+            tracer.metrics().bump("smt.certified_sat");
+            Ok(())
+        }
+        Ok(_) => {
+            tracer.metrics().bump("smt.certification_failures");
+            Err(SmtError::Certification(
+                "model does not satisfy the asserted formula".into(),
+            ))
+        }
+        Err(why) => {
+            tracer.metrics().bump("smt.certification_failures");
+            Err(SmtError::Certification(format!(
+                "model evaluation failed: {why}"
+            )))
+        }
+    }
+}
+
 /// An exact value during certification-time model evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum BigVal {
+pub(crate) enum BigVal {
     Int(BigInt),
     Bool(bool),
 }
@@ -1243,7 +1378,7 @@ enum BigVal {
 /// `i64` and can overflow). Unconstrained variables read as 0 / `false`;
 /// that cannot flip the verdict, because any variable whose value matters
 /// to the formula's truth is pinned by the model.
-fn eval_exact(t: &Term, model: &Model) -> Result<BigVal, String> {
+pub(crate) fn eval_exact(t: &Term, model: &Model) -> Result<BigVal, String> {
     use BigVal::{Bool, Int};
     let ints = |args: &[Term]| -> Result<Vec<BigInt>, String> {
         args.iter()

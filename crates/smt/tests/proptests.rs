@@ -337,3 +337,113 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental sessions vs from-scratch solving: over randomized
+// push/pop/assert scripts, a persistent session must give the same
+// sat/unsat answer as a fresh solver on the conjunction of the active
+// assertions — and (with certification on by default) both answers carry
+// certifiable evidence.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Push,
+    Pop,
+    Assert(Term),
+    Check,
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<ScriptOp>> {
+    // The vendored `prop_oneof` is unweighted; repetition biases the mix
+    // toward assertions.
+    let op = prop_oneof![
+        Just(ScriptOp::Push),
+        Just(ScriptOp::Pop),
+        atom_strategy().prop_map(ScriptOp::Assert),
+        atom_strategy().prop_map(ScriptOp::Assert),
+        formula_strategy().prop_map(ScriptOp::Assert),
+        Just(ScriptOp::Check),
+        Just(ScriptOp::Check),
+    ];
+    proptest::collection::vec(op, 1..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn session_agrees_with_from_scratch(script in script_strategy()) {
+        use smtkit::{SmtConfig, SmtSession};
+
+        let mut session = SmtSession::new(SmtConfig::default());
+        // Reference scope stack maintained independently of the session.
+        let mut stack: Vec<Vec<Term>> = vec![Vec::new()];
+        let mut checks = script.iter().filter(|op| matches!(op, ScriptOp::Check)).count();
+        for op in script {
+            match op {
+                ScriptOp::Push => {
+                    session.push();
+                    stack.push(Vec::new());
+                }
+                ScriptOp::Pop => {
+                    session.pop();
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+                ScriptOp::Assert(t) => {
+                    // Keep the problems box-bounded so every check is cheap.
+                    let t = Term::and([
+                        t,
+                        Term::ge(var_x(), Term::int(-6)),
+                        Term::le(var_x(), Term::int(6)),
+                        Term::ge(var_y(), Term::int(-6)),
+                        Term::le(var_y(), Term::int(6)),
+                    ]);
+                    session.assert_term(&t).expect("CLIA assertion");
+                    stack.last_mut().unwrap().push(t);
+                }
+                ScriptOp::Check => {
+                    checks -= 1;
+                    let active = Term::and(stack.iter().flatten().cloned());
+                    let incremental = session.check_sat().expect("session check");
+                    let scratch = SmtSolver::new().check(&active).expect("one-shot check");
+                    prop_assert_eq!(
+                        matches!(incremental, SmtResult::Sat(_)),
+                        matches!(scratch, SmtResult::Sat(_)),
+                        "divergence at depth {} on {}",
+                        session.depth(),
+                        active
+                    );
+                    // Session models must satisfy the active conjunction
+                    // under exact evaluation (beyond the built-in certifier).
+                    if let SmtResult::Sat(m) = &incremental {
+                        let mut env = m.to_env().expect("boxed model fits i64");
+                        for s in ["px", "py"] {
+                            if env.lookup(Symbol::new(s)).is_none() {
+                                env.bind(Symbol::new(s), Value::Int(0));
+                            }
+                        }
+                        prop_assert_eq!(
+                            active.eval(&env, &Definitions::new()),
+                            Ok(Value::Bool(true))
+                        );
+                    }
+                }
+            }
+        }
+        // Every script ends with a final agreement check even if the random
+        // tail had none.
+        if checks == 0 {
+            let active = Term::and(stack.iter().flatten().cloned());
+            let incremental = session.check_sat().expect("session check");
+            let scratch = SmtSolver::new().check(&active).expect("one-shot check");
+            prop_assert_eq!(
+                matches!(incremental, SmtResult::Sat(_)),
+                matches!(scratch, SmtResult::Sat(_)),
+                "final divergence on {}",
+                active
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example invariant_loop`
 
-use dryadsynth::{DryadSynth, LoopInvGenBaseline, SygusSolver, SynthOutcome};
+use dryadsynth::{DryadSynth, LoopInvGenBaseline, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
 
 fn main() {
@@ -34,10 +34,11 @@ fn main() {
     }
 
     for solver in [
-        Box::new(DryadSynth::default()) as Box<dyn SygusSolver>,
+        Box::new(DryadSynth::default()) as Box<dyn Synthesizer>,
         Box::new(LoopInvGenBaseline),
     ] {
-        match solver.solve_problem(&problem, Duration::from_secs(60)) {
+        let request = SolveRequest::new(&problem).with_timeout(Duration::from_secs(60));
+        match solver.solve(&request).outcome {
             SynthOutcome::Solved(body) => {
                 println!(
                     "{}: {}",

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example paper_max3_qm`
 
-use dryadsynth::{DryadSynth, SygusSolver, SynthOutcome};
+use dryadsynth::{DryadSynth, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
 
 fn main() {
@@ -26,12 +26,13 @@ fn main() {
     let problem = sygus_parser::parse_problem(source).expect("well-formed SyGuS");
 
     let solver = DryadSynth::default();
-    let started = std::time::Instant::now();
-    match solver.solve_problem(&problem, Duration::from_secs(120)) {
+    let request = SolveRequest::new(&problem).with_timeout(Duration::from_secs(120));
+    let report = solver.solve(&request);
+    match report.outcome {
         SynthOutcome::Solved(body) => {
             println!(
                 "solved in {:.2}s: {}",
-                started.elapsed().as_secs_f64(),
+                report.seconds,
                 sygus_parser::solution_to_sygus(&problem, &body)
             );
             assert!(

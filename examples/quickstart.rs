@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dryadsynth::{DryadSynth, SygusSolver, SynthOutcome};
+use dryadsynth::{DryadSynth, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
 
 fn main() {
@@ -21,7 +21,8 @@ fn main() {
     println!("problem:\n{}", sygus_parser::to_sygus(&problem));
 
     let solver = DryadSynth::default();
-    match solver.solve_problem(&problem, Duration::from_secs(30)) {
+    let request = SolveRequest::new(&problem).with_timeout(Duration::from_secs(30));
+    match solver.solve(&request).outcome {
         SynthOutcome::Solved(body) => {
             println!(
                 "solution: {}",

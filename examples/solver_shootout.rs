@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example solver_shootout`
 
-use dryadsynth::{competition_solvers, SynthOutcome};
-use std::time::{Duration, Instant};
+use dryadsynth::{competition_solvers, SolveRequest, SynthOutcome};
+use std::time::Duration;
 
 fn main() {
     let picks = [
@@ -29,10 +29,12 @@ fn main() {
     for bench in &suite {
         let problem = bench.problem();
         for solver in &solvers {
-            let start = Instant::now();
-            let outcome = solver.solve_problem(&problem, timeout);
-            let secs = start.elapsed().as_secs_f64();
-            let (status, size) = match &outcome {
+            let request = SolveRequest::new(&problem)
+                .with_timeout(timeout)
+                .with_source(bench.name.clone());
+            let report = solver.solve(&request);
+            let secs = report.seconds;
+            let (status, size) = match &report.outcome {
                 SynthOutcome::Solved(body) => {
                     assert!(
                         dryadsynth::verify_solution(&problem, body, None),

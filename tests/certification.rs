@@ -2,9 +2,16 @@
 //! `certified` — grammar membership, sort checking, and an independent
 //! (itself proof-logged) SMT verification query all pass.
 
-use dryadsynth::{certify_solution, DryadSynth, SygusSolver, SynthOutcome};
+use dryadsynth::{certify_solution, DryadSynth, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
+use sygus_ast::Problem;
 use sygus_benchmarks::{suite, track_suite, Track};
+
+/// Solves `p` under a wall-clock timeout through the unified request API.
+fn solve(solver: &DryadSynth, p: &Problem, secs: u64) -> SynthOutcome {
+    let request = SolveRequest::new(p).with_timeout(Duration::from_secs(secs));
+    solver.solve(&request).outcome
+}
 
 /// A fixed sample spanning all three tracks; each entry is known solvable
 /// well within the per-benchmark timeout.
@@ -31,7 +38,7 @@ fn solved_sample_benchmarks_all_certify() {
         }
         seen += 1;
         let p = b.problem();
-        match solver.solve_problem(&p, Duration::from_secs(30)) {
+        match solve(&solver, &p, 30) {
             SynthOutcome::Solved(body) => {
                 let cert = certify_solution(&p, &body, None);
                 assert!(
@@ -54,7 +61,7 @@ fn every_solved_easy_benchmark_certifies_across_tracks() {
         let mut certified = 0;
         for b in track_suite(t).into_iter().filter(|b| b.tier <= 1) {
             let p = b.problem();
-            if let SynthOutcome::Solved(body) = solver.solve_problem(&p, Duration::from_secs(15)) {
+            if let SynthOutcome::Solved(body) = solve(&solver, &p, 15) {
                 let cert = certify_solution(&p, &body, None);
                 assert!(
                     cert.certified(),

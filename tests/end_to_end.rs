@@ -2,9 +2,18 @@
 //! parser, printer, and every solver engine; all solutions are
 //! independently re-verified by the SMT substrate.
 
-use dryadsynth::{competition_solvers, verify_solution, DryadSynth, SygusSolver, SynthOutcome};
+use dryadsynth::{
+    competition_solvers, verify_solution, DryadSynth, SolveRequest, SynthOutcome, Synthesizer,
+};
 use std::time::Duration;
+use sygus_ast::Problem;
 use sygus_benchmarks::{suite, track_suite, Track};
+
+/// Solves `p` under a wall-clock timeout through the unified request API.
+fn solve(solver: &dyn Synthesizer, p: &Problem, secs: u64) -> SynthOutcome {
+    let request = SolveRequest::new(p).with_timeout(Duration::from_secs(secs));
+    solver.solve(&request).outcome
+}
 
 /// Every generated benchmark parses, and its reprint parses to the same
 /// constraint set (parser ↔ printer round trip).
@@ -31,7 +40,7 @@ fn dryadsynth_solves_easy_tier_of_every_track() {
         let mut solved = 0;
         for b in &easy {
             let p = b.problem();
-            if let SynthOutcome::Solved(body) = solver.solve_problem(&p, Duration::from_secs(20)) {
+            if let SynthOutcome::Solved(body) = solve(&solver, &p, 20) {
                 assert!(
                     verify_solution(&p, &body, None),
                     "{}: unverified solution {body}",
@@ -57,7 +66,7 @@ fn representative_benchmarks_solve() {
             continue;
         }
         let p = b.problem();
-        match solver.solve_problem(&p, Duration::from_secs(30)) {
+        match solve(&solver, &p, 30) {
             SynthOutcome::Solved(body) => {
                 assert!(verify_solution(&p, &body, None), "{}", b.name);
             }
@@ -78,7 +87,7 @@ fn no_solver_returns_wrong_solutions() {
         }
         let p = b.problem();
         for s in &solvers {
-            if let SynthOutcome::Solved(body) = s.solve_problem(&p, Duration::from_secs(10)) {
+            if let SynthOutcome::Solved(body) = solve(s.as_ref(), &p, 10) {
                 assert!(
                     verify_solution(&p, &body, None),
                     "{} returned a wrong solution for {}: {body}",
@@ -96,7 +105,7 @@ fn solution_printing_is_reparsable() {
     let b = sygus_benchmarks::max_n(2);
     let p = b.problem();
     let solver = DryadSynth::default();
-    let SynthOutcome::Solved(body) = solver.solve_problem(&p, Duration::from_secs(20)) else {
+    let SynthOutcome::Solved(body) = solve(&solver, &p, 20) else {
         panic!("max2 must solve");
     };
     let answer = sygus_parser::solution_to_sygus(&p, &body);
@@ -116,7 +125,7 @@ fn general_track_solutions_respect_grammars() {
             continue; // keep the test fast
         }
         let p = b.problem();
-        if let SynthOutcome::Solved(body) = solver.solve_problem(&p, Duration::from_secs(20)) {
+        if let SynthOutcome::Solved(body) = solve(&solver, &p, 20) {
             assert!(
                 p.grammar_admits(&body),
                 "{}: solution {body} escapes the grammar",

@@ -2,10 +2,17 @@
 
 use dryadsynth::{
     verify_solution, DeductOutcome, DeductionConfig, DeductiveEngine, DryadSynth, DryadSynthConfig,
-    Engine, SygusSolver, SynthOutcome,
+    Engine, SolveRequest, SynthOutcome, Synthesizer,
 };
 use std::time::Duration;
+use sygus_ast::Problem;
 use sygus_parser::parse_problem;
+
+/// Solves `p` under a wall-clock timeout through the unified request API.
+fn solve(solver: &DryadSynth, p: &Problem, secs: u64) -> SynthOutcome {
+    let request = SolveRequest::new(p).with_timeout(Duration::from_secs(secs));
+    solver.solve(&request).outcome
+}
 
 const MAX3_QM: &str = r#"
     (set-logic LIA)
@@ -27,7 +34,7 @@ const MAX3_QM: &str = r#"
 fn example_3_2_max3_in_qm_grammar() {
     let p = parse_problem(MAX3_QM).expect("parses");
     let solver = DryadSynth::default();
-    match solver.solve_problem(&p, Duration::from_secs(120)) {
+    match solve(&solver, &p, 120) {
         SynthOutcome::Solved(body) => {
             assert!(verify_solution(&p, &body, None), "solution {body} invalid");
             assert!(p.grammar_admits(&body), "solution {body} escapes Gqm");
@@ -68,7 +75,7 @@ fn example_6_1_max3_by_pure_deduction() {
         engine: Engine::DeductionOnly,
         ..DryadSynthConfig::default()
     });
-    match solver.solve_problem(&p, Duration::from_secs(60)) {
+    match solve(&solver, &p, 60) {
         SynthOutcome::Solved(body) => {
             assert!(verify_solution(&p, &body, None));
         }
@@ -92,7 +99,7 @@ fn example_2_14_counter_invariant() {
     )
     .expect("parses");
     let solver = DryadSynth::default();
-    match solver.solve_problem(&p, Duration::from_secs(120)) {
+    match solve(&solver, &p, 120) {
         SynthOutcome::Solved(body) => {
             assert!(verify_solution(&p, &body, None), "invariant {body} invalid");
         }
@@ -113,7 +120,7 @@ fn section_6_match_rule_double() {
     )
     .expect("parses");
     let solver = DryadSynth::default();
-    match solver.solve_problem(&p, Duration::from_secs(60)) {
+    match solve(&solver, &p, 60) {
         SynthOutcome::Solved(body) => {
             assert_eq!(body.to_string(), "(double (double x))");
         }
@@ -136,7 +143,7 @@ fn height_minimality() {
         threads: 1,
         ..DryadSynthConfig::default()
     });
-    match solver.solve_problem(&p, Duration::from_secs(60)) {
+    match solve(&solver, &p, 60) {
         SynthOutcome::Solved(body) => {
             assert_eq!(body.height(), 1, "expected a height-1 solution, got {body}");
         }
