@@ -41,6 +41,7 @@ mod metrics;
 mod op;
 mod print;
 mod problem;
+pub mod progress;
 pub mod runtime;
 mod simplify;
 mod sort;
@@ -62,10 +63,13 @@ pub use metrics::{
 pub use op::Op;
 pub use print::{display_define_fun, is_sexpr_op};
 pub use problem::{InvInfo, Problem, SynthFun};
+pub use progress::{ProgressSnapshot, ProgressState};
 pub use runtime::{Budget, BudgetError};
 pub use simplify::{conjuncts, disjuncts, nnf, simplify};
 pub use sort::{Sort, SortError};
 pub use symbol::Symbol;
 pub use term::{Definitions, EvalError, FuncDef, Term, TermNode};
-pub use trace::{MetricsRegistry, MetricsSnapshot, Stage, StageSnapshot, TraceEvent, Tracer};
+pub use trace::{
+    MetricsRegistry, MetricsSnapshot, PathStat, Stage, StageSnapshot, TraceEvent, Tracer,
+};
 pub use value::{Env, Value};

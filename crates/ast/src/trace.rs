@@ -2,7 +2,7 @@
 //!
 //! A [`Tracer`] is a cheap, cloneable handle (one `Arc` clone) that rides on
 //! the [`Budget`](crate::runtime::Budget) through every engine layer. It has
-//! two tiers:
+//! three tiers:
 //!
 //! * **Metrics (always on).** A [`MetricsRegistry`] of atomic per-stage
 //!   span statistics (count, total time, pseudo-log duration histogram on
@@ -10,6 +10,8 @@
 //!   named counters. Recording a span costs a handful of relaxed atomic
 //!   operations — no allocation, no locking on the stage path — so leaving
 //!   the tracer threaded through a hot loop is free for practical purposes.
+//!   The always-on tier also includes the [`ProgressState`] live counters
+//!   engines feed for heartbeat/stall reporting.
 //! * **Events (opt in).** When constructed with [`Tracer::recording`], every
 //!   span and point event is additionally appended to an in-memory buffer
 //!   with its monotonic start/stop offsets, thread ordinal, and subproblem
@@ -17,6 +19,17 @@
 //!   *graph* events (node creation, division edges, solver attribution) are
 //!   buffered separately so a DOT rendering of the run's subproblem graph
 //!   can be reconstructed after the fact.
+//! * **Span-tree profiling (opt in).** When constructed with
+//!   [`Tracer::profiling`], every thread maintains a stack of its open
+//!   [`SpanGuard`]s, so nested spans form a call tree. Closing a span folds
+//!   its timing into a per-path aggregate ([`PathStat`]: invocation count,
+//!   *self* time with children subtracted, *total* inclusive time), keyed by
+//!   the semicolon-joined stage path (`enumerate;fixed-height;smt`) —
+//!   exactly the folded-stack format flamegraph tools such as inferno
+//!   consume ([`Tracer::folded_stacks`]). The profiler also mirrors each
+//!   thread's current stack into a shared table ([`Tracer::live_stacks`]) so
+//!   a watchdog can report what every thread is doing *right now*, and keeps
+//!   [`ProgressState::set_stage`] up to date as spans open and close.
 //!
 //! Clones share all state, so metrics recorded by parallel workers (which
 //! receive the tracer through [`Budget::child`](crate::runtime::Budget::child)
@@ -24,6 +37,8 @@
 
 use crate::json::Json;
 use crate::metrics::{size_bucket, time_bucket, SIZE_BUCKETS, TIME_BUCKETS};
+use crate::progress::ProgressState;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -220,11 +235,15 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// The snapshot as a JSON object (stages with zero spans omitted).
+    /// Stage entries come out sorted by stage name — not in [`Stage::ALL`]
+    /// declaration order — so the serialised form is stable across enum
+    /// reorderings and easy to diff.
     pub fn to_json(&self) -> Json {
-        let stages: Vec<Json> = self
-            .stages
+        let mut active: Vec<&StageSnapshot> =
+            self.stages.iter().filter(|s| s.count > 0).collect();
+        active.sort_by_key(|s| s.stage);
+        let stages: Vec<Json> = active
             .iter()
-            .filter(|s| s.count > 0)
             .map(|s| {
                 Json::obj([
                     ("stage", Json::str(s.stage)),
@@ -332,14 +351,57 @@ pub enum GraphEvent {
     },
 }
 
+/// Aggregated statistics for one span-tree path (see
+/// [`Tracer::profile`]). `total_micros` is inclusive of child spans;
+/// `self_micros` has the time spent in same-tracer child spans subtracted,
+/// so summing `self_micros` over all paths gives wall time attributed
+/// exactly once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Spans completed at this path.
+    pub count: u64,
+    /// Exclusive time: inclusive duration minus child-span time.
+    pub self_micros: u64,
+    /// Inclusive duration summed over all spans at this path.
+    pub total_micros: u64,
+}
+
+/// One open span on a thread's profiler stack.
+struct Frame {
+    /// Identity of the owning tracer (`Arc::as_ptr` of its inner state), so
+    /// interleaved spans from unrelated tracers don't corrupt each other's
+    /// trees.
+    tracer: usize,
+    stage: Stage,
+    /// Semicolon-joined stage path from the thread's outermost same-tracer
+    /// span down to this one (folded-stack key).
+    path: String,
+    /// Inclusive time of already-closed direct children, credited by their
+    /// drops.
+    child_micros: u64,
+}
+
+thread_local! {
+    /// The thread's open-span stack, shared by all tracers (frames carry
+    /// their owner's identity).
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
 #[derive(Debug)]
 struct TracerInner {
     recording: bool,
+    profiling: bool,
     epoch: Instant,
     seq: AtomicU64,
     metrics: MetricsRegistry,
+    progress: ProgressState,
     events: Mutex<Vec<TraceEvent>>,
     graph: Mutex<Vec<GraphEvent>>,
+    /// Per-path aggregates, keyed by the semicolon-joined stage path.
+    profile: Mutex<BTreeMap<String, PathStat>>,
+    /// Current open-span stack of every thread (keyed by thread ordinal)
+    /// that has a live span on this tracer.
+    live: Mutex<BTreeMap<u64, Vec<&'static str>>>,
 }
 
 /// The tracing handle; see the module docs. Cloning shares all state.
@@ -353,27 +415,41 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    fn with_recording(recording: bool) -> Tracer {
+    /// Builds a tracer with the given optional tiers: `record_events`
+    /// buffers span/point/graph events for the `--trace`/`--dot` sinks;
+    /// `profile_spans` maintains per-thread span stacks for the span-tree
+    /// profiler and live-stack table.
+    pub fn new(record_events: bool, profile_spans: bool) -> Tracer {
         Tracer(Arc::new(TracerInner {
-            recording,
+            recording: record_events,
+            profiling: profile_spans,
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
             metrics: MetricsRegistry::default(),
+            progress: ProgressState::default(),
             events: Mutex::new(Vec::new()),
             graph: Mutex::new(Vec::new()),
+            profile: Mutex::new(BTreeMap::new()),
+            live: Mutex::new(BTreeMap::new()),
         }))
     }
 
     /// A tracer that keeps atomic metrics but records no events — the
     /// default, suitable for leaving permanently enabled.
     pub fn metrics_only() -> Tracer {
-        Tracer::with_recording(false)
+        Tracer::new(false, false)
     }
 
     /// A tracer that buffers every span, point, and graph event in memory
     /// (for the `--trace` / `--dot` sinks).
     pub fn recording() -> Tracer {
-        Tracer::with_recording(true)
+        Tracer::new(true, false)
+    }
+
+    /// A tracer with the span-tree profiler enabled (for `--profile` and
+    /// the progress watchdog) but no event buffering.
+    pub fn profiling() -> Tracer {
+        Tracer::new(false, true)
     }
 
     /// Whether events are buffered (detail closures are only evaluated when
@@ -382,14 +458,27 @@ impl Tracer {
         self.0.recording
     }
 
+    /// Whether the span-tree profiler is maintaining per-thread stacks.
+    pub fn is_profiling(&self) -> bool {
+        self.0.profiling
+    }
+
     /// The always-on metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.0.metrics
     }
 
+    /// The always-on live-progress counters (shared by all clones).
+    pub fn progress(&self) -> &ProgressState {
+        &self.0.progress
+    }
+
     /// Starts an RAII span for `stage`; metrics are recorded (and the event
     /// buffered, on recording tracers) when the guard drops.
     pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        if self.0.profiling {
+            self.push_frame(stage);
+        }
         SpanGuard {
             tracer: self,
             stage,
@@ -397,6 +486,120 @@ impl Tracer {
             detail: String::new(),
             start: Instant::now(),
         }
+    }
+
+    /// The identity key frames use to tell tracers apart on the shared
+    /// per-thread stack.
+    fn frame_key(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    fn push_frame(&self, stage: Stage) {
+        let key = self.frame_key();
+        FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            let path = match frames.iter().rev().find(|f| f.tracer == key) {
+                Some(parent) => format!("{};{}", parent.path, stage.name()),
+                None => stage.name().to_owned(),
+            };
+            frames.push(Frame {
+                tracer: key,
+                stage,
+                path,
+                child_micros: 0,
+            });
+        });
+        self.sync_thread_state();
+    }
+
+    /// Closes this thread's innermost frame for this tracer, folding its
+    /// `micros` inclusive duration into the per-path profile and crediting
+    /// it to the enclosing frame's child time.
+    fn pop_frame(&self, micros: u64) {
+        let key = self.frame_key();
+        let finished = FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            let idx = frames.iter().rposition(|f| f.tracer == key)?;
+            let frame = frames.remove(idx);
+            if let Some(parent) = frames.iter_mut().rev().find(|f| f.tracer == key) {
+                parent.child_micros += micros;
+            }
+            Some(frame)
+        });
+        if let Some(frame) = finished {
+            let mut profile = self.0.profile.lock().unwrap_or_else(|e| e.into_inner());
+            let stat = profile.entry(frame.path).or_default();
+            stat.count += 1;
+            stat.total_micros += micros;
+            stat.self_micros += micros.saturating_sub(frame.child_micros);
+        }
+        self.sync_thread_state();
+    }
+
+    /// Mirrors this thread's stack into the shared live table and keeps the
+    /// progress stage pointing at the innermost open span (last writer wins
+    /// across threads).
+    fn sync_thread_state(&self) {
+        let key = self.frame_key();
+        let stack: Vec<Stage> = FRAMES.with(|frames| {
+            frames
+                .borrow()
+                .iter()
+                .filter(|f| f.tracer == key)
+                .map(|f| f.stage)
+                .collect()
+        });
+        match stack.last() {
+            Some(&top) => self.0.progress.set_stage(top),
+            None => self.0.progress.clear_stage(),
+        }
+        let mut live = self.0.live.lock().unwrap_or_else(|e| e.into_inner());
+        if stack.is_empty() {
+            live.remove(&thread_ordinal());
+        } else {
+            live.insert(
+                thread_ordinal(),
+                stack.into_iter().map(Stage::name).collect(),
+            );
+        }
+    }
+
+    /// The per-path span-tree aggregates, sorted by path. Empty unless the
+    /// tracer was built with profiling enabled.
+    pub fn profile(&self) -> Vec<(String, PathStat)> {
+        self.0
+            .profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// The profile rendered as inferno-compatible folded stacks: one
+    /// `path self_micros` line per path, sample values in microseconds of
+    /// exclusive time.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (path, stat) in self.profile() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&stat.self_micros.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Every thread's current open-span stack (outermost first), keyed by
+    /// thread ordinal. Only threads with at least one live span appear.
+    pub fn live_stacks(&self) -> Vec<(u64, Vec<&'static str>)> {
+        self.0
+            .live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&t, v)| (t, v.clone()))
+            .collect()
     }
 
     /// Records an instantaneous point event (recording tracers only; the
@@ -485,6 +688,9 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let micros = self.start.elapsed().as_micros() as u64;
         self.tracer.metrics().stage(self.stage).record_micros(micros);
+        if self.tracer.0.profiling {
+            self.tracer.pop_frame(micros);
+        }
         if self.tracer.0.recording {
             let start_micros = self
                 .start
@@ -643,6 +849,155 @@ mod tests {
         // Round-trips through the parser.
         let parsed = Json::parse(&json).unwrap();
         assert_eq!(parsed.get("name").and_then(Json::as_str), Some("smt"));
+    }
+
+    #[test]
+    fn profiler_builds_paths_and_subtracts_child_time() {
+        let t = Tracer::profiling();
+        {
+            let _outer = t.span(Stage::Enumerate);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = t.span(Stage::Smt);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _inner = t.span(Stage::Smt);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let profile: BTreeMap<String, PathStat> = t.profile().into_iter().collect();
+        assert_eq!(profile.len(), 2, "{profile:?}");
+        let outer = profile["enumerate"];
+        let inner = profile["enumerate;smt"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        // Outer self-time excludes the nested SMT spans.
+        assert_eq!(
+            outer.self_micros,
+            outer.total_micros - inner.total_micros,
+            "{profile:?}"
+        );
+        assert!(inner.total_micros >= 4_000, "{profile:?}");
+        assert!(outer.total_micros >= 8_000, "{profile:?}");
+        // Per-stage metrics totals equal the sum of path totals with that
+        // stage as leaf — the invariant the CI agreement check relies on.
+        assert_eq!(
+            t.metrics().stage(Stage::Smt).total_micros(),
+            inner.total_micros
+        );
+        assert_eq!(
+            t.metrics().stage(Stage::Enumerate).total_micros(),
+            outer.total_micros
+        );
+    }
+
+    #[test]
+    fn folded_stacks_render_one_line_per_path() {
+        let t = Tracer::profiling();
+        {
+            let _a = t.span(Stage::FixedHeight);
+            let _b = t.span(Stage::Smt);
+        }
+        let folded = t.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2, "{folded}");
+        assert!(lines[0].starts_with("fixed-height "), "{folded}");
+        assert!(lines[1].starts_with("fixed-height;smt "), "{folded}");
+        for line in lines {
+            let value = line.rsplit(' ').next().unwrap();
+            value.parse::<u64>().expect("folded value is an integer");
+        }
+    }
+
+    #[test]
+    fn live_stacks_track_open_spans_and_progress_stage() {
+        let t = Tracer::profiling();
+        assert!(t.live_stacks().is_empty());
+        {
+            let _outer = t.span(Stage::Deduct);
+            assert_eq!(t.progress().snapshot().stage, Some("deduct"));
+            {
+                let _inner = t.span(Stage::Verify);
+                let live = t.live_stacks();
+                assert_eq!(live.len(), 1);
+                assert_eq!(live[0].1, vec!["deduct", "verify"]);
+                assert_eq!(t.progress().snapshot().stage, Some("verify"));
+            }
+            assert_eq!(t.progress().snapshot().stage, Some("deduct"));
+        }
+        assert!(t.live_stacks().is_empty());
+        assert_eq!(t.progress().snapshot().stage, None);
+    }
+
+    #[test]
+    fn interleaved_tracers_keep_separate_trees() {
+        let a = Tracer::profiling();
+        let b = Tracer::profiling();
+        {
+            let _a1 = a.span(Stage::Enumerate);
+            let _b1 = b.span(Stage::Worker);
+            let _a2 = a.span(Stage::Smt);
+        }
+        let paths_a: Vec<String> = a.profile().into_iter().map(|(p, _)| p).collect();
+        let paths_b: Vec<String> = b.profile().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths_a, vec!["enumerate", "enumerate;smt"]);
+        assert_eq!(paths_b, vec!["worker"]);
+    }
+
+    #[test]
+    fn non_profiling_tracer_records_no_paths() {
+        let t = Tracer::metrics_only();
+        {
+            let _s = t.span(Stage::Smt);
+        }
+        assert!(!t.is_profiling());
+        assert!(t.profile().is_empty());
+        assert!(t.folded_stacks().is_empty());
+        assert!(t.live_stacks().is_empty());
+        // Metrics still land.
+        assert_eq!(t.metrics().stage(Stage::Smt).count(), 1);
+    }
+
+    #[test]
+    fn metrics_json_sorts_stages_by_name() {
+        let t = Tracer::metrics_only();
+        // Record in an order that differs from alphabetical.
+        t.metrics().stage(Stage::Worker).record_micros(5);
+        t.metrics().stage(Stage::Deduct).record_micros(5);
+        t.metrics().stage(Stage::Smt).record_micros(5);
+        let json = t.metrics().snapshot().to_json().to_string();
+        let deduct = json.find("\"stage\":\"deduct\"").unwrap();
+        let smt = json.find("\"stage\":\"smt\"").unwrap();
+        let worker = json.find("\"stage\":\"worker\"").unwrap();
+        assert!(deduct < smt && smt < worker, "{json}");
+    }
+
+    #[test]
+    fn record_size_lands_on_pseudo_log_bucket_boundaries() {
+        let t = Tracer::metrics_only();
+        // One probe just below and one at each SIZE_BUCKETS boundary.
+        for &(size, bucket) in &[
+            (1usize, 0usize),
+            (9, 0),
+            (10, 1),
+            (29, 1),
+            (30, 2),
+            (99, 2),
+            (100, 3),
+            (299, 3),
+            (300, 4),
+            (999, 4),
+            (1000, 5), // open-ended overflow bucket
+            (100_000, 5),
+        ] {
+            let before = t.metrics().snapshot().size_hist[bucket];
+            t.metrics().record_size(size);
+            let after = t.metrics().snapshot().size_hist[bucket];
+            assert_eq!(after, before + 1, "size {size} must land in bucket {bucket}");
+        }
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.size_hist, [2, 2, 2, 2, 2, 2]);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use dryadsynth::{outcome_label, verify_solution, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
 use sygus_ast::{Json, Tracer};
@@ -24,6 +26,7 @@ use sygus_benchmarks::{Benchmark, Track};
 
 // The shared resource-governance handle, re-exported so harness extensions
 // can budget their own verification passes.
+pub use compare::{compare, BenchDoc, BenchRun, CompareConfig, CompareReport, TimeDelta};
 pub use dryadsynth::{Budget, BudgetError};
 
 /// One (solver, benchmark) measurement.

@@ -5,7 +5,8 @@
 //! ```text
 //! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
 //!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats]
-//!            [--json] [--trace FILE] [--dot FILE] [--certify] FILE.sl
+//!            [--json] [--trace FILE] [--dot FILE] [--profile FILE]
+//!            [--progress SECS] [--stall-after SECS] [--certify] FILE.sl
 //! dryadsynth --lint FILE.sl
 //! ```
 //!
@@ -15,6 +16,18 @@
 //! versioned machine-readable run report; `--trace FILE` writes the run's
 //! span/event log as JSONL and `--dot FILE` writes the subproblem graph
 //! with per-node solver attribution as Graphviz DOT.
+//!
+//! `--profile FILE` turns on the span-tree profiler and writes the run's
+//! call tree as inferno-compatible folded stacks (`path self_micros` per
+//! line); the `--json` report then carries the top paths as a `profile`
+//! table. `--progress SECS` prints a heartbeat line to stderr every SECS
+//! seconds (current stage, height, CEGIS rounds, counterexamples, SMT
+//! checks/conflicts, remaining fuel and time); `--stall-after SECS` dumps a
+//! full diagnostic (every thread's open span stack, progress counters,
+//! active SMT query size, metric counters) when no progress counter
+//! advances for SECS seconds — one dump per stall episode. All three file
+//! sinks are flushed by a drop guard, so they survive panics, resource
+//! exhaustion, and timeouts.
 //!
 //! With `--certify`, every solved answer is re-validated end to end (grammar
 //! membership, sort check, independent SMT verification) before it is
@@ -38,8 +51,9 @@
 //! | 7    | certification failure or error-level lint findings |
 
 use dryadsynth::{
-    dot_graph, trace_jsonl, Budget, CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine,
-    EuSolverBaseline, LoopInvGenBaseline, SolveRequest, SynthOutcome, Synthesizer,
+    Budget, CoopStats, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
+    LoopInvGenBaseline, SinkGuard, SolveRequest, SynthOutcome, Synthesizer, Watchdog,
+    WatchdogConfig,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -48,13 +62,19 @@ use sygus_ast::{lint_grammar, Tracer};
 const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
 [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
-[--json] [--trace FILE] [--dot FILE] [--certify] [--no-smt-sessions] FILE.sl\n\
+[--json] [--trace FILE] [--dot FILE] [--profile FILE] [--progress SECS] \
+[--stall-after SECS] [--certify] [--no-smt-sessions] FILE.sl\n\
        dryadsynth --lint FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
   --fuel caps governed engine steps independently of wall-clock time;\n\
   --json prints a versioned machine-readable run report instead of the\n\
   s-expression answer; --trace writes span/event JSONL; --dot writes the\n\
   subproblem graph (with solver attribution) as Graphviz DOT;\n\
+  --profile writes the span-tree profile as inferno-compatible folded\n\
+  stacks and embeds the top paths in the --json report;\n\
+  --progress prints a heartbeat line to stderr every SECS seconds;\n\
+  --stall-after dumps a diagnostic (open span stacks, counters, active\n\
+  SMT query size) when no progress counter advances for SECS seconds;\n\
   --certify re-validates solved answers (grammar, sorts, independent SMT)\n\
   and exits 7 on failure; --no-smt-sessions disables the persistent\n\
   incremental SMT sessions in the CEGIS loops (for A/B measurement);\n\
@@ -70,6 +90,9 @@ struct Options {
     json: bool,
     trace: Option<String>,
     dot: Option<String>,
+    profile: Option<String>,
+    progress: Option<Duration>,
+    stall_after: Option<Duration>,
     certify: bool,
     smt_sessions: bool,
     lint: Option<String>,
@@ -86,6 +109,9 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         trace: None,
         dot: None,
+        profile: None,
+        progress: None,
+        stall_after: None,
         certify: false,
         smt_sessions: true,
         lint: None,
@@ -123,6 +149,25 @@ fn parse_args() -> Result<Options, String> {
             }
             "--dot" => {
                 opts.dot = Some(args.next().ok_or("--dot needs a file path")?);
+            }
+            "--profile" => {
+                opts.profile = Some(args.next().ok_or("--profile needs a file path")?);
+            }
+            "--progress" => {
+                let v = args.next().ok_or("--progress needs seconds")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad progress interval `{v}`"))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return Err("--progress must be positive".to_owned());
+                }
+                opts.progress = Some(Duration::from_secs_f64(secs));
+            }
+            "--stall-after" => {
+                let v = args.next().ok_or("--stall-after needs seconds")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad stall window `{v}`"))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return Err("--stall-after must be positive".to_owned());
+                }
+                opts.stall_after = Some(Duration::from_secs_f64(secs));
             }
             "--certify" => opts.certify = true,
             "--no-smt-sessions" => opts.smt_sessions = false,
@@ -235,14 +280,36 @@ fn main() -> ExitCode {
         }
     };
 
-    // Event recording is opt-in (it buffers every span); metrics are always
-    // on — a metrics-only tracer costs a few atomic ops per span.
-    let tracer = if opts.trace.is_some() || opts.dot.is_some() {
-        Tracer::recording()
-    } else {
-        Tracer::metrics_only()
-    };
+    // Event recording and span-tree profiling are opt-in (they buffer or
+    // lock per span); metrics are always on — a metrics-only tracer costs a
+    // few atomic ops per span. The watchdog needs profiling too: its stall
+    // dump shows every thread's open span stack.
+    let record_events = opts.trace.is_some() || opts.dot.is_some();
+    let profile_spans =
+        opts.profile.is_some() || opts.progress.is_some() || opts.stall_after.is_some();
+    let tracer = Tracer::new(record_events, profile_spans);
     let budget = Budget::from_timeout(opts.timeout).with_tracer(tracer.clone());
+
+    // The file sinks are registered on a drop guard *before* solving, so a
+    // panic, resource exhaustion, or timeout still flushes them to disk.
+    let mut sinks = SinkGuard::new(tracer.clone());
+    if let Some(path) = &opts.trace {
+        sinks = sinks.with_trace(path);
+    }
+    if let Some(path) = &opts.dot {
+        sinks = sinks.with_dot(path);
+    }
+    if let Some(path) = &opts.profile {
+        sinks = sinks.with_profile(path);
+    }
+
+    let watchdog = (opts.progress.is_some() || opts.stall_after.is_some()).then(|| {
+        Watchdog::spawn(
+            &budget,
+            WatchdogConfig::new(opts.progress, opts.stall_after),
+            Box::new(std::io::stderr()),
+        )
+    });
 
     // End-to-end certification of solved answers (grammar membership, sort
     // check, independent SMT verification) is requested through the solve
@@ -261,17 +328,15 @@ fn main() -> ExitCode {
     let stats = solved.stats;
     let certified = solved.certified;
 
-    if let Some(path) = &opts.trace {
-        if let Err(e) = std::fs::write(path, trace_jsonl(&tracer)) {
-            eprintln!("cannot write trace {path}: {e}");
-            return ExitCode::from(2);
+    if let Some(watchdog) = watchdog {
+        let dumps = watchdog.stop();
+        if dumps > 0 && opts.stats {
+            eprintln!("; stall_dumps={dumps}");
         }
     }
-    if let Some(path) = &opts.dot {
-        if let Err(e) = std::fs::write(path, dot_graph(&tracer)) {
-            eprintln!("cannot write dot {path}: {e}");
-            return ExitCode::from(2);
-        }
+    if let Err(e) = sinks.flush() {
+        eprintln!("cannot write observability sinks: {e}");
+        return ExitCode::from(2);
     }
 
     if opts.stats {

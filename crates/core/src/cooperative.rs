@@ -276,6 +276,7 @@ impl CooperativeSolver {
             dead: false,
         }];
         stats.nodes = 1;
+        tracer.progress().set_nodes(1);
         // Dedup key → node index (the subproblem-graph sharing of §3.2).
         let mut keys: HashMap<String, usize> = HashMap::new();
         keys.insert(node_key(problem), 0);
@@ -387,6 +388,7 @@ impl CooperativeSolver {
                                         dead: false,
                                     });
                                     stats.nodes += 1;
+                                    tracer.progress().set_nodes(stats.nodes as u64);
                                     keys.insert(key, c);
                                     ded_queue.push_back(c);
                                     tracer.graph_event(|| GraphEvent::Node {

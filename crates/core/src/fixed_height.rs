@@ -210,6 +210,7 @@ impl FixedHeightSolver {
         let _span = tracer
             .span(sygus_ast::trace::Stage::FixedHeight)
             .with_detail(|| format!("height={height}"));
+        tracer.progress().set_height(height as u64);
         let cfg = self.config.adapted_to(problem);
         let sf = &problem.synth_fun;
         let encoder = match sf.grammar.flavor() {
@@ -268,6 +269,7 @@ impl FixedHeightSolver {
                 let _ = cfg.budget.charge_fuel(1);
                 rounds += 1;
                 cfg.budget.tracer().metrics().bump("cegis.rounds");
+                cfg.budget.tracer().progress().note_cegis_round();
                 if rounds > cfg.max_cegis_rounds {
                     return FixedHeightResult::Failed("CEGIS round limit".into());
                 }
@@ -307,6 +309,7 @@ impl FixedHeightSolver {
                             let mut pool = examples.lock();
                             if !pool.contains(&env) {
                                 pool.push(env);
+                                cfg.budget.tracer().progress().note_counterexample();
                             }
                         }
                         None => {
@@ -379,6 +382,7 @@ impl FixedHeightSolver {
                 let _ = cfg.budget.charge_fuel(1);
                 rounds += 1;
                 cfg.budget.tracer().metrics().bump("cegis.rounds");
+                cfg.budget.tracer().progress().note_cegis_round();
                 if rounds > cfg.max_cegis_rounds {
                     return FixedHeightResult::Failed("CEGIS round limit".into());
                 }
@@ -426,6 +430,7 @@ impl FixedHeightSolver {
                             let mut pool = examples.lock();
                             if !pool.contains(&env) {
                                 pool.push(env);
+                                cfg.budget.tracer().progress().note_counterexample();
                             }
                         }
                         None => {
@@ -472,6 +477,7 @@ impl FixedHeightSolver {
             let _ = cfg.budget.charge_fuel(1);
             rounds += 1;
             cfg.budget.tracer().metrics().bump("cegis.rounds");
+            cfg.budget.tracer().progress().note_cegis_round();
             if rounds > cfg.max_cegis_rounds {
                 return FixedHeightResult::Failed("CEGIS round limit".into());
             }
@@ -522,6 +528,7 @@ impl FixedHeightSolver {
                         }
                         if !pool.contains(&env) {
                             pool.push(env);
+                            cfg.budget.tracer().progress().note_counterexample();
                         }
                     }
                     None => return FixedHeightResult::Failed("counterexample outside i64".into()),

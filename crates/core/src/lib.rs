@@ -14,6 +14,7 @@ mod fixed_height;
 mod invariant;
 pub mod observe;
 mod parallel;
+pub mod progress;
 pub mod runtime;
 mod simplify_solution;
 mod solver;
@@ -31,8 +32,9 @@ pub use fixed_height::{
 pub use invariant::{
     fast_trans, recognize_translation, strengthen_with_summary, summarize, Translation,
 };
-pub use observe::{dot_graph, outcome_label, trace_jsonl, RunReport, REPORT_VERSION};
+pub use observe::{dot_graph, outcome_label, trace_jsonl, RunReport, SinkGuard, REPORT_VERSION};
 pub use parallel::{BottomUpBackend, EnumBackend, FixedHeightBackend, ParallelHeightBackend};
+pub use progress::{Watchdog, WatchdogConfig};
 pub use runtime::{Budget, BudgetError, EngineFault};
 pub use simplify_solution::{simplify_solution, SimplifyConfig};
 pub use solver::{

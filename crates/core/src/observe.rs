@@ -9,15 +9,22 @@
 
 use crate::{CoopStats, SynthOutcome};
 use std::collections::BTreeMap;
-use sygus_ast::trace::{GraphEvent, Tracer};
+use std::path::PathBuf;
+use sygus_ast::trace::{GraphEvent, PathStat, Tracer};
 use sygus_ast::{size_bucket, solution_size, time_bucket, Json};
 
 /// The `version` field of the run-report schema. Bump on any breaking change
 /// to the report's shape; consumers must check it before reading further.
 ///
 /// Version history: 1 = initial schema; 2 = added the optional `certified`
-/// field on solved runs.
-pub const REPORT_VERSION: u64 = 2;
+/// field on solved runs; 3 = added the `profile` span-tree table (top paths
+/// by self time, present only on profiling runs).
+pub const REPORT_VERSION: u64 = 3;
+
+/// Paths carried in the report's `profile` table, at most this many, ranked
+/// by self time. The folded-stack sink (`--profile`) is unabridged; the
+/// report table is a summary.
+pub const PROFILE_TOP_PATHS: usize = 20;
 
 /// The stable one-word label of a [`SynthOutcome`] for reports and the bench
 /// trajectory (`solved` / `timeout` / `resource-exhausted` / `gave-up`).
@@ -46,6 +53,9 @@ pub struct RunReport {
     pub stats: CoopStats,
     /// The metrics snapshot taken from the run's tracer.
     pub metrics: sygus_ast::MetricsSnapshot,
+    /// The span-tree profile taken from the run's tracer (empty unless the
+    /// tracer had profiling enabled), sorted by path.
+    pub profile: Vec<(String, PathStat)>,
     /// Whether the solution passed end-to-end certification (`None` when
     /// certification was not run or the run produced no solution).
     pub certified: Option<bool>,
@@ -69,6 +79,7 @@ impl RunReport {
             seconds,
             stats,
             metrics: tracer.metrics().snapshot(),
+            profile: tracer.profile(),
             certified: None,
         }
     }
@@ -122,8 +133,32 @@ impl RunReport {
             ),
         ));
         fields.push(("metrics", self.metrics.to_json()));
+        if !self.profile.is_empty() {
+            fields.push(("profile", profile_table_json(&self.profile)));
+        }
         Json::obj(fields)
     }
+}
+
+/// The report's `profile` table: the [`PROFILE_TOP_PATHS`] hottest paths by
+/// self time, ties and order made deterministic by the path itself.
+fn profile_table_json(profile: &[(String, PathStat)]) -> Json {
+    let mut ranked: Vec<&(String, PathStat)> = profile.iter().collect();
+    ranked.sort_by(|a, b| b.1.self_micros.cmp(&a.1.self_micros).then(a.0.cmp(&b.0)));
+    ranked.truncate(PROFILE_TOP_PATHS);
+    Json::Arr(
+        ranked
+            .iter()
+            .map(|(path, stat)| {
+                Json::obj([
+                    ("path", Json::str(path)),
+                    ("count", Json::from(stat.count)),
+                    ("self_micros", Json::from(stat.self_micros)),
+                    ("total_micros", Json::from(stat.total_micros)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn stats_json(stats: &CoopStats) -> Json {
@@ -241,6 +276,83 @@ fn dot_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Drop-flushing holder for the file sinks (`--trace`, `--dot`,
+/// `--profile`). The registered files are written when the guard drops, so
+/// buffered events and profile paths reach disk even when the run dies
+/// mid-flight — a panic unwinding through the solver, a
+/// `ResourceExhausted` bail-out, or a timeout path that skips the normal
+/// exit sequence. Call [`SinkGuard::flush`] on the healthy path to surface
+/// I/O errors; the drop path is best-effort and swallows them.
+pub struct SinkGuard {
+    tracer: Tracer,
+    trace_path: Option<PathBuf>,
+    dot_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
+    flushed: bool,
+}
+
+impl SinkGuard {
+    /// A guard with no sinks registered (flushing is a no-op until paths
+    /// are attached).
+    pub fn new(tracer: Tracer) -> SinkGuard {
+        SinkGuard {
+            tracer,
+            trace_path: None,
+            dot_path: None,
+            profile_path: None,
+            flushed: false,
+        }
+    }
+
+    /// Registers the JSONL trace sink ([`trace_jsonl`]).
+    #[must_use]
+    pub fn with_trace(mut self, path: impl Into<PathBuf>) -> SinkGuard {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Registers the subproblem-graph DOT sink ([`dot_graph`]).
+    #[must_use]
+    pub fn with_dot(mut self, path: impl Into<PathBuf>) -> SinkGuard {
+        self.dot_path = Some(path.into());
+        self
+    }
+
+    /// Registers the folded-stacks profile sink
+    /// ([`Tracer::folded_stacks`]).
+    #[must_use]
+    pub fn with_profile(mut self, path: impl Into<PathBuf>) -> SinkGuard {
+        self.profile_path = Some(path.into());
+        self
+    }
+
+    /// Writes every registered sink now and disarms the drop hook.
+    /// Subsequent flushes (including the one in `Drop`) are no-ops, so the
+    /// files reflect the tracer state at the *first* flush.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.flushed {
+            return Ok(());
+        }
+        self.flushed = true;
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, trace_jsonl(&self.tracer))?;
+        }
+        if let Some(path) = &self.dot_path {
+            std::fs::write(path, dot_graph(&self.tracer))?;
+        }
+        if let Some(path) = &self.profile_path {
+            std::fs::write(path, self.tracer.folded_stacks())?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +389,7 @@ mod tests {
         );
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).unwrap();
-        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(2));
+        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(3));
         assert_eq!(
             parsed.get("outcome").and_then(Json::as_str),
             Some("solved")
@@ -354,6 +466,89 @@ mod tests {
             Some("search space exhausted")
         );
         assert!(parsed.get("solution").is_none());
+    }
+
+    #[test]
+    fn profile_table_appears_only_on_profiling_runs_and_ranks_by_self_time() {
+        let plain = RunReport::new(
+            "DryadSynth",
+            "p.sl",
+            SynthOutcome::Timeout,
+            0.1,
+            CoopStats::default(),
+            &Tracer::metrics_only(),
+        );
+        let parsed = Json::parse(&plain.to_json().to_string()).unwrap();
+        assert!(parsed.get("profile").is_none());
+
+        let tracer = Tracer::profiling();
+        {
+            let _outer = tracer.span(sygus_ast::Stage::Enumerate);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = tracer.span(sygus_ast::Stage::Smt);
+            std::thread::sleep(std::time::Duration::from_millis(4));
+        }
+        let report = RunReport::new(
+            "DryadSynth",
+            "p.sl",
+            SynthOutcome::Timeout,
+            0.1,
+            CoopStats::default(),
+            &tracer,
+        );
+        let parsed = Json::parse(&report.to_json().to_string()).unwrap();
+        let table = parsed.get("profile").and_then(Json::as_arr).unwrap();
+        assert_eq!(table.len(), 2);
+        // Ranked by self time: the inner SMT span slept longer.
+        assert_eq!(
+            table[0].get("path").and_then(Json::as_str),
+            Some("enumerate;smt")
+        );
+        assert_eq!(table[1].get("path").and_then(Json::as_str), Some("enumerate"));
+        let self0 = table[0].get("self_micros").and_then(Json::as_i64).unwrap();
+        let self1 = table[1].get("self_micros").and_then(Json::as_i64).unwrap();
+        assert!(self0 >= self1, "{self0} {self1}");
+        assert!(table[0].get("total_micros").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn sink_guard_flushes_on_panic() {
+        let dir = std::env::temp_dir().join("dryadsynth-sink-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let profile_path = dir.join("profile.folded");
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&profile_path);
+        let tracer = Tracer::new(true, true);
+        drop(tracer.span(sygus_ast::Stage::Smt));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = SinkGuard::new(tracer.clone())
+                .with_trace(&trace_path)
+                .with_profile(&profile_path);
+            panic!("engine died mid-run");
+        }));
+        assert!(result.is_err());
+        // Both sinks reached disk despite the panic.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"name\":\"smt\""), "{trace}");
+        let folded = std::fs::read_to_string(&profile_path).unwrap();
+        assert!(folded.starts_with("smt "), "{folded}");
+    }
+
+    #[test]
+    fn sink_guard_flush_disarms_the_drop_hook() {
+        let dir = std::env::temp_dir().join("dryadsynth-sink-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flush-once.folded");
+        let tracer = Tracer::profiling();
+        drop(tracer.span(sygus_ast::Stage::Verify));
+        let mut guard = SinkGuard::new(tracer.clone()).with_profile(&path);
+        guard.flush().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        // More spans after the flush must not change the file on drop.
+        drop(tracer.span(sygus_ast::Stage::Verify));
+        drop(guard);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
     }
 
     #[test]

@@ -125,6 +125,7 @@ impl EnumBackend for ParallelHeightBackend {
                         let _span = tracer
                             .span(sygus_ast::trace::Stage::Worker)
                             .with_detail(|| format!("height={h}"));
+                        tracer.progress().set_height(h as u64);
                         // A panicking worker is contained here: siblings keep
                         // running and the payload is reported as a fault.
                         let r = catch_unwind(AssertUnwindSafe(|| {

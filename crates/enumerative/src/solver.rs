@@ -126,6 +126,7 @@ impl BottomUpSolver {
             }
             let _ = self.config.budget.charge_fuel(1);
             tracer.metrics().bump("cegis.rounds");
+            tracer.progress().note_cegis_round();
             let _span = tracer
                 .span(sygus_ast::trace::Stage::BottomUp)
                 .with_detail(|| format!("round={round} examples={}", examples.len()));
@@ -160,6 +161,7 @@ impl BottomUpSolver {
                         ));
                     }
                     examples.push(env);
+                    tracer.progress().note_counterexample();
                 }
                 Err(SmtError::Timeout) => return SynthStatus::Timeout,
                 Err(e) => return SynthStatus::Failed(e.to_string()),
@@ -219,6 +221,7 @@ impl BottomUpSolver {
             if self.timed_out() {
                 return None;
             }
+            self.config.budget.tracer().progress().set_height(size as u64);
             let _ = self.config.budget.charge_fuel(1);
             self.config
                 .budget

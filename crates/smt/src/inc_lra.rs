@@ -237,7 +237,20 @@ impl IncrementalLra {
     /// forbidden value: `e ≠ r` with `r ≤ e ≤ r` is an immediate conflict
     /// whose core is the disequality plus the two pinning bounds.
     pub fn check(&mut self) -> Result<(), Vec<usize>> {
-        match self.sx.check_explained() {
+        self.check_budgeted(u64::MAX, &mut || true)
+            .expect("an unlimited feasibility check cannot give up")
+    }
+
+    /// [`IncLra::check`] under a pivot budget: gives up (`None`) after
+    /// `max_pivots` simplex pivots or when `poll` returns `false`. A `Some`
+    /// answer is exact; `None` means the caller should fall back to its
+    /// authoritative (budgeted) full check rather than trust this one.
+    pub fn check_budgeted(
+        &mut self,
+        max_pivots: u64,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Option<Result<(), Vec<usize>>> {
+        match self.sx.check_budgeted(max_pivots, poll)? {
             Ok(()) => {
                 for idx in 0..self.atoms.len() {
                     if self.asserted[idx] != Some(false) || !self.atoms[idx].is_eq {
@@ -270,10 +283,10 @@ impl IncrementalLra {
                                 }
                             }
                         }
-                        return Err(core);
+                        return Some(Err(core));
                     }
                 }
-                Ok(())
+                Some(Ok(()))
             }
             Err(expl) => {
                 let mut atoms: Vec<usize> = Vec::new();
@@ -299,7 +312,7 @@ impl IncrementalLra {
                         }
                     }
                 }
-                Err(atoms)
+                Some(Err(atoms))
             }
         }
     }

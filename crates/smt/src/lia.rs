@@ -1,7 +1,7 @@
 //! Linear *integer* arithmetic feasibility: branch-and-bound on top of the
 //! rational simplex.
 
-use crate::{BigInt, Rat, Simplex, SimplexResult};
+use crate::{BigInt, Rat, Simplex};
 use std::fmt;
 
 /// Relation of a linear constraint `Σ cᵢ·xᵢ ⋈ rhs`.
@@ -94,6 +94,25 @@ pub enum LiaResult {
 /// assert_eq!(check_lia(2, &cons, 1000), LiaResult::Unsat);
 /// ```
 pub fn check_lia(num_vars: usize, constraints: &[LinCon], node_budget: u64) -> LiaResult {
+    check_lia_polled(num_vars, constraints, node_budget, &mut || true)
+}
+
+/// Per-node cap on simplex pivots during branch-and-bound. Node repair
+/// normally takes a handful of pivots; the cap only fires on adversarial
+/// tableaus with exploding rational coefficients, where a node is answered
+/// `Unknown` instead of pivoting for minutes.
+const NODE_PIVOT_CAP: u64 = 20_000;
+
+/// [`check_lia`] with a cancellation hook: `poll` is consulted between
+/// branch-and-bound nodes and periodically inside each node's simplex
+/// repair; returning `false` makes the remaining search answer
+/// [`LiaResult::Unknown`]. `Sat`/`Unsat` answers remain exact.
+pub fn check_lia_polled(
+    num_vars: usize,
+    constraints: &[LinCon],
+    node_budget: u64,
+    poll: &mut dyn FnMut() -> bool,
+) -> LiaResult {
     // GCD tightening: merge repeated variables, divide by the coefficient
     // gcd, and round the right-hand side toward feasibility. This both cuts
     // off rational-only solutions (e.g. `2x - 2y = 1` becomes unsat
@@ -152,7 +171,7 @@ pub fn check_lia(num_vars: usize, constraints: &[LinCon], node_budget: u64) -> L
     // purification variable (v = e) disappears here, which shrinks the
     // branch-and-bound search space dramatically and removes the usual
     // sources of fractional wandering.
-    let (tightened, subs, num_vars) = reduce_equalities(tightened, num_vars);
+    let (tightened, subs, num_vars) = reduce_equalities(tightened, num_vars, poll);
     // Re-run ground/gcd checks on the substituted system.
     let mut cleaned: Vec<LinCon> = Vec::with_capacity(tightened.len());
     for con in &tightened {
@@ -203,7 +222,7 @@ pub fn check_lia(num_vars: usize, constraints: &[LinCon], node_budget: u64) -> L
         }
     }
     let mut budget = node_budget;
-    match branch(num_vars, sx, &mut budget, 0) {
+    match branch(num_vars, sx, &mut budget, 0, poll) {
         LiaResult::Sat(mut point) => {
             // Reconstruct eliminated variables in reverse order.
             for (v, coeffs, konst) in subs.iter().rev() {
@@ -324,16 +343,28 @@ fn fuse_bounds(cons: Vec<LinCon>) -> Vec<LinCon> {
 /// Returns the reduced system, the substitutions `(var, coeffs, const)` in
 /// elimination order (later entries may reference fresh variables), and the
 /// new variable count.
+/// Bit-length ceiling on the coefficients produced by equality reduction.
+/// Repeated extended-gcd substitutions can square coefficient sizes per
+/// step; past this cap each further step costs more than the elimination
+/// saves, so reduction stops and the remaining equalities are left for
+/// branch-and-bound (which handles them soundly, just more slowly).
+const REDUCE_COEFF_BIT_CAP: usize = 512;
+
 #[allow(clippy::type_complexity)]
 fn reduce_equalities(
     mut cons: Vec<LinCon>,
     mut num_vars: usize,
+    poll: &mut dyn FnMut() -> bool,
 ) -> (
     Vec<LinCon>,
     Vec<(usize, Vec<(usize, BigInt)>, BigInt)>,
     usize,
 ) {
     let mut subs: Vec<(usize, Vec<(usize, BigInt)>, BigInt)> = Vec::new();
+    // Pair reparametrizations can widen *other* equalities (they introduce
+    // two fresh variables), so the loop has no simple termination measure;
+    // cap the total step count outright.
+    let mut steps_left = 16 + 8 * cons.len();
     // Keep every constraint's coefficient list merged (no duplicate
     // variables) so the ±1 test below sees true coefficients.
     fn merge_coeffs(con: &mut LinCon) {
@@ -349,6 +380,18 @@ fn reduce_equalities(
         merge_coeffs(con);
     }
     loop {
+        // Stopping early is always sound — unsubstituted equalities simply
+        // stay in the system — so bail once the coefficients blow past the
+        // bit cap (the substitution products grow multiplicatively) or the
+        // caller's budget is gone.
+        let oversized = cons.iter().any(|c| {
+            c.rhs.bits() > REDUCE_COEFF_BIT_CAP
+                || c.coeffs.iter().any(|(_, k)| k.bits() > REDUCE_COEFF_BIT_CAP)
+        });
+        if oversized || steps_left == 0 || !poll() {
+            break;
+        }
+        steps_left -= 1;
         // Find an equality with a ±1 coefficient.
         let Some((ci, var, positive)) = cons.iter().enumerate().find_map(|(ci, c)| {
             if c.rel != Rel::Eq {
@@ -471,13 +514,21 @@ fn reduce_one_pair(
 /// `Unknown` instead of risking stack exhaustion.
 const MAX_BRANCH_DEPTH: usize = 220;
 
-fn branch(num_vars: usize, mut sx: Simplex, budget: &mut u64, depth: usize) -> LiaResult {
-    if *budget == 0 || depth > MAX_BRANCH_DEPTH {
+fn branch(
+    num_vars: usize,
+    mut sx: Simplex,
+    budget: &mut u64,
+    depth: usize,
+    poll: &mut dyn FnMut() -> bool,
+) -> LiaResult {
+    if *budget == 0 || depth > MAX_BRANCH_DEPTH || !poll() {
         return LiaResult::Unknown;
     }
     *budget -= 1;
-    if sx.check() == SimplexResult::Unsat {
-        return LiaResult::Unsat;
+    match sx.check_budgeted(NODE_PIVOT_CAP, poll) {
+        None => return LiaResult::Unknown,
+        Some(Err(_)) => return LiaResult::Unsat,
+        Some(Ok(())) => {}
     }
     let relax: Vec<Rat> = (0..num_vars).map(|v| sx.value(v).clone()).collect();
     // Find a fractional variable.
@@ -490,14 +541,14 @@ fn branch(num_vars: usize, mut sx: Simplex, budget: &mut u64, depth: usize) -> L
             // Left branch: v <= floor (clone keeps the repaired tableau).
             let mut left_sx = sx.clone();
             left_sx.set_upper(v, Rat::from(fl));
-            match branch(num_vars, left_sx, budget, depth + 1) {
+            match branch(num_vars, left_sx, budget, depth + 1, poll) {
                 LiaResult::Sat(m) => return LiaResult::Sat(m),
                 LiaResult::Unknown => return LiaResult::Unknown,
                 LiaResult::Unsat => {}
             }
             // Right branch: v >= ceil (reuse the current tableau).
             sx.set_lower(v, Rat::from(ce));
-            branch(num_vars, sx, budget, depth + 1)
+            branch(num_vars, sx, budget, depth + 1, poll)
         }
     }
 }
@@ -513,6 +564,16 @@ mod tests {
     #[test]
     fn trivially_sat() {
         assert!(matches!(check_lia(2, &[], 100), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn cancelled_poll_answers_unknown() {
+        let cons = vec![
+            LinCon::new(&[(0, 1)], Rel::Ge, 3),
+            LinCon::new(&[(0, 1)], Rel::Le, 5),
+        ];
+        let verdict = check_lia_polled(1, &cons, 100, &mut || false);
+        assert_eq!(verdict, LiaResult::Unknown);
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod solver;
 pub use bigint::BigInt;
 pub use drat::{check_refutation, drat_text, model_satisfies, DratError, DratStats, ProofStep};
 pub use inc_lra::IncrementalLra;
-pub use lia::{check_lia, LiaResult, LinCon, Rel};
+pub use lia::{check_lia, check_lia_polled, LiaResult, LinCon, Rel};
 pub use rat::Rat;
 pub use sat::{Lit, SatResult, SatSolver, Var};
 pub use session::SmtSession;

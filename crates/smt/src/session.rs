@@ -39,7 +39,7 @@ use crate::inc_lra::LinearAtom;
 use crate::solver::{
     add_static_lemmas, certify_sat_model, certify_unsat_steps, poll_budget, retry_rung_counter,
     Atom, ClauseGcPolicy, Encoder, Model, Purifier, SmtConfig, SmtError, SmtResult, TheoryChecker,
-    TheoryOutcome, Validity,
+    TheoryOutcome, Validity, THEORY_PIVOT_CAP,
 };
 use crate::{IncrementalLra, Lit, SatResult};
 use std::collections::{BTreeMap, HashSet};
@@ -209,6 +209,11 @@ impl SmtSession {
     pub fn check_sat(&mut self) -> Result<SmtResult, SmtError> {
         self.cfg.budget.note_smt_query();
         let tracer = self.cfg.budget.tracer().clone();
+        // Session queries have no single formula; the active clause count
+        // is the closest "query size" for the progress line.
+        tracer
+            .progress()
+            .note_smt_check(self.enc.sat.num_clauses() as u64);
         let span = tracer.span(Stage::Smt);
         if self.checks > 0 && self.learned_live > 0 {
             // Work carried over from earlier queries of this session.
@@ -360,9 +365,18 @@ impl SmtSession {
                     None => inc.retract_atom(i),
                 }
             }
-            match inc.check() {
-                Ok(()) => None,
-                Err(core) => Some(
+            match inc.check_budgeted(THEORY_PIVOT_CAP, &mut || poll_budget(&cfg.budget).is_ok()) {
+                None => {
+                    // The eager check gave up (deadline, or a pathological
+                    // pivot sequence): report no conflict and let the
+                    // authoritative budgeted full-model check decide.
+                    if poll_budget(&cfg.budget).is_err() {
+                        deadline_hit.set(true);
+                    }
+                    None
+                }
+                Some(Ok(())) => None,
+                Some(Err(core)) => Some(
                     core.iter()
                         .map(|&i| {
                             let pol = inc.polarity(i).expect("core atoms are asserted");
@@ -381,6 +395,9 @@ impl SmtSession {
             rounds += 1;
             if rounds > max_theory_rounds {
                 return Err(SmtError::ResourceLimit("theory rounds"));
+            }
+            if std::env::var_os("SMTKIT_DEBUG").is_some() {
+                eprintln!("[dbg] session round {rounds}: sat solve");
             }
             // Solve the propositional abstraction in conflict chunks so the
             // deadline is honored.
@@ -416,6 +433,9 @@ impl SmtSession {
                 .iter()
                 .map(|&(i, pol)| (&enc.atom_list[i], pol))
                 .collect();
+            if std::env::var_os("SMTKIT_DEBUG").is_some() {
+                eprintln!("[dbg] session round {rounds}: full theory check");
+            }
             match checker.check(&lits)? {
                 TheoryOutcome::Sat(point) => {
                     let mut model = Model::default();
@@ -425,12 +445,19 @@ impl SmtSession {
                     for (&s, &v) in &enc.bool_vars {
                         model.bools.insert(s, bool_model[v as usize]);
                     }
+                    if std::env::var_os("SMTKIT_DEBUG").is_some() {
+                        eprintln!("[dbg] session round {rounds}: certify sat model");
+                    }
                     certify_sat_model(cfg, &active, &model)?;
                     model.ints.retain(|s, _| !s.as_str().starts_with("ite!"));
                     return Ok(SmtResult::Sat(model));
                 }
                 TheoryOutcome::Unsat => {
+                    if std::env::var_os("SMTKIT_DEBUG").is_some() {
+                        eprintln!("[dbg] session round {rounds}: theory conflict, minimizing");
+                    }
                     cfg.budget.tracer().metrics().bump("smt.conflicts");
+                    cfg.budget.tracer().progress().note_smt_conflict();
                     let mut core: Vec<(usize, bool)> = asserted.clone();
                     if cfg.minimize_cores && core.len() > 1 {
                         let unsat_prefix = |k: usize| -> Result<bool, SmtError> {

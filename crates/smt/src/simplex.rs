@@ -257,15 +257,36 @@ impl Simplex {
     /// basic row, the basic variable's bound plus the blocking bound of
     /// every nonbasic variable in its row).
     pub fn check_explained(&mut self) -> Result<(), Vec<(usize, BoundSide)>> {
+        self.check_budgeted(u64::MAX, &mut || true)
+            .expect("an unlimited simplex check cannot give up")
+    }
+
+    /// [`Simplex::check_explained`] under a pivot budget: gives up (`None`)
+    /// after `max_pivots` pivots, or when `poll` returns `false` (consulted
+    /// every 64 pivots). Bland's rule guarantees termination, but on
+    /// adversarial tableaus the rational coefficients can grow without
+    /// bound, making each pivot arbitrarily expensive — this is the hook
+    /// that keeps a single feasibility check from outliving the run's
+    /// deadline. A `Some` answer is exact; `None` says nothing.
+    pub fn check_budgeted(
+        &mut self,
+        max_pivots: u64,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Option<Result<(), Vec<(usize, BoundSide)>>> {
         // Immediately contradictory interval on any variable.
         for (v, st) in self.vars.iter().enumerate() {
             if let (Some(l), Some(u)) = (&st.lower, &st.upper) {
                 if l > u {
-                    return Err(vec![(v, BoundSide::Lower), (v, BoundSide::Upper)]);
+                    return Some(Err(vec![(v, BoundSide::Lower), (v, BoundSide::Upper)]));
                 }
             }
         }
+        let mut pivots: u64 = 0;
         loop {
+            if pivots >= max_pivots || (pivots.is_multiple_of(64) && !poll()) {
+                return None;
+            }
+            pivots += 1;
             // Bland's rule: smallest violated basic variable.
             let violated = self
                 .rows
@@ -274,7 +295,7 @@ impl Simplex {
                 .filter(|&b| self.below_lower(b) || self.above_upper(b))
                 .min();
             let Some(xi) = violated else {
-                return Ok(());
+                return Some(Ok(()));
             };
             let ri = self.vars[xi].row.expect("basic var has a row");
             if self.below_lower(xi) {
@@ -327,7 +348,7 @@ impl Simplex {
                                 },
                             ));
                         }
-                        return Err(expl);
+                        return Some(Err(expl));
                     }
                 }
             } else {
@@ -375,7 +396,7 @@ impl Simplex {
                                 },
                             ));
                         }
-                        return Err(expl);
+                        return Some(Err(expl));
                     }
                 }
             }
@@ -470,6 +491,25 @@ mod tests {
         s.set_lower(q, r(2));
         s.set_upper(0, r(1));
         assert_eq!(s.check(), SimplexResult::Unsat);
+    }
+
+    #[test]
+    fn pivot_budget_gives_up_instead_of_answering() {
+        // The same system as `system_sat_with_witness`, which needs pivots
+        // to repair: a zero-pivot budget must give up, not guess.
+        let mut s = Simplex::new(2);
+        let sum = s.add_row(&[(0, r(1)), (1, r(1))]);
+        s.set_upper(sum, r(10));
+        s.set_lower(0, r(3));
+        s.set_lower(1, r(4));
+        assert!(s.check_budgeted(0, &mut || true).is_none());
+        // A cancelled poll gives up the same way.
+        assert!(s.check_budgeted(u64::MAX, &mut || false).is_none());
+        // With headroom the answer is exact and matches the unlimited path.
+        assert_eq!(
+            s.check_budgeted(u64::MAX, &mut || true),
+            Some(Ok(()))
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! are checked by [`check_lia`]; theory conflicts come back as (greedily
 //! minimized) blocking clauses.
 
-use crate::{check_lia, BigInt, LiaResult, LinCon, Lit, Rel, SatResult, SatSolver};
+use crate::{check_lia_polled, BigInt, LiaResult, LinCon, Lit, Rel, SatResult, SatSolver};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
@@ -836,7 +836,8 @@ impl TheoryChecker<'_> {
         if depth > self.cfg.max_diseq_split.max(32) {
             return Err(SmtError::ResourceLimit("disequality splits"));
         }
-        let m = match check_lia(self.index.len(), base, self.lia_budget) {
+        let mut poll = || poll_budget(&self.cfg.budget).is_ok();
+        let m = match check_lia_polled(self.index.len(), base, self.lia_budget, &mut poll) {
             LiaResult::Sat(m) => m,
             LiaResult::Unsat => return Ok(TheoryOutcome::Unsat),
             LiaResult::Unknown => {
@@ -857,7 +858,7 @@ impl TheoryChecker<'_> {
                         rhs: BigInt::from(-1_000_000_000i64),
                     });
                 }
-                match check_lia(self.index.len(), &boxed, self.lia_budget) {
+                match check_lia_polled(self.index.len(), &boxed, self.lia_budget, &mut poll) {
                     LiaResult::Sat(m) => m,
                     other => {
                         if std::env::var_os("SMTKIT_DEBUG").is_some() {
@@ -920,6 +921,14 @@ impl TheoryChecker<'_> {
 // The solver proper
 // ---------------------------------------------------------------------------
 
+/// Pivot cap for the *eager* incremental feasibility check consulted from
+/// inside the SAT search. Normal repair takes a handful of pivots; on
+/// tableaus whose rational coefficients explode, the eager check gives up
+/// at the cap and the authoritative (node- and pivot-budgeted) full-model
+/// check decides instead — without this, a single `IncrementalLra::check`
+/// can pivot for minutes while the deadline is never consulted.
+pub(crate) const THEORY_PIVOT_CAP: u64 = 200_000;
+
 /// The static counter name for a retry-ladder rung (allocation-free; the
 /// ladder is short — the default config takes at most 2 escalations).
 pub(crate) fn retry_rung_counter(escalation: u32) -> &'static str {
@@ -968,6 +977,7 @@ impl SmtSolver {
     pub fn check(&self, formula: &Term) -> Result<SmtResult, SmtError> {
         self.cfg.budget.note_smt_query();
         let tracer = self.cfg.budget.tracer().clone();
+        tracer.progress().note_smt_check(formula.size() as u64);
         let span = tracer.span(Stage::Smt);
         let mut escalation: u32 = 0;
         let result = loop {
@@ -1096,9 +1106,18 @@ impl SmtSolver {
                     None => inc.retract_atom(i),
                 }
             }
-            match inc.check() {
-                Ok(()) => None,
-                Err(core) => Some(
+            match inc.check_budgeted(THEORY_PIVOT_CAP, &mut || self.check_deadline().is_ok()) {
+                None => {
+                    // The eager check gave up (deadline, or a pathological
+                    // pivot sequence): report no conflict and let the
+                    // authoritative budgeted full-model check decide.
+                    if self.check_deadline().is_err() {
+                        deadline_hit.set(true);
+                    }
+                    None
+                }
+                Some(Ok(())) => None,
+                Some(Err(core)) => Some(
                     core.iter()
                         .map(|&i| {
                             let pol = inc.polarity(i).expect("core atoms are asserted");
@@ -1180,6 +1199,7 @@ impl SmtSolver {
                 }
                 TheoryOutcome::Unsat => {
                     self.cfg.budget.tracer().metrics().bump("smt.conflicts");
+                    self.cfg.budget.tracer().progress().note_smt_conflict();
                     // Core minimization: binary-search the minimal failing
                     // prefix ("prefix is unsat" is monotone, so O(log n)
                     // checks locate it), then greedy deletion on the
