@@ -67,7 +67,7 @@ pub use progress::{ProgressSnapshot, ProgressState};
 pub use runtime::{Budget, BudgetError};
 pub use simplify::{conjuncts, disjuncts, nnf, simplify};
 pub use sort::{Sort, SortError};
-pub use symbol::Symbol;
+pub use symbol::{interner_stats, InternerStats, Symbol};
 pub use term::{Definitions, EvalError, FuncDef, Term, TermNode};
 pub use trace::{
     MetricsRegistry, MetricsSnapshot, PathStat, Stage, StageSnapshot, TraceEvent, Tracer,

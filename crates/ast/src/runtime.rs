@@ -162,9 +162,27 @@ impl Budget {
     /// but it keeps `deadline()`/`exceeded()` O(1) even for children minted
     /// inside a CEGIS loop, instead of O(depth) per iteration.
     pub fn child(&self) -> Budget {
+        self.child_with(None, None)
+    }
+
+    /// Returns a child budget like [`Budget::child`], optionally with its
+    /// own wall-clock `deadline` and its own observability `tracer`.
+    ///
+    /// The effective deadline is the *earlier* of the parent's resolved
+    /// deadline and the requested one — a child can only shrink its window,
+    /// never outlive the parent. A `tracer` of `None` shares the parent's
+    /// tracer (the [`Budget::child`] behaviour); `Some` gives the child its
+    /// own registry so a multi-request host (the daemon scheduler) gets
+    /// per-request metrics, progress, and live span stacks while
+    /// fuel/memory/telemetry charges still aggregate into the parent.
+    pub fn child_with(&self, deadline: Option<Instant>, tracer: Option<Tracer>) -> Budget {
+        let deadline = match (self.deadline(), deadline) {
+            (Some(p), Some(d)) => Some(p.min(d)),
+            (p, d) => p.or(d),
+        };
         Budget(Arc::new(BudgetInner {
             parent: Some(self.clone()),
-            deadline: self.deadline(),
+            deadline,
             cancelled: AtomicBool::new(false),
             fuel_limit: u64::MAX,
             fuel_spent: AtomicU64::new(0),
@@ -172,7 +190,7 @@ impl Budget {
             memory_charged: AtomicU64::new(0),
             smt_queries: AtomicU64::new(0),
             smt_retries: AtomicU64::new(0),
-            tracer: self.0.tracer.clone(),
+            tracer: tracer.unwrap_or_else(|| self.0.tracer.clone()),
         }))
     }
 
@@ -409,6 +427,39 @@ mod tests {
         let free = Budget::unlimited().child();
         assert_eq!(free.0.deadline, None);
         assert_eq!(free.deadline(), None);
+    }
+
+    #[test]
+    fn child_with_clamps_deadline_to_the_parent_window() {
+        let near = Instant::now() + Duration::from_secs(10);
+        let far = Instant::now() + Duration::from_secs(3600);
+        // Request window later than the parent's: parent wins.
+        let parent = Budget::with_deadline(near);
+        assert_eq!(parent.child_with(Some(far), None).deadline(), Some(near));
+        // Request window earlier than the parent's: the request wins.
+        let parent = Budget::with_deadline(far);
+        assert_eq!(parent.child_with(Some(near), None).deadline(), Some(near));
+        // Deadline-free parent: the request's own deadline applies.
+        let free = Budget::unlimited();
+        assert_eq!(free.child_with(Some(near), None).deadline(), Some(near));
+        assert_eq!(free.child_with(None, None).deadline(), None);
+    }
+
+    #[test]
+    fn child_with_own_tracer_still_charges_the_parent() {
+        let parent = Budget::unlimited().with_tracer(Tracer::metrics_only());
+        let request = parent.child_with(None, Some(Tracer::metrics_only()));
+        // Metrics recorded on the child stay on the child's registry...
+        request.tracer().metrics().bump("request.local");
+        assert_eq!(parent.tracer().metrics().counter("request.local"), 0);
+        assert_eq!(request.tracer().metrics().counter("request.local"), 1);
+        // ...but budget charges and cancellation still chain to the parent.
+        request.charge_fuel(3).unwrap();
+        request.note_smt_query();
+        assert_eq!(parent.fuel_spent(), 3);
+        assert_eq!(parent.smt_queries(), 1);
+        parent.cancel();
+        assert_eq!(request.exceeded(), Some(BudgetError::Cancelled));
     }
 
     #[test]

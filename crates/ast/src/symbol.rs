@@ -28,6 +28,8 @@ pub struct Symbol(u32);
 struct Interner {
     names: Vec<&'static str>,
     ids: HashMap<&'static str, u32>,
+    /// Total UTF-8 bytes of every interned name (leaked, never reclaimed).
+    bytes: usize,
 }
 
 fn interner() -> &'static Mutex<Interner> {
@@ -36,8 +38,35 @@ fn interner() -> &'static Mutex<Interner> {
         Mutex::new(Interner {
             names: Vec::new(),
             ids: HashMap::new(),
+            bytes: 0,
         })
     })
+}
+
+/// A point-in-time snapshot of the global interner's footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Number of distinct symbols interned so far.
+    pub symbols: usize,
+    /// Total UTF-8 bytes held by interned names (leaked for the process
+    /// lifetime; this only ever grows).
+    pub bytes: usize,
+}
+
+/// Current size of the global symbol interner.
+///
+/// The interner is append-only and process-global: both gauges are monotone
+/// over the life of the process and are never reset, even between solver
+/// runs. In particular [`Symbol::fresh`] draws from a per-process monotone
+/// counter, so long-lived hosts (e.g. a synthesis daemon) accumulate one
+/// interned name per fresh symbol ever generated — these gauges are the ops
+/// surface for watching that growth.
+pub fn interner_stats() -> InternerStats {
+    let int = interner().lock().unwrap_or_else(|p| p.into_inner());
+    InternerStats {
+        symbols: int.names.len(),
+        bytes: int.bytes,
+    }
 }
 
 impl Symbol {
@@ -55,6 +84,7 @@ impl Symbol {
         let stat: &'static str = Box::leak(name.to_owned().into_boxed_str());
         int.names.push(stat);
         int.ids.insert(stat, id);
+        int.bytes += stat.len();
         Symbol(id)
     }
 
@@ -78,6 +108,7 @@ impl Symbol {
                 let stat: &'static str = Box::leak(candidate.into_boxed_str());
                 int.names.push(stat);
                 int.ids.insert(stat, id);
+                int.bytes += stat.len();
                 return Symbol(id);
             }
         }
@@ -132,6 +163,22 @@ mod tests {
         let s = Symbol::new("max3");
         assert_eq!(s.to_string(), "max3");
         assert_eq!(format!("{s:?}"), "Symbol(\"max3\")");
+    }
+
+    #[test]
+    fn interner_stats_grow_monotonically() {
+        let before = interner_stats();
+        let name = "interner-stats-probe-symbol";
+        Symbol::new(name);
+        let after = interner_stats();
+        assert!(after.symbols > before.symbols);
+        assert!(after.bytes >= before.bytes + name.len());
+        // Re-interning the same name adds nothing of its own; other tests
+        // may intern concurrently, so only monotonicity can be asserted.
+        Symbol::new(name);
+        let again = interner_stats();
+        assert!(again.symbols >= after.symbols);
+        assert!(again.bytes >= after.bytes);
     }
 
     #[test]

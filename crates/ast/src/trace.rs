@@ -194,6 +194,13 @@ impl MetricsRegistry {
         self.add(name, 1);
     }
 
+    /// Sets the named counter to an absolute value (a gauge write: the last
+    /// write wins, unlike [`MetricsRegistry::add`] which accumulates).
+    pub fn set(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters.insert(name.to_owned(), value);
+    }
+
     /// The current value of a named counter (0 when never bumped).
     pub fn counter(&self, name: &str) -> u64 {
         let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
@@ -818,6 +825,15 @@ mod tests {
         );
         assert_eq!(snap.size_hist[0], 1);
         assert_eq!(snap.size_hist[2], 1);
+    }
+
+    #[test]
+    fn set_overwrites_like_a_gauge() {
+        let t = Tracer::metrics_only();
+        t.metrics().set("interner.symbols", 7);
+        t.metrics().set("interner.symbols", 4); // last write wins
+        t.metrics().add("interner.symbols", 1); // add still accumulates on top
+        assert_eq!(t.metrics().counter("interner.symbols"), 5);
     }
 
     #[test]

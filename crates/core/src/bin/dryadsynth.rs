@@ -45,8 +45,8 @@
 //! | 0    | solved (and certified, when requested)             |
 //! | 1    | gave up (search exhausted / unsupported problem)   |
 //! | 2    | usage, I/O, or parse error                         |
-//! | 4    | wall-clock timeout (or cancellation)               |
-//! | 5    | resource exhaustion (fuel / memory budget)         |
+//! | 4    | wall-clock timeout                                 |
+//! | 5    | resource exhaustion (fuel / memory) or cancellation|
 //! | 6    | engine fault (a contained panic) and no solution   |
 //! | 7    | certification failure or error-level lint findings |
 

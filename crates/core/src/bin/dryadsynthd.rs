@@ -1,0 +1,247 @@
+//! `dryadsynthd`: the synthesis-as-a-service daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! dryadsynthd [--workers N] [--queue-cap N] [--default-timeout SECS]
+//!             [--max-timeout SECS] [--drain-deadline SECS]
+//!             [--threads-per-solve N] [--heartbeat SECS]
+//!             [--stall-after SECS] [--certify] [--chaos-seed SEED]
+//!             [--socket PATH]
+//! ```
+//!
+//! Speaks newline-delimited JSON (see `crates/core/src/daemon/protocol.rs`
+//! and DESIGN.md section 10). Without `--socket` it serves stdin and
+//! answers on stdout; with `--socket PATH` it serves every connection on a
+//! Unix socket, answering each on its own connection. Diagnostics
+//! (per-request heartbeats and stall dumps, tagged `[req=<id>]`) go to
+//! stderr.
+//!
+//! Shutdown: EOF on stdin, a `{"shutdown": true}` line, SIGTERM, or SIGINT
+//! all trigger the same graceful drain — admission stops, queued and
+//! in-flight requests finish inside `--drain-deadline` (past it they are
+//! cancelled but still answered), and the final `{"shutdown": {...}}`
+//! summary is printed. Exit code 0 on a clean drain, 3 when the drain
+//! deadline forced cancellations, 2 on usage or socket errors.
+//!
+//! `--chaos-seed` arms the deterministic fault injector (random contained
+//! panics, worker deaths, cancels, delays) for harness runs; the
+//! `DRYADSYNTHD_CHAOS_SEED` environment variable does the same.
+
+use dryadsynth::daemon::{ChaosConfig, Responder, Response, Scheduler, SchedulerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const USAGE: &str = "usage: dryadsynthd [--workers N] [--queue-cap N] \
+[--default-timeout SECS] [--max-timeout SECS] [--drain-deadline SECS] \
+[--threads-per-solve N] [--heartbeat SECS] [--stall-after SECS] \
+[--certify] [--chaos-seed SEED] [--socket PATH]\n\
+  Serves newline-delimited JSON solve requests on stdin (or PATH) and\n\
+  answers on stdout (or the connection). EOF, {\"shutdown\":true}, SIGTERM\n\
+  and SIGINT all drain gracefully and print a {\"shutdown\":{...}} summary.";
+
+/// Set from the signal handler; polled by the serving loops.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // std already links libc; declaring `signal` directly avoids a crate
+    // dependency. Storing to a static AtomicBool is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+struct Options {
+    config: SchedulerConfig,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut config = SchedulerConfig::default();
+    let mut socket = None;
+    let mut chaos_seed: Option<u64> = std::env::var("DRYADSYNTHD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{name} needs a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--workers" => config.workers = num("--workers")?.max(1) as usize,
+            "--queue-cap" => config.queue_cap = num("--queue-cap")? as usize,
+            "--default-timeout" => {
+                config.default_timeout = Duration::from_secs(num("--default-timeout")?)
+            }
+            "--max-timeout" => config.max_timeout = Duration::from_secs(num("--max-timeout")?),
+            "--drain-deadline" => {
+                config.drain_deadline = Duration::from_secs(num("--drain-deadline")?)
+            }
+            "--threads-per-solve" => {
+                config.threads_per_solve = num("--threads-per-solve")?.max(1) as usize
+            }
+            "--heartbeat" => config.heartbeat = Some(Duration::from_secs(num("--heartbeat")?)),
+            "--stall-after" => {
+                config.stall_after = Some(Duration::from_secs(num("--stall-after")?))
+            }
+            "--certify" => config.certify = true,
+            "--chaos-seed" => chaos_seed = Some(num("--chaos-seed")?),
+            "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    config.chaos = chaos_seed.map(ChaosConfig::from_seed);
+    Ok(Options { config, socket })
+}
+
+/// A responder that writes whole JSON lines under a lock, so responses
+/// from concurrent workers never interleave.
+fn line_responder(out: Arc<Mutex<Box<dyn Write + Send>>>) -> Responder {
+    Arc::new(move |response: Response| {
+        let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{}", response.to_json());
+        let _ = out.flush();
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    install_signal_handlers();
+    // Worker panics are contained by design (answered as `engine_fault`);
+    // one stderr line each beats a full default backtrace per fault.
+    std::panic::set_hook(Box::new(|info| {
+        let thread = std::thread::current().name().unwrap_or("?").to_owned();
+        eprintln!("[panic contained] thread={thread} {info}");
+    }));
+    let scheduler = Arc::new(Scheduler::start(options.config));
+    let served = match &options.socket {
+        Some(path) => serve_socket(&scheduler, path),
+        None => serve_stdin(&scheduler),
+    };
+    if let Err(msg) = served {
+        eprintln!("dryadsynthd: {msg}");
+        return ExitCode::from(2);
+    }
+    let summary = scheduler.drain();
+    let stdout: Arc<Mutex<Box<dyn Write + Send>>> =
+        Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    line_responder(stdout)(Response::Shutdown(summary.clone()));
+    if summary.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+/// Stdin mode: a reader thread feeds lines over a channel so the main
+/// loop stays responsive to SIGTERM even while stdin is idle.
+fn serve_stdin(scheduler: &Arc<Scheduler>) -> Result<(), String> {
+    let stdout: Arc<Mutex<Box<dyn Write + Send>>> =
+        Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let reply = line_responder(stdout);
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::Builder::new()
+        .name("stdin-reader".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+            // Dropping tx signals EOF to the serving loop.
+        })
+        .map_err(|e| format!("spawn stdin reader: {e}"))?;
+    loop {
+        if TERMINATE.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                if scheduler.handle_line(&line, &reply) {
+                    return Ok(()); // explicit {"shutdown": true}
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()), // EOF
+        }
+    }
+}
+
+/// Socket mode: each connection gets a reader thread and answers on its
+/// own stream; the scheduler (and its worker pool) is shared.
+fn serve_socket(scheduler: &Arc<Scheduler>, path: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path); // stale socket from a prior run
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let shutdown_requested = Arc::new(AtomicBool::new(false));
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if TERMINATE.load(Ordering::SeqCst) || shutdown_requested.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let scheduler = Arc::clone(scheduler);
+                let shutdown_requested = Arc::clone(&shutdown_requested);
+                let handle = std::thread::Builder::new()
+                    .name("daemon-conn".into())
+                    .spawn(move || {
+                        let write_half = match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        };
+                        let _ = stream.set_nonblocking(false);
+                        let out: Arc<Mutex<Box<dyn Write + Send>>> =
+                            Arc::new(Mutex::new(Box::new(write_half)));
+                        let reply = line_responder(out);
+                        for line in BufReader::new(stream).lines() {
+                            let Ok(line) = line else { break };
+                            if scheduler.handle_line(&line, &reply) {
+                                shutdown_requested.store(true, Ordering::SeqCst);
+                                break;
+                            }
+                        }
+                    })
+                    .map_err(|e| format!("spawn connection thread: {e}"))?;
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

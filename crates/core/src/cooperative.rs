@@ -20,9 +20,11 @@ use sygus_ast::{span, Problem, Term};
 pub enum SynthOutcome {
     /// A verified solution body over the synth-fun parameters.
     Solved(Term),
-    /// The deadline passed (or the run was cancelled).
+    /// The wall-clock deadline passed.
     Timeout,
-    /// A fuel or memory allowance ran out before the search finished.
+    /// A governed resource other than the deadline stopped the run: a fuel
+    /// or memory allowance ran out, or the budget was cancelled (the reason
+    /// string is `"cancelled"` in that case).
     ResourceExhausted(String),
     /// All queues drained without a solution (or the spec is
     /// unsatisfiable).
@@ -223,14 +225,16 @@ impl CooperativeSolver {
         self
     }
 
-    /// Maps budget exhaustion to the outcome that should end the run.
+    /// Maps budget exhaustion to the outcome that should end the run. Only
+    /// a passed deadline reports [`SynthOutcome::Timeout`]; cancellation
+    /// (like fuel and memory exhaustion) reports
+    /// [`SynthOutcome::ResourceExhausted`] so a host that cancelled one
+    /// request of many (the daemon scheduler) can tell a deliberate stop
+    /// apart from a request that ran out of wall clock.
     fn interrupted(&self) -> Option<SynthOutcome> {
-        self.budget.exceeded().map(|e| {
-            if e.is_stop() {
-                SynthOutcome::Timeout
-            } else {
-                SynthOutcome::ResourceExhausted(e.to_string())
-            }
+        self.budget.exceeded().map(|e| match e {
+            crate::BudgetError::Timeout => SynthOutcome::Timeout,
+            other => SynthOutcome::ResourceExhausted(other.to_string()),
         })
     }
 
@@ -811,7 +815,7 @@ mod tests {
     }
 
     #[test]
-    fn cancellation_maps_to_timeout() {
+    fn cancellation_maps_to_resource_exhausted() {
         let p = parse_problem(
             "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
              (constraint (= (f x) x))(check-synth)",
@@ -819,7 +823,12 @@ mod tests {
         .unwrap();
         let solver = coop();
         solver.budget().cancel();
-        assert_eq!(solver.solve(&p), SynthOutcome::Timeout);
+        match solver.solve(&p) {
+            SynthOutcome::ResourceExhausted(reason) => {
+                assert!(reason.contains("cancel"), "{reason}");
+            }
+            other => panic!("cancelled run reported {other:?}"),
+        }
     }
 
     #[test]

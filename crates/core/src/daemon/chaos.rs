@@ -1,0 +1,166 @@
+//! Deterministic fault injection for the daemon's chaos harness.
+//!
+//! A [`Chaos`] instance is seeded once and rolled at every injection point;
+//! the same seed replays the same fault schedule, so a chaos run that trips
+//! an invariant can be reproduced exactly. Probabilities are expressed in
+//! parts-per-million of each roll.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to inject and how often (per injection point, in ppm).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// RNG seed; the whole schedule is a pure function of it.
+    pub seed: u64,
+    /// Probability that a solve panics inside the worker's isolation
+    /// envelope (surfaces as an `engine_fault` response).
+    pub panic_ppm: u32,
+    /// Probability that a worker thread dies *between* requests (exercises
+    /// the monitor's recycling; never loses a response).
+    pub kill_worker_ppm: u32,
+    /// Probability that an admitted request is immediately cancelled
+    /// through the real cancellation path.
+    pub cancel_ppm: u32,
+    /// Probability that a solve is delayed before starting.
+    pub delay_ppm: u32,
+    /// Maximum injected delay in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// An aggressive default mix for harness runs: every fault class armed.
+    pub fn from_seed(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_ppm: 150_000,
+            kill_worker_ppm: 100_000,
+            cancel_ppm: 100_000,
+            delay_ppm: 200_000,
+            max_delay_ms: 30,
+        }
+    }
+}
+
+/// Shared, thread-safe chaos roller.
+#[derive(Debug)]
+pub struct Chaos {
+    config: ChaosConfig,
+    state: AtomicU64,
+}
+
+impl Chaos {
+    /// Creates the roller from its config.
+    pub fn new(config: ChaosConfig) -> Chaos {
+        Chaos {
+            config,
+            // A zero seed would still work, but mix in a constant so the
+            // first rolls differ across nearby seeds.
+            state: AtomicU64::new(config.seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The config this roller was built from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// One LCG step (Knuth's MMIX constants); thread-safe and deterministic
+    /// up to thread interleaving.
+    fn roll(&self) -> u64 {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let next = cur
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match self.state.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn hit(&self, ppm: u32) -> bool {
+        ppm > 0 && (self.roll() >> 16) % 1_000_000 < u64::from(ppm)
+    }
+
+    /// Should this solve panic inside the isolation envelope?
+    pub fn inject_panic(&self) -> bool {
+        self.hit(self.config.panic_ppm)
+    }
+
+    /// Should this worker die between requests?
+    pub fn inject_worker_kill(&self) -> bool {
+        self.hit(self.config.kill_worker_ppm)
+    }
+
+    /// Should this freshly admitted request be cancelled?
+    pub fn inject_cancel(&self) -> bool {
+        self.hit(self.config.cancel_ppm)
+    }
+
+    /// Delay to impose before a solve starts, if any.
+    pub fn inject_delay(&self) -> Option<std::time::Duration> {
+        if self.hit(self.config.delay_ppm) && self.config.max_delay_ms > 0 {
+            Some(std::time::Duration::from_millis(
+                self.roll() % (self.config.max_delay_ms + 1),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Chaos::new(ChaosConfig::from_seed(42));
+        let b = Chaos::new(ChaosConfig::from_seed(42));
+        let seq_a: Vec<bool> = (0..64).map(|_| a.inject_panic()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.inject_panic()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&x| x), "150000 ppm must hit in 64 rolls");
+        assert!(!seq_a.iter().all(|&x| x), "and must also miss");
+    }
+
+    #[test]
+    fn zero_ppm_never_fires() {
+        let chaos = Chaos::new(ChaosConfig {
+            seed: 7,
+            panic_ppm: 0,
+            kill_worker_ppm: 0,
+            cancel_ppm: 0,
+            delay_ppm: 0,
+            max_delay_ms: 10,
+        });
+        for _ in 0..256 {
+            assert!(!chaos.inject_panic());
+            assert!(!chaos.inject_worker_kill());
+            assert!(!chaos.inject_cancel());
+            assert!(chaos.inject_delay().is_none());
+        }
+    }
+
+    #[test]
+    fn delays_respect_the_cap() {
+        let chaos = Chaos::new(ChaosConfig {
+            seed: 9,
+            panic_ppm: 0,
+            kill_worker_ppm: 0,
+            cancel_ppm: 0,
+            delay_ppm: 1_000_000,
+            max_delay_ms: 5,
+        });
+        for _ in 0..128 {
+            let d = chaos.inject_delay().expect("always delayed at 100%");
+            assert!(d.as_millis() <= 5);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthesis as a service: the `dryadsynthd` daemon's protocol, scheduler,
+//! and chaos harness.
+//!
+//! The daemon multiplexes concurrent JSONL solve requests onto a bounded
+//! worker pool built on [`Synthesizer::solve`](crate::Synthesizer::solve).
+//! [`protocol`] defines the wire format, [`Scheduler`] enforces the
+//! service invariants (exactly-once responses, panic isolation, bounded
+//! admission, fair aging, graceful drain), and [`chaos`] provides the
+//! seeded fault injection the integration harness runs under. See
+//! `DESIGN.md` section 10 for the architecture.
+
+pub mod chaos;
+pub mod protocol;
+mod scheduler;
+
+pub use chaos::{Chaos, ChaosConfig};
+pub use protocol::{
+    DrainSummary, OutcomeResponse, Request, Response, SolveJob, StatsLite, StatsReply,
+};
+pub use scheduler::{DiagSink, Responder, Scheduler, SchedulerConfig};

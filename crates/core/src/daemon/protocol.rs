@@ -1,0 +1,419 @@
+//! The `dryadsynthd` wire protocol: newline-delimited JSON, one request or
+//! response per line.
+//!
+//! Requests (one JSON object per line):
+//!
+//! * solve — `{"id": "r1", "sygus": "(set-logic LIA)…", "timeout_ms": 5000,
+//!   "engine": "coop", "certify": false}` (`timeout_ms`, `engine` and
+//!   `certify` optional)
+//! * cancel — `{"cancel": "r1"}` (answered through the original request:
+//!   its terminal response becomes `"cancelled"`)
+//! * stats — `{"stats": true}` (immediate introspection snapshot)
+//! * shutdown — `{"shutdown": true}` (drain and exit; same as EOF/SIGTERM)
+//!
+//! Every admitted solve id receives **exactly one** terminal response:
+//! `{"id", "outcome", …}` with `outcome` one of `solved`, `timeout`,
+//! `resource-exhausted`, `gave-up`, `cancelled`, `overloaded`,
+//! `engine_fault` or `error`. Malformed lines that carry no usable id are
+//! answered with `{"error": …}` and the daemon keeps serving.
+
+use sygus_ast::Json;
+
+/// A solve submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveJob {
+    /// Client-chosen request id; echoed on the terminal response.
+    pub id: String,
+    /// The SyGuS v1 problem text, inline.
+    pub sygus: String,
+    /// Wall-clock window in milliseconds (admission to terminal response).
+    /// `None` uses the daemon's default; values above the daemon's maximum
+    /// are clamped.
+    pub timeout_ms: Option<u64>,
+    /// Engine selector: `coop` (default), `enum`, `deduce`, or `bottomup`.
+    pub engine: Option<String>,
+    /// Re-validate solved answers end to end before reporting them.
+    pub certify: bool,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a solve job.
+    Solve(SolveJob),
+    /// Cancel a queued or in-flight job by id.
+    Cancel(String),
+    /// Ask for an introspection snapshot.
+    Stats,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Errors describe what was malformed; the
+    /// daemon turns them into `{"error": …}` responses.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request must be a JSON object".to_owned());
+        }
+        if let Some(id) = v.get("cancel") {
+            let id = id.as_str().ok_or("`cancel` must be a string id")?;
+            return Ok(Request::Cancel(id.to_owned()));
+        }
+        if v.get("stats").is_some() {
+            return Ok(Request::Stats);
+        }
+        if v.get("shutdown").is_some() {
+            return Ok(Request::Shutdown);
+        }
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing string `id`")?;
+        let sygus = v
+            .get("sygus")
+            .and_then(Json::as_str)
+            .ok_or("missing string `sygus`")?;
+        let timeout_ms = match v.get("timeout_ms") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(
+                t.as_i64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or("`timeout_ms` must be a positive integer")? as u64,
+            ),
+        };
+        let engine = match v.get("engine") {
+            None | Some(Json::Null) => None,
+            Some(e) => Some(
+                e.as_str()
+                    .ok_or("`engine` must be a string")?
+                    .to_owned(),
+            ),
+        };
+        let certify = match v.get("certify") {
+            None | Some(Json::Null) => false,
+            Some(c) => c.as_bool().ok_or("`certify` must be a boolean")?,
+        };
+        Ok(Request::Solve(SolveJob {
+            id: id.to_owned(),
+            sygus: sygus.to_owned(),
+            timeout_ms,
+            engine,
+            certify,
+        }))
+    }
+
+    /// The request as a protocol line (for harnesses and round-trip tests).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Solve(job) => {
+                let mut fields = vec![
+                    ("id", Json::str(&job.id)),
+                    ("sygus", Json::str(&job.sygus)),
+                ];
+                if let Some(ms) = job.timeout_ms {
+                    fields.push(("timeout_ms", Json::from(ms)));
+                }
+                if let Some(engine) = &job.engine {
+                    fields.push(("engine", Json::str(engine)));
+                }
+                if job.certify {
+                    fields.push(("certify", Json::from(true)));
+                }
+                Json::obj(fields)
+            }
+            Request::Cancel(id) => Json::obj([("cancel", Json::str(id))]),
+            Request::Stats => Json::obj([("stats", Json::from(true))]),
+            Request::Shutdown => Json::obj([("shutdown", Json::from(true))]),
+        }
+    }
+}
+
+/// Compact per-run statistics attached to terminal solve responses.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsLite {
+    /// Wall-clock seconds spent solving.
+    pub seconds: f64,
+    /// Fuel units charged under the request budget.
+    pub fuel_spent: u64,
+    /// SMT queries issued under the request budget.
+    pub smt_queries: u64,
+    /// Engine panics contained during the run.
+    pub faults: u64,
+}
+
+impl StatsLite {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seconds", Json::from(self.seconds)),
+            ("fuel_spent", Json::from(self.fuel_spent)),
+            ("smt_queries", Json::from(self.smt_queries)),
+            ("faults", Json::from(self.faults)),
+        ])
+    }
+
+    fn parse(v: &Json) -> StatsLite {
+        StatsLite {
+            seconds: v.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            fuel_spent: v.get("fuel_spent").and_then(Json::as_i64).unwrap_or(0) as u64,
+            smt_queries: v.get("smt_queries").and_then(Json::as_i64).unwrap_or(0) as u64,
+            faults: v.get("faults").and_then(Json::as_i64).unwrap_or(0) as u64,
+        }
+    }
+}
+
+/// The terminal response for one solve id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OutcomeResponse {
+    /// The request id this answers.
+    pub id: String,
+    /// `solved`, `timeout`, `resource-exhausted`, `gave-up`, `cancelled`,
+    /// `overloaded`, `engine_fault`, or `error`.
+    pub outcome: String,
+    /// The synthesized term (only with `solved`).
+    pub solution: Option<String>,
+    /// Certification verdict (only when certification was requested and a
+    /// solution was produced).
+    pub certified: Option<bool>,
+    /// Human-readable detail for non-`solved` outcomes.
+    pub reason: Option<String>,
+    /// Shed hint: come back after this many milliseconds (only with
+    /// `overloaded`).
+    pub retry_after_ms: Option<u64>,
+    /// Per-run statistics (absent for responses that never ran an engine).
+    pub stats: Option<StatsLite>,
+}
+
+/// Introspection snapshot answered to `{"stats": true}`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReply {
+    /// Requests waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Ids currently being solved, in no particular order.
+    pub in_flight: Vec<String>,
+    /// Worker threads configured.
+    pub workers: u64,
+    /// Solve requests admitted so far (queued or started).
+    pub accepted: u64,
+    /// Terminal responses sent for admitted requests.
+    pub completed: u64,
+    /// Requests shed by admission control (`overloaded`).
+    pub shed: u64,
+    /// Requests that died to a contained engine panic (`engine_fault`).
+    pub faulted: u64,
+    /// Requests answered `cancelled`.
+    pub cancelled: u64,
+    /// Worker threads recycled after dying unexpectedly.
+    pub recycled: u64,
+    /// Global symbol-interner gauge: distinct symbols interned.
+    pub interner_symbols: u64,
+    /// Global symbol-interner gauge: leaked name bytes.
+    pub interner_bytes: u64,
+}
+
+impl StatsReply {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "stats",
+            Json::obj([
+                ("queue_depth", Json::from(self.queue_depth)),
+                (
+                    "in_flight",
+                    Json::Arr(self.in_flight.iter().map(Json::str).collect()),
+                ),
+                ("workers", Json::from(self.workers)),
+                ("accepted", Json::from(self.accepted)),
+                ("completed", Json::from(self.completed)),
+                ("shed", Json::from(self.shed)),
+                ("faulted", Json::from(self.faulted)),
+                ("cancelled", Json::from(self.cancelled)),
+                ("recycled", Json::from(self.recycled)),
+                ("interner.symbols", Json::from(self.interner_symbols)),
+                ("interner.bytes", Json::from(self.interner_bytes)),
+            ]),
+        )])
+    }
+
+    fn parse(v: &Json) -> StatsReply {
+        let n = |k: &str| v.get(k).and_then(Json::as_i64).unwrap_or(0) as u64;
+        StatsReply {
+            queue_depth: n("queue_depth"),
+            in_flight: v
+                .get("in_flight")
+                .and_then(Json::as_arr)
+                .map(|ids| {
+                    ids.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            workers: n("workers"),
+            accepted: n("accepted"),
+            completed: n("completed"),
+            shed: n("shed"),
+            faulted: n("faulted"),
+            cancelled: n("cancelled"),
+            recycled: n("recycled"),
+            interner_symbols: n("interner.symbols"),
+            interner_bytes: n("interner.bytes"),
+        }
+    }
+}
+
+/// The final summary printed after a drain.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DrainSummary {
+    /// Solve requests admitted over the daemon's lifetime.
+    pub accepted: u64,
+    /// Terminal responses sent for admitted requests.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Contained engine faults.
+    pub faulted: u64,
+    /// Requests answered `cancelled` (including queue flush at shutdown).
+    pub cancelled: u64,
+    /// Workers recycled after dying unexpectedly.
+    pub recycled: u64,
+    /// Whether every worker exited within the drain deadline.
+    pub clean: bool,
+}
+
+impl DrainSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "shutdown",
+            Json::obj([
+                ("accepted", Json::from(self.accepted)),
+                ("completed", Json::from(self.completed)),
+                ("shed", Json::from(self.shed)),
+                ("faulted", Json::from(self.faulted)),
+                ("cancelled", Json::from(self.cancelled)),
+                ("recycled", Json::from(self.recycled)),
+                ("clean", Json::from(self.clean)),
+            ]),
+        )])
+    }
+
+    fn parse(v: &Json) -> DrainSummary {
+        let n = |k: &str| v.get(k).and_then(Json::as_i64).unwrap_or(0) as u64;
+        DrainSummary {
+            accepted: n("accepted"),
+            completed: n("completed"),
+            shed: n("shed"),
+            faulted: n("faulted"),
+            cancelled: n("cancelled"),
+            recycled: n("recycled"),
+            clean: v.get("clean").and_then(Json::as_bool).unwrap_or(false),
+        }
+    }
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The terminal answer for a solve id.
+    Outcome(OutcomeResponse),
+    /// A protocol-level error: malformed line, duplicate id, unknown
+    /// cancel target. Carries the offending id when one was readable.
+    Error {
+        /// The offending request id, when the line carried one.
+        id: Option<String>,
+        /// What was wrong.
+        message: String,
+    },
+    /// Introspection snapshot.
+    Stats(StatsReply),
+    /// Post-drain summary (the daemon's last line).
+    Shutdown(DrainSummary),
+}
+
+impl Response {
+    /// The response as a protocol line.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Outcome(o) => {
+                let mut fields = vec![
+                    ("id", Json::str(&o.id)),
+                    ("outcome", Json::str(&o.outcome)),
+                ];
+                if let Some(s) = &o.solution {
+                    fields.push(("solution", Json::str(s)));
+                }
+                if let Some(c) = o.certified {
+                    fields.push(("certified", Json::from(c)));
+                }
+                if let Some(r) = &o.reason {
+                    fields.push(("reason", Json::str(r)));
+                }
+                if let Some(ms) = o.retry_after_ms {
+                    fields.push(("retry_after_ms", Json::from(ms)));
+                }
+                if let Some(stats) = &o.stats {
+                    fields.push(("stats", stats.to_json()));
+                }
+                Json::obj(fields)
+            }
+            Response::Error { id, message } => {
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id", Json::str(id)));
+                }
+                fields.push(("error", Json::str(message)));
+                Json::obj(fields)
+            }
+            Response::Stats(s) => s.to_json(),
+            Response::Shutdown(s) => s.to_json(),
+        }
+    }
+
+    /// Parses a response line back (for harnesses and round-trip tests).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        if let Some(message) = v.get("error").and_then(Json::as_str) {
+            return Ok(Response::Error {
+                id: v.get("id").and_then(Json::as_str).map(str::to_owned),
+                message: message.to_owned(),
+            });
+        }
+        if let Some(outcome) = v.get("outcome").and_then(Json::as_str) {
+            let id = v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("outcome response missing `id`")?;
+            return Ok(Response::Outcome(OutcomeResponse {
+                id: id.to_owned(),
+                outcome: outcome.to_owned(),
+                solution: v
+                    .get("solution")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                certified: v.get("certified").and_then(Json::as_bool),
+                reason: v.get("reason").and_then(Json::as_str).map(str::to_owned),
+                retry_after_ms: v
+                    .get("retry_after_ms")
+                    .and_then(Json::as_i64)
+                    .map(|ms| ms as u64),
+                stats: v.get("stats").map(StatsLite::parse),
+            }));
+        }
+        if let Some(stats) = v.get("stats") {
+            return Ok(Response::Stats(StatsReply::parse(stats)));
+        }
+        if let Some(summary) = v.get("shutdown") {
+            return Ok(Response::Shutdown(DrainSummary::parse(summary)));
+        }
+        Err("unrecognized response shape".to_owned())
+    }
+
+    /// The id this response answers, when it has one.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Response::Outcome(o) => Some(&o.id),
+            Response::Error { id, .. } => id.as_deref(),
+            _ => None,
+        }
+    }
+}

@@ -6,6 +6,7 @@
 mod baselines;
 mod certify;
 mod cooperative;
+pub mod daemon;
 mod deduction;
 mod divide;
 mod encode_clia;

@@ -143,7 +143,10 @@ pub trait Synthesizer: Send + Sync {
     fn solve(&self, request: &SolveRequest<'_>) -> SolveReport;
 
     /// Attempts `problem` within the wall-clock budget.
-    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
+    #[deprecated(
+        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
+                no internal callers left and will be removed in 0.2"
+    )]
     fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
         self.solve(&SolveRequest::new(problem).with_timeout(timeout))
             .outcome
@@ -151,7 +154,10 @@ pub trait Synthesizer: Send + Sync {
 
     /// Attempts `problem` under an explicit [`Budget`], reporting run
     /// statistics.
-    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
+    #[deprecated(
+        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
+                no internal callers left and will be removed in 0.2"
+    )]
     fn solve_governed_problem(
         &self,
         problem: &Problem,
@@ -164,7 +170,10 @@ pub trait Synthesizer: Send + Sync {
 
 /// The historical name of [`Synthesizer`]; every `Synthesizer` implements
 /// it automatically.
-#[deprecated(note = "use the `Synthesizer` trait")]
+#[deprecated(
+    note = "use the `Synthesizer` trait; this alias has no internal callers \
+            left and will be removed in 0.2"
+)]
 pub trait SygusSolver: Synthesizer {}
 
 #[allow(deprecated)]
@@ -326,7 +335,10 @@ impl DryadSynth {
     }
 
     /// Solves and also reports cooperative-run statistics.
-    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
+    #[deprecated(
+        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
+                no internal callers left and will be removed in 0.2"
+    )]
     pub fn solve_with_stats(
         &self,
         problem: &Problem,
@@ -336,7 +348,10 @@ impl DryadSynth {
     }
 
     /// Solves under an explicit [`Budget`].
-    #[deprecated(note = "use `Synthesizer::solve` with a `SolveRequest`")]
+    #[deprecated(
+        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
+                no internal callers left and will be removed in 0.2"
+    )]
     pub fn solve_governed(&self, problem: &Problem, budget: Budget) -> (SynthOutcome, CoopStats) {
         self.run_governed(problem, budget)
     }

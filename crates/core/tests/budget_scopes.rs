@@ -1,0 +1,105 @@
+//! Parent/child budget scoping under the service pattern: a daemon holds
+//! one long-lived root budget and runs every request on a child scope.
+//! Cancelling the parent must stop children promptly in every engine —
+//! reported as `ResourceExhausted` (cancellation), never as a hang and
+//! never silently swallowed.
+
+use dryadsynth::{
+    Budget, DryadSynth, DryadSynthConfig, Engine, SolveRequest, SynthOutcome, Synthesizer,
+};
+use std::time::{Duration, Instant};
+use sygus_ast::Tracer;
+use sygus_parser::parse_problem;
+
+const MAX2: &str = "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+    (declare-var x Int)(declare-var y Int)\
+    (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+    (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
+
+const MAX5: &str = "(set-logic LIA)(synth-fun f5 ((x1 Int) (x2 Int) (x3 Int) (x4 Int) (x5 Int)) Int)\
+    (declare-var x1 Int)(declare-var x2 Int)(declare-var x3 Int)(declare-var x4 Int)(declare-var x5 Int)\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x1))(constraint (>= (f5 x1 x2 x3 x4 x5) x2))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x3))(constraint (>= (f5 x1 x2 x3 x4 x5) x4))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x5))\
+    (constraint (or (= (f5 x1 x2 x3 x4 x5) x1) (= (f5 x1 x2 x3 x4 x5) x2) \
+                    (= (f5 x1 x2 x3 x4 x5) x3) (= (f5 x1 x2 x3 x4 x5) x4) \
+                    (= (f5 x1 x2 x3 x4 x5) x5)))(check-synth)";
+
+fn solver(engine: Engine) -> DryadSynth {
+    DryadSynth::new(DryadSynthConfig {
+        engine,
+        threads: 1,
+        ..DryadSynthConfig::default()
+    })
+}
+
+#[test]
+fn parent_cancellation_reaches_children_in_every_engine() {
+    // The parent is cancelled before the solve starts: each engine must
+    // observe it through the child scope immediately and report
+    // ResourceExhausted — this is the daemon-root-cancels-everything path.
+    let p = parse_problem(MAX2).unwrap();
+    for engine in [
+        Engine::Cooperative,
+        Engine::HeightEnumOnly,
+        Engine::DeductionOnly,
+    ] {
+        let parent = Budget::from_timeout(Duration::from_secs(60));
+        let child = parent.child_with(
+            Some(Instant::now() + Duration::from_secs(30)),
+            Some(Tracer::metrics_only()),
+        );
+        parent.cancel();
+        let started = Instant::now();
+        let outcome = solver(engine)
+            .solve(&SolveRequest::new(&p).with_budget(child))
+            .outcome;
+        match outcome {
+            SynthOutcome::ResourceExhausted(reason) => {
+                assert!(reason.contains("cancel"), "{engine:?}: {reason}")
+            }
+            other => panic!("{engine:?}: expected ResourceExhausted, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "{engine:?}: cancellation not prompt: {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn parent_cancellation_mid_solve_interrupts_a_grinding_child() {
+    // Enumeration-only on max-of-5 grinds for its whole window; cancelling
+    // the *parent* mid-solve must interrupt the child promptly, not hang
+    // until the 60 s deadline.
+    let p = parse_problem(MAX5).unwrap();
+    let parent = Budget::from_timeout(Duration::from_secs(60));
+    let child = parent.child_with(None, Some(Tracer::metrics_only()));
+    let canceller = {
+        let parent = parent.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            parent.cancel();
+        })
+    };
+    let started = Instant::now();
+    let outcome = solver(Engine::HeightEnumOnly)
+        .solve(&SolveRequest::new(&p).with_budget(child.clone()))
+        .outcome;
+    canceller.join().unwrap();
+    match outcome {
+        SynthOutcome::ResourceExhausted(reason) => {
+            assert!(reason.contains("cancel"), "{reason}")
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "cancellation not prompt: {:?}",
+        started.elapsed()
+    );
+    // Charges made under the child scope propagated to the parent.
+    assert!(parent.fuel_spent() >= child.fuel_spent());
+    assert!(parent.fuel_spent() > 0, "the grind charged fuel upward");
+}

@@ -1,0 +1,193 @@
+//! The daemon's chaos harness: under seeded fault injection (contained
+//! worker panics, worker deaths between requests, random cancels, delays)
+//! plus a hostile request mix (malformed lines, unparseable problems,
+//! deliberate sheds, explicit cancels), the scheduler must answer every
+//! submitted id exactly once, never deadlock, and drain cleanly.
+
+use dryadsynth::daemon::{
+    ChaosConfig, Request, Responder, Response, Scheduler, SchedulerConfig, SolveJob,
+};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const LINEAR: &str = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+    (constraint (= (f x) (+ x 1)))(check-synth)";
+
+const MAX2: &str = "(set-logic LIA)(synth-fun max2 ((x Int) (y Int)) Int)\
+    (declare-var x Int)(declare-var y Int)\
+    (constraint (>= (max2 x y) x))(constraint (>= (max2 x y) y))\
+    (constraint (or (= (max2 x y) x) (= (max2 x y) y)))(check-synth)";
+
+/// Unsatisfiable: the engines give up or exhaust on it quickly.
+const UNSAT: &str = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+    (constraint (>= (f x) (+ x 1)))(constraint (<= (f x) x))(check-synth)";
+
+/// Max-of-5 under the enumeration-only engine grinds to its deadline.
+const MAX5: &str = "(set-logic LIA)(synth-fun f5 ((x1 Int) (x2 Int) (x3 Int) (x4 Int) (x5 Int)) Int)\
+    (declare-var x1 Int)(declare-var x2 Int)(declare-var x3 Int)(declare-var x4 Int)(declare-var x5 Int)\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x1))(constraint (>= (f5 x1 x2 x3 x4 x5) x2))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x3))(constraint (>= (f5 x1 x2 x3 x4 x5) x4))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x5))\
+    (constraint (or (= (f5 x1 x2 x3 x4 x5) x1) (= (f5 x1 x2 x3 x4 x5) x2) \
+                    (= (f5 x1 x2 x3 x4 x5) x3) (= (f5 x1 x2 x3 x4 x5) x4) \
+                    (= (f5 x1 x2 x3 x4 x5) x5)))(check-synth)";
+
+const TERMINAL_OUTCOMES: &[&str] = &[
+    "solved",
+    "timeout",
+    "resource-exhausted",
+    "gave-up",
+    "cancelled",
+    "overloaded",
+    "engine_fault",
+    "error",
+];
+
+fn collector() -> (Responder, mpsc::Receiver<Response>) {
+    let (tx, rx) = mpsc::channel();
+    let tx = Arc::new(Mutex::new(tx));
+    let reply: Responder = Arc::new(move |r| {
+        let _ = tx.lock().unwrap().send(r);
+    });
+    (reply, rx)
+}
+
+fn solve_line(id: &str, sygus: &str, timeout_ms: u64, engine: Option<&str>) -> String {
+    Request::Solve(SolveJob {
+        id: id.to_owned(),
+        sygus: sygus.to_owned(),
+        timeout_ms: Some(timeout_ms),
+        engine: engine.map(str::to_owned),
+        certify: false,
+    })
+    .to_json()
+    .to_string()
+}
+
+#[test]
+fn every_submitted_id_is_answered_exactly_once_under_chaos() {
+    let started = Instant::now();
+    let scheduler = Scheduler::start(SchedulerConfig {
+        workers: 3,
+        queue_cap: 6,
+        default_timeout: Duration::from_secs(5),
+        max_timeout: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(20),
+        chaos: Some(ChaosConfig::from_seed(0xD15EA5E)),
+        ..SchedulerConfig::default()
+    });
+    let (reply, rx) = collector();
+
+    // 30 solve submissions with a hostile mix; every id must come back
+    // exactly once whatever the chaos schedule does.
+    let mut submitted = Vec::new();
+    for i in 0..30 {
+        let id = format!("job{i}");
+        let line = match i % 6 {
+            0 => solve_line(&id, MAX2, 5_000, None),
+            1 => solve_line(&id, LINEAR, 5_000, None),
+            2 => solve_line(&id, UNSAT, 5_000, None),
+            3 => solve_line(&id, "(this is not sygus", 5_000, None),
+            4 => solve_line(&id, MAX5, 1_000, Some("enum")), // grinds, then times out
+            _ => solve_line(&id, LINEAR, 5_000, Some("deduce")),
+        };
+        assert!(!scheduler.handle_line(&line, &reply));
+        submitted.push(id);
+        // Interleave protocol noise: explicit cancels, stats probes, and
+        // malformed lines must not disturb the exactly-once invariant.
+        if i == 7 {
+            assert!(!scheduler.handle_line(r#"{"cancel": "job4"}"#, &reply));
+        }
+        if i == 13 {
+            assert!(!scheduler.handle_line(r#"{"stats": true}"#, &reply));
+        }
+        if i == 19 {
+            assert!(!scheduler.handle_line("%%% not json %%%", &reply));
+        }
+    }
+
+    let summary = scheduler.drain();
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "harness must never wedge: {:?}",
+        started.elapsed()
+    );
+
+    let mut outcome_count: HashMap<String, Vec<String>> = HashMap::new();
+    let mut stats_replies = 0u32;
+    let mut anonymous_errors = 0u32;
+    while let Ok(response) = rx.try_recv() {
+        match response {
+            Response::Outcome(o) => {
+                assert!(
+                    TERMINAL_OUTCOMES.contains(&o.outcome.as_str()),
+                    "unknown outcome {:?}",
+                    o.outcome
+                );
+                outcome_count.entry(o.id).or_default().push(o.outcome);
+            }
+            Response::Stats(_) => stats_replies += 1,
+            Response::Error { id: None, .. } => anonymous_errors += 1,
+            // An explicit cancel that raced completion may surface as an
+            // `unknown id` error; that is not a terminal response.
+            Response::Error { id: Some(_), .. } => {}
+            Response::Shutdown(_) => {}
+        }
+    }
+
+    for id in &submitted {
+        let outcomes = outcome_count
+            .get(id)
+            .unwrap_or_else(|| panic!("{id} never answered"));
+        assert_eq!(
+            outcomes.len(),
+            1,
+            "{id} must be answered exactly once, got {outcomes:?}"
+        );
+    }
+    assert_eq!(outcome_count.len(), submitted.len(), "no phantom ids");
+    assert_eq!(stats_replies, 1);
+    assert_eq!(anonymous_errors, 1, "the malformed line is answered once");
+
+    // Conservation: every submission was either admitted or shed, and
+    // every admitted request completed.
+    assert_eq!(summary.accepted + summary.shed, 30);
+    assert_eq!(summary.completed, summary.accepted);
+}
+
+#[test]
+fn chaos_free_runs_report_no_faults_or_recycles() {
+    // Control experiment: with chaos off, the same mix produces no
+    // engine_fault responses and never recycles a worker.
+    let scheduler = Scheduler::start(SchedulerConfig {
+        workers: 2,
+        queue_cap: 16,
+        default_timeout: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(20),
+        ..SchedulerConfig::default()
+    });
+    let (reply, rx) = collector();
+    for i in 0..8 {
+        let id = format!("calm{i}");
+        let line = match i % 2 {
+            0 => solve_line(&id, MAX2, 10_000, None),
+            _ => solve_line(&id, LINEAR, 10_000, None),
+        };
+        scheduler.handle_line(&line, &reply);
+    }
+    let summary = scheduler.drain();
+    assert!(summary.clean);
+    assert_eq!(summary.accepted, 8);
+    assert_eq!(summary.completed, 8);
+    assert_eq!(summary.faulted, 0);
+    assert_eq!(summary.recycled, 0);
+    assert_eq!(summary.shed, 0);
+    let mut solved = 0;
+    while let Ok(Response::Outcome(o)) = rx.try_recv() {
+        assert_eq!(o.outcome, "solved", "{o:?}");
+        solved += 1;
+    }
+    assert_eq!(solved, 8);
+}

@@ -1,0 +1,353 @@
+//! Protocol-level tests for the `dryadsynthd` scheduler: every request and
+//! response variant round-trips through the JSON layer, malformed input is
+//! answered without killing the service, and the admission/cancel/drain
+//! state machine behaves deterministically.
+
+use dryadsynth::daemon::{
+    DrainSummary, OutcomeResponse, Request, Responder, Response, Scheduler, SchedulerConfig,
+    SolveJob, StatsLite, StatsReply,
+};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const LINEAR: &str = "(set-logic LIA)(synth-fun f ((x Int)) Int)(declare-var x Int)\
+    (constraint (= (f x) (+ x 1)))(check-synth)";
+
+/// Max-of-5 under the enumeration-only engine: grinds until its deadline,
+/// polling the budget — the deterministic "long-running request".
+const MAX5: &str = "(set-logic LIA)(synth-fun f5 ((x1 Int) (x2 Int) (x3 Int) (x4 Int) (x5 Int)) Int)\
+    (declare-var x1 Int)(declare-var x2 Int)(declare-var x3 Int)(declare-var x4 Int)(declare-var x5 Int)\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x1))(constraint (>= (f5 x1 x2 x3 x4 x5) x2))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x3))(constraint (>= (f5 x1 x2 x3 x4 x5) x4))\
+    (constraint (>= (f5 x1 x2 x3 x4 x5) x5))\
+    (constraint (or (= (f5 x1 x2 x3 x4 x5) x1) (= (f5 x1 x2 x3 x4 x5) x2) \
+                    (= (f5 x1 x2 x3 x4 x5) x3) (= (f5 x1 x2 x3 x4 x5) x4) \
+                    (= (f5 x1 x2 x3 x4 x5) x5)))(check-synth)";
+
+fn collector() -> (Responder, mpsc::Receiver<Response>) {
+    let (tx, rx) = mpsc::channel();
+    let tx = Arc::new(Mutex::new(tx));
+    let reply: Responder = Arc::new(move |r| {
+        let _ = tx.lock().unwrap().send(r);
+    });
+    (reply, rx)
+}
+
+fn grind_line(id: &str, timeout_ms: u64) -> String {
+    Request::Solve(SolveJob {
+        id: id.to_owned(),
+        sygus: MAX5.to_owned(),
+        timeout_ms: Some(timeout_ms),
+        engine: Some("enum".to_owned()),
+        certify: false,
+    })
+    .to_json()
+    .to_string()
+}
+
+fn wait_in_flight(scheduler: &Scheduler, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if scheduler.stats().in_flight.iter().any(|x| x == id) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("request {id} never became in-flight");
+}
+
+fn small_config() -> SchedulerConfig {
+    SchedulerConfig {
+        workers: 1,
+        queue_cap: 1,
+        default_timeout: Duration::from_secs(10),
+        max_timeout: Duration::from_secs(30),
+        drain_deadline: Duration::from_secs(10),
+        ..SchedulerConfig::default()
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let variants = vec![
+        Request::Solve(SolveJob {
+            id: "r1".into(),
+            sygus: "(set-logic LIA)\"tricky\\esc\"".into(),
+            timeout_ms: Some(1500),
+            engine: Some("enum".into()),
+            certify: true,
+        }),
+        Request::Solve(SolveJob {
+            id: "bare".into(),
+            sygus: LINEAR.into(),
+            timeout_ms: None,
+            engine: None,
+            certify: false,
+        }),
+        Request::Cancel("r1".into()),
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for request in variants {
+        let line = request.to_json().to_string();
+        let back = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back, request, "{line}");
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let variants = vec![
+        Response::Outcome(OutcomeResponse {
+            id: "r1".into(),
+            outcome: "solved".into(),
+            solution: Some("(+ x 1)".into()),
+            certified: Some(true),
+            reason: None,
+            retry_after_ms: None,
+            stats: Some(StatsLite {
+                seconds: 0.25,
+                fuel_spent: 12,
+                smt_queries: 3,
+                faults: 0,
+            }),
+        }),
+        Response::Outcome(OutcomeResponse {
+            id: "r2".into(),
+            outcome: "overloaded".into(),
+            reason: Some("queue full (3 waiting)".into()),
+            retry_after_ms: Some(750),
+            ..OutcomeResponse::default()
+        }),
+        Response::Outcome(OutcomeResponse {
+            id: "r3".into(),
+            outcome: "engine_fault".into(),
+            reason: Some("injected fault at height 2".into()),
+            ..OutcomeResponse::default()
+        }),
+        Response::Error {
+            id: None,
+            message: "bad JSON: bad literal at byte 0".into(),
+        },
+        Response::Error {
+            id: Some("r4".into()),
+            message: "duplicate id".into(),
+        },
+        Response::Stats(StatsReply {
+            queue_depth: 2,
+            in_flight: vec!["a".into(), "b".into()],
+            workers: 4,
+            accepted: 10,
+            completed: 7,
+            shed: 1,
+            faulted: 2,
+            cancelled: 3,
+            recycled: 1,
+            interner_symbols: 40,
+            interner_bytes: 160,
+        }),
+        Response::Shutdown(DrainSummary {
+            accepted: 10,
+            completed: 10,
+            shed: 1,
+            faulted: 2,
+            cancelled: 3,
+            recycled: 1,
+            clean: true,
+        }),
+    ];
+    for response in variants {
+        let line = response.to_json().to_string();
+        let back = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back, response, "{line}");
+    }
+}
+
+#[test]
+fn malformed_lines_are_answered_and_service_continues() {
+    let scheduler = Scheduler::start(small_config());
+    let (reply, rx) = collector();
+    // Not JSON at all: error without an id.
+    assert!(!scheduler.handle_line("this is not json", &reply));
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Error { id: None, message } => assert!(message.contains("bad JSON"), "{message}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Valid JSON but missing `sygus`: the id is echoed back.
+    assert!(!scheduler.handle_line(r#"{"id": "r9"}"#, &reply));
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Error { id, message } => {
+            assert_eq!(id.as_deref(), Some("r9"));
+            assert!(message.contains("sygus"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Blank lines are ignored entirely.
+    assert!(!scheduler.handle_line("   ", &reply));
+    // The service still works afterwards.
+    assert!(!scheduler.handle_line(r#"{"stats": true}"#, &reply));
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        Response::Stats(_)
+    ));
+    // And a real solve still solves.
+    let line = Request::Solve(SolveJob {
+        id: "ok".into(),
+        sygus: LINEAR.into(),
+        timeout_ms: Some(20_000),
+        engine: None,
+        certify: false,
+    })
+    .to_json()
+    .to_string();
+    assert!(!scheduler.handle_line(&line, &reply));
+    match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+        Response::Outcome(o) => {
+            assert_eq!(o.outcome, "solved");
+            assert_eq!(o.solution.as_deref(), Some("(+ x 1)"));
+        }
+        other => panic!("expected solved, got {other:?}"),
+    }
+    let summary = scheduler.drain();
+    assert!(summary.clean);
+    assert_eq!(summary.accepted, 1);
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
+fn shutdown_line_is_reported_to_the_caller() {
+    let scheduler = Scheduler::start(small_config());
+    let (reply, _rx) = collector();
+    assert!(scheduler.handle_line(r#"{"shutdown": true}"#, &reply));
+    let summary = scheduler.drain();
+    assert!(summary.clean);
+}
+
+#[test]
+fn cancel_of_unknown_id_is_an_error_on_the_cancellers_connection() {
+    let scheduler = Scheduler::start(small_config());
+    let (reply, rx) = collector();
+    assert!(!scheduler.handle_line(r#"{"cancel": "ghost"}"#, &reply));
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Error { id, message } => {
+            assert_eq!(id.as_deref(), Some("ghost"));
+            assert!(message.contains("unknown"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    scheduler.drain();
+}
+
+#[test]
+fn in_flight_cancellation_is_honored_mid_solve() {
+    let scheduler = Scheduler::start(small_config());
+    let (reply, rx) = collector();
+    scheduler.handle_line(&grind_line("grind", 60_000), &reply);
+    wait_in_flight(&scheduler, "grind");
+    let started = Instant::now();
+    scheduler.handle_line(r#"{"cancel": "grind"}"#, &reply);
+    match rx.recv_timeout(Duration::from_secs(20)).unwrap() {
+        Response::Outcome(o) => {
+            assert_eq!(o.id, "grind");
+            assert_eq!(o.outcome, "cancelled", "{o:?}");
+        }
+        other => panic!("expected cancelled, got {other:?}"),
+    }
+    // Far below the request's 60 s window: the budget saw the cancel.
+    assert!(started.elapsed() < Duration::from_secs(15));
+    let summary = scheduler.drain();
+    assert!(summary.clean);
+    assert_eq!(summary.cancelled, 1);
+}
+
+#[test]
+fn queued_cancellation_answers_immediately_and_duplicates_are_rejected() {
+    let scheduler = Scheduler::start(small_config());
+    let (reply, rx) = collector();
+    // Occupy the single worker, then the single queue slot.
+    scheduler.handle_line(&grind_line("busy", 30_000), &reply);
+    wait_in_flight(&scheduler, "busy");
+    scheduler.handle_line(&grind_line("waiting", 30_000), &reply);
+    // Duplicate of an active id is rejected without a second admission.
+    scheduler.handle_line(&grind_line("waiting", 30_000), &reply);
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Error { id, message } => {
+            assert_eq!(id.as_deref(), Some("waiting"));
+            assert!(message.contains("duplicate"), "{message}");
+        }
+        other => panic!("expected duplicate error, got {other:?}"),
+    }
+    // The queue slot is full: the next submission is shed with a hint.
+    scheduler.handle_line(&grind_line("extra", 30_000), &reply);
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Outcome(o) => {
+            assert_eq!(o.id, "extra");
+            assert_eq!(o.outcome, "overloaded");
+            assert!(o.retry_after_ms.unwrap_or(0) > 0, "{o:?}");
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    // Cancelling the queued job answers instantly, without a worker.
+    scheduler.handle_line(r#"{"cancel": "waiting"}"#, &reply);
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Outcome(o) => {
+            assert_eq!(o.id, "waiting");
+            assert_eq!(o.outcome, "cancelled");
+        }
+        other => panic!("expected cancelled, got {other:?}"),
+    }
+    // Cancel the running job too so the drain is immediate.
+    scheduler.handle_line(r#"{"cancel": "busy"}"#, &reply);
+    match rx.recv_timeout(Duration::from_secs(20)).unwrap() {
+        Response::Outcome(o) => {
+            assert_eq!(o.id, "busy");
+            assert_eq!(o.outcome, "cancelled");
+        }
+        other => panic!("expected cancelled, got {other:?}"),
+    }
+    let summary = scheduler.drain();
+    assert!(summary.clean);
+    assert_eq!(summary.shed, 1);
+    assert_eq!(summary.accepted, 2); // busy + waiting; dup and extra rejected
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.cancelled, 2);
+}
+
+#[test]
+fn drain_lets_queued_work_finish() {
+    let scheduler = Scheduler::start(SchedulerConfig {
+        workers: 1,
+        queue_cap: 4,
+        drain_deadline: Duration::from_secs(30),
+        ..SchedulerConfig::default()
+    });
+    let (reply, rx) = collector();
+    // A short grind occupies the worker; a solvable job waits behind it.
+    scheduler.handle_line(&grind_line("short-grind", 1_500), &reply);
+    let line = Request::Solve(SolveJob {
+        id: "after".into(),
+        sygus: LINEAR.into(),
+        timeout_ms: Some(20_000),
+        engine: None,
+        certify: false,
+    })
+    .to_json()
+    .to_string();
+    scheduler.handle_line(&line, &reply);
+    let summary = scheduler.drain();
+    assert!(summary.clean, "{summary:?}");
+    assert_eq!(summary.accepted, 2);
+    assert_eq!(summary.completed, 2);
+    let mut outcomes = std::collections::HashMap::new();
+    while let Ok(r) = rx.try_recv() {
+        if let Response::Outcome(o) = r {
+            outcomes.insert(o.id, o.outcome);
+        }
+    }
+    assert_eq!(outcomes.get("after").map(String::as_str), Some("solved"));
+    assert_eq!(
+        outcomes.get("short-grind").map(String::as_str),
+        Some("timeout")
+    );
+}
