@@ -57,8 +57,9 @@ pub use grammar::{GTerm, Grammar, GrammarFlavor, Nonterminal, NonterminalId};
 pub use json::Json;
 pub use linear::{LinearAtom, LinearExpr, NonlinearError};
 pub use metrics::{
-    faster_bucketed, median, size_bucket, smaller_bucketed, solution_size, time_bucket,
-    SIZE_BUCKETS, TIME_BUCKETS,
+    faster_bucketed, latency_bucket, latency_bucket_bounds, median, size_bucket,
+    smaller_bucketed, solution_size, time_bucket, LatencyBankSnapshot, LatencyHistogram,
+    LatencySnapshot, LATENCY_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS,
 };
 pub use op::Op;
 pub use print::{display_define_fun, is_sexpr_op};
@@ -70,6 +71,7 @@ pub use sort::{Sort, SortError};
 pub use symbol::{interner_stats, InternerStats, Symbol};
 pub use term::{Definitions, EvalError, FuncDef, Term, TermNode};
 pub use trace::{
-    MetricsRegistry, MetricsSnapshot, PathStat, Stage, StageSnapshot, TraceEvent, Tracer,
+    EventRing, MetricsRegistry, MetricsSnapshot, PathStat, RingEntry, Stage, StageSnapshot,
+    TraceEvent, Tracer,
 };
 pub use value::{Env, Value};

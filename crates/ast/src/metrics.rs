@@ -1,8 +1,14 @@
 //! Solution-size and solving-time metrics, bucketed on the SyGuS
 //! competition's pseudo-logarithmic scales (used by Figure 11 and Table 1 of
-//! the paper).
+//! the paper), plus the fleet-telemetry [`LatencyHistogram`]: an HDR-style
+//! fixed-bucket log-linear histogram with percentile readout and a
+//! two-bank rolling window, used by the daemon for queue-wait / solve-wall
+//! tail latency.
 
 use crate::Term;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// The SyGuS competition time buckets, in seconds:
 /// `[0,1) [1,3) [3,10) [10,30) [30,100) [100,300) [300,1000) [1000,1800)`.
@@ -85,6 +91,293 @@ pub fn median(values: &mut [f64]) -> Option<f64> {
     })
 }
 
+/// Significant bits of precision kept by [`latency_bucket`]: every
+/// power-of-two range splits into `2^LATENCY_SUBBUCKET_BITS` equal-width
+/// sub-buckets, bounding the relative quantization error of a percentile
+/// readout at `2^-LATENCY_SUBBUCKET_BITS` (12.5%).
+pub const LATENCY_SUBBUCKET_BITS: u32 = 3;
+
+/// Number of fixed buckets in a [`LatencyHistogram`] bank. With 3
+/// significant bits this covers `[0, 2^34)` microseconds (~4.7 hours);
+/// larger values clamp into the final bucket.
+pub const LATENCY_BUCKETS: usize = 256;
+
+/// The log-linear bucket index of a latency in microseconds (HDR-histogram
+/// style): values below `2^LATENCY_SUBBUCKET_BITS` each get their own
+/// bucket, then every octave splits into `2^LATENCY_SUBBUCKET_BITS`
+/// equal-width sub-buckets. Monotone in `micros`; clamps to
+/// `LATENCY_BUCKETS - 1`.
+#[must_use]
+pub fn latency_bucket(micros: u64) -> usize {
+    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
+    if micros < sub {
+        return micros as usize;
+    }
+    let msb = 63 - u64::from(micros.leading_zeros());
+    let octave = msb - u64::from(LATENCY_SUBBUCKET_BITS) + 1;
+    let within = (micros >> (msb - u64::from(LATENCY_SUBBUCKET_BITS))) & (sub - 1);
+    ((octave * sub + within) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The half-open `[lower, upper)` range of microseconds covered by a
+/// bucket index (the final bucket's upper bound is `u64::MAX`).
+#[must_use]
+pub fn latency_bucket_bounds(bucket: usize) -> (u64, u64) {
+    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
+    let b = bucket as u64;
+    if b < sub {
+        return (b, b + 1);
+    }
+    if bucket == LATENCY_BUCKETS - 1 {
+        let (lower, _) = bounds_unclamped(b);
+        return (lower, u64::MAX);
+    }
+    bounds_unclamped(b)
+}
+
+fn bounds_unclamped(b: u64) -> (u64, u64) {
+    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
+    let octave = b / sub;
+    let within = b % sub;
+    let msb = octave + u64::from(LATENCY_SUBBUCKET_BITS) - 1;
+    let width = 1u64 << (msb - u64::from(LATENCY_SUBBUCKET_BITS));
+    let lower = (1u64 << msb) + within * width;
+    (lower, lower + width)
+}
+
+/// A point-in-time copy of one histogram bank with percentile readout.
+#[derive(Clone, Debug)]
+pub struct LatencyBankSnapshot {
+    /// Recordings in the bank.
+    pub count: u64,
+    /// Sum of recorded microseconds.
+    pub total_micros: u64,
+    /// Largest recorded value in microseconds (exact, not bucketed).
+    pub max_micros: u64,
+    /// Per-bucket counts on the [`latency_bucket`] scale.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencyBankSnapshot {
+    fn empty() -> LatencyBankSnapshot {
+        LatencyBankSnapshot {
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+            buckets: vec![0; LATENCY_BUCKETS],
+        }
+    }
+
+    /// The value at quantile `q` (`0.0 ..= 1.0`) in microseconds: the upper
+    /// edge of the bucket holding the rank-`ceil(q * count)` recording,
+    /// clamped to the exact observed maximum. Returns 0 on an empty bank.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, upper) = latency_bucket_bounds(i);
+                return upper.saturating_sub(1).min(self.max_micros);
+            }
+        }
+        self.max_micros
+    }
+
+    /// Median latency in microseconds.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile latency in microseconds.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]: the lifetime bank plus
+/// the merged rolling-window view.
+#[derive(Clone, Debug)]
+pub struct LatencySnapshot {
+    /// Every recording since the histogram was created.
+    pub lifetime: LatencyBankSnapshot,
+    /// The two most recent window banks merged: covers between one and two
+    /// window lengths of trailing data (the standard two-bank approximation
+    /// of a sliding window).
+    pub recent: LatencyBankSnapshot,
+}
+
+/// One atomic bank of bucket counters.
+#[derive(Debug)]
+struct AtomicBank {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl AtomicBank {
+    fn new() -> AtomicBank {
+        AtomicBank {
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.buckets[latency_bucket(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyBankSnapshot {
+        LatencyBankSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// One plain (mutex-guarded) window bank.
+#[derive(Clone, Debug)]
+struct WindowBank {
+    count: u64,
+    total_micros: u64,
+    max_micros: u64,
+    buckets: Vec<u64>,
+}
+
+impl WindowBank {
+    fn new() -> WindowBank {
+        WindowBank {
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+            buckets: vec![0; LATENCY_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+        self.buckets[latency_bucket(micros)] += 1;
+    }
+
+    fn merge_into(&self, out: &mut LatencyBankSnapshot) {
+        out.count += self.count;
+        out.total_micros += self.total_micros;
+        out.max_micros = out.max_micros.max(self.max_micros);
+        for (o, &b) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+            *o += b;
+        }
+    }
+}
+
+/// The two rotating window banks plus the index of the window period the
+/// current bank belongs to.
+#[derive(Debug)]
+struct Windows {
+    period: u64,
+    current: WindowBank,
+    previous: WindowBank,
+}
+
+/// An HDR-style fixed-bucket latency histogram with a two-bank rolling
+/// window. The lifetime bank is lock-free (relaxed atomics); the rolling
+/// window takes a short uncontended mutex per recording, which is fine on
+/// the per-request paths it instruments.
+///
+/// The rolling view merges the current and previous window banks, so it
+/// always covers between one and two window lengths of trailing data —
+/// with the default 30 s window, the merged view approximates "the last
+/// minute".
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    epoch: Instant,
+    window: Duration,
+    lifetime: AtomicBank,
+    windows: Mutex<Windows>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new(Duration::from_secs(30))
+    }
+}
+
+impl LatencyHistogram {
+    /// Builds a histogram whose rolling view rotates every `window`.
+    pub fn new(window: Duration) -> LatencyHistogram {
+        LatencyHistogram {
+            epoch: Instant::now(),
+            window: window.max(Duration::from_millis(1)),
+            lifetime: AtomicBank::new(),
+            windows: Mutex::new(Windows {
+                period: 0,
+                current: WindowBank::new(),
+                previous: WindowBank::new(),
+            }),
+        }
+    }
+
+    fn period_now(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.window.as_nanos().max(1)) as u64
+    }
+
+    fn rotated(&self) -> std::sync::MutexGuard<'_, Windows> {
+        let now = self.period_now();
+        let mut w = self.windows.lock().unwrap_or_else(|e| e.into_inner());
+        if now == w.period + 1 {
+            w.previous = std::mem::replace(&mut w.current, WindowBank::new());
+            w.period = now;
+        } else if now > w.period {
+            w.previous = WindowBank::new();
+            w.current = WindowBank::new();
+            w.period = now;
+        }
+        w
+    }
+
+    /// Records one latency of `micros` microseconds.
+    pub fn record(&self, micros: u64) {
+        self.lifetime.record(micros);
+        self.rotated().current.record(micros);
+    }
+
+    /// Records a [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A point-in-time copy: lifetime bank plus the merged rolling view.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let lifetime = self.lifetime.snapshot();
+        let w = self.rotated();
+        let mut recent = LatencyBankSnapshot::empty();
+        w.previous.merge_into(&mut recent);
+        w.current.merge_into(&mut recent);
+        LatencySnapshot { lifetime, recent }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +425,100 @@ mod tests {
         let x = Term::int_var("x");
         let t = Term::ite(Term::ge(x.clone(), Term::int(0)), x.clone(), Term::neg(x));
         assert_eq!(solution_size(&t), 7);
+    }
+
+    #[test]
+    fn latency_buckets_are_monotone_and_tile_the_axis() {
+        // Sub-linear range: one bucket per value.
+        for v in 0..8u64 {
+            assert_eq!(latency_bucket(v), v as usize);
+        }
+        // Every bucket's bounds contain exactly the values that map to it,
+        // and consecutive buckets tile without gaps or overlap.
+        let mut prev_upper = 0u64;
+        for b in 0..LATENCY_BUCKETS {
+            let (lower, upper) = latency_bucket_bounds(b);
+            assert_eq!(lower, prev_upper, "bucket {b} leaves a gap");
+            assert!(upper > lower, "bucket {b} is empty");
+            assert_eq!(latency_bucket(lower), b, "lower edge of {b}");
+            if b < LATENCY_BUCKETS - 1 {
+                assert_eq!(latency_bucket(upper - 1), b, "upper edge of {b}");
+                assert_eq!(latency_bucket(upper), b + 1, "first value past {b}");
+            }
+            prev_upper = upper;
+        }
+        // Oversized values clamp into the final bucket.
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_percentiles_at_bucket_boundaries() {
+        let h = LatencyHistogram::default();
+        // 100 recordings of exactly 1000 us: every percentile must land in
+        // the bucket containing 1000, clamped to the exact max.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let snap = h.snapshot().lifetime;
+        let (lower, upper) = latency_bucket_bounds(latency_bucket(1000));
+        assert!(lower <= 1000 && 1000 < upper);
+        for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            assert!(v >= lower && v < upper, "q={q} gave {v}, bucket [{lower},{upper})");
+        }
+        // The max is exact, so q=1.0 reads back exactly 1000.
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert_eq!(snap.max_micros, 1000);
+    }
+
+    #[test]
+    fn latency_percentiles_split_a_bimodal_distribution() {
+        let h = LatencyHistogram::default();
+        // 90 fast recordings at 100 us, 10 slow at 1_000_000 us.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let snap = h.snapshot().lifetime;
+        assert_eq!(snap.count, 100);
+        let (fast_lo, fast_hi) = latency_bucket_bounds(latency_bucket(100));
+        let (slow_lo, slow_hi) = latency_bucket_bounds(latency_bucket(1_000_000));
+        // p50 and p90 sit in the fast mode (rank 50 and 90 of 100), p99 in
+        // the slow tail.
+        for q in [0.50, 0.90] {
+            let v = snap.quantile(q);
+            assert!(v >= fast_lo && v < fast_hi, "q={q} gave {v}");
+        }
+        let p99 = snap.p99();
+        assert!(p99 >= slow_lo && p99 < slow_hi, "p99 gave {p99}");
+        assert_eq!(snap.max_micros, 1_000_000);
+        // Rank arithmetic at the exact boundary: 90 of 100 recordings are
+        // fast, so q=0.90 is the last fast rank and the next representable
+        // quantile is slow.
+        assert!(snap.quantile(0.901) >= slow_lo);
+    }
+
+    #[test]
+    fn latency_window_rotates_and_merges_two_banks() {
+        let h = LatencyHistogram::new(Duration::from_millis(150));
+        h.record(500);
+        let s = h.snapshot();
+        assert_eq!(s.lifetime.count, 1);
+        assert_eq!(s.recent.count, 1, "fresh recording visible in the window");
+        // One window later the recording survives in the previous bank.
+        std::thread::sleep(Duration::from_millis(160));
+        h.record(700);
+        let s = h.snapshot();
+        assert_eq!(s.lifetime.count, 2);
+        assert_eq!(s.recent.count, 2, "previous bank still merged");
+        // Two-plus windows of silence clear both banks; lifetime persists.
+        std::thread::sleep(Duration::from_millis(460));
+        let s = h.snapshot();
+        assert_eq!(s.lifetime.count, 2);
+        assert_eq!(s.recent.count, 0, "stale banks dropped: {s:?}");
+        assert_eq!(s.lifetime.max_micros, 700);
+        assert_eq!(s.recent.quantile(0.5), 0, "empty bank reads 0");
     }
 }

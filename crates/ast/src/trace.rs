@@ -36,7 +36,10 @@
 //! scoping) aggregate into the same registry.
 
 use crate::json::Json;
-use crate::metrics::{size_bucket, time_bucket, SIZE_BUCKETS, TIME_BUCKETS};
+use crate::metrics::{
+    size_bucket, time_bucket, LatencyBankSnapshot, LatencyHistogram, LatencySnapshot,
+    SIZE_BUCKETS, TIME_BUCKETS,
+};
 use crate::progress::ProgressState;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -170,6 +173,10 @@ pub struct MetricsRegistry {
     stages: [StageMetrics; Stage::ALL.len()],
     counters: Mutex<BTreeMap<String, u64>>,
     size_hist: [AtomicU64; SIZE_BUCKETS.len() + 1],
+    /// Named percentile latency histograms (fleet telemetry: queue-wait,
+    /// solve-wall, per-stage request latency). Created on first use; empty
+    /// for runs that never record one, so batch reports are unchanged.
+    latencies: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
 }
 
 impl MetricsRegistry {
@@ -212,11 +219,29 @@ impl MetricsRegistry {
         self.size_hist[size_bucket(size)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The named percentile latency histogram, created (with the default
+    /// rolling window) on first use. The handle can be cached by hot
+    /// callers to skip the registry lookup.
+    pub fn latency(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut latencies = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            latencies
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(LatencyHistogram::default())),
+        )
+    }
+
+    /// Records `micros` into the named latency histogram.
+    pub fn record_latency(&self, name: &str, micros: u64) {
+        self.latency(name).record(micros);
+    }
+
     /// A point-in-time copy of every metric, for reports. Stages with zero
     /// recorded spans are included (callers may filter); counters come out
     /// sorted by name, so serialised output is deterministic.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let latencies = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
         MetricsSnapshot {
             stages: Stage::ALL
                 .iter()
@@ -224,6 +249,10 @@ impl MetricsRegistry {
                 .collect(),
             counters: counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             size_hist: std::array::from_fn(|i| self.size_hist[i].load(Ordering::Relaxed)),
+            latencies: latencies
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
         }
     }
 }
@@ -238,6 +267,9 @@ pub struct MetricsSnapshot {
     /// Solution-size histogram on the [`SIZE_BUCKETS`] scale (last bucket
     /// is the overflow bucket).
     pub size_hist: [u64; SIZE_BUCKETS.len() + 1],
+    /// Named latency-histogram snapshots, sorted by name; empty for runs
+    /// that recorded no latencies.
+    pub latencies: Vec<(String, LatencySnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -269,15 +301,45 @@ impl MetricsSnapshot {
             .iter()
             .map(|(k, v)| (k.clone(), Json::from(*v)))
             .collect();
-        Json::obj([
-            ("stages", Json::Arr(stages)),
-            ("counters", Json::Obj(counters)),
+        let mut fields = vec![
+            ("stages".to_owned(), Json::Arr(stages)),
+            ("counters".to_owned(), Json::Obj(counters)),
             (
-                "size_hist",
+                "size_hist".to_owned(),
                 Json::Arr(self.size_hist.iter().map(|&n| Json::from(n)).collect()),
             ),
-        ])
+        ];
+        if !self.latencies.is_empty() {
+            let latencies: Vec<(String, Json)> = self
+                .latencies
+                .iter()
+                .map(|(name, snap)| {
+                    (
+                        name.clone(),
+                        Json::obj([
+                            ("lifetime", latency_bank_json(&snap.lifetime)),
+                            ("recent", latency_bank_json(&snap.recent)),
+                        ]),
+                    )
+                })
+                .collect();
+            fields.push(("latencies".to_owned(), Json::Obj(latencies)));
+        }
+        Json::Obj(fields)
     }
+}
+
+/// One latency bank as JSON: count, total/max, and the three headline
+/// percentiles (all in microseconds).
+fn latency_bank_json(bank: &LatencyBankSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::from(bank.count)),
+        ("total_micros", Json::from(bank.total_micros)),
+        ("max_micros", Json::from(bank.max_micros)),
+        ("p50_micros", Json::from(bank.p50())),
+        ("p90_micros", Json::from(bank.p90())),
+        ("p99_micros", Json::from(bank.p99())),
+    ])
 }
 
 /// One recorded trace event (a completed span or an instantaneous point).
@@ -409,6 +471,10 @@ struct TracerInner {
     /// Current open-span stack of every thread (keyed by thread ordinal)
     /// that has a live span on this tracer.
     live: Mutex<BTreeMap<u64, Vec<&'static str>>>,
+    /// Optional flight recorder: every span close and point event is
+    /// mirrored into this ring even on non-recording tracers, so a
+    /// crashed request leaves a last-seconds timeline.
+    ring: Option<Arc<EventRing>>,
 }
 
 /// The tracing handle; see the module docs. Cloning shares all state.
@@ -427,6 +493,21 @@ impl Tracer {
     /// `profile_spans` maintains per-thread span stacks for the span-tree
     /// profiler and live-stack table.
     pub fn new(record_events: bool, profile_spans: bool) -> Tracer {
+        Tracer::build(record_events, profile_spans, None)
+    }
+
+    /// Like [`Tracer::new`], but additionally mirrors every span close and
+    /// point event into `ring` (the daemon's per-worker flight recorder).
+    /// The ring path is active even on metrics-only tracers.
+    pub fn with_flight_recorder(
+        record_events: bool,
+        profile_spans: bool,
+        ring: Arc<EventRing>,
+    ) -> Tracer {
+        Tracer::build(record_events, profile_spans, Some(ring))
+    }
+
+    fn build(record_events: bool, profile_spans: bool, ring: Option<Arc<EventRing>>) -> Tracer {
         Tracer(Arc::new(TracerInner {
             recording: record_events,
             profiling: profile_spans,
@@ -438,7 +519,14 @@ impl Tracer {
             graph: Mutex::new(Vec::new()),
             profile: Mutex::new(BTreeMap::new()),
             live: Mutex::new(BTreeMap::new()),
+            ring,
         }))
+    }
+
+    /// The attached flight-recorder ring, when one was given at
+    /// construction.
+    pub fn flight_recorder(&self) -> Option<&Arc<EventRing>> {
+        self.0.ring.as_ref()
     }
 
     /// A tracer that keeps atomic metrics but records no events — the
@@ -609,9 +697,16 @@ impl Tracer {
             .collect()
     }
 
-    /// Records an instantaneous point event (recording tracers only; the
-    /// detail closure is not evaluated otherwise).
+    /// Records an instantaneous point event (recording or flight-recorded
+    /// tracers only; the detail closure is not evaluated otherwise).
     pub fn point(&self, stage: Stage, node: Option<usize>, detail: impl FnOnce() -> String) {
+        if !self.0.recording && self.0.ring.is_none() {
+            return;
+        }
+        let detail = detail();
+        if let Some(ring) = &self.0.ring {
+            ring.record(stage.name(), node, None, detail.clone());
+        }
         if !self.0.recording {
             return;
         }
@@ -623,7 +718,7 @@ impl Tracer {
             thread: thread_ordinal(),
             start_micros,
             duration_micros: None,
-            detail: detail(),
+            detail,
         });
     }
 
@@ -698,6 +793,14 @@ impl Drop for SpanGuard<'_> {
         if self.tracer.0.profiling {
             self.tracer.pop_frame(micros);
         }
+        if let Some(ring) = &self.tracer.0.ring {
+            ring.record(
+                self.stage.name(),
+                self.node,
+                Some(micros),
+                self.detail.clone(),
+            );
+        }
         if self.tracer.0.recording {
             let start_micros = self
                 .start
@@ -738,6 +841,129 @@ pub fn thread_ordinal() -> u64 {
         static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     ORDINAL.with(|&id| id)
+}
+
+/// One flight-recorder entry: a span close, point event, or free-form
+/// marker, stamped with its position in the ring's total order.
+#[derive(Clone, Debug)]
+pub struct RingEntry {
+    /// Position in the ring's total push order (monotone; survives wraps).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub at_micros: u64,
+    /// Recording thread's [`thread_ordinal`].
+    pub thread: u64,
+    /// Stage or marker name.
+    pub name: &'static str,
+    /// Subproblem node id, when the event was node-scoped.
+    pub node: Option<usize>,
+    /// Span duration in microseconds; `None` for points and markers.
+    pub duration_micros: Option<u64>,
+    /// Freeform detail; empty when none was attached.
+    pub detail: String,
+}
+
+impl RingEntry {
+    /// One human-readable timeline line:
+    /// `+12.345678s [t3] smt node=4 1250us answer=sat`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "+{}.{:06}s [t{}] {}",
+            self.at_micros / 1_000_000,
+            self.at_micros % 1_000_000,
+            self.thread,
+            self.name
+        );
+        if let Some(node) = self.node {
+            out.push_str(&format!(" node={node}"));
+        }
+        if let Some(d) = self.duration_micros {
+            out.push_str(&format!(" {d}us"));
+        }
+        if !self.detail.is_empty() {
+            out.push(' ');
+            out.push_str(&self.detail);
+        }
+        out
+    }
+}
+
+/// The flight recorder: a fixed-capacity ring buffer of the most recent
+/// tracer activity, cheap enough to leave attached to every daemon worker.
+/// Writers claim slots with one atomic increment and never block each
+/// other (each slot has its own lock, and two writers only share a slot
+/// after a full wrap); readers snapshot without stopping writers.
+///
+/// The ring persists across requests on a worker, so a dump shows the
+/// last-seconds timeline *leading up to* a fault, including prior
+/// requests' tail activity.
+#[derive(Debug)]
+pub struct EventRing {
+    epoch: Instant,
+    next: AtomicU64,
+    slots: Vec<Mutex<Option<RingEntry>>>,
+}
+
+impl EventRing {
+    /// A ring holding the most recent `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            epoch: Instant::now(),
+            next: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Records one entry, overwriting the oldest once the ring is full.
+    pub fn record(
+        &self,
+        name: &'static str,
+        node: Option<usize>,
+        duration_micros: Option<u64>,
+        detail: String,
+    ) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let entry = RingEntry {
+            seq,
+            at_micros: self.epoch.elapsed().as_micros() as u64,
+            thread: thread_ordinal(),
+            name,
+            node,
+            duration_micros,
+            detail,
+        };
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(entry);
+    }
+
+    /// Records a free-form marker (request start/finish, fault notes).
+    pub fn note(&self, name: &'static str, detail: impl Into<String>) {
+        self.record(name, None, None, detail.into());
+    }
+
+    /// Entries pushed over the ring's lifetime (not capped at capacity).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The surviving entries in push order (oldest first). A torn slot
+    /// (overwritten mid-snapshot) simply carries the newer entry; order is
+    /// restored by sorting on `seq`.
+    pub fn recent(&self) -> Vec<RingEntry> {
+        let mut out: Vec<RingEntry> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// The timeline rendered one line per entry (oldest first), ready to
+    /// write into a diagnostics sink.
+    pub fn render_timeline(&self) -> Vec<String> {
+        self.recent().iter().map(RingEntry::render).collect()
+    }
 }
 
 #[cfg(test)]
@@ -1014,6 +1240,96 @@ mod tests {
         }
         let snap = t.metrics().snapshot();
         assert_eq!(snap.size_hist, [2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn latency_histograms_snapshot_through_the_registry() {
+        let t = Tracer::metrics_only();
+        for micros in [100u64, 200, 400, 100_000] {
+            t.metrics().record_latency("queue_wait", micros);
+        }
+        t.metrics().record_latency("solve_wall", 5_000);
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.latencies.len(), 2);
+        assert_eq!(snap.latencies[0].0, "queue_wait");
+        let qw = &snap.latencies[0].1;
+        assert_eq!(qw.lifetime.count, 4);
+        assert_eq!(qw.lifetime.max_micros, 100_000);
+        assert!(qw.lifetime.p99() >= 100_000 / 2, "{qw:?}");
+        assert_eq!(qw.recent.count, 4, "fresh recordings are in the window");
+        // The JSON carries a latencies object with both banks...
+        let json = snap.to_json().to_string();
+        for needle in ["\"latencies\"", "\"queue_wait\"", "\"lifetime\"", "\"recent\"", "\"p99_micros\""] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        // ... but a run with no latency recordings keeps the old shape.
+        let plain = Tracer::metrics_only().metrics().snapshot().to_json().to_string();
+        assert!(!plain.contains("latencies"), "{plain}");
+    }
+
+    #[test]
+    fn flight_ring_keeps_the_most_recent_entries_in_order() {
+        let ring = Arc::new(EventRing::new(4));
+        for i in 0..10u64 {
+            ring.note("request", format!("id=j{i}"));
+        }
+        assert_eq!(ring.recorded(), 10);
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4, "capacity bounds survivors");
+        let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order kept");
+        let lines = ring.render_timeline();
+        assert!(lines[3].contains("request") && lines[3].contains("id=j9"), "{lines:?}");
+    }
+
+    #[test]
+    fn ring_attached_tracer_mirrors_spans_and_points() {
+        let ring = Arc::new(EventRing::new(16));
+        let t = Tracer::with_flight_recorder(false, false, Arc::clone(&ring));
+        assert!(t.flight_recorder().is_some());
+        {
+            let _s = t.span(Stage::Smt).with_node(3);
+        }
+        // Points reach the ring even though the tracer records no events.
+        t.point(Stage::Verify, None, || "answer=sat".into());
+        assert!(t.events().is_empty(), "metrics-only: no event buffer");
+        let entries = ring.recent();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "smt");
+        assert_eq!(entries[0].node, Some(3));
+        assert!(entries[0].duration_micros.is_some());
+        assert_eq!(entries[1].name, "verify");
+        assert_eq!(entries[1].detail, "answer=sat");
+        assert!(entries[1].duration_micros.is_none());
+        // A plain tracer still skips the detail closure entirely.
+        Tracer::metrics_only().point(Stage::Smt, None, || {
+            panic!("detail evaluated without ring or recording")
+        });
+    }
+
+    #[test]
+    fn flight_ring_accepts_concurrent_writers() {
+        let ring = Arc::new(EventRing::new(32));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        ring.note("worker", format!("w={w} i={i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 400);
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 32);
+        // Strictly increasing seq with no duplicates even under contention.
+        for pair in recent.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "{:?}", (pair[0].seq, pair[1].seq));
+        }
     }
 
     #[test]

@@ -142,10 +142,12 @@ fn compare_mode(args: &[String]) -> Result<ExitCode, String> {
     let [old_path, new_path] = files.as_slice() else {
         return Err("compare needs exactly OLD.json and NEW.json".to_owned());
     };
+    // Either side may be a BENCH*.json trajectory document or a
+    // dryadsynthd --audit log (auto-detected by shape).
     let load = |path: &str| -> Result<BenchDoc, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+        BenchDoc::parse_any(&text).map_err(|e| format!("{path}: {e}"))
     };
     let old = load(old_path)?;
     let new = load(new_path)?;

@@ -108,6 +108,77 @@ impl BenchDoc {
         Ok(BenchDoc { version, runs })
     }
 
+    /// Parses a `dryadsynthd` audit log (`--audit`, one JSON object per
+    /// line) into a comparable document: benchmark = request id, solver =
+    /// `dryadsynthd`, seconds = `solve_us`. Records that never ran an
+    /// engine (shed or cancelled while still queued — no `solve_us`) are
+    /// skipped; an engine run is a data point whatever its outcome.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed line, or stating that no
+    /// engine-run records were found.
+    pub fn parse_audit_jsonl(text: &str) -> Result<BenchDoc, String> {
+        let mut runs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("audit line {}: {e}", i + 1))?;
+            let field_str = |name: &str| {
+                v.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or(format!("audit line {}: missing `{name}`", i + 1))
+            };
+            let id = field_str("id")?;
+            let outcome = field_str("outcome")?;
+            let Some(solve_us) = v.get("solve_us").and_then(Json::as_i64) else {
+                continue;
+            };
+            let mut stage_micros = BTreeMap::new();
+            if let Some(Json::Obj(stages)) = v.get("stages") {
+                for (stage, micros) in stages {
+                    stage_micros.insert(
+                        stage.clone(),
+                        micros.as_i64().unwrap_or(0).max(0) as u64,
+                    );
+                }
+            }
+            runs.push(BenchRun {
+                benchmark: id,
+                solver: "dryadsynthd".to_owned(),
+                solved: outcome == "solved",
+                seconds: solve_us.max(0) as f64 / 1e6,
+                stage_micros,
+            });
+        }
+        if runs.is_empty() {
+            return Err("no engine-run audit records found".to_owned());
+        }
+        Ok(BenchDoc {
+            version: dryadsynth::REPORT_VERSION as i64,
+            runs,
+        })
+    }
+
+    /// Parses either supported input by shape: a `BENCH*.json` trajectory
+    /// document, or a `dryadsynthd` audit log.
+    ///
+    /// # Errors
+    ///
+    /// A message combining both parsers' complaints when the text is
+    /// neither.
+    pub fn parse_any(text: &str) -> Result<BenchDoc, String> {
+        match BenchDoc::parse(text) {
+            Ok(doc) => Ok(doc),
+            Err(doc_err) => BenchDoc::parse_audit_jsonl(text).map_err(|audit_err| {
+                format!("neither a bench document ({doc_err}) nor an audit log ({audit_err})")
+            }),
+        }
+    }
+
     /// Converts an in-process record matrix (no JSON round trip), for tests
     /// and same-process comparisons.
     pub fn from_records(records: &[RunRecord]) -> BenchDoc {
@@ -430,6 +501,43 @@ mod tests {
         assert!(
             BenchDoc::parse("{\"version\": 3, \"runs\": [{\"solver\": \"A\"}]}").is_err(),
             "run missing fields"
+        );
+    }
+
+    const AUDIT: &str = concat!(
+        "{\"id\": \"q1\", \"outcome\": \"solved\", \"queue_wait_us\": 120, ",
+        "\"worker\": 0, \"solve_us\": 250000, \"stages\": {\"smt\": 9000}}\n",
+        "{\"id\": \"q2\", \"outcome\": \"overloaded\", \"cause\": \"queue full (3 waiting)\"}\n",
+        "{\"id\": \"q3\", \"outcome\": \"timeout\", \"queue_wait_us\": 80, ",
+        "\"worker\": 1, \"solve_us\": 2000000}\n",
+    );
+
+    #[test]
+    fn audit_logs_ingest_as_bench_documents() {
+        let doc = BenchDoc::parse_audit_jsonl(AUDIT).unwrap();
+        // The shed record never ran an engine and is not a data point.
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.runs[0].benchmark, "q1");
+        assert_eq!(doc.runs[0].solver, "dryadsynthd");
+        assert!(doc.runs[0].solved);
+        assert!((doc.runs[0].seconds - 0.25).abs() < 1e-9);
+        assert_eq!(doc.runs[0].stage_micros["smt"], 9000);
+        assert!(!doc.runs[1].solved);
+        // Comparing an audit log against itself is quiet.
+        let report = compare(&doc, &doc, &CompareConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
+    #[test]
+    fn parse_any_detects_both_shapes() {
+        assert_eq!(BenchDoc::parse_any(AUDIT).unwrap().runs.len(), 2);
+        let doc_text = crate::observability_json(&[]);
+        assert_eq!(BenchDoc::parse_any(&doc_text).unwrap().runs.len(), 0);
+        let err = BenchDoc::parse_any("not either").unwrap_err();
+        assert!(err.contains("neither"), "{err}");
+        assert!(
+            BenchDoc::parse_any("{\"id\": \"only-shed\", \"outcome\": \"overloaded\"}").is_err(),
+            "an audit log with no engine runs has nothing to compare"
         );
     }
 }

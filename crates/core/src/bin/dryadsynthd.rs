@@ -7,7 +7,7 @@
 //!             [--max-timeout SECS] [--drain-deadline SECS]
 //!             [--threads-per-solve N] [--heartbeat SECS]
 //!             [--stall-after SECS] [--certify] [--chaos-seed SEED]
-//!             [--socket PATH]
+//!             [--socket PATH] [--metrics-socket PATH] [--audit FILE]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `crates/core/src/daemon/protocol.rs`
@@ -27,9 +27,17 @@
 //! `--chaos-seed` arms the deterministic fault injector (random contained
 //! panics, worker deaths, cancels, delays) for harness runs; the
 //! `DRYADSYNTHD_CHAOS_SEED` environment variable does the same.
+//!
+//! Telemetry (DESIGN.md section 11): `--metrics-socket PATH` serves a
+//! Prometheus-text-format exposition of every daemon counter, gauge, and
+//! latency histogram on a Unix socket — one minimal `HTTP/1.0 200`
+//! response per connection, so both `curl --unix-socket` and a raw reader
+//! work. `--audit FILE` appends one JSON line per answered request
+//! (outcome, queue wait, solve wall, per-stage micros, worker id), flushed
+//! per record so drains and contained panics lose nothing.
 
 use dryadsynth::daemon::{ChaosConfig, Responder, Response, Scheduler, SchedulerConfig};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -39,10 +47,13 @@ use std::time::Duration;
 const USAGE: &str = "usage: dryadsynthd [--workers N] [--queue-cap N] \
 [--default-timeout SECS] [--max-timeout SECS] [--drain-deadline SECS] \
 [--threads-per-solve N] [--heartbeat SECS] [--stall-after SECS] \
-[--certify] [--chaos-seed SEED] [--socket PATH]\n\
+[--certify] [--chaos-seed SEED] [--socket PATH] \
+[--metrics-socket PATH] [--audit FILE]\n\
   Serves newline-delimited JSON solve requests on stdin (or PATH) and\n\
   answers on stdout (or the connection). EOF, {\"shutdown\":true}, SIGTERM\n\
-  and SIGINT all drain gracefully and print a {\"shutdown\":{...}} summary.";
+  and SIGINT all drain gracefully and print a {\"shutdown\":{...}} summary.\n\
+  --metrics-socket serves Prometheus text exposition per connection;\n\
+  --audit appends one JSON line per answered request.";
 
 /// Set from the signal handler; polled by the serving loops.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
@@ -68,11 +79,15 @@ fn install_signal_handlers() {
 struct Options {
     config: SchedulerConfig,
     socket: Option<String>,
+    metrics_socket: Option<String>,
+    audit: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut config = SchedulerConfig::default();
     let mut socket = None;
+    let mut metrics_socket = None;
+    let mut audit = None;
     let mut chaos_seed: Option<u64> = std::env::var("DRYADSYNTHD_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok());
@@ -104,12 +119,21 @@ fn parse_args() -> Result<Options, String> {
             "--certify" => config.certify = true,
             "--chaos-seed" => chaos_seed = Some(num("--chaos-seed")?),
             "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
+            "--metrics-socket" => {
+                metrics_socket = Some(args.next().ok_or("--metrics-socket needs a path")?)
+            }
+            "--audit" => audit = Some(args.next().ok_or("--audit needs a file path")?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     config.chaos = chaos_seed.map(ChaosConfig::from_seed);
-    Ok(Options { config, socket })
+    Ok(Options {
+        config,
+        socket,
+        metrics_socket,
+        audit,
+    })
 }
 
 /// A responder that writes whole JSON lines under a lock, so responses
@@ -123,13 +147,22 @@ fn line_responder(out: Arc<Mutex<Box<dyn Write + Send>>>) -> Responder {
 }
 
 fn main() -> ExitCode {
-    let options = match parse_args() {
+    let mut options = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &options.audit {
+        match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            Ok(file) => options.config.audit = Some(Arc::new(Mutex::new(Box::new(file)))),
+            Err(e) => {
+                eprintln!("dryadsynthd: open audit log {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     install_signal_handlers();
     // Worker panics are contained by design (answered as `engine_fault`);
     // one stderr line each beats a full default backtrace per fault.
@@ -138,6 +171,17 @@ fn main() -> ExitCode {
         eprintln!("[panic contained] thread={thread} {info}");
     }));
     let scheduler = Arc::new(Scheduler::start(options.config));
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_thread = match &options.metrics_socket {
+        Some(path) => match serve_metrics(&scheduler, path, &metrics_stop) {
+            Ok(handle) => Some(handle),
+            Err(msg) => {
+                eprintln!("dryadsynthd: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let served = match &options.socket {
         Some(path) => serve_socket(&scheduler, path),
         None => serve_stdin(&scheduler),
@@ -146,7 +190,13 @@ fn main() -> ExitCode {
         eprintln!("dryadsynthd: {msg}");
         return ExitCode::from(2);
     }
+    // Drain first so the exposition endpoint stays scrapeable while
+    // in-flight work finishes; then stop it.
     let summary = scheduler.drain();
+    metrics_stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = metrics_thread {
+        let _ = handle.join();
+    }
     let stdout: Arc<Mutex<Box<dyn Write + Send>>> =
         Arc::new(Mutex::new(Box::new(std::io::stdout())));
     line_responder(stdout)(Response::Shutdown(summary.clone()));
@@ -191,6 +241,63 @@ fn serve_stdin(scheduler: &Arc<Scheduler>) -> Result<(), String> {
             Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()), // EOF
         }
     }
+}
+
+/// Metrics exposition: answer every connection on the Unix socket with one
+/// minimal HTTP/1.0 response carrying the Prometheus text page, then close.
+/// The request (if any) is deliberately not read — HTTP/1.0 close semantics
+/// make write-and-shutdown correct for curl and raw readers alike.
+fn serve_metrics(
+    scheduler: &Arc<Scheduler>,
+    path: &str,
+    stop: &Arc<AtomicBool>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path); // stale socket from a prior run
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind metrics socket {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking on metrics socket: {e}"))?;
+    let scheduler = Arc::clone(scheduler);
+    let stop = Arc::clone(stop);
+    let path = path.to_owned();
+    std::thread::Builder::new()
+        .name("daemon-metrics".into())
+        .spawn(move || {
+            loop {
+                if stop.load(Ordering::SeqCst) || TERMINATE.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((mut stream, _addr)) => {
+                        let body = scheduler.metrics_text();
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                        let _ = write!(
+                            stream,
+                            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        let _ = stream.flush();
+                        // FIN our side so raw until-EOF readers finish, then
+                        // drain whatever request the client sent: closing
+                        // with unread bytes in the receive queue would reset
+                        // the peer mid-read (curl sees ECONNRESET).
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        let mut scratch = [0u8; 1024];
+                        while matches!(stream.read(&mut scratch), Ok(n) if n > 0) {}
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        })
+        .map_err(|e| format!("spawn metrics thread: {e}"))
 }
 
 /// Socket mode: each connection gets a reader thread and answers on its

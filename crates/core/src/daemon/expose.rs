@@ -1,0 +1,212 @@
+//! Prometheus-text-format exposition for the daemon (`--metrics-socket`).
+//!
+//! Hand-rolled like the rest of the repo's serialization: the text format
+//! is line-oriented (`name{labels} value`), so a writer needs no library.
+//! Every scheduler counter and gauge, every daemon-tracer counter, every
+//! stage aggregate, and every latency histogram appears in the output.
+//!
+//! Histograms use the fine [`latency_bucket`] scale internally but are
+//! exposed on a coarse power-of-eight `le` ladder (16us .. ~268s). Every
+//! rung is an exact fine-bucket boundary, so the cumulative counts are
+//! exact, not re-quantized.
+//!
+//! [`latency_bucket`]: sygus_ast::latency_bucket
+
+use crate::daemon::protocol::StatsReply;
+use std::fmt::Write;
+use sygus_ast::{latency_bucket_bounds, LatencyBankSnapshot, MetricsSnapshot};
+
+/// The coarse `le` ladder, in microseconds: ×8 per rung, all powers of two
+/// (hence exact fine-bucket boundaries).
+const LE_LADDER: [u64; 9] = [
+    16,
+    128,
+    1_024,
+    8_192,
+    65_536,
+    524_288,
+    4_194_304,
+    33_554_432,
+    268_435_456,
+];
+
+/// Renders the full exposition page from a stats reply (scheduler counters
+/// and gauges) and the daemon root tracer's metrics snapshot.
+pub fn render(stats: &StatsReply, snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    line_comment(w, "dryadsynthd_build_info", "gauge", "Build metadata.");
+    let _ = writeln!(
+        w,
+        "dryadsynthd_build_info{{version=\"{}\"}} 1",
+        stats.version
+    );
+
+    gauge(w, "uptime_seconds", "Seconds since the daemon started.", stats.uptime_secs);
+    gauge(w, "queue_depth", "Requests waiting for a worker.", stats.queue_depth);
+    gauge(w, "in_flight", "Requests being solved right now.", stats.in_flight.len() as u64);
+    gauge(w, "workers", "Configured worker-pool size.", stats.workers);
+
+    counter(w, "requests_accepted_total", "Requests admitted to the queue.", stats.accepted);
+    counter(w, "requests_completed_total", "Requests given a terminal response.", stats.completed);
+    counter(w, "requests_shed_total", "Requests shed by admission control.", stats.shed);
+    counter(w, "requests_faulted_total", "Requests answered engine_fault.", stats.faulted);
+    counter(w, "requests_cancelled_total", "Requests cancelled.", stats.cancelled);
+    counter(w, "workers_recycled_total", "Worker threads respawned.", stats.recycled);
+
+    for (name, value) in &snapshot.counters {
+        gauge(
+            w,
+            &sanitize(name),
+            &format!("Daemon tracer metric `{name}`."),
+            *value,
+        );
+    }
+
+    let mut active: Vec<_> = snapshot.stages.iter().filter(|s| s.count > 0).collect();
+    active.sort_by_key(|s| s.stage);
+    if !active.is_empty() {
+        line_comment(w, "dryadsynthd_stage_spans_total", "counter", "Spans recorded per stage.");
+        for s in &active {
+            let _ = writeln!(w, "dryadsynthd_stage_spans_total{{stage=\"{}\"}} {}", s.stage, s.count);
+        }
+        line_comment(w, "dryadsynthd_stage_micros_total", "counter", "Cumulative span micros per stage.");
+        for s in &active {
+            let _ = writeln!(w, "dryadsynthd_stage_micros_total{{stage=\"{}\"}} {}", s.stage, s.total_micros);
+        }
+    }
+
+    for (name, lat) in &snapshot.latencies {
+        histogram(w, &sanitize(name), &lat.lifetime);
+    }
+    out
+}
+
+fn line_comment(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let name = format!("dryadsynthd_{name}");
+    line_comment(out, &name, "gauge", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let name = format!("dryadsynthd_{name}");
+    line_comment(out, &name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One lifetime histogram as a cumulative `le` ladder plus sum and count.
+/// Recent-window views stay in `stats` (Prometheus derives rates itself).
+fn histogram(out: &mut String, name: &str, bank: &LatencyBankSnapshot) {
+    let name = format!("dryadsynthd_{name}_us");
+    line_comment(out, &name, "histogram", "Latency in microseconds.");
+    let mut cumulative = 0u64;
+    let mut fine = 0usize;
+    for le in LE_LADDER {
+        while fine < bank.buckets.len() {
+            let (_, upper) = latency_bucket_bounds(fine);
+            if upper > le {
+                break;
+            }
+            cumulative += bank.buckets[fine];
+            fine += 1;
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", bank.count);
+    let _ = writeln!(out, "{name}_sum {}", bank.total_micros);
+    let _ = writeln!(out, "{name}_count {}", bank.count);
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; fold everything else
+/// (`.`-separated tracer names, mostly) to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus_ast::Tracer;
+
+    fn sample() -> (StatsReply, MetricsSnapshot) {
+        let tracer = Tracer::metrics_only();
+        let metrics = tracer.metrics();
+        metrics.set("interner.symbols", 42);
+        metrics.record_latency("solve_wall", 900);
+        metrics.record_latency("solve_wall", 1_500);
+        metrics.record_latency("solve_wall", 2_000_000);
+        let stats = StatsReply {
+            queue_depth: 3,
+            workers: 2,
+            accepted: 10,
+            completed: 7,
+            shed: 1,
+            version: "1.2.3".into(),
+            uptime_secs: 5,
+            ..StatsReply::default()
+        };
+        (stats, metrics.snapshot())
+    }
+
+    /// Minimal format check: every line is a comment or `name[{labels}] value`.
+    fn assert_parses(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("value separator");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+            assert!(name.starts_with("dryadsynthd_"), "unprefixed: {line}");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        }
+    }
+
+    #[test]
+    fn exposition_covers_gauges_counters_and_histograms() {
+        let (stats, snapshot) = sample();
+        let text = render(&stats, &snapshot);
+        assert_parses(&text);
+        assert!(text.contains("dryadsynthd_build_info{version=\"1.2.3\"} 1"));
+        assert!(text.contains("dryadsynthd_requests_accepted_total 10"));
+        assert!(text.contains("dryadsynthd_queue_depth 3"));
+        assert!(text.contains("dryadsynthd_interner_symbols 42"));
+        assert!(text.contains("# TYPE dryadsynthd_solve_wall_us histogram"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_count 3"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_sum 2002400"));
+    }
+
+    #[test]
+    fn histogram_ladder_is_cumulative_and_exact_at_boundaries() {
+        let (stats, snapshot) = sample();
+        let text = render(&stats, &snapshot);
+        // 900 and 1500 us are both <= 8192; the 2s recording only lands in
+        // the 4194304us rung and +Inf.
+        assert!(text.contains("dryadsynthd_solve_wall_us_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_bucket{le=\"8192\"} 2"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_bucket{le=\"524288\"} 2"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_bucket{le=\"4194304\"} 3"));
+        assert!(text.contains("dryadsynthd_solve_wall_us_bucket{le=\"+Inf\"} 3"));
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            if line.contains("le=\"16\"") {
+                last = 0; // a new histogram's ladder restarts
+            }
+            assert!(v >= last, "non-monotone ladder at {line}");
+            last = v;
+        }
+    }
+}

@@ -10,11 +10,13 @@
 //! `DESIGN.md` section 10 for the architecture.
 
 pub mod chaos;
+pub mod expose;
 pub mod protocol;
 mod scheduler;
 
 pub use chaos::{Chaos, ChaosConfig};
 pub use protocol::{
-    DrainSummary, OutcomeResponse, Request, Response, SolveJob, StatsLite, StatsReply,
+    DrainSummary, LatencyBankStats, LatencyLine, OutcomeResponse, Request, Response, SolveJob,
+    StatsLite, StatsReply, DAEMON_VERSION,
 };
-pub use scheduler::{DiagSink, Responder, Scheduler, SchedulerConfig};
+pub use scheduler::{AuditSink, DiagSink, Responder, Scheduler, SchedulerConfig};

@@ -17,7 +17,11 @@
 //! `engine_fault` or `error`. Malformed lines that carry no usable id are
 //! answered with `{"error": …}` and the daemon keeps serving.
 
-use sygus_ast::Json;
+use sygus_ast::{Json, LatencyBankSnapshot};
+
+/// The daemon's compile-time version string, reported in `stats` replies
+/// and the final shutdown summary.
+pub const DAEMON_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// A solve submission.
 #[derive(Clone, Debug, PartialEq)]
@@ -185,6 +189,95 @@ pub struct OutcomeResponse {
     pub stats: Option<StatsLite>,
 }
 
+/// Percentile summary of one latency-histogram bank (all microseconds).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyBankStats {
+    /// Recordings in the bank.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Exact observed maximum.
+    pub max_us: u64,
+}
+
+impl LatencyBankStats {
+    /// Summarizes one histogram bank snapshot.
+    pub fn from_bank(bank: &LatencyBankSnapshot) -> LatencyBankStats {
+        LatencyBankStats {
+            count: bank.count,
+            p50_us: bank.p50(),
+            p90_us: bank.p90(),
+            p99_us: bank.p99(),
+            max_us: bank.max_micros,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("p50_us", Json::from(self.p50_us)),
+            ("p90_us", Json::from(self.p90_us)),
+            ("p99_us", Json::from(self.p99_us)),
+            ("max_us", Json::from(self.max_us)),
+        ])
+    }
+
+    fn parse(v: &Json) -> LatencyBankStats {
+        let n = |k: &str| v.get(k).and_then(Json::as_i64).unwrap_or(0) as u64;
+        LatencyBankStats {
+            count: n("count"),
+            p50_us: n("p50_us"),
+            p90_us: n("p90_us"),
+            p99_us: n("p99_us"),
+            max_us: n("max_us"),
+        }
+    }
+}
+
+/// One named latency histogram in a `stats` reply: the lifetime view and
+/// the rolling-window view (the last one-to-two window lengths).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyLine {
+    /// Histogram name (`queue_wait`, `solve_wall`, `stage.smt`, …).
+    pub name: String,
+    /// Every recording since the daemon started.
+    pub lifetime: LatencyBankStats,
+    /// The merged rolling-window banks.
+    pub recent: LatencyBankStats,
+}
+
+impl LatencyLine {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("lifetime", self.lifetime.to_json()),
+            ("recent", self.recent.to_json()),
+        ])
+    }
+
+    fn parse(v: &Json) -> LatencyLine {
+        LatencyLine {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            lifetime: v
+                .get("lifetime")
+                .map(LatencyBankStats::parse)
+                .unwrap_or_default(),
+            recent: v
+                .get("recent")
+                .map(LatencyBankStats::parse)
+                .unwrap_or_default(),
+        }
+    }
+}
+
 /// Introspection snapshot answered to `{"stats": true}`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReply {
@@ -210,29 +303,42 @@ pub struct StatsReply {
     pub interner_symbols: u64,
     /// Global symbol-interner gauge: leaked name bytes.
     pub interner_bytes: u64,
+    /// Seconds since the scheduler started.
+    pub uptime_secs: u64,
+    /// The daemon's compile-time version ([`DAEMON_VERSION`]).
+    pub version: String,
+    /// Percentile latency summaries, sorted by histogram name; empty until
+    /// the first request finishes.
+    pub latencies: Vec<LatencyLine>,
 }
 
 impl StatsReply {
     fn to_json(&self) -> Json {
-        Json::obj([(
-            "stats",
-            Json::obj([
-                ("queue_depth", Json::from(self.queue_depth)),
-                (
-                    "in_flight",
-                    Json::Arr(self.in_flight.iter().map(Json::str).collect()),
-                ),
-                ("workers", Json::from(self.workers)),
-                ("accepted", Json::from(self.accepted)),
-                ("completed", Json::from(self.completed)),
-                ("shed", Json::from(self.shed)),
-                ("faulted", Json::from(self.faulted)),
-                ("cancelled", Json::from(self.cancelled)),
-                ("recycled", Json::from(self.recycled)),
-                ("interner.symbols", Json::from(self.interner_symbols)),
-                ("interner.bytes", Json::from(self.interner_bytes)),
-            ]),
-        )])
+        let mut fields = vec![
+            ("queue_depth".to_owned(), Json::from(self.queue_depth)),
+            (
+                "in_flight".to_owned(),
+                Json::Arr(self.in_flight.iter().map(Json::str).collect()),
+            ),
+            ("workers".to_owned(), Json::from(self.workers)),
+            ("accepted".to_owned(), Json::from(self.accepted)),
+            ("completed".to_owned(), Json::from(self.completed)),
+            ("shed".to_owned(), Json::from(self.shed)),
+            ("faulted".to_owned(), Json::from(self.faulted)),
+            ("cancelled".to_owned(), Json::from(self.cancelled)),
+            ("recycled".to_owned(), Json::from(self.recycled)),
+            ("interner.symbols".to_owned(), Json::from(self.interner_symbols)),
+            ("interner.bytes".to_owned(), Json::from(self.interner_bytes)),
+            ("uptime_secs".to_owned(), Json::from(self.uptime_secs)),
+            ("version".to_owned(), Json::str(&self.version)),
+        ];
+        if !self.latencies.is_empty() {
+            fields.push((
+                "latencies".to_owned(),
+                Json::Arr(self.latencies.iter().map(LatencyLine::to_json).collect()),
+            ));
+        }
+        Json::obj([("stats", Json::Obj(fields))])
     }
 
     fn parse(v: &Json) -> StatsReply {
@@ -258,6 +364,17 @@ impl StatsReply {
             recycled: n("recycled"),
             interner_symbols: n("interner.symbols"),
             interner_bytes: n("interner.bytes"),
+            uptime_secs: n("uptime_secs"),
+            version: v
+                .get("version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            latencies: v
+                .get("latencies")
+                .and_then(Json::as_arr)
+                .map(|lines| lines.iter().map(LatencyLine::parse).collect())
+                .unwrap_or_default(),
         }
     }
 }
@@ -279,6 +396,10 @@ pub struct DrainSummary {
     pub recycled: u64,
     /// Whether every worker exited within the drain deadline.
     pub clean: bool,
+    /// Seconds the daemon served before draining.
+    pub uptime_secs: u64,
+    /// The daemon's compile-time version ([`DAEMON_VERSION`]).
+    pub version: String,
 }
 
 impl DrainSummary {
@@ -293,6 +414,8 @@ impl DrainSummary {
                 ("cancelled", Json::from(self.cancelled)),
                 ("recycled", Json::from(self.recycled)),
                 ("clean", Json::from(self.clean)),
+                ("uptime_secs", Json::from(self.uptime_secs)),
+                ("version", Json::str(&self.version)),
             ]),
         )])
     }
@@ -307,6 +430,12 @@ impl DrainSummary {
             cancelled: n("cancelled"),
             recycled: n("recycled"),
             clean: v.get("clean").and_then(Json::as_bool).unwrap_or(false),
+            uptime_secs: n("uptime_secs"),
+            version: v
+                .get("version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
         }
     }
 }

@@ -23,7 +23,8 @@
 
 use crate::daemon::chaos::{Chaos, ChaosConfig};
 use crate::daemon::protocol::{
-    DrainSummary, OutcomeResponse, Request, Response, SolveJob, StatsLite, StatsReply,
+    DrainSummary, LatencyBankStats, LatencyLine, OutcomeResponse, Request, Response, SolveJob,
+    StatsLite, StatsReply, DAEMON_VERSION,
 };
 use crate::runtime::panic_message;
 use crate::{
@@ -38,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use sygus_ast::{interner_stats, Json, Tracer};
+use sygus_ast::{interner_stats, EventRing, Json, Tracer};
 use sygus_parser::parse_problem;
 
 /// Where one submission's responses go (stdout, a socket, a test channel).
@@ -46,6 +47,14 @@ pub type Responder = Arc<dyn Fn(Response) + Send + Sync>;
 
 /// Shared sink for operational diagnostics (heartbeats, stall dumps).
 pub type DiagSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Shared sink for the request audit log (one JSONL record per answered
+/// request, flushed line by line so drains and panics keep records).
+pub type AuditSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Flight-recorder depth: each worker keeps this many recent tracer events
+/// for post-mortem timelines.
+const FLIGHT_RING_CAPACITY: usize = 128;
 
 /// Queue scoring: every `SIZE_PENALTY_UNIT` bytes of request text push a
 /// job back by one arrival slot, capped so giants still age to the front.
@@ -78,6 +87,8 @@ pub struct SchedulerConfig {
     pub chaos: Option<ChaosConfig>,
     /// Diagnostics sink; `None` writes to stderr.
     pub diag: Option<DiagSink>,
+    /// Request audit log (`--audit`); `None` disables auditing.
+    pub audit: Option<AuditSink>,
 }
 
 impl Default for SchedulerConfig {
@@ -94,6 +105,7 @@ impl Default for SchedulerConfig {
             certify: false,
             chaos: None,
             diag: None,
+            audit: None,
         }
     }
 }
@@ -103,6 +115,8 @@ struct QueueEntry {
     seq: u64,
     job: SolveJob,
     deadline: Instant,
+    /// Admission time, for the queue-wait histogram and audit records.
+    enqueued: Instant,
     reply: Responder,
 }
 
@@ -148,7 +162,9 @@ struct Inner {
     /// SMT charges aggregate here and a daemon-wide cancel fans out.
     root: Budget,
     chaos: Option<Chaos>,
+    started: Instant,
     seq: AtomicU64,
+    worker_seq: AtomicU64,
     accepting: AtomicBool,
     accepted: AtomicU64,
     completed: AtomicU64,
@@ -186,7 +202,9 @@ impl Scheduler {
                 stopping: false,
             }),
             ready: Condvar::new(),
+            started: Instant::now(),
             seq: AtomicU64::new(0),
+            worker_seq: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -253,6 +271,7 @@ impl Scheduler {
         let inner = &self.inner;
         if !inner.accepting.load(Ordering::SeqCst) {
             inner.shed.fetch_add(1, Ordering::Relaxed);
+            audit_simple(inner, &job.id, "overloaded", "daemon is draining");
             reply(Response::Outcome(OutcomeResponse {
                 id: job.id,
                 outcome: "overloaded".into(),
@@ -279,6 +298,12 @@ impl Scheduler {
             let depth = st.queued.len();
             drop(st);
             inner.shed.fetch_add(1, Ordering::Relaxed);
+            audit_simple(
+                inner,
+                &job.id,
+                "overloaded",
+                &format!("queue full ({depth} waiting)"),
+            );
             reply(Response::Outcome(OutcomeResponse {
                 id: job.id,
                 outcome: "overloaded".into(),
@@ -301,6 +326,7 @@ impl Scheduler {
             seq,
             job,
             deadline: Instant::now() + timeout,
+            enqueued: Instant::now(),
             reply,
         }));
         drop(st);
@@ -326,6 +352,7 @@ impl Scheduler {
             drop(st);
             inner.cancelled.fetch_add(1, Ordering::Relaxed);
             inner.completed.fetch_add(1, Ordering::Relaxed);
+            audit_simple(inner, id, "cancelled", "cancelled while queued");
             orig_reply(Response::Outcome(OutcomeResponse {
                 id: id.to_owned(),
                 outcome: "cancelled".into(),
@@ -354,6 +381,16 @@ impl Scheduler {
         let metrics = inner.root.tracer().metrics();
         metrics.set("interner.symbols", interner.symbols as u64);
         metrics.set("interner.bytes", interner.bytes as u64);
+        let latencies = metrics
+            .snapshot()
+            .latencies
+            .iter()
+            .map(|(name, snap)| LatencyLine {
+                name: name.clone(),
+                lifetime: LatencyBankStats::from_bank(&snap.lifetime),
+                recent: LatencyBankStats::from_bank(&snap.recent),
+            })
+            .collect();
         let st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
         StatsReply {
             queue_depth: st.queued.len() as u64,
@@ -367,7 +404,18 @@ impl Scheduler {
             recycled: inner.recycled.load(Ordering::Relaxed),
             interner_symbols: interner.symbols as u64,
             interner_bytes: interner.bytes as u64,
+            uptime_secs: inner.started.elapsed().as_secs(),
+            version: DAEMON_VERSION.to_owned(),
+            latencies,
         }
+    }
+
+    /// Prometheus-text-format exposition of every daemon counter, gauge,
+    /// and latency histogram (served by `--metrics-socket`).
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let snapshot = self.inner.root.tracer().metrics().snapshot();
+        crate::daemon::expose::render(&stats, &snapshot)
     }
 
     /// Graceful drain: stop admitting, let queued and in-flight work
@@ -466,6 +514,7 @@ impl Scheduler {
         for (id, reply) in flushed {
             inner.cancelled.fetch_add(1, Ordering::Relaxed);
             inner.completed.fetch_add(1, Ordering::Relaxed);
+            audit_simple(inner, &id, "cancelled", "daemon shutting down");
             reply(Response::Outcome(OutcomeResponse {
                 id,
                 outcome: "cancelled".into(),
@@ -484,6 +533,8 @@ impl Scheduler {
             faulted: inner.faulted.load(Ordering::Relaxed),
             cancelled: inner.cancelled.load(Ordering::Relaxed),
             recycled: inner.recycled.load(Ordering::Relaxed),
+            uptime_secs: inner.started.elapsed().as_secs(),
+            version: DAEMON_VERSION.to_owned(),
             clean,
         }
     }
@@ -512,6 +563,12 @@ fn spawn_worker(inner: &Arc<Inner>) -> JoinHandle<()> {
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
+    // Ordinals are never reused: a recycled worker gets a fresh one, so
+    // audit records distinguish pre- and post-respawn incarnations. The
+    // flight ring outlives individual requests by design — a fault dump
+    // shows the tail of the previous request too.
+    let worker = inner.worker_seq.fetch_add(1, Ordering::Relaxed);
+    let ring = Arc::new(EventRing::new(FLIGHT_RING_CAPACITY));
     loop {
         let entry = {
             let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -535,7 +592,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         };
         let Some(entry) = entry else { return };
-        run_one(inner, entry);
+        run_one(inner, entry, worker, &ring);
         if inner
             .chaos
             .as_ref()
@@ -549,24 +606,41 @@ fn worker_loop(inner: &Arc<Inner>) {
 }
 
 /// Solves one admitted request and sends its single terminal response.
-fn run_one(inner: &Arc<Inner>, entry: QueueEntry) {
+fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventRing>) {
     let QueueEntry {
         job,
         deadline,
+        enqueued,
         reply,
         ..
     } = entry;
-    let finish = |response: OutcomeResponse| {
+    let queue_wait_us = enqueued.elapsed().as_micros() as u64;
+    let root_metrics = inner.root.tracer().metrics();
+    root_metrics.record_latency("queue_wait", queue_wait_us);
+    ring.note(
+        "request",
+        format!("id={} dequeued after {queue_wait_us}us", job.id),
+    );
+    let finish = |response: OutcomeResponse, solve_us: Option<u64>, stages: Vec<(String, u64)>| {
         inner.completed.fetch_add(1, Ordering::Relaxed);
+        ring.note(
+            "request",
+            format!("id={} outcome={}", response.id, response.outcome),
+        );
+        audit_finish(inner, &response, queue_wait_us, solve_us, worker, &stages);
         reply(Response::Outcome(response));
     };
     if Instant::now() >= deadline {
-        finish(OutcomeResponse {
-            id: job.id,
-            outcome: "timeout".into(),
-            reason: Some("deadline expired while queued".into()),
-            ..OutcomeResponse::default()
-        });
+        finish(
+            OutcomeResponse {
+                id: job.id,
+                outcome: "timeout".into(),
+                reason: Some("deadline expired while queued".into()),
+                ..OutcomeResponse::default()
+            },
+            None,
+            Vec::new(),
+        );
         return;
     }
     let engine = match job.engine.as_deref() {
@@ -575,24 +649,32 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry) {
         Some("deduce") | Some("deduction") => Engine::DeductionOnly,
         Some("bottomup") | Some("eusolver-backed") => Engine::BottomUpBacked,
         Some(other) => {
-            finish(OutcomeResponse {
-                id: job.id,
-                outcome: "error".into(),
-                reason: Some(format!("unknown engine `{other}`")),
-                ..OutcomeResponse::default()
-            });
+            finish(
+                OutcomeResponse {
+                    id: job.id,
+                    outcome: "error".into(),
+                    reason: Some(format!("unknown engine `{other}`")),
+                    ..OutcomeResponse::default()
+                },
+                None,
+                Vec::new(),
+            );
             return;
         }
     };
     let problem = match parse_problem(&job.sygus) {
         Ok(p) => p,
         Err(e) => {
-            finish(OutcomeResponse {
-                id: job.id,
-                outcome: "error".into(),
-                reason: Some(format!("parse error: {e}")),
-                ..OutcomeResponse::default()
-            });
+            finish(
+                OutcomeResponse {
+                    id: job.id,
+                    outcome: "error".into(),
+                    reason: Some(format!("parse error: {e}")),
+                    ..OutcomeResponse::default()
+                },
+                None,
+                Vec::new(),
+            );
             return;
         }
     };
@@ -601,12 +683,11 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry) {
     }
     // Per-request isolation: own tracer (so per-request metrics and stall
     // dumps don't bleed across requests), own deadline, parent-chained
-    // cancellation and charge propagation via the daemon root budget.
-    let tracer = if inner.config.stall_after.is_some() {
-        Tracer::profiling()
-    } else {
-        Tracer::metrics_only()
-    };
+    // cancellation and charge propagation via the daemon root budget. The
+    // worker's flight ring rides the tracer so every span close and point
+    // leaves a post-mortem trail even in metrics-only mode.
+    let profiling = inner.config.stall_after.is_some();
+    let tracer = Tracer::with_flight_recorder(profiling, profiling, Arc::clone(ring));
     let budget = inner.root.child_with(Some(deadline), Some(tracer));
     let cancelled = Arc::new(AtomicBool::new(false));
     {
@@ -652,9 +733,27 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry) {
         let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
         st.in_flight.remove(&job.id);
     }
+    // Wall time and per-stage breakdown feed the daemon-wide histograms
+    // whatever the outcome: a faulted request's partial stages are still
+    // evidence.
+    let solve_us = started.elapsed().as_micros() as u64;
+    root_metrics.record_latency("solve_wall", solve_us);
+    let stage_micros: Vec<(String, u64)> = budget
+        .tracer()
+        .metrics()
+        .snapshot()
+        .stages
+        .iter()
+        .filter(|s| s.count > 0)
+        .map(|s| (s.stage.to_owned(), s.total_micros))
+        .collect();
+    for (name, micros) in &stage_micros {
+        root_metrics.record_latency(&format!("stage.{name}"), *micros);
+    }
     let response = match result {
         Err(payload) => {
             inner.faulted.fetch_add(1, Ordering::Relaxed);
+            dump_flight(inner, &job.id, ring, "engine_fault");
             OutcomeResponse {
                 id: job.id,
                 outcome: "engine_fault".into(),
@@ -709,7 +808,89 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry) {
             }
         }
     };
-    finish(response);
+    finish(response, Some(solve_us), stage_micros);
+}
+
+/// Writes one flushed JSONL line to the audit log, if configured.
+fn audit_line(inner: &Inner, record: Json) {
+    if let Some(sink) = &inner.config.audit {
+        let mut out = sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{record}");
+        let _ = out.flush();
+    }
+}
+
+/// Audit record for a request answered without running an engine (shed at
+/// admission, or cancelled while still queued).
+fn audit_simple(inner: &Inner, id: &str, outcome: &str, cause: &str) {
+    if inner.config.audit.is_none() {
+        return;
+    }
+    audit_line(
+        inner,
+        Json::obj([
+            ("id", Json::str(id)),
+            ("outcome", Json::str(outcome)),
+            ("cause", Json::str(cause)),
+        ]),
+    );
+}
+
+/// Audit record for a request a worker finished (any terminal outcome).
+fn audit_finish(
+    inner: &Inner,
+    response: &OutcomeResponse,
+    queue_wait_us: u64,
+    solve_us: Option<u64>,
+    worker: u64,
+    stages: &[(String, u64)],
+) {
+    if inner.config.audit.is_none() {
+        return;
+    }
+    let mut fields = vec![
+        ("id".to_owned(), Json::str(&response.id)),
+        ("outcome".to_owned(), Json::str(&response.outcome)),
+        ("queue_wait_us".to_owned(), Json::from(queue_wait_us)),
+        ("worker".to_owned(), Json::from(worker)),
+    ];
+    if let Some(micros) = solve_us {
+        fields.push(("solve_us".to_owned(), Json::from(micros)));
+    }
+    if let Some(certified) = response.certified {
+        fields.push(("certified".to_owned(), Json::from(certified)));
+    }
+    if let Some(reason) = &response.reason {
+        fields.push(("cause".to_owned(), Json::str(reason)));
+    }
+    if !stages.is_empty() {
+        fields.push((
+            "stages".to_owned(),
+            Json::Obj(
+                stages
+                    .iter()
+                    .map(|(name, micros)| (name.clone(), Json::from(*micros)))
+                    .collect(),
+            ),
+        ));
+    }
+    audit_line(inner, Json::Obj(fields));
+}
+
+/// Dumps the worker's flight-recorder timeline to the diagnostics sink,
+/// tagged with the faulting request's id.
+fn dump_flight(inner: &Inner, id: &str, ring: &EventRing, cause: &str) {
+    let mut sink = TagSink::new(Arc::clone(&inner.diag), id);
+    let _ = writeln!(
+        sink,
+        "[flight] dump cause={cause} entries={}",
+        ring.recorded().min(FLIGHT_RING_CAPACITY as u64)
+    );
+    for line in ring.render_timeline() {
+        let _ = writeln!(sink, "[flight] {line}");
+    }
+    let _ = writeln!(sink, "[flight] end");
+    let _ = sink.flush();
 }
 
 fn monitor_loop(
@@ -786,5 +967,94 @@ impl Drop for TagSink {
             self.buf.push(b'\n');
             let _ = self.write(&[]);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn shared_diag() -> (DiagSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink: DiagSink = Arc::new(Mutex::new(Box::new(SharedBuf(Arc::clone(&buf)))));
+        (sink, buf)
+    }
+
+    #[test]
+    fn tag_sink_lines_never_interleave_across_concurrent_writers() {
+        let (sink, buf) = shared_diag();
+        let lines_per_writer = 50;
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let id = format!("t{w}");
+                    let mut tagged = TagSink::new(sink, &id);
+                    for n in 0..lines_per_writer {
+                        // Dribble each line in three writes so an unbuffered
+                        // sink would interleave fragments across workers.
+                        let line = format!("payload-{id}-{n}\n");
+                        let bytes = line.as_bytes();
+                        tagged.write_all(&bytes[..4]).unwrap();
+                        tagged.write_all(&bytes[4..9]).unwrap();
+                        tagged.write_all(&bytes[9..]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let out = buf.lock().unwrap_or_else(|e| e.into_inner());
+        let text = std::str::from_utf8(&out).unwrap();
+        let mut seen = HashMap::new();
+        for line in text.lines() {
+            let rest = line
+                .strip_prefix("[req=")
+                .unwrap_or_else(|| panic!("untagged line: {line:?}"));
+            let (id, payload) = rest.split_once("] ").expect("tag terminator");
+            // Each line must be exactly one whole payload for its own id —
+            // any fragment mixing would break this shape.
+            let n: usize = payload
+                .strip_prefix(&format!("payload-{id}-"))
+                .unwrap_or_else(|| panic!("fragmented line: {line:?}"))
+                .parse()
+                .unwrap();
+            let next = seen.entry(id.to_owned()).or_insert(0);
+            assert_eq!(n, *next, "per-writer lines arrived out of order");
+            *next += 1;
+        }
+        assert_eq!(seen.len(), 4);
+        assert!(seen.values().all(|&n| n == lines_per_writer));
+    }
+
+    #[test]
+    fn tag_sink_drop_flushes_a_partial_line_with_newline() {
+        let (sink, buf) = shared_diag();
+        {
+            let mut tagged = TagSink::new(sink, "tail");
+            tagged.write_all(b"no trailing newline").unwrap();
+        }
+        let out = buf.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            std::str::from_utf8(&out).unwrap(),
+            "[req=tail] no trailing newline\n"
+        );
     }
 }

@@ -42,5 +42,3 @@ pub use solver::{
     competition_solvers, Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline,
     LoopInvGenBaseline, SolveOptions, SolveReport, SolveRequest, Synthesizer,
 };
-#[allow(deprecated)]
-pub use solver::SygusSolver;

@@ -18,8 +18,11 @@ use sygus_ast::{size_bucket, solution_size, time_bucket, Json};
 ///
 /// Version history: 1 = initial schema; 2 = added the optional `certified`
 /// field on solved runs; 3 = added the `profile` span-tree table (top paths
-/// by self time, present only on profiling runs).
-pub const REPORT_VERSION: u64 = 3;
+/// by self time, present only on profiling runs); 4 = `metrics.counters`
+/// always carries the `interner.symbols` / `interner.bytes` gauges, and
+/// `metrics` may carry a `latencies` object on runs that recorded latency
+/// histograms.
+pub const REPORT_VERSION: u64 = 4;
 
 /// Paths carried in the report's `profile` table, at most this many, ranked
 /// by self time. The folded-stack sink (`--profile`) is unabridged; the
@@ -389,7 +392,7 @@ mod tests {
         );
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).unwrap();
-        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(3));
+        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(4));
         assert_eq!(
             parsed.get("outcome").and_then(Json::as_str),
             Some("solved")

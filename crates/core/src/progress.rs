@@ -189,6 +189,14 @@ fn write_stall_dump(
     for (name, value) in &snapshot.counters {
         writeln!(sink, "[stall]   counter {name}={value}")?;
     }
+    // When a flight recorder rides the tracer (the daemon attaches one per
+    // worker), its recent-event timeline lands in the same dump.
+    if let Some(ring) = tracer.flight_recorder() {
+        writeln!(sink, "[stall]   flight-recorder timeline:")?;
+        for line in ring.render_timeline() {
+            writeln!(sink, "[stall]   flight {line}")?;
+        }
+    }
     Ok(())
 }
 
@@ -287,6 +295,27 @@ mod tests {
         assert!(out.contains("cegis="), "{out}");
         assert!(out.contains("fuel_left=inf"), "{out}");
         assert!(!out.contains("[stall]"), "{out}");
+    }
+
+    #[test]
+    fn a_ring_attached_tracer_dumps_its_flight_timeline_on_stall() {
+        let ring = Arc::new(sygus_ast::EventRing::new(8));
+        let tracer = Tracer::with_flight_recorder(true, true, Arc::clone(&ring));
+        let budget = Budget::unlimited().with_tracer(tracer.clone());
+        ring.note("request", "id=r1 start");
+        tracer.progress().note_smt_check(5);
+        let sink = SharedSink::default();
+        let config = WatchdogConfig {
+            heartbeat: None,
+            stall_after: Some(Duration::from_millis(40)),
+            poll: Duration::from_millis(5),
+        };
+        let watchdog = Watchdog::spawn(&budget, config, Box::new(sink.clone()));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(watchdog.stop(), 1);
+        let out = sink.contents();
+        assert!(out.contains("flight-recorder timeline"), "{out}");
+        assert!(out.contains("id=r1 start"), "{out}");
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! system compared in the paper's evaluation, behind one [`Synthesizer`]
 //! trait the experiment harness drives uniformly.
 //!
-//! The single non-deprecated entry point is [`Synthesizer::solve`], which
-//! takes a [`SolveRequest`] (problem + [`Budget`] + [`SolveOptions`]) and
-//! returns a [`SolveReport`] bundling the outcome, run statistics, the
+//! The single entry point is [`Synthesizer::solve`], which takes a
+//! [`SolveRequest`] (problem + [`Budget`] + [`SolveOptions`]) and returns
+//! a [`SolveReport`] bundling the outcome, run statistics, the
 //! machine-readable [`RunReport`], and the certification verdict. The
 //! historical `solve_problem` / `solve_governed_problem` /
-//! `solve_with_stats` / `solve_governed` sprawl survives as thin deprecated
-//! shims over it.
+//! `solve_with_stats` / `solve_governed` shims and the `SygusSolver` trait
+//! alias were removed at the 0.2 milestone after a deprecation cycle.
 
 use crate::runtime::{Budget, EngineFault};
 use crate::{
@@ -132,52 +132,13 @@ pub struct SolveReport {
 }
 
 /// A uniform interface over every solver in the evaluation.
-///
-/// [`Synthesizer::solve`] is the one entry point; the deprecated
-/// convenience methods below delegate to it.
 pub trait Synthesizer: Send + Sync {
     /// The solver's display name (used in the figures).
     fn name(&self) -> &'static str;
 
     /// Attempts the request's problem under its budget and options.
     fn solve(&self, request: &SolveRequest<'_>) -> SolveReport;
-
-    /// Attempts `problem` within the wall-clock budget.
-    #[deprecated(
-        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
-                no internal callers left and will be removed in 0.2"
-    )]
-    fn solve_problem(&self, problem: &Problem, timeout: Duration) -> SynthOutcome {
-        self.solve(&SolveRequest::new(problem).with_timeout(timeout))
-            .outcome
-    }
-
-    /// Attempts `problem` under an explicit [`Budget`], reporting run
-    /// statistics.
-    #[deprecated(
-        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
-                no internal callers left and will be removed in 0.2"
-    )]
-    fn solve_governed_problem(
-        &self,
-        problem: &Problem,
-        budget: &Budget,
-    ) -> (SynthOutcome, CoopStats) {
-        let report = self.solve(&SolveRequest::new(problem).with_budget(budget.clone()));
-        (report.outcome, report.stats)
-    }
 }
-
-/// The historical name of [`Synthesizer`]; every `Synthesizer` implements
-/// it automatically.
-#[deprecated(
-    note = "use the `Synthesizer` trait; this alias has no internal callers \
-            left and will be removed in 0.2"
-)]
-pub trait SygusSolver: Synthesizer {}
-
-#[allow(deprecated)]
-impl<T: Synthesizer + ?Sized> SygusSolver for T {}
 
 /// Shared tail of every [`Synthesizer::solve`] implementation: runs the
 /// optional certification pass (on a fresh budget window, metrics recorded
@@ -212,6 +173,12 @@ fn finish_solve(
             }
         }
     }
+    // Interner gauges ride every report (batch `--json` and bench runs),
+    // matching the daemon's `stats` view of the same memory.
+    let interner = sygus_ast::interner_stats();
+    let metrics = tracer.metrics();
+    metrics.set("interner.symbols", interner.symbols as u64);
+    metrics.set("interner.bytes", interner.bytes as u64);
     let report = RunReport::new(
         name,
         request.options.source.clone(),
@@ -332,28 +299,6 @@ impl DryadSynth {
     /// The configuration.
     pub fn config(&self) -> &DryadSynthConfig {
         &self.config
-    }
-
-    /// Solves and also reports cooperative-run statistics.
-    #[deprecated(
-        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
-                no internal callers left and will be removed in 0.2"
-    )]
-    pub fn solve_with_stats(
-        &self,
-        problem: &Problem,
-        timeout: Duration,
-    ) -> (SynthOutcome, CoopStats) {
-        self.run_governed(problem, Budget::from_timeout(timeout))
-    }
-
-    /// Solves under an explicit [`Budget`].
-    #[deprecated(
-        note = "use `Synthesizer::solve` with a `SolveRequest`; this shim has \
-                no internal callers left and will be removed in 0.2"
-    )]
-    pub fn solve_governed(&self, problem: &Problem, budget: Budget) -> (SynthOutcome, CoopStats) {
-        self.run_governed(problem, budget)
     }
 
     /// The engine proper: solves under an explicit [`Budget`] (with the
@@ -623,22 +568,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
+    fn reports_carry_interner_gauges() {
         let p = parse_problem(MAX2).unwrap();
         let solver = DryadSynth::new(DryadSynthConfig {
             threads: 1,
             ..DryadSynthConfig::default()
         });
-        match solver.solve_problem(&p, Duration::from_secs(30)) {
-            SynthOutcome::Solved(t) => assert!(verify_solution(&p, &t, None)),
-            other => panic!("{other:?}"),
-        }
-        let (outcome, _stats) =
-            solver.solve_governed_problem(&p, &Budget::from_timeout(Duration::from_secs(30)));
-        assert!(matches!(outcome, SynthOutcome::Solved(_)));
-        // The historical trait name still resolves.
-        fn takes_legacy(_: &dyn SygusSolver) {}
-        takes_legacy(&solver);
+        let report = solver.solve(&timed(&p, 30));
+        let json = report.report.to_json();
+        let counters = json.get("metrics").and_then(|m| m.get("counters"));
+        let gauge = |name: &str| {
+            counters
+                .and_then(|c| c.get(name))
+                .and_then(sygus_ast::Json::as_i64)
+        };
+        assert!(gauge("interner.symbols").is_some_and(|n| n > 0));
+        assert!(gauge("interner.bytes").is_some_and(|n| n > 0));
     }
 }

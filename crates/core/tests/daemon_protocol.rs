@@ -4,8 +4,8 @@
 //! state machine behaves deterministically.
 
 use dryadsynth::daemon::{
-    DrainSummary, OutcomeResponse, Request, Responder, Response, Scheduler, SchedulerConfig,
-    SolveJob, StatsLite, StatsReply,
+    DrainSummary, LatencyBankStats, LatencyLine, OutcomeResponse, Request, Responder, Response,
+    Scheduler, SchedulerConfig, SolveJob, StatsLite, StatsReply, DAEMON_VERSION,
 };
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -146,6 +146,32 @@ fn every_response_variant_round_trips() {
             recycled: 1,
             interner_symbols: 40,
             interner_bytes: 160,
+            uptime_secs: 61,
+            version: DAEMON_VERSION.into(),
+            latencies: vec![LatencyLine {
+                name: "solve_wall".into(),
+                lifetime: LatencyBankStats {
+                    count: 9,
+                    p50_us: 1_000,
+                    p90_us: 4_000,
+                    p99_us: 9_000,
+                    max_us: 8_500,
+                },
+                recent: LatencyBankStats {
+                    count: 2,
+                    p50_us: 900,
+                    p90_us: 2_000,
+                    p99_us: 2_000,
+                    max_us: 1_900,
+                },
+            }],
+        }),
+        // A stats reply that never saw a request omits `latencies` on the
+        // wire entirely and must still round-trip.
+        Response::Stats(StatsReply {
+            workers: 1,
+            version: DAEMON_VERSION.into(),
+            ..StatsReply::default()
         }),
         Response::Shutdown(DrainSummary {
             accepted: 10,
@@ -155,6 +181,8 @@ fn every_response_variant_round_trips() {
             cancelled: 3,
             recycled: 1,
             clean: true,
+            uptime_secs: 125,
+            version: DAEMON_VERSION.into(),
         }),
     ];
     for response in variants {
