@@ -25,20 +25,24 @@ pub struct ProgressState {
     /// Monotonic change counter: bumped by every mutating call.
     ticks: AtomicU64,
     /// Index of the current [`Stage`] plus one; 0 = no stage entered yet.
+    // synthlint: allow(relaxed-handoff) — display-only gauge; heartbeat readers tolerate stale snapshots
     stage: AtomicUsize,
     /// Current CEGIS/enumeration height (or bottom-up layer size).
+    // synthlint: allow(relaxed-handoff) — display-only gauge; heartbeat readers tolerate stale snapshots
     height: AtomicU64,
     /// CEGIS rounds completed across all engines.
     cegis_rounds: AtomicU64,
     /// Counterexamples learned across all engines.
     counterexamples: AtomicU64,
     /// Subproblem-graph nodes created by the cooperative driver.
+    // synthlint: allow(relaxed-handoff) — display-only gauge; heartbeat readers tolerate stale snapshots
     nodes: AtomicU64,
     /// SMT checks started.
     smt_checks: AtomicU64,
     /// Theory-level SMT conflicts observed.
     smt_conflicts: AtomicU64,
     /// Term size of the most recently started SMT query.
+    // synthlint: allow(relaxed-handoff) — display-only gauge; heartbeat readers tolerate stale snapshots
     smt_query_size: AtomicU64,
 }
 

@@ -55,6 +55,7 @@ struct BudgetInner {
     /// propagate upward. Cancelling the child does NOT cancel the parent.
     parent: Option<Budget>,
     deadline: Option<Instant>,
+    // synthlint: allow(relaxed-handoff) — monotonic cancel latch; pollers only need eventual visibility
     cancelled: AtomicBool,
     /// Node allowance; `u64::MAX` means unlimited.
     fuel_limit: u64,

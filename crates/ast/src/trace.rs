@@ -894,6 +894,13 @@ impl RingEntry {
 /// other (each slot has its own lock, and two writers only share a slot
 /// after a full wrap); readers snapshot without stopping writers.
 ///
+/// The slot count is rounded up to a power of two so the slot index is
+/// `seq & (len - 1)`: unlike `seq % len` for a general `len`, the mask is
+/// continuous when the sequence counter wraps past `u64::MAX`, so adjacent
+/// claims never collide in one slot at the wrap seam. Ordering likewise
+/// survives the wrap: [`EventRing::recent`] orders survivors by wrapping
+/// distance from the claim counter, not by raw `seq`.
+///
 /// The ring persists across requests on a worker, so a dump shows the
 /// last-seconds timeline *leading up to* a fault, including prior
 /// requests' tail activity.
@@ -905,13 +912,30 @@ pub struct EventRing {
 }
 
 impl EventRing {
-    /// A ring holding the most recent `capacity` entries (at least 1).
+    /// A ring holding the most recent `capacity` entries (at least 1;
+    /// rounded up to the next power of two — see the type docs).
     pub fn new(capacity: usize) -> EventRing {
+        EventRing::with_first_seq(capacity, 0)
+    }
+
+    /// Like [`EventRing::new`], but the first claimed entry gets sequence
+    /// number `first_seq`. Exists so tests (and the interleaving harness)
+    /// can start the counter next to `u64::MAX` and exercise the wrap seam
+    /// without 2^64 pushes.
+    pub fn with_first_seq(capacity: usize, first_seq: u64) -> EventRing {
         EventRing {
             epoch: Instant::now(),
-            next: AtomicU64::new(0),
-            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(first_seq),
+            slots: (0..capacity.max(1).next_power_of_two())
+                .map(|_| Mutex::new(None))
+                .collect(),
         }
+    }
+
+    /// The number of slots (the requested capacity rounded up to a power
+    /// of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Records one entry, overwriting the oldest once the ring is full.
@@ -932,7 +956,8 @@ impl EventRing {
             duration_micros,
             detail,
         };
-        let slot = (seq % self.slots.len() as u64) as usize;
+        // Power-of-two mask, not `%`: stays continuous when `seq` wraps.
+        let slot = (seq & (self.slots.len() as u64 - 1)) as usize;
         *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(entry);
     }
 
@@ -942,20 +967,24 @@ impl EventRing {
     }
 
     /// Entries pushed over the ring's lifetime (not capped at capacity).
+    /// This is the raw claim counter, so it wraps with `seq`.
     pub fn recorded(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
     }
 
     /// The surviving entries in push order (oldest first). A torn slot
-    /// (overwritten mid-snapshot) simply carries the newer entry; order is
-    /// restored by sorting on `seq`.
+    /// (overwritten mid-snapshot) simply carries the newer entry. Order is
+    /// restored by wrapping distance from the claim counter — survivors
+    /// all sit within `capacity` claims of `next`, so the distance is
+    /// small and well-ordered even when raw `seq` has wrapped `u64::MAX`.
     pub fn recent(&self) -> Vec<RingEntry> {
+        let next = self.next.load(Ordering::Relaxed);
         let mut out: Vec<RingEntry> = self
             .slots
             .iter()
             .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
             .collect();
-        out.sort_by_key(|e| e.seq);
+        out.sort_by_key(|e| std::cmp::Reverse(next.wrapping_sub(e.seq)));
         out
     }
 
@@ -1280,6 +1309,43 @@ mod tests {
         assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted, order kept");
         let lines = ring.render_timeline();
         assert!(lines[3].contains("request") && lines[3].contains("id=j9"), "{lines:?}");
+    }
+
+    #[test]
+    fn flight_ring_survives_seq_wraparound() {
+        // Start the claim counter 3 pushes shy of the wrap; five pushes
+        // leave the four survivors straddling u64::MAX → 0.
+        let ring = EventRing::with_first_seq(4, u64::MAX - 2);
+        for i in 0..5u64 {
+            ring.note("request", format!("id=j{i}"));
+        }
+        assert_eq!(ring.recorded(), 2, "claim counter wrapped through zero");
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4, "oldest entry evicted across the wrap");
+        // Push order is preserved even though raw seq wrapped: sorting by
+        // raw seq would put the post-wrap entries (j3, j4) first.
+        let details: Vec<&str> = recent.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["id=j1", "id=j2", "id=j3", "id=j4"]);
+        // The seam really is inside the window: survivors carry both
+        // near-MAX and near-zero raw seqs.
+        assert!(recent.iter().any(|e| e.seq >= u64::MAX - 1), "{recent:?}");
+        assert!(recent.iter().any(|e| e.seq < 2), "{recent:?}");
+    }
+
+    #[test]
+    fn flight_ring_rounds_capacity_to_a_power_of_two() {
+        assert_eq!(EventRing::new(5).capacity(), 8);
+        assert_eq!(EventRing::new(32).capacity(), 32);
+        assert_eq!(EventRing::new(0).capacity(), 1);
+        // With a pow2 slot count, adjacent claims across the wrap land in
+        // adjacent slots — no double-write collision at the seam.
+        let ring = EventRing::with_first_seq(8, u64::MAX);
+        ring.note("a", "");
+        ring.note("b", "");
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 2, "wrap-adjacent claims keep both entries");
+        assert_eq!(recent[0].name, "a");
+        assert_eq!(recent[1].name, "b");
     }
 
     #[test]

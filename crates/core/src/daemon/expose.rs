@@ -113,6 +113,7 @@ fn histogram(out: &mut String, name: &str, bank: &LatencyBankSnapshot) {
             if upper > le {
                 break;
             }
+            // synthlint: allow(panic-surface) — index guarded by `fine < bank.buckets.len()` in the loop condition
             cumulative += bank.buckets[fine];
             fine += 1;
         }

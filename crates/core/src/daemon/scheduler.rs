@@ -228,6 +228,7 @@ impl Scheduler {
             std::thread::Builder::new()
                 .name("daemon-monitor".into())
                 .spawn(move || monitor_loop(&inner, &workers, &stop))
+                // synthlint: allow(panic-surface) — spawn failure at startup is fatal by design; no requests are in flight yet
                 .expect("spawn monitor thread")
         };
         Scheduler {
@@ -559,6 +560,7 @@ fn spawn_worker(inner: &Arc<Inner>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("daemon-worker".into())
         .spawn(move || worker_loop(&inner))
+        // synthlint: allow(panic-surface) — a daemon that cannot spawn workers cannot serve; dying loudly beats limping
         .expect("spawn daemon worker")
 }
 
@@ -724,6 +726,7 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
     let chaos_panic = inner.chaos.as_ref().is_some_and(|c| c.inject_panic());
     let result = catch_unwind(AssertUnwindSafe(|| {
         if chaos_panic {
+            // synthlint: allow(panic-surface) — deliberate chaos injection, contained by the catch_unwind boundary above
             panic!("chaos: injected worker panic");
         }
         solver.solve(&request)

@@ -139,6 +139,7 @@ impl Watchdog {
     }
 
     fn shutdown(&mut self) {
+        // synthlint: allow(relaxed-handoff) — monotonic stop latch; unpark below provides the wakeup edge
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             handle.thread().unpark();

@@ -343,6 +343,62 @@ fn queued_cancellation_answers_immediately_and_duplicates_are_rejected() {
 }
 
 #[test]
+fn drain_racing_a_queued_cancel_replies_exactly_once() {
+    // SIGTERM arrives while a cancel for the queued job is still in the
+    // pipe: the drain and the cancels run concurrently. Whoever wins each
+    // race, every solve id gets exactly one terminal outcome (the queued
+    // cancel's tombstone answer must not be followed by a worker answer)
+    // and the drain summary still closes the books cleanly.
+    let scheduler = Arc::new(Scheduler::start(small_config()));
+    let (reply, rx) = collector();
+    scheduler.handle_line(&grind_line("busy", 2_000), &reply);
+    wait_in_flight(&scheduler, "busy");
+    scheduler.handle_line(&grind_line("waiting", 2_000), &reply);
+
+    let drain_thread = {
+        let scheduler = Arc::clone(&scheduler);
+        std::thread::spawn(move || scheduler.drain())
+    };
+    let cancel_thread = {
+        let scheduler = Arc::clone(&scheduler);
+        let reply = reply.clone();
+        std::thread::spawn(move || {
+            scheduler.handle_line(r#"{"cancel": "waiting"}"#, &reply);
+            scheduler.handle_line(r#"{"cancel": "busy"}"#, &reply);
+        })
+    };
+    cancel_thread.join().unwrap();
+    let summary = drain_thread.join().unwrap();
+
+    assert!(summary.clean, "{summary:?}");
+    assert_eq!(summary.accepted, 2, "{summary:?}");
+    assert_eq!(summary.completed, 2, "{summary:?}");
+
+    // Exactly one Outcome per solve id. A cancel that lost the race to the
+    // finished drain is answered with an Error on the canceller's
+    // connection — that reply targets the cancel request, not the solve,
+    // and is the only other shape allowed here.
+    let mut outcomes: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    while let Ok(r) = rx.try_recv() {
+        match r {
+            Response::Outcome(o) => outcomes.entry(o.id).or_default().push(o.outcome),
+            Response::Error { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    for id in ["busy", "waiting"] {
+        let replies = outcomes.get(id).map(Vec::len).unwrap_or(0);
+        assert_eq!(replies, 1, "{id} must be answered exactly once: {outcomes:?}");
+        let outcome = outcomes[id][0].as_str();
+        assert!(
+            outcome == "cancelled" || outcome == "timeout",
+            "{id}: {outcome}"
+        );
+    }
+}
+
+#[test]
 fn drain_lets_queued_work_finish() {
     let scheduler = Scheduler::start(SchedulerConfig {
         workers: 1,

@@ -1,0 +1,74 @@
+//! synthlint CLI.
+//!
+//! ```text
+//! synthlint [--deny] [--json FILE] [PATH ...]
+//! ```
+//!
+//! Lints every `.rs` file under the given paths (default `.`), excluding
+//! `target/`, `vendor/`, and test/bench/example trees. Prints the
+//! deterministic text report to stdout; `--json FILE` additionally writes
+//! the JSON document (`-` for stdout). Exit codes: 0 clean (or findings
+//! without `--deny`), 1 unsuppressed errors under `--deny`, 2 usage error.
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json_path: Option<String> = None;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json requires a file argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: synthlint [--deny] [--json FILE] [PATH ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => roots.push(PathBuf::from(other)),
+        }
+    }
+    if roots.is_empty() {
+        roots.push(PathBuf::from("."));
+    }
+
+    let paths = match synthlint::collect_rs_files(&roots) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("synthlint: cannot read sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = synthlint::lint_paths(&paths);
+    print!("{}", run.render_text());
+
+    if let Some(path) = json_path {
+        let doc = run.to_json().to_string();
+        if path == "-" {
+            println!("{doc}");
+        } else if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("synthlint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if deny && run.deny_fails() {
+        eprintln!(
+            "synthlint: --deny: {} unsuppressed error(s)",
+            run.errors()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("synthlint: {msg}\nusage: synthlint [--deny] [--json FILE] [PATH ...]");
+    ExitCode::from(2)
+}

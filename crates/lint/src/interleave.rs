@@ -1,0 +1,420 @@
+//! A mini-loom: bounded-interleaving exploration of concurrency protocols.
+//!
+//! Virtual threads are lists of step closures over a shared model state `S`.
+//! A *schedule* is the sequence of thread indices in execution order; the
+//! explorer enumerates schedules depth-first (deterministic, lexicographic)
+//! and replays each one against a freshly built state, checking a per-step
+//! invariant after every step and a final invariant once all threads finish.
+//! When the exhaustive space exceeds the schedule budget, exploration is
+//! truncated (`complete = false`) — or, with a seed, schedules are sampled
+//! with a deterministic LCG instead (the chaos.rs idiom).
+//!
+//! The models under test (see `tests/interleave_models.rs`) are protocol
+//! transcriptions: the same slot-claim arithmetic as `EventRing::record`, the
+//! same two-bank rotation as `LatencyHistogram::rotated`, the same
+//! line-buffer discipline as `TagSink` — with each atomic/locked region as
+//! one step, which is exactly the granularity at which those protocols claim
+//! to be correct.
+
+/// One atomic step of a virtual thread.
+pub type Step<S> = Box<dyn Fn(&mut S)>;
+
+/// One virtual thread: an ordered list of atomic steps.
+pub struct VThread<S> {
+    pub name: String,
+    pub steps: Vec<Step<S>>,
+}
+
+impl<S> VThread<S> {
+    pub fn new(name: impl Into<String>) -> VThread<S> {
+        VThread {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    pub fn step(mut self, f: impl Fn(&mut S) + 'static) -> VThread<S> {
+        self.steps.push(Box::new(f));
+        self
+    }
+}
+
+/// Exploration limits. `max_schedules` bounds the number of complete
+/// schedules replayed; `seed` switches from exhaustive DFS to seeded random
+/// sampling of `max_schedules` schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    pub max_schedules: usize,
+    pub seed: Option<u64>,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer {
+            max_schedules: 50_000,
+            seed: None,
+        }
+    }
+}
+
+/// A schedule that violated an invariant, for reproduction in a bug report.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Thread indices in execution order up to and including the bad step.
+    pub schedule: Vec<usize>,
+    pub message: String,
+}
+
+#[derive(Debug)]
+pub struct Exploration {
+    /// Complete schedules replayed.
+    pub schedules: usize,
+    /// Total steps executed across all replays.
+    pub steps: usize,
+    /// Whether the schedule space was exhausted (false when truncated by
+    /// `max_schedules` or when sampling randomly).
+    pub complete: bool,
+    pub violation: Option<Violation>,
+}
+
+impl Exploration {
+    /// Panic with the offending schedule if a violation was found.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "interleaving violation after {} schedule(s): {} (schedule {:?})",
+                self.schedules, v.message, v.schedule
+            );
+        }
+    }
+}
+
+type Check<S> = dyn Fn(&S) -> Result<(), String>;
+
+/// Explore interleavings of the threads built by `mk`.
+///
+/// `mk` returns a fresh `(state, threads)` pair per replay — schedules must
+/// not share state. `check_step` runs after every step; `check_final` once
+/// all threads have finished.
+pub fn explore<S, F>(
+    mk: F,
+    check_step: &Check<S>,
+    check_final: &Check<S>,
+    opts: &Explorer,
+) -> Exploration
+where
+    F: Fn() -> (S, Vec<VThread<S>>),
+{
+    match opts.seed {
+        None => explore_exhaustive(&mk, check_step, check_final, opts.max_schedules),
+        Some(seed) => explore_random(&mk, check_step, check_final, opts.max_schedules, seed),
+    }
+}
+
+/// Replay one schedule prefix from scratch. Returns `Err` on invariant
+/// violation, `Ok(runnable)` with the per-thread remaining-step counts.
+fn replay<S>(
+    state: &mut S,
+    threads: &[VThread<S>],
+    schedule: &[usize],
+    check_step: &Check<S>,
+) -> Result<Vec<usize>, (usize, String)> {
+    let mut pc: Vec<usize> = vec![0; threads.len()];
+    for (step_no, &t) in schedule.iter().enumerate() {
+        let thread = &threads[t];
+        (thread.steps[pc[t]])(state);
+        pc[t] += 1;
+        if let Err(msg) = check_step(state) {
+            return Err((step_no, format!("[after {}#{}] {msg}", thread.name, pc[t] - 1)));
+        }
+    }
+    Ok(pc)
+}
+
+fn explore_exhaustive<S, F>(
+    mk: &F,
+    check_step: &Check<S>,
+    check_final: &Check<S>,
+    max_schedules: usize,
+) -> Exploration
+where
+    F: Fn() -> (S, Vec<VThread<S>>),
+{
+    let mut result = Exploration {
+        schedules: 0,
+        steps: 0,
+        complete: true,
+        violation: None,
+    };
+    // DFS over schedule prefixes in lexicographic thread order. Each
+    // complete schedule is replayed from a fresh state; the replay cost is
+    // O(total steps), which for the bounded models here is tiny.
+    let (_, probe) = mk();
+    let sizes: Vec<usize> = probe.steps_per_thread();
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        return result;
+    }
+    let mut prefix: Vec<usize> = Vec::with_capacity(total);
+    loop {
+        // Extend the prefix greedily with the lowest runnable thread.
+        let mut remaining = sizes.clone();
+        for &t in &prefix {
+            remaining[t] -= 1;
+        }
+        while prefix.len() < total {
+            let next = (0..sizes.len()).find(|&t| remaining[t] > 0).expect("steps left");
+            prefix.push(next);
+            remaining[next] -= 1;
+        }
+        // Replay the complete schedule.
+        let (mut state, threads) = mk();
+        result.schedules += 1;
+        result.steps += total;
+        match replay(&mut state, &threads, &prefix, check_step) {
+            Err((step_no, msg)) => {
+                result.violation = Some(Violation {
+                    schedule: prefix[..=step_no].to_vec(),
+                    message: msg,
+                });
+                return result;
+            }
+            Ok(_) => {
+                if let Err(msg) = check_final(&state) {
+                    result.violation = Some(Violation {
+                        schedule: prefix.clone(),
+                        message: format!("[final] {msg}"),
+                    });
+                    return result;
+                }
+            }
+        }
+        if result.schedules >= max_schedules {
+            result.complete = false;
+            return result;
+        }
+        // Backtrack: find the last position where a higher thread index was
+        // still runnable, bump to the next runnable one, and truncate.
+        let mut bumped = false;
+        // Recompute remaining counts at each prefix position from the left.
+        let mut pos = prefix.len();
+        while pos > 0 {
+            pos -= 1;
+            let mut counts = sizes.clone();
+            for &t in &prefix[..pos] {
+                counts[t] -= 1;
+            }
+            let cur = prefix[pos];
+            if let Some(next) = ((cur + 1)..sizes.len()).find(|&t| counts[t] > 0) {
+                prefix.truncate(pos);
+                prefix.push(next);
+                bumped = true;
+                break;
+            }
+        }
+        if !bumped {
+            return result; // Enumerated every schedule.
+        }
+    }
+}
+
+fn explore_random<S, F>(
+    mk: &F,
+    check_step: &Check<S>,
+    check_final: &Check<S>,
+    max_schedules: usize,
+    seed: u64,
+) -> Exploration
+where
+    F: Fn() -> (S, Vec<VThread<S>>),
+{
+    // Same LCG constants as the daemon chaos harness (Numerical Recipes).
+    let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let mut result = Exploration {
+        schedules: 0,
+        steps: 0,
+        complete: false,
+        violation: None,
+    };
+    for _ in 0..max_schedules {
+        let (mut state, threads) = mk();
+        let sizes = threads.steps_per_thread();
+        let mut remaining = sizes.clone();
+        let mut left: usize = sizes.iter().sum();
+        let mut schedule = Vec::with_capacity(left);
+        while left > 0 {
+            let runnable: Vec<usize> =
+                (0..sizes.len()).filter(|&t| remaining[t] > 0).collect();
+            let t = runnable[(next() as usize) % runnable.len()];
+            schedule.push(t);
+            remaining[t] -= 1;
+            left -= 1;
+        }
+        result.schedules += 1;
+        result.steps += schedule.len();
+        match replay(&mut state, &threads, &schedule, check_step) {
+            Err((step_no, msg)) => {
+                result.violation = Some(Violation {
+                    schedule: schedule[..=step_no].to_vec(),
+                    message: msg,
+                });
+                return result;
+            }
+            Ok(_) => {
+                if let Err(msg) = check_final(&state) {
+                    result.violation = Some(Violation {
+                        schedule,
+                        message: format!("[final] {msg}"),
+                    });
+                    return result;
+                }
+            }
+        }
+    }
+    result
+}
+
+trait StepsPerThread {
+    fn steps_per_thread(&self) -> Vec<usize>;
+}
+
+impl<S> StepsPerThread for Vec<VThread<S>> {
+    fn steps_per_thread(&self) -> Vec<usize> {
+        self.iter().map(|t| t.steps.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads of `a` and `b` steps interleave in C(a+b, a) ways.
+    fn count_schedules(a: usize, b: usize) -> usize {
+        let mk = move || {
+            let mut t1 = VThread::new("a");
+            for _ in 0..a {
+                t1 = t1.step(|s: &mut u32| *s += 1);
+            }
+            let mut t2 = VThread::new("b");
+            for _ in 0..b {
+                t2 = t2.step(|s: &mut u32| *s += 1);
+            }
+            (0u32, vec![t1, t2])
+        };
+        let r = explore(mk, &|_| Ok(()), &|_| Ok(()), &Explorer::default());
+        assert!(r.complete);
+        assert!(r.violation.is_none());
+        r.schedules
+    }
+
+    #[test]
+    fn exhaustive_enumeration_counts_match_binomials() {
+        assert_eq!(count_schedules(1, 1), 2);
+        assert_eq!(count_schedules(2, 2), 6);
+        assert_eq!(count_schedules(3, 3), 20);
+        assert_eq!(count_schedules(4, 2), 15);
+    }
+
+    #[test]
+    fn finds_a_lost_update() {
+        // Classic read-modify-write race: both threads read, then both
+        // write, losing one increment. The explorer must find it.
+        #[derive(Default)]
+        struct S {
+            shared: u32,
+            t0_read: u32,
+            t1_read: u32,
+        }
+        let mk = || {
+            let t0 = VThread::new("t0")
+                .step(|s: &mut S| s.t0_read = s.shared)
+                .step(|s: &mut S| s.shared = s.t0_read + 1);
+            let t1 = VThread::new("t1")
+                .step(|s: &mut S| s.t1_read = s.shared)
+                .step(|s: &mut S| s.shared = s.t1_read + 1);
+            (S::default(), vec![t0, t1])
+        };
+        let r = explore(
+            mk,
+            &|_| Ok(()),
+            &|s| {
+                if s.shared == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: shared = {}", s.shared))
+                }
+            },
+            &Explorer::default(),
+        );
+        let v = r.violation.expect("must find the lost update");
+        assert!(v.message.contains("lost update"));
+    }
+
+    #[test]
+    fn atomic_fetch_add_has_no_lost_update() {
+        // The fixed protocol: increment is a single step. No interleaving
+        // loses an update, so the explorer reports a clean exhaustive run.
+        let mk = || {
+            let t0 = VThread::new("t0").step(|s: &mut u32| *s += 1);
+            let t1 = VThread::new("t1").step(|s: &mut u32| *s += 1);
+            (0u32, vec![t0, t1])
+        };
+        let r = explore(
+            mk,
+            &|_| Ok(()),
+            &|s| if *s == 2 { Ok(()) } else { Err("lost".into()) },
+            &Explorer::default(),
+        );
+        assert!(r.complete);
+        assert!(r.violation.is_none());
+        r.assert_ok();
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mk = || {
+            let mut ts = Vec::new();
+            for i in 0..4 {
+                let mut t = VThread::new(format!("t{i}"));
+                for _ in 0..4 {
+                    t = t.step(|_s: &mut ()| {});
+                }
+                ts.push(t);
+            }
+            ((), ts)
+        };
+        let r = explore(
+            mk,
+            &|_| Ok(()),
+            &|_| Ok(()),
+            &Explorer {
+                max_schedules: 100,
+                seed: None,
+            },
+        );
+        assert!(!r.complete);
+        assert_eq!(r.schedules, 100);
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic() {
+        let mk = || {
+            let t0 = VThread::new("t0").step(|s: &mut u32| *s += 1).step(|s: &mut u32| *s += 1);
+            let t1 = VThread::new("t1").step(|s: &mut u32| *s *= 2).step(|s: &mut u32| *s += 3);
+            (0u32, vec![t0, t1])
+        };
+        let opts = Explorer {
+            max_schedules: 16,
+            seed: Some(42),
+        };
+        let r1 = explore(mk, &|_| Ok(()), &|_| Ok(()), &opts);
+        let r2 = explore(mk, &|_| Ok(()), &|_| Ok(()), &opts);
+        assert_eq!(r1.schedules, r2.schedules);
+        assert_eq!(r1.steps, r2.steps);
+    }
+}

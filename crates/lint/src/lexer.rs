@@ -1,0 +1,400 @@
+//! A minimal Rust tokenizer for lint purposes.
+//!
+//! This is deliberately not a full Rust lexer: it produces identifiers,
+//! punctuation, and opaque literal tokens with accurate line numbers, and it
+//! captures line comments so that `// synthlint: allow(...)` pragmas can be
+//! recovered. Strings (including raw and byte strings), char literals,
+//! lifetimes, and nested block comments are consumed correctly so that braces
+//! and keywords inside them never leak into the token stream — that is the
+//! only property the rule passes depend on.
+
+/// Rule names accepted inside `allow(...)`.
+pub const KNOWN_RULES: &[&str] = &[
+    "unpolled-loop",
+    "lock-order",
+    "relaxed-handoff",
+    "panic-surface",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (braces, dots, operators, ...).
+    Punct(char),
+    /// String/char/number literal; contents are irrelevant to the rules.
+    Lit,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == s)
+    }
+}
+
+/// A parsed suppression pragma: `// synthlint: allow(rule[, rule]) — reason`.
+///
+/// The reason separator may be an em-dash, `--`, `-`, or `:`. A pragma
+/// suppresses findings on its own line and on the line directly below it.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// A comment that started with `synthlint:` but failed to parse. These are
+/// reported as errors so a typo can never silently disable a gate.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub pragmas: Vec<Pragma>,
+    pub bad_pragmas: Vec<BadPragma>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punct tokens.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_comment(&src[start..i], line, &mut out);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment; pragmas are line-comment only.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, 0, &mut line);
+                out.toks.push(Tok { kind: TokKind::Lit, line });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                // b"..." byte string: escape-aware, unlike raw strings.
+                i = skip_string(b, i + 2, 0, &mut line);
+                out.toks.push(Tok { kind: TokKind::Lit, line });
+            }
+            b'r' | b'b' if raw_string_start(b, i).is_some() => {
+                let (body, hashes) = raw_string_start(b, i).unwrap();
+                i = skip_raw_string(b, body, hashes, &mut line);
+                out.toks.push(Tok { kind: TokKind::Lit, line });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is '<ident> with no
+                // closing quote right after the identifier.
+                let mut k = i + 1;
+                if k < b.len() && is_ident_start(b[k]) {
+                    k += 1;
+                    while k < b.len() && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'\'' {
+                        // 'a' — a char literal.
+                        i = k + 1;
+                        out.toks.push(Tok { kind: TokKind::Lit, line });
+                    } else {
+                        // 'a: lifetime; emit nothing.
+                        i = k;
+                    }
+                } else {
+                    // Escaped or punctuation char literal like '\n' or '{'.
+                    i = skip_string(b, i + 1, 1, &mut line);
+                    out.toks.push(Tok { kind: TokKind::Lit, line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // Fractional part, but not the `..` of a range expression.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Lit, line });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Returns `(body_start, hash_count)` if position `i` begins a raw or raw-byte
+/// string literal (`r"`, `r#"`, `br"`, ...); `None` if it is an identifier.
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return None;
+        }
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Skip past a (byte/char) string body starting at `i` (after the opening
+/// quote). `quote_kind` 0 = double quote, 1 = single quote.
+fn skip_string(b: &[u8], mut i: usize, quote_kind: u8, line: &mut u32) -> usize {
+    let quote = if quote_kind == 0 { b'"' } else { b'\'' };
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_string(b: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Inspect a line comment for a synthlint pragma.
+fn scan_comment(text: &str, line: u32, out: &mut Lexed) {
+    let t = text.trim_start_matches('/').trim_start_matches('!').trim();
+    let Some(rest) = t.strip_prefix("synthlint:") else {
+        // Also catch near-misses like "synthlint allow(...)" so a missing
+        // colon cannot silently disable a suppression. Prose that merely
+        // mentions the tool name does not count.
+        if t.starts_with("synthlint") && t.contains("allow") {
+            out.bad_pragmas.push(BadPragma {
+                line,
+                message: "malformed pragma: expected `synthlint: allow(rule, ...) — reason`".into(),
+            });
+        }
+        return;
+    };
+    match parse_pragma_body(rest.trim(), line) {
+        Ok(p) => out.pragmas.push(p),
+        Err(message) => out.bad_pragmas.push(BadPragma { line, message }),
+    }
+}
+
+fn parse_pragma_body(rest: &str, line: u32) -> Result<Pragma, String> {
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err("pragma must start with `allow(`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("pragma must start with `allow(`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` rule list".into());
+    };
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if !KNOWN_RULES.contains(&name) {
+            return Err(format!(
+                "unknown rule `{name}` (known: {})",
+                KNOWN_RULES.join(", ")
+            ));
+        }
+        rules.push(name.to_string());
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in `allow()`".into());
+    }
+    // Everything after the close paren, minus a leading separator, is the
+    // mandatory reason.
+    let mut reason = rest[close + 1..].trim();
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim();
+            break;
+        }
+    }
+    if reason.len() < 3 {
+        return Err("pragma requires a written reason after the rule list".into());
+    }
+    Ok(Pragma {
+        line,
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            let s = "loop { while";
+            let r = r#"unwrap() { }"#;
+            /* loop { */ let c = 'x'; let nl = '\n';
+            // while true {
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"loop".to_string()));
+        assert!(!ids.contains(&"while".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert_eq!(ids.iter().filter(|s| *s == "fn").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        // Every brace must balance; an 'a' misread as a char literal would
+        // swallow the `>` and unbalance the stream.
+        let opens = lexed.toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = lexed.toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, closes);
+        assert_eq!(opens, 1);
+    }
+
+    #[test]
+    fn pragma_round_trip() {
+        let src = "// synthlint: allow(unpolled-loop, panic-surface) — bounded by construction\nloop {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 1);
+        let p = &lexed.pragmas[0];
+        assert_eq!(p.line, 1);
+        assert_eq!(p.rules, vec!["unpolled-loop", "panic-surface"]);
+        assert_eq!(p.reason, "bounded by construction");
+        assert!(lexed.bad_pragmas.is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_rejected() {
+        let lexed = lex("// synthlint: allow(lock-order)\n");
+        assert!(lexed.pragmas.is_empty());
+        assert_eq!(lexed.bad_pragmas.len(), 1);
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_rejected() {
+        let lexed = lex("// synthlint: allow(no-such-rule) — because\n");
+        assert!(lexed.pragmas.is_empty());
+        assert_eq!(lexed.bad_pragmas.len(), 1);
+        assert!(lexed.bad_pragmas[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..capacity { body(i); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"capacity".to_string()));
+        assert!(ids.contains(&"body".to_string()));
+    }
+}

@@ -1,0 +1,98 @@
+//! synthlint — repo-aware static analysis for the DryadSynth workspace.
+//!
+//! Four rule passes over a hand-rolled token/brace model of the workspace's
+//! own Rust sources (no `syn`, no external crates — same spirit as the
+//! hand-rolled `Json`), plus a bounded-interleaving explorer that
+//! model-checks the daemon's lock-free protocols. See DESIGN.md §12.
+//!
+//! Findings are suppressible only via an inline pragma with a mandatory
+//! written reason:
+//!
+//! ```text
+//! // synthlint: allow(unpolled-loop) — bounded by MAX_STEPS above
+//! ```
+//!
+//! The `synthlint` binary renders a deterministic text report, optionally a
+//! JSON document (`--json FILE`) in the grammar-lint shape, and exits
+//! non-zero under `--deny` when unsuppressed errors remain — that is the CI
+//! gate.
+
+pub mod interleave;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use lexer::KNOWN_RULES;
+pub use report::{Finding, Level, LintRun, Suppressed};
+pub use rules::{lint_sources, SourceFile};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into when collecting sources: build
+/// output, vendored shims, VCS metadata, and test/bench/example trees (the
+/// rules govern shipped library and binary code; integration tests exercise
+/// panics and ad-hoc loops by design).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+];
+
+/// Recursively collect `.rs` files under `roots`, skipping [`SKIP_DIRS`].
+/// Paths are normalized to `/` separators and sorted for determinism.
+pub fn collect_rs_files(roots: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for root in roots {
+        walk(root, &mut out)?;
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let meta = std::fs::metadata(path)?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let name = entry
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if entry.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Read the given files and lint them. Unreadable files are reported as
+/// errors by the caller; here they are simply skipped.
+pub fn lint_paths(paths: &[PathBuf]) -> LintRun {
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            Some(SourceFile::new(p.to_string_lossy().replace('\\', "/"), text))
+        })
+        .collect();
+    lint_sources(&files)
+}

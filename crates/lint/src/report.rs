@@ -1,0 +1,231 @@
+//! Deterministic lint report, text and JSON renderings.
+//!
+//! The shape deliberately mirrors the grammar `LintReport` in
+//! `sygus_ast::analysis`: a flat finding list with levels, a stable sort, and
+//! a one-line summary. The JSON document (`version` 1, `tool` `"synthlint"`)
+//! is what the CI gate archives and what `bench compare` ingests as a
+//! trajectory document.
+
+use std::fmt;
+
+use sygus_ast::Json;
+
+use crate::lexer::KNOWN_RULES;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Warning,
+    Error,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Warning => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule slug: one of `KNOWN_RULES`, or `"pragma"` for pragma hygiene.
+    pub rule: &'static str,
+    pub level: Level,
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function, when the site is inside one.
+    pub function: Option<String>,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}:{}", self.level.as_str(), self.rule, self.file, self.line)?;
+        if let Some(func) = &self.function {
+            write!(f, " (in {func})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A finding silenced by an inline pragma, kept for the audit trail.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Result of a lint run over a set of files.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    pub files: usize,
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl LintRun {
+    /// Stable order so text and JSON output are byte-deterministic.
+    pub fn sort(&mut self) {
+        let key = |f: &Finding| (f.file.clone(), f.line, f.rule, f.message.clone());
+        self.findings.sort_by_key(key);
+        self.suppressed.sort_by_key(|s| key(&s.finding));
+    }
+
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.level == Level::Error).count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.level == Level::Warning).count()
+    }
+
+    /// Whether `--deny` should fail the run.
+    pub fn deny_fails(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Unsuppressed finding count for one rule (bench trajectory input).
+    pub fn count_for(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    pub fn suppressed_for(&self, rule: &str) -> usize {
+        self.suppressed.iter().filter(|s| s.finding.rule == rule).count()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for s in &self.suppressed {
+            out.push_str(&format!(
+                "allowed[{}] {}:{}: {}\n",
+                s.finding.rule, s.finding.file, s.finding.line, s.reason
+            ));
+        }
+        out.push_str(&format!(
+            "synthlint: {} file(s), {} error(s), {} warning(s), {} suppressed\n",
+            self.files,
+            self.errors(),
+            self.warnings(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    pub fn to_json(&self) -> Json {
+        let finding_json = |f: &Finding| {
+            let mut fields = vec![
+                ("rule", Json::Str(f.rule.to_string())),
+                ("level", Json::Str(f.level.as_str().to_string())),
+                ("file", Json::Str(f.file.clone())),
+                ("line", Json::Int(i64::from(f.line))),
+                ("message", Json::Str(f.message.clone())),
+            ];
+            if let Some(func) = &f.function {
+                fields.insert(4, ("function", Json::Str(func.clone())));
+            }
+            Json::obj(fields)
+        };
+        let mut summary = Vec::new();
+        for rule in KNOWN_RULES.iter().copied().chain(["pragma"]) {
+            summary.push(Json::obj(vec![
+                ("rule", Json::Str(rule.to_string())),
+                ("findings", Json::Int(self.count_for(rule) as i64)),
+                ("suppressed", Json::Int(self.suppressed_for(rule) as i64)),
+            ]));
+        }
+        Json::obj(vec![
+            ("version", Json::Int(1)),
+            ("tool", Json::Str("synthlint".to_string())),
+            ("files", Json::Int(self.files as i64)),
+            ("errors", Json::Int(self.errors() as i64)),
+            ("warnings", Json::Int(self.warnings() as i64)),
+            ("summary", Json::Arr(summary)),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
+            (
+                "suppressed",
+                Json::Arr(
+                    self.suppressed
+                        .iter()
+                        .map(|s| {
+                            let mut j = finding_json(&s.finding);
+                            if let Json::Obj(fields) = &mut j {
+                                fields.push(("reason".to_string(), Json::Str(s.reason.clone())));
+                            }
+                            j
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            level: Level::Error,
+            file: file.to_string(),
+            line,
+            function: Some("f".to_string()),
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_stable_and_text_deterministic() {
+        let mut run = LintRun {
+            files: 2,
+            findings: vec![
+                finding("panic-surface", "b.rs", 3),
+                finding("unpolled-loop", "a.rs", 9),
+                finding("lock-order", "a.rs", 2),
+            ],
+            suppressed: vec![],
+        };
+        run.sort();
+        let text = run.render_text();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("a.rs:2"), "{text}");
+        assert!(text.contains("2 file(s), 3 error(s), 0 warning(s), 0 suppressed"));
+    }
+
+    #[test]
+    fn json_shape_has_summary_per_rule() {
+        let run = LintRun {
+            files: 1,
+            findings: vec![finding("unpolled-loop", "a.rs", 1)],
+            suppressed: vec![Suppressed {
+                finding: finding("relaxed-handoff", "a.rs", 4),
+                reason: "documented".to_string(),
+            }],
+        };
+        let j = run.to_json();
+        assert_eq!(j.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            j.get("tool").and_then(Json::as_str),
+            Some("synthlint")
+        );
+        assert_eq!(j.get("errors").and_then(Json::as_i64), Some(1));
+        let summary = match j.get("summary") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("summary missing: {other:?}"),
+        };
+        // Four rules + pragma hygiene.
+        assert_eq!(summary.len(), 5);
+        let text = j.to_string();
+        let reparsed = Json::parse(&text).expect("round trip");
+        assert_eq!(reparsed.get("files").and_then(Json::as_i64), Some(1));
+    }
+}

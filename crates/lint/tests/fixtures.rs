@@ -1,0 +1,461 @@
+//! Seeded fixture coverage for the four synthlint rules: every rule must
+//! fire on a known-bad snippet and stay quiet on the repaired version.
+//! The snippets are virtual [`SourceFile`]s with paths chosen to land in
+//! (or out of) each rule's scope, so the tests pin the scoping rules too.
+
+use synthlint::{lint_sources, Level, LintRun, SourceFile};
+
+fn lint_one(path: &str, text: &str) -> LintRun {
+    lint_sources(&[SourceFile::new(path, text)])
+}
+
+fn rules_fired(run: &LintRun) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = run.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------------------
+// R1: unpolled-loop
+// ---------------------------------------------------------------------------
+
+const R1_BAD: &str = r#"
+pub fn saturate(mut x: u64) -> u64 {
+    loop {
+        x = x.wrapping_mul(3).wrapping_add(1);
+        if x == 7 {
+            return x;
+        }
+    }
+}
+"#;
+
+#[test]
+fn r1_fires_on_unpolled_theory_loop() {
+    let run = lint_one("crates/smt/src/sat.rs", R1_BAD);
+    assert_eq!(rules_fired(&run), vec!["unpolled-loop"], "{}", run.render_text());
+    let f = &run.findings[0];
+    assert_eq!(f.level, Level::Error);
+    assert_eq!(f.function.as_deref(), Some("saturate"));
+    assert!(run.deny_fails());
+}
+
+#[test]
+fn r1_is_scoped_to_theory_and_enumeration_modules() {
+    // The identical loop in an arithmetic kernel is out of scope.
+    let run = lint_one("crates/smt/src/bigint.rs", R1_BAD);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r1_quiet_with_direct_poll() {
+    let fixed = r#"
+pub fn saturate(mut x: u64, budget: &Budget) -> u64 {
+    loop {
+        if budget.poll() {
+            return x;
+        }
+        x = x.wrapping_mul(3).wrapping_add(1);
+    }
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r1_quiet_with_bounded_cap_constant() {
+    let fixed = r#"
+const MAX_STEPS: u64 = 10_000;
+pub fn saturate(mut x: u64) -> u64 {
+    let mut i = 0u64;
+    while i < MAX_STEPS {
+        x = x.wrapping_mul(3).wrapping_add(1);
+        i += 1;
+    }
+    x
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r1_quiet_when_loop_calls_a_polling_helper() {
+    // One call level of indirection is credited: `drain_one` contains a
+    // poll ident, so loops calling it are considered polled.
+    let fixed = r#"
+fn drain_one(budget: &Budget) -> bool {
+    budget.poll()
+}
+pub fn saturate(mut x: u64, budget: &Budget) -> u64 {
+    loop {
+        if drain_one(budget) {
+            return x;
+        }
+        x = x.wrapping_mul(3).wrapping_add(1);
+    }
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r1_quiet_on_len_bounded_scan() {
+    let fixed = r#"
+pub fn sum(xs: &[u64]) -> u64 {
+    let mut i = 0;
+    let mut acc = 0;
+    while i < xs.len() {
+        acc += xs[i];
+        i += 1;
+    }
+    acc
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r1_skips_test_functions() {
+    let text = r#"
+#[test]
+fn spins() {
+    loop {
+        if probe() {
+            break;
+        }
+    }
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+// ---------------------------------------------------------------------------
+// R2: lock-order
+// ---------------------------------------------------------------------------
+
+const R2_BAD: &str = r#"
+impl Sched {
+    fn enqueue(&self) {
+        let _q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn report(&self) {
+        let _s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let _q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+"#;
+
+#[test]
+fn r2_fires_on_inverted_acquisition_order() {
+    let run = lint_one("crates/core/src/sched.rs", R2_BAD);
+    assert_eq!(rules_fired(&run), vec!["lock-order"], "{}", run.render_text());
+    let f = &run.findings[0];
+    assert!(
+        f.message.contains("queue") && f.message.contains("stats"),
+        "cycle members named: {}",
+        f.message
+    );
+}
+
+#[test]
+fn r2_quiet_with_a_global_order() {
+    let fixed = r#"
+impl Sched {
+    fn enqueue(&self) {
+        let _q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn report(&self) {
+        let _q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let _s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+"#;
+    let run = lint_one("crates/core/src/sched.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r2_links_edges_across_functions_and_files() {
+    // a -> b in one file, b -> a in another: still one cycle.
+    let one = SourceFile::new(
+        "crates/core/src/a.rs",
+        r#"
+fn forward(s: &S) {
+    let _x = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let _y = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+}
+"#,
+    );
+    let two = SourceFile::new(
+        "crates/core/src/b.rs",
+        r#"
+fn backward(s: &S) {
+    let _y = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let _x = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+}
+"#,
+    );
+    let run = lint_sources(&[one, two]);
+    assert_eq!(run.count_for("lock-order"), 1, "{}", run.render_text());
+}
+
+// ---------------------------------------------------------------------------
+// R3: relaxed-handoff
+// ---------------------------------------------------------------------------
+
+const R3_BAD: &str = r#"
+pub struct Shared {
+    ready: AtomicBool,
+}
+impl Shared {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+    fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+}
+pub fn run(s: &'static Shared) {
+    std::thread::spawn(move || s.publish());
+}
+"#;
+
+#[test]
+fn r3_fires_on_relaxed_store_crossing_threads() {
+    let run = lint_one("crates/core/src/handoff.rs", R3_BAD);
+    assert_eq!(rules_fired(&run), vec!["relaxed-handoff"], "{}", run.render_text());
+    let f = &run.findings[0];
+    assert!(f.message.contains("ready"), "{}", f.message);
+    // Anchored at the field declaration, not the store site.
+    assert_eq!(f.line, 3, "{}", run.render_text());
+}
+
+#[test]
+fn r3_quiet_with_release_store() {
+    let fixed = R3_BAD.replace(
+        "store(true, Ordering::Relaxed)",
+        "store(true, Ordering::Release)",
+    );
+    let run = lint_one("crates/core/src/handoff.rs", &fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r3_allows_relaxed_rmw_counters() {
+    // fetch_add statistics counters never hand data off; only plain
+    // stores/swaps are flagged.
+    let text = r#"
+pub struct Stats {
+    hits: AtomicU64,
+}
+impl Stats {
+    fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn read(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+pub fn run(s: &'static Stats) {
+    std::thread::spawn(move || s.bump());
+}
+"#;
+    let run = lint_one("crates/core/src/stats.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r3_quiet_without_thread_reachability() {
+    // Same shape but nothing spawns: single-threaded Relaxed is fine.
+    let text = r#"
+pub struct Shared {
+    ready: AtomicBool,
+}
+impl Shared {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+    fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+}
+"#;
+    let run = lint_one("crates/core/src/handoff.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+// ---------------------------------------------------------------------------
+// R4: panic-surface
+// ---------------------------------------------------------------------------
+
+const R4_BAD: &str = r#"
+pub fn handle(xs: &[u64], i: usize) -> u64 {
+    let first = xs.first().copied().unwrap();
+    first + xs[i]
+}
+"#;
+
+#[test]
+fn r4_fires_on_unwrap_and_indexing_in_daemon_path() {
+    let run = lint_one("crates/core/src/daemon/handler.rs", R4_BAD);
+    assert_eq!(run.count_for("panic-surface"), 2, "{}", run.render_text());
+    let msgs: Vec<&str> = run.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`.unwrap()`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("xs[..]")), "{msgs:?}");
+}
+
+#[test]
+fn r4_is_scoped_to_the_daemon() {
+    let run = lint_one("crates/core/src/engine.rs", R4_BAD);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r4_quiet_on_fallible_handling() {
+    let fixed = r#"
+pub fn handle(xs: &[u64], i: usize) -> Option<u64> {
+    let first = xs.first().copied()?;
+    Some(first + xs.get(i).copied()?)
+}
+"#;
+    let run = lint_one("crates/core/src/daemon/handler.rs", fixed);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+#[test]
+fn r4_skips_test_code() {
+    let text = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        let xs = vec![1u64];
+        assert_eq!(xs.first().copied().unwrap(), xs[0]);
+    }
+}
+"#;
+    let run = lint_one("crates/core/src/daemon/handler.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pragma_suppresses_with_a_reason() {
+    let text = r#"
+pub fn handle(xs: &[u64]) -> u64 {
+    // synthlint: allow(panic-surface) — caller guarantees non-empty input
+    xs.first().copied().unwrap()
+}
+"#;
+    let run = lint_one("crates/core/src/daemon/handler.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+    assert_eq!(run.suppressed_for("panic-surface"), 1);
+    assert_eq!(run.suppressed[0].reason, "caller guarantees non-empty input");
+    assert!(!run.deny_fails());
+}
+
+#[test]
+fn pragma_requires_a_known_rule() {
+    let text = r#"
+// synthlint: allow(made-up-rule) — whatever
+pub fn f() {}
+"#;
+    let run = lint_one("crates/core/src/x.rs", text);
+    assert_eq!(run.count_for("pragma"), 1, "{}", run.render_text());
+    assert!(run.deny_fails(), "bad pragmas are deny errors");
+}
+
+#[test]
+fn pragma_requires_a_reason() {
+    let text = r#"
+// synthlint: allow(panic-surface)
+pub fn handle(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+"#;
+    let run = lint_one("crates/core/src/daemon/handler.rs", text);
+    // The reasonless pragma is itself an error and suppresses nothing.
+    assert!(run.count_for("pragma") >= 1, "{}", run.render_text());
+    assert_eq!(run.count_for("panic-surface"), 1, "{}", run.render_text());
+}
+
+#[test]
+fn unused_pragma_warns_but_does_not_deny_fail() {
+    let text = r#"
+// synthlint: allow(unpolled-loop) — nothing here loops at all
+pub fn f() -> u64 {
+    7
+}
+"#;
+    let run = lint_one("crates/smt/src/sat.rs", text);
+    assert_eq!(run.errors(), 0, "{}", run.render_text());
+    assert_eq!(run.warnings(), 1, "{}", run.render_text());
+    assert!(!run.deny_fails(), "warnings alone must not gate CI");
+}
+
+// ---------------------------------------------------------------------------
+// Report output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_document_matches_the_published_shape() {
+    use sygus_ast::Json;
+    let text = r#"
+pub fn handle(xs: &[u64]) -> u64 {
+    // synthlint: allow(panic-surface) — caller guarantees non-empty input
+    let first = xs.first().copied().unwrap();
+    first + xs.iter().sum::<u64>()
+}
+pub fn broken(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+"#;
+    let run = lint_one("crates/core/src/daemon/handler.rs", text);
+    let doc = Json::parse(&run.to_json().to_string()).expect("lint JSON parses");
+    assert_eq!(doc.get("version").and_then(Json::as_i64), Some(1));
+    assert_eq!(doc.get("tool").and_then(Json::as_str), Some("synthlint"));
+    assert_eq!(doc.get("files").and_then(Json::as_i64), Some(1));
+    assert_eq!(doc.get("errors").and_then(Json::as_i64), Some(1));
+    let summary = match doc.get("summary") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("summary must be an array, got {other:?}"),
+    };
+    assert_eq!(summary.len(), 5, "four rules plus pragma hygiene");
+    let panic_row = summary
+        .iter()
+        .find(|r| r.get("rule").and_then(Json::as_str) == Some("panic-surface"))
+        .expect("panic-surface summary row");
+    assert_eq!(panic_row.get("findings").and_then(Json::as_i64), Some(1));
+    assert_eq!(panic_row.get("suppressed").and_then(Json::as_i64), Some(1));
+    let suppressed = match doc.get("suppressed") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("suppressed must be an array, got {other:?}"),
+    };
+    assert_eq!(
+        suppressed[0].get("reason").and_then(Json::as_str),
+        Some("caller guarantees non-empty input")
+    );
+}
+
+#[test]
+fn text_report_is_deterministic_and_summarised() {
+    let run = lint_one("crates/core/src/daemon/handler.rs", R4_BAD);
+    let text = run.render_text();
+    let again = lint_one("crates/core/src/daemon/handler.rs", R4_BAD).render_text();
+    assert_eq!(text, again);
+    assert!(
+        text.trim_end().ends_with("2 error(s), 0 warning(s), 0 suppressed"),
+        "{text}"
+    );
+}

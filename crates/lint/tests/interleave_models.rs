@@ -1,0 +1,488 @@
+//! Bounded-interleaving models of the daemon's lock-free protocols, checked
+//! exhaustively with [`synthlint::interleave`]. Each protocol gets two
+//! models: the shipped design (must survive every schedule) and a
+//! deliberately broken variant (the explorer must find the bad schedule) —
+//! the broken twin proves the model is strong enough to see the bug class
+//! at all.
+//!
+//! The models mirror the real code step-for-step at the granularity of its
+//! atomic operations: everything done under one lock or one atomic RMW is
+//! one step; separate atomics are separate steps.
+
+use synthlint::interleave::{explore, Explorer, VThread};
+
+// ---------------------------------------------------------------------------
+// EventRing: slot claim + publish across the u64 wrap seam
+// ---------------------------------------------------------------------------
+
+/// `EventRing::record` is two independent atomic actions: claim a sequence
+/// number with `fetch_add`, then publish into slot `seq & (len - 1)`. The
+/// model starts the counter at `u64::MAX - 1` so three writers straddle
+/// the wrap.
+struct RingState {
+    next: u64,
+    slots: Vec<Option<u64>>,
+    claimed: Vec<Option<u64>>,
+    claim_order: Vec<u64>,
+}
+
+fn ring_threads(slot_count: usize, pow2_mask: bool, writers: usize) -> (RingState, Vec<VThread<RingState>>) {
+    let state = RingState {
+        next: u64::MAX - 1,
+        slots: vec![None; slot_count],
+        claimed: vec![None; writers],
+        claim_order: Vec::new(),
+    };
+    let threads = (0..writers)
+        .map(|w| {
+            VThread::new(format!("writer-{w}"))
+                .step(move |s: &mut RingState| {
+                    let seq = s.next;
+                    s.next = s.next.wrapping_add(1);
+                    s.claimed[w] = Some(seq);
+                    s.claim_order.push(seq);
+                })
+                .step(move |s: &mut RingState| {
+                    let seq = s.claimed[w].expect("claim precedes publish");
+                    let len = s.slots.len() as u64;
+                    let slot = if pow2_mask { seq & (len - 1) } else { seq % len };
+                    s.slots[slot as usize] = Some(seq);
+                })
+        })
+        .collect();
+    (state, threads)
+}
+
+#[test]
+fn event_ring_slot_claim_survives_wraparound() {
+    let result = explore(
+        || ring_threads(4, true, 3),
+        &|_| Ok(()),
+        &|s: &RingState| {
+            // Every claim survived: three consecutive wrapping seqs under a
+            // power-of-two mask land in three distinct slots.
+            for seq in &s.claim_order {
+                let slot = (seq & (s.slots.len() as u64 - 1)) as usize;
+                if s.slots[slot] != Some(*seq) {
+                    return Err(format!("claim {seq} lost from slot {slot}"));
+                }
+            }
+            // Wrap-aware ordering (sort by wrapping distance from `next`)
+            // reconstructs claim order even though raw seq wrapped.
+            let mut survivors: Vec<u64> = s.slots.iter().filter_map(|x| *x).collect();
+            survivors.sort_by_key(|&seq| std::cmp::Reverse(s.next.wrapping_sub(seq)));
+            if survivors != s.claim_order {
+                return Err(format!(
+                    "recovered order {survivors:?} != claim order {:?}",
+                    s.claim_order
+                ));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.complete, "schedule space must be exhausted");
+    // 3 writers x 2 steps: multinomial 6!/(2!2!2!) = 90 schedules.
+    assert_eq!(result.schedules, 90);
+    result.assert_ok();
+}
+
+#[test]
+fn event_ring_modulo_mapping_is_caught_losing_entries_at_the_seam() {
+    // The pre-fix design: `seq % len` with a non-power-of-two slot count.
+    // At the wrap seam u64::MAX % 3 == 0 and the next claim 0 % 3 == 0, so
+    // two adjacent claims collide in one slot and an entry is lost.
+    let result = explore(
+        || ring_threads(3, false, 3),
+        &|_| Ok(()),
+        &|s: &RingState| {
+            for seq in &s.claim_order {
+                let slot = (seq % s.slots.len() as u64) as usize;
+                if s.slots[slot] != Some(*seq) {
+                    return Err(format!("claim {seq} lost from slot {slot}"));
+                }
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    let v = result.violation.expect("explorer must expose the seam collision");
+    assert!(v.message.contains("lost"), "{}", v.message);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: two-bank window rotation
+// ---------------------------------------------------------------------------
+
+/// `LatencyHistogram::record` bumps the lifetime bank (its own atomics) and
+/// then, under the windows mutex, rotates if the period advanced and bumps
+/// the current bank. The mutex makes rotate+bump one step; the lifetime
+/// bump is a separate earlier step. A clock thread advances the period —
+/// twice, so both rotation branches (shift and double-jump reset) are
+/// reachable.
+struct HistState {
+    now: u64,
+    period: u64,
+    current: u64,
+    previous: u64,
+    dropped: u64,
+    lifetime: u64,
+    recorded: u64,
+}
+
+fn rotate(s: &mut HistState) {
+    if s.now == s.period + 1 {
+        s.dropped += s.previous;
+        s.previous = s.current;
+        s.current = 0;
+        s.period = s.now;
+    } else if s.now > s.period {
+        s.dropped += s.previous + s.current;
+        s.previous = 0;
+        s.current = 0;
+        s.period = s.now;
+    }
+}
+
+fn hist_threads(writers: usize, clock_ticks: usize) -> (HistState, Vec<VThread<HistState>>) {
+    let state = HistState {
+        now: 0,
+        period: 0,
+        current: 0,
+        previous: 0,
+        dropped: 0,
+        lifetime: 0,
+        recorded: 0,
+    };
+    let mut threads: Vec<VThread<HistState>> = (0..writers)
+        .map(|w| {
+            VThread::new(format!("recorder-{w}"))
+                .step(|s: &mut HistState| s.lifetime += 1)
+                .step(|s: &mut HistState| {
+                    rotate(s);
+                    s.current += 1;
+                    s.recorded += 1;
+                })
+        })
+        .collect();
+    let mut clock = VThread::new("clock");
+    for _ in 0..clock_ticks {
+        clock = clock.step(|s: &mut HistState| s.now += 1);
+    }
+    threads.push(clock);
+    (state, threads)
+}
+
+#[test]
+fn latency_histogram_rotation_conserves_samples() {
+    let conservation = |s: &HistState| {
+        if s.recorded != s.current + s.previous + s.dropped {
+            return Err(format!(
+                "samples leaked: recorded={} current={} previous={} dropped={}",
+                s.recorded, s.current, s.previous, s.dropped
+            ));
+        }
+        if s.lifetime < s.recorded {
+            return Err(format!(
+                "lifetime {} fell behind window recordings {}",
+                s.lifetime, s.recorded
+            ));
+        }
+        Ok(())
+    };
+    let result = explore(
+        || hist_threads(2, 2),
+        &conservation,
+        &move |s: &HistState| {
+            conservation(s)?;
+            if s.lifetime != 2 || s.recorded != 2 {
+                return Err(format!(
+                    "writes lost: lifetime={} recorded={}",
+                    s.lifetime, s.recorded
+                ));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.complete);
+    // 2 writers x 2 steps + 1 clock x 2 steps: 6!/(2!2!2!) = 90 schedules.
+    assert_eq!(result.schedules, 90);
+    result.assert_ok();
+}
+
+/// Broken-twin state with explicit bank identities: the writer captures a
+/// reference to the current bank in one step and bumps it in a later step.
+struct BankState {
+    banks: Vec<u64>,
+    current: usize,
+    previous: Option<usize>,
+    recorded: u64,
+    target: Option<usize>,
+}
+
+#[test]
+fn latency_histogram_unlocked_rotation_is_caught() {
+    // Broken twin: without the windows mutex, "pick the current bank" and
+    // "record into it" are separate steps. Two rotations in between retire
+    // the captured bank entirely, so the sample lands outside both live
+    // windows and vanishes from every snapshot.
+    let mk = || {
+        let state = BankState {
+            banks: vec![0],
+            current: 0,
+            previous: None,
+            recorded: 0,
+            target: None,
+        };
+        let rotate_shift = |s: &mut BankState| {
+            let fresh = s.banks.len();
+            s.banks.push(0);
+            s.previous = Some(s.current);
+            s.current = fresh;
+        };
+        let writer = VThread::new("recorder")
+            .step(|s: &mut BankState| s.target = Some(s.current))
+            .step(|s: &mut BankState| {
+                let t = s.target.expect("capture precedes bump");
+                s.banks[t] += 1;
+                s.recorded += 1;
+            });
+        let clock = VThread::new("clock").step(rotate_shift).step(rotate_shift);
+        (state, vec![writer, clock])
+    };
+    let result = explore(
+        mk,
+        &|_| Ok(()),
+        &|s: &BankState| {
+            let live = s.banks[s.current] + s.previous.map_or(0, |i| s.banks[i]);
+            if live != s.recorded {
+                return Err(format!(
+                    "sample recorded into a retired bank: live={live} recorded={}",
+                    s.recorded
+                ));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.violation.is_some(), "unlocked rotation must be caught");
+}
+
+// ---------------------------------------------------------------------------
+// TagSink: whole-line atomicity on the shared diagnostics sink
+// ---------------------------------------------------------------------------
+
+/// `TagSink::write` buffers per-writer until a newline, then emits
+/// `tag + line` in one critical section on the shared sink. Chunked writes
+/// from concurrent requests must never interleave bytes within a line.
+struct SinkState {
+    bufs: Vec<String>,
+    out: Vec<String>,
+}
+
+fn tag_threads() -> (SinkState, Vec<VThread<SinkState>>) {
+    let state = SinkState {
+        bufs: vec![String::new(); 2],
+        out: Vec::new(),
+    };
+    let threads = (0..2usize)
+        .map(|w| {
+            VThread::new(format!("req-{w}"))
+                .step(move |s: &mut SinkState| {
+                    // Partial chunk: buffered, nothing reaches the sink.
+                    s.bufs[w].push_str(&format!("a{w}"));
+                })
+                .step(move |s: &mut SinkState| {
+                    // Newline completes the line; tag + line go out under
+                    // one lock acquisition (one step).
+                    s.bufs[w].push('b');
+                    let line = std::mem::take(&mut s.bufs[w]);
+                    s.out.push(format!("[req={w}] {line}"));
+                })
+        })
+        .collect();
+    (state, threads)
+}
+
+#[test]
+fn tag_sink_lines_are_atomic_under_interleaving() {
+    let result = explore(
+        tag_threads,
+        &|s: &SinkState| {
+            for line in &s.out {
+                let ok = line == "[req=0] a0b" || line == "[req=1] a1b";
+                if !ok {
+                    return Err(format!("torn line {line:?}"));
+                }
+            }
+            Ok(())
+        },
+        &|s: &SinkState| {
+            if s.out.len() != 2 {
+                return Err(format!("expected 2 lines, got {:?}", s.out));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.complete);
+    result.assert_ok();
+}
+
+#[test]
+fn unbuffered_sink_tearing_is_caught() {
+    // Broken twin: each fragment goes straight to the shared sink (no
+    // per-writer buffer, no lock across the line). Fragments from the two
+    // requests interleave and a torn line appears.
+    let mk = || {
+        let state = SinkState {
+            bufs: vec![String::new(); 2],
+            out: vec![String::new()],
+        };
+        let threads = (0..2usize)
+            .map(|w| {
+                VThread::new(format!("req-{w}"))
+                    .step(move |s: &mut SinkState| s.out[0].push_str(&format!("[req={w}] ")))
+                    .step(move |s: &mut SinkState| s.out[0].push_str(&format!("a{w}b\n")))
+            })
+            .collect();
+        (state, threads)
+    };
+    let result = explore(
+        mk,
+        &|_| Ok(()),
+        &|s: &SinkState| {
+            for line in s.out[0].lines() {
+                if line != "[req=0] a0b" && line != "[req=1] a1b" {
+                    return Err(format!("torn line {line:?}"));
+                }
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.violation.is_some(), "tearing must be observable");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: cancel-vs-solve exactly-once reply
+// ---------------------------------------------------------------------------
+
+/// A queued job can be answered by the worker that dequeues it or by a
+/// cancel tombstone — whoever claims it first. The shipped protocol claims
+/// with one atomic exchange; the reply happens inside that claim's critical
+/// section, so exactly one reply is sent.
+struct ReplyState {
+    claimed: bool,
+    replies: u32,
+    saw_unclaimed: Vec<bool>,
+}
+
+#[test]
+fn cancel_vs_solve_replies_exactly_once_with_atomic_claim() {
+    let mk = || {
+        let state = ReplyState {
+            claimed: false,
+            replies: 0,
+            saw_unclaimed: vec![false; 2],
+        };
+        let threads = ["solver", "cancel"]
+            .iter()
+            .map(|name| {
+                VThread::new(*name).step(|s: &mut ReplyState| {
+                    // swap(true): claim and reply are one atomic step.
+                    if !s.claimed {
+                        s.claimed = true;
+                        s.replies += 1;
+                    }
+                })
+            })
+            .collect();
+        (state, threads)
+    };
+    let result = explore(
+        mk,
+        &|_| Ok(()),
+        &|s: &ReplyState| {
+            if s.replies != 1 {
+                return Err(format!("{} replies for one request", s.replies));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    assert!(result.complete);
+    result.assert_ok();
+}
+
+#[test]
+fn cancel_vs_solve_check_then_act_double_reply_is_caught() {
+    // Broken twin: load the claim flag in one step, reply in a later step.
+    // Both sides can observe "unclaimed" before either sets it, and the
+    // client hears two answers for one id.
+    let mk = || {
+        let state = ReplyState {
+            claimed: false,
+            replies: 0,
+            saw_unclaimed: vec![false; 2],
+        };
+        let threads = (0..2usize)
+            .map(|w| {
+                VThread::new(if w == 0 { "solver" } else { "cancel" })
+                    .step(move |s: &mut ReplyState| s.saw_unclaimed[w] = !s.claimed)
+                    .step(move |s: &mut ReplyState| {
+                        if s.saw_unclaimed[w] {
+                            s.claimed = true;
+                            s.replies += 1;
+                        }
+                    })
+            })
+            .collect();
+        (state, threads)
+    };
+    let result = explore(
+        mk,
+        &|_| Ok(()),
+        &|s: &ReplyState| {
+            if s.replies != 1 {
+                return Err(format!("{} replies for one request", s.replies));
+            }
+            Ok(())
+        },
+        &Explorer::default(),
+    );
+    let v = result.violation.expect("double reply must be found");
+    assert!(v.message.contains("2 replies"), "{}", v.message);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer plumbing under real models
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_sampling_agrees_with_exhaustive_on_the_ring_model() {
+    // Random sampling is a fallback for bigger models; on a model the
+    // exhaustive pass proves clean, sampling must not "find" anything.
+    let check = |s: &RingState| {
+        for seq in &s.claim_order {
+            let slot = (seq & (s.slots.len() as u64 - 1)) as usize;
+            if s.slots[slot] != Some(*seq) {
+                return Err(format!("claim {seq} lost from slot {slot}"));
+            }
+        }
+        Ok(())
+    };
+    let sampled = explore(
+        || ring_threads(4, true, 3),
+        &|_| Ok(()),
+        &check,
+        &Explorer {
+            max_schedules: 500,
+            seed: Some(0xD15EA5E),
+        },
+    );
+    assert_eq!(sampled.schedules, 500);
+    assert!(!sampled.complete, "sampling never claims exhaustion");
+    sampled.assert_ok();
+}

@@ -86,6 +86,11 @@ pub enum SatResult {
 
 const INVALID: usize = usize::MAX;
 
+/// Conflicts between cancellation polls in the `*_polled` solve entry
+/// points: frequent enough that a daemon cancel lands within milliseconds,
+/// rare enough that the branch is noise next to clause learning.
+pub const POLL_CONFLICT_STRIDE: u64 = 64;
+
 /// A CDCL SAT solver.
 ///
 /// # Examples
@@ -413,6 +418,7 @@ impl SatSolver {
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut trail_idx = self.trail.len();
+        // synthlint: allow(unpolled-loop) — 1UIP resolution walks the finite trail backwards
         loop {
             // The reason side of the current conflict/antecedent.
             let start = usize::from(p.is_some());
@@ -430,6 +436,7 @@ impl SatSolver {
                 }
             }
             // Select next literal to expand: last trail literal seen.
+            // synthlint: allow(unpolled-loop) — scans the trail for a seen literal; bounded by trail length
             loop {
                 trail_idx -= 1;
                 let l = self.trail[trail_idx];
@@ -524,6 +531,7 @@ impl SatSolver {
     }
 
     fn cancel_until(&mut self, lvl: u32) {
+        // synthlint: allow(unpolled-loop) — pops the trail down to a level; bounded by trail length
         while self.decision_level() > lvl {
             let lim = self.trail_lim.pop().expect("level");
             while self.trail.len() > lim {
@@ -584,6 +592,20 @@ impl SatSolver {
         self.solve_under(&[], max_conflicts, theory)
     }
 
+    /// [`SatSolver::solve_with_theory`] with a cancellation hook: `poll` is
+    /// consulted every [`POLL_CONFLICT_STRIDE`] conflicts and a `false`
+    /// return abandons the search (`None`, root level restored). This is how
+    /// a daemon cancel reaches the middle of a conflict chunk instead of
+    /// waiting out up to `max_conflicts` of CDCL churn.
+    pub fn solve_with_theory_polled(
+        &mut self,
+        max_conflicts: Option<u64>,
+        poll: impl FnMut() -> bool,
+        theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
+    ) -> Option<SatResult> {
+        self.solve_under_polled(&[], max_conflicts, poll, theory)
+    }
+
     /// [`SatSolver::solve_with_theory`] under *assumptions*: the given
     /// literals are installed as pseudo-decisions (one per decision level,
     /// in order) before any real branching, MiniSat-style. `Unsat` then
@@ -601,6 +623,18 @@ impl SatSolver {
         &mut self,
         assumptions: &[Lit],
         max_conflicts: Option<u64>,
+        theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
+    ) -> Option<SatResult> {
+        self.solve_under_polled(assumptions, max_conflicts, || true, theory)
+    }
+
+    /// [`SatSolver::solve_under`] with a cancellation hook; see
+    /// [`SatSolver::solve_with_theory_polled`] for the polling contract.
+    pub fn solve_under_polled(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: Option<u64>,
+        mut poll: impl FnMut() -> bool,
         mut theory: impl FnMut(&[Option<bool>]) -> Option<Vec<Lit>>,
     ) -> Option<SatResult> {
         if self.unsat_at_root {
@@ -625,6 +659,10 @@ impl SatSolver {
                             self.cancel_until(0);
                             return None;
                         }
+                    }
+                    if conflicts_this_call.is_multiple_of(POLL_CONFLICT_STRIDE) && !poll() {
+                        self.cancel_until(0);
+                        return None;
                     }
                     if self.decision_level() == 0 {
                         self.unsat_at_root = true;
@@ -721,14 +759,17 @@ impl SatSolver {
 fn luby(i: u32) -> u64 {
     // Find the finite subsequence containing index i.
     let mut k = 1u32;
+    // synthlint: allow(unpolled-loop) — Luby index arithmetic; bounded by the u64 bit width
     while (1u64 << k) - 1 < u64::from(i) + 1 {
         k += 1;
     }
     let mut i = u64::from(i) + 1;
     let mut kk = k;
+    // synthlint: allow(unpolled-loop) — strictly decreasing subsequence index; terminates in ≤ 64 rounds
     while i != (1u64 << kk) - 1 {
         i -= (1u64 << (kk - 1)) - 1;
         kk = 1;
+        // synthlint: allow(unpolled-loop) — Luby index arithmetic; bounded by the u64 bit width
         while (1u64 << kk) - 1 < i {
             kk += 1;
         }

@@ -400,9 +400,16 @@ impl SmtSession {
                 eprintln!("[dbg] session round {rounds}: sat solve");
             }
             // Solve the propositional abstraction in conflict chunks so the
-            // deadline is honored.
+            // deadline is honored; within a chunk the conflict-stride poll
+            // lets cancellation land mid-search.
+            let poll_handle = cfg.budget.clone();
             let bool_model = loop {
-                match enc.sat.solve_under(&assumptions, Some(20_000), &mut theory_cb) {
+                match enc.sat.solve_under_polled(
+                    &assumptions,
+                    Some(20_000),
+                    || poll_handle.exceeded().is_none(),
+                    &mut theory_cb,
+                ) {
                     Some(SatResult::Unsat) => {
                         if cfg.certify {
                             // The refutation is conditional on the open
@@ -470,6 +477,7 @@ impl SmtSession {
                         };
                         let (mut lo, mut hi) = (1usize, asserted.len());
                         if unsat_prefix(hi)? {
+                            // synthlint: allow(unpolled-loop) — O(log n) core binary search; every probe re-checks the theory under the budget
                             while lo < hi {
                                 let mid = lo + (hi - lo) / 2;
                                 if unsat_prefix(mid)? {

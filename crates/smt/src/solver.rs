@@ -378,6 +378,7 @@ pub(crate) fn canonical_atom(op: Op, lhs: &Term, rhs: &Term) -> Result<Atom, Smt
     }
     fn gcd_i64(a: i64, b: i64) -> i64 {
         let (mut a, mut b) = (a.abs(), b.abs());
+        // synthlint: allow(unpolled-loop) — Euclid on i64; at most ~47 iterations
         while b != 0 {
             let r = a % b;
             a = b;
@@ -1140,10 +1141,16 @@ impl SmtSolver {
                 return Err(SmtError::ResourceLimit("theory rounds"));
             }
             // Solve the propositional abstraction in conflict chunks so the
-            // deadline is honored.
+            // deadline is honored; within a chunk the conflict-stride poll
+            // lets cancellation land mid-search.
             let t_sat = Instant::now();
+            let poll_handle = self.cfg.budget.clone();
             let bool_model = loop {
-                match enc.sat.solve_with_theory(Some(20_000), &mut theory_cb) {
+                match enc.sat.solve_with_theory_polled(
+                    Some(20_000),
+                    || poll_handle.exceeded().is_none(),
+                    &mut theory_cb,
+                ) {
                     Some(SatResult::Unsat) => {
                         self.certify_unsat(&enc.sat)?;
                         return Ok(SmtResult::Unsat);
@@ -1218,6 +1225,7 @@ impl SmtSolver {
                         // Find the smallest k with prefix[..k] unsat.
                         let (mut lo, mut hi) = (1usize, asserted.len());
                         if unsat_prefix(hi)? {
+                            // synthlint: allow(unpolled-loop) — O(log n) core binary search; every probe calls check_deadline
                             while lo < hi {
                                 let mid = lo + (hi - lo) / 2;
                                 if unsat_prefix(mid)? {
