@@ -71,11 +71,15 @@ pub enum Stage {
     Verify,
     /// One parallel height-band worker (Section 5.1).
     Worker,
+    /// One difference-logic theory check (negative-cycle propagation) in
+    /// the SMT substrate. Disjoint from [`Stage::Smt`]: `smt` spans cover
+    /// the whole query, `dl` spans only the DL engine's share of it.
+    Dl,
 }
 
 impl Stage {
     /// Every stage, in registry order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Deduct,
         Stage::Divide,
         Stage::TypeB,
@@ -85,6 +89,7 @@ impl Stage {
         Stage::Smt,
         Stage::Verify,
         Stage::Worker,
+        Stage::Dl,
     ];
 
     /// The stage's stable snake-case name (used in events and reports).
@@ -99,6 +104,7 @@ impl Stage {
             Stage::Smt => "smt",
             Stage::Verify => "verify",
             Stage::Worker => "worker",
+            Stage::Dl => "dl",
         }
     }
 

@@ -29,7 +29,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: bench run [--out FILE] [--timeout SECS] \
-[--track INV|CLIA|General] [--lineup competition|full]\n\
+[--track INV|CLIA|General] [--lineup competition|full] [--theory auto|simplex|dl]\n\
        bench compare OLD.json NEW.json [--noise FRAC] [--min-seconds S] [--solved-only]\n\
   run writes the trajectory document (observability_json) for the suite;\n\
   compare diffs two trajectory files and exits 1 on regression:\n\
@@ -78,6 +78,10 @@ fn run_mode(args: &[String]) -> Result<ExitCode, String> {
             }
             "--track" => track = Some(it.next().ok_or("--track needs a name")?.clone()),
             "--lineup" => lineup = it.next().ok_or("--lineup needs a value")?.clone(),
+            "--theory" => {
+                let v = it.next().ok_or("--theory needs auto|simplex|dl")?;
+                smtkit::set_process_default_theory(v.parse()?);
+            }
             other => return Err(format!("unknown run flag `{other}`")),
         }
     }

@@ -6,7 +6,8 @@
 //! dryadsynth [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen]
 //!            [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats]
 //!            [--json] [--trace FILE] [--dot FILE] [--profile FILE]
-//!            [--progress SECS] [--stall-after SECS] [--certify] FILE.sl
+//!            [--progress SECS] [--stall-after SECS] [--certify]
+//!            [--theory auto|simplex|dl] FILE.sl
 //! dryadsynth --lint FILE.sl
 //! ```
 //!
@@ -38,6 +39,13 @@
 //! exits 7 when the grammar has error-level findings (e.g. an unproductive
 //! reachable nonterminal).
 //!
+//! `--theory` sets the process-wide SMT theory-engine selection (see
+//! [`smtkit::TheorySelect`]): `auto` (default) dispatches queries whose
+//! atoms all fit the difference-logic fragment to the specialized
+//! constraint-graph engine, `simplex` forces the general warm simplex
+//! everywhere (the A/B baseline), `dl` prefers difference logic where it
+//! fits.
+//!
 //! Exit codes distinguish the failure modes:
 //!
 //! | code | meaning                                            |
@@ -63,7 +71,8 @@ const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
 [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
 [--json] [--trace FILE] [--dot FILE] [--profile FILE] [--progress SECS] \
-[--stall-after SECS] [--certify] [--no-smt-sessions] FILE.sl\n\
+[--stall-after SECS] [--certify] [--no-smt-sessions] \
+[--theory auto|simplex|dl] FILE.sl\n\
        dryadsynth --lint FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
   --fuel caps governed engine steps independently of wall-clock time;\n\
@@ -78,6 +87,9 @@ const USAGE: &str = "usage: dryadsynth \
   --certify re-validates solved answers (grammar, sorts, independent SMT)\n\
   and exits 7 on failure; --no-smt-sessions disables the persistent\n\
   incremental SMT sessions in the CEGIS loops (for A/B measurement);\n\
+  --theory picks the eager SMT theory engine: auto (default) dispatches\n\
+  difference-logic queries to the specialized engine, simplex forces the\n\
+  general path, dl prefers difference logic where it fits;\n\
   --lint prints the grammar dataflow report for a problem without solving\n\
   it (exit 7 on error-level findings).";
 
@@ -95,6 +107,7 @@ struct Options {
     stall_after: Option<Duration>,
     certify: bool,
     smt_sessions: bool,
+    theory: smtkit::TheorySelect,
     lint: Option<String>,
     file: Option<String>,
 }
@@ -114,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
         stall_after: None,
         certify: false,
         smt_sessions: true,
+        theory: smtkit::TheorySelect::Auto,
         lint: None,
         file: None,
     };
@@ -171,6 +185,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--certify" => opts.certify = true,
             "--no-smt-sessions" => opts.smt_sessions = false,
+            "--theory" => {
+                let v = args.next().ok_or("--theory needs auto|simplex|dl")?;
+                opts.theory = v.parse()?;
+            }
             "--lint" => {
                 opts.lint = Some(args.next().ok_or("--lint needs a file path")?);
             }
@@ -237,6 +255,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // One process-wide knob set before any solver is constructed: every
+    // SmtConfig::default() in the engines below then inherits it.
+    smtkit::set_process_default_theory(opts.theory);
     if let Some(file) = &opts.lint {
         return lint_mode(file);
     }

@@ -47,11 +47,13 @@ use std::time::Duration;
 const USAGE: &str = "usage: dryadsynthd [--workers N] [--queue-cap N] \
 [--default-timeout SECS] [--max-timeout SECS] [--drain-deadline SECS] \
 [--threads-per-solve N] [--heartbeat SECS] [--stall-after SECS] \
-[--certify] [--chaos-seed SEED] [--socket PATH] \
+[--certify] [--chaos-seed SEED] [--theory auto|simplex|dl] [--socket PATH] \
 [--metrics-socket PATH] [--audit FILE]\n\
   Serves newline-delimited JSON solve requests on stdin (or PATH) and\n\
   answers on stdout (or the connection). EOF, {\"shutdown\":true}, SIGTERM\n\
   and SIGINT all drain gracefully and print a {\"shutdown\":{...}} summary.\n\
+  --theory picks the incremental theory engine for all solves (default\n\
+  auto: difference logic when every atom fits, simplex otherwise);\n\
   --metrics-socket serves Prometheus text exposition per connection;\n\
   --audit appends one JSON line per answered request.";
 
@@ -81,6 +83,7 @@ struct Options {
     socket: Option<String>,
     metrics_socket: Option<String>,
     audit: Option<String>,
+    theory: smtkit::TheorySelect,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -88,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
     let mut socket = None;
     let mut metrics_socket = None;
     let mut audit = None;
+    let mut theory = smtkit::TheorySelect::Auto;
     let mut chaos_seed: Option<u64> = std::env::var("DRYADSYNTHD_CHAOS_SEED")
         .ok()
         .and_then(|s| s.parse().ok());
@@ -118,6 +122,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--certify" => config.certify = true,
             "--chaos-seed" => chaos_seed = Some(num("--chaos-seed")?),
+            "--theory" => {
+                let v = args.next().ok_or("--theory needs auto|simplex|dl")?;
+                theory = v.parse()?;
+            }
             "--socket" => socket = Some(args.next().ok_or("--socket needs a path")?),
             "--metrics-socket" => {
                 metrics_socket = Some(args.next().ok_or("--metrics-socket needs a path")?)
@@ -133,6 +141,7 @@ fn parse_args() -> Result<Options, String> {
         socket,
         metrics_socket,
         audit,
+        theory,
     })
 }
 
@@ -163,6 +172,9 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Process-wide theory selection: every `SmtConfig::default()` built by
+    // worker threads after this point inherits it.
+    smtkit::set_process_default_theory(options.theory);
     install_signal_handlers();
     // Worker panics are contained by design (answered as `engine_fault`);
     // one stderr line each beats a full default backtrace per fault.

@@ -741,10 +741,8 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
     // evidence.
     let solve_us = started.elapsed().as_micros() as u64;
     root_metrics.record_latency("solve_wall", solve_us);
-    let stage_micros: Vec<(String, u64)> = budget
-        .tracer()
-        .metrics()
-        .snapshot()
+    let request_metrics = budget.tracer().metrics().snapshot();
+    let stage_micros: Vec<(String, u64)> = request_metrics
         .stages
         .iter()
         .filter(|s| s.count > 0)
@@ -752,6 +750,13 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
         .collect();
     for (name, micros) in &stage_micros {
         root_metrics.record_latency(&format!("stage.{name}"), *micros);
+    }
+    // Theory-dispatch counters are per-request (the request has its own
+    // tracer); roll them up so the Prometheus exposition sees them.
+    for (name, value) in &request_metrics.counters {
+        if name.starts_with("theory.") {
+            root_metrics.add(name, *value);
+        }
     }
     let response = match result {
         Err(payload) => {

@@ -20,6 +20,39 @@ pub mod runtime;
 mod simplify_solution;
 mod solver;
 
+/// The `dryadsynthd` wire protocol as a stable public surface.
+///
+/// Clients that embed the solver and talk to a remote daemon need the
+/// request/response types without reaching through the [`daemon`] service
+/// internals, so the protocol module is re-exported here under a short,
+/// documented path. Every request and terminal response round-trips
+/// through its JSON line form:
+///
+/// ```
+/// use dryadsynth::proto::{Request, Response, SolveJob};
+///
+/// let req = Request::Solve(SolveJob {
+///     id: "r1".into(),
+///     sygus: "(set-logic LIA)".into(),
+///     timeout_ms: Some(5000),
+///     engine: Some("coop".into()),
+///     certify: true,
+/// });
+/// let line = req.to_json().to_string();
+/// assert_eq!(Request::parse(&line).unwrap(), req);
+///
+/// let resp_line = r#"{"id":"r1","outcome":"timeout"}"#;
+/// let resp = Response::parse(resp_line).unwrap();
+/// assert_eq!(resp.id(), Some("r1"));
+/// assert_eq!(Response::parse(&resp.to_json().to_string()).unwrap(), resp);
+/// ```
+pub mod proto {
+    pub use crate::daemon::protocol::{
+        DrainSummary, LatencyBankStats, LatencyLine, OutcomeResponse, Request, Response,
+        SolveJob, StatsLite, StatsReply, DAEMON_VERSION,
+    };
+}
+
 pub use baselines::{BaselineConfig, CegqiSolver, HoudiniInvSolver};
 pub use certify::{certify_solution, Certificate, SpecVerdict};
 pub use cooperative::{CoopStats, CooperativeSolver, SynthOutcome};

@@ -78,6 +78,7 @@ const R1_SCOPE: &[&str] = &[
     "crates/smt/src/simplex.rs",
     "crates/smt/src/lia.rs",
     "crates/smt/src/inc_lra.rs",
+    "crates/smt/src/dl.rs",
     "crates/smt/src/session.rs",
     "crates/smt/src/solver.rs",
     "crates/enumerative/src",

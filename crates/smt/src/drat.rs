@@ -23,10 +23,16 @@ use std::fmt;
 /// One step of a DRAT-style clause trace, in derivation order.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProofStep {
-    /// An axiom: an original clause or a theory lemma. Not RUP-checked —
-    /// inputs define the formula, and theory lemmas are justified by the
-    /// theory solver, not by propositional reasoning.
+    /// An axiom: an original clause of the formula. Not RUP-checked —
+    /// inputs define the formula being refuted.
     Input(Vec<Lit>),
+    /// A clause contributed by a theory solver (a Farkas core, a
+    /// difference-logic negative cycle, or a pinned-disequality conflict
+    /// mapped to atom literals). Replayed like an input — its justification
+    /// is the theory certificate, not propositional reasoning — but tagged
+    /// separately so certificate provenance survives into the trace text
+    /// and replay statistics.
+    TheoryLemma(Vec<Lit>),
     /// A clause derived by conflict analysis; must pass RUP.
     Learn(Vec<Lit>),
     /// A clause removed from the active database (tautologies and clauses
@@ -67,8 +73,10 @@ impl fmt::Display for DratError {
 /// Counters from a successful [`check_refutation`] replay.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DratStats {
-    /// Input clauses (original + theory lemmas) replayed.
+    /// Input clauses replayed.
     pub inputs: usize,
+    /// Theory lemmas replayed (axioms justified by theory certificates).
+    pub theory_lemmas: usize,
     /// Learned clauses RUP-checked.
     pub learned: usize,
     /// Deletion steps applied.
@@ -302,6 +310,10 @@ pub fn check_refutation(steps: &[ProofStep]) -> Result<DratStats, DratError> {
                 replay.stats.inputs += 1;
                 replay.attach(c);
             }
+            ProofStep::TheoryLemma(c) => {
+                replay.stats.theory_lemmas += 1;
+                replay.attach(c);
+            }
             ProofStep::Learn(c) => {
                 replay.stats.learned += 1;
                 for &l in c {
@@ -339,7 +351,7 @@ pub fn model_satisfies(steps: &[ProofStep], model: &[bool]) -> bool {
     let mut live: HashMap<Vec<Lit>, usize> = HashMap::new();
     for step in steps {
         let (clause, delta) = match step {
-            ProofStep::Input(c) | ProofStep::Learn(c) => (c, 1i64),
+            ProofStep::Input(c) | ProofStep::TheoryLemma(c) | ProofStep::Learn(c) => (c, 1i64),
             ProofStep::Delete(c) => (c, -1i64),
         };
         let mut key = clause.clone();
@@ -356,15 +368,17 @@ pub fn model_satisfies(steps: &[ProofStep], model: &[bool]) -> bool {
 /// Renders a trace in DRAT-style text form, deterministically: literals are
 /// sorted within each clause (variable order, positive first) and steps are
 /// emitted in derivation order. Learned clauses are plain lines, deletions
-/// are `d` lines, and inputs use an `i` prefix (standard DRAT keeps inputs
-/// in the CNF file; the trace here is self-contained instead). Literals use
-/// DIMACS numbering (`var + 1`, negative for negated) and each line ends
-/// with `0`.
+/// are `d` lines, inputs use an `i` prefix (standard DRAT keeps inputs in
+/// the CNF file; the trace here is self-contained instead), and theory
+/// lemmas use a `t` prefix so their certificate-backed provenance stays
+/// visible in the text. Literals use DIMACS numbering (`var + 1`, negative
+/// for negated) and each line ends with `0`.
 pub fn drat_text(steps: &[ProofStep]) -> String {
     let mut out = String::new();
     for step in steps {
         let (prefix, clause) = match step {
             ProofStep::Input(c) => ("i ", c),
+            ProofStep::TheoryLemma(c) => ("t ", c),
             ProofStep::Learn(c) => ("", c),
             ProofStep::Delete(c) => ("d ", c),
         };
@@ -475,6 +489,38 @@ mod tests {
         ];
         assert!(model_satisfies(&steps, &[true, true]));
         assert!(!model_satisfies(&steps, &[false, false]));
+    }
+
+    /// Theory lemmas replay as axioms (no RUP check), count separately in
+    /// the statistics, participate in model checking, and render with the
+    /// `t` prefix.
+    #[test]
+    fn theory_lemmas_replay_as_tagged_axioms() {
+        // (a ∨ b) plus the theory lemma (¬a) does not propositionally
+        // imply (¬b) — but the lemma is an axiom, so learning (b) by RUP
+        // against {a∨b, ¬a} works and the units refute.
+        let steps = [
+            ProofStep::Input(vec![pos(0), pos(1)]),
+            ProofStep::TheoryLemma(vec![neg(0)]),
+            ProofStep::Learn(vec![pos(1)]),
+            ProofStep::TheoryLemma(vec![neg(1)]),
+        ];
+        let stats = check_refutation(&steps).unwrap();
+        assert_eq!(stats.inputs, 1);
+        assert_eq!(stats.theory_lemmas, 2);
+        assert_eq!(stats.learned, 1);
+
+        let sat_steps = [
+            ProofStep::Input(vec![pos(0), pos(1)]),
+            ProofStep::TheoryLemma(vec![neg(0)]),
+        ];
+        assert!(model_satisfies(&sat_steps, &[false, true]));
+        assert!(!model_satisfies(&sat_steps, &[true, true]));
+
+        assert_eq!(
+            drat_text(&[ProofStep::TheoryLemma(vec![neg(0), pos(2)])]),
+            "t -1 3 0\n"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! models. Disequalities (negated equalities) are ignored at this level.
 
 use crate::simplex::BoundSide;
+use crate::theory::{TheoryCertificate, TheorySolver};
 use crate::{Rat, Simplex};
 use std::collections::{BTreeMap, HashMap};
 
@@ -19,6 +20,9 @@ use std::collections::{BTreeMap, HashMap};
 /// form `Σ coeff·var`, whether the relation is `=` (else `≤`), and the
 /// right-hand side.
 pub type LinearAtom = (Vec<(usize, i64)>, bool, i64);
+
+/// One trail record: an atom index and its pre-frame polarity.
+type TrailEntry = (usize, Option<bool>);
 
 /// An atom in slack form: `linear form ⋈ rhs`, referencing a registered
 /// slack variable.
@@ -57,6 +61,18 @@ pub struct IncrementalLra {
     active: HashMap<usize, ActiveBounds>,
     /// Atom literals currently asserted: `asserted[atom] = Some(polarity)`.
     asserted: Vec<Option<bool>>,
+    /// Open trail frames for [`TheorySolver::push`]/[`TheorySolver::pop`]:
+    /// each records the pre-frame polarity of atoms first touched inside it.
+    /// Empty (and cost-free) for callers that never push.
+    frames: Vec<(u64, Vec<TrailEntry>)>,
+    /// Monotone frame counter; ids are never reused so stale stamps cannot
+    /// alias a reopened frame.
+    next_frame: u64,
+    /// `stamp[atom]`: id of the frame that already recorded this atom.
+    stamp: Vec<u64>,
+    /// Certificate of the most recent conflict from
+    /// [`check_budgeted`](IncrementalLra::check_budgeted).
+    last_conflict: Option<TheoryCertificate>,
 }
 
 impl IncrementalLra {
@@ -70,6 +86,10 @@ impl IncrementalLra {
             atoms: Vec::with_capacity(atoms.len()),
             active: HashMap::new(),
             asserted: Vec::with_capacity(atoms.len()),
+            frames: Vec::new(),
+            next_frame: 0,
+            stamp: Vec::with_capacity(atoms.len()),
+            last_conflict: None,
         };
         for atom in atoms {
             st.add_atom(atom);
@@ -120,7 +140,19 @@ impl IncrementalLra {
             rhs: *rhs,
         });
         self.asserted.push(None);
+        self.stamp.push(u64::MAX);
         self.atoms.len() - 1
+    }
+
+    /// Records `idx`'s pre-change polarity in the innermost open frame
+    /// (first touch per frame only; a no-op with no frame open).
+    fn note(&mut self, idx: usize) {
+        if let Some((id, entries)) = self.frames.last_mut() {
+            if self.stamp[idx] != *id {
+                self.stamp[idx] = *id;
+                entries.push((idx, self.asserted[idx]));
+            }
+        }
     }
 
     /// Asserts atom `idx` with the given polarity. Positive `e ≤ r` adds an
@@ -130,8 +162,15 @@ impl IncrementalLra {
         if self.asserted[idx] == Some(polarity) {
             return;
         }
+        self.note(idx);
+        self.apply_assert(idx, polarity);
+    }
+
+    /// Asserts without recording a trail entry (shared by the public
+    /// assert and pop's replay).
+    fn apply_assert(&mut self, idx: usize, polarity: bool) {
         if self.asserted[idx].is_some() {
-            self.retract_atom(idx);
+            self.apply_retract(idx);
         }
         self.asserted[idx] = Some(polarity);
         let atom = self.atoms[idx].clone();
@@ -153,6 +192,16 @@ impl IncrementalLra {
 
     /// Retracts atom `idx` (no-op if not asserted).
     pub fn retract_atom(&mut self, idx: usize) {
+        if self.asserted[idx].is_none() {
+            return;
+        }
+        self.note(idx);
+        self.apply_retract(idx);
+    }
+
+    /// Retracts without recording a trail entry (shared by the public
+    /// retract and pop's replay).
+    fn apply_retract(&mut self, idx: usize) {
         let Some(polarity) = self.asserted[idx].take() else {
             return;
         };
@@ -283,9 +332,14 @@ impl IncrementalLra {
                                 }
                             }
                         }
+                        self.last_conflict = Some(TheoryCertificate {
+                            kind: "pinned-diseq",
+                            atoms: core.clone(),
+                        });
                         return Some(Err(core));
                     }
                 }
+                self.last_conflict = None;
                 Some(Ok(()))
             }
             Err(expl) => {
@@ -312,6 +366,10 @@ impl IncrementalLra {
                         }
                     }
                 }
+                self.last_conflict = Some(TheoryCertificate {
+                    kind: "farkas",
+                    atoms: atoms.clone(),
+                });
                 Some(Err(atoms))
             }
         }
@@ -320,6 +378,78 @@ impl IncrementalLra {
     /// The currently asserted polarity of an atom.
     pub fn polarity(&self, idx: usize) -> Option<bool> {
         self.asserted[idx]
+    }
+}
+
+impl TheorySolver for IncrementalLra {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn add_var(&mut self) -> usize {
+        IncrementalLra::add_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        self.num_problem_vars()
+    }
+
+    fn add_atom(&mut self, atom: &LinearAtom) -> Option<usize> {
+        // The simplex fragment is all of linear arithmetic: never rejects.
+        Some(IncrementalLra::add_atom(self, atom))
+    }
+
+    fn num_atoms(&self) -> usize {
+        IncrementalLra::num_atoms(self)
+    }
+
+    fn assert_atom(&mut self, idx: usize, polarity: bool) {
+        IncrementalLra::assert_atom(self, idx, polarity);
+    }
+
+    fn retract_atom(&mut self, idx: usize) {
+        IncrementalLra::retract_atom(self, idx);
+    }
+
+    fn polarity(&self, idx: usize) -> Option<bool> {
+        IncrementalLra::polarity(self, idx)
+    }
+
+    fn push(&mut self) {
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.push((id, Vec::new()));
+    }
+
+    fn pop(&mut self) {
+        let Some((_, entries)) = self.frames.pop() else {
+            return;
+        };
+        for (idx, prev) in entries.into_iter().rev() {
+            // Replay without noting: the enclosing frame's records for
+            // these atoms (taken before this frame opened, if any) remain
+            // correct.
+            match prev {
+                Some(pol) => {
+                    if self.asserted[idx] != Some(pol) {
+                        self.apply_assert(idx, pol);
+                    }
+                }
+                None => self.apply_retract(idx),
+            }
+        }
+    }
+
+    fn check(
+        &mut self,
+        max_steps: u64,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Option<Result<(), Vec<usize>>> {
+        self.check_budgeted(max_steps, poll)
+    }
+
+    fn explain_conflict(&self) -> Option<TheoryCertificate> {
+        self.last_conflict.clone()
     }
 }
 
@@ -437,6 +567,34 @@ mod tests {
         assert_eq!(st.num_atoms(), before + 1);
         st.assert_atom(a3, true);
         assert!(st.check().is_ok());
+    }
+
+    /// The trait-level push/pop restores exact assertion state, including
+    /// across polarity flips, and `explain_conflict` reports the Farkas
+    /// certificate of the latest conflict.
+    #[test]
+    fn trait_push_pop_and_certificates() {
+        let mut st = state();
+        st.assert_atom(0, true); // x <= 5
+        TheorySolver::push(&mut st);
+        st.assert_atom(0, false); // flip: x >= 6
+        st.assert_atom(2, true); // x = 7
+        assert!(st.check().is_ok());
+        TheorySolver::push(&mut st);
+        st.assert_atom(1, true); // x <= 2: conflict with x = 7
+        assert!(st.check().is_err());
+        let cert = st.explain_conflict().expect("certificate");
+        assert_eq!(cert.kind, "farkas");
+        assert!(cert.atoms.contains(&1) && cert.atoms.contains(&2));
+        TheorySolver::pop(&mut st);
+        assert_eq!(st.polarity(1), None);
+        assert_eq!(st.polarity(0), Some(false));
+        assert!(st.check().is_ok());
+        TheorySolver::pop(&mut st);
+        assert_eq!(st.polarity(0), Some(true));
+        assert_eq!(st.polarity(2), None);
+        assert!(st.check().is_ok());
+        assert!(st.explain_conflict().is_none(), "cleared on success");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 mod bigint;
+mod dl;
 pub mod drat;
 mod inc_lra;
 mod lia;
@@ -26,10 +27,12 @@ mod sat;
 mod session;
 mod simplex;
 mod solver;
+pub mod theory;
 
 pub use bigint::BigInt;
+pub use dl::DifferenceLogic;
 pub use drat::{check_refutation, drat_text, model_satisfies, DratError, DratStats, ProofStep};
-pub use inc_lra::IncrementalLra;
+pub use inc_lra::{IncrementalLra, LinearAtom};
 pub use lia::{check_lia, check_lia_polled, LiaResult, LinCon, Rel};
 pub use rat::Rat;
 pub use sat::{Lit, SatResult, SatSolver, Var};
@@ -37,6 +40,10 @@ pub use session::SmtSession;
 pub use simplex::{BoundSide, Simplex, SimplexResult};
 pub use solver::{
     ClauseGcPolicy, Model, SmtConfig, SmtConfigBuilder, SmtError, SmtResult, SmtSolver, Validity,
+};
+pub use theory::{
+    fits_dl, process_default_theory, set_process_default_theory, TheoryCertificate, TheorySelect,
+    TheorySolver,
 };
 // The shared resource-governance handle (defined next to the AST so every
 // layer can use it without a dependency cycle).

@@ -480,11 +480,12 @@ impl SatSolver {
         lits.sort();
         lits.dedup();
         // Theory lemmas are axioms of the propositional abstraction: the
-        // trace records them as inputs (their justification lives in the
-        // theory solver, not in resolution).
+        // trace records them as theory-lemma steps — replayed like inputs
+        // (their justification lives in the theory solver, not in
+        // resolution) but tagged so certificate provenance is auditable.
         if self.proof.is_some() {
             let logged = lits.clone();
-            self.log(|| ProofStep::Input(logged));
+            self.log(|| ProofStep::TheoryLemma(logged));
         }
         if lits.is_empty() {
             self.unsat_at_root = true;

@@ -41,7 +41,8 @@ use crate::solver::{
     Atom, ClauseGcPolicy, Encoder, Model, Purifier, SmtConfig, SmtError, SmtResult, TheoryChecker,
     TheoryOutcome, Validity, THEORY_PIVOT_CAP,
 };
-use crate::{IncrementalLra, Lit, SatResult};
+use crate::theory::{TheorySelect, TheorySolver};
+use crate::{DifferenceLogic, IncrementalLra, Lit, SatResult};
 use std::collections::{BTreeMap, HashSet};
 use sygus_ast::trace::Stage;
 use sygus_ast::{Sort, Symbol, Term};
@@ -80,8 +81,14 @@ pub struct SmtSession {
     scopes: Vec<Scope>,
     /// First-come integer-variable indexing shared by all queries.
     index: BTreeMap<Symbol, usize>,
-    /// Warm rational theory state, grown as new atoms appear.
-    inc: IncrementalLra,
+    /// Warm theory state, grown as new atoms appear. Under
+    /// [`TheorySelect::Auto`] the session starts on the difference-logic
+    /// engine and migrates (once, permanently) to the warm simplex the
+    /// first time an atom outside the DL fragment is registered.
+    inc: Box<dyn TheorySolver>,
+    /// Every registered atom in registration order — the replay source for
+    /// engine migration.
+    lin_atoms: Vec<LinearAtom>,
     /// How many of `enc.atom_list` have been registered with `inc`.
     synced_atoms: usize,
     /// Sorted literal pairs of static lemmas already emitted.
@@ -97,13 +104,19 @@ impl SmtSession {
     /// tracer.
     pub fn new(cfg: SmtConfig) -> SmtSession {
         cfg.budget.tracer().metrics().bump("smt.sessions");
+        let inc: Box<dyn TheorySolver> = if cfg.theory == TheorySelect::Simplex {
+            Box::new(IncrementalLra::new(0, &[]))
+        } else {
+            Box::new(DifferenceLogic::new(0, &[]))
+        };
         SmtSession {
             enc: Encoder::new(cfg.certify),
             pur: Purifier::new(),
             base_asserts: Vec::new(),
             scopes: Vec::new(),
             index: BTreeMap::new(),
-            inc: IncrementalLra::new(0, &[]),
+            inc,
+            lin_atoms: Vec::new(),
             synced_atoms: 0,
             lemma_seen: HashSet::new(),
             learned_live: 0,
@@ -129,6 +142,11 @@ impl SmtSession {
             selector: Lit::pos(v),
             asserted: Vec::new(),
         });
+        // Keep the theory engine's assertion frames aligned with the
+        // selector scopes (the callback resync makes this redundant for
+        // correctness, but it bounds the engine's trail and keeps the
+        // TheorySolver contract honest for engines that rely on it).
+        self.inc.push();
         self.cfg.budget.tracer().metrics().bump("smt.scopes_pushed");
     }
 
@@ -145,6 +163,7 @@ impl SmtSession {
         };
         let dead = scope.selector.negate();
         self.enc.sat.add_clause(vec![dead]);
+        self.inc.pop();
         if self.cfg.clause_gc == ClauseGcPolicy::DropPopped {
             let removed = self.enc.sat.retire_clauses_with(dead);
             self.learned_live = self.learned_live.saturating_sub(removed);
@@ -280,7 +299,10 @@ impl SmtSession {
     }
 
     /// Registers encoder atoms that appeared since the last check with the
-    /// warm theory state, growing the tableau in place.
+    /// warm theory state, growing the engine in place. An atom outside the
+    /// current engine's fragment migrates the session to the simplex engine
+    /// (replaying every registered atom; asserted state is rebuilt by the
+    /// callback resync on the next check).
     fn sync_theory(&mut self) {
         while self.synced_atoms < self.enc.atom_list.len() {
             let atom = self.enc.atom_list[self.synced_atoms].clone();
@@ -296,8 +318,22 @@ impl SmtSession {
                 atom.is_eq,
                 atom.rhs,
             );
-            let idx = self.inc.add_atom(&lin);
-            debug_assert_eq!(idx, self.synced_atoms);
+            match self.inc.add_atom(&lin) {
+                Some(idx) => debug_assert_eq!(idx, self.synced_atoms),
+                None => {
+                    self.cfg.budget.tracer().metrics().bump("theory.dl_migrations");
+                    let mut lra = IncrementalLra::new(self.index.len(), &self.lin_atoms);
+                    let idx = IncrementalLra::add_atom(&mut lra, &lin);
+                    debug_assert_eq!(idx, self.synced_atoms);
+                    // Mirror the open selector scopes so later session pops
+                    // stay paired with engine frames.
+                    for _ in 0..self.scopes.len() {
+                        TheorySolver::push(&mut lra);
+                    }
+                    self.inc = Box::new(lra);
+                }
+            }
+            self.lin_atoms.push(lin);
             self.synced_atoms += 1;
         }
     }
@@ -350,6 +386,16 @@ impl SmtSession {
             .iter()
             .map(|a| (enc.atoms[a], a.clone()))
             .collect();
+        // Dispatch metrics: which engine serves this check (sessions under
+        // Auto start on DL and may have migrated to simplex by now).
+        let use_dl = inc.name() == "dl";
+        if cfg.theory != TheorySelect::Simplex && !atom_vars.is_empty() {
+            cfg.budget.tracer().metrics().bump(if use_dl {
+                "theory.dl_dispatched"
+            } else {
+                "theory.dl_fallbacks"
+            });
+        }
         let deadline_hit = std::cell::Cell::new(false);
         let mut theory_cb = |assign: &[Option<bool>]| -> Option<Vec<Lit>> {
             if deadline_hit.get() {
@@ -359,13 +405,22 @@ impl SmtSession {
                 deadline_hit.set(true);
                 return None;
             }
+            let t_theory = use_dl.then(std::time::Instant::now);
             for (i, &(v, _)) in atom_vars.iter().enumerate() {
                 match assign.get(v as usize).copied().flatten() {
                     Some(b) => inc.assert_atom(i, b),
                     None => inc.retract_atom(i),
                 }
             }
-            match inc.check_budgeted(THEORY_PIVOT_CAP, &mut || poll_budget(&cfg.budget).is_ok()) {
+            let verdict = inc.check(THEORY_PIVOT_CAP, &mut || poll_budget(&cfg.budget).is_ok());
+            if let Some(t) = t_theory {
+                cfg.budget
+                    .tracer()
+                    .metrics()
+                    .stage(Stage::Dl)
+                    .record_micros(t.elapsed().as_micros() as u64);
+            }
+            match verdict {
                 None => {
                     // The eager check gave up (deadline, or a pathological
                     // pivot sequence): report no conflict and let the

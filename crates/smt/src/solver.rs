@@ -7,6 +7,7 @@
 //! are checked by [`check_lia`]; theory conflicts come back as (greedily
 //! minimized) blocking clauses.
 
+use crate::theory::{fits_dl, TheorySelect, TheorySolver};
 use crate::{check_lia_polled, BigInt, LiaResult, LinCon, Lit, Rel, SatResult, SatSolver};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -16,6 +17,12 @@ use sygus_ast::trace::Stage;
 use sygus_ast::{Env, LinearExpr, Op, Sort, Symbol, Term, TermNode, Value};
 
 /// Configuration for [`SmtSolver`].
+///
+/// Construct through [`SmtConfig::builder`] (or struct-update from
+/// `SmtConfig::default()`). Direct exhaustive struct-literal construction
+/// is **deprecated** as an API pattern: every new knob (most recently
+/// [`theory`](SmtConfig::theory)) is a breaking change for such callers,
+/// while builder and struct-update callers pick up defaults silently.
 #[derive(Clone, Debug)]
 pub struct SmtConfig {
     /// Shared resource governor: deadline, cancellation, and fuel. Queries
@@ -51,6 +58,13 @@ pub struct SmtConfig {
     pub session_reuse: bool,
     /// What a session does with clauses guarded by a popped scope.
     pub clause_gc: ClauseGcPolicy,
+    /// Which theory engine serves the eager DPLL(T) partial checks:
+    /// [`TheorySelect::Auto`] dispatches queries whose atoms all fit the
+    /// difference-logic fragment to the specialized constraint-graph engine
+    /// and everything else to the warm simplex. `Default` reads the
+    /// process-wide default ([`crate::process_default_theory`]), which
+    /// binaries set from `--theory`.
+    pub theory: TheorySelect,
 }
 
 /// What [`crate::SmtSession::pop`] does with the clauses of the popped
@@ -80,6 +94,7 @@ impl Default for SmtConfig {
             certify: true,
             session_reuse: true,
             clause_gc: ClauseGcPolicy::DropPopped,
+            theory: crate::process_default_theory(),
         }
     }
 }
@@ -145,6 +160,15 @@ impl SmtConfigBuilder {
     /// Sets the popped-scope clause GC policy for sessions.
     pub fn clause_gc(mut self, policy: ClauseGcPolicy) -> Self {
         self.cfg.clause_gc = policy;
+        self
+    }
+
+    /// Sets the theory-engine selection for eager partial checks. Tests
+    /// that need a specific engine must use this rather than
+    /// [`crate::set_process_default_theory`] (the process default is shared
+    /// across threads).
+    pub fn theory(mut self, sel: TheorySelect) -> Self {
+        self.cfg.theory = sel;
         self
     }
 
@@ -1090,7 +1114,22 @@ impl SmtSolver {
                 )
             })
             .collect();
-        let mut inc = crate::IncrementalLra::new(index.len(), &inc_atoms);
+        // Theory-engine dispatch: the specialized difference-logic engine
+        // when the configuration allows it and *every* atom of the query
+        // fits the fragment (it is exact over the integers there); the
+        // general warm simplex otherwise. Queries with no theory atoms are
+        // pure boolean and count toward neither dispatch metric.
+        let want_dl = self.cfg.theory != TheorySelect::Simplex && !inc_atoms.is_empty();
+        let use_dl = want_dl && inc_atoms.iter().all(fits_dl);
+        let mut inc: Box<dyn TheorySolver> = if use_dl {
+            self.cfg.budget.tracer().metrics().bump("theory.dl_dispatched");
+            Box::new(crate::DifferenceLogic::new(index.len(), &inc_atoms))
+        } else {
+            if want_dl {
+                self.cfg.budget.tracer().metrics().bump("theory.dl_fallbacks");
+            }
+            Box::new(crate::IncrementalLra::new(index.len(), &inc_atoms))
+        };
         let deadline_hit = std::cell::Cell::new(false);
         let mut theory_cb = |assign: &[Option<bool>]| -> Option<Vec<Lit>> {
             if deadline_hit.get() {
@@ -1100,6 +1139,7 @@ impl SmtSolver {
                 deadline_hit.set(true);
                 return None;
             }
+            let t_theory = use_dl.then(Instant::now);
             // Sync the incremental state with the current assignment.
             for (i, &(v, _)) in atom_vars.iter().enumerate() {
                 match assign[v as usize] {
@@ -1107,7 +1147,16 @@ impl SmtSolver {
                     None => inc.retract_atom(i),
                 }
             }
-            match inc.check_budgeted(THEORY_PIVOT_CAP, &mut || self.check_deadline().is_ok()) {
+            let verdict = inc.check(THEORY_PIVOT_CAP, &mut || self.check_deadline().is_ok());
+            if let Some(t) = t_theory {
+                self.cfg
+                    .budget
+                    .tracer()
+                    .metrics()
+                    .stage(Stage::Dl)
+                    .record_micros(t.elapsed().as_micros() as u64);
+            }
+            match verdict {
                 None => {
                     // The eager check gave up (deadline, or a pathological
                     // pivot sequence): report no conflict and let the

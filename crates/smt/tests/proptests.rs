@@ -447,3 +447,240 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Difference logic vs simplex: over randomized assert/retract/push/pop
+// scripts in the DL fragment, the two incremental theory engines must give
+// the same verdict at every check; DL conflict cores must be independently
+// unsat on a fresh simplex; and DL models must satisfy every active atom
+// under exact i128 evaluation.
+// ---------------------------------------------------------------------------
+
+use smtkit::{DifferenceLogic, IncrementalLra, LinearAtom, TheorySolver};
+
+/// One atom from the DL fragment over `nvars` integer variables.
+fn dl_atom_strategy(nvars: usize) -> impl Strategy<Value = LinearAtom> {
+    let v = 0..nvars;
+    (v.clone(), 0..nvars, -8i64..=8, 0usize..4, any::<bool>()).prop_map(
+        |(u, v, w, shape, is_eq)| {
+            let coeffs = match shape {
+                0 => vec![(u, 1i64)],
+                1 => vec![(u, -1i64)],
+                _ if u != v => {
+                    if shape == 2 {
+                        vec![(u, 1), (v, -1)]
+                    } else {
+                        vec![(u, -1), (v, 1)]
+                    }
+                }
+                _ => vec![(u, 1)],
+            };
+            (coeffs, is_eq, w)
+        },
+    )
+}
+
+#[derive(Clone, Debug)]
+enum DlOp {
+    Assert(usize, bool),
+    Retract(usize),
+    Push,
+    Pop,
+    Check,
+}
+
+fn dl_script_strategy(natoms: usize) -> impl Strategy<Value = Vec<DlOp>> {
+    let op = prop_oneof![
+        (0..natoms, any::<bool>()).prop_map(|(i, p)| DlOp::Assert(i, p)),
+        (0..natoms, any::<bool>()).prop_map(|(i, p)| DlOp::Assert(i, p)),
+        (0..natoms, any::<bool>()).prop_map(|(i, p)| DlOp::Assert(i, p)),
+        (0..natoms).prop_map(DlOp::Retract),
+        Just(DlOp::Push),
+        Just(DlOp::Pop),
+        Just(DlOp::Check),
+        Just(DlOp::Check),
+    ];
+    proptest::collection::vec(op, 1..24)
+}
+
+/// Exact evaluation of `atom` under `model` with the DL engine's negation
+/// semantics: positive `e <= w` / `e == w`, negative `e >= w + 1`.
+/// Negative equalities (disequalities) are not enforced by the partial
+/// check, so callers skip them.
+fn atom_holds(atom: &LinearAtom, polarity: bool, model: &[smtkit::BigInt]) -> bool {
+    let (coeffs, is_eq, w) = atom;
+    let mut sum = 0i128;
+    for (var, c) in coeffs {
+        let v = model[*var].to_i64().expect("small model");
+        sum += i128::from(*c) * i128::from(v);
+    }
+    match (is_eq, polarity) {
+        (false, true) => sum <= i128::from(*w),
+        (false, false) => sum > i128::from(*w),
+        (true, true) => sum == i128::from(*w),
+        (true, false) => unreachable!("disequalities are skipped"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn dl_and_simplex_agree_on_dl_scripts(
+        atoms in proptest::collection::vec(dl_atom_strategy(4), 1..10),
+        script in dl_script_strategy(10),
+    ) {
+        const NVARS: usize = 4;
+        let mut dl = DifferenceLogic::new(NVARS, &atoms);
+        let mut lra = IncrementalLra::new(NVARS, &atoms);
+        let mut depth = 0usize;
+        for op in &script {
+            match *op {
+                DlOp::Assert(i, p) => {
+                    if i < atoms.len() {
+                        TheorySolver::assert_atom(&mut dl, i, p);
+                        TheorySolver::assert_atom(&mut lra, i, p);
+                    }
+                }
+                DlOp::Retract(i) => {
+                    if i < atoms.len() {
+                        TheorySolver::retract_atom(&mut dl, i);
+                        TheorySolver::retract_atom(&mut lra, i);
+                    }
+                }
+                DlOp::Push => {
+                    TheorySolver::push(&mut dl);
+                    TheorySolver::push(&mut lra);
+                    depth += 1;
+                }
+                DlOp::Pop => {
+                    if depth > 0 {
+                        TheorySolver::pop(&mut dl);
+                        TheorySolver::pop(&mut lra);
+                        depth -= 1;
+                    }
+                }
+                DlOp::Check => {
+                    let dv = TheorySolver::check(&mut dl, 1_000_000, &mut || true)
+                        .expect("dl budget");
+                    let sv = TheorySolver::check(&mut lra, 1_000_000, &mut || true)
+                        .expect("lra budget");
+                    // Disequality detection differs in strength (the DL
+                    // engine only sees directly pinned bounds), so exact
+                    // agreement is only required without active diseqs.
+                    let any_diseq = (0..atoms.len())
+                        .any(|i| atoms[i].1 && TheorySolver::polarity(&dl, i) == Some(false));
+                    if !any_diseq {
+                        prop_assert_eq!(
+                            dv.is_ok(),
+                            sv.is_ok(),
+                            "engines diverge: dl={:?} simplex={:?} atoms={:?}",
+                            dv,
+                            sv,
+                            atoms
+                        );
+                    }
+                    if let Err(core) = &dv {
+                        // The DL conflict core must be unsat on its own,
+                        // independently re-checked by a fresh simplex.
+                        prop_assert!(!core.is_empty());
+                        let mut fresh = IncrementalLra::new(NVARS, &atoms);
+                        for &i in core {
+                            let p = TheorySolver::polarity(&dl, i).expect("core atom asserted");
+                            TheorySolver::assert_atom(&mut fresh, i, p);
+                        }
+                        let replay = TheorySolver::check(&mut fresh, 1_000_000, &mut || true)
+                            .expect("core budget");
+                        prop_assert!(
+                            replay.is_err(),
+                            "dl core {:?} not refuted by simplex; atoms={:?}",
+                            core,
+                            atoms
+                        );
+                        // And the engine's certificate must describe it.
+                        let cert = TheorySolver::explain_conflict(&dl).expect("certificate");
+                        prop_assert_eq!(&cert.atoms, core);
+                    }
+                    if dv.is_ok() {
+                        // Exact model check: every active atom holds under
+                        // the integral model (diseqs excepted — the partial
+                        // check does not enforce them).
+                        let model = dl.model();
+                        for (i, atom) in atoms.iter().enumerate() {
+                            match TheorySolver::polarity(&dl, i) {
+                                Some(false) if atom.1 => {}
+                                Some(p) => prop_assert!(
+                                    atom_holds(atom, p, &model),
+                                    "model violates atom {} ({:?}, polarity {})",
+                                    i,
+                                    atom,
+                                    p
+                                ),
+                                None => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential: on random boolean combinations of DL-fragment
+// atoms, a solver pinned to the DL engine and one pinned to simplex must
+// agree sat/unsat. Certification defaults on, so every unsat answer has
+// been replayed through the DRAT checker (with `t`-tagged theory lemmas)
+// and every sat answer model-checked before it reaches the assertion.
+// ---------------------------------------------------------------------------
+
+fn dl_term_atom() -> impl Strategy<Value = Term> {
+    (0usize..3, 0usize..3, -6i64..=6, 0usize..4).prop_map(|(u, v, c, rel)| {
+        let name = |i: usize| Term::int_var(["dx", "dy", "dz"][i]);
+        let lhs = if u == v {
+            name(u)
+        } else {
+            Term::sub(name(u), name(v))
+        };
+        let rhs = Term::int(c);
+        match rel {
+            0 => Term::le(lhs, rhs),
+            1 => Term::lt(lhs, rhs),
+            2 => Term::ge(lhs, rhs),
+            _ => Term::eq(lhs, rhs),
+        }
+    })
+}
+
+fn dl_formula_strategy() -> impl Strategy<Value = Term> {
+    let leaf = dl_term_atom();
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::or),
+            inner.clone().prop_map(Term::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn solver_theory_dl_matches_simplex(f in dl_formula_strategy()) {
+        use smtkit::{SmtConfig, TheorySelect};
+
+        let dl = SmtSolver::with_config(
+            SmtConfig::builder().theory(TheorySelect::DifferenceLogic).build(),
+        );
+        let simplex = SmtSolver::with_config(
+            SmtConfig::builder().theory(TheorySelect::Simplex).build(),
+        );
+        let a = dl.check(&f).expect("dl-pinned solver");
+        let b = simplex.check(&f).expect("simplex-pinned solver");
+        prop_assert_eq!(
+            matches!(a, SmtResult::Sat(_)),
+            matches!(b, SmtResult::Sat(_)),
+            "theory engines disagree on {}",
+            f
+        );
+    }
+}
