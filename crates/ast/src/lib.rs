@@ -58,8 +58,10 @@ pub use json::Json;
 pub use linear::{LinearAtom, LinearExpr, NonlinearError};
 pub use metrics::{
     faster_bucketed, latency_bucket, latency_bucket_bounds, median, size_bucket,
-    smaller_bucketed, solution_size, time_bucket, LatencyBankSnapshot, LatencyHistogram,
-    LatencySnapshot, LATENCY_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS,
+    smaller_bucketed, solution_size, time_bucket, value_bucket, value_bucket_bounds,
+    LatencyBankSnapshot, LatencyHistogram, LatencySnapshot, ValueBankSnapshot, ValueHistogram,
+    ValueSnapshot, LATENCY_BUCKETS, LATENCY_SUBBUCKET_BITS, SIZE_BUCKETS, TIME_BUCKETS,
+    VALUE_BUCKETS, VALUE_SUBBUCKET_BITS,
 };
 pub use op::Op;
 pub use print::{display_define_fun, is_sexpr_op};

@@ -1,9 +1,10 @@
 //! Solution-size and solving-time metrics, bucketed on the SyGuS
 //! competition's pseudo-logarithmic scales (used by Figure 11 and Table 1 of
-//! the paper), plus the fleet-telemetry [`LatencyHistogram`]: an HDR-style
+//! the paper), plus the unit-agnostic [`ValueHistogram`]: an HDR-style
 //! fixed-bucket log-linear histogram with percentile readout and a
-//! two-bank rolling window, used by the daemon for queue-wait / solve-wall
-//! tail latency.
+//! two-bank rolling window. The daemon records latencies into it (queue-wait
+//! / solve-wall tail latency, via the [`LatencyHistogram`] alias); the
+//! search-analytics layer records dimensionless values (learned-clause LBD).
 
 use crate::Term;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,86 +92,111 @@ pub fn median(values: &mut [f64]) -> Option<f64> {
     })
 }
 
-/// Significant bits of precision kept by [`latency_bucket`]: every
-/// power-of-two range splits into `2^LATENCY_SUBBUCKET_BITS` equal-width
+/// Significant bits of precision kept by [`value_bucket`]: every
+/// power-of-two range splits into `2^VALUE_SUBBUCKET_BITS` equal-width
 /// sub-buckets, bounding the relative quantization error of a percentile
-/// readout at `2^-LATENCY_SUBBUCKET_BITS` (12.5%).
-pub const LATENCY_SUBBUCKET_BITS: u32 = 3;
+/// readout at `2^-VALUE_SUBBUCKET_BITS` (12.5%).
+pub const VALUE_SUBBUCKET_BITS: u32 = 3;
 
-/// Number of fixed buckets in a [`LatencyHistogram`] bank. With 3
-/// significant bits this covers `[0, 2^34)` microseconds (~4.7 hours);
-/// larger values clamp into the final bucket.
-pub const LATENCY_BUCKETS: usize = 256;
+/// Number of fixed buckets in a [`ValueHistogram`] bank. With 3
+/// significant bits this covers `[0, 2^34)` (~4.7 hours when the unit is
+/// microseconds); larger values clamp into the final bucket.
+pub const VALUE_BUCKETS: usize = 256;
 
-/// The log-linear bucket index of a latency in microseconds (HDR-histogram
-/// style): values below `2^LATENCY_SUBBUCKET_BITS` each get their own
-/// bucket, then every octave splits into `2^LATENCY_SUBBUCKET_BITS`
-/// equal-width sub-buckets. Monotone in `micros`; clamps to
-/// `LATENCY_BUCKETS - 1`.
+/// Latency-flavored alias of [`VALUE_SUBBUCKET_BITS`].
+pub const LATENCY_SUBBUCKET_BITS: u32 = VALUE_SUBBUCKET_BITS;
+
+/// Latency-flavored alias of [`VALUE_BUCKETS`].
+pub const LATENCY_BUCKETS: usize = VALUE_BUCKETS;
+
+/// The log-linear bucket index of a recorded value (HDR-histogram style):
+/// values below `2^VALUE_SUBBUCKET_BITS` each get their own bucket, then
+/// every octave splits into `2^VALUE_SUBBUCKET_BITS` equal-width
+/// sub-buckets. Monotone in `value`; clamps to `VALUE_BUCKETS - 1`. The
+/// unit is whatever the caller records — microseconds for latencies,
+/// dimensionless for LBD.
 #[must_use]
-pub fn latency_bucket(micros: u64) -> usize {
-    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
-    if micros < sub {
-        return micros as usize;
+pub fn value_bucket(value: u64) -> usize {
+    let sub = 1u64 << VALUE_SUBBUCKET_BITS;
+    if value < sub {
+        return value as usize;
     }
-    let msb = 63 - u64::from(micros.leading_zeros());
-    let octave = msb - u64::from(LATENCY_SUBBUCKET_BITS) + 1;
-    let within = (micros >> (msb - u64::from(LATENCY_SUBBUCKET_BITS))) & (sub - 1);
-    ((octave * sub + within) as usize).min(LATENCY_BUCKETS - 1)
+    let msb = 63 - u64::from(value.leading_zeros());
+    let octave = msb - u64::from(VALUE_SUBBUCKET_BITS) + 1;
+    let within = (value >> (msb - u64::from(VALUE_SUBBUCKET_BITS))) & (sub - 1);
+    ((octave * sub + within) as usize).min(VALUE_BUCKETS - 1)
 }
 
-/// The half-open `[lower, upper)` range of microseconds covered by a
-/// bucket index (the final bucket's upper bound is `u64::MAX`).
+/// The half-open `[lower, upper)` range of values covered by a bucket
+/// index (the final bucket's upper bound is `u64::MAX`).
 #[must_use]
-pub fn latency_bucket_bounds(bucket: usize) -> (u64, u64) {
-    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
+pub fn value_bucket_bounds(bucket: usize) -> (u64, u64) {
+    let sub = 1u64 << VALUE_SUBBUCKET_BITS;
     let b = bucket as u64;
     if b < sub {
         return (b, b + 1);
     }
-    if bucket == LATENCY_BUCKETS - 1 {
+    if bucket == VALUE_BUCKETS - 1 {
         let (lower, _) = bounds_unclamped(b);
         return (lower, u64::MAX);
     }
     bounds_unclamped(b)
 }
 
+/// Latency-flavored alias of [`value_bucket`] (the unit is microseconds).
+#[must_use]
+pub fn latency_bucket(micros: u64) -> usize {
+    value_bucket(micros)
+}
+
+/// Latency-flavored alias of [`value_bucket_bounds`].
+#[must_use]
+pub fn latency_bucket_bounds(bucket: usize) -> (u64, u64) {
+    value_bucket_bounds(bucket)
+}
+
 fn bounds_unclamped(b: u64) -> (u64, u64) {
-    let sub = 1u64 << LATENCY_SUBBUCKET_BITS;
+    let sub = 1u64 << VALUE_SUBBUCKET_BITS;
     let octave = b / sub;
     let within = b % sub;
-    let msb = octave + u64::from(LATENCY_SUBBUCKET_BITS) - 1;
-    let width = 1u64 << (msb - u64::from(LATENCY_SUBBUCKET_BITS));
+    let msb = octave + u64::from(VALUE_SUBBUCKET_BITS) - 1;
+    let width = 1u64 << (msb - u64::from(VALUE_SUBBUCKET_BITS));
     let lower = (1u64 << msb) + within * width;
     (lower, lower + width)
 }
 
 /// A point-in-time copy of one histogram bank with percentile readout.
 #[derive(Clone, Debug)]
-pub struct LatencyBankSnapshot {
+pub struct ValueBankSnapshot {
     /// Recordings in the bank.
     pub count: u64,
-    /// Sum of recorded microseconds.
-    pub total_micros: u64,
-    /// Largest recorded value in microseconds (exact, not bucketed).
-    pub max_micros: u64,
-    /// Per-bucket counts on the [`latency_bucket`] scale.
+    /// Sum of recorded values.
+    pub total: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Per-bucket counts on the [`value_bucket`] scale.
     pub buckets: Vec<u64>,
 }
 
-impl LatencyBankSnapshot {
-    fn empty() -> LatencyBankSnapshot {
-        LatencyBankSnapshot {
+/// Latency-flavored alias of [`ValueBankSnapshot`] (values are
+/// microseconds).
+pub type LatencyBankSnapshot = ValueBankSnapshot;
+
+impl ValueBankSnapshot {
+    fn empty() -> ValueBankSnapshot {
+        ValueBankSnapshot {
             count: 0,
-            total_micros: 0,
-            max_micros: 0,
-            buckets: vec![0; LATENCY_BUCKETS],
+            total: 0,
+            max: 0,
+            buckets: vec![0; VALUE_BUCKETS],
         }
     }
 
-    /// The value at quantile `q` (`0.0 ..= 1.0`) in microseconds: the upper
-    /// edge of the bucket holding the rank-`ceil(q * count)` recording,
-    /// clamped to the exact observed maximum. Returns 0 on an empty bank.
+    /// The value at quantile `q` (`0.0 ..= 1.0`): the upper edge of the
+    /// bucket holding the rank-`ceil(q * count)` recording, clamped to the
+    /// exact observed maximum. Returns 0 on an empty bank — the rank walk
+    /// never starts, because with `count == 0` no rank in `[1, count]`
+    /// exists.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -181,50 +207,53 @@ impl LatencyBankSnapshot {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let (_, upper) = latency_bucket_bounds(i);
-                return upper.saturating_sub(1).min(self.max_micros);
+                let (_, upper) = value_bucket_bounds(i);
+                return upper.saturating_sub(1).min(self.max);
             }
         }
-        self.max_micros
+        self.max
     }
 
-    /// Median latency in microseconds.
+    /// Median recorded value.
     #[must_use]
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
-    /// 90th-percentile latency in microseconds.
+    /// 90th-percentile recorded value.
     #[must_use]
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
-    /// 99th-percentile latency in microseconds.
+    /// 99th-percentile recorded value.
     #[must_use]
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
 }
 
-/// A point-in-time copy of a [`LatencyHistogram`]: the lifetime bank plus
+/// A point-in-time copy of a [`ValueHistogram`]: the lifetime bank plus
 /// the merged rolling-window view.
 #[derive(Clone, Debug)]
-pub struct LatencySnapshot {
+pub struct ValueSnapshot {
     /// Every recording since the histogram was created.
-    pub lifetime: LatencyBankSnapshot,
+    pub lifetime: ValueBankSnapshot,
     /// The two most recent window banks merged: covers between one and two
     /// window lengths of trailing data (the standard two-bank approximation
     /// of a sliding window).
-    pub recent: LatencyBankSnapshot,
+    pub recent: ValueBankSnapshot,
 }
+
+/// Latency-flavored alias of [`ValueSnapshot`].
+pub type LatencySnapshot = ValueSnapshot;
 
 /// One atomic bank of bucket counters.
 #[derive(Debug)]
 struct AtomicBank {
     count: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
+    total: AtomicU64,
+    max: AtomicU64,
     buckets: Vec<AtomicU64>,
 }
 
@@ -232,24 +261,35 @@ impl AtomicBank {
     fn new() -> AtomicBank {
         AtomicBank {
             count: AtomicU64::new(0),
-            total_micros: AtomicU64::new(0),
-            max_micros: AtomicU64::new(0),
-            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..VALUE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn record(&self, micros: u64) {
+    fn record(&self, value: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-        self.buckets[latency_bucket(micros)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[value_bucket(value)].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> LatencyBankSnapshot {
-        LatencyBankSnapshot {
+    fn merge(&self, bank: &ValueBankSnapshot) {
+        self.count.fetch_add(bank.count, Ordering::Relaxed);
+        self.total.fetch_add(bank.total, Ordering::Relaxed);
+        self.max.fetch_max(bank.max, Ordering::Relaxed);
+        for (slot, &n) in self.buckets.iter().zip(bank.buckets.iter()) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ValueBankSnapshot {
+        ValueBankSnapshot {
             count: self.count.load(Ordering::Relaxed),
-            total_micros: self.total_micros.load(Ordering::Relaxed),
-            max_micros: self.max_micros.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
@@ -259,8 +299,8 @@ impl AtomicBank {
 #[derive(Clone, Debug)]
 struct WindowBank {
     count: u64,
-    total_micros: u64,
-    max_micros: u64,
+    total: u64,
+    max: u64,
     buckets: Vec<u64>,
 }
 
@@ -268,23 +308,23 @@ impl WindowBank {
     fn new() -> WindowBank {
         WindowBank {
             count: 0,
-            total_micros: 0,
-            max_micros: 0,
-            buckets: vec![0; LATENCY_BUCKETS],
+            total: 0,
+            max: 0,
+            buckets: vec![0; VALUE_BUCKETS],
         }
     }
 
-    fn record(&mut self, micros: u64) {
+    fn record(&mut self, value: u64) {
         self.count += 1;
-        self.total_micros += micros;
-        self.max_micros = self.max_micros.max(micros);
-        self.buckets[latency_bucket(micros)] += 1;
+        self.total += value;
+        self.max = self.max.max(value);
+        self.buckets[value_bucket(value)] += 1;
     }
 
-    fn merge_into(&self, out: &mut LatencyBankSnapshot) {
+    fn merge_into(&self, out: &mut ValueBankSnapshot) {
         out.count += self.count;
-        out.total_micros += self.total_micros;
-        out.max_micros = out.max_micros.max(self.max_micros);
+        out.total += self.total;
+        out.max = out.max.max(self.max);
         for (o, &b) in out.buckets.iter_mut().zip(self.buckets.iter()) {
             *o += b;
         }
@@ -300,33 +340,43 @@ struct Windows {
     previous: WindowBank,
 }
 
-/// An HDR-style fixed-bucket latency histogram with a two-bank rolling
+/// An HDR-style fixed-bucket value histogram with a two-bank rolling
 /// window. The lifetime bank is lock-free (relaxed atomics); the rolling
 /// window takes a short uncontended mutex per recording, which is fine on
-/// the per-request paths it instruments.
+/// the per-request and per-conflict paths it instruments.
+///
+/// The histogram is unit-agnostic: the daemon records microseconds (via the
+/// [`LatencyHistogram`] alias), the search-analytics layer records
+/// dimensionless learned-clause LBDs. Mixing units in one histogram is the
+/// caller's bug, not the histogram's concern.
 ///
 /// The rolling view merges the current and previous window banks, so it
 /// always covers between one and two window lengths of trailing data —
 /// with the default 30 s window, the merged view approximates "the last
 /// minute".
 #[derive(Debug)]
-pub struct LatencyHistogram {
+pub struct ValueHistogram {
     epoch: Instant,
     window: Duration,
     lifetime: AtomicBank,
     windows: Mutex<Windows>,
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram::new(Duration::from_secs(30))
+/// Latency-flavored alias of [`ValueHistogram`]: same type, the recorded
+/// unit is microseconds by convention. Keeps the fleet-telemetry API
+/// spelling intact.
+pub type LatencyHistogram = ValueHistogram;
+
+impl Default for ValueHistogram {
+    fn default() -> ValueHistogram {
+        ValueHistogram::new(Duration::from_secs(30))
     }
 }
 
-impl LatencyHistogram {
+impl ValueHistogram {
     /// Builds a histogram whose rolling view rotates every `window`.
-    pub fn new(window: Duration) -> LatencyHistogram {
-        LatencyHistogram {
+    pub fn new(window: Duration) -> ValueHistogram {
+        ValueHistogram {
             epoch: Instant::now(),
             window: window.max(Duration::from_millis(1)),
             lifetime: AtomicBank::new(),
@@ -356,25 +406,34 @@ impl LatencyHistogram {
         w
     }
 
-    /// Records one latency of `micros` microseconds.
-    pub fn record(&self, micros: u64) {
-        self.lifetime.record(micros);
-        self.rotated().current.record(micros);
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.lifetime.record(value);
+        self.rotated().current.record(value);
     }
 
-    /// Records a [`Duration`].
+    /// Records a [`Duration`] as microseconds.
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Merges a bank snapshot into this histogram's *lifetime* bank (the
+    /// rolling window is untouched: merged data has no timestamps). Bucket
+    /// geometry is fixed, so the merge is exact at histogram resolution;
+    /// count, total, and max are exact. The daemon uses this to fold
+    /// per-request LBD histograms into the root registry.
+    pub fn merge_bank(&self, bank: &ValueBankSnapshot) {
+        self.lifetime.merge(bank);
+    }
+
     /// A point-in-time copy: lifetime bank plus the merged rolling view.
-    pub fn snapshot(&self) -> LatencySnapshot {
+    pub fn snapshot(&self) -> ValueSnapshot {
         let lifetime = self.lifetime.snapshot();
         let w = self.rotated();
-        let mut recent = LatencyBankSnapshot::empty();
+        let mut recent = ValueBankSnapshot::empty();
         w.previous.merge_into(&mut recent);
         w.current.merge_into(&mut recent);
-        LatencySnapshot { lifetime, recent }
+        ValueSnapshot { lifetime, recent }
     }
 }
 
@@ -428,39 +487,42 @@ mod tests {
     }
 
     #[test]
-    fn latency_buckets_are_monotone_and_tile_the_axis() {
+    fn value_buckets_are_monotone_and_tile_the_axis() {
         // Sub-linear range: one bucket per value.
         for v in 0..8u64 {
-            assert_eq!(latency_bucket(v), v as usize);
+            assert_eq!(value_bucket(v), v as usize);
         }
         // Every bucket's bounds contain exactly the values that map to it,
         // and consecutive buckets tile without gaps or overlap.
         let mut prev_upper = 0u64;
-        for b in 0..LATENCY_BUCKETS {
-            let (lower, upper) = latency_bucket_bounds(b);
+        for b in 0..VALUE_BUCKETS {
+            let (lower, upper) = value_bucket_bounds(b);
             assert_eq!(lower, prev_upper, "bucket {b} leaves a gap");
             assert!(upper > lower, "bucket {b} is empty");
-            assert_eq!(latency_bucket(lower), b, "lower edge of {b}");
-            if b < LATENCY_BUCKETS - 1 {
-                assert_eq!(latency_bucket(upper - 1), b, "upper edge of {b}");
-                assert_eq!(latency_bucket(upper), b + 1, "first value past {b}");
+            assert_eq!(value_bucket(lower), b, "lower edge of {b}");
+            if b < VALUE_BUCKETS - 1 {
+                assert_eq!(value_bucket(upper - 1), b, "upper edge of {b}");
+                assert_eq!(value_bucket(upper), b + 1, "first value past {b}");
             }
             prev_upper = upper;
         }
         // Oversized values clamp into the final bucket.
-        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(value_bucket(u64::MAX), VALUE_BUCKETS - 1);
+        // The latency aliases are the same scale.
+        assert_eq!(latency_bucket(12345), value_bucket(12345));
+        assert_eq!(latency_bucket_bounds(100), value_bucket_bounds(100));
     }
 
     #[test]
-    fn latency_percentiles_at_bucket_boundaries() {
-        let h = LatencyHistogram::default();
-        // 100 recordings of exactly 1000 us: every percentile must land in
+    fn percentiles_at_bucket_boundaries() {
+        let h = ValueHistogram::default();
+        // 100 recordings of exactly 1000: every percentile must land in
         // the bucket containing 1000, clamped to the exact max.
         for _ in 0..100 {
             h.record(1000);
         }
         let snap = h.snapshot().lifetime;
-        let (lower, upper) = latency_bucket_bounds(latency_bucket(1000));
+        let (lower, upper) = value_bucket_bounds(value_bucket(1000));
         assert!(lower <= 1000 && 1000 < upper);
         for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
             let v = snap.quantile(q);
@@ -468,12 +530,12 @@ mod tests {
         }
         // The max is exact, so q=1.0 reads back exactly 1000.
         assert_eq!(snap.quantile(1.0), 1000);
-        assert_eq!(snap.max_micros, 1000);
+        assert_eq!(snap.max, 1000);
     }
 
     #[test]
-    fn latency_percentiles_split_a_bimodal_distribution() {
-        let h = LatencyHistogram::default();
+    fn percentiles_split_a_bimodal_distribution() {
+        let h = ValueHistogram::default();
         // 90 fast recordings at 100 us, 10 slow at 1_000_000 us.
         for _ in 0..90 {
             h.record(100);
@@ -483,8 +545,8 @@ mod tests {
         }
         let snap = h.snapshot().lifetime;
         assert_eq!(snap.count, 100);
-        let (fast_lo, fast_hi) = latency_bucket_bounds(latency_bucket(100));
-        let (slow_lo, slow_hi) = latency_bucket_bounds(latency_bucket(1_000_000));
+        let (fast_lo, fast_hi) = value_bucket_bounds(value_bucket(100));
+        let (slow_lo, slow_hi) = value_bucket_bounds(value_bucket(1_000_000));
         // p50 and p90 sit in the fast mode (rank 50 and 90 of 100), p99 in
         // the slow tail.
         for q in [0.50, 0.90] {
@@ -493,7 +555,7 @@ mod tests {
         }
         let p99 = snap.p99();
         assert!(p99 >= slow_lo && p99 < slow_hi, "p99 gave {p99}");
-        assert_eq!(snap.max_micros, 1_000_000);
+        assert_eq!(snap.max, 1_000_000);
         // Rank arithmetic at the exact boundary: 90 of 100 recordings are
         // fast, so q=0.90 is the last fast rank and the next representable
         // quantile is slow.
@@ -501,8 +563,8 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_rotates_and_merges_two_banks() {
-        let h = LatencyHistogram::new(Duration::from_millis(150));
+    fn window_rotates_and_merges_two_banks() {
+        let h = ValueHistogram::new(Duration::from_millis(150));
         h.record(500);
         let s = h.snapshot();
         assert_eq!(s.lifetime.count, 1);
@@ -518,7 +580,48 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.lifetime.count, 2);
         assert_eq!(s.recent.count, 0, "stale banks dropped: {s:?}");
-        assert_eq!(s.lifetime.max_micros, 700);
+        assert_eq!(s.lifetime.max, 700);
         assert_eq!(s.recent.quantile(0.5), 0, "empty bank reads 0");
+    }
+
+    #[test]
+    fn empty_bank_quantile_walk_returns_zero_at_every_rank() {
+        // The edge case the rank walk must not trip over: with count == 0
+        // there is no rank in [1, count], so every quantile — including the
+        // extremes where ceil(q * 0) is 0 — must short-circuit to 0 rather
+        // than walk off the bucket array or divide by the empty count.
+        let h = ValueHistogram::default();
+        let snap = h.snapshot();
+        for bank in [&snap.lifetime, &snap.recent] {
+            for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+                assert_eq!(bank.quantile(q), 0, "q={q} on an empty bank");
+            }
+            assert_eq!((bank.p50(), bank.p90(), bank.p99()), (0, 0, 0));
+        }
+        // A quantile of 0.0 on a *non-empty* bank clamps the rank up to 1
+        // (the minimum recorded value's bucket), not down to "no rank".
+        h.record(7);
+        let lifetime = h.snapshot().lifetime;
+        assert_eq!(lifetime.quantile(0.0), 7);
+    }
+
+    #[test]
+    fn merge_bank_folds_counts_exactly_into_the_lifetime_bank() {
+        let a = ValueHistogram::default();
+        for v in [3, 9, 4096] {
+            a.record(v);
+        }
+        let b = ValueHistogram::default();
+        b.record(100);
+        b.merge_bank(&a.snapshot().lifetime);
+        let merged = b.snapshot().lifetime;
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.total, 100 + 3 + 9 + 4096);
+        assert_eq!(merged.max, 4096);
+        // Bucket geometry is shared, so per-bucket counts add exactly.
+        assert_eq!(merged.buckets[value_bucket(3)], 1);
+        assert_eq!(merged.buckets[value_bucket(9)], 1);
+        // The rolling window does not see merged data.
+        assert_eq!(b.snapshot().recent.count, 1);
     }
 }

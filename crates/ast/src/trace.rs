@@ -183,6 +183,10 @@ pub struct MetricsRegistry {
     /// solve-wall, per-stage request latency). Created on first use; empty
     /// for runs that never record one, so batch reports are unchanged.
     latencies: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+    /// Buffered search-log interval records (JSONL lines). `None` until
+    /// [`MetricsRegistry::enable_search_log`]: runs without `--search-log`
+    /// pay no buffering and no memory growth.
+    search_samples: Mutex<Option<Vec<String>>>,
 }
 
 impl MetricsRegistry {
@@ -240,6 +244,44 @@ impl MetricsRegistry {
     /// Records `micros` into the named latency histogram.
     pub fn record_latency(&self, name: &str, micros: u64) {
         self.latency(name).record(micros);
+    }
+
+    /// Turns on search-log sample buffering. Until this is called,
+    /// [`MetricsRegistry::push_search_sample`] is a no-op, so the
+    /// interval-sampling instrumentation costs nothing on runs that never
+    /// asked for a search log.
+    pub fn enable_search_log(&self) {
+        let mut samples = self.search_samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.is_none() {
+            *samples = Some(Vec::new());
+        }
+    }
+
+    /// Whether search-log buffering is enabled.
+    pub fn search_log_enabled(&self) -> bool {
+        self.search_samples
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Buffers one search-log interval record (a serialized JSON object,
+    /// one line of the eventual JSONL sink). Dropped silently when
+    /// buffering is disabled.
+    pub fn push_search_sample(&self, line: String) {
+        let mut samples = self.search_samples.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(buf) = samples.as_mut() {
+            buf.push(line);
+        }
+    }
+
+    /// A copy of the buffered search-log records (empty when disabled).
+    pub fn search_samples(&self) -> Vec<String> {
+        self.search_samples
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or_default()
     }
 
     /// A point-in-time copy of every metric, for reports. Stages with zero
@@ -340,8 +382,8 @@ impl MetricsSnapshot {
 fn latency_bank_json(bank: &LatencyBankSnapshot) -> Json {
     Json::obj([
         ("count", Json::from(bank.count)),
-        ("total_micros", Json::from(bank.total_micros)),
-        ("max_micros", Json::from(bank.max_micros)),
+        ("total_micros", Json::from(bank.total)),
+        ("max_micros", Json::from(bank.max)),
         ("p50_micros", Json::from(bank.p50())),
         ("p90_micros", Json::from(bank.p90())),
         ("p99_micros", Json::from(bank.p99())),
@@ -1289,7 +1331,7 @@ mod tests {
         assert_eq!(snap.latencies[0].0, "queue_wait");
         let qw = &snap.latencies[0].1;
         assert_eq!(qw.lifetime.count, 4);
-        assert_eq!(qw.lifetime.max_micros, 100_000);
+        assert_eq!(qw.lifetime.max, 100_000);
         assert!(qw.lifetime.p99() >= 100_000 / 2, "{qw:?}");
         assert_eq!(qw.recent.count, 4, "fresh recordings are in the window");
         // The JSON carries a latencies object with both banks...

@@ -5,21 +5,26 @@
 //!           [--lineup competition|full]
 //! bench compare OLD.json NEW.json [--noise FRAC] [--min-seconds S]
 //!           [--solved-only]
+//! bench explain OLD.json NEW.json
 //! ```
 //!
 //! `run` executes the solver matrix over the generated suite and writes the
 //! versioned trajectory document ([`observability_json`]) to `--out`
 //! (default stdout) — the format committed as `BENCH_PR5.json` and consumed
 //! by `compare`. `compare` diffs two trajectory files and exits non-zero
-//! when the new one regresses: the solved set shrank, or (unless
-//! `--solved-only`) a per-benchmark or per-stage time exceeded the noise
-//! threshold. See `crates/bench/src/compare.rs` for the exact gates.
+//! when the new one regresses: the solved set shrank, a per-benchmark or
+//! per-stage time exceeded the noise threshold (unless `--solved-only`), or
+//! a CDCL search-work counter grew past its gate. See
+//! `crates/bench/src/compare.rs` for the exact gates. `explain` prints the
+//! deterministic per-stage × per-benchmark-family diff table between two
+//! trajectory documents (where did the time and the conflicts move?); it
+//! always exits 0 — it is a drill-down, not a gate.
 //!
 //! Exit codes: 0 = no regression, 1 = regression found, 2 = usage, I/O, or
 //! parse error.
 
 use bench_harness::{
-    compare, observability_json, problem_timeout, run_matrix, BenchDoc, CompareConfig,
+    compare, explain, observability_json, problem_timeout, run_matrix, BenchDoc, CompareConfig,
 };
 use dryadsynth::{
     Cvc4Baseline, DryadSynth, DryadSynthConfig, Engine, EuSolverBaseline, LoopInvGenBaseline,
@@ -31,12 +36,17 @@ use std::time::Duration;
 const USAGE: &str = "usage: bench run [--out FILE] [--timeout SECS] \
 [--track INV|CLIA|General] [--lineup competition|full] [--theory auto|simplex|dl]\n\
        bench compare OLD.json NEW.json [--noise FRAC] [--min-seconds S] [--solved-only]\n\
+       bench explain OLD.json NEW.json\n\
   run writes the trajectory document (observability_json) for the suite;\n\
   compare diffs two trajectory files and exits 1 on regression:\n\
   a shrunken solved set always fails; per-benchmark and per-stage times\n\
   fail when slower by more than --noise (default 0.25) AND --min-seconds\n\
-  (default 0.1); --solved-only reports time deltas without failing on them\n\
-  (the cross-machine CI mode).";
+  (default 0.1); search-work counters (conflicts, decisions, propagations,\n\
+  theory pivots) fail on the same relative threshold past an absolute\n\
+  floor; --solved-only reports time deltas without failing on them\n\
+  (the cross-machine CI mode);\n\
+  explain prints the deterministic per-stage x per-family diff table\n\
+  between two trajectory files (always exits 0).";
 
 fn competition_lineup() -> Vec<Box<dyn Synthesizer>> {
     vec![
@@ -166,11 +176,27 @@ fn compare_mode(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn explain_mode(args: &[String]) -> Result<ExitCode, String> {
+    let [old_path, new_path] = args else {
+        return Err("explain needs exactly OLD.json and NEW.json".to_owned());
+    };
+    let load = |path: &str| -> Result<BenchDoc, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchDoc::parse_any(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    print!("{}", explain(&old, &new));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run_mode(&args[1..]),
         Some("compare") => compare_mode(&args[1..]),
+        Some("explain") => explain_mode(&args[1..]),
         Some("--help" | "-h") | None => Err(USAGE.to_owned()),
         Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };

@@ -16,10 +16,19 @@
 //! * **Per-stage time changes** — same thresholds, applied to the
 //!   `stage_micros` totals, so a regression can be attributed to the stage
 //!   that slowed down even when the end-to-end time gate stays quiet.
+//! * **Search-metric changes** — the same relative threshold applied to
+//!   the machine-independent CDCL work counters (`conflicts_total`,
+//!   `decisions_total`, `propagations_total`, theory pivot/relaxation
+//!   totals) with an absolute floor in counter units, so a search-strategy
+//!   regression is caught even on hardware where wall times are noisy.
+//!   The gate is skipped per run when either side lacks search data (e.g.
+//!   a baseline written before the search-analytics layer existed).
 //!
 //! With [`CompareConfig::solved_only`] the time gates are reported but do
 //! not fail the comparison — the mode for cross-machine CI gates, where
-//! absolute times are not comparable but the solved set is.
+//! absolute times are not comparable but the solved set is. Search-metric
+//! gates stay live in that mode: conflict counts are a property of the
+//! search, not the machine.
 
 use crate::RunRecord;
 use std::collections::BTreeMap;
@@ -38,6 +47,10 @@ pub struct BenchRun {
     pub seconds: f64,
     /// Per-stage cumulative micros, sorted by stage name.
     pub stage_micros: BTreeMap<String, u64>,
+    /// Search-analytics totals (prefix-stripped `search.*` counters:
+    /// `conflicts_total`, `lbd_sum`, ...), empty for documents written
+    /// before the search-analytics layer.
+    pub search: BTreeMap<String, u64>,
 }
 
 impl BenchRun {
@@ -103,6 +116,7 @@ impl BenchDoc {
                     .and_then(Json::as_f64)
                     .ok_or(format!("run {i}: missing `seconds`"))?,
                 stage_micros,
+                search: parse_counter_obj(run.get("search")),
             });
         }
         Ok(BenchDoc { version, runs })
@@ -152,6 +166,7 @@ impl BenchDoc {
                 solved: outcome == "solved",
                 seconds: solve_us.max(0) as f64 / 1e6,
                 stage_micros,
+                search: parse_counter_obj(v.get("search")),
             });
         }
         if runs.is_empty() {
@@ -207,6 +222,7 @@ impl BenchDoc {
                 solved: findings == 0,
                 seconds: findings.max(0) as f64,
                 stage_micros,
+                search: BTreeMap::new(),
             });
         }
         Ok(BenchDoc { version, runs })
@@ -248,11 +264,43 @@ impl BenchDoc {
                     solved: r.solved,
                     seconds: r.seconds,
                     stage_micros: r.stage_micros.iter().cloned().collect(),
+                    search: r
+                        .search
+                        .iter()
+                        .map(|(name, value)| {
+                            let key = name.strip_prefix("search.").unwrap_or(name);
+                            (key.to_owned(), *value)
+                        })
+                        .collect(),
                 })
                 .collect(),
         }
     }
 }
+
+/// Extracts a flat `{name: count}` JSON object into a counter map (absent
+/// or malformed objects yield an empty map, not an error — older documents
+/// simply lack the field).
+fn parse_counter_obj(obj: Option<&Json>) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = obj {
+        for (name, value) in fields {
+            out.insert(name.clone(), value.as_i64().unwrap_or(0).max(0) as u64);
+        }
+    }
+    out
+}
+
+/// The search counters the comparison gates on: deterministic, monotone
+/// work measures. Deliberately excludes derived sums (`lbd_sum`), gauges
+/// (`db_clauses`), and bookkeeping (`intervals_total`).
+const GATED_SEARCH_METRICS: [&str; 5] = [
+    "conflicts_total",
+    "decisions_total",
+    "propagations_total",
+    "simplex_pivots_total",
+    "dl_relaxations_total",
+];
 
 /// Thresholds and mode for a comparison.
 #[derive(Clone, Copy, Debug)]
@@ -263,8 +311,15 @@ pub struct CompareConfig {
     /// Absolute slowdown floor in seconds: below this, relative changes are
     /// noise regardless of the fraction.
     pub min_seconds: f64,
+    /// Absolute floor for search-metric regressions, in counter units: a
+    /// search counter must grow by more than this *and* the relative
+    /// threshold to count. Keeps tiny problems (a few hundred conflicts)
+    /// from tripping the gate on enumeration-order jitter.
+    pub min_search_units: u64,
     /// Gate only on the solved set (cross-machine mode): time and stage
     /// regressions are still *reported* but do not fail the comparison.
+    /// Search-metric regressions still gate — work counters are
+    /// machine-independent.
     pub solved_only: bool,
 }
 
@@ -273,6 +328,7 @@ impl Default for CompareConfig {
         CompareConfig {
             noise_frac: 0.25,
             min_seconds: 0.1,
+            min_search_units: 1_000,
             solved_only: false,
         }
     }
@@ -302,6 +358,9 @@ pub struct CompareReport {
     pub time_improvements: Vec<TimeDelta>,
     /// Per-stage totals slower than the thresholds allow.
     pub stage_regressions: Vec<TimeDelta>,
+    /// Search work counters that grew past the thresholds
+    /// ([`GATED_SEARCH_METRICS`] only; `old`/`new` carry counter values).
+    pub search_regressions: Vec<TimeDelta>,
     /// Whether the time/stage gates participate in [`Self::has_regressions`].
     pub gate_times: bool,
 }
@@ -312,6 +371,7 @@ impl CompareReport {
     /// thresholds.
     pub fn has_regressions(&self) -> bool {
         !self.solved_regressions.is_empty()
+            || !self.search_regressions.is_empty()
             || (self.gate_times
                 && (!self.time_regressions.is_empty() || !self.stage_regressions.is_empty()))
     }
@@ -336,6 +396,15 @@ impl CompareReport {
             out.push_str(&format!(
                 "{} stage: {} {:.0}us -> {:.0}us (+{:.0}%)\n",
                 if self.gate_times { "REGRESSION" } else { "note" },
+                d.key,
+                d.old,
+                d.new,
+                100.0 * (d.new - d.old) / d.old.max(1e-9),
+            ));
+        }
+        for d in &self.search_regressions {
+            out.push_str(&format!(
+                "REGRESSION search: {} {:.0} -> {:.0} (+{:.0}%)\n",
                 d.key,
                 d.old,
                 d.new,
@@ -422,6 +491,24 @@ pub fn compare(old: &BenchDoc, new: &BenchDoc, cfg: &CompareConfig) -> CompareRe
                 });
             }
         }
+        // The search gate needs both sides instrumented; a baseline from
+        // before the analytics layer (or a run that never hit the SMT
+        // core) contributes nothing rather than a spurious zero baseline.
+        if !old_run.search.is_empty() && !new_run.search.is_empty() {
+            for metric in GATED_SEARCH_METRICS {
+                let old_v = old_run.search.get(metric).copied().unwrap_or(0);
+                let new_v = new_run.search.get(metric).copied().unwrap_or(0);
+                if new_v as f64 > old_v as f64 * (1.0 + cfg.noise_frac)
+                    && new_v - old_v > cfg.min_search_units
+                {
+                    report.search_regressions.push(TimeDelta {
+                        key: format!("{key}:{metric}"),
+                        old: old_v as f64,
+                        new: new_v as f64,
+                    });
+                }
+            }
+        }
     }
     for (key, new_run) in &new_runs {
         if new_run.solved && !old_runs.contains_key(key) {
@@ -442,7 +529,18 @@ mod tests {
             solved,
             seconds,
             stage_micros: [("smt".to_owned(), smt_micros)].into_iter().collect(),
+            search: BTreeMap::new(),
         }
+    }
+
+    fn with_search(mut r: BenchRun, conflicts: u64) -> BenchRun {
+        r.search = [
+            ("conflicts_total".to_owned(), conflicts),
+            ("decisions_total".to_owned(), conflicts * 2),
+        ]
+        .into_iter()
+        .collect();
+        r
     }
 
     fn doc(runs: Vec<BenchRun>) -> BenchDoc {
@@ -542,12 +640,54 @@ mod tests {
             size: Some(7),
             size_bucket: Some(0),
             stage_micros: vec![("smt".to_owned(), 1234)],
+            search: vec![
+                ("search.conflicts_total".to_owned(), 4096),
+                ("search.lbd_sum".to_owned(), 9000),
+            ],
         }];
         let text = crate::observability_json(&records);
         let parsed = BenchDoc::parse(&text).unwrap();
         assert_eq!(parsed.version, dryadsynth::REPORT_VERSION as i64);
         assert_eq!(parsed.runs, BenchDoc::from_records(&records).runs);
         assert_eq!(parsed.runs[0].stage_micros["smt"], 1234);
+        // The search totals survive the round trip with the prefix stripped.
+        assert_eq!(parsed.runs[0].search["conflicts_total"], 4096);
+        assert_eq!(parsed.runs[0].search["lbd_sum"], 9000);
+    }
+
+    #[test]
+    fn search_work_blowups_gate_even_in_solved_only_mode() {
+        let old = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 10_000)]);
+        let new = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 40_000)]);
+        let solved_only = CompareConfig {
+            solved_only: true,
+            ..CompareConfig::default()
+        };
+        let report = compare(&old, &new, &solved_only);
+        assert!(report.has_regressions(), "{}", report.render());
+        // conflicts_total and decisions_total both quadrupled.
+        assert_eq!(report.search_regressions.len(), 2);
+        assert_eq!(report.search_regressions[0].key, "A/b1:conflicts_total");
+        assert!(report.render().contains("REGRESSION search"), "{}", report.render());
+    }
+
+    #[test]
+    fn search_gate_tolerates_noise_and_missing_baselines() {
+        // +20% is inside the default 25% noise band.
+        let old = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 10_000)]);
+        let new = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 12_000)]);
+        let report = compare(&old, &new, &CompareConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+        // Growth under the absolute floor is noise even at a huge ratio.
+        let old = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 100)]);
+        let new = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 400)]);
+        let report = compare(&old, &new, &CompareConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+        // An uninstrumented baseline skips the gate entirely.
+        let old = doc(vec![run("b1", "A", true, 1.0, 0)]);
+        let new = doc(vec![with_search(run("b1", "A", true, 1.0, 0), 1_000_000)]);
+        let report = compare(&old, &new, &CompareConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
     }
 
     #[test]

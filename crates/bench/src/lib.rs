@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod explain;
 
 use dryadsynth::{outcome_label, verify_solution, SolveRequest, SynthOutcome, Synthesizer};
 use std::time::Duration;
@@ -27,6 +28,7 @@ use sygus_benchmarks::{Benchmark, Track};
 // The shared resource-governance handle, re-exported so harness extensions
 // can budget their own verification passes.
 pub use compare::{compare, BenchDoc, BenchRun, CompareConfig, CompareReport, TimeDelta};
+pub use explain::{explain, family};
 pub use dryadsynth::{Budget, BudgetError};
 
 /// One (solver, benchmark) measurement.
@@ -56,6 +58,11 @@ pub struct RunRecord {
     /// Per-stage cumulative span time in microseconds, from the run's
     /// tracer ([`sygus_ast::Stage`] names, zero-count stages omitted).
     pub stage_micros: Vec<(String, u64)>,
+    /// The run's `search.*` analytics counters (CDCL conflicts, decisions,
+    /// propagations, LBD sums, theory work — see the smtkit search-analytics
+    /// layer), sorted by name; empty when the run never reached the SMT
+    /// core.
+    pub search: Vec<(String, u64)>,
 }
 
 /// Per-problem timeout, configurable with `BENCH_TIMEOUT_SECS`.
@@ -97,13 +104,18 @@ pub fn run_one(solver: &dyn Synthesizer, bench: &Benchmark, timeout: Duration) -
         }
         _ => (false, None),
     };
-    let stage_micros = tracer
-        .metrics()
-        .snapshot()
+    let snapshot = tracer.metrics().snapshot();
+    let stage_micros = snapshot
         .stages
         .iter()
         .filter(|s| s.count > 0)
         .map(|s| (s.stage.to_owned(), s.total_micros))
+        .collect();
+    let search = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("search."))
+        .cloned()
         .collect();
     RunRecord {
         benchmark: bench.name.clone(),
@@ -116,6 +128,7 @@ pub fn run_one(solver: &dyn Synthesizer, bench: &Benchmark, timeout: Duration) -
         size,
         size_bucket: size.map(sygus_ast::size_bucket),
         stage_micros,
+        search,
     }
 }
 
@@ -495,6 +508,22 @@ pub fn observability_json(records: &[RunRecord]) -> String {
                         .collect(),
                 ),
             ));
+            // Search analytics keyed without the `search.` prefix — the
+            // same shape `bench compare` reads back for its search gate.
+            if !r.search.is_empty() {
+                fields.push((
+                    "search",
+                    Json::Obj(
+                        r.search
+                            .iter()
+                            .map(|(name, value)| {
+                                let key = name.strip_prefix("search.").unwrap_or(name);
+                                (key.to_owned(), Json::from(*value))
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
             Json::obj(fields)
         })
         .collect();
@@ -521,6 +550,11 @@ mod tests {
             size,
             size_bucket: size.map(sygus_ast::size_bucket),
             stage_micros: vec![("smt".to_owned(), 120)],
+            search: vec![
+                ("search.conflicts_total".to_owned(), 40),
+                ("search.lbd_count".to_owned(), 40),
+                ("search.lbd_sum".to_owned(), 120),
+            ],
         }
     }
 
@@ -603,6 +637,14 @@ mod tests {
         let unsolved = runs.iter().find(|r| r.get("solved").and_then(Json::as_bool) == Some(false)).unwrap();
         assert!(unsolved.get("size").is_none());
         assert_eq!(unsolved.get("outcome").and_then(Json::as_str), Some("timeout"));
+        // Search analytics ride along with the prefix stripped.
+        assert_eq!(
+            first
+                .get("search")
+                .and_then(|s| s.get("conflicts_total"))
+                .and_then(Json::as_i64),
+            Some(40)
+        );
     }
 
     #[test]

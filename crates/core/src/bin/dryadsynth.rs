@@ -70,8 +70,8 @@ use sygus_ast::{lint_grammar, Tracer};
 const USAGE: &str = "usage: dryadsynth \
 [--engine coop|enum|deduct|euback|eusolver|cvc4|loopinvgen] \
 [--timeout SECONDS] [--fuel STEPS] [--threads N] [--stats] \
-[--json] [--trace FILE] [--dot FILE] [--profile FILE] [--progress SECS] \
-[--stall-after SECS] [--certify] [--no-smt-sessions] \
+[--json] [--trace FILE] [--dot FILE] [--profile FILE] [--search-log FILE] \
+[--progress SECS] [--stall-after SECS] [--certify] [--no-smt-sessions] \
 [--theory auto|simplex|dl] FILE.sl\n\
        dryadsynth --lint FILE.sl\n\
   --timeout 0 expires the budget immediately (useful for plumbing tests);\n\
@@ -81,6 +81,9 @@ const USAGE: &str = "usage: dryadsynth \
   subproblem graph (with solver attribution) as Graphviz DOT;\n\
   --profile writes the span-tree profile as inferno-compatible folded\n\
   stacks and embeds the top paths in the --json report;\n\
+  --search-log writes interval-sampled CDCL search analytics (one JSON\n\
+  object per interval: conflicts, decisions, propagations, LBD sums,\n\
+  restart episodes) as JSONL, flushed even on panic or timeout;\n\
   --progress prints a heartbeat line to stderr every SECS seconds;\n\
   --stall-after dumps a diagnostic (open span stacks, counters, active\n\
   SMT query size) when no progress counter advances for SECS seconds;\n\
@@ -103,6 +106,7 @@ struct Options {
     trace: Option<String>,
     dot: Option<String>,
     profile: Option<String>,
+    search_log: Option<String>,
     progress: Option<Duration>,
     stall_after: Option<Duration>,
     certify: bool,
@@ -123,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         dot: None,
         profile: None,
+        search_log: None,
         progress: None,
         stall_after: None,
         certify: false,
@@ -166,6 +171,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--profile" => {
                 opts.profile = Some(args.next().ok_or("--profile needs a file path")?);
+            }
+            "--search-log" => {
+                opts.search_log = Some(args.next().ok_or("--search-log needs a file path")?);
             }
             "--progress" => {
                 let v = args.next().ok_or("--progress needs seconds")?;
@@ -322,6 +330,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.profile {
         sinks = sinks.with_profile(path);
+    }
+    if let Some(path) = &opts.search_log {
+        sinks = sinks.with_search_log(path);
     }
 
     let watchdog = (opts.progress.is_some() || opts.stall_after.is_some()).then(|| {

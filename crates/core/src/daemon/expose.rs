@@ -30,6 +30,11 @@ const LE_LADDER: [u64; 9] = [
     268_435_456,
 ];
 
+/// The `le` ladder for dimensionless `search.*` histograms (learned-clause
+/// LBD lives in the low tens): ×2 per rung, all powers of two, so every
+/// rung is again an exact fine-bucket boundary.
+const SEARCH_LE_LADDER: [u64; 9] = [2, 4, 8, 16, 32, 64, 128, 256, 1_024];
+
 /// Renders the full exposition page from a stats reply (scheduler counters
 /// and gauges) and the daemon root tracer's metrics snapshot.
 pub fn render(stats: &StatsReply, snapshot: &MetricsSnapshot) -> String {
@@ -56,6 +61,12 @@ pub fn render(stats: &StatsReply, snapshot: &MetricsSnapshot) -> String {
     counter(w, "workers_recycled_total", "Worker threads respawned.", stats.recycled);
 
     for (name, value) in &snapshot.counters {
+        // The `search.lbd` histogram's implicit `_sum`/`_count` series own
+        // these names in the exposition; emitting the raw counters too
+        // would duplicate the metric family with a conflicting type.
+        if name == "search.lbd_sum" || name == "search.lbd_count" {
+            continue;
+        }
         gauge(
             w,
             &sanitize(name),
@@ -78,7 +89,19 @@ pub fn render(stats: &StatsReply, snapshot: &MetricsSnapshot) -> String {
     }
 
     for (name, lat) in &snapshot.latencies {
-        histogram(w, &sanitize(name), &lat.lifetime);
+        if name.starts_with("search.") {
+            // Search histograms are dimensionless (e.g. LBD): no `_us`
+            // unit suffix, and a low-range ladder.
+            histogram_on(
+                w,
+                &sanitize(name),
+                &lat.lifetime,
+                &SEARCH_LE_LADDER,
+                "Dimensionless search-analytics distribution.",
+            );
+        } else {
+            histogram(w, &sanitize(name), &lat.lifetime);
+        }
     }
     out
 }
@@ -100,14 +123,27 @@ fn counter(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
-/// One lifetime histogram as a cumulative `le` ladder plus sum and count.
-/// Recent-window views stay in `stats` (Prometheus derives rates itself).
+/// One lifetime latency histogram as a cumulative `le` ladder plus sum and
+/// count. Recent-window views stay in `stats` (Prometheus derives rates
+/// itself).
 fn histogram(out: &mut String, name: &str, bank: &LatencyBankSnapshot) {
-    let name = format!("dryadsynthd_{name}_us");
-    line_comment(out, &name, "histogram", "Latency in microseconds.");
+    histogram_on(
+        out,
+        &format!("{name}_us"),
+        bank,
+        &LE_LADDER,
+        "Latency in microseconds.",
+    );
+}
+
+/// Renders one lifetime bank on an arbitrary `le` ladder. Every rung must
+/// be an exact fine-bucket boundary for the cumulative counts to be exact.
+fn histogram_on(out: &mut String, name: &str, bank: &LatencyBankSnapshot, ladder: &[u64], help: &str) {
+    let name = format!("dryadsynthd_{name}");
+    line_comment(out, &name, "histogram", help);
     let mut cumulative = 0u64;
     let mut fine = 0usize;
-    for le in LE_LADDER {
+    for &le in ladder {
         while fine < bank.buckets.len() {
             let (_, upper) = latency_bucket_bounds(fine);
             if upper > le {
@@ -120,7 +156,7 @@ fn histogram(out: &mut String, name: &str, bank: &LatencyBankSnapshot) {
         let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
     }
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", bank.count);
-    let _ = writeln!(out, "{name}_sum {}", bank.total_micros);
+    let _ = writeln!(out, "{name}_sum {}", bank.total);
     let _ = writeln!(out, "{name}_count {}", bank.count);
 }
 
@@ -187,6 +223,39 @@ mod tests {
         assert!(text.contains("# TYPE dryadsynthd_solve_wall_us histogram"));
         assert!(text.contains("dryadsynthd_solve_wall_us_count 3"));
         assert!(text.contains("dryadsynthd_solve_wall_us_sum 2002400"));
+    }
+
+    #[test]
+    fn search_histograms_render_unitless_with_the_low_ladder() {
+        let tracer = Tracer::metrics_only();
+        let metrics = tracer.metrics();
+        for v in [2u64, 3, 5, 9] {
+            metrics.record_latency("search.lbd", v);
+        }
+        metrics.add("search.conflicts_total", 4);
+        // The raw counters the scheduler forwards alongside the histogram;
+        // they must NOT surface as gauges (the histogram's implicit series
+        // own these names).
+        metrics.add("search.lbd_sum", 19);
+        metrics.add("search.lbd_count", 4);
+        let text = render(&StatsReply::default(), &metrics.snapshot());
+        assert_parses(&text);
+        // No `_us` suffix on dimensionless search metrics.
+        assert!(text.contains("# TYPE dryadsynthd_search_lbd histogram"));
+        assert!(!text.contains("dryadsynthd_search_lbd_us"));
+        // The low ladder splits single-digit LBDs: 2 and 3 are <= 4; 5
+        // joins at 8; 9 only at 16.
+        assert!(text.contains("dryadsynthd_search_lbd_bucket{le=\"4\"} 2"));
+        assert!(text.contains("dryadsynthd_search_lbd_bucket{le=\"8\"} 3"));
+        assert!(text.contains("dryadsynthd_search_lbd_bucket{le=\"16\"} 4"));
+        assert!(text.contains("dryadsynthd_search_lbd_sum 19"));
+        assert!(text.contains("dryadsynthd_search_lbd_count 4"));
+        // Search counters ride the existing sanitized-gauge path.
+        assert!(text.contains("dryadsynthd_search_conflicts_total 4"));
+        // Exactly one series per name: the forwarded lbd_sum/lbd_count
+        // counters are suppressed in favor of the histogram's own series.
+        assert_eq!(text.matches("dryadsynthd_search_lbd_sum ").count(), 1);
+        assert_eq!(text.matches("dryadsynthd_search_lbd_count ").count(), 1);
     }
 
     #[test]

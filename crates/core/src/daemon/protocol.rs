@@ -212,7 +212,7 @@ impl LatencyBankStats {
             p50_us: bank.p50(),
             p90_us: bank.p90(),
             p99_us: bank.p99(),
-            max_us: bank.max_micros,
+            max_us: bank.max,
         }
     }
 

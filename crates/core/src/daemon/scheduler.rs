@@ -623,13 +623,24 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
         "request",
         format!("id={} dequeued after {queue_wait_us}us", job.id),
     );
-    let finish = |response: OutcomeResponse, solve_us: Option<u64>, stages: Vec<(String, u64)>| {
+    let finish = |response: OutcomeResponse,
+                  solve_us: Option<u64>,
+                  stages: Vec<(String, u64)>,
+                  search: Vec<(String, u64)>| {
         inner.completed.fetch_add(1, Ordering::Relaxed);
         ring.note(
             "request",
             format!("id={} outcome={}", response.id, response.outcome),
         );
-        audit_finish(inner, &response, queue_wait_us, solve_us, worker, &stages);
+        audit_finish(
+            inner,
+            &response,
+            queue_wait_us,
+            solve_us,
+            worker,
+            &stages,
+            &search,
+        );
         reply(Response::Outcome(response));
     };
     if Instant::now() >= deadline {
@@ -641,6 +652,7 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
                 ..OutcomeResponse::default()
             },
             None,
+            Vec::new(),
             Vec::new(),
         );
         return;
@@ -660,6 +672,7 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
                 },
                 None,
                 Vec::new(),
+                Vec::new(),
             );
             return;
         }
@@ -675,6 +688,7 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
                     ..OutcomeResponse::default()
                 },
                 None,
+                Vec::new(),
                 Vec::new(),
             );
             return;
@@ -751,13 +765,30 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
     for (name, micros) in &stage_micros {
         root_metrics.record_latency(&format!("stage.{name}"), *micros);
     }
-    // Theory-dispatch counters are per-request (the request has its own
-    // tracer); roll them up so the Prometheus exposition sees them.
+    // Theory-dispatch and search-analytics counters are per-request (the
+    // request has its own tracer); roll them up so the Prometheus
+    // exposition sees them. `search.db_clauses` is a gauge — the freshest
+    // request overwrites rather than summing.
     for (name, value) in &request_metrics.counters {
-        if name.starts_with("theory.") {
+        if name == "search.db_clauses" {
+            root_metrics.set(name, *value);
+        } else if name.starts_with("theory.") || name.starts_with("search.") {
             root_metrics.add(name, *value);
         }
     }
+    // Fold the request's LBD distribution into the daemon-lifetime bank so
+    // the exposition's `search_lbd` histogram covers every request served.
+    for (name, snap) in &request_metrics.latencies {
+        if name == "search.lbd" {
+            root_metrics.latency(name).merge_bank(&snap.lifetime);
+        }
+    }
+    let search_totals: Vec<(String, u64)> = request_metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("search."))
+        .cloned()
+        .collect();
     let response = match result {
         Err(payload) => {
             inner.faulted.fetch_add(1, Ordering::Relaxed);
@@ -816,7 +847,7 @@ fn run_one(inner: &Arc<Inner>, entry: QueueEntry, worker: u64, ring: &Arc<EventR
             }
         }
     };
-    finish(response, Some(solve_us), stage_micros);
+    finish(response, Some(solve_us), stage_micros, search_totals);
 }
 
 /// Writes one flushed JSONL line to the audit log, if configured.
@@ -852,6 +883,7 @@ fn audit_finish(
     solve_us: Option<u64>,
     worker: u64,
     stages: &[(String, u64)],
+    search: &[(String, u64)],
 ) {
     if inner.config.audit.is_none() {
         return;
@@ -878,6 +910,23 @@ fn audit_finish(
                 stages
                     .iter()
                     .map(|(name, micros)| (name.clone(), Json::from(*micros)))
+                    .collect(),
+            ),
+        ));
+    }
+    // Per-request search aggregates, keyed without the `search.` prefix
+    // (e.g. `conflicts_total`, `lbd_sum`) — the run's whole CDCL footprint
+    // in one object, matching the RunReport `search` block's totals.
+    if !search.is_empty() {
+        fields.push((
+            "search".to_owned(),
+            Json::Obj(
+                search
+                    .iter()
+                    .map(|(name, value)| {
+                        let key = name.strip_prefix("search.").unwrap_or(name);
+                        (key.to_owned(), Json::from(*value))
+                    })
                     .collect(),
             ),
         ));

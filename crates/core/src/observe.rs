@@ -21,8 +21,10 @@ use sygus_ast::{size_bucket, solution_size, time_bucket, Json};
 /// by self time, present only on profiling runs); 4 = `metrics.counters`
 /// always carries the `interner.symbols` / `interner.bytes` gauges, and
 /// `metrics` may carry a `latencies` object on runs that recorded latency
-/// histograms.
-pub const REPORT_VERSION: u64 = 4;
+/// histograms; 5 = runs that exercised the SMT core carry a `search`
+/// summary block (CDCL/theory search-analytics aggregates: totals,
+/// mean/p90 LBD, restarts, propagations-per-decision — see DESIGN.md §13).
+pub const REPORT_VERSION: u64 = 5;
 
 /// Paths carried in the report's `profile` table, at most this many, ranked
 /// by self time. The folded-stack sink (`--profile`) is unabridged; the
@@ -135,12 +137,70 @@ impl RunReport {
                     .collect(),
             ),
         ));
+        if let Some(search) = search_summary_json(&self.metrics) {
+            fields.push(("search", search));
+        }
         fields.push(("metrics", self.metrics.to_json()));
         if !self.profile.is_empty() {
             fields.push(("profile", profile_table_json(&self.profile)));
         }
         Json::obj(fields)
     }
+}
+
+/// The report's `search` block (schema v5): CDCL/theory search aggregates
+/// derived from the `search.*` counters and the `search.lbd` histogram the
+/// SMT core's drain layer accumulated. `None` when the run never touched
+/// the SAT core, so pure-enumeration reports are unchanged.
+fn search_summary_json(metrics: &sygus_ast::MetricsSnapshot) -> Option<Json> {
+    let counter = |name: &str| -> u64 {
+        metrics
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let conflicts = counter("search.conflicts_total");
+    let decisions = counter("search.decisions_total");
+    let propagations = counter("search.propagations_total");
+    if conflicts == 0 && decisions == 0 && propagations == 0 {
+        return None;
+    }
+    let lbd_sum = counter("search.lbd_sum");
+    let lbd_count = counter("search.lbd_count");
+    let mean_lbd = if lbd_count > 0 {
+        lbd_sum as f64 / lbd_count as f64
+    } else {
+        0.0
+    };
+    let p90_lbd = metrics
+        .latencies
+        .iter()
+        .find(|(k, _)| k == "search.lbd")
+        .map_or(0, |(_, snap)| snap.lifetime.p90());
+    let propagations_per_decision = if decisions > 0 {
+        propagations as f64 / decisions as f64
+    } else {
+        0.0
+    };
+    Some(Json::obj([
+        ("conflicts", Json::from(conflicts)),
+        ("decisions", Json::from(decisions)),
+        ("propagations", Json::from(propagations)),
+        ("propagations_per_decision", Json::from(propagations_per_decision)),
+        ("restarts", Json::from(counter("search.restarts_total"))),
+        ("phase_flips", Json::from(counter("search.phase_flips_total"))),
+        ("learned_literals", Json::from(counter("search.learned_literals_total"))),
+        ("mean_lbd", Json::from(mean_lbd)),
+        ("p90_lbd", Json::from(p90_lbd)),
+        ("intervals", Json::from(counter("search.intervals_total"))),
+        ("db_clauses", Json::from(counter("search.db_clauses"))),
+        ("theory_checks", Json::from(counter("search.theory_checks_total"))),
+        ("theory_conflicts", Json::from(counter("search.theory_conflicts_total"))),
+        ("theory_cert_lits", Json::from(counter("search.theory_cert_lits_total"))),
+        ("simplex_pivots", Json::from(counter("search.simplex_pivots_total"))),
+        ("dl_relaxations", Json::from(counter("search.dl_relaxations_total"))),
+    ]))
 }
 
 /// The report's `profile` table: the [`PROFILE_TOP_PATHS`] hottest paths by
@@ -291,6 +351,7 @@ pub struct SinkGuard {
     trace_path: Option<PathBuf>,
     dot_path: Option<PathBuf>,
     profile_path: Option<PathBuf>,
+    search_log_path: Option<PathBuf>,
     flushed: bool,
 }
 
@@ -303,6 +364,7 @@ impl SinkGuard {
             trace_path: None,
             dot_path: None,
             profile_path: None,
+            search_log_path: None,
             flushed: false,
         }
     }
@@ -329,6 +391,16 @@ impl SinkGuard {
         self
     }
 
+    /// Registers the search-analytics JSONL sink (`--search-log`) and arms
+    /// sample buffering on the tracer's metrics registry — the SMT core's
+    /// drain layer only buffers interval records once this is called.
+    #[must_use]
+    pub fn with_search_log(mut self, path: impl Into<PathBuf>) -> SinkGuard {
+        self.tracer.metrics().enable_search_log();
+        self.search_log_path = Some(path.into());
+        self
+    }
+
     /// Writes every registered sink now and disarms the drop hook.
     /// Subsequent flushes (including the one in `Drop`) are no-ops, so the
     /// files reflect the tracer state at the *first* flush.
@@ -345,6 +417,15 @@ impl SinkGuard {
         }
         if let Some(path) = &self.profile_path {
             std::fs::write(path, self.tracer.folded_stacks())?;
+        }
+        if let Some(path) = &self.search_log_path {
+            let samples = self.tracer.metrics().search_samples();
+            let mut out = String::new();
+            for line in &samples {
+                out.push_str(line);
+                out.push('\n');
+            }
+            std::fs::write(path, out)?;
         }
         Ok(())
     }
@@ -392,7 +473,7 @@ mod tests {
         );
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).unwrap();
-        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(4));
+        assert_eq!(parsed.get("version").and_then(Json::as_i64), Some(5));
         assert_eq!(
             parsed.get("outcome").and_then(Json::as_str),
             Some("solved")
@@ -512,6 +593,83 @@ mod tests {
         let self1 = table[1].get("self_micros").and_then(Json::as_i64).unwrap();
         assert!(self0 >= self1, "{self0} {self1}");
         assert!(table[0].get("total_micros").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn search_block_appears_only_with_search_counters() {
+        // A run that never touched the SAT core: no `search` block, so
+        // pure-enumeration reports keep their old shape.
+        let tracer = Tracer::metrics_only();
+        let quiet = RunReport::new(
+            "DryadSynth",
+            "b.sl",
+            SynthOutcome::Timeout,
+            1.0,
+            CoopStats::default(),
+            &tracer,
+        );
+        assert!(quiet.to_json().get("search").is_none());
+
+        // A run with drained search counters carries the aggregates.
+        let tracer = Tracer::metrics_only();
+        let m = tracer.metrics();
+        m.add("search.conflicts_total", 100);
+        m.add("search.decisions_total", 50);
+        m.add("search.propagations_total", 500);
+        m.add("search.restarts_total", 2);
+        m.add("search.lbd_sum", 300);
+        m.add("search.lbd_count", 100);
+        for _ in 0..95 {
+            m.record_latency("search.lbd", 3);
+        }
+        for _ in 0..5 {
+            m.record_latency("search.lbd", 9);
+        }
+        let report = RunReport::new(
+            "DryadSynth",
+            "b.sl",
+            SynthOutcome::Timeout,
+            1.0,
+            CoopStats::default(),
+            &tracer,
+        );
+        let parsed = Json::parse(&report.to_json().to_string()).unwrap();
+        let search = parsed.get("search").expect("search block present");
+        assert_eq!(search.get("conflicts").and_then(Json::as_i64), Some(100));
+        assert_eq!(search.get("restarts").and_then(Json::as_i64), Some(2));
+        assert_eq!(search.get("mean_lbd").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            search.get("propagations_per_decision").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        // p90 of 95×3 + 5×9 sits in the fast mode.
+        assert_eq!(search.get("p90_lbd").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn sink_guard_flushes_search_log_jsonl() {
+        let dir = std::env::temp_dir().join("dryadsynth-sink-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("search.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let tracer = Tracer::metrics_only();
+        let mut guard = SinkGuard::new(tracer.clone()).with_search_log(&path);
+        // with_search_log armed the buffer, so drained samples accumulate.
+        assert!(tracer.metrics().search_log_enabled());
+        tracer
+            .metrics()
+            .push_search_sample("{\"type\":\"search_interval\",\"seq\":0}".into());
+        tracer
+            .metrics()
+            .push_search_sample("{\"type\":\"search_interval\",\"seq\":1}".into());
+        guard.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("type").and_then(Json::as_str), Some("search_interval"));
+        }
     }
 
     #[test]

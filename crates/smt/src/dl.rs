@@ -103,6 +103,10 @@ pub struct DifferenceLogic {
     next_frame: u64,
     /// `stamp[atom]`: id of the frame that already recorded this atom.
     stamp: Vec<u64>,
+    /// Lifetime count of successful label relaxations (potential
+    /// improvements) across incremental repair and full revalidation — the
+    /// engine's unit of search work for analytics.
+    relaxations_total: u64,
 }
 
 impl DifferenceLogic {
@@ -126,6 +130,7 @@ impl DifferenceLogic {
             frames: Vec::new(),
             next_frame: 0,
             stamp: Vec::with_capacity(atoms.len()),
+            relaxations_total: 0,
         };
         for atom in atoms {
             dl.try_add_atom(atom)
@@ -276,6 +281,7 @@ impl DifferenceLogic {
         // that last improved n, for cycle extraction.
         let mut parent: BTreeMap<u32, (u32, usize)> = BTreeMap::new();
         self.pi[e.head as usize] = self.pi[e.tail as usize] + e.w;
+        self.relaxations_total += 1;
         parent.insert(e.head, (e.tail, atom_idx));
         let mut queue: Vec<u32> = vec![e.head];
         // Cotton–Maler relaxation: with a feasible base, every improvement
@@ -296,6 +302,7 @@ impl DifferenceLogic {
                 let cand = self.pi[n as usize] + we;
                 if cand < self.pi[h as usize] {
                     self.pi[h as usize] = cand;
+                    self.relaxations_total += 1;
                     parent.insert(h, (n, ja));
                     queue.push(h);
                 }
@@ -371,6 +378,7 @@ impl DifferenceLogic {
                 let cand = self.pi[e.tail as usize] + e.w;
                 if cand < self.pi[e.head as usize] {
                     self.pi[e.head as usize] = cand;
+                    self.relaxations_total += 1;
                     parent.insert(e.head, (e.tail, atom));
                     improved = Some(e.head);
                 }
@@ -573,6 +581,10 @@ impl TheorySolver for DifferenceLogic {
             kind: self.conflict_kind,
             atoms: atoms.clone(),
         })
+    }
+
+    fn search_work(&self) -> u64 {
+        self.relaxations_total
     }
 }
 

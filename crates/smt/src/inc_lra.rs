@@ -451,6 +451,10 @@ impl TheorySolver for IncrementalLra {
     fn explain_conflict(&self) -> Option<TheoryCertificate> {
         self.last_conflict.clone()
     }
+
+    fn search_work(&self) -> u64 {
+        self.sx.pivots_total()
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ mod inc_lra;
 mod lia;
 mod rat;
 mod sat;
+pub mod search;
 mod session;
 mod simplex;
 mod solver;
@@ -35,7 +36,10 @@ pub use drat::{check_refutation, drat_text, model_satisfies, DratError, DratStat
 pub use inc_lra::{IncrementalLra, LinearAtom};
 pub use lia::{check_lia, check_lia_polled, LiaResult, LinCon, Rel};
 pub use rat::Rat;
-pub use sat::{Lit, SatResult, SatSolver, Var};
+pub use sat::{
+    Lit, RestartEpisode, SatResult, SatSolver, SearchInterval, Var, SEARCH_SAMPLE_CONFLICTS,
+};
+pub use search::drain_search;
 pub use session::SmtSession;
 pub use simplex::{BoundSide, Simplex, SimplexResult};
 pub use solver::{

@@ -131,6 +131,80 @@ pub struct SatSolver {
     proof: Option<Vec<ProofStep>>,
     /// Test hook: corrupt clause learning to exercise the proof checker.
     sabotage_learning: bool,
+    /// Interval-sampled search analytics (plain counters: the solver is
+    /// single-threaded, so the hot loop pays no atomics).
+    search: SearchStats,
+}
+
+/// Conflicts per closed search-analytics interval: the solve loop cuts an
+/// interval record every this many analyzed conflicts (and the drain layer
+/// closes the partial tail at the end of a query).
+pub const SEARCH_SAMPLE_CONFLICTS: u64 = 4096;
+
+/// One sampling interval of SAT-core search activity. All fields are
+/// *deltas over the interval* except `db_clauses`, a gauge read when the
+/// interval closes. `lbds` keeps the raw per-learned-clause LBDs so the
+/// drain layer can feed a histogram at full resolution.
+#[derive(Clone, Debug, Default)]
+pub struct SearchInterval {
+    /// Conflicts hit (including terminal root-level ones).
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation or clause learning (everything
+    /// enqueued with an antecedent clause).
+    pub propagations: u64,
+    /// Restarts taken.
+    pub restarts: u64,
+    /// Assignments that flipped the variable's saved phase.
+    pub phase_flips: u64,
+    /// Total literals across clauses learned by conflict analysis.
+    pub learned_literals: u64,
+    /// Sum of learned-clause LBDs (`lbd_count` divides it to a mean).
+    pub lbd_sum: u64,
+    /// Learned clauses with a recorded LBD (= analyzed conflicts).
+    pub lbd_count: u64,
+    /// Clause-DB size (attached clauses, learned included) at close.
+    pub db_clauses: u64,
+    /// Raw per-learned-clause LBDs, in learn order.
+    pub lbds: Vec<u16>,
+    /// Restart episodes that *ended* during this interval.
+    pub episodes: Vec<RestartEpisode>,
+}
+
+/// One restart episode: the stretch of search between two restarts, closed
+/// by the restart it describes. The LBD aggregates carry the trend that
+/// preceded the restart (high mean = the episode was learning wide,
+/// poor-quality clauses when the Luby budget expired).
+#[derive(Clone, Debug)]
+pub struct RestartEpisode {
+    /// Conflicts since the previous restart (or query start).
+    pub conflicts: u64,
+    /// Sum of learned-clause LBDs over the episode.
+    pub lbd_sum: u64,
+    /// Learned clauses over the episode.
+    pub lbd_count: u64,
+}
+
+/// Accumulator behind [`SatSolver::take_search_intervals`]: the open
+/// interval, closed-but-undrained intervals, the running restart-episode
+/// aggregates, and a scratch buffer for LBD computation.
+#[derive(Debug, Default)]
+struct SearchStats {
+    open: SearchInterval,
+    closed: Vec<SearchInterval>,
+    episode_conflicts: u64,
+    episode_lbd_sum: u64,
+    episode_lbd_count: u64,
+    scratch_levels: Vec<u32>,
+}
+
+impl SearchInterval {
+    /// Whether any search activity landed in this interval.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.conflicts == 0 && self.decisions == 0 && self.propagations == 0
+    }
 }
 
 impl Default for SatSolver {
@@ -158,6 +232,7 @@ impl SatSolver {
             conflicts_total: 0,
             proof: None,
             sabotage_learning: false,
+            search: SearchStats::default(),
         }
     }
 
@@ -220,6 +295,60 @@ impl SatSolver {
     /// Total conflicts encountered so far (a work measure).
     pub fn conflicts(&self) -> u64 {
         self.conflicts_total
+    }
+
+    /// Drains the accumulated search-analytics intervals. With
+    /// `close_open`, the partial interval since the last
+    /// [`SEARCH_SAMPLE_CONFLICTS`]-conflict cut is closed and included
+    /// (callers do this at the end of a query so no activity is lost);
+    /// otherwise it keeps accumulating toward its natural cut. Counter
+    /// totals derived from the drained records sum exactly to the search
+    /// activity since the previous drain — the analytics layer's
+    /// intervals-sum-to-totals invariant holds by construction.
+    pub fn take_search_intervals(&mut self, close_open: bool) -> Vec<SearchInterval> {
+        if close_open && !self.search.open.is_empty() {
+            self.search_close_interval();
+        }
+        std::mem::take(&mut self.search.closed)
+    }
+
+    /// Closes the open interval: stamp the clause-DB gauge, ship it.
+    fn search_close_interval(&mut self) {
+        self.search.open.db_clauses = self.clauses.len() as u64;
+        let closed = std::mem::take(&mut self.search.open);
+        self.search.closed.push(closed);
+    }
+
+    /// Records the learned clause of one analyzed conflict. Must run while
+    /// the pre-backjump `level[]` entries are still valid (i.e. between
+    /// [`SatSolver::analyze`] and `cancel_until`): the LBD is the number of
+    /// distinct decision levels among the clause's literals.
+    fn search_record_learned(&mut self, learned: &[Lit]) {
+        let levels = &mut self.search.scratch_levels;
+        levels.clear();
+        levels.extend(learned.iter().map(|l| self.level[l.var() as usize]));
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u64;
+        self.search.open.lbd_sum += lbd;
+        self.search.open.lbd_count += 1;
+        self.search.open.lbds.push(lbd.min(u64::from(u16::MAX)) as u16);
+        self.search.open.learned_literals += learned.len() as u64;
+        self.search.episode_lbd_sum += lbd;
+        self.search.episode_lbd_count += 1;
+    }
+
+    /// Closes the current restart episode at a restart point.
+    fn search_record_restart(&mut self) {
+        self.search.open.restarts += 1;
+        self.search.open.episodes.push(RestartEpisode {
+            conflicts: self.search.episode_conflicts,
+            lbd_sum: self.search.episode_lbd_sum,
+            lbd_count: self.search.episode_lbd_count,
+        });
+        self.search.episode_conflicts = 0;
+        self.search.episode_lbd_sum = 0;
+        self.search.episode_lbd_count = 0;
     }
 
     fn value(&self, l: Lit) -> Option<bool> {
@@ -341,8 +470,15 @@ impl SatSolver {
             Some(false) => false,
             None => {
                 let v = l.var() as usize;
-                self.assign[v] = Some(!l.is_neg());
-                self.phase[v] = !l.is_neg();
+                let value = !l.is_neg();
+                self.assign[v] = Some(value);
+                if self.phase[v] != value {
+                    self.search.open.phase_flips += 1;
+                }
+                if reason != INVALID {
+                    self.search.open.propagations += 1;
+                }
+                self.phase[v] = value;
                 self.reason[v] = reason;
                 self.level[v] = self.decision_level();
                 self.trail.push(l);
@@ -655,6 +791,8 @@ impl SatSolver {
                 Some(conflict) => {
                     self.conflicts_total += 1;
                     conflicts_this_call += 1;
+                    self.search.open.conflicts += 1;
+                    self.search.episode_conflicts += 1;
                     if let Some(max) = max_conflicts {
                         if conflicts_this_call > max {
                             self.cancel_until(0);
@@ -670,6 +808,9 @@ impl SatSolver {
                         return Some(SatResult::Unsat);
                     }
                     let (mut learned, bj) = self.analyze(conflict);
+                    // Levels are still pre-backjump here, so the LBD of the
+                    // learned clause is computable exactly at learn time.
+                    self.search_record_learned(&learned);
                     if self.sabotage_learning {
                         // Seeded soundness bug (tests only): assert the
                         // wrong polarity of the 1UIP literal.
@@ -702,6 +843,10 @@ impl SatSolver {
                         restart_budget = luby(restart_unit) * 128;
                         self.cancel_until(0);
                         self.prop_head = 0;
+                        self.search_record_restart();
+                    }
+                    if self.search.open.conflicts >= SEARCH_SAMPLE_CONFLICTS {
+                        self.search_close_interval();
                     }
                 }
                 None => {
@@ -744,6 +889,7 @@ impl SatSolver {
                             return Some(SatResult::Sat(model));
                         }
                         Some(v) => {
+                            self.search.open.decisions += 1;
                             self.trail_lim.push(self.trail.len());
                             let lit = Lit::new(v, !self.phase[v as usize]);
                             let ok = self.enqueue(lit, INVALID);
@@ -872,6 +1018,56 @@ mod tests {
             }
         }
         assert_eq!(s.solve(None), SatResult::Unsat);
+    }
+
+    #[test]
+    fn search_intervals_account_for_every_conflict_and_lbd() {
+        let mut s = SatSolver::new();
+        pigeonhole(6, 5, &mut s);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        let conflicts = s.conflicts();
+        assert!(conflicts > 0);
+        let intervals = s.take_search_intervals(true);
+        assert!(!intervals.is_empty());
+        // Every conflict lands in exactly one drained interval.
+        let total: u64 = intervals.iter().map(|i| i.conflicts).sum();
+        assert_eq!(total, conflicts);
+        let decisions: u64 = intervals.iter().map(|i| i.decisions).sum();
+        let propagations: u64 = intervals.iter().map(|i| i.propagations).sum();
+        assert!(decisions > 0, "pigeonhole needs branching");
+        assert!(propagations > 0, "pigeonhole needs propagation");
+        for iv in &intervals {
+            // One raw LBD per learned clause, and the aggregates match.
+            assert_eq!(iv.lbds.len() as u64, iv.lbd_count);
+            assert_eq!(iv.lbds.iter().map(|&l| u64::from(l)).sum::<u64>(), iv.lbd_sum);
+            // LBD of any learned clause is at least 1, so sum >= count.
+            assert!(iv.lbd_sum >= iv.lbd_count);
+            // Only the terminal root-level conflict learns nothing.
+            assert!(iv.conflicts - iv.lbd_count <= 1);
+        }
+        // The final interval saw the clause DB grow past the input clauses.
+        assert!(intervals.last().unwrap().db_clauses as usize >= s.num_clauses());
+        // Drain is a take: a second call returns nothing new.
+        assert!(s.take_search_intervals(true).is_empty());
+    }
+
+    #[test]
+    fn search_intervals_record_restart_episodes() {
+        let mut s = SatSolver::new();
+        pigeonhole(8, 7, &mut s);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        let intervals = s.take_search_intervals(true);
+        let restarts: u64 = intervals.iter().map(|i| i.restarts).sum();
+        let episodes: usize = intervals.iter().map(|i| i.episodes.len()).sum();
+        assert_eq!(restarts as usize, episodes, "one episode record per restart");
+        assert!(restarts > 0, "PHP(8,7) should outlast the first Luby budget");
+        for ep in intervals.iter().flat_map(|i| &i.episodes) {
+            // The Luby unit is 128 conflicts, so a closed episode saw at
+            // least that many, and learned a clause per conflict.
+            assert!(ep.conflicts >= 128, "short episode: {ep:?}");
+            assert_eq!(ep.lbd_count, ep.conflicts);
+            assert!(ep.lbd_sum >= ep.lbd_count);
+        }
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Drain layer of the search-analytics pipeline: turns the SAT core's
+//! interval records ([`SatSolver::take_search_intervals`]) into named
+//! `search.*` counters, the `search.lbd` value histogram, and — when a
+//! `--search-log` sink armed the registry — buffered JSONL interval
+//! records.
+//!
+//! The discipline is *counters are derived from intervals*: every
+//! `search.*` total is incremented only here, from the same drained
+//! records that become JSONL lines. Interval records therefore sum exactly
+//! to the counter totals (and to the RunReport `search` block built from
+//! them) by construction, across timeouts, budget aborts, and retry
+//! ladders alike. The SMT driver drains after every conflict chunk, so a
+//! cancelled query loses nothing but the open tail — and a final
+//! `close = true` drain at each query's return point collects that too.
+//!
+//! Schema of one JSONL record (all integers; deltas over the interval
+//! unless noted):
+//!
+//! ```json
+//! {"type": "search_interval", "seq": 3, "conflicts": 4096,
+//!  "decisions": 5120, "propagations": 81234, "restarts": 2,
+//!  "phase_flips": 900, "learned_literals": 30000,
+//!  "lbd_sum": 20480, "lbd_count": 4096, "db_clauses": 5200,
+//!  "episodes": [{"conflicts": 128, "lbd_sum": 640, "lbd_count": 128}]}
+//! ```
+//!
+//! `seq` is the zero-based interval index within the run (monotone across
+//! queries — it continues the `search.intervals_total` counter);
+//! `db_clauses` is a gauge read when the interval closed; `episodes` lists
+//! the restart episodes that ended inside the interval, each carrying the
+//! LBD trend (`lbd_sum / lbd_count`) that preceded its restart.
+
+use crate::sat::SatSolver;
+use sygus_ast::trace::MetricsRegistry;
+use sygus_ast::Json;
+
+/// Drains the solver's accumulated search intervals into `metrics`: bumps
+/// the `search.*` counters, records per-clause LBDs into the `search.lbd`
+/// histogram, sets the `search.db_clauses` gauge, and (when the registry
+/// has search-log buffering enabled) appends one JSONL record per
+/// interval. With `close`, the partial interval since the last cut is
+/// included — callers pass `true` at a query's return points and `false`
+/// between conflict chunks.
+pub fn drain_search(sat: &mut SatSolver, metrics: &MetricsRegistry, close: bool) {
+    let intervals = sat.take_search_intervals(close);
+    if intervals.is_empty() {
+        return;
+    }
+    let mut conflicts = 0u64;
+    let mut decisions = 0u64;
+    let mut propagations = 0u64;
+    let mut restarts = 0u64;
+    let mut phase_flips = 0u64;
+    let mut learned_literals = 0u64;
+    let mut lbd_sum = 0u64;
+    let mut lbd_count = 0u64;
+    for iv in &intervals {
+        conflicts += iv.conflicts;
+        decisions += iv.decisions;
+        propagations += iv.propagations;
+        restarts += iv.restarts;
+        phase_flips += iv.phase_flips;
+        learned_literals += iv.learned_literals;
+        lbd_sum += iv.lbd_sum;
+        lbd_count += iv.lbd_count;
+    }
+    if lbd_count > 0 {
+        let hist = metrics.latency("search.lbd");
+        for iv in &intervals {
+            for &lbd in &iv.lbds {
+                hist.record(u64::from(lbd));
+            }
+        }
+    }
+    if metrics.search_log_enabled() {
+        let seq_base = metrics.counter("search.intervals_total");
+        for (i, iv) in intervals.iter().enumerate() {
+            let episodes: Vec<Json> = iv
+                .episodes
+                .iter()
+                .map(|ep| {
+                    Json::obj([
+                        ("conflicts", Json::from(ep.conflicts)),
+                        ("lbd_sum", Json::from(ep.lbd_sum)),
+                        ("lbd_count", Json::from(ep.lbd_count)),
+                    ])
+                })
+                .collect();
+            let record = Json::obj([
+                ("type", Json::str("search_interval")),
+                ("seq", Json::from(seq_base + i as u64)),
+                ("conflicts", Json::from(iv.conflicts)),
+                ("decisions", Json::from(iv.decisions)),
+                ("propagations", Json::from(iv.propagations)),
+                ("restarts", Json::from(iv.restarts)),
+                ("phase_flips", Json::from(iv.phase_flips)),
+                ("learned_literals", Json::from(iv.learned_literals)),
+                ("lbd_sum", Json::from(iv.lbd_sum)),
+                ("lbd_count", Json::from(iv.lbd_count)),
+                ("db_clauses", Json::from(iv.db_clauses)),
+                ("episodes", Json::Arr(episodes)),
+            ]);
+            metrics.push_search_sample(record.to_string());
+        }
+    }
+    metrics.add("search.intervals_total", intervals.len() as u64);
+    metrics.add("search.conflicts_total", conflicts);
+    metrics.add("search.decisions_total", decisions);
+    metrics.add("search.propagations_total", propagations);
+    metrics.add("search.restarts_total", restarts);
+    metrics.add("search.phase_flips_total", phase_flips);
+    metrics.add("search.learned_literals_total", learned_literals);
+    metrics.add("search.lbd_sum", lbd_sum);
+    metrics.add("search.lbd_count", lbd_count);
+    // Last closed interval carries the freshest clause-DB gauge.
+    if let Some(last) = intervals.last() {
+        metrics.set("search.db_clauses", last.db_clauses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Lit, SatResult};
+    use sygus_ast::Tracer;
+
+    /// PHP(n+1, n): forces real CDCL search.
+    fn pigeonhole(pigeons: usize, holes: usize, s: &mut SatSolver) {
+        let vars: Vec<Vec<_>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &vars {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        for h in 0..holes {
+            for (i, row_i) in vars.iter().enumerate() {
+                for row_j in &vars[i + 1..] {
+                    s.add_clause(vec![Lit::neg(row_i[h]), Lit::neg(row_j[h])]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_sum_to_logged_intervals() {
+        let tracer = Tracer::metrics_only();
+        let metrics = tracer.metrics();
+        metrics.enable_search_log();
+        let mut s = SatSolver::new();
+        pigeonhole(7, 6, &mut s);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        drain_search(&mut s, metrics, true);
+
+        let samples = metrics.search_samples();
+        assert!(!samples.is_empty());
+        assert_eq!(samples.len() as u64, metrics.counter("search.intervals_total"));
+        // Every JSONL record parses, and the per-field sums equal the
+        // drained counter totals exactly.
+        let mut sums = std::collections::BTreeMap::new();
+        for line in &samples {
+            let v = Json::parse(line).expect("search sample parses");
+            assert_eq!(v.get("type").and_then(Json::as_str), Some("search_interval"));
+            for key in [
+                "conflicts",
+                "decisions",
+                "propagations",
+                "restarts",
+                "phase_flips",
+                "learned_literals",
+                "lbd_sum",
+                "lbd_count",
+            ] {
+                let n = v.get(key).and_then(Json::as_i64).expect(key) as u64;
+                *sums.entry(key).or_insert(0u64) += n;
+            }
+        }
+        for (key, total) in sums {
+            let counter = match key {
+                "lbd_sum" | "lbd_count" => format!("search.{key}"),
+                _ => format!("search.{key}_total"),
+            };
+            assert_eq!(metrics.counter(&counter), total, "{counter}");
+        }
+        assert_eq!(metrics.counter("search.conflicts_total"), s.conflicts());
+        // The LBD histogram saw one recording per learned clause.
+        let lbd = metrics.latency("search.lbd").snapshot().lifetime;
+        assert_eq!(lbd.count, metrics.counter("search.lbd_count"));
+        assert_eq!(lbd.total, metrics.counter("search.lbd_sum"));
+        assert!(lbd.p90() >= 1);
+    }
+
+    #[test]
+    fn drain_without_log_skips_buffering_but_keeps_counters() {
+        let tracer = Tracer::metrics_only();
+        let metrics = tracer.metrics();
+        let mut s = SatSolver::new();
+        pigeonhole(5, 4, &mut s);
+        assert_eq!(s.solve(None), SatResult::Unsat);
+        drain_search(&mut s, metrics, true);
+        assert!(metrics.search_samples().is_empty());
+        assert!(metrics.counter("search.conflicts_total") > 0);
+        // A second drain with nothing accumulated is a no-op.
+        let before = metrics.counter("search.intervals_total");
+        drain_search(&mut s, metrics, true);
+        assert_eq!(metrics.counter("search.intervals_total"), before);
+    }
+}

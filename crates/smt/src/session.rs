@@ -397,6 +397,16 @@ impl SmtSession {
             });
         }
         let deadline_hit = std::cell::Cell::new(false);
+        // Search-analytics accumulators (see the solver's check_once): the
+        // callback is too hot for the counter mutex, so it writes cells
+        // that get flushed at conflict-chunk boundaries. Sessions reuse
+        // the engine across checks, so the work counter is differenced
+        // from the engine's lifetime total.
+        let theory_checks = std::cell::Cell::new(0u64);
+        let theory_conflicts = std::cell::Cell::new(0u64);
+        let theory_cert_lits = std::cell::Cell::new(0u64);
+        let theory_work_seen = std::cell::Cell::new(inc.search_work());
+        let theory_work_flushed = std::cell::Cell::new(inc.search_work());
         let mut theory_cb = |assign: &[Option<bool>]| -> Option<Vec<Lit>> {
             if deadline_hit.get() {
                 return None;
@@ -413,6 +423,8 @@ impl SmtSession {
                 }
             }
             let verdict = inc.check(THEORY_PIVOT_CAP, &mut || poll_budget(&cfg.budget).is_ok());
+            theory_checks.set(theory_checks.get() + 1);
+            theory_work_seen.set(inc.search_work());
             if let Some(t) = t_theory {
                 cfg.budget
                     .tracer()
@@ -431,14 +443,42 @@ impl SmtSession {
                     None
                 }
                 Some(Ok(())) => None,
-                Some(Err(core)) => Some(
-                    core.iter()
-                        .map(|&i| {
-                            let pol = inc.polarity(i).expect("core atoms are asserted");
-                            Lit::new(atom_vars[i].0, pol)
-                        })
-                        .collect(),
-                ),
+                Some(Err(core)) => {
+                    theory_conflicts.set(theory_conflicts.get() + 1);
+                    theory_cert_lits.set(theory_cert_lits.get() + core.len() as u64);
+                    Some(
+                        core.iter()
+                            .map(|&i| {
+                                let pol = inc.polarity(i).expect("core atoms are asserted");
+                                Lit::new(atom_vars[i].0, pol)
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        };
+        let flush_theory = |m: &sygus_ast::trace::MetricsRegistry| {
+            let checks = theory_checks.take();
+            if checks > 0 {
+                m.add("search.theory_checks_total", checks);
+            }
+            let conflicts = theory_conflicts.take();
+            if conflicts > 0 {
+                m.add("search.theory_conflicts_total", conflicts);
+            }
+            let lits = theory_cert_lits.take();
+            if lits > 0 {
+                m.add("search.theory_cert_lits_total", lits);
+            }
+            let delta = theory_work_seen.get() - theory_work_flushed.get();
+            theory_work_flushed.set(theory_work_seen.get());
+            if delta > 0 {
+                let name = if use_dl {
+                    "search.dl_relaxations_total"
+                } else {
+                    "search.simplex_pivots_total"
+                };
+                m.add(name, delta);
             }
         };
 
@@ -459,12 +499,18 @@ impl SmtSession {
             // lets cancellation land mid-search.
             let poll_handle = cfg.budget.clone();
             let bool_model = loop {
-                match enc.sat.solve_under_polled(
+                let step = enc.sat.solve_under_polled(
                     &assumptions,
                     Some(20_000),
                     || poll_handle.exceeded().is_none(),
                     &mut theory_cb,
-                ) {
+                );
+                // Chunk boundary: drain search intervals and theory cells
+                // (terminal answers close the open tail).
+                let done = step.is_some();
+                crate::search::drain_search(&mut enc.sat, cfg.budget.tracer().metrics(), done);
+                flush_theory(cfg.budget.tracer().metrics());
+                match step {
                     Some(SatResult::Unsat) => {
                         if cfg.certify {
                             // The refutation is conditional on the open
@@ -576,6 +622,11 @@ impl SmtSession {
                             Lit::new(v, pol)
                         })
                         .collect();
+                    // Full-model conflicts count as theory conflicts with
+                    // the blocking clause as certificate (cold path).
+                    let m = cfg.budget.tracer().metrics();
+                    m.add("search.theory_conflicts_total", 1);
+                    m.add("search.theory_cert_lits_total", clause.len() as u64);
                     enc.sat.add_clause(clause);
                 }
             }

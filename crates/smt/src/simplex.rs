@@ -60,6 +60,8 @@ struct Row {
 pub struct Simplex {
     vars: Vec<VarState>,
     rows: Vec<Row>,
+    /// Lifetime pivot count across every check (search analytics).
+    pivots_total: u64,
 }
 
 impl Simplex {
@@ -69,7 +71,14 @@ impl Simplex {
         Simplex {
             vars: (0..num_vars).map(|_| VarState::default()).collect(),
             rows: Vec::new(),
+            pivots_total: 0,
         }
+    }
+
+    /// Lifetime pivots performed across every check on this tableau (a
+    /// monotone work measure; budget-aborted checks still count theirs).
+    pub fn pivots_total(&self) -> u64 {
+        self.pivots_total
     }
 
     /// The total number of variables (problem + slack).
@@ -287,6 +296,7 @@ impl Simplex {
                 return None;
             }
             pivots += 1;
+            self.pivots_total += 1;
             // Bland's rule: smallest violated basic variable.
             let violated = self
                 .rows

@@ -1131,6 +1131,15 @@ impl SmtSolver {
             Box::new(crate::IncrementalLra::new(index.len(), &inc_atoms))
         };
         let deadline_hit = std::cell::Cell::new(false);
+        // Search-analytics accumulators for theory work. The callback runs
+        // after every propagation settle — far too hot for the registry's
+        // counter mutex — so it writes plain `Cell`s and the driver flushes
+        // them to `search.*` counters at conflict-chunk boundaries.
+        let theory_checks = std::cell::Cell::new(0u64);
+        let theory_conflicts = std::cell::Cell::new(0u64);
+        let theory_cert_lits = std::cell::Cell::new(0u64);
+        let theory_work_seen = std::cell::Cell::new(0u64);
+        let theory_work_flushed = std::cell::Cell::new(0u64);
         let mut theory_cb = |assign: &[Option<bool>]| -> Option<Vec<Lit>> {
             if deadline_hit.get() {
                 return None;
@@ -1148,6 +1157,8 @@ impl SmtSolver {
                 }
             }
             let verdict = inc.check(THEORY_PIVOT_CAP, &mut || self.check_deadline().is_ok());
+            theory_checks.set(theory_checks.get() + 1);
+            theory_work_seen.set(inc.search_work());
             if let Some(t) = t_theory {
                 self.cfg
                     .budget
@@ -1167,14 +1178,44 @@ impl SmtSolver {
                     None
                 }
                 Some(Ok(())) => None,
-                Some(Err(core)) => Some(
-                    core.iter()
-                        .map(|&i| {
-                            let pol = inc.polarity(i).expect("core atoms are asserted");
-                            Lit::new(atom_vars[i].0, pol)
-                        })
-                        .collect(),
-                ),
+                Some(Err(core)) => {
+                    theory_conflicts.set(theory_conflicts.get() + 1);
+                    theory_cert_lits.set(theory_cert_lits.get() + core.len() as u64);
+                    Some(
+                        core.iter()
+                            .map(|&i| {
+                                let pol = inc.polarity(i).expect("core atoms are asserted");
+                                Lit::new(atom_vars[i].0, pol)
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        };
+        // Flushes the theory-work cells into `search.*` counters (the work
+        // counter lands under the dispatched engine's name).
+        let flush_theory = |m: &sygus_ast::trace::MetricsRegistry| {
+            let checks = theory_checks.take();
+            if checks > 0 {
+                m.add("search.theory_checks_total", checks);
+            }
+            let conflicts = theory_conflicts.take();
+            if conflicts > 0 {
+                m.add("search.theory_conflicts_total", conflicts);
+            }
+            let lits = theory_cert_lits.take();
+            if lits > 0 {
+                m.add("search.theory_cert_lits_total", lits);
+            }
+            let delta = theory_work_seen.get() - theory_work_flushed.get();
+            theory_work_flushed.set(theory_work_seen.get());
+            if delta > 0 {
+                let name = if use_dl {
+                    "search.dl_relaxations_total"
+                } else {
+                    "search.simplex_pivots_total"
+                };
+                m.add(name, delta);
             }
         };
 
@@ -1195,11 +1236,22 @@ impl SmtSolver {
             let t_sat = Instant::now();
             let poll_handle = self.cfg.budget.clone();
             let bool_model = loop {
-                match enc.sat.solve_with_theory_polled(
+                let step = enc.sat.solve_with_theory_polled(
                     Some(20_000),
                     || poll_handle.exceeded().is_none(),
                     &mut theory_cb,
-                ) {
+                );
+                // Chunk boundary: drain closed search intervals and the
+                // theory-work cells (a terminal answer also closes the
+                // open tail so nothing is lost).
+                let done = step.is_some();
+                crate::search::drain_search(
+                    &mut enc.sat,
+                    self.cfg.budget.tracer().metrics(),
+                    done,
+                );
+                flush_theory(self.cfg.budget.tracer().metrics());
+                match step {
                     Some(SatResult::Unsat) => {
                         self.certify_unsat(&enc.sat)?;
                         return Ok(SmtResult::Unsat);
@@ -1323,6 +1375,12 @@ impl SmtSolver {
                             Lit::new(v, pol) // negation of the asserted literal
                         })
                         .collect();
+                    // Full-model conflicts are theory conflicts too; the
+                    // blocking clause is the certificate (cold path, so the
+                    // registry mutex is fine here).
+                    let m = self.cfg.budget.tracer().metrics();
+                    m.add("search.theory_conflicts_total", 1);
+                    m.add("search.theory_cert_lits_total", clause.len() as u64);
                     enc.sat.add_clause(clause);
                 }
             }

@@ -193,6 +193,12 @@ pub trait TheorySolver {
     /// [`check`](TheorySolver::check), if still current (assertion changes
     /// invalidate it).
     fn explain_conflict(&self) -> Option<TheoryCertificate>;
+
+    /// Lifetime count of the engine's unit of search work: simplex pivots
+    /// for the LRA engine, label relaxations for difference logic.
+    /// Monotone; the search-analytics layer differences successive reads
+    /// to attribute work to theory checks.
+    fn search_work(&self) -> u64;
 }
 
 /// Whether a canonical atom fits the integer difference-logic fragment:
